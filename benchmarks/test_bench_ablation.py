@@ -1,0 +1,166 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+* index width: the fixed 2-byte frame encoding vs the variable 2/3-byte
+  encoding proposed for multi-dex apps (§VII);
+* enforcement granularity: method- vs class- vs library-level rules on
+  the cloud-storage case study;
+* tag-replay hardening: the setsockopt-once kernel policy (§VII);
+* per-socket amortisation: keep-alive sockets pay the stack-capture cost
+  once and reuse the tag for every subsequent request (§VI-D).
+
+Run with:  pytest benchmarks/test_bench_ablation.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core.encoding import EncodingError, IndexWidth, StackTraceEncoder
+from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.core.deployment import BorderPatrolDeployment
+from repro.netstack.sockets import Capability, PermissionDenied
+from repro.netstack.ip import IPOptions, BORDERPATROL_OPTION_TYPE
+from repro.network.topology import EnterpriseNetwork
+from repro.workloads.apps import build_cloud_storage_app
+from repro.workloads.stress import build_stress_app, run_stress_test
+
+APP_ID = "0123456789abcdef"
+
+
+# ---------------------------------------------------------------------------
+# Index-width ablation.
+# ---------------------------------------------------------------------------
+
+def test_bench_encoding_fixed_width(benchmark):
+    encoder = StackTraceEncoder(IndexWidth.FIXED_2)
+    indexes = list(range(40, 52))
+    encoded = benchmark(encoder.encode, APP_ID, indexes)
+    assert encoder.decode(encoded).indexes == tuple(indexes)
+
+
+def test_bench_encoding_variable_width(benchmark):
+    encoder = StackTraceEncoder(IndexWidth.VARIABLE)
+    indexes = [70_000, 12, 300_000, 99]  # indexes beyond the 2-byte range
+    encoded = benchmark(encoder.encode, APP_ID, indexes)
+    assert encoder.decode(encoded).indexes == tuple(indexes)
+
+
+def test_fixed_width_cannot_address_multidex_methods():
+    encoder = StackTraceEncoder(IndexWidth.FIXED_2)
+    with pytest.raises(EncodingError):
+        encoder.encode(APP_ID, [70_000])
+
+
+def test_variable_width_trades_capacity_for_range():
+    fixed = StackTraceEncoder(IndexWidth.FIXED_2)
+    variable = StackTraceEncoder(IndexWidth.VARIABLE)
+    # Worst-case frame capacity shrinks when every index needs 3 bytes.
+    assert variable.max_frames() < fixed.max_frames()
+    # But small indexes still use 2 bytes, so mixed stacks fit more frames
+    # than the worst case suggests.
+    small_indexes = list(range(1, 16))
+    assert len(variable.fit_indexes(small_indexes)) == len(fixed.fit_indexes(small_indexes))
+
+
+# ---------------------------------------------------------------------------
+# Enforcement-granularity ablation.
+# ---------------------------------------------------------------------------
+
+def _run_cloud_app_under(policy: Policy) -> dict[str, bool]:
+    app = build_cloud_storage_app()
+    network = EnterpriseNetwork()
+    for endpoint in app.behavior.endpoints():
+        network.add_server(endpoint)
+    deployment = BorderPatrolDeployment(network=network, policy=policy)
+    device = deployment.provision_device()
+    process = deployment.install_and_launch(device, app.apk, app.behavior)
+    return {f.name: process.invoke(f).completed for f in app.behavior}
+
+
+def test_bench_granularity_ablation(benchmark):
+    app = build_cloud_storage_app()
+    upload_signature = str(app.signature("upload"))
+
+    def run_all_levels():
+        method_policy = Policy(name="method")
+        method_policy.add_rule(
+            PolicyRule(PolicyAction.DENY, PolicyLevel.METHOD, upload_signature)
+        )
+        class_policy = Policy(name="class")
+        class_policy.add_rule(
+            PolicyRule(PolicyAction.DENY, PolicyLevel.CLASS, app.signature("upload").slash_class)
+        )
+        library_policy = Policy(name="library")
+        library_policy.add_rule(
+            PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, "com/cloudbox/android")
+        )
+        return {
+            "method": _run_cloud_app_under(method_policy),
+            "class": _run_cloud_app_under(class_policy),
+            "library": _run_cloud_app_under(library_policy),
+        }
+
+    results = benchmark.pedantic(run_all_levels, rounds=1, iterations=1)
+    # Method- and class-level rules surgically remove the upload path.
+    for level in ("method", "class"):
+        assert results[level]["upload"] is False
+        assert results[level]["download"] is True
+        assert results[level]["login"] is True
+    # A library-level rule on the app's own package is too coarse: it kills
+    # every functionality, which is exactly why the finer levels exist.
+    assert all(completed is False for completed in results["library"].values())
+
+
+# ---------------------------------------------------------------------------
+# Tag-replay hardening ablation.
+# ---------------------------------------------------------------------------
+
+def test_tag_replay_hardening_blocks_second_setsockopt():
+    app = build_stress_app()
+    network = EnterpriseNetwork()
+    for endpoint in app.behavior.endpoints():
+        network.add_server(endpoint)
+    deployment = BorderPatrolDeployment(network=network, tag_replay_hardening=True)
+    device = deployment.provision_device()
+    process = deployment.install_and_launch(device, app.apk, app.behavior)
+    # Normal operation is unaffected: the Context Manager writes each
+    # socket's options exactly once.
+    outcome = process.invoke("http_get")
+    assert outcome.completed
+
+    # A malicious app replaying a benign tag onto a fresh socket is now
+    # rejected by the kernel on the second write attempt.
+    kernel = device.device.kernel
+    fd = kernel.socket(owner_pid=999)
+    kernel.connect(fd, "203.0.113.1", 443)
+    replayed = IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x00" * 10)
+    kernel.setsockopt(fd, 0, 4, replayed, capabilities=Capability.NONE)
+    with pytest.raises(PermissionDenied):
+        kernel.setsockopt(fd, 0, 4, replayed, capabilities=Capability.NONE)
+
+
+# ---------------------------------------------------------------------------
+# Per-socket amortisation (keep-alive) ablation.
+# ---------------------------------------------------------------------------
+
+def test_bench_keepalive_amortises_stack_capture(benchmark):
+    def run(keep_alive: bool) -> float:
+        app = build_stress_app()
+        if keep_alive:
+            functionality = app.behavior.functionalities[0]
+            request = functionality.requests[0]
+            object.__setattr__(request, "keep_alive", True)
+        network = EnterpriseNetwork()
+        for endpoint in app.behavior.endpoints():
+            network.add_server(endpoint)
+        deployment = BorderPatrolDeployment(network=network)
+        device = deployment.provision_device()
+        process = deployment.install_and_launch(device, app.apk, app.behavior)
+        return run_stress_test(process, iterations=100, configuration="amortisation").mean_ms
+
+    def run_both():
+        return run(keep_alive=False), run(keep_alive=True)
+
+    per_socket, keep_alive = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    # Reusing the socket skips hooking, getStackTrace, encoding and setsockopt
+    # on every request after the first, so the mean per-request latency drops
+    # by roughly the full Context Manager cost (paper §VI-D amortisation).
+    assert keep_alive < per_socket - 1.0

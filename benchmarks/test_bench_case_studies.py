@@ -1,0 +1,79 @@
+"""Benchmark + reproduction checks for the §VI-C case studies.
+
+Cloud storage (Dropbox-like and Box-like apps): only BorderPatrol blocks
+uploads while keeping login/browse/download working.  Facebook SDK
+(SolCalendar-like app): only BorderPatrol separates "Login with
+Facebook" from analytics reporting on the shared Graph API endpoint.
+
+Run with:  pytest benchmarks/test_bench_case_studies.py --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments.case_studies import (
+    run_cloud_storage_case_study,
+    run_facebook_case_study,
+)
+
+CLOUD_APPS = ("com.cloudbox.android", "com.boxsync.android")
+
+
+@pytest.fixture(scope="module")
+def cloud_result():
+    return run_cloud_storage_case_study()
+
+
+@pytest.fixture(scope="module")
+def facebook_result():
+    return run_facebook_case_study()
+
+
+def test_bench_cloud_storage_case_study(benchmark):
+    result = benchmark.pedantic(run_cloud_storage_case_study, rounds=1, iterations=1)
+    print("\n" + result.table())
+    assert result.outcomes
+
+
+def test_bench_facebook_case_study(benchmark):
+    result = benchmark.pedantic(run_facebook_case_study, rounds=1, iterations=1)
+    print("\n" + result.table())
+    assert result.outcomes
+
+
+def test_cloud_storage_unenforced_allows_everything(cloud_result):
+    for app in CLOUD_APPS:
+        assert cloud_result.desirable_preserved("none", app)
+        assert not cloud_result.undesirable_blocked("none", app)
+
+
+def test_cloud_storage_on_network_is_not_selective(cloud_result):
+    # Address-based blocking of the upload destination always breaks some
+    # desirable functionality (all of it for the shared-endpoint app, the
+    # browse/list path for the split-endpoint app).
+    for app in CLOUD_APPS:
+        assert cloud_result.undesirable_blocked("on-network", app)
+        assert not cloud_result.desirable_preserved("on-network", app)
+        assert not cloud_result.achieves_selective_blocking("on-network", app)
+
+
+def test_cloud_storage_borderpatrol_is_selective(cloud_result):
+    for app in CLOUD_APPS:
+        assert cloud_result.achieves_selective_blocking("borderpatrol", app)
+
+
+def test_facebook_on_network_breaks_login(facebook_result):
+    assert facebook_result.undesirable_blocked("on-network")
+    login = [
+        o
+        for o in facebook_result.outcomes_for("on-network")
+        if o.functionality == "login_with_facebook"
+    ]
+    assert login and not login[0].completed
+
+
+def test_facebook_borderpatrol_keeps_login_blocks_analytics(facebook_result):
+    assert facebook_result.achieves_selective_blocking("borderpatrol")
+    outcomes = {o.functionality: o for o in facebook_result.outcomes_for("borderpatrol")}
+    assert outcomes["login_with_facebook"].completed
+    assert not outcomes["facebook_analytics"].completed
+    assert outcomes["calendar_sync"].completed

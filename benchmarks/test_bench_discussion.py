@@ -1,0 +1,58 @@
+"""Benchmarks for the §VII discussion-section quantitative claims.
+
+* hash collisions: with an 8-byte truncated apk hash and 3.3 M Play
+  Store apps, the collision probability stays below 1e-6;
+* flow sizes: legitimate single-flow transfers span 36 B .. 480 MB, so a
+  volume threshold cannot separate uploads from ordinary traffic, and a
+  fragmented upload evades any workable threshold.
+
+Run with:  pytest benchmarks/test_bench_discussion.py --benchmark-only
+"""
+
+import pytest
+
+from repro.analysis.metrics import (
+    hash_collision_probability,
+    monte_carlo_collision_estimate,
+)
+from repro.apk.hashing import expected_collisions
+from repro.experiments.case_studies import run_flow_size_study
+
+PLAY_STORE_APPS = 3_300_000
+
+
+def test_bench_hash_collision_closed_form(benchmark):
+    probability = benchmark(hash_collision_probability, PLAY_STORE_APPS, 64)
+    # Paper §VII: "the probability of collision is lower than 1e-6".
+    assert probability < 1e-6
+    assert probability > 0.0
+
+
+def test_hash_collision_grows_when_hash_shrinks():
+    # Sanity of the birthday bound: fewer bits means (much) more collisions.
+    p64 = hash_collision_probability(PLAY_STORE_APPS, 64)
+    p48 = hash_collision_probability(PLAY_STORE_APPS, 48)
+    p32 = hash_collision_probability(PLAY_STORE_APPS, 32)
+    assert p64 < p48 < p32
+    assert p32 > 0.99  # 32 bits would be unusable at Play-Store scale.
+    assert expected_collisions(PLAY_STORE_APPS, 64) < 0.001
+
+
+def test_hash_collision_monte_carlo_agrees_with_closed_form():
+    # Use a deliberately tiny hash space where collisions are observable.
+    empirical = monte_carlo_collision_estimate(n_apps=80, hash_bits=16, trials=300, seed=3)
+    analytical = hash_collision_probability(80, 16)
+    assert empirical == pytest.approx(analytical, abs=0.12)
+
+
+def test_bench_flow_size_study(benchmark):
+    result = benchmark.pedantic(run_flow_size_study, rounds=1, iterations=1)
+    print("\n" + result.table())
+    # The legitimate flow-size range spans several orders of magnitude
+    # (paper: 36 bytes to 480 MB), so every threshold misclassifies.
+    assert result.min_legitimate < 1_000
+    assert result.max_legitimate > 100_000_000
+    for _, false_block_rate, missed_rate in result.threshold_rows:
+        assert false_block_rate > 0.0 or missed_rate > 0.0
+    # Fragmenting the upload across sockets evades the per-flow threshold.
+    assert not result.fragmented_upload_detected

@@ -1,0 +1,59 @@
+"""Benchmark + reproduction check for Figure 3 and the §VI-B statistics.
+
+Regenerates the IPs-of-interest distribution over the synthetic corpus
+and checks the *shape* the paper reports: roughly one app in ten has at
+least one IoI, the histogram decays steeply (most IoI apps have exactly
+one), most IoI apps keep their contexts within a single Java package,
+and a quarter of IoIs mix packages via a shared HTTP client.
+
+Run with:  pytest benchmarks/test_bench_fig3.py --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments.fig3_ioi import run_fig3
+
+#: Scaled-down corpus so the benchmark completes in seconds; the
+#: paper-scale run (2000 apps, 5000 events) is exposed via examples/corpus_study.py.
+N_APPS = 300
+EVENTS_PER_APP = 150
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run_fig3(n_apps=N_APPS, events_per_app=EVENTS_PER_APP)
+
+
+def test_bench_fig3_ioi_distribution(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig3(n_apps=N_APPS, events_per_app=EVENTS_PER_APP),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.table())
+
+    # Roughly 11% of apps exhibit at least one IoI (paper: 218 / 2000).
+    fraction = result.apps_with_ioi / result.total_apps
+    assert 0.05 <= fraction <= 0.20
+
+    # The histogram decays: apps with exactly one IoI dominate.
+    histogram = result.histogram
+    assert histogram, "no IoIs observed at all"
+    assert max(histogram) <= 6
+    assert histogram.get(1, 0) >= histogram.get(2, 0) >= histogram.get(3, 0)
+    assert histogram.get(1, 0) > result.apps_with_ioi / 2
+
+
+def test_fig3_package_overlap_shape(fig3_result):
+    # Paper: 75% of IoI apps are same-package, 25% of IoIs are cross-package.
+    assert 0.55 <= fig3_result.same_package_app_fraction <= 0.95
+    assert 0.05 <= fig3_result.cross_package_ioi_fraction <= 0.45
+
+
+def test_fig3_analysis_matches_ground_truth(fig3_result):
+    # The BorderPatrol-decoded view must agree with the designed corpus:
+    # every app the generator built with an IoI shows up with one, and
+    # vice versa (the monkey triggers every functionality at this scale).
+    analysis = fig3_result.analysis
+    assert analysis.total_apps == fig3_result.total_apps
+    assert fig3_result.apps_with_ioi == analysis.total_apps_with_ioi()

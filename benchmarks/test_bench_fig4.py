@@ -1,0 +1,53 @@
+"""Benchmark + reproduction check for Figure 4 (per-request latency).
+
+Reproduces the six-configuration latency decomposition of §VI-D and
+checks the deltas the paper highlights: ~+1 ms for the Python NFQUEUE
+stage, ~+1.6 ms for ``getStackTrace``, everything else negligible, and
+a total overhead small enough to amortise over a socket's lifetime.
+
+Run with:  pytest benchmarks/test_bench_fig4.py --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments.fig4_latency import CONFIGURATIONS, run_fig4
+
+ITERATIONS = 300
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_fig4(iterations=ITERATIONS)
+
+
+def test_bench_fig4_latency_sweep(benchmark):
+    result = benchmark.pedantic(lambda: run_fig4(iterations=ITERATIONS), rounds=1, iterations=1)
+    print("\n" + result.table())
+    assert set(result.results) == set(CONFIGURATIONS)
+
+
+def test_fig4_configuration_ordering(fig4_result):
+    mean = fig4_result.mean_ms
+    # SLIRP networking is slower than TAP (configurations i vs ii).
+    assert mean("default-slirp") > mean("default-tap")
+    # Every added component may only increase latency.
+    assert mean("default-tap") < mean("default-tap-nfqueue")
+    assert mean("default-tap-nfqueue") <= mean("static-inject-tap-nfqueue")
+    assert mean("static-inject-tap-nfqueue") < mean("static-getstack-tap-nfqueue")
+    assert mean("static-getstack-tap-nfqueue") <= mean("dynamic-tap-nfqueue")
+
+
+def test_fig4_component_deltas_match_paper(fig4_result):
+    # Paper: the NFQUEUE consumer costs ~1 ms per request.
+    assert fig4_result.nfqueue_overhead_ms == pytest.approx(1.0, abs=0.35)
+    # Paper: getStackTrace costs ~1.6 ms per socket.
+    assert fig4_result.getstacktrace_overhead_ms == pytest.approx(1.6, abs=0.4)
+    # Total overhead stays in the low single-digit millisecond range.
+    assert fig4_result.total_overhead_ms < 3.5
+
+
+def test_fig4_per_socket_amortisation(fig4_result):
+    # The most expensive stage happens once per socket, not once per packet:
+    # the absolute per-request cost of the full system stays below ~5 ms,
+    # negligible against typical wide-area latencies (paper §VI-D).
+    assert fig4_result.mean_ms("dynamic-tap-nfqueue") < 5.0

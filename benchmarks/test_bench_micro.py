@@ -1,0 +1,91 @@
+"""Micro-benchmarks of BorderPatrol's hot paths.
+
+These measure the per-packet and per-app costs of the individual
+components — the context tag encoder/decoder, policy evaluation against
+a 1,050-rule deny-list, the Offline Analyzer, and one packet's trip
+through the full gateway chain — independent of any experiment driver.
+
+Run with:  pytest benchmarks/test_bench_micro.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core.database import SignatureDatabase
+from repro.core.encoding import IndexWidth, StackTraceEncoder
+from repro.core.offline_analyzer import OfflineAnalyzer
+from repro.core.packet_sanitizer import PacketSanitizer
+from repro.core.policy import DecodedContext, Policy
+from repro.core.policy_enforcer import PolicyEnforcer
+from repro.netstack.ip import IPPacket
+from repro.netstack.netfilter import Verdict
+from repro.workloads.apps import build_cloud_storage_app
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+from repro.workloads.libraries import li_library_list
+
+APP_ID = "00112233445566ff"
+
+
+@pytest.fixture(scope="module")
+def corpus_apk():
+    generator = CorpusGenerator(CorpusConfig(n_apps=1, seed=99))
+    return generator.generate()[0].apk
+
+
+def test_bench_encoder_roundtrip(benchmark):
+    encoder = StackTraceEncoder(IndexWidth.FIXED_2)
+    indexes = list(range(3, 18))
+
+    def roundtrip():
+        return encoder.decode(encoder.encode(APP_ID, indexes))
+
+    tag = benchmark(roundtrip)
+    assert tag.app_id == APP_ID
+    assert len(tag.indexes) == encoder.max_frames()
+
+
+def test_bench_offline_analyzer(benchmark, corpus_apk):
+    def analyze():
+        analyzer = OfflineAnalyzer(SignatureDatabase())
+        return analyzer.analyze(corpus_apk)
+
+    entry = benchmark(analyze)
+    assert entry.method_count == corpus_apk.method_count()
+
+
+def test_bench_policy_evaluation_large_denylist(benchmark):
+    policy = Policy.deny_libraries(li_library_list(), name="li-list")
+    app = build_cloud_storage_app()
+    context = DecodedContext(
+        app_id=APP_ID,
+        signatures=tuple(str(s) for s in app.behavior.get("download").call_chain),
+    )
+    decision = benchmark(policy.evaluate, context)
+    # The cloud-storage app's own code is not on the Li list.
+    assert decision.allowed
+
+
+def test_bench_enforcer_per_packet(benchmark, corpus_apk):
+    database = SignatureDatabase()
+    analyzer = OfflineAnalyzer(database)
+    entry = analyzer.analyze(corpus_apk)
+    encoder = StackTraceEncoder()
+    enforcer = PolicyEnforcer(database=database, policy=Policy.allow_all())
+    options = encoder.encode_option(entry.app_id, [0, 1, 2, 3])
+    packet = IPPacket(
+        src_ip="10.10.0.2", dst_ip="203.0.113.9", src_port=40000, dst_port=443,
+        payload_size=512, options=options,
+    )
+    verdict, _ = benchmark(enforcer.process, packet)
+    assert verdict is Verdict.ACCEPT
+
+
+def test_bench_sanitizer_per_packet(benchmark):
+    encoder = StackTraceEncoder()
+    sanitizer = PacketSanitizer()
+    packet = IPPacket(
+        src_ip="10.10.0.2", dst_ip="203.0.113.9", src_port=40000, dst_port=443,
+        payload_size=512, options=encoder.encode_option(APP_ID, [1, 2, 3]),
+    )
+    verdict, sanitized = benchmark(sanitizer.process, packet)
+    assert verdict is Verdict.ACCEPT
+    assert not sanitized.has_options

@@ -1,0 +1,60 @@
+"""Benchmark + reproduction check for the §VI-B1 validation study.
+
+A deny policy over the (synthetic) Li et al. library list is enforced on
+a corpus sample covering the most popular flagged libraries.  The paper
+reports that all flagged-library traffic is dropped and that no other
+app behaviour changes; the scorer verifies both against ground truth.
+
+Run with:  pytest benchmarks/test_bench_validation.py --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments.table_validation import run_validation
+
+CORPUS_SIZE = 120
+APPS_TO_TEST = 40
+EVENTS_PER_APP = 150
+
+
+@pytest.fixture(scope="module")
+def validation_result():
+    return run_validation(
+        corpus_size=CORPUS_SIZE, apps_to_test=APPS_TO_TEST, events_per_app=EVENTS_PER_APP
+    )
+
+
+def test_bench_validation_run(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_validation(
+            corpus_size=CORPUS_SIZE, apps_to_test=APPS_TO_TEST, events_per_app=EVENTS_PER_APP
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.table())
+    assert result.apps_tested > 0
+
+
+def test_validation_blocks_all_flagged_traffic(validation_result):
+    score = validation_result.score
+    assert score.flagged_packets > 0, "the selected apps must exercise flagged libraries"
+    assert score.block_rate == 1.0
+    assert not score.leaked_packet_ids
+
+
+def test_validation_preserves_all_other_traffic(validation_result):
+    score = validation_result.score
+    assert score.clean_packets > 0
+    assert score.preserve_rate == 1.0
+    assert not score.collateral_packet_ids
+    assert score.functionality_preservation == 1.0
+
+
+def test_validation_blocks_ads_and_analytics(validation_result):
+    # The paper's manual observation: ads stop rendering, analytics blocking
+    # is invisible; both kinds of flagged traffic must have been exercised
+    # and blocked in this run.
+    assert validation_result.ads_functionalities_blocked > 0
+    assert validation_result.analytics_functionalities_blocked > 0
+    assert validation_result.policy_rules == 1050

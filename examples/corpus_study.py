@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Corpus-scale study: Figure 3, the validation table and Figure 4.
+
+Regenerates the quantitative results of the paper's evaluation section
+on the synthetic corpus.  By default the corpus is scaled down so the
+script finishes in well under a minute; pass ``--paper-scale`` to run
+the full 2,000-app / 5,000-event configuration (several minutes).
+
+Run with:  python examples/corpus_study.py [--paper-scale]
+"""
+
+import argparse
+
+from repro.experiments import run_fig3, run_fig4, run_validation
+from repro.experiments.case_studies import run_flow_size_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full corpus size and monkey event count",
+    )
+    args = parser.parse_args()
+
+    if args.paper_scale:
+        fig3_kwargs = {"n_apps": 2000, "events_per_app": 5000}
+        validation_kwargs = {"corpus_size": 2000, "apps_to_test": 60, "events_per_app": 5000}
+        fig4_iterations = 10_000
+    else:
+        fig3_kwargs = {"n_apps": 400, "events_per_app": 200}
+        validation_kwargs = {"corpus_size": 150, "apps_to_test": 60, "events_per_app": 200}
+        fig4_iterations = 1_000
+
+    print("=" * 72)
+    print("Figure 3 — apps vs IPs-of-interest")
+    print("=" * 72)
+    print(run_fig3(**fig3_kwargs).table())
+
+    print()
+    print("=" * 72)
+    print("Validation — blocking the Li et al. library list (paper §VI-B1)")
+    print("=" * 72)
+    print(run_validation(**validation_kwargs).table())
+
+    print()
+    print("=" * 72)
+    print("Figure 4 — per-request latency across prototype configurations")
+    print("=" * 72)
+    print(run_fig4(iterations=fig4_iterations).table())
+
+    print()
+    print("=" * 72)
+    print("Discussion — flow-size thresholds vs context-aware upload detection")
+    print("=" * 72)
+    print(run_flow_size_study().table())
+
+
+if __name__ == "__main__":
+    main()

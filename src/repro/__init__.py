@@ -1,0 +1,76 @@
+"""BorderPatrol reproduction (DSN 2019).
+
+A pure-Python reproduction of *BORDERPATROL: Securing BYOD using
+fine-grained contextual information* (Zungur, Suarez-Tangil, Stringhini,
+Egele — DSN 2019) built on simulated Android / Linux-networking
+substrates so the full pipeline — dex analysis, on-device call-stack
+tagging in IP options, border-side policy enforcement and packet
+sanitisation — runs deterministically on a laptop.
+
+Quick start::
+
+    from repro import BorderPatrolDeployment, EnterpriseNetwork, parse_policy
+    from repro.workloads import build_cloud_storage_app
+
+    app = build_cloud_storage_app()
+    network = EnterpriseNetwork()
+    for endpoint in app.behavior.endpoints():
+        network.add_server(endpoint)
+
+    deployment = BorderPatrolDeployment(network=network)
+    device = deployment.provision_device()
+    process = deployment.install_and_launch(device, app.apk, app.behavior)
+    deployment.set_policy(parse_policy('{[deny][method]["%s"]}' % app.signature("upload")))
+
+    process.invoke("download")   # delivered
+    process.invoke("upload")     # dropped at the corporate border
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every figure and table.
+"""
+
+from repro.core.deployment import BorderPatrolDeployment
+from repro.core.context_manager import ContextManager, ContextManagerMode
+from repro.core.offline_analyzer import OfflineAnalyzer
+from repro.core.policy_enforcer import PolicyEnforcer
+from repro.core.packet_sanitizer import PacketSanitizer
+from repro.core.policy_extractor import PolicyExtractor, ProfileRun
+from repro.core.policy import (
+    Policy,
+    PolicyAction,
+    PolicyLevel,
+    PolicyRule,
+    parse_policy,
+)
+from repro.core.database import SignatureDatabase
+from repro.core.encoding import StackTraceEncoder, ContextTag, IndexWidth
+from repro.network.topology import EnterpriseNetwork
+from repro.android.device import Device, NetworkMode
+from repro.android.monkey import MonkeyExerciser
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BorderPatrolDeployment",
+    "ContextManager",
+    "ContextManagerMode",
+    "OfflineAnalyzer",
+    "PolicyEnforcer",
+    "PacketSanitizer",
+    "PolicyExtractor",
+    "ProfileRun",
+    "Policy",
+    "PolicyAction",
+    "PolicyLevel",
+    "PolicyRule",
+    "parse_policy",
+    "SignatureDatabase",
+    "StackTraceEncoder",
+    "ContextTag",
+    "IndexWidth",
+    "EnterpriseNetwork",
+    "Device",
+    "NetworkMode",
+    "MonkeyExerciser",
+    "__version__",
+]

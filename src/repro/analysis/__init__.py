@@ -1,0 +1,28 @@
+"""Analyses over captured traffic and enforcement records.
+
+These are the measurement tools behind the paper's evaluation section:
+the IP-of-interest analysis of §VI-B (Figure 3 and the package-overlap
+statistics), the library-blocking validation of §VI-B1, and the
+supporting metrics used in the discussion (hash collisions, flow-size
+distributions, precision/recall of enforcement decisions).
+"""
+
+from repro.analysis.ioi import AppIoIReport, IoIAnalysis
+from repro.analysis.validation import ValidationScore, score_validation_run
+from repro.analysis.metrics import (
+    hash_collision_probability,
+    monte_carlo_collision_estimate,
+    precision_recall,
+    flow_size_summary,
+)
+
+__all__ = [
+    "AppIoIReport",
+    "IoIAnalysis",
+    "ValidationScore",
+    "score_validation_run",
+    "hash_collision_probability",
+    "monte_carlo_collision_estimate",
+    "precision_recall",
+    "flow_size_summary",
+]

@@ -1,0 +1,114 @@
+"""Supporting metrics for the discussion-section experiments.
+
+* the truncated-hash collision estimate (§VII "Hash collision"),
+  both in closed form and as a seeded Monte-Carlo check;
+* precision / recall of enforcement decisions against ground truth;
+* flow-size summaries backing the "36 bytes to 480 MB" observation that
+  defeats threshold-based upload detection (§VII).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.apk.hashing import collision_probability as hash_collision_probability
+from repro.apk.hashing import expected_collisions
+
+
+def monte_carlo_collision_estimate(
+    n_apps: int, hash_bits: int, trials: int = 200, seed: int = 1
+) -> float:
+    """Empirical collision probability over ``trials`` random identifier draws.
+
+    Used to sanity-check the closed-form birthday bound for small hash
+    widths where collisions are actually observable.
+    """
+    if n_apps < 2 or trials <= 0:
+        return 0.0
+    rng = random.Random(seed)
+    space = 2 ** hash_bits
+    collisions = 0
+    for _ in range(trials):
+        seen: set[int] = set()
+        collided = False
+        for _ in range(n_apps):
+            value = rng.randrange(space)
+            if value in seen:
+                collided = True
+                break
+            seen.add(value)
+        if collided:
+            collisions += 1
+    return collisions / trials
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def precision_recall(
+    dropped_ids: set[int], should_drop_ids: set[int], all_ids: set[int]
+) -> PrecisionRecall:
+    """Score drop decisions: positives are packets that *should* be dropped."""
+    true_positives = len(dropped_ids & should_drop_ids)
+    false_positives = len(dropped_ids - should_drop_ids)
+    false_negatives = len(should_drop_ids - dropped_ids)
+    true_negatives = len(all_ids - dropped_ids - should_drop_ids)
+    return PrecisionRecall(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+        true_negatives=true_negatives,
+    )
+
+
+@dataclass(frozen=True)
+class FlowSizeSummary:
+    count: int
+    min_bytes: int
+    max_bytes: int
+    median_bytes: float
+    mean_bytes: float
+
+    def spans_orders_of_magnitude(self) -> float:
+        """How many decimal orders of magnitude the flow sizes span."""
+        import math
+
+        if self.count == 0 or self.min_bytes <= 0:
+            return 0.0
+        return math.log10(self.max_bytes / self.min_bytes)
+
+
+def flow_size_summary(flow_sizes: Iterable[int]) -> FlowSizeSummary:
+    sizes = sorted(int(s) for s in flow_sizes)
+    if not sizes:
+        return FlowSizeSummary(count=0, min_bytes=0, max_bytes=0, median_bytes=0.0, mean_bytes=0.0)
+    return FlowSizeSummary(
+        count=len(sizes),
+        min_bytes=sizes[0],
+        max_bytes=sizes[-1],
+        median_bytes=float(statistics.median(sizes)),
+        mean_bytes=float(statistics.fmean(sizes)),
+    )

@@ -1,0 +1,65 @@
+"""Simulated Android runtime.
+
+This package stands in for the Android 7.1.1 emulator of the paper's
+prototype: apps are installed from apk files, forked from a Zygote-like
+process model, and executed by triggering *functionalities* — named
+behaviours whose Java call chains terminate in network requests.  The
+pieces BorderPatrol interacts with are modelled faithfully:
+
+* :mod:`repro.android.callstack` — Java stack frames exactly as
+  ``Throwable.getStackTrace`` reports them (class, method, file, line —
+  but *not* parameter types, which is why debug line numbers are needed
+  to disambiguate overloads).
+* :mod:`repro.android.app_model` — the behaviour graph of an app: its
+  functionalities, their call chains and the network requests they make.
+* :mod:`repro.android.javasocket` — ``java.net.Socket`` semantics
+  including lazy creation of the OS socket and the restricted
+  ``setOption`` API (paper §II-B1/B2).
+* :mod:`repro.android.hooks` — an Xposed-style hooking framework with
+  post-hooks on socket creation and the "cannot hook native code"
+  limitation.
+* :mod:`repro.android.runtime` — Zygote, app processes and stack-trace
+  capture.
+* :mod:`repro.android.monkey` — the adb-monkey-style random UI
+  exerciser used by the §VI evaluation.
+* :mod:`repro.android.device` — a provisioned BYOD device combining the
+  kernel, runtime, hooks and a network interface.
+"""
+
+from repro.android.callstack import StackFrame, CallStack
+from repro.android.costs import CostModel
+from repro.android.app_model import (
+    NetworkRequest,
+    Functionality,
+    AppBehavior,
+    FunctionalityOutcome,
+)
+from repro.android.javasocket import JavaSocket, SocketOptionError
+from repro.android.hooks import HookManager, HookContext, HookError
+from repro.android.runtime import Zygote, AppProcess, AndroidRuntimeError
+from repro.android.monkey import MonkeyExerciser, MonkeyReport
+from repro.android.device import Device, NetworkMode, InstalledApp, DeviceError
+
+__all__ = [
+    "StackFrame",
+    "CallStack",
+    "CostModel",
+    "NetworkRequest",
+    "Functionality",
+    "AppBehavior",
+    "FunctionalityOutcome",
+    "JavaSocket",
+    "SocketOptionError",
+    "HookManager",
+    "HookContext",
+    "HookError",
+    "Zygote",
+    "AppProcess",
+    "AndroidRuntimeError",
+    "MonkeyExerciser",
+    "MonkeyReport",
+    "Device",
+    "NetworkMode",
+    "InstalledApp",
+    "DeviceError",
+]

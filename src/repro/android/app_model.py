@@ -1,0 +1,217 @@
+"""App behaviour model.
+
+The paper's threat model centres on apps that mix *desirable*
+functionality (login, file download, document browsing) with
+*detrimental* functionality (file upload against policy, analytics and
+advertisement reporting bundled via third-party libraries).  An
+:class:`AppBehavior` captures exactly that: a set of named
+:class:`Functionality` objects, each with a Java call chain rooted in
+the app's own dex code and one or more network requests it performs.
+
+The call chains reference real :class:`~repro.dex.signature.MethodSignature`
+objects from the app's dex files, so the call stacks the runtime
+produces when executing a functionality can be mapped back to
+signatures by BorderPatrol's Context Manager — the same closed loop the
+prototype gets from Xposed + dexlib2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.dex.signature import MethodSignature
+
+
+@dataclass(frozen=True)
+class NetworkRequest:
+    """One network interaction performed by a functionality.
+
+    Attributes
+    ----------
+    endpoint:
+        DNS name of the remote service.
+    port:
+        Destination port (443 by default).
+    upload_bytes / download_bytes:
+        Outbound request size and expected response size.
+    http_method:
+        Informational HTTP verb for reporting.
+    via_native:
+        When True the request is issued through native code / a direct
+        ``socket`` system call, which the Xposed-style hooking framework
+        cannot observe (paper §VII "Native functions").
+    keep_alive:
+        When True the socket is left open so later requests of the same
+        functionality reuse it (relevant to the amortisation argument in
+        §VI-D and the socket-reuse limitation in §VII).
+    """
+
+    endpoint: str
+    port: int = 443
+    upload_bytes: int = 512
+    download_bytes: int = 2048
+    http_method: str = "GET"
+    via_native: bool = False
+    keep_alive: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.endpoint:
+            raise ValueError("network request needs an endpoint")
+        if not 1 <= self.port <= 65535:
+            raise ValueError(f"invalid port {self.port}")
+        if self.upload_bytes < 0 or self.download_bytes < 0:
+            raise ValueError("byte counts cannot be negative")
+
+
+@dataclass(frozen=True)
+class Functionality:
+    """A named app behaviour: a call chain ending in network requests.
+
+    Attributes
+    ----------
+    name:
+        Human-readable behaviour name (``upload``, ``login_with_facebook``,
+        ``analytics_report``...).
+    call_chain:
+        Method signatures executed on the way to the network call,
+        outermost first (entry point at index 0).  All signatures must
+        exist in the app's dex files.
+    requests:
+        The network requests this functionality performs when invoked.
+    weight:
+        Relative probability that a random UI event triggers this
+        functionality (consumed by the monkey exerciser).
+    desirable:
+        Ground-truth business label used only for scoring experiments.
+    library:
+        Owning third-party library package when the functionality comes
+        from a bundled SDK rather than developer-authored code.
+    """
+
+    name: str
+    call_chain: tuple[MethodSignature, ...]
+    requests: tuple[NetworkRequest, ...]
+    weight: float = 1.0
+    desirable: bool = True
+    library: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("functionality needs a name")
+        if not self.call_chain:
+            raise ValueError(f"functionality {self.name!r} needs a call chain")
+        if not self.requests:
+            raise ValueError(f"functionality {self.name!r} needs at least one request")
+        if self.weight < 0:
+            raise ValueError("weight cannot be negative")
+
+    @property
+    def entry_point(self) -> MethodSignature:
+        return self.call_chain[0]
+
+    @property
+    def leaf(self) -> MethodSignature:
+        return self.call_chain[-1]
+
+    @property
+    def is_library_functionality(self) -> bool:
+        return self.library is not None
+
+    def endpoints(self) -> set[str]:
+        return {r.endpoint for r in self.requests}
+
+    def total_upload_bytes(self) -> int:
+        return sum(r.upload_bytes for r in self.requests)
+
+
+@dataclass(frozen=True)
+class AppBehavior:
+    """The complete behaviour graph of one app."""
+
+    package_name: str
+    functionalities: tuple[Functionality, ...]
+    idle_weight: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not self.functionalities:
+            raise ValueError("an app behaviour needs at least one functionality")
+        names = [f.name for f in self.functionalities]
+        if len(names) != len(set(names)):
+            raise ValueError("functionality names must be unique within an app")
+        if self.idle_weight < 0:
+            raise ValueError("idle weight cannot be negative")
+
+    def get(self, name: str) -> Functionality:
+        for functionality in self.functionalities:
+            if functionality.name == name:
+                return functionality
+        raise KeyError(f"{self.package_name} has no functionality {name!r}")
+
+    def names(self) -> list[str]:
+        return [f.name for f in self.functionalities]
+
+    def endpoints(self) -> set[str]:
+        out: set[str] = set()
+        for functionality in self.functionalities:
+            out |= functionality.endpoints()
+        return out
+
+    def library_functionalities(self) -> list[Functionality]:
+        return [f for f in self.functionalities if f.is_library_functionality]
+
+    def undesirable_functionalities(self) -> list[Functionality]:
+        return [f for f in self.functionalities if not f.desirable]
+
+    def __iter__(self) -> Iterator[Functionality]:
+        return iter(self.functionalities)
+
+    def __len__(self) -> int:
+        return len(self.functionalities)
+
+
+@dataclass
+class FunctionalityOutcome:
+    """Result of invoking a functionality once on a device.
+
+    Experiments use outcomes to decide whether an app behaviour
+    "worked": a functionality *completes* when every request it issued
+    was delivered to its destination (responses received), and is
+    *blocked* when at least one request's packets were dropped by an
+    enforcement component.
+    """
+
+    functionality: Functionality
+    requests_attempted: int = 0
+    requests_completed: int = 0
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    bytes_uploaded: int = 0
+    bytes_downloaded: int = 0
+    latency_ms: float = 0.0
+    hooked_sockets: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.requests_attempted > 0 and self.requests_completed == self.requests_attempted
+
+    @property
+    def blocked(self) -> bool:
+        return self.packets_dropped > 0
+
+    def merge(self, other: "FunctionalityOutcome") -> "FunctionalityOutcome":
+        if other.functionality.name != self.functionality.name:
+            raise ValueError("cannot merge outcomes of different functionalities")
+        return FunctionalityOutcome(
+            functionality=self.functionality,
+            requests_attempted=self.requests_attempted + other.requests_attempted,
+            requests_completed=self.requests_completed + other.requests_completed,
+            packets_sent=self.packets_sent + other.packets_sent,
+            packets_delivered=self.packets_delivered + other.packets_delivered,
+            packets_dropped=self.packets_dropped + other.packets_dropped,
+            bytes_uploaded=self.bytes_uploaded + other.bytes_uploaded,
+            bytes_downloaded=self.bytes_downloaded + other.bytes_downloaded,
+            latency_ms=self.latency_ms + other.latency_ms,
+            hooked_sockets=self.hooked_sockets + other.hooked_sockets,
+        )

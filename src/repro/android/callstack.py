@@ -1,0 +1,97 @@
+"""Java call stacks as ``getStackTrace`` exposes them.
+
+A ``StackTraceElement`` in Java carries the declaring class, the method
+name, the source file name and a line number — but *not* the parameter
+types.  BorderPatrol therefore resolves the full method signature by
+combining the frame's line number with the dex debug tables (paper
+§V-B, Figure 2); overloaded methods collapse to a single name when
+debug info has been stripped (§VII "Overloaded methods").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class StackFrame:
+    """One active stack frame, mirroring ``java.lang.StackTraceElement``."""
+
+    class_name: str
+    method_name: str
+    source_file: str = ""
+    line_number: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.class_name or not self.method_name:
+            raise ValueError("stack frames need a class and method name")
+
+    @property
+    def package(self) -> str:
+        return self.class_name.rsplit(".", 1)[0] if "." in self.class_name else ""
+
+    @property
+    def has_line_number(self) -> bool:
+        return self.line_number > 0
+
+    def __str__(self) -> str:
+        location = self.source_file or "Unknown Source"
+        if self.has_line_number:
+            location = f"{location}:{self.line_number}"
+        return f"{self.class_name}.{self.method_name}({location})"
+
+
+@dataclass(frozen=True)
+class CallStack:
+    """An ordered snapshot of stack frames, innermost (top of stack) first."""
+
+    frames: tuple[StackFrame, ...] = ()
+
+    @classmethod
+    def of(cls, frames: Iterable[StackFrame]) -> "CallStack":
+        return cls(frames=tuple(frames))
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    @property
+    def innermost(self) -> StackFrame | None:
+        return self.frames[0] if self.frames else None
+
+    @property
+    def outermost(self) -> StackFrame | None:
+        return self.frames[-1] if self.frames else None
+
+    def packages(self) -> set[str]:
+        return {f.package for f in self.frames}
+
+    def frames_in_package(self, package_prefix: str) -> list[StackFrame]:
+        return [
+            f
+            for f in self.frames
+            if f.package == package_prefix or f.package.startswith(package_prefix + ".")
+        ]
+
+    def without_framework_frames(self, framework_prefixes: tuple[str, ...] = ("java.", "javax.", "android.", "dalvik.", "com.android.")) -> "CallStack":
+        """Drop JVM / Android framework frames, keeping app and library code."""
+        kept = tuple(
+            f
+            for f in self.frames
+            if not any(f.class_name.startswith(p) for p in framework_prefixes)
+        )
+        return CallStack(frames=kept)
+
+    def render(self) -> str:
+        """Multi-line rendering in the familiar ``at ...`` exception format."""
+        return "\n".join(f"    at {frame}" for frame in self.frames)
+
+    def __iter__(self) -> Iterator[StackFrame]:
+        return iter(self.frames)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __bool__(self) -> bool:
+        return bool(self.frames)

@@ -1,0 +1,153 @@
+"""A BYOD smart device.
+
+A :class:`Device` glues the pieces of one provisioned phone/emulator
+together: the per-device kernel (with or without the BorderPatrol
+kernel patch), the Xposed-style hook manager (present only on
+provisioned system images), the cost model, the networking mode (QEMU
+user-mode SLIRP vs TAP, which differ in per-request latency — Figure 4
+configurations (i) and (ii)), and the attachment to an enterprise
+network.  Apps are installed from apk files and launched as processes
+forked from the device's Zygote.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.android.costs import CostModel
+from repro.android.hooks import HookManager
+from repro.android.runtime import AndroidRuntimeError, AppProcess, Zygote
+from repro.apk.package import ApkFile
+from repro.android.app_model import AppBehavior
+from repro.netstack.clock import SimulatedClock
+from repro.netstack.dns import DnsRegistry
+from repro.netstack.ip import IPPacket
+from repro.netstack.sockets import Kernel, KernelConfig
+from repro.network.capture import DeliveryReport
+from repro.network.topology import EnterpriseNetwork
+
+
+class DeviceError(RuntimeError):
+    """Raised for invalid device operations (duplicate installs, bad launches...)."""
+
+
+class NetworkMode(str, enum.Enum):
+    """Emulator networking backend (paper §VI-D configurations i and ii)."""
+
+    SLIRP = "slirp"
+    TAP = "tap"
+
+
+@dataclass(frozen=True)
+class InstalledApp:
+    """An app present on the device: its package plus its behaviour graph."""
+
+    apk: ApkFile
+    behavior: AppBehavior
+
+    def __post_init__(self) -> None:
+        if self.apk.package_name != self.behavior.package_name:
+            raise ValueError(
+                "apk and behaviour describe different packages: "
+                f"{self.apk.package_name} vs {self.behavior.package_name}"
+            )
+
+    @property
+    def package_name(self) -> str:
+        return self.apk.package_name
+
+
+class Device:
+    """One employee-owned device enrolled in the BYOD programme."""
+
+    def __init__(
+        self,
+        name: str = "device-0",
+        network: EnterpriseNetwork | None = None,
+        ip: str | None = None,
+        kernel_config: KernelConfig | None = None,
+        cost_model: CostModel | None = None,
+        network_mode: NetworkMode = NetworkMode.TAP,
+        xposed_installed: bool = True,
+        native_hooking: bool = False,
+        clock: SimulatedClock | None = None,
+    ) -> None:
+        self.name = name
+        self.network = network
+        if network is not None:
+            self.clock = network.clock
+            self.ip = ip or network.allocate_device_ip()
+        else:
+            self.clock = clock or SimulatedClock()
+            self.ip = ip or "10.10.0.2"
+        self.cost_model = cost_model or CostModel()
+        self.network_mode = network_mode
+        self.kernel = Kernel(
+            host_ip=self.ip, clock=self.clock, config=kernel_config or KernelConfig()
+        )
+        self.hook_manager = HookManager(
+            enabled=xposed_installed,
+            supports_native_hooks=native_hooking,
+            dispatch_cost_ms=self.cost_model.hook_dispatch_ms,
+            clock_advance=self.clock.advance,
+        )
+        self._local_dns = DnsRegistry()
+        self._installed: dict[str, InstalledApp] = {}
+        self.zygote = Zygote(self)
+        self.transmissions = 0
+
+    # -- name resolution ------------------------------------------------------------
+
+    def resolve(self, host: str) -> str:
+        """Resolve ``host`` through the enterprise DNS, or a local stub registry."""
+        if self.network is not None and self.network.dns.knows_name(host):
+            return self.network.dns.resolve(host)
+        return self._local_dns.register(host)
+
+    # -- app lifecycle ----------------------------------------------------------------
+
+    def install(self, apk: ApkFile, behavior: AppBehavior) -> InstalledApp:
+        app = InstalledApp(apk=apk, behavior=behavior)
+        if app.package_name in self._installed:
+            raise DeviceError(f"{app.package_name} is already installed on {self.name}")
+        self._installed[app.package_name] = app
+        return app
+
+    def uninstall(self, package_name: str) -> None:
+        if package_name not in self._installed:
+            raise DeviceError(f"{package_name} is not installed on {self.name}")
+        del self._installed[package_name]
+
+    def installed_apps(self) -> list[InstalledApp]:
+        return list(self._installed.values())
+
+    def get_installed(self, package_name: str) -> InstalledApp:
+        try:
+            return self._installed[package_name]
+        except KeyError as exc:
+            raise DeviceError(f"{package_name} is not installed on {self.name}") from exc
+
+    def launch(self, package_name: str) -> AppProcess:
+        """Fork the app from Zygote and return its running process."""
+        app = self.get_installed(package_name)
+        if not app.apk.manifest.can_use_network:
+            raise AndroidRuntimeError(
+                f"{package_name} lacks the INTERNET permission; nothing to mediate"
+            )
+        return self.zygote.fork(app)
+
+    # -- networking ----------------------------------------------------------------------
+
+    def transmit(self, packets: list[IPPacket]) -> DeliveryReport:
+        """Push packets off the device and charge the resulting latency."""
+        self.transmissions += 1
+        base_latency = self.cost_model.tap_request_rtt_ms
+        if self.network_mode is NetworkMode.SLIRP:
+            base_latency += self.cost_model.slirp_extra_ms
+        if self.network is None:
+            report = DeliveryReport(delivered=list(packets), latency_ms=0.0)
+        else:
+            report = self.network.transmit(packets)
+        self.clock.advance(base_latency + report.latency_ms)
+        return report

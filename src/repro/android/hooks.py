@@ -1,0 +1,145 @@
+"""Xposed-style hooking framework.
+
+The prototype's Context Manager is an Xposed module: it registers
+post-hooks on socket calls so that, once a connection is established,
+control transfers to the module which can inspect the call stack and
+set IP options (paper §V-B "Hooks").  The framework here reproduces the
+properties that matter:
+
+* hooks are *post*-hooks — they run after the hooked operation
+  completed, so the OS socket already exists;
+* hooks only cover managed (Dalvik/Java) code — requests issued through
+  native code or raw system calls bypass them (§VII "Native functions");
+* each dispatch costs a small, fixed amount of simulated time, feeding
+  the Figure 4 latency decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.android.javasocket import JavaSocket
+    from repro.android.runtime import AppProcess
+
+
+class HookError(RuntimeError):
+    """Raised for invalid hook registrations."""
+
+
+#: The hook point the Context Manager uses.
+SOCKET_CONNECTED = "java.net.Socket#connect"
+
+
+@dataclass
+class HookContext:
+    """Information handed to a post-hook after a socket connected.
+
+    ``java_socket`` is None when the connection was made from native code
+    and the hooking framework supports native hooks (the Frida-style
+    extension discussed in §VII); hook implementations must then operate
+    on the raw file descriptor instead.
+    """
+
+    process: "AppProcess"
+    java_socket: "JavaSocket | None"
+    fd: int
+    host: str
+    port: int
+
+
+@dataclass
+class _Hook:
+    name: str
+    target: str
+    callback: Callable[[HookContext], None]
+    invocations: int = 0
+    errors: int = 0
+
+
+@dataclass
+class HookManager:
+    """Registry and dispatcher for post-hooks on one device.
+
+    ``enabled`` is False on an un-provisioned device (no Xposed
+    framework installed); dispatching is then a no-op, which is exactly
+    the baseline configuration (i)/(ii)/(iii) of the Figure 4 study.
+    """
+
+    enabled: bool = True
+    supports_native_hooks: bool = False
+    dispatch_cost_ms: float = 0.05
+    clock_advance: Callable[[float], float] | None = None
+    _hooks: dict[str, list[_Hook]] = field(default_factory=dict)
+
+    # -- registration -----------------------------------------------------------
+
+    def register_post_hook(
+        self, target: str, callback: Callable[[HookContext], None], name: str = ""
+    ) -> str:
+        """Register ``callback`` as a post-hook on ``target``; returns the hook name."""
+        if not self.enabled:
+            raise HookError("hooking framework is not installed on this device")
+        hook_name = name or f"{target}#{len(self._hooks.get(target, [])) + 1}"
+        existing = self._hooks.setdefault(target, [])
+        if any(h.name == hook_name for h in existing):
+            raise HookError(f"hook {hook_name!r} already registered on {target}")
+        existing.append(_Hook(name=hook_name, target=target, callback=callback))
+        return hook_name
+
+    def unregister(self, target: str, name: str) -> bool:
+        hooks = self._hooks.get(target, [])
+        for hook in hooks:
+            if hook.name == name:
+                hooks.remove(hook)
+                return True
+        return False
+
+    def hooks_on(self, target: str) -> list[str]:
+        return [h.name for h in self._hooks.get(target, [])]
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def dispatch(self, target: str, context: HookContext) -> int:
+        """Invoke every post-hook on ``target``; returns the number invoked."""
+        if not self.enabled:
+            return 0
+        hooks = self._hooks.get(target, [])
+        invoked = 0
+        for hook in list(hooks):
+            if self.clock_advance is not None and self.dispatch_cost_ms > 0:
+                self.clock_advance(self.dispatch_cost_ms)
+            try:
+                hook.callback(context)
+            except Exception:
+                # A crashing hook must not take the hooked app down with it;
+                # Xposed logs and continues, and so do we.
+                hook.errors += 1
+            else:
+                hook.invocations += 1
+            invoked += 1
+        return invoked
+
+    def dispatch_socket_connected(
+        self,
+        process: "AppProcess",
+        java_socket: "JavaSocket | None",
+        fd: int,
+        host: str,
+        port: int,
+    ) -> int:
+        """Dispatch the post-hook that fires after a managed socket connects."""
+        context = HookContext(
+            process=process, java_socket=java_socket, fd=fd, host=host, port=port
+        )
+        return self.dispatch(SOCKET_CONNECTED, context)
+
+    # -- stats -----------------------------------------------------------------------
+
+    def invocation_count(self, target: str | None = None) -> int:
+        targets = [target] if target else list(self._hooks)
+        return sum(h.invocations for t in targets for h in self._hooks.get(t, []))
+
+    def error_count(self) -> int:
+        return sum(h.errors for hooks in self._hooks.values() for h in hooks)

@@ -1,0 +1,148 @@
+"""``java.net.Socket`` semantics.
+
+Two Java-level behaviours matter to BorderPatrol (paper §II-B):
+
+* *Lazy initialisation*: constructing a ``java.net.Socket`` with the
+  default constructor does **not** issue a ``socket`` system call; the
+  call happens when the app connects (or binds).  BorderPatrol hooks
+  therefore observe connection establishment, not object construction.
+* *Restricted ``setOption``*: the Java socket API whitelists which
+  values reach ``setsockopt`` and excludes ``IP_OPTIONS``; that is why
+  the Context Manager needs a JNI shared library to reach the raw
+  system call (§V-B "Shared library").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.netstack.sockets import Capability, IPPROTO_IP, IP_OPTIONS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.android.runtime import AppProcess
+
+
+class SocketOptionError(ValueError):
+    """Raised when the Java API refuses to pass an option to setsockopt."""
+
+
+class StandardSocketOptions(enum.Enum):
+    """Options the managed Java API is willing to forward to the kernel."""
+
+    SO_KEEPALIVE = "SO_KEEPALIVE"
+    SO_REUSEADDR = "SO_REUSEADDR"
+    TCP_NODELAY = "TCP_NODELAY"
+    SO_TIMEOUT = "SO_TIMEOUT"
+
+
+class JavaSocket:
+    """A managed-code socket owned by one app process."""
+
+    def __init__(self, process: "AppProcess") -> None:
+        self._process = process
+        self._fd: int | None = None
+        self._connected = False
+        self._closed = False
+        self._remote: tuple[str, int] | None = None
+        self._java_options: dict[StandardSocketOptions, object] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def fd(self) -> int | None:
+        """Underlying OS file descriptor; None until the lazy socket call happens."""
+        return self._fd
+
+    @property
+    def is_connected(self) -> bool:
+        return self._connected
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    @property
+    def remote(self) -> tuple[str, int] | None:
+        return self._remote
+
+    def connect(self, host: str, port: int) -> int:
+        """Connect to ``host:port``.
+
+        Resolves the host, lazily issues the ``socket`` system call,
+        connects, and finally lets the device's hooking framework run
+        its post-hooks — mirroring the Xposed post-hook placement that
+        guarantees the OS socket exists before IP options are written.
+        """
+        if self._closed:
+            raise OSError("socket is closed")
+        if self._connected:
+            raise OSError("socket already connected")
+        device = self._process.device
+        dst_ip = device.resolve(host)
+        kernel = device.kernel
+        if self._fd is None:
+            self._fd = kernel.socket(owner_pid=self._process.pid)
+        kernel.connect(self._fd, dst_ip, port)
+        self._remote = (host, port)
+        self._connected = True
+        device.clock.advance(device.cost_model.socket_setup_ms)
+        device.hook_manager.dispatch_socket_connected(
+            process=self._process, java_socket=self, fd=self._fd, host=host, port=port
+        )
+        return self._fd
+
+    def send(self, payload_size: int) -> list:
+        if not self._connected or self._fd is None:
+            raise OSError("socket is not connected")
+        return self._process.device.kernel.send(self._fd, payload_size)
+
+    def close(self) -> None:
+        if self._fd is not None and not self._closed:
+            self._process.device.kernel.close(self._fd)
+        self._closed = True
+        self._connected = False
+
+    # -- option handling ----------------------------------------------------------
+
+    def set_option(self, option: StandardSocketOptions | str, value: object) -> None:
+        """The managed ``setOption`` API: standard options only.
+
+        Attempting to smuggle ``IP_OPTIONS`` through this API fails,
+        reproducing the restriction described in §II-B2.
+        """
+        if isinstance(option, str):
+            try:
+                option = StandardSocketOptions(option)
+            except ValueError as exc:
+                raise SocketOptionError(
+                    f"option {option!r} is not exposed by the Java socket API"
+                ) from exc
+        self._java_options[option] = value
+
+    def get_option(self, option: StandardSocketOptions) -> object | None:
+        return self._java_options.get(option)
+
+    def native_setsockopt(
+        self,
+        level: int,
+        optname: int,
+        value,
+        capabilities: Capability = Capability.NONE,
+    ) -> None:
+        """The JNI shared-library escape hatch used by the Context Manager.
+
+        This forwards straight to the kernel's ``setsockopt``, subject to
+        the kernel's own capability checks (and hence to the one-line
+        kernel patch).
+        """
+        if self._fd is None:
+            raise OSError("no underlying OS socket yet (socket is lazily created)")
+        self._process.device.clock.advance(self._process.device.cost_model.setsockopt_ms)
+        self._process.device.kernel.setsockopt(
+            self._fd, level, optname, value, capabilities=capabilities
+        )
+
+    def set_ip_options_via_jni(self, value, capabilities: Capability = Capability.NONE) -> None:
+        """Convenience wrapper for the specific call the Context Manager makes."""
+        self.native_setsockopt(IPPROTO_IP, IP_OPTIONS, value, capabilities=capabilities)

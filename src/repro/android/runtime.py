@@ -1,0 +1,274 @@
+"""App processes and the Zygote process model.
+
+Android apps fork from a parent Zygote process and run in their own
+sandbox (paper §VII "Android image").  An :class:`AppProcess` executes
+the app's behaviour graph: invoking a functionality pushes its Java call
+chain onto the process call stack, opens a socket (through the managed
+``java.net.Socket`` path or through native code), transmits the
+request's bytes through the device, and records the outcome.
+
+The call stacks produced here are what BorderPatrol's Context Manager
+captures via ``getStackTrace``: framework frames at both ends, the app
+and library frames from the dex in the middle, each carrying the source
+file and line number recorded in the dex debug tables.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.android.app_model import AppBehavior, Functionality, FunctionalityOutcome, NetworkRequest
+from repro.android.callstack import CallStack, StackFrame
+from repro.android.javasocket import JavaSocket
+from repro.dex.signature import MethodSignature
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.android.device import Device, InstalledApp
+
+
+class AndroidRuntimeError(RuntimeError):
+    """Raised for invalid runtime operations (bad launch, missing methods...)."""
+
+
+#: Frames the Android framework contributes above the app's entry point.
+_ENTRY_FRAMES = (
+    StackFrame("com.android.internal.os.ZygoteInit", "main", "ZygoteInit.java", 801),
+    StackFrame("android.os.Looper", "loop", "Looper.java", 154),
+    StackFrame("android.os.Handler", "dispatchMessage", "Handler.java", 102),
+    StackFrame("android.app.Activity", "performClick", "Activity.java", 6294),
+)
+
+#: Frames the Java networking stack contributes below the app's leaf method.
+_SOCKET_FRAMES = (
+    StackFrame("java.net.Socket", "connect", "Socket.java", 586),
+    StackFrame("java.net.PlainSocketImpl", "socketConnect", "PlainSocketImpl.java", 334),
+)
+
+
+class AppProcess:
+    """A running instance of an installed app."""
+
+    def __init__(self, pid: int, installed_app: "InstalledApp", device: "Device") -> None:
+        self.pid = pid
+        self.installed_app = installed_app
+        self.device = device
+        self.behavior: AppBehavior = installed_app.behavior
+        self._frame_stack: list[StackFrame] = []
+        self._keepalive_sockets: dict[tuple[str, int], JavaSocket] = {}
+        self._line_table = self._build_line_table()
+        self.invocation_log: list[FunctionalityOutcome] = []
+
+    # -- identity --------------------------------------------------------------
+
+    @property
+    def package_name(self) -> str:
+        return self.behavior.package_name
+
+    @property
+    def apk(self):
+        return self.installed_app.apk
+
+    # -- dex-derived metadata -----------------------------------------------------
+
+    def _build_line_table(self) -> dict[MethodSignature, tuple[str, int]]:
+        """Map each dex method signature to a representative (file, line)."""
+        table: dict[MethodSignature, tuple[str, int]] = {}
+        merged = self.installed_app.apk.merged_dex()
+        for method in merged.iter_methods():
+            debug = method.debug
+            if debug.stripped:
+                table[method.signature] = (debug.source_file or "Unknown", -1)
+            else:
+                # Use a line strictly inside the method's range so the
+                # reverse lookup (line -> method) is unambiguous.
+                line = min(debug.line_start + 1, debug.line_end)
+                table[method.signature] = (debug.source_file, line)
+        return table
+
+    # -- call stack management ------------------------------------------------------
+
+    def _frame_for(self, signature: MethodSignature) -> StackFrame:
+        source_file, line = self._line_table.get(signature, ("Unknown", -1))
+        return StackFrame(
+            class_name=signature.class_name,
+            method_name=signature.method_name,
+            source_file=source_file,
+            line_number=line,
+        )
+
+    @contextmanager
+    def _executing(self, functionality: Functionality) -> Iterator[None]:
+        """Push the frames active while ``functionality`` runs, outermost first."""
+        frames = list(_ENTRY_FRAMES) + [self._frame_for(s) for s in functionality.call_chain]
+        self._frame_stack.extend(frames)
+        try:
+            yield
+        finally:
+            del self._frame_stack[-len(frames):]
+
+    @contextmanager
+    def _in_socket_call(self) -> Iterator[None]:
+        self._frame_stack.extend(_SOCKET_FRAMES)
+        try:
+            yield
+        finally:
+            del self._frame_stack[-len(_SOCKET_FRAMES):]
+
+    def current_stack(self) -> CallStack:
+        """Raw snapshot of the current call stack (no cost charged)."""
+        return CallStack(frames=tuple(reversed(self._frame_stack)))
+
+    def get_stack_trace(self, charge_cost: bool = True) -> CallStack:
+        """``Thread.getStackTrace`` as the Context Manager calls it.
+
+        Charges the simulated cost of the Java API call unless told not
+        to (baseline configurations of the Figure 4 study skip it).
+        """
+        if charge_cost:
+            self.device.clock.advance(self.device.cost_model.getstacktrace_ms)
+        return self.current_stack()
+
+    # -- functionality execution ------------------------------------------------------
+
+    def invoke(self, functionality_name: str | Functionality) -> FunctionalityOutcome:
+        """Execute one functionality end to end and report what happened."""
+        functionality = (
+            functionality_name
+            if isinstance(functionality_name, Functionality)
+            else self.behavior.get(functionality_name)
+        )
+        outcome = FunctionalityOutcome(functionality=functionality)
+        stopwatch = self.device.clock.measure()
+        with self._executing(functionality):
+            for request in functionality.requests:
+                self._perform_request(functionality, request, outcome)
+        outcome.latency_ms = stopwatch.elapsed_ms()
+        self.invocation_log.append(outcome)
+        return outcome
+
+    def _perform_request(
+        self,
+        functionality: Functionality,
+        request: NetworkRequest,
+        outcome: FunctionalityOutcome,
+    ) -> None:
+        outcome.requests_attempted += 1
+        if request.via_native:
+            fd = self._connect_native(request)
+        else:
+            fd = self._connect_managed(functionality, request, outcome)
+        self._stamp_provenance(fd, functionality, request)
+        packets = self.device.kernel.send(fd, request.upload_bytes)
+        outcome.packets_sent += len(packets)
+        outcome.bytes_uploaded += request.upload_bytes
+        report = self.device.transmit(packets)
+        outcome.packets_delivered += len(report.delivered)
+        outcome.packets_dropped += len(report.dropped)
+        if not report.dropped:
+            outcome.requests_completed += 1
+            self.device.kernel.receive(fd, request.download_bytes)
+            outcome.bytes_downloaded += request.download_bytes
+        if not request.keep_alive:
+            self._close_socket(request, fd)
+
+    def _connect_managed(
+        self,
+        functionality: Functionality,
+        request: NetworkRequest,
+        outcome: FunctionalityOutcome,
+    ) -> int:
+        key = (request.endpoint, request.port)
+        cached = self._keepalive_sockets.get(key)
+        if request.keep_alive and cached is not None and cached.is_connected:
+            # Socket reuse: the existing tag stays on the socket (paper §VII).
+            return cached.fd  # type: ignore[return-value]
+        java_socket = JavaSocket(self)
+        with self._in_socket_call():
+            fd = java_socket.connect(request.endpoint, request.port)
+        outcome.hooked_sockets += 1
+        if request.keep_alive:
+            self._keepalive_sockets[key] = java_socket
+        else:
+            self._keepalive_sockets.pop(key, None)
+        self._last_socket = java_socket
+        return fd
+
+    def _connect_native(self, request: NetworkRequest) -> int:
+        """Issue the connection through native code.
+
+        Managed (Xposed-style) hooks cannot observe this path; only a
+        hooking framework with native support (the Frida-style extension
+        from §VII) gets a post-hook dispatch, and then without a
+        ``JavaSocket`` — the hook must work on the raw file descriptor.
+        """
+        dst_ip = self.device.resolve(request.endpoint)
+        kernel = self.device.kernel
+        fd = kernel.socket(owner_pid=self.pid)
+        kernel.connect(fd, dst_ip, request.port)
+        self.device.clock.advance(self.device.cost_model.socket_setup_ms)
+        hook_manager = self.device.hook_manager
+        if hook_manager.enabled and hook_manager.supports_native_hooks:
+            hook_manager.dispatch_socket_connected(
+                process=self, java_socket=None, fd=fd, host=request.endpoint, port=request.port
+            )
+        return fd
+
+    def _close_socket(self, request: NetworkRequest, fd: int) -> None:
+        try:
+            self.device.kernel.close(fd)
+        except OSError:
+            pass
+        self._keepalive_sockets.pop((request.endpoint, request.port), None)
+
+    def _stamp_provenance(
+        self, fd: int, functionality: Functionality, request: NetworkRequest
+    ) -> None:
+        """Attach ground-truth metadata to the kernel socket (experiments only)."""
+        sock = self.device.kernel.get_socket(fd)
+        if sock.provenance:
+            # Reused socket: keep the original context to mirror the
+            # socket-reuse limitation; record the new functionality too.
+            sock.provenance.setdefault("reused_by", []).append(functionality.name)
+            return
+        sock.provenance.update(
+            {
+                "package": self.package_name,
+                "app_md5": self.apk.md5,
+                "app_id": self.apk.app_id,
+                "functionality": functionality.name,
+                "library": functionality.library,
+                "desirable": functionality.desirable,
+                "via_native": request.via_native,
+                "endpoint": request.endpoint,
+                "call_chain": tuple(str(s) for s in functionality.call_chain),
+            }
+        )
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    def outcomes_by_functionality(self) -> dict[str, FunctionalityOutcome]:
+        merged: dict[str, FunctionalityOutcome] = {}
+        for outcome in self.invocation_log:
+            name = outcome.functionality.name
+            if name in merged:
+                merged[name] = merged[name].merge(outcome)
+            else:
+                merged[name] = outcome
+        return merged
+
+
+class Zygote:
+    """The parent process every app forks from."""
+
+    def __init__(self, device: "Device") -> None:
+        self._device = device
+        self._next_pid = 1000
+        self.forked: list[AppProcess] = []
+
+    def fork(self, installed_app: "InstalledApp") -> AppProcess:
+        pid = self._next_pid
+        self._next_pid += 1
+        process = AppProcess(pid=pid, installed_app=installed_app, device=self._device)
+        self.forked.append(process)
+        return process

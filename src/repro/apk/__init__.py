@@ -1,0 +1,24 @@
+"""Android application package (apk) model.
+
+An apk bundles one or more dex files together with a manifest,
+resources, assets and a signing certificate (paper §II-A).  BorderPatrol
+identifies an app by a truncated hash of its apk file (paper §VII "Hash
+collision"), so the apk model provides stable byte-level content from
+which md5 and truncated hashes are derived.
+"""
+
+from repro.apk.manifest import AndroidManifest, Permission
+from repro.apk.hashing import md5_hex, truncated_hash, collision_probability
+from repro.apk.package import ApkFile, Certificate, StoreCategory, build_apk
+
+__all__ = [
+    "AndroidManifest",
+    "Permission",
+    "md5_hex",
+    "truncated_hash",
+    "collision_probability",
+    "ApkFile",
+    "Certificate",
+    "StoreCategory",
+    "build_apk",
+]

@@ -1,0 +1,55 @@
+"""App-identifying hashes.
+
+The Offline Analyzer groups the method-signature mapping of each app
+under the md5 hash of its apk (paper §V-A), and the Context Manager
+embeds a *truncated* 8-byte form of that hash in every packet so the
+Policy Enforcer can select the right mapping (paper §VII).  The
+collision-probability estimate from the discussion section is also
+implemented here so the DISC-HASH experiment can regenerate it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+#: Number of bytes of the md5 digest carried in IP options (paper §VII).
+TRUNCATED_HASH_BYTES = 8
+
+
+def md5_hex(data: bytes) -> str:
+    """Full md5 digest of an apk's bytes, as lowercase hex."""
+    return hashlib.md5(data).hexdigest()
+
+
+def truncated_hash(data: bytes, length_bytes: int = TRUNCATED_HASH_BYTES) -> bytes:
+    """Truncated md5 digest used as the on-wire app identifier."""
+    if not 1 <= length_bytes <= 16:
+        raise ValueError("truncated hash length must be between 1 and 16 bytes")
+    return hashlib.md5(data).digest()[:length_bytes]
+
+
+def truncated_hash_hex(data: bytes, length_bytes: int = TRUNCATED_HASH_BYTES) -> str:
+    return truncated_hash(data, length_bytes).hex()
+
+
+def collision_probability(n_apps: int, hash_bits: int = TRUNCATED_HASH_BYTES * 8) -> float:
+    """Birthday-bound probability that any two of ``n_apps`` collide.
+
+    The paper argues that with 3.3 M apps in the Play Store and an
+    8-byte identifier the collision probability stays below 1e-6; this
+    closed form (1 - exp(-n(n-1)/2^(b+1))) reproduces that estimate.
+    """
+    if n_apps < 2:
+        return 0.0
+    if hash_bits <= 0:
+        return 1.0
+    exponent = -(n_apps * (n_apps - 1)) / float(2 ** (hash_bits + 1))
+    return 1.0 - math.exp(exponent)
+
+
+def expected_collisions(n_apps: int, hash_bits: int = TRUNCATED_HASH_BYTES * 8) -> float:
+    """Expected number of colliding pairs among ``n_apps`` identifiers."""
+    if n_apps < 2:
+        return 0.0
+    return (n_apps * (n_apps - 1)) / float(2 ** (hash_bits + 1))

@@ -1,0 +1,65 @@
+"""AndroidManifest model.
+
+Only the manifest attributes the rest of the system consumes are
+modelled: the package name, version, declared permissions, and the
+launchable activity list the monkey exerciser starts from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Permission(str, enum.Enum):
+    """Subset of Android permissions relevant to network-capable apps."""
+
+    INTERNET = "android.permission.INTERNET"
+    ACCESS_NETWORK_STATE = "android.permission.ACCESS_NETWORK_STATE"
+    ACCESS_FINE_LOCATION = "android.permission.ACCESS_FINE_LOCATION"
+    READ_EXTERNAL_STORAGE = "android.permission.READ_EXTERNAL_STORAGE"
+    WRITE_EXTERNAL_STORAGE = "android.permission.WRITE_EXTERNAL_STORAGE"
+    READ_CONTACTS = "android.permission.READ_CONTACTS"
+    CAMERA = "android.permission.CAMERA"
+    GET_ACCOUNTS = "android.permission.GET_ACCOUNTS"
+
+
+@dataclass(frozen=True)
+class AndroidManifest:
+    """Static metadata describing an app package."""
+
+    package_name: str
+    version_code: int = 1
+    version_name: str = "1.0"
+    app_label: str = ""
+    permissions: tuple[Permission, ...] = (Permission.INTERNET,)
+    activities: tuple[str, ...] = ("MainActivity",)
+    min_sdk: int = 21
+    target_sdk: int = 25
+
+    def __post_init__(self) -> None:
+        if not self.package_name or " " in self.package_name:
+            raise ValueError(f"invalid package name: {self.package_name!r}")
+
+    @property
+    def label(self) -> str:
+        return self.app_label or self.package_name.rsplit(".", 1)[-1]
+
+    def has_permission(self, permission: Permission) -> bool:
+        return permission in self.permissions
+
+    @property
+    def can_use_network(self) -> bool:
+        return Permission.INTERNET in self.permissions
+
+    def to_dict(self) -> dict:
+        return {
+            "package": self.package_name,
+            "versionCode": self.version_code,
+            "versionName": self.version_name,
+            "label": self.label,
+            "permissions": [p.value for p in self.permissions],
+            "activities": list(self.activities),
+            "minSdkVersion": self.min_sdk,
+            "targetSdkVersion": self.target_sdk,
+        }

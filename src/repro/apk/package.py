@@ -1,0 +1,148 @@
+"""The apk package: dex blobs + manifest + resources + certificate.
+
+:class:`ApkFile` is the unit that flows through the whole reproduction:
+the app store distributes apks, the Offline Analyzer consumes apks to
+build the signature database, the emulator installs apks, and the
+Context Manager re-parses an app's dex blobs when the app is loaded.
+The apk's byte content is deterministic, so its md5 (and the truncated
+on-wire identifier derived from it) are stable across components.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.apk.hashing import md5_hex, truncated_hash_hex
+from repro.apk.manifest import AndroidManifest
+from repro.dex.model import DexFile
+from repro.dex.parser import DexParser, DexSerializer
+
+
+class StoreCategory(str, enum.Enum):
+    """Google Play categories used by the evaluation (§VI-B)."""
+
+    BUSINESS = "BUSINESS"
+    PRODUCTIVITY = "PRODUCTIVITY"
+    TOOLS = "TOOLS"
+    COMMUNICATION = "COMMUNICATION"
+    SOCIAL = "SOCIAL"
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Developer signing certificate (identity only, no real crypto)."""
+
+    subject: str
+    fingerprint: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            object.__setattr__(self, "fingerprint", md5_hex(self.subject.encode())[:16])
+
+
+@dataclass(frozen=True)
+class ApkFile:
+    """An installable application package.
+
+    Attributes
+    ----------
+    manifest:
+        Static app metadata.
+    dex_blobs:
+        Serialised dex files (multi-dex apps have more than one blob).
+    resources:
+        Opaque resource table; contributes to the apk hash so two apps
+        with identical code but different resources hash differently.
+    certificate:
+        Signing identity.
+    category:
+        Store category, used when sampling the BUSINESS/PRODUCTIVITY corpus.
+    downloads:
+        Popularity proxy ("most downloaded" sampling in §VI-B).
+    """
+
+    manifest: AndroidManifest
+    dex_blobs: tuple[bytes, ...]
+    resources: tuple[tuple[str, bytes], ...] = ()
+    certificate: Certificate = Certificate(subject="CN=unknown")
+    category: StoreCategory = StoreCategory.PRODUCTIVITY
+    downloads: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.dex_blobs:
+            raise ValueError("an apk must contain at least one dex file")
+
+    # -- byte-level identity ---------------------------------------------------
+
+    @cached_property
+    def content_bytes(self) -> bytes:
+        """Canonical byte representation used for hashing."""
+        header = json.dumps(self.manifest.to_dict(), sort_keys=True).encode("utf-8")
+        parts = [b"APK\x01", header, self.certificate.fingerprint.encode("ascii")]
+        for name, data in sorted(self.resources):
+            parts.append(name.encode("utf-8"))
+            parts.append(data)
+        parts.extend(self.dex_blobs)
+        return b"\x00".join(parts)
+
+    @cached_property
+    def md5(self) -> str:
+        """Full md5 hex digest: the database key used by the Offline Analyzer."""
+        return md5_hex(self.content_bytes)
+
+    @cached_property
+    def app_id(self) -> str:
+        """Truncated (8-byte) hash carried on the wire by the Context Manager."""
+        return truncated_hash_hex(self.content_bytes)
+
+    @property
+    def package_name(self) -> str:
+        return self.manifest.package_name
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.content_bytes)
+
+    @property
+    def is_multidex(self) -> bool:
+        return len(self.dex_blobs) > 1
+
+    # -- dex access -------------------------------------------------------------
+
+    def parse_dex_files(self) -> list[DexFile]:
+        """Parse every dex blob, as dexlib2 would for a real apk."""
+        return DexParser().parse_many(self.dex_blobs)
+
+    def merged_dex(self) -> DexFile:
+        """Logical union of all dex files (for multi-dex analysis)."""
+        dex_files = self.parse_dex_files()
+        return dex_files[0].merge(dex_files[1:])
+
+    def method_count(self) -> int:
+        return sum(d.method_count for d in self.parse_dex_files())
+
+
+def build_apk(
+    manifest: AndroidManifest,
+    dex_files: list[DexFile] | DexFile,
+    resources: dict[str, bytes] | None = None,
+    certificate: Certificate | None = None,
+    category: StoreCategory = StoreCategory.PRODUCTIVITY,
+    downloads: int = 0,
+) -> ApkFile:
+    """Package dex files into an apk, serialising them to blobs."""
+    if isinstance(dex_files, DexFile):
+        dex_files = [dex_files]
+    serializer = DexSerializer()
+    blobs = tuple(serializer.serialize(d) for d in dex_files)
+    return ApkFile(
+        manifest=manifest,
+        dex_blobs=blobs,
+        resources=tuple(sorted((resources or {}).items())),
+        certificate=certificate or Certificate(subject=f"CN={manifest.package_name}"),
+        category=category,
+        downloads=downloads,
+    )

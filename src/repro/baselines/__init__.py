@@ -1,0 +1,23 @@
+"""Baseline enforcement mechanisms BorderPatrol is compared against.
+
+The case studies (§VI-C) and the related-work discussion contrast
+BorderPatrol with what an enterprise can do *without* app context:
+
+* :class:`~repro.baselines.ip_dns_filter.OnNetworkFilter` — block or
+  allow traffic purely by destination IP address / DNS name, the
+  capability of conventional firewalls and the "on-network enforcement"
+  strawman in both case studies.
+* :class:`~repro.baselines.size_threshold.FlowSizeThresholdFilter` —
+  classify uploads by outbound flow volume, the traditional-appliance
+  heuristic the discussion (§VII) shows to be unreliable.
+* :class:`~repro.baselines.ondevice.AppLevelEnforcer` — CRePE/ADM-style
+  on-device policy: allow or block entire apps (per-package
+  granularity), with no visibility into which library or method inside
+  the app generated the traffic.
+"""
+
+from repro.baselines.ip_dns_filter import OnNetworkFilter
+from repro.baselines.size_threshold import FlowSizeThresholdFilter
+from repro.baselines.ondevice import AppLevelEnforcer
+
+__all__ = ["OnNetworkFilter", "FlowSizeThresholdFilter", "AppLevelEnforcer"]

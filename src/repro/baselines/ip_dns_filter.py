@@ -1,0 +1,82 @@
+"""On-network enforcement by destination address or DNS name.
+
+This is the conventional firewall capability the case studies compare
+against: it can only see the information available at the network layer
+(addresses, names, ports), so when an app uses the same endpoint for a
+desirable and an undesirable purpose it "can only block both or neither
+of these functionalities" (paper §VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netstack.dns import DnsRegistry
+from repro.netstack.ip import IPPacket
+from repro.netstack.netfilter import Verdict
+
+
+@dataclass
+class FilterStats:
+    packets_seen: int = 0
+    packets_dropped: int = 0
+    packets_allowed: int = 0
+
+
+class OnNetworkFilter:
+    """NFQUEUE consumer blocking traffic by destination IP or DNS name."""
+
+    def __init__(
+        self,
+        dns: DnsRegistry | None = None,
+        blocked_ips: set[str] | None = None,
+        blocked_names: set[str] | None = None,
+        blocked_ports: set[int] | None = None,
+    ) -> None:
+        self.dns = dns
+        self.blocked_ips: set[str] = set(blocked_ips or set())
+        self.blocked_names: set[str] = {n.lower() for n in (blocked_names or set())}
+        self.blocked_ports: set[int] = set(blocked_ports or set())
+        self.stats = FilterStats()
+        self._resolve_blocked_names()
+
+    def _resolve_blocked_names(self) -> None:
+        """Pre-resolve blocked DNS names so matching happens on addresses."""
+        if self.dns is None:
+            return
+        for name in self.blocked_names:
+            if self.dns.knows_name(name):
+                self.blocked_ips.add(self.dns.resolve(name))
+
+    # -- rule management ------------------------------------------------------------
+
+    def block_ip(self, ip: str) -> None:
+        self.blocked_ips.add(ip)
+
+    def block_name(self, name: str) -> None:
+        self.blocked_names.add(name.lower())
+        if self.dns is not None and self.dns.knows_name(name):
+            self.blocked_ips.add(self.dns.resolve(name))
+
+    def unblock_ip(self, ip: str) -> None:
+        self.blocked_ips.discard(ip)
+
+    # -- QueueConsumer interface --------------------------------------------------------
+
+    def process(self, packet: IPPacket) -> tuple[Verdict, IPPacket]:
+        self.stats.packets_seen += 1
+        if self._is_blocked(packet):
+            self.stats.packets_dropped += 1
+            return Verdict.DROP, packet
+        self.stats.packets_allowed += 1
+        return Verdict.ACCEPT, packet
+
+    def _is_blocked(self, packet: IPPacket) -> bool:
+        if packet.dst_ip in self.blocked_ips:
+            return True
+        if packet.dst_port in self.blocked_ports:
+            return True
+        if self.dns is not None and self.blocked_names and self.dns.knows_ip(packet.dst_ip):
+            if self.dns.reverse(packet.dst_ip) & self.blocked_names:
+                return True
+        return False

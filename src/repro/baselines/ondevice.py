@@ -1,0 +1,58 @@
+"""On-device, app-granularity enforcement (CRePE / ADM style).
+
+Existing BYOD device-management frameworks restrict *which apps* may
+run or use the network, but cannot restrict individual libraries or
+methods inside an allowed app (paper §VIII "On-device enforcement").
+This baseline models that capability level: decisions are taken per
+package, using the ground-truth provenance a device-resident agent
+would have (it runs on the device, so it knows which app owns each
+socket), but with no visibility below the app boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netstack.ip import IPPacket
+from repro.netstack.netfilter import Verdict
+
+
+@dataclass
+class AppLevelStats:
+    packets_seen: int = 0
+    packets_dropped: int = 0
+    packets_allowed: int = 0
+
+
+class AppLevelEnforcer:
+    """NFQUEUE-compatible consumer enforcing a per-app allow/deny list."""
+
+    def __init__(
+        self,
+        blocked_packages: set[str] | None = None,
+        allowed_packages: set[str] | None = None,
+    ) -> None:
+        if blocked_packages and allowed_packages:
+            raise ValueError("configure either a blocklist or an allowlist, not both")
+        self.blocked_packages = set(blocked_packages or set())
+        self.allowed_packages = set(allowed_packages or set()) or None
+        self.stats = AppLevelStats()
+
+    def process(self, packet: IPPacket) -> tuple[Verdict, IPPacket]:
+        self.stats.packets_seen += 1
+        package = str(packet.provenance.get("package", ""))
+        if self._is_blocked(package):
+            self.stats.packets_dropped += 1
+            return Verdict.DROP, packet
+        self.stats.packets_allowed += 1
+        return Verdict.ACCEPT, packet
+
+    def _is_blocked(self, package: str) -> bool:
+        if self.allowed_packages is not None:
+            return package not in self.allowed_packages
+        return package in self.blocked_packages
+
+    def block_package(self, package: str) -> None:
+        if self.allowed_packages is not None:
+            raise ValueError("enforcer is in allowlist mode")
+        self.blocked_packages.add(package)

@@ -1,0 +1,135 @@
+"""Command-line front end.
+
+The prototype ships the Offline Analyzer as a stand-alone Java tool and
+the policy tooling as scripts an administrator runs; this module exposes
+the same operator workflows over the reproduction:
+
+* ``analyze``      — run the Offline Analyzer over generated corpus apps or the
+                     built-in case-study apps and write the json signature database;
+* ``check-policy`` — parse a policy file and report its rules (grammar validation);
+* ``case-study``   — run one of the §VI-C case studies and print the comparison table;
+* ``experiments``  — run the figure/table drivers at a chosen scale.
+
+Usage::
+
+    python -m repro.cli analyze --output db.json --case-study-apps
+    python -m repro.cli check-policy policy.txt
+    python -m repro.cli case-study cloud-storage
+    python -m repro.cli experiments --fig3-apps 200 --fig4-iterations 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.offline_analyzer import OfflineAnalyzer
+from repro.core.policy import PolicyParseError, parse_policy
+from repro.experiments.case_studies import run_cloud_storage_case_study, run_facebook_case_study
+from repro.experiments.fig3_ioi import run_fig3
+from repro.experiments.fig4_latency import run_fig4
+from repro.experiments.table_validation import run_validation
+from repro.workloads.apps import build_box_like_app, build_calendar_app, build_cloud_storage_app
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    analyzer = OfflineAnalyzer()
+    apks = []
+    if args.case_study_apps:
+        apks.extend(
+            app.apk for app in (build_cloud_storage_app(), build_box_like_app(), build_calendar_app())
+        )
+    if args.corpus_apps:
+        generator = CorpusGenerator(CorpusConfig(n_apps=args.corpus_apps, seed=args.seed))
+        apks.extend(app.apk for app in generator.generate())
+    if not apks:
+        print("nothing to analyze: pass --case-study-apps and/or --corpus-apps N", file=sys.stderr)
+        return 2
+    report = analyzer.analyze_batch(apks)
+    Path(args.output).write_text(analyzer.database.to_json(), encoding="utf-8")
+    print(
+        f"analyzed {report.apps_processed} apps "
+        f"({report.total_methods} method signatures, {report.multidex_apps} multi-dex); "
+        f"database written to {args.output}"
+    )
+    return 0
+
+
+def _cmd_check_policy(args: argparse.Namespace) -> int:
+    text = Path(args.policy_file).read_text(encoding="utf-8")
+    try:
+        policy = parse_policy(text, name=Path(args.policy_file).stem)
+    except PolicyParseError as error:
+        print(f"policy rejected: {error}", file=sys.stderr)
+        return 1
+    print(f"policy {policy.name!r}: {len(policy)} rule(s)")
+    for rule in policy:
+        print(f"  {rule.render()}")
+    return 0
+
+
+def _cmd_case_study(args: argparse.Namespace) -> int:
+    if args.name == "cloud-storage":
+        result = run_cloud_storage_case_study()
+    else:
+        result = run_facebook_case_study()
+    print(result.table())
+    selective = result.achieves_selective_blocking("borderpatrol")
+    print(f"\nselective enforcement achieved with BorderPatrol: {selective}")
+    return 0 if selective else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    print(run_fig3(n_apps=args.fig3_apps, events_per_app=args.fig3_events).table())
+    print()
+    print(
+        run_validation(
+            corpus_size=args.validation_corpus,
+            apps_to_test=args.validation_apps,
+            events_per_app=args.fig3_events,
+        ).table()
+    )
+    print()
+    print(run_fig4(iterations=args.fig4_iterations).table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="run the Offline Analyzer and write the json database")
+    analyze.add_argument("--output", default="signatures.json")
+    analyze.add_argument("--case-study-apps", action="store_true")
+    analyze.add_argument("--corpus-apps", type=int, default=0, metavar="N")
+    analyze.add_argument("--seed", type=int, default=7)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    check = subparsers.add_parser("check-policy", help="validate a policy file against the grammar")
+    check.add_argument("policy_file")
+    check.set_defaults(func=_cmd_check_policy)
+
+    case = subparsers.add_parser("case-study", help="run a §VI-C case study")
+    case.add_argument("name", choices=("cloud-storage", "facebook"))
+    case.set_defaults(func=_cmd_case_study)
+
+    experiments = subparsers.add_parser("experiments", help="run the evaluation drivers")
+    experiments.add_argument("--fig3-apps", type=int, default=200)
+    experiments.add_argument("--fig3-events", type=int, default=150)
+    experiments.add_argument("--validation-corpus", type=int, default=100)
+    experiments.add_argument("--validation-apps", type=int, default=30)
+    experiments.add_argument("--fig4-iterations", type=int, default=500)
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

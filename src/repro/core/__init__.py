@@ -1,0 +1,74 @@
+"""BorderPatrol — the paper's primary contribution.
+
+The four runtime components plus the offline tooling (paper §IV/§V):
+
+* :class:`~repro.core.offline_analyzer.OfflineAnalyzer` — builds the
+  per-app method-signature index database from apk files.
+* :class:`~repro.core.context_manager.ContextManager` — the on-device
+  Xposed module: captures the Java call stack when a socket connects,
+  encodes it and writes it into the socket's ``IP_OPTIONS``.
+* :class:`~repro.core.policy_enforcer.PolicyEnforcer` — the NFQUEUE
+  consumer at the network border that decodes the tag and applies the
+  company policy.
+* :class:`~repro.core.packet_sanitizer.PacketSanitizer` — strips the tag
+  from policy-conforming packets before they leave the perimeter.
+* :class:`~repro.core.policy_extractor.PolicyExtractor` — the two-run
+  differential tool that proposes policies to administrators.
+* :class:`~repro.core.deployment.BorderPatrolDeployment` — wires all of
+  the above into an enterprise network and provisions devices.
+"""
+
+from repro.core.encoding import (
+    ContextTag,
+    StackTraceEncoder,
+    EncodingError,
+    IndexWidth,
+)
+from repro.core.database import (
+    SignatureDatabase,
+    DatabaseEntry,
+    canonical_signature_order,
+)
+from repro.core.offline_analyzer import OfflineAnalyzer
+from repro.core.policy import (
+    PolicyAction,
+    PolicyLevel,
+    PolicyRule,
+    Policy,
+    PolicyDecision,
+    DecodedContext,
+    PolicyParseError,
+    parse_policy,
+)
+from repro.core.context_manager import ContextManager, ContextManagerMode
+from repro.core.policy_enforcer import PolicyEnforcer, EnforcementRecord
+from repro.core.packet_sanitizer import PacketSanitizer
+from repro.core.policy_extractor import PolicyExtractor, ProfileRun
+from repro.core.deployment import BorderPatrolDeployment
+
+__all__ = [
+    "ContextTag",
+    "StackTraceEncoder",
+    "EncodingError",
+    "IndexWidth",
+    "SignatureDatabase",
+    "DatabaseEntry",
+    "canonical_signature_order",
+    "OfflineAnalyzer",
+    "PolicyAction",
+    "PolicyLevel",
+    "PolicyRule",
+    "Policy",
+    "PolicyDecision",
+    "DecodedContext",
+    "PolicyParseError",
+    "parse_policy",
+    "ContextManager",
+    "ContextManagerMode",
+    "PolicyEnforcer",
+    "EnforcementRecord",
+    "PacketSanitizer",
+    "PolicyExtractor",
+    "ProfileRun",
+    "BorderPatrolDeployment",
+]

@@ -1,0 +1,214 @@
+"""The Context Manager — BorderPatrol's on-device component.
+
+Implemented in the paper as an Xposed module (§V-B), the Context Manager
+
+1. parses the dex files of each managed app when the app is loaded and
+   derives the same deterministic signature-to-index mapping the Offline
+   Analyzer stored in the enterprise database, plus the line-number
+   tables needed to disambiguate overloaded methods;
+2. registers a post-hook on socket connection: once a connection is
+   established it calls ``getStackTrace``, maps each stack frame back to
+   a method signature (via class name, method name and source line), and
+   encodes the app identifier plus the frame indexes;
+3. writes the encoded tag into the socket's ``IP_OPTIONS`` through the
+   JNI shared-library wrapper around ``setsockopt``, which succeeds only
+   because the provisioned device runs the one-line-patched kernel.
+
+The Figure 4 study isolates the cost of each of those steps;
+:class:`ContextManagerMode` exposes the corresponding reduced variants
+(static injection without stack capture, stack capture without dynamic
+encoding) used by configurations (iv) and (v).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.android.callstack import CallStack, StackFrame
+from repro.android.device import Device
+from repro.android.hooks import SOCKET_CONNECTED, HookContext
+from repro.android.runtime import AppProcess
+from repro.core.database import canonical_signature_order
+from repro.core.encoding import IndexWidth, StackTraceEncoder
+from repro.dex.model import MethodDef
+from repro.dex.signature import MethodSignature
+from repro.netstack.ip import BORDERPATROL_OPTION_TYPE, IPOptions
+from repro.netstack.sockets import Capability, IP_OPTIONS, IPPROTO_IP, PermissionDenied
+
+
+class ContextManagerMode(enum.Enum):
+    """Which subset of the Context Manager pipeline is active (Figure 4)."""
+
+    #: Configuration (iv): hook sockets and inject a constant tag, no stack capture.
+    STATIC_INJECT = "static-inject"
+    #: Configuration (v): additionally call ``getStackTrace`` but still inject a constant.
+    STATIC_GETSTACK = "static-getstack"
+    #: Configuration (vi): the full dynamic pipeline.
+    DYNAMIC = "dynamic"
+
+
+@dataclass
+class ContextManagerStats:
+    sockets_tagged: int = 0
+    sockets_failed: int = 0
+    frames_seen: int = 0
+    frames_mapped: int = 0
+    frames_unmapped: int = 0
+    stacks_truncated: int = 0
+
+
+@dataclass
+class _AppState:
+    """Per-app state derived from the app's own dex files at load time."""
+
+    app_id: str
+    signature_index: dict[str, int]
+    methods_by_class: dict[str, list[MethodDef]]
+
+    def resolve_frame(self, frame: StackFrame) -> MethodSignature | None:
+        """Map one stack frame back to a method signature.
+
+        Java stack frames lack parameter types, so overloads are
+        disambiguated through the debug line number; when debug info is
+        stripped, all overloads collapse onto the lexicographically first
+        one (the over-approximation described in §VII).
+        """
+        methods = self.methods_by_class.get(frame.class_name)
+        if not methods:
+            return None
+        candidates = [m for m in methods if m.signature.method_name == frame.method_name]
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0].signature
+        if frame.has_line_number:
+            for method in candidates:
+                if method.debug.covers(frame.line_number):
+                    return method.signature
+        return min(candidates, key=lambda m: m.signature.sort_key()).signature
+
+
+class ContextManager:
+    """The Xposed module that tags every managed socket with its call stack."""
+
+    HOOK_NAME = "borderpatrol-context-manager"
+
+    def __init__(
+        self,
+        device: Device,
+        mode: ContextManagerMode = ContextManagerMode.DYNAMIC,
+        index_width: IndexWidth = IndexWidth.FIXED_2,
+        capabilities: Capability = Capability.NONE,
+        static_payload: bytes = b"\x00" * 16,
+    ) -> None:
+        self.device = device
+        self.mode = mode
+        self.encoder = StackTraceEncoder(index_width=index_width)
+        self.capabilities = capabilities
+        self.static_payload = static_payload
+        self.stats = ContextManagerStats()
+        self._app_states: dict[str, _AppState] = {}
+        self._installed = False
+
+    # -- installation -----------------------------------------------------------------
+
+    def install(self) -> None:
+        """Register the socket post-hook on the device's hooking framework."""
+        if self._installed:
+            return
+        self.device.hook_manager.register_post_hook(
+            SOCKET_CONNECTED, self._on_socket_connected, name=self.HOOK_NAME
+        )
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.device.hook_manager.unregister(SOCKET_CONNECTED, self.HOOK_NAME)
+            self._installed = False
+
+    @property
+    def is_installed(self) -> bool:
+        return self._installed
+
+    # -- per-app state -------------------------------------------------------------------
+
+    def _state_for(self, process: AppProcess) -> _AppState:
+        package = process.package_name
+        state = self._app_states.get(package)
+        if state is not None:
+            return state
+        apk = process.apk
+        dex_files = apk.parse_dex_files()
+        ordered = canonical_signature_order(dex_files)
+        signature_index = {str(s): i for i, s in enumerate(ordered)}
+        methods_by_class: dict[str, list[MethodDef]] = {}
+        for dex in dex_files:
+            for method in dex.iter_methods():
+                methods_by_class.setdefault(method.signature.class_name, []).append(method)
+        state = _AppState(
+            app_id=apk.app_id,
+            signature_index=signature_index,
+            methods_by_class=methods_by_class,
+        )
+        self._app_states[package] = state
+        return state
+
+    # -- stack resolution ------------------------------------------------------------------
+
+    def resolve_stack(self, process: AppProcess, stack: CallStack) -> list[int]:
+        """Map a call stack to signature indexes, innermost frame first."""
+        state = self._state_for(process)
+        indexes: list[int] = []
+        for frame in stack:
+            self.stats.frames_seen += 1
+            signature = state.resolve_frame(frame)
+            if signature is None:
+                self.stats.frames_unmapped += 1
+                continue
+            index = state.signature_index.get(str(signature))
+            if index is None:
+                self.stats.frames_unmapped += 1
+                continue
+            self.stats.frames_mapped += 1
+            indexes.append(index)
+        return indexes
+
+    # -- the hook itself ------------------------------------------------------------------------
+
+    def _on_socket_connected(self, context: HookContext) -> None:
+        process = context.process
+        try:
+            options = self._build_options(process)
+        except Exception:
+            self.stats.sockets_failed += 1
+            raise
+        try:
+            if context.java_socket is not None:
+                context.java_socket.set_ip_options_via_jni(options, capabilities=self.capabilities)
+            else:
+                # Native-hook dispatch (Frida-style extension, §VII): there is
+                # no managed socket object, so write the option straight
+                # through the kernel interface on the raw descriptor.
+                self.device.clock.advance(self.device.cost_model.setsockopt_ms)
+                self.device.kernel.setsockopt(
+                    context.fd, IPPROTO_IP, IP_OPTIONS, options, capabilities=self.capabilities
+                )
+        except PermissionDenied:
+            self.stats.sockets_failed += 1
+            raise
+        self.stats.sockets_tagged += 1
+
+    def _build_options(self, process: AppProcess) -> IPOptions:
+        if self.mode is ContextManagerMode.STATIC_INJECT:
+            return IPOptions.single(BORDERPATROL_OPTION_TYPE, self.static_payload)
+        stack = process.get_stack_trace(charge_cost=True)
+        if self.mode is ContextManagerMode.STATIC_GETSTACK:
+            return IPOptions.single(BORDERPATROL_OPTION_TYPE, self.static_payload)
+        # Full dynamic pipeline: resolve, encode and charge the encoding cost.
+        state = self._state_for(process)
+        indexes = self.resolve_stack(process, stack)
+        if len(self.encoder.fit_indexes(indexes)) < len(indexes):
+            self.stats.stacks_truncated += 1
+        self.device.clock.advance(self.device.cost_model.encode_ms)
+        return self.encoder.encode_option(state.app_id, indexes)

@@ -1,0 +1,159 @@
+"""The method-signature index database.
+
+The Offline Analyzer produces, for every managed app, a deterministic
+list of the app's method signatures; the position of a signature in the
+list *is* its index (paper §IV-A1, §V-A).  The database is keyed by the
+apk's md5 and is shared — through this module's
+:func:`canonical_signature_order` — with the Context Manager, so both
+sides of the wire derive exactly the same mapping.
+
+The prototype serialises the database as json "for its ease of use and
+portability"; :meth:`SignatureDatabase.to_json` /
+:meth:`SignatureDatabase.from_json` keep that interface.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.dex.hierarchy import ClassHierarchy
+from repro.dex.model import DexFile
+from repro.dex.signature import MethodSignature
+
+
+def canonical_signature_order(dex_files: Iterable[DexFile]) -> list[MethodSignature]:
+    """The deterministic signature ordering shared by analyzer and device.
+
+    Classes are ordered topologically (parents before children, ties
+    broken lexicographically by descriptor) and, within a class, methods
+    are ordered by their full signature.  Because the input is the app's
+    own dex content, the resulting order — and therefore every
+    signature's index — is identical no matter where it is computed.
+    """
+    hierarchy = ClassHierarchy.from_dex_files(dex_files)
+    ordered: list[MethodSignature] = []
+    for class_def in hierarchy.topological_classes():
+        ordered.extend(
+            sorted((m.signature for m in class_def.methods), key=MethodSignature.sort_key)
+        )
+    return ordered
+
+
+@dataclass
+class DatabaseEntry:
+    """The signature index mapping of one app."""
+
+    md5: str
+    app_id: str
+    package_name: str
+    signatures: list[str]
+    _index_of: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._index_of:
+            self._index_of = {sig: i for i, sig in enumerate(self.signatures)}
+
+    @property
+    def method_count(self) -> int:
+        return len(self.signatures)
+
+    def signature_at(self, index: int) -> str:
+        if not 0 <= index < len(self.signatures):
+            raise IndexError(
+                f"index {index} out of range for {self.package_name} "
+                f"({len(self.signatures)} methods)"
+            )
+        return self.signatures[index]
+
+    def index_of(self, signature: MethodSignature | str) -> int:
+        key = str(signature)
+        try:
+            return self._index_of[key]
+        except KeyError as exc:
+            raise KeyError(f"{key} is not a method of {self.package_name}") from exc
+
+    def contains(self, signature: MethodSignature | str) -> bool:
+        return str(signature) in self._index_of
+
+    def decode_indexes(self, indexes: Iterable[int]) -> list[str]:
+        """Map a sequence of on-wire indexes back to signature strings."""
+        return [self.signature_at(i) for i in indexes]
+
+
+class SignatureDatabase:
+    """All per-app signature mappings known to the enterprise."""
+
+    def __init__(self) -> None:
+        self._by_md5: dict[str, DatabaseEntry] = {}
+        self._by_app_id: dict[str, DatabaseEntry] = {}
+
+    # -- population -------------------------------------------------------------
+
+    def add(self, entry: DatabaseEntry) -> None:
+        self._by_md5[entry.md5] = entry
+        self._by_app_id[entry.app_id] = entry
+
+    def remove(self, md5: str) -> None:
+        entry = self._by_md5.pop(md5, None)
+        if entry is not None:
+            self._by_app_id.pop(entry.app_id, None)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup_md5(self, md5: str) -> DatabaseEntry | None:
+        return self._by_md5.get(md5)
+
+    def lookup_app_id(self, app_id: str) -> DatabaseEntry | None:
+        """Lookup by the truncated on-wire hash (what the Policy Enforcer sees)."""
+        return self._by_app_id.get(app_id)
+
+    def entries(self) -> list[DatabaseEntry]:
+        return list(self._by_md5.values())
+
+    def packages(self) -> list[str]:
+        return sorted(e.package_name for e in self._by_md5.values())
+
+    def __len__(self) -> int:
+        return len(self._by_md5)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_md5 or key in self._by_app_id
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            md5: {
+                "app_id": entry.app_id,
+                "package": entry.package_name,
+                "signatures": entry.signatures,
+            }
+            for md5, entry in self._by_md5.items()
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SignatureDatabase":
+        database = cls()
+        payload = json.loads(text)
+        for md5, body in payload.items():
+            database.add(
+                DatabaseEntry(
+                    md5=md5,
+                    app_id=body["app_id"],
+                    package_name=body["package"],
+                    signatures=list(body["signatures"]),
+                )
+            )
+        return database
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "SignatureDatabase":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

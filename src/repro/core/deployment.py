@@ -1,0 +1,141 @@
+"""End-to-end BorderPatrol deployment.
+
+Ties every component to its place in the paper's architecture
+(Figure 1): the Offline Analyzer and its database live in the
+enterprise back office, the Policy Enforcer and Packet Sanitizer sit in
+NFQUEUEs at the gateway, and provisioned devices ship the patched
+kernel, the Xposed framework and the Context Manager module.  This is
+the object most examples and experiments interact with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.android.app_model import AppBehavior
+from repro.android.costs import CostModel
+from repro.android.device import Device, NetworkMode
+from repro.apk.package import ApkFile
+from repro.core.context_manager import ContextManager, ContextManagerMode
+from repro.core.database import SignatureDatabase
+from repro.core.offline_analyzer import OfflineAnalyzer
+from repro.core.packet_sanitizer import PacketSanitizer
+from repro.core.policy import Policy
+from repro.core.policy_enforcer import PolicyEnforcer
+from repro.core.encoding import IndexWidth
+from repro.netstack.sockets import KernelConfig
+from repro.network.topology import EnterpriseNetwork
+
+
+@dataclass
+class ProvisionedDevice:
+    """A device enrolled in the BYOD programme plus its Context Manager."""
+
+    device: Device
+    context_manager: ContextManager
+
+
+class BorderPatrolDeployment:
+    """A complete BorderPatrol installation for one enterprise network."""
+
+    def __init__(
+        self,
+        network: EnterpriseNetwork | None = None,
+        policy: Policy | None = None,
+        drop_untagged: bool = True,
+        drop_unknown_apps: bool = True,
+        index_width: IndexWidth = IndexWidth.FIXED_2,
+        cost_model: CostModel | None = None,
+        context_manager_mode: ContextManagerMode = ContextManagerMode.DYNAMIC,
+        tag_replay_hardening: bool = False,
+    ) -> None:
+        self.network = network or EnterpriseNetwork()
+        self.cost_model = cost_model or CostModel()
+        self.index_width = index_width
+        self.context_manager_mode = context_manager_mode
+        self.tag_replay_hardening = tag_replay_hardening
+
+        self.database = SignatureDatabase()
+        self.offline_analyzer = OfflineAnalyzer(self.database)
+        self.enforcer = PolicyEnforcer(
+            database=self.database,
+            policy=policy or Policy.allow_all(),
+            drop_untagged=drop_untagged,
+            drop_unknown_apps=drop_unknown_apps,
+            index_width=index_width,
+        )
+        self.sanitizer = PacketSanitizer()
+        self.network.install_queue_chain(
+            enforcer=self.enforcer,
+            sanitizer=self.sanitizer,
+            queue_latency_ms=self.cost_model.nfqueue_ms,
+        )
+        self.devices: list[ProvisionedDevice] = []
+
+    # -- policy management -------------------------------------------------------------
+
+    @property
+    def policy(self) -> Policy:
+        return self.enforcer.policy
+
+    def set_policy(self, policy: Policy) -> None:
+        """Update the centrally managed policy (one spot for all devices)."""
+        self.enforcer.set_policy(policy)
+
+    # -- app enrolment -------------------------------------------------------------------
+
+    def enroll_app(self, apk: ApkFile) -> None:
+        """Run the Offline Analyzer over a new app the enterprise wants to manage."""
+        self.offline_analyzer.analyze(apk)
+
+    def enroll_apps(self, apks: list[ApkFile]) -> None:
+        self.offline_analyzer.analyze_batch(apks)
+
+    # -- device provisioning -----------------------------------------------------------------
+
+    def provision_device(
+        self,
+        name: str = "byod-device",
+        network_mode: NetworkMode = NetworkMode.TAP,
+        native_hooking: bool = False,
+    ) -> ProvisionedDevice:
+        """Create a provisioned device: patched kernel, Xposed, Context Manager.
+
+        ``native_hooking`` enables the Frida-style extension discussed in
+        the paper's §VII, letting the Context Manager also tag sockets
+        opened from native code.
+        """
+        device = Device(
+            name=name,
+            network=self.network,
+            kernel_config=KernelConfig(
+                allow_unprivileged_ip_options=True,
+                enforce_setsockopt_once=self.tag_replay_hardening,
+            ),
+            cost_model=self.cost_model,
+            network_mode=network_mode,
+            xposed_installed=True,
+            native_hooking=native_hooking,
+        )
+        context_manager = ContextManager(
+            device=device, mode=self.context_manager_mode, index_width=self.index_width
+        )
+        context_manager.install()
+        provisioned = ProvisionedDevice(device=device, context_manager=context_manager)
+        self.devices.append(provisioned)
+        return provisioned
+
+    # -- convenience -----------------------------------------------------------------------------
+
+    def install_and_launch(
+        self, provisioned: ProvisionedDevice, apk: ApkFile, behavior: AppBehavior
+    ):
+        """Enroll, install and launch an app on a provisioned device in one call."""
+        self.enroll_app(apk)
+        provisioned.device.install(apk, behavior)
+        return provisioned.device.launch(apk.package_name)
+
+    def reset_observations(self) -> None:
+        """Clear captures, enforcement records and server state between runs."""
+        self.network.reset_observations()
+        self.enforcer.reset()

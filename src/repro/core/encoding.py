@@ -1,0 +1,170 @@
+"""On-wire encoding of execution context.
+
+The Context Manager must squeeze an app identifier plus a stack trace
+into the 40-byte IP options field (minus the option's own type and
+length bytes — 38 bytes of usable data).  The paper's scheme (§IV-A1,
+§VII):
+
+* the app is identified by the first 8 bytes of its apk's md5;
+* each stack frame is replaced by the *index* of its method signature
+  in the app's deterministic signature ordering, 2 bytes per frame;
+* apps with more than 65,536 methods (multi-dex) need wider indexes;
+  the discussion proposes a variable-length encoding using one bit to
+  select 2- or 3-byte indexes, which :class:`IndexWidth.VARIABLE`
+  implements.
+
+With the fixed 2-byte width, 8 + 2·n ≤ 38 allows up to 15 frames per
+tag; deeper stacks are truncated keeping the innermost frames, which are
+the ones closest to the network call and therefore the most
+discriminative for policy purposes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.netstack.ip import BORDERPATROL_OPTION_TYPE, IPOptions, MAX_IP_OPTIONS_BYTES
+
+#: Usable payload bytes inside a single IP option (type and length bytes excluded).
+MAX_OPTION_DATA_BYTES = MAX_IP_OPTIONS_BYTES - 2
+
+#: Bytes of the truncated apk hash carried in every tag.
+APP_ID_BYTES = 8
+
+
+class EncodingError(ValueError):
+    """Raised when a context tag cannot be encoded or decoded."""
+
+
+class IndexWidth(enum.Enum):
+    """How method-signature indexes are laid out on the wire."""
+
+    #: Fixed two bytes per frame (the prototype's scheme; max 65,536 methods).
+    FIXED_2 = "fixed-2"
+    #: One flag bit selects a 2- or 3-byte index (multi-dex support, §VII).
+    VARIABLE = "variable"
+
+
+@dataclass(frozen=True)
+class ContextTag:
+    """The decoded content of a BorderPatrol IP option."""
+
+    app_id: str
+    indexes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(bytes.fromhex(self.app_id)) != APP_ID_BYTES:
+            raise EncodingError(f"app id must be {APP_ID_BYTES} bytes of hex")
+        for index in self.indexes:
+            if index < 0:
+                raise EncodingError("method indexes cannot be negative")
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.indexes)
+
+
+class StackTraceEncoder:
+    """Encode / decode context tags to and from IP option bytes."""
+
+    def __init__(self, index_width: IndexWidth = IndexWidth.FIXED_2) -> None:
+        self.index_width = index_width
+
+    # -- capacity ---------------------------------------------------------------
+
+    def max_frames(self) -> int:
+        """Upper bound on how many frames fit in one tag (fixed-width only)."""
+        budget = MAX_OPTION_DATA_BYTES - APP_ID_BYTES
+        if self.index_width is IndexWidth.FIXED_2:
+            return budget // 2
+        # Variable width: worst case every index needs 3 bytes.
+        return budget // 3
+
+    def fit_indexes(self, indexes: list[int] | tuple[int, ...]) -> tuple[int, ...]:
+        """Truncate ``indexes`` (innermost first) so the tag fits in the option."""
+        kept: list[int] = []
+        budget = MAX_OPTION_DATA_BYTES - APP_ID_BYTES
+        used = 0
+        for index in indexes:
+            width = self._width_of(index)
+            if used + width > budget:
+                break
+            kept.append(index)
+            used += width
+        return tuple(kept)
+
+    def _width_of(self, index: int) -> int:
+        if self.index_width is IndexWidth.FIXED_2:
+            if index >= 0x1_0000:
+                raise EncodingError(
+                    f"index {index} does not fit in 2 bytes; the app needs the "
+                    "variable-width encoding (multi-dex limitation, paper §VII)"
+                )
+            return 2
+        return 2 if index < 0x8000 else 3
+
+    # -- encoding -----------------------------------------------------------------
+
+    def encode(self, app_id: str, indexes: list[int] | tuple[int, ...]) -> bytes:
+        """Encode the app identifier and frame indexes into option payload bytes."""
+        app_bytes = bytes.fromhex(app_id)
+        if len(app_bytes) != APP_ID_BYTES:
+            raise EncodingError(f"app id must be {APP_ID_BYTES} bytes of hex")
+        fitted = self.fit_indexes(indexes)
+        body = bytearray(app_bytes)
+        for index in fitted:
+            width = self._width_of(index)
+            if self.index_width is IndexWidth.FIXED_2:
+                body += index.to_bytes(2, "big")
+            elif width == 2:
+                body += index.to_bytes(2, "big")
+            else:
+                if index >= 0x40_0000:
+                    raise EncodingError(f"index {index} exceeds the 3-byte variable encoding")
+                body += (0x80_0000 | index).to_bytes(3, "big")
+        if len(body) > MAX_OPTION_DATA_BYTES:
+            raise EncodingError("encoded tag exceeds the IP option capacity")
+        return bytes(body)
+
+    def encode_option(self, app_id: str, indexes: list[int] | tuple[int, ...]) -> IPOptions:
+        """Encode straight into an :class:`IPOptions` value ready for setsockopt."""
+        return IPOptions.single(BORDERPATROL_OPTION_TYPE, self.encode(app_id, indexes))
+
+    # -- decoding -------------------------------------------------------------------
+
+    def decode(self, data: bytes) -> ContextTag:
+        """Decode option payload bytes back into a :class:`ContextTag`."""
+        if len(data) < APP_ID_BYTES:
+            raise EncodingError("tag shorter than the app identifier")
+        app_id = data[:APP_ID_BYTES].hex()
+        body = data[APP_ID_BYTES:]
+        indexes: list[int] = []
+        position = 0
+        while position < len(body):
+            if self.index_width is IndexWidth.FIXED_2:
+                if position + 2 > len(body):
+                    raise EncodingError("truncated 2-byte index")
+                indexes.append(int.from_bytes(body[position : position + 2], "big"))
+                position += 2
+                continue
+            first = body[position]
+            if first & 0x80:
+                if position + 3 > len(body):
+                    raise EncodingError("truncated 3-byte index")
+                value = int.from_bytes(body[position : position + 3], "big") & 0x7F_FFFF
+                indexes.append(value)
+                position += 3
+            else:
+                if position + 2 > len(body):
+                    raise EncodingError("truncated 2-byte index")
+                indexes.append(int.from_bytes(body[position : position + 2], "big"))
+                position += 2
+        return ContextTag(app_id=app_id, indexes=tuple(indexes))
+
+    def decode_options(self, options: IPOptions) -> ContextTag | None:
+        """Extract and decode the BorderPatrol option from a packet's options."""
+        option = options.find(BORDERPATROL_OPTION_TYPE)
+        if option is None:
+            return None
+        return self.decode(option.data)

@@ -1,0 +1,78 @@
+"""The Offline Analyzer.
+
+For every app the enterprise wants BorderPatrol to manage, the Offline
+Analyzer parses the apk's dex files, extracts all method signatures,
+orders them deterministically and assigns sequential indexes; the
+result is stored in the signature database under the apk's md5 hash
+(paper §IV-A1, §V-A).  The same canonical ordering function is used by
+the on-device Context Manager so encoder and decoder always agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.apk.package import ApkFile
+from repro.core.database import DatabaseEntry, SignatureDatabase, canonical_signature_order
+
+
+@dataclass
+class AnalysisReport:
+    """Summary of one Offline Analyzer batch run."""
+
+    apps_processed: int = 0
+    apps_skipped: int = 0
+    total_methods: int = 0
+    multidex_apps: int = 0
+
+    def merge(self, other: "AnalysisReport") -> "AnalysisReport":
+        return AnalysisReport(
+            apps_processed=self.apps_processed + other.apps_processed,
+            apps_skipped=self.apps_skipped + other.apps_skipped,
+            total_methods=self.total_methods + other.total_methods,
+            multidex_apps=self.multidex_apps + other.multidex_apps,
+        )
+
+
+class OfflineAnalyzer:
+    """Builds :class:`~repro.core.database.SignatureDatabase` entries from apks."""
+
+    def __init__(self, database: SignatureDatabase | None = None) -> None:
+        self.database = SignatureDatabase() if database is None else database
+
+    def analyze(self, apk: ApkFile) -> DatabaseEntry:
+        """Process one apk and register its signature mapping.
+
+        Re-analysing an already-known apk (same md5) is idempotent and
+        returns the existing entry, so app-store updates with a new hash
+        coexist with older versions still installed on some devices.
+        """
+        existing = self.database.lookup_md5(apk.md5)
+        if existing is not None:
+            return existing
+        dex_files = apk.parse_dex_files()
+        signatures = [str(s) for s in canonical_signature_order(dex_files)]
+        entry = DatabaseEntry(
+            md5=apk.md5,
+            app_id=apk.app_id,
+            package_name=apk.package_name,
+            signatures=signatures,
+        )
+        self.database.add(entry)
+        return entry
+
+    def analyze_batch(self, apks: Iterable[ApkFile]) -> AnalysisReport:
+        """Process a list of apks, as the prototype's Java tool does."""
+        report = AnalysisReport()
+        for apk in apks:
+            already_known = self.database.lookup_md5(apk.md5) is not None
+            entry = self.analyze(apk)
+            if already_known:
+                report.apps_skipped += 1
+                continue
+            report.apps_processed += 1
+            report.total_methods += entry.method_count
+            if apk.is_multidex:
+                report.multidex_apps += 1
+        return report

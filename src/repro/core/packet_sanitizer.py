@@ -1,0 +1,51 @@
+"""The Packet Sanitizer.
+
+Policy-conforming packets still carry BorderPatrol's context tag when
+they leave the Policy Enforcer.  Routers on the public Internet drop
+packets with IP options (RFC 7126 and vendor guidance), and the tag
+itself leaks execution-context information (app identity, loaded
+libraries) that must not escape the corporate perimeter.  The Packet
+Sanitizer therefore strips ``IP_OPTIONS`` from every outbound packet
+before it crosses the border (paper §IV-A4, §V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netstack.ip import BORDERPATROL_OPTION_TYPE, IPPacket
+from repro.netstack.netfilter import Verdict
+
+
+@dataclass
+class SanitizerStats:
+    packets_seen: int = 0
+    packets_sanitized: int = 0
+    packets_untouched: int = 0
+
+
+class PacketSanitizer:
+    """NFQUEUE consumer that removes IP options from conforming packets."""
+
+    def __init__(self, strip_all_options: bool = True) -> None:
+        #: When True (default, matching the prototype) the whole options field
+        #: is cleared; when False only the BorderPatrol option is removed and
+        #: unrelated options (e.g. timestamps) survive.
+        self.strip_all_options = strip_all_options
+        self.stats = SanitizerStats()
+
+    def process(self, packet: IPPacket) -> tuple[Verdict, IPPacket]:
+        self.stats.packets_seen += 1
+        if not packet.has_options:
+            self.stats.packets_untouched += 1
+            return Verdict.ACCEPT, packet
+        if self.strip_all_options:
+            sanitized = packet.stripped()
+        else:
+            remaining = packet.options.without(BORDERPATROL_OPTION_TYPE)
+            sanitized = packet.with_options(remaining)
+        if sanitized.options.wire_length == packet.options.wire_length:
+            self.stats.packets_untouched += 1
+            return Verdict.ACCEPT, packet
+        self.stats.packets_sanitized += 1
+        return Verdict.ACCEPT, sanitized

@@ -1,0 +1,287 @@
+"""Policy model, grammar and evaluation.
+
+The paper defines (§IV-B) policies as triples of an *action* (allow or
+deny), an *enforcement level* (hash < library < class < method, ordered
+by granularity) and a *target* (a search string matched against the
+app hash or the method signatures of a packet's decoded stack trace).
+
+Evaluation rules, with ``s`` ranging over the stack signatures in the
+packet header and ``ℓθ`` the level at which the target matches ``s``:
+
+* ``deny``  — drop the packet if **there exists** an ``s`` whose match
+  level is at least the rule's level (blacklisting);
+* ``allow`` — the packet may pass only if **every** ``s`` matches the
+  target at the rule's level or higher (whitelisting).
+
+A policy is an ordered collection of such rules plus a default action.
+Deny rules are authoritative: any triggered deny drops the packet.  If
+the policy contains allow rules, at least one of them must be satisfied
+for the packet to pass (whitelist mode); otherwise the default action
+applies.
+
+The concrete grammar of the paper's Snippet 1 is supported verbatim::
+
+    {[deny][library]["com/flurry"]}
+    {[deny][method]["Lcom/dropbox/android/taskqueue/UploadTask;->c()Lcom/dropbox/hairball/taskqueue/TaskResult"]}
+    {[allow][hash]["da6880ab1f9919747d39e2bd895b95a5"]}
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.dex.signature import MethodSignature
+from repro.netstack.netfilter import Verdict
+
+
+class PolicyParseError(ValueError):
+    """Raised when policy text does not follow the Snippet 1 grammar."""
+
+
+class PolicyAction(str, enum.Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+class PolicyLevel(enum.IntEnum):
+    """Enforcement granularity, ordered: hash < library < class < method."""
+
+    HASH = 1
+    LIBRARY = 2
+    CLASS = 3
+    METHOD = 4
+
+    @classmethod
+    def parse(cls, text: str) -> "PolicyLevel":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError as exc:
+            raise PolicyParseError(f"unknown policy level: {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class DecodedContext:
+    """What the Policy Enforcer reconstructs from one packet's tag."""
+
+    app_id: str
+    signatures: tuple[str, ...]
+    app_md5: str = ""
+    package_name: str = ""
+
+    @property
+    def parsed_signatures(self) -> tuple[MethodSignature, ...]:
+        parsed = []
+        for signature in self.signatures:
+            try:
+                parsed.append(MethodSignature.parse(signature))
+            except ValueError:
+                continue
+        return tuple(parsed)
+
+
+def _normalise(text: str) -> str:
+    return text.strip().strip("/").replace(".", "/")
+
+
+def match_level(target: str, signature: str) -> PolicyLevel | None:
+    """Highest granularity at which ``target`` matches ``signature``.
+
+    Returns None when the target does not match at all.  The target is
+    interpreted the way the paper's examples use it: a slash-separated
+    package/class prefix, or a full (possibly return-type-less) method
+    signature string.
+    """
+    try:
+        parsed = MethodSignature.parse(signature)
+    except ValueError:
+        return None
+    stripped_target = target.strip()
+    # Method-level: the target is (a prefix of) the full signature string.
+    if "->" in stripped_target:
+        if str(parsed).startswith(stripped_target.rstrip(";")) or str(parsed) == stripped_target:
+            return PolicyLevel.METHOD
+        return None
+    normalised_target = _normalise(stripped_target)
+    slash_class = parsed.slash_class
+    if slash_class == normalised_target:
+        return PolicyLevel.CLASS
+    if slash_class.startswith(normalised_target + "/") or parsed.library == normalised_target:
+        return PolicyLevel.LIBRARY
+    if parsed.library.startswith(normalised_target + "/"):
+        return PolicyLevel.LIBRARY
+    return None
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One ``{[action][level][target]}`` rule."""
+
+    action: PolicyAction
+    level: PolicyLevel
+    target: str
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise PolicyParseError("policy rules need a non-empty target")
+
+    # -- matching ------------------------------------------------------------------
+
+    def _hash_matches(self, context: DecodedContext) -> bool:
+        target = self.target.lower()
+        return target in (context.app_id.lower(), context.app_md5.lower())
+
+    def signature_matches(self, signature: str) -> bool:
+        """True if the target matches ``signature`` at this rule's level or higher."""
+        if self.level is PolicyLevel.HASH:
+            return False
+        level = match_level(self.target, signature)
+        return level is not None and level >= self.level
+
+    def triggers_deny(self, context: DecodedContext) -> bool:
+        """Deny semantics: ∃ s matching at level ≥ L (or the hash matches)."""
+        if self.action is not PolicyAction.DENY:
+            return False
+        if self.level is PolicyLevel.HASH:
+            return self._hash_matches(context)
+        return any(self.signature_matches(s) for s in context.signatures)
+
+    def satisfies_allow(self, context: DecodedContext) -> bool:
+        """Allow semantics: ∀ s matching at level ≥ L (or the hash matches)."""
+        if self.action is not PolicyAction.ALLOW:
+            return False
+        if self.level is PolicyLevel.HASH:
+            return self._hash_matches(context)
+        if not context.signatures:
+            return False
+        return all(self.signature_matches(s) for s in context.signatures)
+
+    # -- rendering ------------------------------------------------------------------
+
+    def render(self) -> str:
+        return f'{{[{self.action.value}][{self.level.name.lower()}]["{self.target}"]}}'
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """The enforcement outcome for one packet."""
+
+    verdict: Verdict
+    matched_rule: PolicyRule | None = None
+    reason: str = ""
+
+    @property
+    def allowed(self) -> bool:
+        return self.verdict is Verdict.ACCEPT
+
+
+@dataclass
+class Policy:
+    """An ordered set of rules plus a default action."""
+
+    rules: list[PolicyRule] = field(default_factory=list)
+    default_action: PolicyAction = PolicyAction.ALLOW
+    name: str = "policy"
+
+    def add_rule(self, rule: PolicyRule) -> None:
+        self.rules.append(rule)
+
+    def deny_rules(self) -> list[PolicyRule]:
+        return [r for r in self.rules if r.action is PolicyAction.DENY]
+
+    def allow_rules(self) -> list[PolicyRule]:
+        return [r for r in self.rules if r.action is PolicyAction.ALLOW]
+
+    def evaluate(self, context: DecodedContext) -> PolicyDecision:
+        """Apply the paper's rule semantics to one decoded packet context."""
+        for rule in self.deny_rules():
+            if rule.triggers_deny(context):
+                return PolicyDecision(
+                    verdict=Verdict.DROP,
+                    matched_rule=rule,
+                    reason=f"deny rule matched: {rule.render()}",
+                )
+        allow_rules = self.allow_rules()
+        if allow_rules:
+            for rule in allow_rules:
+                if rule.satisfies_allow(context):
+                    return PolicyDecision(
+                        verdict=Verdict.ACCEPT,
+                        matched_rule=rule,
+                        reason=f"allow rule satisfied: {rule.render()}",
+                    )
+            return PolicyDecision(
+                verdict=Verdict.DROP,
+                reason="whitelist mode: no allow rule satisfied",
+            )
+        if self.default_action is PolicyAction.ALLOW:
+            return PolicyDecision(verdict=Verdict.ACCEPT, reason="default allow")
+        return PolicyDecision(verdict=Verdict.DROP, reason="default deny")
+
+    def render(self) -> str:
+        return "\n".join(rule.render() for rule in self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[PolicyRule]:
+        return iter(self.rules)
+
+    # -- convenience constructors ---------------------------------------------------
+
+    @classmethod
+    def deny_libraries(cls, libraries: Iterable[str], name: str = "library-blacklist") -> "Policy":
+        """A blacklist policy that denies every listed library prefix."""
+        policy = cls(name=name)
+        for library in libraries:
+            policy.add_rule(
+                PolicyRule(action=PolicyAction.DENY, level=PolicyLevel.LIBRARY, target=library)
+            )
+        return policy
+
+    @classmethod
+    def allow_all(cls, name: str = "allow-all") -> "Policy":
+        return cls(name=name, default_action=PolicyAction.ALLOW)
+
+
+_RULE_RE = re.compile(
+    r"""\{\s*\[(?P<action>allow|deny)\]\s*\[(?P<level>hash|library|class|method)\]\s*\["(?P<target>[^"]+)"\]\s*\}""",
+    re.IGNORECASE,
+)
+
+
+def parse_policy(text: str, name: str = "policy", default_action: PolicyAction = PolicyAction.ALLOW) -> Policy:
+    """Parse policy text written in the paper's Snippet 1 grammar.
+
+    Lines starting with ``//`` are comments; blank lines are ignored;
+    rules may span multiple lines (the Dropbox example in the paper wraps
+    its method target).
+    """
+    # Strip comments line-wise, then scan the whole remaining text for rules
+    # so that a rule broken across lines still parses.
+    stripped_lines = []
+    for line in text.splitlines():
+        if line.strip().startswith("//"):
+            continue
+        stripped_lines.append(line)
+    body = "\n".join(stripped_lines)
+    policy = Policy(name=name, default_action=default_action)
+    matched_spans = 0
+    for match in _RULE_RE.finditer(body.replace("\n", "")):
+        matched_spans += 1
+        policy.add_rule(
+            PolicyRule(
+                action=PolicyAction(match.group("action").lower()),
+                level=PolicyLevel.parse(match.group("level")),
+                target=match.group("target"),
+            )
+        )
+    leftover = _RULE_RE.sub("", body.replace("\n", "")).strip()
+    if leftover and not matched_spans:
+        raise PolicyParseError(f"no valid policy rules found in: {text[:80]!r}")
+    if leftover and "{" in leftover:
+        raise PolicyParseError(f"unparseable policy fragment: {leftover[:80]!r}")
+    return policy

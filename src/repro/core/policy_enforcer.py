@@ -1,0 +1,172 @@
+"""The Policy Enforcer — BorderPatrol's border-side decision point.
+
+A user-space NFQUEUE consumer (the prototype uses Python's
+``netfilterqueue`` bindings plus Scapy, §V-C) that runs three stages per
+packet:
+
+1. *extraction* — pull the BorderPatrol option out of ``IP_OPTIONS``;
+2. *decoding*   — select the app's signature mapping by the embedded
+   (truncated) apk hash and map each index back to a method signature,
+   rebuilding the stack trace;
+3. *enforcement* — evaluate the company policy against the decoded
+   context and accept or drop the packet.
+
+Packets without a tag are dropped by default: per the paper's
+compatibility discussion (§VII) every packet leaving the work profile
+must originate from a socket BorderPatrol controls, so an untagged
+packet inside the perimeter is either personal-profile traffic that
+should not exit through the corporate uplink or an app evading the
+Context Manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.database import SignatureDatabase
+from repro.core.encoding import EncodingError, IndexWidth, StackTraceEncoder
+from repro.core.policy import DecodedContext, Policy, PolicyDecision
+from repro.netstack.ip import IPPacket
+from repro.netstack.netfilter import Verdict
+
+
+@dataclass(frozen=True)
+class EnforcementRecord:
+    """One enforcement decision, kept for auditing and experiments."""
+
+    packet_id: int
+    dst_ip: str
+    verdict: Verdict
+    reason: str
+    app_id: str = ""
+    package_name: str = ""
+    signatures: tuple[str, ...] = ()
+
+    @property
+    def dropped(self) -> bool:
+        return self.verdict is Verdict.DROP
+
+
+@dataclass
+class EnforcerStats:
+    packets_seen: int = 0
+    packets_allowed: int = 0
+    packets_dropped: int = 0
+    untagged_packets: int = 0
+    unknown_apps: int = 0
+    decode_errors: int = 0
+
+
+class PolicyEnforcer:
+    """NFQUEUE consumer applying the company policy to tagged packets."""
+
+    def __init__(
+        self,
+        database: SignatureDatabase,
+        policy: Policy | None = None,
+        drop_untagged: bool = True,
+        drop_unknown_apps: bool = True,
+        index_width: IndexWidth = IndexWidth.FIXED_2,
+        keep_records: bool = True,
+    ) -> None:
+        self.database = database
+        self.policy = policy or Policy.allow_all()
+        self.drop_untagged = drop_untagged
+        self.drop_unknown_apps = drop_unknown_apps
+        self.encoder = StackTraceEncoder(index_width=index_width)
+        self.keep_records = keep_records
+        self.stats = EnforcerStats()
+        self.records: list[EnforcementRecord] = []
+
+    # -- policy management ------------------------------------------------------------
+
+    def set_policy(self, policy: Policy) -> None:
+        """Swap the active policy; takes effect for the next packet."""
+        self.policy = policy
+
+    # -- QueueConsumer interface ---------------------------------------------------------
+
+    def process(self, packet: IPPacket) -> tuple[Verdict, IPPacket]:
+        self.stats.packets_seen += 1
+        verdict, record = self._decide(packet)
+        if verdict is Verdict.ACCEPT:
+            self.stats.packets_allowed += 1
+        else:
+            self.stats.packets_dropped += 1
+        if self.keep_records:
+            self.records.append(record)
+        return verdict, packet
+
+    # -- the three stages -----------------------------------------------------------------
+
+    def _decide(self, packet: IPPacket) -> tuple[Verdict, EnforcementRecord]:
+        # Stage 1: extraction.
+        tag_option = self.encoder.decode_options(packet.options)
+        if tag_option is None:
+            self.stats.untagged_packets += 1
+            verdict = Verdict.DROP if self.drop_untagged else Verdict.ACCEPT
+            return verdict, EnforcementRecord(
+                packet_id=packet.packet_id,
+                dst_ip=packet.dst_ip,
+                verdict=verdict,
+                reason="untagged packet",
+            )
+
+        # Stage 2: decoding.
+        entry = self.database.lookup_app_id(tag_option.app_id)
+        if entry is None:
+            self.stats.unknown_apps += 1
+            verdict = Verdict.DROP if self.drop_unknown_apps else Verdict.ACCEPT
+            return verdict, EnforcementRecord(
+                packet_id=packet.packet_id,
+                dst_ip=packet.dst_ip,
+                verdict=verdict,
+                reason="unknown app hash",
+                app_id=tag_option.app_id,
+            )
+        try:
+            signatures = tuple(entry.decode_indexes(tag_option.indexes))
+        except IndexError:
+            self.stats.decode_errors += 1
+            return Verdict.DROP, EnforcementRecord(
+                packet_id=packet.packet_id,
+                dst_ip=packet.dst_ip,
+                verdict=Verdict.DROP,
+                reason="index out of range for app mapping",
+                app_id=tag_option.app_id,
+                package_name=entry.package_name,
+            )
+        context = DecodedContext(
+            app_id=tag_option.app_id,
+            signatures=signatures,
+            app_md5=entry.md5,
+            package_name=entry.package_name,
+        )
+
+        # Stage 3: enforcement.
+        decision: PolicyDecision = self.policy.evaluate(context)
+        return decision.verdict, EnforcementRecord(
+            packet_id=packet.packet_id,
+            dst_ip=packet.dst_ip,
+            verdict=decision.verdict,
+            reason=decision.reason,
+            app_id=tag_option.app_id,
+            package_name=entry.package_name,
+            signatures=signatures,
+        )
+
+    # -- inspection -----------------------------------------------------------------------
+
+    def dropped_records(self) -> list[EnforcementRecord]:
+        return [r for r in self.records if r.dropped]
+
+    def allowed_records(self) -> list[EnforcementRecord]:
+        return [r for r in self.records if not r.dropped]
+
+    def decoded_stacks_to(self, dst_ip: str) -> list[tuple[str, ...]]:
+        """Distinct decoded stack traces observed towards ``dst_ip``."""
+        return [r.signatures for r in self.records if r.dst_ip == dst_ip and r.signatures]
+
+    def reset(self) -> None:
+        self.stats = EnforcerStats()
+        self.records.clear()

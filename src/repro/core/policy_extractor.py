@@ -1,0 +1,103 @@
+"""The Policy Extractor — the administrator-assist tool (paper §V-E).
+
+Administrators run an app twice: first exercising only the allowed
+functionalities (the *baseline* profile), then exercising the
+undesirable functionalities.  The Policy Extractor diffs the method
+signatures observed in the two runs' stack traces, keeps the ones that
+appear only in the undesirable run, and turns them into policy rules at
+a requested enforcement level (method, class or library).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.dex.signature import MethodSignature
+
+
+@dataclass
+class ProfileRun:
+    """The decoded stack traces observed during one guided app run."""
+
+    label: str
+    stacks: list[tuple[str, ...]] = field(default_factory=list)
+
+    def add_stack(self, signatures: Iterable[str]) -> None:
+        self.stacks.append(tuple(signatures))
+
+    def signature_set(self) -> set[str]:
+        return {signature for stack in self.stacks for signature in stack}
+
+    @property
+    def stack_count(self) -> int:
+        return len(self.stacks)
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """The diff between two profile runs plus the generated policy."""
+
+    unique_signatures: tuple[str, ...]
+    policy: Policy
+
+    @property
+    def rule_count(self) -> int:
+        return len(self.policy)
+
+
+class PolicyExtractor:
+    """Differential policy construction from two guided runs."""
+
+    def __init__(self, level: PolicyLevel = PolicyLevel.METHOD) -> None:
+        if level is PolicyLevel.HASH:
+            raise ValueError("the extractor generates code-level rules, not hash rules")
+        self.level = level
+
+    # -- target derivation -------------------------------------------------------------
+
+    def _target_for(self, signature: str) -> str | None:
+        try:
+            parsed = MethodSignature.parse(signature)
+        except ValueError:
+            return None
+        if self.level is PolicyLevel.METHOD:
+            return str(parsed)
+        if self.level is PolicyLevel.CLASS:
+            return parsed.slash_class
+        return parsed.library or None
+
+    # -- extraction ----------------------------------------------------------------------
+
+    def unique_signatures(self, baseline: ProfileRun, undesired: ProfileRun) -> list[str]:
+        """Signatures seen in the undesired run but never in the baseline run."""
+        return sorted(undesired.signature_set() - baseline.signature_set())
+
+    def extract(
+        self,
+        baseline: ProfileRun,
+        undesired: ProfileRun,
+        policy_name: str = "extracted-policy",
+    ) -> ExtractionResult:
+        """Build a deny policy for the functionality unique to the undesired run."""
+        unique = self.unique_signatures(baseline, undesired)
+        targets: list[str] = []
+        seen: set[str] = set()
+        for signature in unique:
+            target = self._target_for(signature)
+            if target is None or target in seen:
+                continue
+            seen.add(target)
+            targets.append(target)
+        policy = Policy(name=policy_name)
+        for target in targets:
+            policy.add_rule(
+                PolicyRule(
+                    action=PolicyAction.DENY,
+                    level=self.level,
+                    target=target,
+                    comment=f"extracted from run {undesired.label!r}",
+                )
+            )
+        return ExtractionResult(unique_signatures=tuple(unique), policy=policy)

@@ -1,0 +1,52 @@
+"""Dalvik executable (DEX) model.
+
+This package provides an in-memory model of the parts of the Dalvik
+``classes.dex`` file format that BorderPatrol's Offline Analyzer and
+Context Manager rely on (paper §II-A):
+
+* the class hierarchy (inheritance relationships between classes),
+* method signatures (class + method name + parameter types + return type),
+* debug information mapping bytecode back to source line numbers, and
+* the 65,536-method limit that forces multi-dex packaging.
+
+The real prototype uses ``dexlib2`` to read compiled apks.  In this
+reproduction apps are synthetic, so :class:`~repro.dex.builder.DexBuilder`
+constructs dex files programmatically and
+:class:`~repro.dex.parser.DexParser` re-reads them from a compact binary
+serialisation, playing the role dexlib2 plays in the paper.
+"""
+
+from repro.dex.signature import MethodSignature, parse_descriptor, format_descriptor
+from repro.dex.model import (
+    AccessFlags,
+    DebugInfo,
+    MethodDef,
+    FieldDef,
+    ClassDef,
+    DexFile,
+    MultiDexError,
+    DEX_METHOD_LIMIT,
+)
+from repro.dex.builder import DexBuilder, LibraryTemplate
+from repro.dex.parser import DexParser, DexSerializer, DexFormatError
+from repro.dex.hierarchy import ClassHierarchy
+
+__all__ = [
+    "MethodSignature",
+    "parse_descriptor",
+    "format_descriptor",
+    "AccessFlags",
+    "DebugInfo",
+    "MethodDef",
+    "FieldDef",
+    "ClassDef",
+    "DexFile",
+    "MultiDexError",
+    "DEX_METHOD_LIMIT",
+    "DexBuilder",
+    "LibraryTemplate",
+    "DexParser",
+    "DexSerializer",
+    "DexFormatError",
+    "ClassHierarchy",
+]

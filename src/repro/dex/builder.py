@@ -1,0 +1,221 @@
+"""Programmatic construction of dex files.
+
+Real apps arrive as compiled apks; our synthetic corpus builds them
+instead.  :class:`DexBuilder` provides a small fluent API for declaring
+classes and methods with automatically maintained debug line tables, and
+:class:`LibraryTemplate` describes a reusable third-party library (an
+analytics SDK, an HTTP client, ...) that can be stamped into many apps,
+which is exactly the structural property (shared libraries reused across
+apps and across components within an app) that drives the paper's
+IP-of-interest analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dex.model import (
+    AccessFlags,
+    ClassDef,
+    DebugInfo,
+    DexFile,
+    MethodDef,
+    DEX_METHOD_LIMIT,
+)
+from repro.dex.signature import MethodSignature, format_descriptor
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Declarative description of a method inside a :class:`LibraryTemplate`."""
+
+    name: str
+    parameter_types: tuple[str, ...] = ()
+    return_type: str = "void"
+    code_size: int = 24
+    native: bool = False
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """Declarative description of a class inside a :class:`LibraryTemplate`."""
+
+    class_name: str
+    methods: tuple[MethodSpec, ...]
+    superclass: str = "java.lang.Object"
+
+
+@dataclass(frozen=True)
+class LibraryTemplate:
+    """A reusable package of classes shared between apps.
+
+    Attributes
+    ----------
+    name:
+        Human-readable library name (``Flurry Analytics``).
+    package:
+        Root Java package (``com.flurry.sdk``); policy rules at
+        *library* level match on this prefix.
+    classes:
+        The classes the library contributes to an app's dex file.
+    category:
+        Coarse role of the library (``analytics``, ``advertisement``,
+        ``http``, ``cloud``, ``identity``, ``ui``...), used by the
+        workload generator and the Li-list construction.
+    endpoints:
+        DNS names the library talks to at runtime.
+    """
+
+    name: str
+    package: str
+    classes: tuple[ClassSpec, ...]
+    category: str = "utility"
+    endpoints: tuple[str, ...] = ()
+
+    def method_count(self) -> int:
+        return sum(len(c.methods) for c in self.classes)
+
+    def class_names(self) -> list[str]:
+        return [c.class_name for c in self.classes]
+
+
+class DexBuilder:
+    """Fluent builder producing :class:`~repro.dex.model.DexFile` objects.
+
+    Line numbers are assigned sequentially per source file so that each
+    method occupies a unique, non-overlapping line range — mirroring how
+    ``javac``/``dx`` emit debug tables and enabling the Context Manager's
+    line-number based overload disambiguation.
+    """
+
+    def __init__(self, strip_debug_info: bool = False) -> None:
+        self._classes: list[ClassDef] = []
+        self._strip_debug_info = strip_debug_info
+        self._line_cursors: dict[str, int] = {}
+
+    # -- class/method declaration -------------------------------------------
+
+    def add_class(
+        self,
+        class_name: str,
+        superclass: str = "java.lang.Object",
+        source_file: str | None = None,
+        interfaces: tuple[str, ...] = (),
+    ) -> "_ClassHandle":
+        descriptor = format_descriptor(class_name)
+        simple_name = class_name.rsplit(".", 1)[-1]
+        source = source_file or f"{simple_name}.java"
+        class_def = ClassDef(
+            descriptor=descriptor,
+            superclass_descriptor=format_descriptor(superclass),
+            interfaces=tuple(format_descriptor(i) for i in interfaces),
+            source_file=source,
+        )
+        self._classes.append(class_def)
+        return _ClassHandle(self, class_def)
+
+    def add_library(self, template: LibraryTemplate) -> list[ClassDef]:
+        """Stamp every class of ``template`` into the dex under construction."""
+        added = []
+        for class_spec in template.classes:
+            handle = self.add_class(class_spec.class_name, superclass=class_spec.superclass)
+            for method_spec in class_spec.methods:
+                handle.add_method(
+                    method_spec.name,
+                    parameter_types=method_spec.parameter_types,
+                    return_type=method_spec.return_type,
+                    code_size=method_spec.code_size,
+                    native=method_spec.native,
+                )
+            added.append(handle.class_def)
+        return added
+
+    # -- internal helpers -----------------------------------------------------
+
+    def _next_line_range(self, source_file: str, code_size: int) -> tuple[int, int]:
+        start = self._line_cursors.get(source_file, 1)
+        # A method's source footprint scales loosely with its code size.
+        span = max(2, code_size // 4)
+        end = start + span
+        self._line_cursors[source_file] = end + 2
+        return start, end
+
+    def _make_debug(self, source_file: str, code_size: int) -> DebugInfo:
+        if self._strip_debug_info:
+            return DebugInfo()
+        start, end = self._next_line_range(source_file, code_size)
+        return DebugInfo(source_file=source_file, line_start=start, line_end=end)
+
+    # -- output ---------------------------------------------------------------
+
+    def total_method_count(self) -> int:
+        return sum(len(c.methods) for c in self._classes)
+
+    def build(self) -> DexFile:
+        """Build a single dex file; raises if the method limit is exceeded."""
+        dex = DexFile()
+        for class_def in self._classes:
+            dex.add_class(class_def)
+        return dex
+
+    def build_multidex(self) -> list[DexFile]:
+        """Build one or more dex files, splitting at the 65,536-method limit.
+
+        Classes are never split across dex files, matching the real
+        packaging rules.
+        """
+        dex_files: list[DexFile] = []
+        current = DexFile(name="classes.dex")
+        count = 0
+        for class_def in self._classes:
+            n = len(class_def.methods)
+            if count + n > DEX_METHOD_LIMIT and count > 0:
+                dex_files.append(current)
+                current = DexFile(name=f"classes{len(dex_files) + 1}.dex")
+                count = 0
+            current.add_class(class_def)
+            count += n
+        dex_files.append(current)
+        return dex_files
+
+
+class _ClassHandle:
+    """Handle returned by :meth:`DexBuilder.add_class` for adding methods."""
+
+    def __init__(self, builder: DexBuilder, class_def: ClassDef) -> None:
+        self._builder = builder
+        self.class_def = class_def
+
+    def add_method(
+        self,
+        name: str,
+        parameter_types: tuple[str, ...] | list[str] = (),
+        return_type: str = "void",
+        code_size: int = 24,
+        native: bool = False,
+        static: bool = False,
+    ) -> MethodDef:
+        signature = MethodSignature.create(
+            class_name=self.class_def.class_name,
+            method_name=name,
+            parameter_types=tuple(parameter_types),
+            return_type=return_type,
+        )
+        flags = AccessFlags.PUBLIC
+        if native:
+            flags |= AccessFlags.NATIVE
+        if static:
+            flags |= AccessFlags.STATIC
+        if name == "<init>":
+            flags |= AccessFlags.CONSTRUCTOR
+        method = MethodDef(
+            signature=signature,
+            access_flags=flags,
+            code_size=code_size,
+            debug=self._builder._make_debug(self.class_def.source_file, code_size),
+        )
+        self.class_def.add_method(method)
+        return method
+
+    def add_constructor(self, parameter_types: tuple[str, ...] = ()) -> MethodDef:
+        return self.add_method("<init>", parameter_types=parameter_types)

@@ -1,0 +1,143 @@
+"""Class hierarchy graph built from dex files.
+
+The paper (§II-A) notes that the class hierarchy of a Java app is a
+graph representing inheritance relationships and that related classes
+are bundled into packages.  The Offline Analyzer orders method
+signatures "topologically for consistency"; :class:`ClassHierarchy`
+provides that topological view along with the package tree the analysis
+in §VI-B uses to decide whether two stack traces originate from the
+same Java package.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.dex.model import ClassDef, DexFile
+
+_OBJECT = "Ljava/lang/Object;"
+
+
+@dataclass
+class ClassHierarchy:
+    """Inheritance graph over the classes of one (multi-dex) app."""
+
+    classes: dict[str, ClassDef] = field(default_factory=dict)
+    _children: dict[str, set[str]] = field(default_factory=lambda: defaultdict(set))
+
+    @classmethod
+    def from_dex_files(cls, dex_files: Iterable[DexFile]) -> "ClassHierarchy":
+        hierarchy = cls()
+        for dex in dex_files:
+            for class_def in dex.classes.values():
+                hierarchy.add_class(class_def)
+        return hierarchy
+
+    def add_class(self, class_def: ClassDef) -> None:
+        self.classes[class_def.descriptor] = class_def
+        self._children[class_def.superclass_descriptor].add(class_def.descriptor)
+
+    # -- inheritance queries ------------------------------------------------
+
+    def superclass_chain(self, descriptor: str) -> list[str]:
+        """All ancestors of ``descriptor`` up to (and including) Object."""
+        chain: list[str] = []
+        current = self.classes.get(descriptor)
+        seen = {descriptor}
+        while current is not None:
+            parent = current.superclass_descriptor
+            if parent in seen:
+                break
+            chain.append(parent)
+            seen.add(parent)
+            if parent == _OBJECT:
+                break
+            current = self.classes.get(parent)
+        return chain
+
+    def subclasses(self, descriptor: str, transitive: bool = True) -> set[str]:
+        direct = set(self._children.get(descriptor, set()))
+        if not transitive:
+            return direct
+        out: set[str] = set()
+        frontier = list(direct)
+        while frontier:
+            node = frontier.pop()
+            if node in out:
+                continue
+            out.add(node)
+            frontier.extend(self._children.get(node, set()))
+        return out
+
+    def is_subclass_of(self, descriptor: str, ancestor: str) -> bool:
+        return ancestor in self.superclass_chain(descriptor)
+
+    # -- package structure ---------------------------------------------------
+
+    def packages(self) -> set[str]:
+        return {c.package for c in self.classes.values()}
+
+    def classes_in_package(self, package: str, include_subpackages: bool = True) -> list[ClassDef]:
+        out = []
+        for class_def in self.classes.values():
+            pkg = class_def.package
+            if pkg == package or (include_subpackages and pkg.startswith(package + ".")):
+                out.append(class_def)
+        return out
+
+    def package_tree(self) -> dict[str, set[str]]:
+        """Map each package to the set of its direct sub-packages."""
+        tree: dict[str, set[str]] = defaultdict(set)
+        for package in self.packages():
+            parts = package.split(".")
+            for i in range(1, len(parts)):
+                tree[".".join(parts[:i])].add(".".join(parts[: i + 1]))
+        return dict(tree)
+
+    # -- topological ordering -------------------------------------------------
+
+    def topological_classes(self) -> list[ClassDef]:
+        """Classes ordered parents-before-children, ties broken by descriptor.
+
+        This is the "topologically organised for consistency" ordering
+        the Offline Analyzer uses before assigning sequential indexes
+        (§IV-A1); because ties are broken lexicographically, the order is
+        deterministic for a given app.
+        """
+        in_degree: dict[str, int] = {}
+        for descriptor, class_def in self.classes.items():
+            parent = class_def.superclass_descriptor
+            in_degree.setdefault(descriptor, 0)
+            if parent in self.classes:
+                in_degree[descriptor] = in_degree.get(descriptor, 0) + 1
+        ready = sorted(d for d, deg in in_degree.items() if deg == 0)
+        ordered: list[ClassDef] = []
+        remaining = dict(in_degree)
+        while ready:
+            descriptor = ready.pop(0)
+            ordered.append(self.classes[descriptor])
+            newly_ready = []
+            for child in self._children.get(descriptor, set()):
+                if child not in remaining:
+                    continue
+                remaining[child] -= 1
+                if remaining[child] == 0:
+                    newly_ready.append(child)
+            ready = sorted(ready + newly_ready)
+        if len(ordered) != len(self.classes):
+            # Inheritance cycles cannot occur in valid Java but guard anyway.
+            missing = [d for d in sorted(self.classes) if all(c.descriptor != d for c in ordered)]
+            ordered.extend(self.classes[d] for d in missing)
+        return ordered
+
+    def iter_methods_topological(self) -> Iterator:
+        for class_def in self.topological_classes():
+            yield from class_def.methods
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    def __contains__(self, descriptor: str) -> bool:
+        return descriptor in self.classes

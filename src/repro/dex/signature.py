@@ -1,0 +1,245 @@
+"""Method signatures in Dalvik descriptor notation.
+
+A method is uniquely identified within an app by its *signature*: the
+declaring class, the method name, and the ordered list of parameter
+types (paper §II-A).  Return types are carried for completeness but do
+not participate in overload resolution, matching the Java language
+rules.
+
+Signatures are rendered in the smali/dexlib2 notation used by the
+paper's policy examples, e.g.::
+
+    Lcom/dropbox/android/taskqueue/UploadTask;->c()Lcom/dropbox/hairball/taskqueue/TaskResult;
+
+BorderPatrol's policies match signatures at four granularities
+(hash < library < class < method); the helpers on
+:class:`MethodSignature` expose the library, class and method components
+so the policy engine does not need to re-parse strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from functools import total_ordering
+
+
+_PRIMITIVES = {
+    "void": "V",
+    "boolean": "Z",
+    "byte": "B",
+    "short": "S",
+    "char": "C",
+    "int": "I",
+    "long": "J",
+    "float": "F",
+    "double": "D",
+}
+_PRIMITIVE_CODES = {v: k for k, v in _PRIMITIVES.items()}
+
+_CLASS_DESCRIPTOR_RE = re.compile(r"^L[^;]+;$")
+_SIGNATURE_RE = re.compile(
+    r"^(?P<class>L[^;]+;)->(?P<method><?[A-Za-z0-9_$]+>?)\((?P<params>[^)]*)\)(?P<ret>.+)$"
+)
+
+
+def format_descriptor(type_name: str) -> str:
+    """Convert a Java type name into a Dalvik type descriptor.
+
+    ``int`` becomes ``I``, ``com.flurry.sdk.Agent`` becomes
+    ``Lcom/flurry/sdk/Agent;`` and array types gain one ``[`` per
+    dimension (``byte[]`` -> ``[B``).  Already-formatted descriptors are
+    returned unchanged.
+    """
+    name = type_name.strip()
+    if not name:
+        raise ValueError("empty type name")
+    dimensions = 0
+    while name.endswith("[]"):
+        dimensions += 1
+        name = name[:-2].strip()
+    if name in _PRIMITIVES:
+        descriptor = _PRIMITIVES[name]
+    elif name.startswith("[") or (name.startswith("L") and name.endswith(";")):
+        descriptor = name
+    else:
+        descriptor = "L" + name.replace(".", "/") + ";"
+    return "[" * dimensions + descriptor
+
+
+def parse_descriptor(descriptor: str) -> str:
+    """Convert a Dalvik type descriptor back into a Java type name."""
+    if not descriptor:
+        raise ValueError("empty descriptor")
+    dimensions = 0
+    body = descriptor
+    while body.startswith("["):
+        dimensions += 1
+        body = body[1:]
+    if body in _PRIMITIVE_CODES:
+        name = _PRIMITIVE_CODES[body]
+    elif _CLASS_DESCRIPTOR_RE.match(body):
+        name = body[1:-1].replace("/", ".")
+    else:
+        raise ValueError(f"malformed type descriptor: {descriptor!r}")
+    return name + "[]" * dimensions
+
+
+def split_parameter_descriptors(params: str) -> list[str]:
+    """Split the parameter portion of a signature into individual descriptors."""
+    out: list[str] = []
+    i = 0
+    while i < len(params):
+        start = i
+        while i < len(params) and params[i] == "[":
+            i += 1
+        if i >= len(params):
+            raise ValueError(f"dangling array marker in {params!r}")
+        if params[i] == "L":
+            end = params.find(";", i)
+            if end == -1:
+                raise ValueError(f"unterminated class descriptor in {params!r}")
+            i = end + 1
+        elif params[i] in _PRIMITIVE_CODES:
+            i += 1
+        else:
+            raise ValueError(f"malformed parameter list: {params!r}")
+        out.append(params[start:i])
+    return out
+
+
+@total_ordering
+@dataclass(frozen=True)
+class MethodSignature:
+    """A fully qualified Dalvik method signature.
+
+    Attributes
+    ----------
+    class_descriptor:
+        Declaring class in descriptor form, e.g. ``Lcom/flurry/sdk/Agent;``.
+    method_name:
+        Simple method name; constructors use ``<init>``.
+    parameter_descriptors:
+        Ordered tuple of parameter type descriptors.
+    return_descriptor:
+        Return type descriptor, ``V`` for void.
+    """
+
+    class_descriptor: str
+    method_name: str
+    parameter_descriptors: tuple[str, ...] = field(default_factory=tuple)
+    return_descriptor: str = "V"
+
+    def __post_init__(self) -> None:
+        if not _CLASS_DESCRIPTOR_RE.match(self.class_descriptor):
+            raise ValueError(
+                f"class descriptor must look like 'Lpkg/Cls;', got {self.class_descriptor!r}"
+            )
+        if not self.method_name:
+            raise ValueError("method name may not be empty")
+        object.__setattr__(
+            self, "parameter_descriptors", tuple(self.parameter_descriptors)
+        )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        class_name: str,
+        method_name: str,
+        parameter_types: tuple[str, ...] | list[str] = (),
+        return_type: str = "void",
+    ) -> "MethodSignature":
+        """Build a signature from Java-style type names."""
+        return cls(
+            class_descriptor=format_descriptor(class_name),
+            method_name=method_name,
+            parameter_descriptors=tuple(format_descriptor(p) for p in parameter_types),
+            return_descriptor=format_descriptor(return_type),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "MethodSignature":
+        """Parse the smali-style rendering produced by :meth:`__str__`."""
+        match = _SIGNATURE_RE.match(text.strip())
+        if match is None:
+            raise ValueError(f"malformed method signature: {text!r}")
+        return cls(
+            class_descriptor=match.group("class"),
+            method_name=match.group("method"),
+            parameter_descriptors=tuple(
+                split_parameter_descriptors(match.group("params"))
+            ),
+            return_descriptor=match.group("ret"),
+        )
+
+    # -- component accessors (policy granularity levels) -------------------
+
+    @property
+    def class_name(self) -> str:
+        """Java-style fully qualified class name (``com.flurry.sdk.Agent``)."""
+        return parse_descriptor(self.class_descriptor)
+
+    @property
+    def package(self) -> str:
+        """The Java package of the declaring class (``com.flurry.sdk``)."""
+        name = self.class_name
+        return name.rsplit(".", 1)[0] if "." in name else ""
+
+    @property
+    def library(self) -> str:
+        """Slash-separated package prefix used by library-level policies.
+
+        The paper's policy examples identify libraries by slash-separated
+        prefixes such as ``com/flurry``; this property yields the full
+        slash-form package so prefix matching can be applied against it.
+        """
+        return self.package.replace(".", "/")
+
+    @property
+    def slash_class(self) -> str:
+        """Slash-separated class path (``com/flurry/sdk/Agent``)."""
+        return self.class_name.replace(".", "/")
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameter_descriptors)
+
+    # -- rendering / ordering ----------------------------------------------
+
+    def __str__(self) -> str:
+        params = "".join(self.parameter_descriptors)
+        return f"{self.class_descriptor}->{self.method_name}({params}){self.return_descriptor}"
+
+    def sort_key(self) -> tuple[str, str, tuple[str, ...], str]:
+        """Deterministic ordering key used by the Offline Analyzer.
+
+        The paper requires that the mapping from signatures to index
+        numbers is deterministic in size and ordering (§IV-A1); sorting
+        on this key realises that guarantee.
+        """
+        return (
+            self.class_descriptor,
+            self.method_name,
+            self.parameter_descriptors,
+            self.return_descriptor,
+        )
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, MethodSignature):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def matches_library(self, library_prefix: str) -> bool:
+        """True if this method belongs to ``library_prefix`` (slash or dot form)."""
+        prefix = library_prefix.replace(".", "/").strip("/")
+        target = self.slash_class
+        return target == prefix or target.startswith(prefix + "/")
+
+    def matches_class(self, class_target: str) -> bool:
+        """True if this method is declared by ``class_target`` (slash, dot or descriptor form)."""
+        if class_target.startswith("L") and class_target.endswith(";"):
+            return self.class_descriptor == class_target
+        normalised = class_target.replace(".", "/")
+        return self.slash_class == normalised

@@ -1,0 +1,38 @@
+"""Experiment drivers — one module per paper figure / table / case study.
+
+Every artefact of the paper's evaluation section has a driver here that
+builds the workload, runs it through the simulated deployment and
+returns a result object whose ``table()`` method prints rows comparable
+to the paper's.  The benchmark suite under ``benchmarks/`` and the
+examples under ``examples/`` are thin wrappers over these drivers; see
+DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured numbers.
+"""
+
+from repro.experiments.common import CorpusRunResult, run_corpus, format_table
+from repro.experiments.fig3_ioi import Fig3Result, run_fig3
+from repro.experiments.fig4_latency import Fig4Result, run_fig4, CONFIGURATIONS
+from repro.experiments.table_validation import ValidationResult, run_validation
+from repro.experiments.case_studies import (
+    CaseStudyResult,
+    run_cloud_storage_case_study,
+    run_facebook_case_study,
+    run_flow_size_study,
+)
+
+__all__ = [
+    "CorpusRunResult",
+    "run_corpus",
+    "format_table",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4Result",
+    "run_fig4",
+    "CONFIGURATIONS",
+    "ValidationResult",
+    "run_validation",
+    "CaseStudyResult",
+    "run_cloud_storage_case_study",
+    "run_facebook_case_study",
+    "run_flow_size_study",
+]

@@ -1,0 +1,342 @@
+"""§VI-C case studies and the §VII flow-size discussion.
+
+Three drivers:
+
+* ``run_cloud_storage_case_study`` — the Dropbox-like and Box-like apps
+  under (a) no enforcement, (b) on-network enforcement that blocks the
+  upload destination by address, and (c) BorderPatrol with a
+  method-level deny rule on the upload task.  The paper's finding: the
+  address-based approach either blocks nothing or collaterally breaks
+  browsing/downloading, while BorderPatrol blocks exactly the upload.
+* ``run_facebook_case_study`` — the SolCalendar-like app with the
+  Facebook SDK.  Blocking the Graph API address kills "Login with
+  Facebook" together with analytics; BorderPatrol (with a policy derived
+  by the Policy Extractor from two guided runs) blocks only analytics.
+* ``run_flow_size_study`` — the discussion-section observation that
+  legitimate single-flow transfers span 36 B to 480 MB, so a flow-size
+  threshold cannot separate uploads from ordinary traffic, and splitting
+  an upload across sockets evades any threshold entirely.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.android.device import Device
+from repro.baselines.ip_dns_filter import OnNetworkFilter
+from repro.core.deployment import BorderPatrolDeployment
+from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.core.policy_extractor import PolicyExtractor, ProfileRun
+from repro.experiments.common import format_table
+from repro.netstack.netfilter import RuleTarget, IptablesRule
+from repro.network.topology import EnterpriseNetwork
+from repro.workloads.apps import CaseStudyApp, build_box_like_app, build_calendar_app, build_cloud_storage_app
+
+
+@dataclass
+class CaseStudyOutcome:
+    """Per-functionality result under one enforcement approach."""
+
+    app: str
+    enforcement: str
+    functionality: str
+    desirable: bool
+    completed: bool
+
+    @property
+    def verdict(self) -> str:
+        return "completed" if self.completed else "blocked"
+
+
+@dataclass
+class CaseStudyResult:
+    name: str
+    outcomes: list[CaseStudyOutcome] = field(default_factory=list)
+
+    def add(self, outcome: CaseStudyOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    def outcomes_for(self, enforcement: str, app: str | None = None) -> list[CaseStudyOutcome]:
+        return [
+            o
+            for o in self.outcomes
+            if o.enforcement == enforcement and (app is None or o.app == app)
+        ]
+
+    def undesirable_blocked(self, enforcement: str, app: str | None = None) -> bool:
+        targets = [o for o in self.outcomes_for(enforcement, app) if not o.desirable]
+        return bool(targets) and all(not o.completed for o in targets)
+
+    def desirable_preserved(self, enforcement: str, app: str | None = None) -> bool:
+        targets = [o for o in self.outcomes_for(enforcement, app) if o.desirable]
+        return bool(targets) and all(o.completed for o in targets)
+
+    def achieves_selective_blocking(self, enforcement: str, app: str | None = None) -> bool:
+        """The paper's success criterion: block the bad, keep the good."""
+        return self.undesirable_blocked(enforcement, app) and self.desirable_preserved(
+            enforcement, app
+        )
+
+    def table(self) -> str:
+        rows = [
+            (o.app, o.enforcement, o.functionality, "desirable" if o.desirable else "undesirable", o.verdict)
+            for o in self.outcomes
+        ]
+        return format_table(("app", "enforcement", "functionality", "label", "result"), rows)
+
+
+def _fresh_network_for(app: CaseStudyApp) -> EnterpriseNetwork:
+    network = EnterpriseNetwork()
+    for endpoint in sorted(app.behavior.endpoints()):
+        network.add_server(endpoint)
+    return network
+
+
+def _run_unenforced(app: CaseStudyApp, result: CaseStudyResult, label: str = "none") -> None:
+    network = _fresh_network_for(app)
+    device = Device(name=f"{app.package_name}-plain", network=network, xposed_installed=False)
+    device.install(app.apk, app.behavior)
+    process = device.launch(app.package_name)
+    for functionality in app.behavior:
+        outcome = process.invoke(functionality)
+        result.add(
+            CaseStudyOutcome(
+                app=app.package_name,
+                enforcement=label,
+                functionality=functionality.name,
+                desirable=functionality.desirable,
+                completed=outcome.completed,
+            )
+        )
+
+
+def _run_on_network(
+    app: CaseStudyApp, blocked_endpoints: list[str], result: CaseStudyResult,
+    label: str = "on-network"
+) -> None:
+    """Address/DNS-based enforcement: block the given destinations outright."""
+    network = _fresh_network_for(app)
+    ip_filter = OnNetworkFilter(dns=network.dns, blocked_names=set(blocked_endpoints))
+    network.gateway.append_rule(
+        IptablesRule(target=RuleTarget.QUEUE, queue_num=1, direction="outbound",
+                     comment="on-network ip/dns filter")
+    )
+    network.gateway.bind_queue(1, ip_filter)
+    device = Device(name=f"{app.package_name}-onnet", network=network, xposed_installed=False)
+    device.install(app.apk, app.behavior)
+    process = device.launch(app.package_name)
+    for functionality in app.behavior:
+        outcome = process.invoke(functionality)
+        result.add(
+            CaseStudyOutcome(
+                app=app.package_name,
+                enforcement=label,
+                functionality=functionality.name,
+                desirable=functionality.desirable,
+                completed=outcome.completed,
+            )
+        )
+
+
+def _run_borderpatrol(
+    app: CaseStudyApp, policy: Policy, result: CaseStudyResult, label: str = "borderpatrol"
+) -> BorderPatrolDeployment:
+    network = _fresh_network_for(app)
+    deployment = BorderPatrolDeployment(network=network, policy=policy)
+    provisioned = deployment.provision_device(name=f"{app.package_name}-bp")
+    process = deployment.install_and_launch(provisioned, app.apk, app.behavior)
+    for functionality in app.behavior:
+        outcome = process.invoke(functionality)
+        result.add(
+            CaseStudyOutcome(
+                app=app.package_name,
+                enforcement=label,
+                functionality=functionality.name,
+                desirable=functionality.desirable,
+                completed=outcome.completed,
+            )
+        )
+    return deployment
+
+
+# ---------------------------------------------------------------------------
+# Cloud storage case study (Dropbox-like and Box-like apps).
+# ---------------------------------------------------------------------------
+
+def run_cloud_storage_case_study() -> CaseStudyResult:
+    """Upload blocking for the two cloud-storage apps under three approaches."""
+    result = CaseStudyResult(name="cloud-storage")
+
+    dropbox_like = build_cloud_storage_app()
+    box_like = build_box_like_app()
+
+    for app in (dropbox_like, box_like):
+        _run_unenforced(app, result)
+
+    # On-network enforcement: block the destination that carries uploads.
+    # For the Dropbox-like app that is the single shared API endpoint; for the
+    # Box-like app it is the dedicated upload endpoint (which also serves the
+    # folder listing, so browsing breaks).
+    _run_on_network(dropbox_like, [dropbox_like.endpoints["api"]], result)
+    _run_on_network(box_like, [box_like.endpoints["upload"]], result)
+
+    # BorderPatrol: a method-level deny rule on each app's upload task
+    # (the paper's Example 3 policy).
+    dropbox_policy = Policy(name="cloudbox-upload-deny")
+    dropbox_policy.add_rule(
+        PolicyRule(
+            action=PolicyAction.DENY,
+            level=PolicyLevel.METHOD,
+            target=str(dropbox_like.signature("upload")),
+        )
+    )
+    _run_borderpatrol(dropbox_like, dropbox_policy, result)
+
+    box_policy = Policy(name="boxsync-upload-deny")
+    box_policy.add_rule(
+        PolicyRule(
+            action=PolicyAction.DENY,
+            level=PolicyLevel.METHOD,
+            target=str(box_like.signature("upload")),
+        )
+    )
+    _run_borderpatrol(box_like, box_policy, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Facebook SDK case study (SolCalendar-like app).
+# ---------------------------------------------------------------------------
+
+def run_facebook_case_study() -> CaseStudyResult:
+    """Analytics-vs-login separation for the calendar app."""
+    result = CaseStudyResult(name="facebook-sdk")
+    app = build_calendar_app()
+
+    _run_unenforced(app, result)
+    _run_on_network(app, [app.endpoints["graph"]], result)
+
+    policy = extract_facebook_policy(app)
+    _run_borderpatrol(app, policy, result)
+    return result
+
+
+def extract_facebook_policy(app: CaseStudyApp) -> Policy:
+    """Derive the analytics-blocking policy with the Policy Extractor.
+
+    Two guided runs under an allow-all deployment: the baseline run
+    exercises login (and calendar sync), the second run exercises the
+    analytics functionality.  The extractor turns the signatures unique
+    to the second run into method-level deny rules.
+    """
+    network = _fresh_network_for(app)
+    deployment = BorderPatrolDeployment(network=network, policy=Policy.allow_all())
+    provisioned = deployment.provision_device(name="profiling-device")
+    process = deployment.install_and_launch(provisioned, app.apk, app.behavior)
+
+    baseline = ProfileRun(label="allowed-functionality")
+    process.invoke("login_with_facebook")
+    process.invoke("calendar_sync")
+    for record in deployment.enforcer.records:
+        if record.signatures:
+            baseline.add_stack(record.signatures)
+
+    deployment.enforcer.records.clear()
+    undesired = ProfileRun(label="undesired-functionality")
+    process.invoke("facebook_analytics")
+    for record in deployment.enforcer.records:
+        if record.signatures:
+            undesired.add_stack(record.signatures)
+
+    extractor = PolicyExtractor(level=PolicyLevel.METHOD)
+    extraction = extractor.extract(baseline, undesired, policy_name="facebook-analytics-deny")
+    return extraction.policy
+
+
+# ---------------------------------------------------------------------------
+# Flow-size discussion (§VII).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FlowSizeStudyResult:
+    """Threshold-based upload detection over a realistic flow-size mix."""
+
+    legitimate_flows: list[int]
+    upload_flows: list[int]
+    threshold_rows: list[tuple[int, float, float]] = field(default_factory=list)
+    admin_threshold: int = 1_000_000
+    fragmented_upload_detected: bool = False
+    fragment_count: int = 0
+
+    @property
+    def min_legitimate(self) -> int:
+        return min(self.legitimate_flows)
+
+    @property
+    def max_legitimate(self) -> int:
+        return max(self.legitimate_flows)
+
+    def table(self) -> str:
+        rows = [
+            (f"{threshold:,}", f"{false_block:.1%}", f"{missed:.1%}")
+            for threshold, false_block, missed in self.threshold_rows
+        ]
+        table = format_table(
+            ("threshold (bytes)", "legit flows falsely blocked", "uploads missed"), rows
+        )
+        summary = (
+            f"\nlegitimate single-flow sizes span {self.min_legitimate} B .. "
+            f"{self.max_legitimate / 1e6:.0f} MB (paper: 36 B .. 480 MB)"
+            f"\nupload fragmented over {self.fragment_count} sockets detected by a "
+            f"{self.admin_threshold:,}-byte threshold: {self.fragmented_upload_detected} "
+            "(BorderPatrol detects uploads regardless of transfer size)"
+        )
+        return table + summary
+
+
+def run_flow_size_study(
+    n_legitimate_flows: int = 400,
+    seed: int = 5,
+    upload_size: int = 50_000_000,
+    fragment_count: int = 64,
+) -> FlowSizeStudyResult:
+    """Evaluate flow-size thresholds against a heavy-tailed legitimate-flow mix.
+
+    The legitimate flow sizes are drawn log-uniformly over the paper's
+    empirically observed range (36 bytes to 480 MB); upload flows are a
+    mix of small and large document uploads.  For every candidate
+    threshold the study reports how many legitimate flows would be
+    blocked and how many uploads would be missed, and finally shows that
+    fragmenting one upload across sockets evades any per-flow threshold.
+    """
+    rng = random.Random(seed)
+    low, high = 36, 480_000_000
+    legitimate = [
+        int(math.exp(rng.uniform(math.log(low), math.log(high)))) for _ in range(n_legitimate_flows)
+    ]
+    uploads = [rng.randint(2_000, 5_000_000) for _ in range(40)] + [upload_size]
+
+    thresholds = [10_000, 100_000, 1_000_000, 10_000_000, 100_000_000]
+    rows = []
+    for threshold in thresholds:
+        false_block = sum(1 for size in legitimate if size > threshold) / len(legitimate)
+        missed = sum(1 for size in uploads if size <= threshold) / len(uploads)
+        rows.append((threshold, false_block, missed))
+
+    # The evasion argument: split one large upload across many sockets and the
+    # per-flow volume drops below any threshold an administrator could set
+    # without also blocking a large share of legitimate traffic.
+    admin_threshold = 1_000_000
+    fragment_size = upload_size // fragment_count
+    fragmented_detected = fragment_size > admin_threshold
+
+    return FlowSizeStudyResult(
+        legitimate_flows=legitimate,
+        upload_flows=uploads,
+        threshold_rows=rows,
+        admin_threshold=admin_threshold,
+        fragmented_upload_detected=fragmented_detected,
+        fragment_count=fragment_count,
+    )

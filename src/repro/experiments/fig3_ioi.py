@@ -1,0 +1,107 @@
+"""Figure 3 + §VI-B statistics: IPs-of-interest across the corpus.
+
+The paper exercises 2,000 BUSINESS/PRODUCTIVITY apps with 5,000 monkey
+events each and reports (a) the number of apps with 1..5 IPs-of-interest
+(152 / 53 / 8 / 3 / 2, i.e. 218 apps with at least one IoI) and (b) that
+75% of the IoI apps keep all IoI contexts within one Java package while
+25% of IoIs mix packages through a shared HTTP client.
+
+``run_fig3`` regenerates those statistics from the synthetic corpus.
+The defaults are scaled down so the experiment completes in seconds; use
+``n_apps=2000, events_per_app=5000`` for the paper-scale run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.ioi import IoIAnalysis
+from repro.core.policy import Policy
+from repro.experiments.common import CorpusRunResult, format_table, run_corpus
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+
+#: The bars of the paper's Figure 3: apps with 1, 2, 3, 4 and 5 IoIs.
+PAPER_FIG3_HISTOGRAM = {1: 152, 2: 53, 3: 8, 4: 3, 5: 2}
+PAPER_APPS_WITH_IOI = 218
+PAPER_TOTAL_APPS = 2000
+PAPER_SAME_PACKAGE_FRACTION = 0.75
+PAPER_CROSS_PACKAGE_IOI_FRACTION = 0.25
+
+
+@dataclass
+class Fig3Result:
+    """Measured Figure 3 data plus the paper's reference values."""
+
+    total_apps: int
+    histogram: dict[int, int]
+    apps_with_ioi: int
+    same_package_app_fraction: float
+    cross_package_ioi_fraction: float
+    analysis: IoIAnalysis
+    corpus_run: CorpusRunResult | None = None
+    paper_histogram: dict[int, int] = field(default_factory=lambda: dict(PAPER_FIG3_HISTOGRAM))
+
+    def scaled_paper_histogram(self) -> dict[int, float]:
+        """The paper's bars scaled to this run's corpus size."""
+        factor = self.total_apps / PAPER_TOTAL_APPS
+        return {k: v * factor for k, v in self.paper_histogram.items()}
+
+    def table(self) -> str:
+        scaled = self.scaled_paper_histogram()
+        rows = []
+        for count in sorted(set(self.histogram) | set(scaled)):
+            rows.append(
+                (
+                    count,
+                    self.histogram.get(count, 0),
+                    f"{scaled.get(count, 0.0):.1f}",
+                    PAPER_FIG3_HISTOGRAM.get(count, 0),
+                )
+            )
+        table = format_table(
+            ("IoIs per app", "measured apps", "paper (scaled)", "paper (2000 apps)"), rows
+        )
+        summary = (
+            f"\napps with >=1 IoI: {self.apps_with_ioi}/{self.total_apps} "
+            f"(paper: {PAPER_APPS_WITH_IOI}/{PAPER_TOTAL_APPS})"
+            f"\nsame-package IoI apps: {self.same_package_app_fraction:.0%} "
+            f"(paper: {PAPER_SAME_PACKAGE_FRACTION:.0%})"
+            f"\ncross-package IoIs: {self.cross_package_ioi_fraction:.0%} "
+            f"(paper: {PAPER_CROSS_PACKAGE_IOI_FRACTION:.0%})"
+        )
+        return table + summary
+
+
+def run_fig3(
+    n_apps: int = 400,
+    events_per_app: int = 200,
+    corpus_seed: int = 7,
+    monkey_seed: int = 11,
+    keep_corpus_run: bool = False,
+) -> Fig3Result:
+    """Generate the corpus, exercise it, and compute the Figure 3 statistics.
+
+    The analysis is computed from the Policy Enforcer's decoded records —
+    i.e. from what BorderPatrol actually carried in IP options — under an
+    allow-all policy, exactly as the paper's measurement deployment does.
+    """
+    generator = CorpusGenerator(CorpusConfig(n_apps=n_apps, seed=corpus_seed))
+    apps = generator.generate()
+    run = run_corpus(
+        apps,
+        policy=Policy.allow_all(),
+        events_per_app=events_per_app,
+        monkey_seed=monkey_seed,
+    )
+    analysis = IoIAnalysis.from_enforcement_records(
+        run.enforcement_records(), total_apps=len(apps)
+    )
+    return Fig3Result(
+        total_apps=len(apps),
+        histogram=analysis.histogram(),
+        apps_with_ioi=analysis.total_apps_with_ioi(),
+        same_package_app_fraction=analysis.same_package_fraction(),
+        cross_package_ioi_fraction=analysis.cross_package_ioi_fraction(),
+        analysis=analysis,
+        corpus_run=run if keep_corpus_run else None,
+    )

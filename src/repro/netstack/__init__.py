@@ -1,0 +1,79 @@
+"""Simulated Linux networking substrate.
+
+BorderPatrol's prototype touches the network stack in four places: the
+``socket``/``setsockopt`` system calls (with their capability checks and
+the one-line kernel patch that relaxes them), the ``IP_OPTIONS`` header
+field (RFC 791), the netfilter/NFQUEUE mechanism that hands packets to
+user-space policy programs, and routers that drop packets carrying IP
+options per RFC 7126.  This package reimplements those mechanisms over a
+simulated clock so the full mediation pipeline can be exercised
+deterministically on a laptop.
+"""
+
+from repro.netstack.clock import SimulatedClock
+from repro.netstack.ip import (
+    IPOption,
+    IPOptions,
+    IPPacket,
+    IPOptionError,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    MAX_IP_OPTIONS_BYTES,
+    BORDERPATROL_OPTION_TYPE,
+)
+from repro.netstack.dns import DnsRegistry, DnsError
+from repro.netstack.sockets import (
+    Capability,
+    KernelConfig,
+    Kernel,
+    NativeSocket,
+    SocketState,
+    SocketError,
+    PermissionDenied,
+    IPPROTO_IP,
+    IP_OPTIONS,
+)
+from repro.netstack.tcp import FlowKey, Flow, FlowTable
+from repro.netstack.netfilter import (
+    Verdict,
+    NetfilterQueue,
+    IptablesRule,
+    Iptables,
+    QueueConsumer,
+)
+from repro.netstack.routing import Router, RouterPolicy, Link, RoutingError
+
+__all__ = [
+    "SimulatedClock",
+    "IPOption",
+    "IPOptions",
+    "IPPacket",
+    "IPOptionError",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "MAX_IP_OPTIONS_BYTES",
+    "BORDERPATROL_OPTION_TYPE",
+    "DnsRegistry",
+    "DnsError",
+    "Capability",
+    "KernelConfig",
+    "Kernel",
+    "NativeSocket",
+    "SocketState",
+    "SocketError",
+    "PermissionDenied",
+    "IPPROTO_IP",
+    "IP_OPTIONS",
+    "FlowKey",
+    "Flow",
+    "FlowTable",
+    "Verdict",
+    "NetfilterQueue",
+    "IptablesRule",
+    "Iptables",
+    "QueueConsumer",
+    "Router",
+    "RouterPolicy",
+    "Link",
+    "RoutingError",
+]

@@ -1,0 +1,50 @@
+"""Simulated monotonic clock.
+
+All timing in the reproduction (socket creation timestamps, per-hop
+latencies, the Figure 4 latency study) is driven by this clock rather
+than wall time so experiments are deterministic and fast regardless of
+the host machine.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A monotonic clock measured in milliseconds that only moves when told to."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise ValueError("clock cannot start before zero")
+        self._now_ms = float(start_ms)
+
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Advance the clock by ``delta_ms`` milliseconds and return the new time."""
+        if delta_ms < 0:
+            raise ValueError("time cannot move backwards")
+        self._now_ms += float(delta_ms)
+        return self._now_ms
+
+    def measure(self) -> "_Stopwatch":
+        """Return a stopwatch anchored at the current simulated time."""
+        return _Stopwatch(self)
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now_ms:.3f}ms)"
+
+
+class _Stopwatch:
+    """Records elapsed simulated time since construction."""
+
+    def __init__(self, clock: SimulatedClock) -> None:
+        self._clock = clock
+        self._start = clock.now()
+
+    def elapsed_ms(self) -> float:
+        return self._clock.now() - self._start
+
+    def restart(self) -> None:
+        self._start = self._clock.now()

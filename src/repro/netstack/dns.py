@@ -1,0 +1,78 @@
+"""A miniature DNS used by apps, libraries and the on-network baseline.
+
+Third-party libraries and app backends are reached by DNS name; the
+on-network enforcement baseline in the case studies (§VI-C) blocks
+traffic by destination DNS name or IP address, so the registry keeps the
+name-to-address mapping both ways.  Several names may resolve to the
+same address (CDN sharing), which is one of the mechanisms that makes
+pure network-level enforcement too coarse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class DnsError(KeyError):
+    """Raised when a name cannot be resolved or an address reverse-mapped."""
+
+
+@dataclass
+class DnsRegistry:
+    """Bidirectional registry of DNS names and IPv4 addresses."""
+
+    _name_to_ip: dict[str, str] = field(default_factory=dict)
+    _ip_to_names: dict[str, set[str]] = field(default_factory=dict)
+    _next_octet: int = 1
+
+    def register(self, name: str, ip: str | None = None) -> str:
+        """Register ``name``; allocate a fresh address when ``ip`` is omitted."""
+        name = name.lower().strip(".")
+        if not name:
+            raise ValueError("empty DNS name")
+        if name in self._name_to_ip:
+            existing = self._name_to_ip[name]
+            if ip is not None and ip != existing:
+                raise ValueError(f"{name} already registered to {existing}")
+            return existing
+        address = ip or self._allocate_ip()
+        self._name_to_ip[name] = address
+        self._ip_to_names.setdefault(address, set()).add(name)
+        return address
+
+    def _allocate_ip(self) -> str:
+        # Allocate from the TEST-NET-3 and documentation ranges, then a
+        # synthetic public-looking block if those run out.
+        index = self._next_octet
+        self._next_octet += 1
+        third, fourth = divmod(index, 254)
+        return f"203.0.{113 + third}.{fourth + 1}"
+
+    def resolve(self, name: str) -> str:
+        """Forward lookup; raises :class:`DnsError` for unknown names."""
+        try:
+            return self._name_to_ip[name.lower().strip(".")]
+        except KeyError as exc:
+            raise DnsError(f"unknown DNS name: {name}") from exc
+
+    def reverse(self, ip: str) -> set[str]:
+        """All names known to point at ``ip``."""
+        try:
+            return set(self._ip_to_names[ip])
+        except KeyError as exc:
+            raise DnsError(f"no names registered for {ip}") from exc
+
+    def knows_name(self, name: str) -> bool:
+        return name.lower().strip(".") in self._name_to_ip
+
+    def knows_ip(self, ip: str) -> bool:
+        return ip in self._ip_to_names
+
+    def names(self) -> list[str]:
+        return sorted(self._name_to_ip)
+
+    def addresses(self) -> list[str]:
+        return sorted(self._ip_to_names)
+
+    def __len__(self) -> int:
+        return len(self._name_to_ip)

@@ -1,0 +1,228 @@
+"""IP packets and the RFC 791 options field.
+
+The central on-wire mechanism in BorderPatrol is the ``IP_OPTIONS``
+header field: at most 40 bytes, of which one byte holds the option type
+and one byte the option length, leaving 38 bytes of payload for the
+app-identifying hash and the encoded stack trace (paper §II-B2).  This
+module models packets, their header options, and the size constraints
+the Context Manager's encoder must respect.
+
+Ground-truth bookkeeping
+------------------------
+Each packet carries a ``provenance`` mapping describing which app,
+functionality and call stack actually produced it.  This field exists
+only so experiments can score enforcement decisions against ground
+truth; BorderPatrol components never read it (the Policy Enforcer works
+exclusively from the bytes in ``options``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Mapping
+
+#: Maximum total size of the IP options field, per RFC 791.
+MAX_IP_OPTIONS_BYTES = 40
+
+#: Option type byte BorderPatrol uses for its context tag.  The value has the
+#: "copied" flag set (bit 7) so the tag is replicated onto every fragment, and
+#: uses option class 2 (debugging and measurement), mirroring how the paper
+#: piggybacks on the security/measurement option space.
+BORDERPATROL_OPTION_TYPE = 0x9E
+
+#: Well-known option types (for realism in tests and router policies).
+OPTION_END_OF_LIST = 0x00
+OPTION_NOP = 0x01
+OPTION_TIMESTAMP = 0x44
+OPTION_RECORD_ROUTE = 0x07
+
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+_packet_ids = itertools.count(1)
+
+
+class IPOptionError(ValueError):
+    """Raised when an option would violate RFC 791 size constraints."""
+
+
+@dataclass(frozen=True)
+class IPOption:
+    """A single IP option: one type byte, one length byte, then data."""
+
+    option_type: int
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.option_type <= 0xFF:
+            raise IPOptionError(f"option type out of range: {self.option_type}")
+        if self.wire_length > MAX_IP_OPTIONS_BYTES:
+            raise IPOptionError(
+                f"option of {self.wire_length} bytes exceeds the "
+                f"{MAX_IP_OPTIONS_BYTES}-byte IP options limit"
+            )
+
+    @property
+    def wire_length(self) -> int:
+        """Total bytes on the wire: type + length byte + data."""
+        if self.option_type in (OPTION_END_OF_LIST, OPTION_NOP):
+            return 1
+        return 2 + len(self.data)
+
+    def to_bytes(self) -> bytes:
+        if self.option_type in (OPTION_END_OF_LIST, OPTION_NOP):
+            return bytes([self.option_type])
+        return bytes([self.option_type, self.wire_length]) + self.data
+
+    @classmethod
+    def parse(cls, blob: bytes) -> tuple["IPOption", bytes]:
+        """Parse one option from ``blob``; returns the option and the remainder."""
+        if not blob:
+            raise IPOptionError("empty option blob")
+        option_type = blob[0]
+        if option_type in (OPTION_END_OF_LIST, OPTION_NOP):
+            return cls(option_type=option_type), blob[1:]
+        if len(blob) < 2:
+            raise IPOptionError("truncated option header")
+        length = blob[1]
+        if length < 2 or length > len(blob):
+            raise IPOptionError(f"invalid option length {length}")
+        return cls(option_type=option_type, data=blob[2:length]), blob[length:]
+
+
+@dataclass(frozen=True)
+class IPOptions:
+    """The full options field of a packet: an ordered tuple of options."""
+
+    options: tuple[IPOption, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.wire_length > MAX_IP_OPTIONS_BYTES:
+            raise IPOptionError(
+                f"options total {self.wire_length} bytes, exceeding the "
+                f"{MAX_IP_OPTIONS_BYTES}-byte limit"
+            )
+
+    @property
+    def wire_length(self) -> int:
+        return sum(o.wire_length for o in self.options)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.options
+
+    def to_bytes(self) -> bytes:
+        return b"".join(o.to_bytes() for o in self.options)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "IPOptions":
+        options: list[IPOption] = []
+        remaining = blob
+        while remaining:
+            option, remaining = IPOption.parse(remaining)
+            if option.option_type == OPTION_END_OF_LIST:
+                break
+            options.append(option)
+        return cls(options=tuple(options))
+
+    @classmethod
+    def single(cls, option_type: int, data: bytes) -> "IPOptions":
+        return cls(options=(IPOption(option_type=option_type, data=data),))
+
+    def find(self, option_type: int) -> IPOption | None:
+        for option in self.options:
+            if option.option_type == option_type:
+                return option
+        return None
+
+    def without(self, option_type: int) -> "IPOptions":
+        """Return a copy with every option of ``option_type`` removed."""
+        return IPOptions(
+            options=tuple(o for o in self.options if o.option_type != option_type)
+        )
+
+    def __iter__(self) -> Iterator[IPOption]:
+        return iter(self.options)
+
+    def __len__(self) -> int:
+        return len(self.options)
+
+
+@dataclass(frozen=True)
+class IPPacket:
+    """An IP packet as seen by the enforcement pipeline.
+
+    Payload content is not modelled, only its size; BorderPatrol never
+    inspects payloads, it operates purely on header options and the
+    5-tuple.
+    """
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: int = IPPROTO_TCP
+    payload_size: int = 0
+    options: IPOptions = field(default_factory=IPOptions)
+    ttl: int = 64
+    direction: str = "outbound"
+    socket_id: int | None = None
+    connection_id: int | None = None
+    created_at_ms: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    provenance: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 65535:
+                raise ValueError(f"port out of range: {port}")
+        if self.payload_size < 0:
+            raise ValueError("payload size cannot be negative")
+        if self.ttl < 0:
+            raise ValueError("ttl cannot be negative")
+
+    @property
+    def has_options(self) -> bool:
+        return not self.options.is_empty
+
+    @property
+    def header_length(self) -> int:
+        """IPv4 header length in bytes (20 + padded options)."""
+        option_bytes = self.options.wire_length
+        padding = (4 - option_bytes % 4) % 4
+        return 20 + option_bytes + padding
+
+    @property
+    def total_length(self) -> int:
+        return self.header_length + self.payload_size
+
+    @property
+    def flow_tuple(self) -> tuple[str, int, str, int, int]:
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol)
+
+    def with_options(self, options: IPOptions) -> "IPPacket":
+        return replace(self, options=options)
+
+    def stripped(self) -> "IPPacket":
+        """Copy of the packet with the options field cleared (sanitised)."""
+        return replace(self, options=IPOptions())
+
+    def decremented_ttl(self) -> "IPPacket":
+        return replace(self, ttl=self.ttl - 1)
+
+    def reply(self, payload_size: int) -> "IPPacket":
+        """A response packet travelling the reverse direction of this one."""
+        return IPPacket(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            protocol=self.protocol,
+            payload_size=payload_size,
+            direction="inbound" if self.direction == "outbound" else "outbound",
+            socket_id=self.socket_id,
+            connection_id=self.connection_id,
+            created_at_ms=self.created_at_ms,
+            provenance=dict(self.provenance),
+        )

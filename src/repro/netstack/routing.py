@@ -1,0 +1,90 @@
+"""Routers and links.
+
+Two routing facts drive BorderPatrol's architecture: packets that still
+carry IP options when they reach the public Internet are liable to be
+dropped (RFC 7126 filtering recommendations and vendor guidance, §IV-A4)
+— which is why the Packet Sanitizer must strip the context tag at the
+border — and every hop contributes latency, which the Figure 4 study
+accounts for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netstack.ip import IPPacket
+
+
+class RoutingError(RuntimeError):
+    """Raised when a packet cannot be forwarded (TTL expiry is not an error)."""
+
+
+@dataclass(frozen=True)
+class RouterPolicy:
+    """Per-router forwarding policy.
+
+    ``drop_packets_with_options`` models RFC 7126-style filtering applied
+    by Internet routers and security appliances; enterprise-internal
+    routers leave it off so tagged packets can reach the Policy Enforcer.
+    """
+
+    drop_packets_with_options: bool = False
+    decrement_ttl: bool = True
+
+
+@dataclass
+class RouterStats:
+    forwarded: int = 0
+    dropped_options: int = 0
+    dropped_ttl: int = 0
+
+
+@dataclass
+class Router:
+    """A router hop: applies its policy and forwards or drops the packet."""
+
+    name: str
+    policy: RouterPolicy = field(default_factory=RouterPolicy)
+    latency_ms: float = 0.05
+    stats: RouterStats = field(default_factory=RouterStats)
+
+    def forward(self, packet: IPPacket) -> IPPacket | None:
+        """Forward ``packet``; returns None when the router drops it."""
+        if self.policy.drop_packets_with_options and packet.has_options:
+            self.stats.dropped_options += 1
+            return None
+        if self.policy.decrement_ttl:
+            if packet.ttl <= 1:
+                self.stats.dropped_ttl += 1
+                return None
+            packet = packet.decremented_ttl()
+        self.stats.forwarded += 1
+        return packet
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point link with a propagation latency."""
+
+    name: str
+    latency_ms: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ValueError("latency cannot be negative")
+
+
+def traverse(packet: IPPacket, hops: list[Router]) -> tuple[IPPacket | None, float]:
+    """Push ``packet`` through a sequence of routers.
+
+    Returns the surviving packet (or None if any hop dropped it) and the
+    total latency charged by the traversed hops.
+    """
+    latency = 0.0
+    current: IPPacket | None = packet
+    for router in hops:
+        latency += router.latency_ms
+        current = router.forward(current)
+        if current is None:
+            break
+    return current, latency

@@ -1,0 +1,275 @@
+"""Native socket layer and the kernel-side rules BorderPatrol depends on.
+
+Three behaviours of the real Linux kernel matter to the paper:
+
+* ``setsockopt(IPPROTO_IP, IP_OPTIONS, ...)`` requires ``CAP_NET_RAW``;
+  ordinary Android apps (and the Context Manager, which is a user-space
+  Xposed module) do not hold it.  The prototype applies a one-line
+  kernel patch to lift this restriction (§V-B "Instrumented Linux
+  kernel"); :class:`KernelConfig.allow_unprivileged_ip_options` models
+  that patch.
+* The discussion (§VII "Tag-replay") proposes hardening the patch so the
+  option can only be set once per socket;
+  :class:`KernelConfig.enforce_setsockopt_once` models the hardened
+  variant.
+* Each outbound write is fragmented into MSS-sized packets, and every
+  packet of a socket carries the socket's IP options — which is why the
+  Context Manager only needs to tag the socket once per connection and
+  the cost amortises (§VI-D).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.netstack.clock import SimulatedClock
+from repro.netstack.ip import IPOptions, IPPacket, IPPROTO_TCP
+
+#: ``level`` argument for IP-level socket options.
+IPPROTO_IP = 0
+#: ``optname`` for the IP options field (mirrors the Linux constant).
+IP_OPTIONS = 4
+
+_EPHEMERAL_PORT_START = 40_000
+_connection_ids = itertools.count(1)
+
+
+class SocketError(OSError):
+    """Generic socket-layer failure (bad fd, wrong state, ...)."""
+
+
+class PermissionDenied(SocketError):
+    """Raised when a caller lacks the capability an operation requires."""
+
+
+class Capability(enum.Flag):
+    """Subset of Linux capabilities involved in IP header construction."""
+
+    NONE = 0
+    NET_RAW = enum.auto()
+    NET_ADMIN = enum.auto()
+
+
+class SocketState(enum.Enum):
+    CREATED = "created"
+    CONNECTED = "connected"
+    CLOSED = "closed"
+
+
+@dataclass
+class KernelConfig:
+    """Tunable kernel behaviour.
+
+    Attributes
+    ----------
+    allow_unprivileged_ip_options:
+        The paper's one-line patch: when True, any process may set
+        ``IP_OPTIONS`` regardless of capabilities.
+    enforce_setsockopt_once:
+        The tag-replay hardening from §VII: when True the options of a
+        socket may be written only once.
+    mss:
+        Maximum segment size used when fragmenting writes into packets.
+    default_ttl:
+        Initial TTL stamped on outbound packets.
+    """
+
+    allow_unprivileged_ip_options: bool = False
+    enforce_setsockopt_once: bool = False
+    mss: int = 1460
+    default_ttl: int = 64
+
+
+@dataclass
+class NativeSocket:
+    """Kernel-side state for one socket file descriptor."""
+
+    fd: int
+    owner_pid: int
+    protocol: int = IPPROTO_TCP
+    src_ip: str = "0.0.0.0"
+    src_port: int = 0
+    dst_ip: str | None = None
+    dst_port: int | None = None
+    state: SocketState = SocketState.CREATED
+    ip_options: IPOptions = field(default_factory=IPOptions)
+    options_write_count: int = 0
+    created_at_ms: float = 0.0
+    connected_at_ms: float | None = None
+    connection_id: int | None = None
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    packets_sent: int = 0
+    provenance: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_connected(self) -> bool:
+        return self.state is SocketState.CONNECTED
+
+
+class Kernel:
+    """The per-device network kernel: sockets, system calls, packetisation."""
+
+    def __init__(
+        self,
+        host_ip: str,
+        clock: SimulatedClock | None = None,
+        config: KernelConfig | None = None,
+    ) -> None:
+        self.host_ip = host_ip
+        self.clock = clock or SimulatedClock()
+        self.config = config or KernelConfig()
+        self._sockets: dict[int, NativeSocket] = {}
+        self._next_fd = 3  # 0-2 are stdio, as on a real system
+        self._next_port = _EPHEMERAL_PORT_START
+        #: Observers notified after each successful ``socket`` system call.
+        self.socket_created_listeners: list[Callable[[NativeSocket], None]] = []
+        #: Observers notified after each successful ``connect`` system call.
+        self.socket_connected_listeners: list[Callable[[NativeSocket], None]] = []
+
+    # -- system calls ----------------------------------------------------------
+
+    def socket(self, owner_pid: int, protocol: int = IPPROTO_TCP) -> int:
+        """The ``socket`` system call; returns a fresh file descriptor."""
+        fd = self._next_fd
+        self._next_fd += 1
+        sock = NativeSocket(
+            fd=fd,
+            owner_pid=owner_pid,
+            protocol=protocol,
+            src_ip=self.host_ip,
+            created_at_ms=self.clock.now(),
+        )
+        self._sockets[fd] = sock
+        for listener in list(self.socket_created_listeners):
+            listener(sock)
+        return fd
+
+    def connect(self, fd: int, dst_ip: str, dst_port: int) -> NativeSocket:
+        """The ``connect`` system call: bind an ephemeral port and set the peer."""
+        sock = self._get(fd)
+        if sock.state is SocketState.CLOSED:
+            raise SocketError(f"connect on closed fd {fd}")
+        sock.dst_ip = dst_ip
+        sock.dst_port = dst_port
+        if sock.src_port == 0:
+            sock.src_port = self._allocate_port()
+        sock.state = SocketState.CONNECTED
+        sock.connected_at_ms = self.clock.now()
+        sock.connection_id = next(_connection_ids)
+        for listener in list(self.socket_connected_listeners):
+            listener(sock)
+        return sock
+
+    def setsockopt(
+        self,
+        fd: int,
+        level: int,
+        optname: int,
+        value: IPOptions | bytes,
+        capabilities: Capability = Capability.NONE,
+    ) -> None:
+        """The ``setsockopt`` system call, with the capability gate on IP options."""
+        sock = self._get(fd)
+        if level != IPPROTO_IP or optname != IP_OPTIONS:
+            raise SocketError(f"unsupported socket option level={level} optname={optname}")
+        privileged = bool(capabilities & (Capability.NET_RAW | Capability.NET_ADMIN))
+        if not privileged and not self.config.allow_unprivileged_ip_options:
+            raise PermissionDenied(
+                "setting IP_OPTIONS requires CAP_NET_RAW "
+                "(enable KernelConfig.allow_unprivileged_ip_options to apply "
+                "the BorderPatrol kernel patch)"
+            )
+        if self.config.enforce_setsockopt_once and sock.options_write_count > 0:
+            raise PermissionDenied(
+                "IP_OPTIONS already set for this socket "
+                "(tag-replay hardening is enabled)"
+            )
+        options = value if isinstance(value, IPOptions) else IPOptions.from_bytes(value)
+        sock.ip_options = options
+        sock.options_write_count += 1
+
+    def send(
+        self,
+        fd: int,
+        payload_size: int,
+        provenance: Mapping[str, Any] | None = None,
+    ) -> list[IPPacket]:
+        """Write ``payload_size`` bytes; returns the resulting packets.
+
+        Every packet of the write carries the socket's current IP
+        options, which is the mechanism by which one ``setsockopt`` at
+        connection time tags an entire flow.
+        """
+        sock = self._get(fd)
+        if not sock.is_connected:
+            raise SocketError(f"send on unconnected fd {fd}")
+        if payload_size < 0:
+            raise ValueError("payload size cannot be negative")
+        merged_provenance = dict(sock.provenance)
+        if provenance:
+            merged_provenance.update(provenance)
+        packets: list[IPPacket] = []
+        remaining = payload_size
+        while True:
+            chunk = min(remaining, self.config.mss)
+            packets.append(
+                IPPacket(
+                    src_ip=sock.src_ip,
+                    dst_ip=sock.dst_ip or "0.0.0.0",
+                    src_port=sock.src_port,
+                    dst_port=sock.dst_port or 0,
+                    protocol=sock.protocol,
+                    payload_size=chunk,
+                    options=sock.ip_options,
+                    ttl=self.config.default_ttl,
+                    socket_id=sock.fd,
+                    connection_id=sock.connection_id,
+                    created_at_ms=self.clock.now(),
+                    provenance=merged_provenance,
+                )
+            )
+            remaining -= chunk
+            if remaining <= 0:
+                break
+        sock.bytes_sent += payload_size
+        sock.packets_sent += len(packets)
+        return packets
+
+    def receive(self, fd: int, payload_size: int) -> None:
+        """Account for inbound bytes delivered to this socket."""
+        sock = self._get(fd)
+        sock.bytes_received += payload_size
+
+    def close(self, fd: int) -> None:
+        sock = self._get(fd)
+        sock.state = SocketState.CLOSED
+
+    # -- inspection -------------------------------------------------------------
+
+    def get_socket(self, fd: int) -> NativeSocket:
+        return self._get(fd)
+
+    def open_sockets(self) -> list[NativeSocket]:
+        return [s for s in self._sockets.values() if s.state is not SocketState.CLOSED]
+
+    def all_sockets(self) -> list[NativeSocket]:
+        return list(self._sockets.values())
+
+    # -- internals ----------------------------------------------------------------
+
+    def _get(self, fd: int) -> NativeSocket:
+        try:
+            return self._sockets[fd]
+        except KeyError as exc:
+            raise SocketError(f"bad file descriptor: {fd}") from exc
+
+    def _allocate_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        if self._next_port > 65_535:
+            self._next_port = _EPHEMERAL_PORT_START
+        return port

@@ -1,0 +1,33 @@
+"""Enterprise network topology.
+
+The paper places BorderPatrol's enforcement components at strategic
+locations inside the corporate network (Figure 1): provisioned devices
+attach to the internal network, their traffic crosses a gateway where
+iptables redirects packets into the Policy Enforcer and Packet
+Sanitizer queues, and only then does traffic exit through the border
+router towards the public Internet, whose routers drop packets that
+still carry IP options (RFC 7126).  This package wires the netstack
+primitives into that topology and records traffic at well-defined
+capture points so experiments can inspect what happened at each stage.
+"""
+
+from repro.network.capture import (
+    CapturePoint,
+    CapturedPacket,
+    TrafficCapture,
+    DeliveryReport,
+)
+from repro.network.server import Server
+from repro.network.topology import EnterpriseNetwork, NetworkConfig
+from repro.network.vpn import VpnTunnel
+
+__all__ = [
+    "CapturePoint",
+    "CapturedPacket",
+    "TrafficCapture",
+    "DeliveryReport",
+    "Server",
+    "EnterpriseNetwork",
+    "NetworkConfig",
+    "VpnTunnel",
+]

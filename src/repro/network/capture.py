@@ -1,0 +1,112 @@
+"""Traffic capture and delivery reporting.
+
+Experiments need to see packets at several points: as they leave the
+device (with BorderPatrol's tag attached), before and after the Policy
+Enforcer, after the Packet Sanitizer, and at the destination server.
+The validation study in §VI-B1 explicitly inspects "the network traffic
+before and after the Policy Enforcer"; :class:`TrafficCapture` provides
+that visibility.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.netstack.ip import IPPacket
+
+
+class CapturePoint(str, enum.Enum):
+    """Where in the topology a packet was observed."""
+
+    DEVICE_EGRESS = "device_egress"
+    PRE_ENFORCER = "pre_enforcer"
+    POST_ENFORCER = "post_enforcer"
+    POST_SANITIZER = "post_sanitizer"
+    WAN = "wan"
+    DELIVERED = "delivered"
+    DROPPED_POLICY = "dropped_policy"
+    DROPPED_WAN = "dropped_wan"
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """One observation of a packet at a capture point."""
+
+    point: CapturePoint
+    packet: IPPacket
+    timestamp_ms: float = 0.0
+
+
+@dataclass
+class TrafficCapture:
+    """An append-only log of packet observations."""
+
+    records: list[CapturedPacket] = field(default_factory=list)
+
+    def record(self, point: CapturePoint, packet: IPPacket, timestamp_ms: float = 0.0) -> None:
+        self.records.append(CapturedPacket(point=point, packet=packet, timestamp_ms=timestamp_ms))
+
+    def at(self, point: CapturePoint) -> list[IPPacket]:
+        return [r.packet for r in self.records if r.point is point]
+
+    def packets(self) -> list[IPPacket]:
+        return [r.packet for r in self.records]
+
+    def count(self, point: CapturePoint) -> int:
+        return sum(1 for r in self.records if r.point is point)
+
+    def to_destination(self, dst_ip: str, point: CapturePoint) -> list[IPPacket]:
+        return [p for p in self.at(point) if p.dst_ip == dst_ip]
+
+    def tagged(self, point: CapturePoint) -> list[IPPacket]:
+        """Packets observed at ``point`` that still carry IP options."""
+        return [p for p in self.at(point) if p.has_options]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CapturedPacket]:
+        return iter(self.records)
+
+
+@dataclass
+class DeliveryReport:
+    """Outcome of transmitting a batch of packets through the network."""
+
+    delivered: list[IPPacket] = field(default_factory=list)
+    dropped: list[IPPacket] = field(default_factory=list)
+    dropped_by: dict[int, str] = field(default_factory=dict)
+    latency_ms: float = 0.0
+
+    @property
+    def all_delivered(self) -> bool:
+        return not self.dropped
+
+    @property
+    def total(self) -> int:
+        return len(self.delivered) + len(self.dropped)
+
+    def drop_reasons(self) -> set[str]:
+        return set(self.dropped_by.values())
+
+    def merge(self, other: "DeliveryReport") -> "DeliveryReport":
+        merged = DeliveryReport(
+            delivered=self.delivered + other.delivered,
+            dropped=self.dropped + other.dropped,
+            latency_ms=self.latency_ms + other.latency_ms,
+        )
+        merged.dropped_by = {**self.dropped_by, **other.dropped_by}
+        return merged
+
+
+def summarize(reports: Iterable[DeliveryReport]) -> DeliveryReport:
+    """Fold many per-request reports into one aggregate."""
+    total = DeliveryReport()
+    for report in reports:
+        total = total.merge(report)
+    return total

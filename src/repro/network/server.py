@@ -1,0 +1,70 @@
+"""Remote servers.
+
+Servers terminate the traffic the corpus and case-study apps generate:
+app backends, analytics collectors, ad networks, cloud-storage APIs and
+the host-local HTTP server the Figure 4 stress test talks to.  A server
+only needs to account for what it received and decide how many bytes it
+would send back; payload content is never modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.netstack.ip import IPPacket
+
+#: Size of the static HTML page served by the stress-test server (§VI-D).
+STRESS_PAGE_BYTES = 297
+
+
+@dataclass
+class Server:
+    """A network endpoint reachable at one IP address under one or more names."""
+
+    ip: str
+    names: tuple[str, ...] = ()
+    role: str = "backend"
+    response_size: int | Callable[[IPPacket], int] = 2048
+    latency_ms: float = 0.2
+    received_packets: list[IPPacket] = field(default_factory=list)
+    bytes_received: int = 0
+
+    def handle(self, packet: IPPacket) -> int:
+        """Receive ``packet`` and return the size of the response it would send."""
+        self.received_packets.append(packet)
+        self.bytes_received += packet.payload_size
+        if callable(self.response_size):
+            return self.response_size(packet)
+        return self.response_size
+
+    @property
+    def packets_received(self) -> int:
+        return len(self.received_packets)
+
+    def received_from(self, src_ip: str) -> list[IPPacket]:
+        return [p for p in self.received_packets if p.src_ip == src_ip]
+
+    def received_options(self) -> list[IPPacket]:
+        """Packets that arrived still carrying IP options.
+
+        A correctly deployed Packet Sanitizer means this list stays
+        empty for every server outside the corporate perimeter — the
+        privacy property discussed in §IV-A4.
+        """
+        return [p for p in self.received_packets if p.has_options]
+
+    def reset(self) -> None:
+        self.received_packets.clear()
+        self.bytes_received = 0
+
+
+def stress_test_server(ip: str, name: str = "stress.local") -> Server:
+    """The host-local SimpleHTTPServer used by the performance evaluation."""
+    return Server(
+        ip=ip,
+        names=(name,),
+        role="stress",
+        response_size=STRESS_PAGE_BYTES,
+        latency_ms=0.05,
+    )

@@ -1,0 +1,241 @@
+"""The enterprise network: device uplink, gateway, enforcement chain, border.
+
+Packet path (paper Figure 1):
+
+    device --> internal router --> gateway iptables
+           --> [NFQUEUE 1: Policy Enforcer] --> [NFQUEUE 2: Packet Sanitizer]
+           --> border router --> Internet routers (RFC 7126) --> destination server
+
+The topology itself is policy-agnostic: BorderPatrol, the baselines, or
+nothing at all can be bound to the gateway queues.  Experiments read the
+attached :class:`~repro.network.capture.TrafficCapture` to see what
+happened at each stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netstack.clock import SimulatedClock
+from repro.netstack.dns import DnsRegistry
+from repro.netstack.ip import IPPacket
+from repro.netstack.netfilter import Iptables, IptablesRule, QueueConsumer, RuleTarget, Verdict
+from repro.netstack.routing import Router, RouterPolicy
+from repro.netstack.tcp import FlowTable
+from repro.network.capture import CapturePoint, DeliveryReport, TrafficCapture
+from repro.network.server import Server
+
+#: Queue numbers used by the standard deployment.
+POLICY_ENFORCER_QUEUE = 1
+PACKET_SANITIZER_QUEUE = 2
+
+
+@dataclass
+class NetworkConfig:
+    """Knobs for the enterprise topology."""
+
+    internal_subnet: str = "10.10."
+    internal_router_latency_ms: float = 0.05
+    border_router_latency_ms: float = 0.08
+    internet_hop_count: int = 3
+    internet_hop_latency_ms: float = 0.02
+    #: Internet routers filter packets with IP options (RFC 7126 §4.x) —
+    #: the reason the Packet Sanitizer exists.
+    internet_drops_ip_options: bool = True
+
+
+class EnterpriseNetwork:
+    """A BYOD-enabled corporate network and its path to the Internet."""
+
+    def __init__(
+        self,
+        clock: SimulatedClock | None = None,
+        config: NetworkConfig | None = None,
+        dns: DnsRegistry | None = None,
+    ) -> None:
+        self.clock = clock or SimulatedClock()
+        self.config = config or NetworkConfig()
+        self.dns = dns or DnsRegistry()
+        self.capture = TrafficCapture()
+        self.flow_table = FlowTable()
+        self.gateway = Iptables()
+        self.servers: dict[str, Server] = {}
+        self._next_device_host = 2
+
+        self.internal_router = Router(
+            name="internal",
+            policy=RouterPolicy(drop_packets_with_options=False),
+            latency_ms=self.config.internal_router_latency_ms,
+        )
+        self.border_router = Router(
+            name="border",
+            policy=RouterPolicy(drop_packets_with_options=False),
+            latency_ms=self.config.border_router_latency_ms,
+        )
+        self.internet_routers = [
+            Router(
+                name=f"internet-{i}",
+                policy=RouterPolicy(
+                    drop_packets_with_options=self.config.internet_drops_ip_options
+                ),
+                latency_ms=self.config.internet_hop_latency_ms,
+            )
+            for i in range(self.config.internet_hop_count)
+        ]
+
+    # -- address / server management ----------------------------------------------
+
+    def allocate_device_ip(self) -> str:
+        ip = f"{self.config.internal_subnet}0.{self._next_device_host}"
+        self._next_device_host += 1
+        return ip
+
+    def add_server(self, name: str, ip: str | None = None, role: str = "backend",
+                   response_size: int = 2048) -> Server:
+        """Register a server reachable under ``name``; reuses an existing IP server."""
+        address = self.dns.register(name, ip)
+        server = self.servers.get(address)
+        if server is None:
+            server = Server(ip=address, names=(name,), role=role, response_size=response_size)
+            self.servers[address] = server
+        elif name not in server.names:
+            server = Server(
+                ip=address,
+                names=server.names + (name,),
+                role=server.role,
+                response_size=server.response_size,
+                latency_ms=server.latency_ms,
+                received_packets=server.received_packets,
+                bytes_received=server.bytes_received,
+            )
+            self.servers[address] = server
+        return server
+
+    def server_for(self, name_or_ip: str) -> Server | None:
+        if name_or_ip in self.servers:
+            return self.servers[name_or_ip]
+        if self.dns.knows_name(name_or_ip):
+            return self.servers.get(self.dns.resolve(name_or_ip))
+        return None
+
+    # -- enforcement chain configuration ----------------------------------------------
+
+    def install_queue_chain(
+        self,
+        enforcer: QueueConsumer | None = None,
+        sanitizer: QueueConsumer | None = None,
+        queue_latency_ms: float = 0.0,
+    ) -> None:
+        """Install the standard two-queue chain at the gateway.
+
+        Either consumer may be None (queue stays unbound and fails open),
+        which lets the Figure 4 study measure the cost of the queue
+        plumbing separately from the cost of the enforcement logic.
+        """
+        self.gateway.append_rule(
+            IptablesRule(
+                target=RuleTarget.QUEUE,
+                queue_num=POLICY_ENFORCER_QUEUE,
+                src_prefix=self.config.internal_subnet,
+                direction="outbound",
+                comment="BorderPatrol policy enforcer",
+            )
+        )
+        self.gateway.append_rule(
+            IptablesRule(
+                target=RuleTarget.QUEUE,
+                queue_num=PACKET_SANITIZER_QUEUE,
+                src_prefix=self.config.internal_subnet,
+                direction="outbound",
+                comment="BorderPatrol packet sanitizer",
+            )
+        )
+        enforcer_queue = self.gateway.queue(POLICY_ENFORCER_QUEUE)
+        enforcer_queue.latency_ms = queue_latency_ms
+        if enforcer is not None:
+            enforcer_queue.bind(enforcer)
+        sanitizer_queue = self.gateway.queue(PACKET_SANITIZER_QUEUE)
+        sanitizer_queue.latency_ms = queue_latency_ms
+        if sanitizer is not None:
+            sanitizer_queue.bind(sanitizer)
+
+    # -- packet transmission ---------------------------------------------------------
+
+    def transmit(self, packets: list[IPPacket]) -> DeliveryReport:
+        """Carry ``packets`` from a device towards their destinations."""
+        report = DeliveryReport()
+        per_packet_latencies: list[float] = []
+        for packet in packets:
+            latency, delivered, reason = self._transmit_one(packet)
+            per_packet_latencies.append(latency)
+            if delivered:
+                report.delivered.append(packet)
+            else:
+                report.dropped.append(packet)
+                report.dropped_by[packet.packet_id] = reason
+        report.latency_ms = max(per_packet_latencies, default=0.0)
+        return report
+
+    def _transmit_one(self, packet: IPPacket) -> tuple[float, bool, str]:
+        now = self.clock.now()
+        self.capture.record(CapturePoint.DEVICE_EGRESS, packet, now)
+        self.flow_table.observe(packet)
+        latency = 0.0
+
+        # Internal router hop.
+        latency += self.internal_router.latency_ms
+        routed = self.internal_router.forward(packet)
+        if routed is None:
+            self.capture.record(CapturePoint.DROPPED_POLICY, packet, now)
+            return latency, False, "internal-router"
+
+        # Gateway: iptables chain with the enforcement queues.
+        self.capture.record(CapturePoint.PRE_ENFORCER, routed, now)
+        verdict, processed, queue_latency = self.gateway.process(routed)
+        latency += queue_latency
+        if verdict is Verdict.DROP:
+            self.capture.record(CapturePoint.DROPPED_POLICY, routed, now)
+            return latency, False, "policy"
+        self.capture.record(CapturePoint.POST_ENFORCER, processed, now)
+        if not processed.has_options:
+            self.capture.record(CapturePoint.POST_SANITIZER, processed, now)
+
+        # Border router and the public Internet.
+        latency += self.border_router.latency_ms
+        outbound = self.border_router.forward(processed)
+        if outbound is None:
+            self.capture.record(CapturePoint.DROPPED_WAN, processed, now)
+            return latency, False, "border-router"
+        self.capture.record(CapturePoint.WAN, outbound, now)
+        for router in self.internet_routers:
+            latency += router.latency_ms
+            outbound = router.forward(outbound)
+            if outbound is None:
+                self.capture.record(CapturePoint.DROPPED_WAN, processed, now)
+                return latency, False, "rfc7126"
+
+        # Destination server.
+        server = self.servers.get(outbound.dst_ip)
+        if server is None:
+            self.capture.record(CapturePoint.DROPPED_WAN, outbound, now)
+            return latency, False, "no-route"
+        latency += server.latency_ms
+        server.handle(outbound)
+        self.capture.record(CapturePoint.DELIVERED, outbound, now)
+        return latency, True, ""
+
+    # -- convenience inspection -----------------------------------------------------
+
+    def delivered_packets(self) -> list[IPPacket]:
+        return self.capture.at(CapturePoint.DELIVERED)
+
+    def dropped_by_policy(self) -> list[IPPacket]:
+        return self.capture.at(CapturePoint.DROPPED_POLICY)
+
+    def tagged_packets_at_device(self) -> list[IPPacket]:
+        return self.capture.tagged(CapturePoint.DEVICE_EGRESS)
+
+    def reset_observations(self) -> None:
+        self.capture.clear()
+        for server in self.servers.values():
+            server.reset()

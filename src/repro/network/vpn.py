@@ -1,0 +1,56 @@
+"""Work-profile VPN routing.
+
+The discussion (§VII "Security", "Compatibility") notes that BYOD
+frameworks can force all work-profile traffic over a VPN back into the
+enterprise network, so BorderPatrol's border enforcement still mediates
+packets when the employee is off premises, while personal-profile
+traffic travels the mobile network untouched.  :class:`VpnTunnel`
+models that split: work-profile packets are re-sourced from the tunnel
+address and handed to the enterprise network; personal traffic bypasses
+it entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.netstack.ip import IPPacket
+from repro.network.capture import DeliveryReport
+from repro.network.topology import EnterpriseNetwork
+
+
+@dataclass
+class VpnTunnel:
+    """A per-device VPN tunnel into the enterprise network."""
+
+    network: EnterpriseNetwork
+    tunnel_ip: str = ""
+    connected: bool = True
+    packets_tunnelled: int = 0
+    packets_bypassed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tunnel_ip:
+            self.tunnel_ip = self.network.allocate_device_ip()
+
+    def send_work_traffic(self, packets: list[IPPacket]) -> DeliveryReport:
+        """Route work-profile packets through the tunnel into the enterprise."""
+        if not self.connected:
+            report = DeliveryReport(dropped=list(packets))
+            for packet in packets:
+                report.dropped_by[packet.packet_id] = "vpn-disconnected"
+            return report
+        tunnelled = [replace(p, src_ip=self.tunnel_ip) for p in packets]
+        self.packets_tunnelled += len(tunnelled)
+        return self.network.transmit(tunnelled)
+
+    def send_personal_traffic(self, packets: list[IPPacket]) -> DeliveryReport:
+        """Personal-profile traffic bypasses the enterprise network entirely."""
+        self.packets_bypassed += len(packets)
+        return DeliveryReport(delivered=list(packets), latency_ms=0.5)
+
+    def disconnect(self) -> None:
+        self.connected = False
+
+    def reconnect(self) -> None:
+        self.connected = True

@@ -1,0 +1,42 @@
+"""Workloads: synthetic app corpus, third-party library catalogue, case-study apps.
+
+The paper evaluates BorderPatrol on the 1,000 most-downloaded apps of
+each of Google Play's BUSINESS and PRODUCTIVITY categories (PlayDrone
+dataset), a list of 1,050 exfiltrating third-party libraries from Li et
+al., and three hand-exercised case-study apps (Dropbox, Box,
+SolCalendar).  None of those artefacts are redistributable or usable
+offline, so this package generates structurally faithful synthetic
+equivalents — see DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.workloads.libraries import (
+    LibraryBehavior,
+    LibraryProfile,
+    LibraryCatalog,
+    builtin_catalog,
+    li_library_list,
+)
+from repro.workloads.corpus import CorpusApp, CorpusGenerator, CorpusConfig
+from repro.workloads.apps import (
+    build_cloud_storage_app,
+    build_box_like_app,
+    build_calendar_app,
+)
+from repro.workloads.stress import build_stress_app, run_stress_test, StressResult
+
+__all__ = [
+    "LibraryBehavior",
+    "LibraryProfile",
+    "LibraryCatalog",
+    "builtin_catalog",
+    "li_library_list",
+    "CorpusApp",
+    "CorpusGenerator",
+    "CorpusConfig",
+    "build_cloud_storage_app",
+    "build_box_like_app",
+    "build_calendar_app",
+    "build_stress_app",
+    "run_stress_test",
+    "StressResult",
+]

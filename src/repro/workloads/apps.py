@@ -1,0 +1,228 @@
+"""Hand-built case-study apps (paper §VI-C).
+
+Three behaviour models reproduce the structural facts the case studies
+rely on:
+
+* a Dropbox-like cloud-storage app whose login, browsing, download and
+  upload functionality all talk to the *same* API endpoint, so address
+  based filtering can only block everything or nothing;
+* a Box-like app whose upload endpoint is distinct from its download
+  endpoint — but the upload endpoint also serves file listing, so
+  blocking it breaks browsing (and therefore downloads) too;
+* a SolCalendar-like app bundling the Facebook SDK, which uses one
+  endpoint (the Graph API) for both "Login with Facebook" and analytics
+  event reporting.
+
+Each builder returns a :class:`CaseStudyApp` exposing the method
+signatures experiments need to write policies against (e.g. the upload
+task's method, mirroring the paper's Example 3 policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.android.app_model import AppBehavior, Functionality, NetworkRequest
+from repro.apk.manifest import AndroidManifest, Permission
+from repro.apk.package import ApkFile, StoreCategory, build_apk
+from repro.dex.builder import DexBuilder
+from repro.dex.signature import MethodSignature
+
+
+@dataclass
+class CaseStudyApp:
+    """An apk + behaviour pair plus the signatures experiments reference."""
+
+    apk: ApkFile
+    behavior: AppBehavior
+    key_signatures: dict[str, MethodSignature] = field(default_factory=dict)
+    endpoints: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def package_name(self) -> str:
+        return self.apk.package_name
+
+    def signature(self, key: str) -> MethodSignature:
+        return self.key_signatures[key]
+
+
+def build_cloud_storage_app(package: str = "com.cloudbox.android") -> CaseStudyApp:
+    """The Dropbox-like app: one endpoint for login, browse, download and upload."""
+    api_endpoint = "api.cloudbox.com"
+    builder = DexBuilder()
+    main = builder.add_class(f"{package}.DropboxBrowser", superclass="android.app.Activity")
+    main.add_constructor()
+    m_click = main.add_method("onClick", ("android.view.View",))
+    auth = builder.add_class(f"{package}.auth.LoginActivity")
+    m_auth = auth.add_method("authenticate", ("java.lang.String", "java.lang.String"), "boolean")
+    browse = builder.add_class(f"{package}.files.FileListFragment")
+    m_browse = browse.add_method("refreshListing", (), "int")
+    m_search = browse.add_method("search", ("java.lang.String",), "java.util.List")
+    download = builder.add_class(f"{package}.taskqueue.DownloadTask")
+    m_download = download.add_method("run")
+    upload = builder.add_class(f"{package}.taskqueue.UploadTask")
+    m_upload = upload.add_method("c", (), f"{package.rsplit('.', 1)[0]}.hairball.taskqueue.TaskResult")
+    dex = builder.build()
+
+    functionalities = (
+        Functionality(
+            name="login",
+            call_chain=(m_click.signature, m_auth.signature),
+            requests=(NetworkRequest(endpoint=api_endpoint, upload_bytes=700, download_bytes=900),),
+        ),
+        Functionality(
+            name="browse",
+            call_chain=(m_click.signature, m_browse.signature),
+            requests=(NetworkRequest(endpoint=api_endpoint, upload_bytes=350, download_bytes=4500),),
+        ),
+        Functionality(
+            name="search",
+            call_chain=(m_click.signature, m_search.signature),
+            requests=(NetworkRequest(endpoint=api_endpoint, upload_bytes=280, download_bytes=1800),),
+        ),
+        Functionality(
+            name="download",
+            call_chain=(m_click.signature, m_browse.signature, m_download.signature),
+            requests=(NetworkRequest(endpoint=api_endpoint, upload_bytes=420, download_bytes=2_400_000),),
+        ),
+        Functionality(
+            name="upload",
+            call_chain=(m_click.signature, m_upload.signature),
+            requests=(NetworkRequest(endpoint=api_endpoint, upload_bytes=3_600_000, download_bytes=250),),
+            desirable=False,
+        ),
+    )
+    manifest = AndroidManifest(
+        package_name=package,
+        app_label="CloudBox",
+        permissions=(Permission.INTERNET, Permission.READ_EXTERNAL_STORAGE),
+    )
+    apk = build_apk(manifest, dex, category=StoreCategory.BUSINESS, downloads=500_000_000)
+    return CaseStudyApp(
+        apk=apk,
+        behavior=AppBehavior(package_name=package, functionalities=functionalities),
+        key_signatures={
+            "upload": m_upload.signature,
+            "download": m_download.signature,
+            "login": m_auth.signature,
+            "browse": m_browse.signature,
+        },
+        endpoints={"api": api_endpoint},
+    )
+
+
+def build_box_like_app(package: str = "com.boxsync.android") -> CaseStudyApp:
+    """The Box-like app: distinct endpoints, but uploads and listing share one."""
+    upload_endpoint = "upload.boxsync.com"
+    download_endpoint = "dl.boxsync.com"
+    account_endpoint = "account.boxsync.com"
+    builder = DexBuilder()
+    main = builder.add_class(f"{package}.BoxActivity", superclass="android.app.Activity")
+    m_click = main.add_method("onClick", ("android.view.View",))
+    auth = builder.add_class(f"{package}.auth.BoxAuthentication")
+    m_auth = auth.add_method("startAuthenticationUI", (), "boolean")
+    listing = builder.add_class(f"{package}.browse.FolderListing")
+    m_list = listing.add_method("loadFolderItems", ("java.lang.String",), "java.util.List")
+    requests = builder.add_class(f"{package}.request.BoxRequestUpload")
+    m_upload = requests.add_method("send", ("byte[]",), "boolean")
+    downloads = builder.add_class(f"{package}.request.BoxRequestDownload")
+    m_download = downloads.add_method("fetch", ("java.lang.String",), "byte[]")
+    dex = builder.build()
+
+    functionalities = (
+        Functionality(
+            name="login",
+            call_chain=(m_click.signature, m_auth.signature),
+            requests=(NetworkRequest(endpoint=account_endpoint, upload_bytes=650, download_bytes=800),),
+        ),
+        Functionality(
+            name="browse",
+            call_chain=(m_click.signature, m_list.signature),
+            requests=(NetworkRequest(endpoint=upload_endpoint, upload_bytes=300, download_bytes=5200),),
+        ),
+        Functionality(
+            name="download",
+            call_chain=(m_click.signature, m_list.signature, m_download.signature),
+            requests=(NetworkRequest(endpoint=download_endpoint, upload_bytes=380, download_bytes=1_900_000),),
+        ),
+        Functionality(
+            name="upload",
+            call_chain=(m_click.signature, m_upload.signature),
+            requests=(NetworkRequest(endpoint=upload_endpoint, upload_bytes=2_700_000, download_bytes=200),),
+            desirable=False,
+        ),
+    )
+    manifest = AndroidManifest(package_name=package, app_label="BoxSync")
+    apk = build_apk(manifest, dex, category=StoreCategory.PRODUCTIVITY, downloads=10_000_000)
+    return CaseStudyApp(
+        apk=apk,
+        behavior=AppBehavior(package_name=package, functionalities=functionalities),
+        key_signatures={
+            "upload": m_upload.signature,
+            "download": m_download.signature,
+            "browse": m_list.signature,
+            "login": m_auth.signature,
+        },
+        endpoints={
+            "upload": upload_endpoint,
+            "download": download_endpoint,
+            "account": account_endpoint,
+        },
+    )
+
+
+def build_calendar_app(package: str = "net.solcal.android") -> CaseStudyApp:
+    """The SolCalendar-like app: Facebook SDK login and analytics share the Graph API."""
+    graph_endpoint = "graph.facebook.com"
+    backend_endpoint = "api.solcal.com"
+    builder = DexBuilder()
+    main = builder.add_class(f"{package}.CalendarActivity", superclass="android.app.Activity")
+    m_create = main.add_method("onCreate", ("android.os.Bundle",))
+    m_click = main.add_method("onClick", ("android.view.View",))
+    sync = builder.add_class(f"{package}.sync.CalendarSyncAdapter")
+    m_sync = sync.add_method("onPerformSync", ("android.os.Bundle",))
+    fb_login = builder.add_class("com.facebook.login.LoginManager")
+    m_fb_login = fb_login.add_method(
+        "logInWithReadPermissions", ("java.lang.Object", "java.util.Collection")
+    )
+    fb_events = builder.add_class("com.facebook.appevents.AppEventsLogger")
+    m_fb_log = fb_events.add_method("logEvent", ("java.lang.String",))
+    m_fb_flush = fb_events.add_method("flush")
+    graph = builder.add_class("com.facebook.GraphRequest")
+    m_graph = graph.add_method("executeAndWait")
+    dex = builder.build()
+
+    functionalities = (
+        Functionality(
+            name="login_with_facebook",
+            call_chain=(m_click.signature, m_fb_login.signature, m_graph.signature),
+            requests=(NetworkRequest(endpoint=graph_endpoint, upload_bytes=900, download_bytes=1300),),
+            library="com.facebook",
+        ),
+        Functionality(
+            name="facebook_analytics",
+            call_chain=(m_create.signature, m_fb_log.signature, m_fb_flush.signature, m_graph.signature),
+            requests=(NetworkRequest(endpoint=graph_endpoint, upload_bytes=700, download_bytes=150),),
+            desirable=False,
+            library="com.facebook",
+        ),
+        Functionality(
+            name="calendar_sync",
+            call_chain=(m_create.signature, m_sync.signature),
+            requests=(NetworkRequest(endpoint=backend_endpoint, upload_bytes=1200, download_bytes=3500),),
+        ),
+    )
+    manifest = AndroidManifest(package_name=package, app_label="SolCalendar")
+    apk = build_apk(manifest, dex, category=StoreCategory.PRODUCTIVITY, downloads=5_000_000)
+    return CaseStudyApp(
+        apk=apk,
+        behavior=AppBehavior(package_name=package, functionalities=functionalities),
+        key_signatures={
+            "facebook_login": m_fb_login.signature,
+            "facebook_log_event": m_fb_log.signature,
+            "facebook_flush": m_fb_flush.signature,
+            "graph_request": m_graph.signature,
+            "calendar_sync": m_sync.signature,
+        },
+        endpoints={"graph": graph_endpoint, "backend": backend_endpoint},
+    )

@@ -1,0 +1,387 @@
+"""Synthetic BUSINESS / PRODUCTIVITY app corpus.
+
+The paper's §VI-B analysis runs 2,000 popular Google Play apps (1,000
+from each of the BUSINESS and PRODUCTIVITY categories) under monkey
+exercise and studies how often different app functionalities connect to
+the *same* destination address (IPs-of-interest).  The generator below
+produces a corpus with the structural properties that analysis measures:
+
+* every app has developer-authored functionality talking to its own
+  backend endpoints plus a popularity-weighted sample of third-party
+  libraries (analytics, ads, crash reporting, HTTP clients) talking to
+  their collector endpoints;
+* a configurable fraction of apps (defaulting to the paper's observed
+  218/2000) contain one or more IPs-of-interest — endpoints reached from
+  two or more distinct calling contexts;
+* of those, a configurable fraction (paper: 25%) realise the IoI through
+  a shared HTTP client library, so the distinct stacks span different
+  Java packages, while the rest keep all frames in one package.
+
+Every generated app is a complete :class:`~repro.apk.package.ApkFile`
+(with its own dex content, hash, manifest) plus an
+:class:`~repro.android.app_model.AppBehavior`, so the corpus flows
+through exactly the same Offline Analyzer → Context Manager → Policy
+Enforcer pipeline as the hand-built case studies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.android.app_model import AppBehavior, Functionality, NetworkRequest
+from repro.apk.manifest import AndroidManifest, Permission
+from repro.apk.package import ApkFile, StoreCategory, build_apk
+from repro.dex.builder import DexBuilder
+from repro.dex.model import DexFile
+from repro.dex.signature import MethodSignature
+from repro.network.topology import EnterpriseNetwork
+from repro.workloads.libraries import LibraryCatalog, LibraryProfile, builtin_catalog
+
+_APP_WORDS = (
+    "docs", "sheets", "notes", "mail", "scan", "sign", "plan", "crm", "invoice",
+    "meet", "chat", "task", "time", "board", "wiki", "vault", "forms", "report",
+)
+_VENDOR_WORDS = (
+    "acme", "globex", "initech", "umbra", "vertex", "nimbus", "quanta", "zenith",
+    "orbit", "pioneer", "summit", "beacon", "cobalt", "harbor", "lumen", "strata",
+)
+
+
+def _find_signature(dex: DexFile, class_name: str, method_name: str) -> MethodSignature:
+    """Look up the signature of ``class_name.method_name`` in a built dex file."""
+    descriptor = "L" + class_name.replace(".", "/") + ";"
+    class_def = dex.get_class(descriptor)
+    if class_def is None:
+        raise KeyError(f"class {class_name} not present in dex")
+    overloads = class_def.find_methods(method_name)
+    if not overloads:
+        raise KeyError(f"{class_name} has no method {method_name}")
+    return min(overloads, key=lambda m: m.signature.sort_key()).signature
+
+
+@dataclass
+class CorpusConfig:
+    """Tunable knobs of the corpus generator (defaults follow the paper)."""
+
+    n_apps: int = 2000
+    seed: int = 7
+    #: Fraction of apps containing at least one IP-of-interest (218 / 2000).
+    ioi_probability: float = 0.109
+    #: Relative weights of 1, 2, 3, 4 and 5 IoIs per IoI app (Figure 3 bars).
+    ioi_count_weights: tuple[float, ...] = (152.0, 53.0, 8.0, 3.0, 2.0)
+    #: Fraction of IoI apps whose distinct stacks span different Java packages.
+    cross_package_fraction: float = 0.25
+    #: How many third-party libraries each app bundles.
+    min_libraries: int = 1
+    max_libraries: int = 5
+    #: Weight of "no network activity" UI events for the monkey exerciser.
+    idle_weight: float = 6.0
+
+
+@dataclass
+class CorpusApp:
+    """One generated app plus the ground truth the experiments score against."""
+
+    apk: ApkFile
+    behavior: AppBehavior
+    category: StoreCategory
+    libraries: list[str] = field(default_factory=list)
+    designed_ioi_endpoints: list[str] = field(default_factory=list)
+    ioi_style: str = "none"
+
+    @property
+    def package_name(self) -> str:
+        return self.apk.package_name
+
+    @property
+    def designed_ioi_count(self) -> int:
+        return len(self.designed_ioi_endpoints)
+
+    def endpoints(self) -> set[str]:
+        return self.behavior.endpoints()
+
+
+class CorpusGenerator:
+    """Deterministic generator for the synthetic PlayDrone-style corpus."""
+
+    def __init__(
+        self,
+        config: CorpusConfig | None = None,
+        catalog: LibraryCatalog | None = None,
+    ) -> None:
+        self.config = config or CorpusConfig()
+        self.catalog = catalog or builtin_catalog()
+        http_clients = self.catalog.http_clients()
+        if not http_clients:
+            raise ValueError("the library catalogue must contain at least one HTTP client")
+        self._http_clients = http_clients
+        self._facebook = self.catalog.get("com.facebook")
+
+    # -- public API ---------------------------------------------------------------
+
+    def generate(self, n_apps: int | None = None) -> list[CorpusApp]:
+        """Generate ``n_apps`` apps (defaults to the configured corpus size)."""
+        count = self.config.n_apps if n_apps is None else n_apps
+        rng = random.Random(self.config.seed)
+        return [self._build_app(index, rng) for index in range(count)]
+
+    @staticmethod
+    def register_endpoints(network: EnterpriseNetwork, apps: list[CorpusApp]) -> int:
+        """Register every endpoint of every app as a server in the network."""
+        names: set[str] = set()
+        for app in apps:
+            names |= app.endpoints()
+        for name in sorted(names):
+            network.add_server(name)
+        return len(names)
+
+    # -- app construction -----------------------------------------------------------
+
+    def _build_app(self, index: int, rng: random.Random) -> CorpusApp:
+        vendor = rng.choice(_VENDOR_WORDS)
+        word = rng.choice(_APP_WORDS)
+        package = f"com.{vendor}.{word}{index:04d}"
+        category = StoreCategory.BUSINESS if index % 2 == 0 else StoreCategory.PRODUCTIVITY
+        backend = f"api.{vendor}{index:04d}.com"
+
+        has_ioi = rng.random() < self.config.ioi_probability
+        ioi_count = 0
+        if has_ioi:
+            ioi_count = rng.choices(
+                population=list(range(1, len(self.config.ioi_count_weights) + 1)),
+                weights=list(self.config.ioi_count_weights),
+                k=1,
+            )[0]
+        cross_package = has_ioi and rng.random() < self.config.cross_package_fraction
+        use_facebook_ioi = has_ioi and self._facebook is not None and rng.random() < 0.30
+
+        libraries = self._sample_libraries(rng, cross_package, use_facebook_ioi)
+        builder = DexBuilder()
+        self._add_app_classes(builder, package)
+        for profile in libraries:
+            builder.add_library(profile.template)
+        dex = builder.build()
+
+        functionalities: list[Functionality] = []
+        ioi_endpoints: list[str] = []
+        functionalities.extend(
+            self._core_functionalities(
+                dex, package, backend, rng,
+                ioi_count=ioi_count,
+                cross_package=cross_package,
+                use_facebook_ioi=use_facebook_ioi,
+                ioi_endpoints=ioi_endpoints,
+            )
+        )
+        functionalities.extend(
+            self._library_functionalities(dex, package, libraries, use_facebook_ioi, ioi_endpoints)
+        )
+
+        manifest = AndroidManifest(
+            package_name=package,
+            version_code=rng.randint(1, 40),
+            app_label=f"{vendor.title()} {word.title()}",
+            permissions=(Permission.INTERNET, Permission.ACCESS_NETWORK_STATE),
+        )
+        apk = build_apk(
+            manifest,
+            dex,
+            resources={"res/layout/main.xml": b"<layout/>", "res/values/strings.xml": package.encode()},
+            category=category,
+            downloads=rng.randint(10_000, 50_000_000),
+        )
+        behavior = AppBehavior(
+            package_name=package,
+            functionalities=tuple(functionalities),
+            idle_weight=self.config.idle_weight,
+        )
+        style = "none"
+        if ioi_endpoints:
+            style = "cross_package" if cross_package else "same_package"
+        return CorpusApp(
+            apk=apk,
+            behavior=behavior,
+            category=category,
+            libraries=[p.package for p in libraries],
+            designed_ioi_endpoints=ioi_endpoints,
+            ioi_style=style,
+        )
+
+    # -- pieces -------------------------------------------------------------------------
+
+    def _sample_libraries(
+        self, rng: random.Random, cross_package: bool, use_facebook_ioi: bool
+    ) -> list[LibraryProfile]:
+        count = rng.randint(self.config.min_libraries, self.config.max_libraries)
+        sampled = [
+            p
+            for p in self.catalog.sample(rng, count)
+            if p.package != "com.facebook"
+        ]
+        if use_facebook_ioi and self._facebook is not None:
+            sampled.append(self._facebook)
+        if cross_package and not any(p.category == "http" for p in sampled):
+            sampled.append(rng.choice(self._http_clients))
+        return sampled
+
+    def _add_app_classes(self, builder: DexBuilder, package: str) -> None:
+        main = builder.add_class(f"{package}.MainActivity", superclass="android.app.Activity")
+        main.add_constructor()
+        main.add_method("onCreate", ("android.os.Bundle",))
+        main.add_method("onClick", ("android.view.View",))
+        main.add_method("onResume")
+        api = builder.add_class(f"{package}.net.ApiClient")
+        api.add_constructor()
+        api.add_method("login", ("java.lang.String", "java.lang.String"), "boolean")
+        api.add_method("syncDocuments", (), "int")
+        api.add_method("fetchFeed", ("java.lang.String",), "java.lang.String")
+        api.add_method("uploadReport", ("byte[]",), "boolean")
+        api.add_method("callService", ("java.lang.String",), "java.lang.String", code_size=32)
+        settings = builder.add_class(f"{package}.ui.SettingsActivity", superclass="android.app.Activity")
+        settings.add_method("onCreate", ("android.os.Bundle",))
+        settings.add_method("applyPreferences")
+
+    def _core_functionalities(
+        self,
+        dex: DexFile,
+        package: str,
+        backend: str,
+        rng: random.Random,
+        ioi_count: int,
+        cross_package: bool,
+        use_facebook_ioi: bool,
+        ioi_endpoints: list[str],
+    ) -> list[Functionality]:
+        main_click = _find_signature(dex, f"{package}.MainActivity", "onClick")
+        api_login = _find_signature(dex, f"{package}.net.ApiClient", "login")
+        api_sync = _find_signature(dex, f"{package}.net.ApiClient", "syncDocuments")
+        api_fetch = _find_signature(dex, f"{package}.net.ApiClient", "fetchFeed")
+        api_call = _find_signature(dex, f"{package}.net.ApiClient", "callService")
+
+        functionalities = [
+            Functionality(
+                name="login",
+                call_chain=(main_click, api_login),
+                requests=(NetworkRequest(endpoint=backend, upload_bytes=600, download_bytes=900),),
+                weight=1.2,
+            )
+        ]
+
+        # The number of backend-style IoIs we still need to realise; the
+        # Facebook SDK, when selected as an IoI mechanism, accounts for one.
+        backend_iois = max(0, ioi_count - (1 if use_facebook_ioi else 0))
+
+        if backend_iois >= 1:
+            # IoI #1: the app's main backend serves both login and sync.
+            sync_chain = [main_click, api_sync]
+            if cross_package:
+                http_execute = self._http_execute_signature(dex)
+                if http_execute is not None:
+                    sync_chain.append(http_execute)
+            functionalities.append(
+                Functionality(
+                    name="sync_documents",
+                    call_chain=tuple(sync_chain),
+                    requests=(NetworkRequest(endpoint=backend, upload_bytes=1400, download_bytes=5200),),
+                    weight=1.0,
+                )
+            )
+            ioi_endpoints.append(backend)
+        else:
+            functionalities.append(
+                Functionality(
+                    name="sync_documents",
+                    call_chain=(main_click, api_sync),
+                    requests=(
+                        NetworkRequest(endpoint=f"sync.{backend}", upload_bytes=1400, download_bytes=5200),
+                    ),
+                    weight=1.0,
+                )
+            )
+
+        # Additional backend IoIs: one extra service endpoint per IoI, reached
+        # from two distinct call chains.
+        for extra in range(1, backend_iois):
+            endpoint = f"svc{extra}.{backend}"
+            chain_a = (main_click, api_fetch)
+            chain_b: tuple[MethodSignature, ...] = (main_click, api_call)
+            if cross_package and extra == 1:
+                http_execute = self._http_execute_signature(dex)
+                if http_execute is not None:
+                    chain_b = (main_click, api_call, http_execute)
+            functionalities.append(
+                Functionality(
+                    name=f"feature{extra}_fetch",
+                    call_chain=chain_a,
+                    requests=(NetworkRequest(endpoint=endpoint, upload_bytes=400, download_bytes=2600),),
+                    weight=0.9,
+                )
+            )
+            functionalities.append(
+                Functionality(
+                    name=f"feature{extra}_submit",
+                    call_chain=chain_b,
+                    requests=(NetworkRequest(endpoint=endpoint, upload_bytes=2100, download_bytes=300),),
+                    weight=0.9,
+                )
+            )
+            ioi_endpoints.append(endpoint)
+
+        # A plain feed fetch to a distinct endpoint keeps non-IoI apps realistic.
+        functionalities.append(
+            Functionality(
+                name="fetch_feed",
+                call_chain=(main_click, api_fetch),
+                requests=(
+                    NetworkRequest(endpoint=f"cdn.{backend}", upload_bytes=300, download_bytes=rng.randint(800, 60_000)),
+                ),
+                weight=1.1,
+            )
+        )
+        return functionalities
+
+    def _http_execute_signature(self, dex: DexFile) -> MethodSignature | None:
+        for profile in self._http_clients:
+            class_name = f"{profile.package}.client.HttpClient"
+            try:
+                return _find_signature(dex, class_name, "execute")
+            except KeyError:
+                continue
+        return None
+
+    def _library_functionalities(
+        self,
+        dex: DexFile,
+        package: str,
+        libraries: list[LibraryProfile],
+        use_facebook_ioi: bool,
+        ioi_endpoints: list[str],
+    ) -> list[Functionality]:
+        main_resume = _find_signature(dex, f"{package}.MainActivity", "onResume")
+        functionalities: list[Functionality] = []
+        for profile in libraries:
+            for behavior in profile.behaviors:
+                try:
+                    lib_signature = _find_signature(dex, behavior.class_name, behavior.method_name)
+                except KeyError:
+                    continue
+                functionalities.append(
+                    Functionality(
+                        name=behavior.name,
+                        call_chain=(main_resume, lib_signature),
+                        requests=(
+                            NetworkRequest(
+                                endpoint=behavior.endpoint,
+                                upload_bytes=behavior.upload_bytes,
+                                download_bytes=behavior.download_bytes,
+                            ),
+                        ),
+                        weight=behavior.weight,
+                        desirable=behavior.desirable,
+                        library=profile.package,
+                    )
+                )
+            if profile.package == "com.facebook" and use_facebook_ioi:
+                ioi_endpoints.append("graph.facebook.com")
+        return functionalities

@@ -1,0 +1,376 @@
+"""Third-party library catalogue.
+
+Real Android apps are "an amalgamation of developer-authored code and
+various third party libraries" (paper §I).  The catalogue below models
+the library ecosystem the evaluation depends on:
+
+* named analytics / advertisement / crash-reporting SDKs with their
+  characteristic packages and collector endpoints (the kind of library
+  the Li et al. list flags as exfiltrating);
+* HTTP client libraries (Apache HTTP client, OkHttp, Volley) that app
+  components share — the mechanism behind the cross-package
+  IP-of-interest cases in §VI-B;
+* identity/cloud SDKs (Facebook SDK, cloud-storage SDKs) whose single
+  endpoint serves both desirable and undesirable functionality.
+
+:func:`li_library_list` reproduces the *shape* of Li et al.'s list of
+1,050 privacy-invasive libraries: the named analytics/ad libraries above
+plus synthetic tracker packages to reach the same count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dex.builder import ClassSpec, LibraryTemplate, MethodSpec
+
+#: Number of exfiltrating libraries in Li et al.'s list (paper §VI-B1).
+LI_LIST_SIZE = 1050
+
+
+@dataclass(frozen=True)
+class LibraryBehavior:
+    """One network-generating behaviour a library contributes to its host app."""
+
+    name: str
+    class_name: str
+    method_name: str
+    endpoint: str
+    upload_bytes: int = 700
+    download_bytes: int = 600
+    desirable: bool = False
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class LibraryProfile:
+    """A library template plus the runtime behaviours it injects into apps."""
+
+    template: LibraryTemplate
+    behaviors: tuple[LibraryBehavior, ...]
+    popularity: float = 1.0
+    exfiltrating: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.template.name
+
+    @property
+    def package(self) -> str:
+        return self.template.package
+
+    @property
+    def category(self) -> str:
+        return self.template.category
+
+    @property
+    def slash_package(self) -> str:
+        return self.package.replace(".", "/")
+
+
+def _simple_library(
+    name: str,
+    package: str,
+    category: str,
+    endpoint: str,
+    entry_class: str,
+    entry_method: str,
+    extra_methods: tuple[str, ...] = (),
+    behaviors: tuple[LibraryBehavior, ...] | None = None,
+    popularity: float = 1.0,
+    exfiltrating: bool = False,
+    upload_bytes: int = 700,
+    download_bytes: int = 600,
+) -> LibraryProfile:
+    """Helper building a one-or-two class library with a single network entry point."""
+    methods = [MethodSpec(name=entry_method, parameter_types=("java.lang.String",))]
+    methods.extend(MethodSpec(name=m) for m in extra_methods)
+    template = LibraryTemplate(
+        name=name,
+        package=package,
+        category=category,
+        endpoints=(endpoint,),
+        classes=(
+            ClassSpec(class_name=f"{package}.{entry_class}", methods=tuple(methods)),
+            ClassSpec(
+                class_name=f"{package}.internal.Dispatcher",
+                methods=(
+                    MethodSpec(name="enqueue", parameter_types=("java.lang.Object",)),
+                    MethodSpec(name="flush"),
+                ),
+            ),
+        ),
+    )
+    default_behavior = LibraryBehavior(
+        name=f"{name.lower().replace(' ', '_')}_report",
+        class_name=f"{package}.{entry_class}",
+        method_name=entry_method,
+        endpoint=endpoint,
+        upload_bytes=upload_bytes,
+        download_bytes=download_bytes,
+        desirable=False,
+    )
+    return LibraryProfile(
+        template=template,
+        behaviors=behaviors if behaviors is not None else (default_behavior,),
+        popularity=popularity,
+        exfiltrating=exfiltrating,
+    )
+
+
+def _http_client_library(name: str, package: str, popularity: float) -> LibraryProfile:
+    """Shared HTTP client libraries have no behaviour of their own.
+
+    They only contribute the extra stack frames that appear when app or
+    library code routes a request through them.
+    """
+    template = LibraryTemplate(
+        name=name,
+        package=package,
+        category="http",
+        endpoints=(),
+        classes=(
+            ClassSpec(
+                class_name=f"{package}.client.HttpClient",
+                methods=(
+                    MethodSpec(name="execute", parameter_types=("java.lang.Object",)),
+                    MethodSpec(name="openConnection"),
+                ),
+            ),
+        ),
+    )
+    return LibraryProfile(template=template, behaviors=(), popularity=popularity)
+
+
+def _builtin_profiles() -> list[LibraryProfile]:
+    """The named libraries every experiment can rely on being present."""
+    facebook_behaviors = (
+        LibraryBehavior(
+            name="facebook_login",
+            class_name="com.facebook.login.LoginManager",
+            method_name="logInWithReadPermissions",
+            endpoint="graph.facebook.com",
+            upload_bytes=900,
+            download_bytes=1200,
+            desirable=True,
+        ),
+        LibraryBehavior(
+            name="facebook_app_events",
+            class_name="com.facebook.appevents.AppEventsLogger",
+            method_name="logEvent",
+            endpoint="graph.facebook.com",
+            upload_bytes=650,
+            download_bytes=120,
+            desirable=False,
+        ),
+    )
+    facebook = LibraryProfile(
+        template=LibraryTemplate(
+            name="Facebook SDK",
+            package="com.facebook",
+            category="identity",
+            endpoints=("graph.facebook.com",),
+            classes=(
+                ClassSpec(
+                    class_name="com.facebook.login.LoginManager",
+                    methods=(
+                        MethodSpec(
+                            name="logInWithReadPermissions",
+                            parameter_types=("java.lang.Object", "java.util.Collection"),
+                        ),
+                    ),
+                ),
+                ClassSpec(
+                    class_name="com.facebook.appevents.AppEventsLogger",
+                    methods=(
+                        MethodSpec(name="logEvent", parameter_types=("java.lang.String",)),
+                        MethodSpec(name="flush"),
+                    ),
+                ),
+                ClassSpec(
+                    class_name="com.facebook.GraphRequest",
+                    methods=(
+                        MethodSpec(name="executeAndWait"),
+                        MethodSpec(name="executeAsync"),
+                    ),
+                ),
+            ),
+        ),
+        behaviors=facebook_behaviors,
+        popularity=9.0,
+        exfiltrating=False,
+    )
+
+    profiles = [
+        facebook,
+        _simple_library(
+            "Flurry Analytics", "com.flurry.sdk", "analytics", "data.flurry.com",
+            "FlurryAgent", "onEvent", ("logEvent", "onStartSession"),
+            popularity=10.0, exfiltrating=True,
+        ),
+        _simple_library(
+            "Google Analytics", "com.google.android.gms.analytics", "analytics",
+            "ssl.google-analytics.com", "Tracker", "send", ("setScreenName",),
+            popularity=9.5, exfiltrating=True,
+        ),
+        _simple_library(
+            "Firebase Analytics", "com.google.firebase.analytics", "analytics",
+            "app-measurement.com", "FirebaseAnalytics", "logEvent",
+            popularity=9.0, exfiltrating=True,
+        ),
+        _simple_library(
+            "Crashlytics", "com.crashlytics.android", "crash", "reports.crashlytics.com",
+            "Crashlytics", "logException", popularity=8.5, exfiltrating=True,
+        ),
+        _simple_library(
+            "Mixpanel", "com.mixpanel.android", "analytics", "api.mixpanel.com",
+            "MixpanelAPI", "track", popularity=6.0, exfiltrating=True,
+        ),
+        _simple_library(
+            "AppsFlyer", "com.appsflyer", "analytics", "t.appsflyer.com",
+            "AppsFlyerLib", "trackEvent", popularity=6.5, exfiltrating=True,
+        ),
+        _simple_library(
+            "Localytics", "com.localytics.android", "analytics", "analytics.localytics.com",
+            "Localytics", "tagEvent", popularity=4.0, exfiltrating=True,
+        ),
+        _simple_library(
+            "Adjust", "com.adjust.sdk", "analytics", "app.adjust.com",
+            "Adjust", "trackEvent", popularity=4.5, exfiltrating=True,
+        ),
+        _simple_library(
+            "Amplitude", "com.amplitude.api", "analytics", "api.amplitude.com",
+            "AmplitudeClient", "logEvent", popularity=3.5, exfiltrating=True,
+        ),
+        _simple_library(
+            "AdMob", "com.google.android.gms.ads", "advertisement", "googleads.g.doubleclick.net",
+            "AdRequest", "loadAd", ("requestBanner",), popularity=9.8, exfiltrating=True,
+            download_bytes=14_000,
+        ),
+        _simple_library(
+            "MoPub", "com.mopub.mobileads", "advertisement", "ads.mopub.com",
+            "MoPubView", "loadAd", popularity=7.0, exfiltrating=True, download_bytes=11_000,
+        ),
+        _simple_library(
+            "InMobi", "com.inmobi.ads", "advertisement", "api.w.inmobi.com",
+            "InMobiBanner", "load", popularity=5.5, exfiltrating=True, download_bytes=9_000,
+        ),
+        _simple_library(
+            "Unity Ads", "com.unity3d.ads", "advertisement", "publisher-config.unityads.unity3d.com",
+            "UnityAds", "show", popularity=5.0, exfiltrating=True, download_bytes=16_000,
+        ),
+        _simple_library(
+            "Chartboost", "com.chartboost.sdk", "advertisement", "live.chartboost.com",
+            "Chartboost", "showInterstitial", popularity=3.0, exfiltrating=True,
+            download_bytes=8_000,
+        ),
+        _simple_library(
+            "Vungle", "com.vungle.warren", "advertisement", "api.vungle.com",
+            "Vungle", "playAd", popularity=2.5, exfiltrating=True, download_bytes=12_000,
+        ),
+        _simple_library(
+            "OneSignal Push", "com.onesignal", "utility", "onesignal.com",
+            "OneSignal", "sendTag", popularity=5.0, exfiltrating=False,
+        ),
+        _simple_library(
+            "Branch.io", "io.branch.referral", "analytics", "api2.branch.io",
+            "Branch", "initSession", popularity=3.0, exfiltrating=True,
+        ),
+        _simple_library(
+            "Urban Airship", "com.urbanairship", "utility", "device-api.urbanairship.com",
+            "UAirship", "channelUpdate", popularity=2.0, exfiltrating=False,
+        ),
+        _http_client_library("Apache HTTP Client", "org.apache.http", popularity=8.0),
+        _http_client_library("OkHttp", "com.squareup.okhttp3", popularity=8.5),
+        _http_client_library("Volley", "com.android.volley", popularity=6.0),
+    ]
+    return profiles
+
+
+def _synthetic_tracker(index: int) -> LibraryProfile:
+    """One of the anonymous tracker libraries filling out the Li-list tail."""
+    package = f"com.tracker{index:04d}.sdk"
+    return _simple_library(
+        name=f"Tracker {index:04d}",
+        package=package,
+        category="analytics",
+        endpoint=f"collect.tracker{index:04d}.io",
+        entry_class="Collector",
+        entry_method="submit",
+        popularity=max(0.05, 2.0 / (index + 2)),
+        exfiltrating=True,
+        upload_bytes=500 + (index % 7) * 120,
+        download_bytes=100,
+    )
+
+
+@dataclass
+class LibraryCatalog:
+    """All libraries available to the corpus generator."""
+
+    profiles: list[LibraryProfile] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_package = {p.package: p for p in self.profiles}
+
+    def add(self, profile: LibraryProfile) -> None:
+        self.profiles.append(profile)
+        self._by_package[profile.package] = profile
+
+    def get(self, package: str) -> LibraryProfile | None:
+        return self._by_package.get(package)
+
+    def by_category(self, category: str) -> list[LibraryProfile]:
+        return [p for p in self.profiles if p.category == category]
+
+    def exfiltrating(self) -> list[LibraryProfile]:
+        return [p for p in self.profiles if p.exfiltrating]
+
+    def http_clients(self) -> list[LibraryProfile]:
+        return self.by_category("http")
+
+    def with_behaviors(self) -> list[LibraryProfile]:
+        return [p for p in self.profiles if p.behaviors]
+
+    def sample(self, rng: random.Random, count: int) -> list[LibraryProfile]:
+        """Popularity-weighted sample without replacement."""
+        available = list(self.profiles)
+        chosen: list[LibraryProfile] = []
+        for _ in range(min(count, len(available))):
+            weights = [p.popularity for p in available]
+            pick = rng.choices(available, weights=weights, k=1)[0]
+            chosen.append(pick)
+            available.remove(pick)
+        return chosen
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def __iter__(self):
+        return iter(self.profiles)
+
+
+def builtin_catalog(synthetic_trackers: int = 40) -> LibraryCatalog:
+    """The default catalogue: named SDKs plus ``synthetic_trackers`` filler trackers."""
+    profiles = _builtin_profiles()
+    profiles.extend(_synthetic_tracker(i) for i in range(synthetic_trackers))
+    return LibraryCatalog(profiles=profiles)
+
+
+def li_library_list(catalog: LibraryCatalog | None = None, size: int = LI_LIST_SIZE) -> list[str]:
+    """The slash-form package prefixes of the Li et al. exfiltrating-library list.
+
+    The real list contains 1,050 entries; ours contains every
+    exfiltrating library of the catalogue plus synthetic tracker
+    packages up to ``size`` entries, so the validation policy has the
+    same shape (a long deny-list, most of whose entries never appear in
+    any given app sample).
+    """
+    catalog = catalog or builtin_catalog()
+    entries = [p.slash_package for p in catalog.exfiltrating()]
+    index = 5000
+    while len(entries) < size:
+        entries.append(f"com/tracker{index:04d}/sdk")
+        index += 1
+    return entries[:size]

@@ -1,0 +1,104 @@
+"""The network stress-test app (paper §VI-D).
+
+The performance evaluation uses a purpose-built app that repeatedly
+creates a socket, issues a single HTTP GET for a static 297-byte page
+served on the emulator host, and closes the socket — the worst case for
+the device's network stack because every request pays the full
+per-socket cost (hooking, ``getStackTrace``, encoding, ``setsockopt``).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.android.app_model import AppBehavior, Functionality, NetworkRequest
+from repro.android.runtime import AppProcess
+from repro.apk.manifest import AndroidManifest
+from repro.apk.package import ApkFile, StoreCategory, build_apk
+from repro.dex.builder import DexBuilder
+from repro.network.server import STRESS_PAGE_BYTES
+from repro.workloads.apps import CaseStudyApp
+
+#: DNS name of the host-local HTTP server the stress app talks to.
+STRESS_SERVER_NAME = "stress.local"
+
+#: Size of the HTTP GET request line + headers the stress app sends.
+STRESS_REQUEST_BYTES = 64
+
+
+def build_stress_app(package: str = "com.borderpatrol.stresstest") -> CaseStudyApp:
+    """Build the stress-test apk and its single-functionality behaviour."""
+    builder = DexBuilder()
+    main = builder.add_class(f"{package}.StressActivity", superclass="android.app.Activity")
+    m_run = main.add_method("runIteration", (), "void")
+    client = builder.add_class(f"{package}.net.TinyHttpClient")
+    m_get = client.add_method("get", ("java.lang.String",), "java.lang.String")
+    dex = builder.build()
+
+    functionality = Functionality(
+        name="http_get",
+        call_chain=(m_run.signature, m_get.signature),
+        requests=(
+            NetworkRequest(
+                endpoint=STRESS_SERVER_NAME,
+                port=8000,
+                upload_bytes=STRESS_REQUEST_BYTES,
+                download_bytes=STRESS_PAGE_BYTES,
+            ),
+        ),
+    )
+    behavior = AppBehavior(package_name=package, functionalities=(functionality,), idle_weight=0.0)
+    apk = build_apk(
+        AndroidManifest(package_name=package, app_label="BP StressTest"),
+        dex,
+        category=StoreCategory.TOOLS,
+    )
+    return CaseStudyApp(
+        apk=apk,
+        behavior=behavior,
+        key_signatures={"http_get": m_get.signature},
+        endpoints={"server": STRESS_SERVER_NAME},
+    )
+
+
+@dataclass
+class StressResult:
+    """Latency statistics of one stress run."""
+
+    configuration: str
+    iterations: int
+    per_request_ms: list[float] = field(default_factory=list)
+
+    @property
+    def mean_ms(self) -> float:
+        return statistics.fmean(self.per_request_ms) if self.per_request_ms else 0.0
+
+    @property
+    def median_ms(self) -> float:
+        return statistics.median(self.per_request_ms) if self.per_request_ms else 0.0
+
+    @property
+    def stdev_ms(self) -> float:
+        if len(self.per_request_ms) < 2:
+            return 0.0
+        return statistics.stdev(self.per_request_ms)
+
+    @property
+    def total_ms(self) -> float:
+        return sum(self.per_request_ms)
+
+
+def run_stress_test(
+    process: AppProcess, iterations: int = 10_000, configuration: str = "default"
+) -> StressResult:
+    """Run the stress loop: ``iterations`` socket + GET + close cycles."""
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    result = StressResult(configuration=configuration, iterations=iterations)
+    clock = process.device.clock
+    for _ in range(iterations):
+        start = clock.now()
+        process.invoke("http_get")
+        result.per_request_ms.append(clock.now() - start)
+    return result

@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.android.app_model import AppBehavior, Functionality, NetworkRequest
+from repro.apk.manifest import AndroidManifest
+from repro.apk.package import build_apk
+from repro.core.deployment import BorderPatrolDeployment
+from repro.dex.builder import DexBuilder
+from repro.network.topology import EnterpriseNetwork
+
+
+@pytest.fixture()
+def simple_dex_builder() -> DexBuilder:
+    """A builder pre-populated with a tiny app plus an analytics library."""
+    builder = DexBuilder()
+    main = builder.add_class("com.test.app.MainActivity", superclass="android.app.Activity")
+    main.add_constructor()
+    main.add_method("onClick", ("android.view.View",))
+    main.add_method("onResume")
+    api = builder.add_class("com.test.app.net.ApiClient")
+    api.add_method("login", ("java.lang.String", "java.lang.String"), "boolean")
+    api.add_method("upload", ("byte[]",), "boolean")
+    api.add_method("download", ("java.lang.String",), "byte[]")
+    tracker = builder.add_class("com.flurry.sdk.FlurryAgent")
+    tracker.add_method("logEvent", ("java.lang.String",))
+    return builder
+
+
+@pytest.fixture()
+def simple_app(simple_dex_builder):
+    """(apk, behavior) for a three-functionality test app."""
+    dex = simple_dex_builder.build()
+
+    def sig(class_name, method_name):
+        descriptor = "L" + class_name.replace(".", "/") + ";"
+        return min(
+            dex.get_class(descriptor).find_methods(method_name),
+            key=lambda m: m.signature.sort_key(),
+        ).signature
+
+    apk = build_apk(AndroidManifest(package_name="com.test.app"), dex)
+    behavior = AppBehavior(
+        package_name="com.test.app",
+        functionalities=(
+            Functionality(
+                name="login",
+                call_chain=(sig("com.test.app.MainActivity", "onClick"),
+                            sig("com.test.app.net.ApiClient", "login")),
+                requests=(NetworkRequest("api.test.com", upload_bytes=600, download_bytes=800),),
+            ),
+            Functionality(
+                name="upload",
+                call_chain=(sig("com.test.app.MainActivity", "onClick"),
+                            sig("com.test.app.net.ApiClient", "upload")),
+                requests=(NetworkRequest("api.test.com", upload_bytes=9000, download_bytes=200),),
+                desirable=False,
+            ),
+            Functionality(
+                name="analytics",
+                call_chain=(sig("com.test.app.MainActivity", "onResume"),
+                            sig("com.flurry.sdk.FlurryAgent", "logEvent")),
+                requests=(NetworkRequest("data.flurry.com", upload_bytes=700, download_bytes=100),),
+                desirable=False,
+                library="com.flurry",
+            ),
+        ),
+    )
+    return apk, behavior
+
+
+@pytest.fixture()
+def enterprise_network(simple_app) -> EnterpriseNetwork:
+    """A network with servers for every endpoint of the simple app."""
+    _, behavior = simple_app
+    network = EnterpriseNetwork()
+    for endpoint in sorted(behavior.endpoints()):
+        network.add_server(endpoint)
+    return network
+
+
+@pytest.fixture()
+def deployment(enterprise_network) -> BorderPatrolDeployment:
+    return BorderPatrolDeployment(network=enterprise_network)
+
+
+@pytest.fixture()
+def launched_app(deployment, simple_app):
+    """(deployment, device, process) with the simple app installed and launched."""
+    apk, behavior = simple_app
+    device = deployment.provision_device(name="test-device")
+    process = deployment.install_and_launch(device, apk, behavior)
+    return deployment, device, process

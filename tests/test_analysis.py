@@ -1,0 +1,225 @@
+"""Tests for the IoI analysis, validation scoring and supporting metrics."""
+
+import pytest
+
+from repro.analysis.ioi import AppIoIReport, IoIAnalysis
+from repro.analysis.metrics import (
+    flow_size_summary,
+    hash_collision_probability,
+    monte_carlo_collision_estimate,
+    precision_recall,
+)
+from repro.analysis.validation import score_validation_run
+from repro.android.app_model import Functionality, FunctionalityOutcome, NetworkRequest
+from repro.core.policy_enforcer import EnforcementRecord
+from repro.dex.signature import MethodSignature
+from repro.netstack.ip import IPPacket
+from repro.netstack.netfilter import Verdict
+
+
+APP_SIG = "Lcom/acme/docs/net/ApiClient;->login(Ljava/lang/String;Ljava/lang/String;)Z"
+APP_SIG_2 = "Lcom/acme/docs/net/ApiClient;->syncDocuments()I"
+HTTP_SIG = "Lorg/apache/http/client/HttpClient;->execute(Ljava/lang/Object;)V"
+FB_LOGIN = "Lcom/facebook/login/LoginManager;->logInWithReadPermissions(Ljava/lang/Object;Ljava/util/Collection;)V"
+FB_EVENTS = "Lcom/facebook/appevents/AppEventsLogger;->logEvent(Ljava/lang/String;)V"
+
+
+def record(package, dst_ip, signatures, verdict=Verdict.ACCEPT):
+    return EnforcementRecord(
+        packet_id=0,
+        dst_ip=dst_ip,
+        verdict=verdict,
+        reason="",
+        app_id="00" * 8,
+        package_name=package,
+        signatures=tuple(signatures),
+    )
+
+
+class TestIoIAnalysis:
+    def test_single_context_destination_is_not_an_ioi(self):
+        analysis = IoIAnalysis.from_enforcement_records(
+            [record("com.a", "1.1.1.1", [APP_SIG]), record("com.a", "1.1.1.1", [APP_SIG])],
+            total_apps=1,
+        )
+        assert analysis.total_apps_with_ioi() == 0
+        assert analysis.histogram() == {}
+
+    def test_two_contexts_same_destination_is_an_ioi(self):
+        analysis = IoIAnalysis.from_enforcement_records(
+            [record("com.a", "1.1.1.1", [APP_SIG]), record("com.a", "1.1.1.1", [APP_SIG_2])],
+            total_apps=1,
+        )
+        assert analysis.total_apps_with_ioi() == 1
+        assert analysis.histogram() == {1: 1}
+        assert analysis.same_package_fraction() == 1.0
+        assert analysis.cross_package_ioi_fraction() == 0.0
+
+    def test_cross_package_ioi_detected(self):
+        analysis = IoIAnalysis.from_enforcement_records(
+            [
+                record("com.a", "1.1.1.1", [APP_SIG]),
+                record("com.a", "1.1.1.1", [HTTP_SIG, APP_SIG_2]),
+            ],
+            total_apps=1,
+        )
+        assert analysis.same_package_fraction() == 0.0
+        assert analysis.cross_package_ioi_fraction() == 1.0
+
+    def test_facebook_sdk_counts_as_same_package(self):
+        # Both contexts are inside the Facebook SDK (paper counts this as the
+        # same Java package even though sub-packages differ).
+        analysis = IoIAnalysis.from_enforcement_records(
+            [
+                record("com.a", "2.2.2.2", [FB_LOGIN]),
+                record("com.a", "2.2.2.2", [FB_EVENTS]),
+            ],
+            total_apps=1,
+        )
+        assert analysis.same_package_fraction() == 1.0
+
+    def test_histogram_counts_apps_per_ioi_count(self):
+        records = [
+            # app a: two IoIs.
+            record("com.a", "1.1.1.1", [APP_SIG]),
+            record("com.a", "1.1.1.1", [APP_SIG_2]),
+            record("com.a", "1.1.1.2", [APP_SIG]),
+            record("com.a", "1.1.1.2", [HTTP_SIG]),
+            # app b: one IoI.
+            record("com.b", "1.1.1.3", [APP_SIG]),
+            record("com.b", "1.1.1.3", [APP_SIG_2]),
+            # app c: none.
+            record("com.c", "1.1.1.4", [APP_SIG]),
+        ]
+        analysis = IoIAnalysis.from_enforcement_records(records, total_apps=3)
+        assert analysis.histogram() == {1: 1, 2: 1}
+        assert analysis.total_apps_with_ioi() == 2
+        summary = analysis.summary()
+        assert summary["total_apps"] == 3 and summary["apps_with_ioi"] == 2
+
+    def test_ground_truth_constructor(self):
+        packets = [
+            IPPacket(
+                src_ip="10.10.0.2", dst_ip="1.1.1.1", src_port=1, dst_port=443,
+                provenance={"package": "com.a", "call_chain": (APP_SIG,)},
+            ),
+            IPPacket(
+                src_ip="10.10.0.2", dst_ip="1.1.1.1", src_port=2, dst_port=443,
+                provenance={"package": "com.a", "call_chain": (APP_SIG_2,)},
+            ),
+        ]
+        analysis = IoIAnalysis.from_ground_truth(packets, total_apps=1)
+        assert analysis.total_apps_with_ioi() == 1
+
+    def test_records_without_signatures_ignored(self):
+        analysis = IoIAnalysis.from_enforcement_records(
+            [record("com.a", "1.1.1.1", []), record("", "1.1.1.1", [APP_SIG])], total_apps=1
+        )
+        assert analysis.reports == {}
+
+    def test_app_report_queries(self):
+        report = AppIoIReport(package_name="com.a")
+        report.destinations["1.1.1.1"] = {(APP_SIG,), (APP_SIG_2,)}
+        report.destinations["1.1.1.2"] = {(APP_SIG,)}
+        assert report.ioi_count() == 1
+        assert set(report.ioi_destinations()) == {"1.1.1.1"}
+        assert report.is_same_package()
+        assert report.cross_package_iois() == 0
+
+
+class TestValidationScoring:
+    def _packets(self):
+        flagged = IPPacket(
+            src_ip="10.10.0.2", dst_ip="1.1.1.1", src_port=1, dst_port=443, payload_size=100,
+            provenance={"library": "com.flurry.sdk", "package": "com.a"},
+        )
+        clean = IPPacket(
+            src_ip="10.10.0.2", dst_ip="1.1.1.2", src_port=2, dst_port=443, payload_size=100,
+            provenance={"library": None, "package": "com.a"},
+        )
+        return flagged, clean
+
+    def test_perfect_run(self):
+        flagged, clean = self._packets()
+        score = score_validation_run(
+            egress_packets=[flagged, clean],
+            delivered_packet_ids={clean.packet_id},
+            flagged_libraries=["com/flurry"],
+        )
+        assert score.block_rate == 1.0 and score.preserve_rate == 1.0
+        assert score.perfect
+        assert score.summary()["leaked"] == 0
+
+    def test_leak_detected(self):
+        flagged, clean = self._packets()
+        score = score_validation_run(
+            egress_packets=[flagged, clean],
+            delivered_packet_ids={flagged.packet_id, clean.packet_id},
+            flagged_libraries=["com/flurry"],
+        )
+        assert score.block_rate == 0.0
+        assert score.leaked_packet_ids == [flagged.packet_id]
+        assert not score.perfect
+
+    def test_collateral_damage_detected(self):
+        flagged, clean = self._packets()
+        score = score_validation_run(
+            egress_packets=[flagged, clean],
+            delivered_packet_ids=set(),
+            flagged_libraries=["com/flurry"],
+        )
+        assert score.preserve_rate == 0.0
+        assert score.collateral_packet_ids == [clean.packet_id]
+
+    def test_functionality_preservation(self):
+        functionality = Functionality(
+            name="login",
+            call_chain=(MethodSignature.create("com.a.Api", "login"),),
+            requests=(NetworkRequest("api.a.com"),),
+        )
+        outcome = FunctionalityOutcome(
+            functionality=functionality, requests_attempted=2, requests_completed=2
+        )
+        score = score_validation_run(
+            egress_packets=[],
+            delivered_packet_ids=set(),
+            flagged_libraries=["com/flurry"],
+            outcomes={"com.a": [outcome]},
+        )
+        assert score.functionality_preservation == 1.0
+
+
+class TestMetrics:
+    def test_precision_recall(self):
+        result = precision_recall(
+            dropped_ids={1, 2, 3}, should_drop_ids={2, 3, 4}, all_ids={1, 2, 3, 4, 5}
+        )
+        assert result.true_positives == 2
+        assert result.false_positives == 1
+        assert result.false_negatives == 1
+        assert result.true_negatives == 1
+        assert 0 < result.precision < 1 and 0 < result.recall < 1
+        assert 0 < result.f1 < 1
+
+    def test_precision_recall_degenerate_cases(self):
+        # No positives anywhere: both metrics default to the vacuous 1.0.
+        empty = precision_recall(set(), set(), {1, 2})
+        assert empty.precision == 1.0 and empty.recall == 1.0 and empty.f1 == 1.0
+        # Everything dropped that should not have been: zero precision and f1.
+        wrong = precision_recall({1, 2}, set(), {1, 2})
+        assert wrong.precision == 0.0 and wrong.f1 == 0.0
+
+    def test_flow_size_summary(self):
+        summary = flow_size_summary([36, 1000, 480_000_000])
+        assert summary.min_bytes == 36
+        assert summary.max_bytes == 480_000_000
+        assert summary.count == 3
+        assert summary.spans_orders_of_magnitude() > 6
+        assert flow_size_summary([]).count == 0
+
+    def test_monte_carlo_zero_cases(self):
+        assert monte_carlo_collision_estimate(1, 16) == 0.0
+        assert monte_carlo_collision_estimate(10, 16, trials=0) == 0.0
+
+    def test_collision_probability_reexport(self):
+        assert hash_collision_probability(3_300_000, 64) < 1e-6

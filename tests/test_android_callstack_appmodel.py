@@ -1,0 +1,197 @@
+"""Tests for call stacks, the app behaviour model and the cost model."""
+
+import pytest
+
+from repro.android.app_model import (
+    AppBehavior,
+    Functionality,
+    FunctionalityOutcome,
+    NetworkRequest,
+)
+from repro.android.callstack import CallStack, StackFrame
+from repro.android.costs import CostModel
+from repro.dex.signature import MethodSignature
+
+
+def sig(cls="com.x.app.Api", name="call"):
+    return MethodSignature.create(cls, name)
+
+
+def functionality(name="f", cls="com.x.app.Api", endpoint="api.x.com", **kwargs):
+    return Functionality(
+        name=name,
+        call_chain=(sig(cls=cls),),
+        requests=(NetworkRequest(endpoint=endpoint),),
+        **kwargs,
+    )
+
+
+class TestStackFrame:
+    def test_rendering_matches_java_format(self):
+        frame = StackFrame("com.x.Main", "onClick", "Main.java", 42)
+        assert str(frame) == "com.x.Main.onClick(Main.java:42)"
+
+    def test_rendering_without_line(self):
+        frame = StackFrame("com.x.Main", "onClick")
+        assert "Unknown Source" in str(frame)
+        assert not frame.has_line_number
+
+    def test_package(self):
+        assert StackFrame("com.x.sub.Main", "m").package == "com.x.sub"
+        assert StackFrame("Main", "m").package == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StackFrame("", "m")
+        with pytest.raises(ValueError):
+            StackFrame("com.x.Main", "")
+
+
+class TestCallStack:
+    def _stack(self):
+        return CallStack.of(
+            [
+                StackFrame("java.net.Socket", "connect", "Socket.java", 586),
+                StackFrame("com.flurry.sdk.Agent", "onEvent", "Agent.java", 12),
+                StackFrame("com.x.app.Main", "onClick", "Main.java", 30),
+                StackFrame("android.app.Activity", "performClick", "Activity.java", 6294),
+            ]
+        )
+
+    def test_innermost_and_outermost(self):
+        stack = self._stack()
+        assert stack.innermost.class_name == "java.net.Socket"
+        assert stack.outermost.class_name == "android.app.Activity"
+        assert stack.depth == 4
+
+    def test_without_framework_frames(self):
+        app_only = self._stack().without_framework_frames()
+        assert [f.class_name for f in app_only] == ["com.flurry.sdk.Agent", "com.x.app.Main"]
+
+    def test_frames_in_package(self):
+        assert len(self._stack().frames_in_package("com.flurry")) == 1
+        assert len(self._stack().frames_in_package("com.missing")) == 0
+
+    def test_render(self):
+        rendered = self._stack().render()
+        assert rendered.count("    at ") == 4
+        assert "Socket.java:586" in rendered
+
+    def test_empty_stack_behaviour(self):
+        empty = CallStack()
+        assert not empty
+        assert empty.innermost is None and empty.outermost is None
+        assert len(empty) == 0
+
+
+class TestNetworkRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkRequest(endpoint="")
+        with pytest.raises(ValueError):
+            NetworkRequest(endpoint="x.com", port=0)
+        with pytest.raises(ValueError):
+            NetworkRequest(endpoint="x.com", upload_bytes=-1)
+
+    def test_defaults(self):
+        request = NetworkRequest(endpoint="x.com")
+        assert request.port == 443
+        assert not request.via_native and not request.keep_alive
+
+
+class TestFunctionality:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Functionality(name="", call_chain=(sig(),), requests=(NetworkRequest("x.com"),))
+        with pytest.raises(ValueError):
+            Functionality(name="f", call_chain=(), requests=(NetworkRequest("x.com"),))
+        with pytest.raises(ValueError):
+            Functionality(name="f", call_chain=(sig(),), requests=())
+
+    def test_accessors(self):
+        entry = sig(cls="com.x.app.Main", name="onClick")
+        leaf = sig(cls="com.x.app.Api", name="upload")
+        f = Functionality(
+            name="upload",
+            call_chain=(entry, leaf),
+            requests=(NetworkRequest("a.com", upload_bytes=10), NetworkRequest("b.com", upload_bytes=5)),
+            library="com.flurry",
+        )
+        assert f.entry_point is entry and f.leaf is leaf
+        assert f.endpoints() == {"a.com", "b.com"}
+        assert f.total_upload_bytes() == 15
+        assert f.is_library_functionality
+
+
+class TestAppBehavior:
+    def test_duplicate_functionality_names_rejected(self):
+        with pytest.raises(ValueError):
+            AppBehavior(
+                package_name="com.x.app",
+                functionalities=(functionality("a"), functionality("a")),
+            )
+
+    def test_requires_at_least_one_functionality(self):
+        with pytest.raises(ValueError):
+            AppBehavior(package_name="com.x.app", functionalities=())
+
+    def test_lookups(self):
+        behavior = AppBehavior(
+            package_name="com.x.app",
+            functionalities=(
+                functionality("good"),
+                functionality("bad", desirable=False, library="com.flurry"),
+            ),
+        )
+        assert behavior.get("good").name == "good"
+        with pytest.raises(KeyError):
+            behavior.get("missing")
+        assert behavior.names() == ["good", "bad"]
+        assert [f.name for f in behavior.undesirable_functionalities()] == ["bad"]
+        assert [f.name for f in behavior.library_functionalities()] == ["bad"]
+        assert len(behavior) == 2
+
+
+class TestFunctionalityOutcome:
+    def test_completed_and_blocked(self):
+        outcome = FunctionalityOutcome(functionality=functionality())
+        assert not outcome.completed
+        outcome.requests_attempted = 2
+        outcome.requests_completed = 2
+        assert outcome.completed and not outcome.blocked
+        outcome.packets_dropped = 1
+        assert outcome.blocked
+
+    def test_merge(self):
+        f = functionality()
+        a = FunctionalityOutcome(functionality=f, requests_attempted=1, requests_completed=1,
+                                 packets_sent=2, packets_delivered=2)
+        b = FunctionalityOutcome(functionality=f, requests_attempted=1, requests_completed=0,
+                                 packets_sent=3, packets_dropped=3)
+        merged = a.merge(b)
+        assert merged.requests_attempted == 2
+        assert merged.packets_sent == 5
+        assert not merged.completed and merged.blocked
+
+    def test_merge_rejects_different_functionalities(self):
+        a = FunctionalityOutcome(functionality=functionality("a"))
+        b = FunctionalityOutcome(functionality=functionality("b"))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestCostModel:
+    def test_scaling(self):
+        model = CostModel()
+        doubled = model.scaled(2.0)
+        assert doubled.getstacktrace_ms == pytest.approx(model.getstacktrace_ms * 2)
+        assert doubled.nfqueue_ms == pytest.approx(model.nfqueue_ms * 2)
+        with pytest.raises(ValueError):
+            model.scaled(-1)
+
+    def test_paper_calibration(self):
+        model = CostModel()
+        # getStackTrace dominates the Context Manager cost (paper: ~1.6 ms).
+        assert model.getstacktrace_ms == pytest.approx(1.6, abs=0.2)
+        # The two-queue chain totals roughly the paper's ~1 ms NFQUEUE delta.
+        assert 2 * model.nfqueue_ms == pytest.approx(1.0, abs=0.2)

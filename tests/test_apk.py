@@ -1,0 +1,143 @@
+"""Tests for the apk model: hashing, manifest, packaging."""
+
+import pytest
+
+from repro.apk.hashing import (
+    TRUNCATED_HASH_BYTES,
+    collision_probability,
+    expected_collisions,
+    md5_hex,
+    truncated_hash,
+    truncated_hash_hex,
+)
+from repro.apk.manifest import AndroidManifest, Permission
+from repro.apk.package import ApkFile, Certificate, StoreCategory, build_apk
+from repro.dex.builder import DexBuilder
+
+
+class TestHashing:
+    def test_md5_is_stable(self):
+        assert md5_hex(b"borderpatrol") == md5_hex(b"borderpatrol")
+        assert md5_hex(b"a") != md5_hex(b"b")
+
+    def test_truncated_hash_is_prefix_of_md5(self):
+        data = b"some apk bytes"
+        assert truncated_hash_hex(data) == md5_hex(data)[: TRUNCATED_HASH_BYTES * 2]
+        assert len(truncated_hash(data)) == TRUNCATED_HASH_BYTES
+
+    def test_truncated_hash_length_bounds(self):
+        with pytest.raises(ValueError):
+            truncated_hash(b"x", length_bytes=0)
+        with pytest.raises(ValueError):
+            truncated_hash(b"x", length_bytes=17)
+
+    def test_collision_probability_monotonic_in_apps(self):
+        assert collision_probability(10, 64) < collision_probability(1000, 64)
+        assert collision_probability(1, 64) == 0.0
+        assert collision_probability(1000, 0) == 1.0
+
+    def test_paper_collision_claim(self):
+        # §VII: 3.3M apps, 8-byte hash -> probability below 1e-6.
+        assert collision_probability(3_300_000, 64) < 1e-6
+
+    def test_expected_collisions(self):
+        assert expected_collisions(1, 64) == 0.0
+        assert expected_collisions(3_300_000, 64) < 0.001
+        assert expected_collisions(100_000, 16) > 1.0
+
+
+class TestManifest:
+    def test_defaults(self):
+        manifest = AndroidManifest(package_name="com.x.app")
+        assert manifest.can_use_network
+        assert manifest.label == "app"
+        assert manifest.has_permission(Permission.INTERNET)
+
+    def test_invalid_package_name(self):
+        with pytest.raises(ValueError):
+            AndroidManifest(package_name="bad name")
+        with pytest.raises(ValueError):
+            AndroidManifest(package_name="")
+
+    def test_to_dict(self):
+        manifest = AndroidManifest(package_name="com.x.app", version_code=3)
+        payload = manifest.to_dict()
+        assert payload["package"] == "com.x.app"
+        assert payload["versionCode"] == 3
+        assert Permission.INTERNET.value in payload["permissions"]
+
+    def test_no_network_permission(self):
+        manifest = AndroidManifest(package_name="com.x.app", permissions=())
+        assert not manifest.can_use_network
+
+
+class TestApkFile:
+    def _dex(self, extra_method: bool = False):
+        builder = DexBuilder()
+        handle = builder.add_class("com.x.app.Main")
+        handle.add_method("run")
+        if extra_method:
+            handle.add_method("other")
+        return builder.build()
+
+    def test_build_apk_and_hashes(self):
+        apk = build_apk(AndroidManifest(package_name="com.x.app"), self._dex())
+        assert len(apk.md5) == 32
+        assert len(apk.app_id) == TRUNCATED_HASH_BYTES * 2
+        assert apk.md5.startswith(apk.app_id)
+        assert apk.package_name == "com.x.app"
+        assert not apk.is_multidex
+
+    def test_identical_content_gives_identical_hash(self):
+        one = build_apk(AndroidManifest(package_name="com.x.app"), self._dex())
+        two = build_apk(AndroidManifest(package_name="com.x.app"), self._dex())
+        assert one.md5 == two.md5
+
+    def test_code_change_changes_hash(self):
+        base = build_apk(AndroidManifest(package_name="com.x.app"), self._dex())
+        changed = build_apk(AndroidManifest(package_name="com.x.app"), self._dex(extra_method=True))
+        assert base.md5 != changed.md5
+
+    def test_resource_change_changes_hash(self):
+        base = build_apk(AndroidManifest(package_name="com.x.app"), self._dex())
+        changed = build_apk(
+            AndroidManifest(package_name="com.x.app"), self._dex(), resources={"res/a": b"1"}
+        )
+        assert base.md5 != changed.md5
+
+    def test_version_change_changes_hash(self):
+        v1 = build_apk(AndroidManifest(package_name="com.x.app", version_code=1), self._dex())
+        v2 = build_apk(AndroidManifest(package_name="com.x.app", version_code=2), self._dex())
+        assert v1.md5 != v2.md5
+
+    def test_parse_dex_files_round_trip(self):
+        apk = build_apk(AndroidManifest(package_name="com.x.app"), self._dex())
+        parsed = apk.parse_dex_files()
+        assert len(parsed) == 1
+        assert parsed[0].method_count == apk.method_count() == 1
+
+    def test_apk_requires_dex(self):
+        with pytest.raises(ValueError):
+            ApkFile(manifest=AndroidManifest(package_name="com.x.app"), dex_blobs=())
+
+    def test_certificate_fingerprint_derived_from_subject(self):
+        cert = Certificate(subject="CN=acme")
+        assert cert.fingerprint
+        assert Certificate(subject="CN=acme").fingerprint == cert.fingerprint
+        assert Certificate(subject="CN=other").fingerprint != cert.fingerprint
+
+    def test_store_category(self):
+        apk = build_apk(
+            AndroidManifest(package_name="com.x.app"), self._dex(), category=StoreCategory.BUSINESS
+        )
+        assert apk.category is StoreCategory.BUSINESS
+
+    def test_merged_dex_for_multidex(self):
+        builder = DexBuilder()
+        a = builder.add_class("com.x.A")
+        a.add_method("m")
+        b = builder.add_class("com.x.B")
+        b.add_method("m")
+        dex_files = builder.build_multidex()
+        apk = build_apk(AndroidManifest(package_name="com.x.app"), dex_files)
+        assert apk.merged_dex().method_count == 2

@@ -1,0 +1,131 @@
+"""Tests for the baseline enforcement mechanisms."""
+
+import pytest
+
+from repro.baselines.ip_dns_filter import OnNetworkFilter
+from repro.baselines.ondevice import AppLevelEnforcer
+from repro.baselines.size_threshold import FlowSizeThresholdFilter
+from repro.netstack.dns import DnsRegistry
+from repro.netstack.ip import IPPacket
+from repro.netstack.netfilter import Verdict
+from repro.netstack.tcp import FlowKey
+
+
+def make_packet(dst_ip="203.0.113.9", payload=100, src_port=40001, dst_port=443, package=""):
+    provenance = {"package": package} if package else {}
+    return IPPacket(
+        src_ip="10.10.0.2",
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        payload_size=payload,
+        provenance=provenance,
+    )
+
+
+class TestOnNetworkFilter:
+    def test_blocks_by_ip(self):
+        ip_filter = OnNetworkFilter(blocked_ips={"203.0.113.9"})
+        assert ip_filter.process(make_packet())[0] is Verdict.DROP
+        assert ip_filter.process(make_packet(dst_ip="203.0.113.10"))[0] is Verdict.ACCEPT
+        assert ip_filter.stats.packets_dropped == 1
+        assert ip_filter.stats.packets_allowed == 1
+
+    def test_blocks_by_dns_name(self):
+        dns = DnsRegistry()
+        graph_ip = dns.register("graph.facebook.com")
+        ip_filter = OnNetworkFilter(dns=dns, blocked_names={"graph.facebook.com"})
+        assert ip_filter.process(make_packet(dst_ip=graph_ip))[0] is Verdict.DROP
+
+    def test_block_name_added_after_construction(self):
+        dns = DnsRegistry()
+        ip = dns.register("ads.example.com")
+        ip_filter = OnNetworkFilter(dns=dns)
+        assert ip_filter.process(make_packet(dst_ip=ip))[0] is Verdict.ACCEPT
+        ip_filter.block_name("ads.example.com")
+        assert ip_filter.process(make_packet(dst_ip=ip))[0] is Verdict.DROP
+
+    def test_blocks_by_port_and_unblock(self):
+        ip_filter = OnNetworkFilter(blocked_ports={8443})
+        assert ip_filter.process(make_packet(dst_port=8443))[0] is Verdict.DROP
+        ip_filter.block_ip("203.0.113.9")
+        ip_filter.unblock_ip("203.0.113.9")
+        assert ip_filter.process(make_packet())[0] is Verdict.ACCEPT
+
+    def test_cannot_distinguish_contexts_on_shared_endpoint(self):
+        """The structural weakness the case studies exploit: one endpoint,
+        two purposes — the filter either blocks both or neither."""
+        ip_filter = OnNetworkFilter(blocked_ips={"203.0.113.9"})
+        login = make_packet()
+        upload = make_packet(payload=100_000)
+        assert ip_filter.process(login)[0] == ip_filter.process(upload)[0] == Verdict.DROP
+
+
+class TestFlowSizeThreshold:
+    def test_flow_below_threshold_passes(self):
+        threshold = FlowSizeThresholdFilter(threshold_bytes=1000)
+        assert threshold.process(make_packet(payload=400))[0] is Verdict.ACCEPT
+        assert threshold.process(make_packet(payload=400))[0] is Verdict.ACCEPT
+
+    def test_flow_exceeding_threshold_dropped(self):
+        threshold = FlowSizeThresholdFilter(threshold_bytes=1000)
+        threshold.process(make_packet(payload=800))
+        verdict, _ = threshold.process(make_packet(payload=800))
+        assert verdict is Verdict.DROP
+        assert threshold.stats.flows_flagged == 1
+
+    def test_fragmenting_across_sockets_evades_threshold(self):
+        """§VII: splitting the upload across flows defeats volume triggers."""
+        threshold = FlowSizeThresholdFilter(threshold_bytes=1000)
+        verdicts = [
+            threshold.process(make_packet(payload=900, src_port=41000 + i))[0] for i in range(10)
+        ]
+        # 9000 bytes were exfiltrated without a single drop.
+        assert all(v is Verdict.ACCEPT for v in verdicts)
+        assert threshold.stats.flows_flagged == 0
+
+    def test_flow_volume_inspection(self):
+        threshold = FlowSizeThresholdFilter(threshold_bytes=10_000)
+        packet = make_packet(payload=100)
+        threshold.process(packet)
+        assert threshold.flow_volume(FlowKey.from_packet(packet)) == 100
+        assert threshold.flagged_flows() == set()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            FlowSizeThresholdFilter(threshold_bytes=0)
+
+
+class TestAppLevelEnforcer:
+    def test_blocklist_mode(self):
+        enforcer = AppLevelEnforcer(blocked_packages={"com.bad.app"})
+        assert enforcer.process(make_packet(package="com.bad.app"))[0] is Verdict.DROP
+        assert enforcer.process(make_packet(package="com.good.app"))[0] is Verdict.ACCEPT
+
+    def test_allowlist_mode(self):
+        enforcer = AppLevelEnforcer(allowed_packages={"com.good.app"})
+        assert enforcer.process(make_packet(package="com.good.app"))[0] is Verdict.ACCEPT
+        assert enforcer.process(make_packet(package="com.other.app"))[0] is Verdict.DROP
+
+    def test_cannot_mix_modes(self):
+        with pytest.raises(ValueError):
+            AppLevelEnforcer(blocked_packages={"a"}, allowed_packages={"b"})
+        enforcer = AppLevelEnforcer(allowed_packages={"a"})
+        with pytest.raises(ValueError):
+            enforcer.block_package("b")
+
+    def test_app_granularity_cannot_separate_library_traffic(self):
+        """CRePE/ADM-style enforcement is all-or-nothing per app: blocking the
+        app's analytics also blocks its legitimate traffic (contrast with the
+        method-level policies exercised in the integration tests)."""
+        enforcer = AppLevelEnforcer(blocked_packages={"com.mixed.app"})
+        legitimate = make_packet(package="com.mixed.app", payload=100)
+        analytics = make_packet(package="com.mixed.app", payload=700)
+        assert enforcer.process(legitimate)[0] is Verdict.DROP
+        assert enforcer.process(analytics)[0] is Verdict.DROP
+
+    def test_block_package_after_construction(self):
+        enforcer = AppLevelEnforcer()
+        assert enforcer.process(make_packet(package="com.x"))[0] is Verdict.ACCEPT
+        enforcer.block_package("com.x")
+        assert enforcer.process(make_packet(package="com.x"))[0] is Verdict.DROP

@@ -1,0 +1,59 @@
+"""Tests for the command-line front end."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestAnalyzeCommand:
+    def test_analyze_case_study_apps(self, tmp_path, capsys):
+        output = tmp_path / "db.json"
+        code = main(["analyze", "--output", str(output), "--case-study-apps"])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        packages = {entry["package"] for entry in payload.values()}
+        assert "com.cloudbox.android" in packages
+        assert "analyzed 3 apps" in capsys.readouterr().out
+
+    def test_analyze_corpus_apps(self, tmp_path):
+        output = tmp_path / "db.json"
+        assert main(["analyze", "--output", str(output), "--corpus-apps", "3"]) == 0
+        assert len(json.loads(output.read_text())) == 3
+
+    def test_analyze_without_inputs_fails(self, tmp_path):
+        assert main(["analyze", "--output", str(tmp_path / "db.json")]) == 2
+
+
+class TestCheckPolicyCommand:
+    def test_valid_policy(self, tmp_path, capsys):
+        policy_file = tmp_path / "policy.txt"
+        policy_file.write_text('// deny flurry\n{[deny][library]["com/flurry"]}\n')
+        assert main(["check-policy", str(policy_file)]) == 0
+        out = capsys.readouterr().out
+        assert "1 rule(s)" in out and "com/flurry" in out
+
+    def test_invalid_policy(self, tmp_path, capsys):
+        policy_file = tmp_path / "bad.txt"
+        policy_file.write_text("{[deny][library][unquoted]}")
+        assert main(["check-policy", str(policy_file)]) == 1
+        assert "rejected" in capsys.readouterr().err
+
+
+class TestCaseStudyCommand:
+    def test_facebook_case_study(self, capsys):
+        assert main(["case-study", "facebook"]) == 0
+        out = capsys.readouterr().out
+        assert "login_with_facebook" in out
+        assert "selective enforcement achieved with BorderPatrol: True" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_experiments_defaults(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.fig3_apps == 200 and args.fig4_iterations == 500

@@ -1,0 +1,244 @@
+"""Tests for the Context Manager, Policy Enforcer, Packet Sanitizer and Policy Extractor."""
+
+import pytest
+
+from repro.core.context_manager import ContextManager, ContextManagerMode
+from repro.core.database import SignatureDatabase
+from repro.core.encoding import StackTraceEncoder
+from repro.core.offline_analyzer import OfflineAnalyzer
+from repro.core.packet_sanitizer import PacketSanitizer
+from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.core.policy_enforcer import PolicyEnforcer
+from repro.core.policy_extractor import PolicyExtractor, ProfileRun
+from repro.android.callstack import StackFrame
+from repro.netstack.ip import BORDERPATROL_OPTION_TYPE, IPOptions, IPPacket, OPTION_TIMESTAMP
+from repro.netstack.netfilter import Verdict
+from repro.network.capture import CapturePoint
+
+
+APP_ID = "00112233aabbccdd"
+
+
+def make_packet(options=None, dst_ip="203.0.113.9"):
+    return IPPacket(
+        src_ip="10.10.0.2",
+        dst_ip=dst_ip,
+        src_port=40001,
+        dst_port=443,
+        payload_size=256,
+        options=options or IPOptions(),
+    )
+
+
+class TestContextManager:
+    def test_tags_every_managed_socket(self, launched_app):
+        deployment, device, process = launched_app
+        process.invoke("login")
+        process.invoke("analytics")
+        assert device.context_manager.stats.sockets_tagged == 2
+        tagged = deployment.network.capture.tagged(CapturePoint.DEVICE_EGRESS)
+        assert len(tagged) >= 2
+
+    def test_decoded_stack_matches_executed_call_chain(self, launched_app, simple_app):
+        deployment, _, process = launched_app
+        _, behavior = simple_app
+        process.invoke("analytics")
+        record = deployment.enforcer.records[-1]
+        expected_leaf = str(behavior.get("analytics").call_chain[-1])
+        # The innermost decoded app frame is the library method that opened
+        # the connection; the outer app frame follows it.
+        assert record.signatures[0] == expected_leaf
+        assert any("MainActivity" in s for s in record.signatures)
+
+    def test_frame_resolution_uses_line_numbers_for_overloads(self, launched_app):
+        _, device, process = launched_app
+        manager = device.context_manager
+        state = manager._state_for(process)
+        merged = process.apk.merged_dex()
+        login = merged.get_class("Lcom/test/app/net/ApiClient;").find_methods("login")[0]
+        frame = StackFrame(
+            class_name="com.test.app.net.ApiClient",
+            method_name="login",
+            source_file=login.debug.source_file,
+            line_number=login.debug.line_start + 1,
+        )
+        assert state.resolve_frame(frame) == login.signature
+
+    def test_unknown_frames_are_skipped(self, launched_app):
+        _, device, process = launched_app
+        manager = device.context_manager
+        indexes = manager.resolve_stack(
+            process,
+            process.current_stack().__class__(
+                frames=(StackFrame("java.net.Socket", "connect"),)
+            ),
+        )
+        assert indexes == []
+        assert manager.stats.frames_unmapped >= 1
+
+    def test_install_is_idempotent_and_uninstall_works(self, launched_app):
+        _, device, process = launched_app
+        manager = device.context_manager
+        manager.install()  # second install must not register a duplicate hook
+        process.invoke("login")
+        assert manager.stats.sockets_tagged == 1
+        manager.uninstall()
+        assert not manager.is_installed
+        process.invoke("login")
+        assert manager.stats.sockets_tagged == 1
+
+    def test_static_modes_do_not_resolve_stacks(self, enterprise_network, simple_app):
+        from repro.android.device import Device
+        from repro.netstack.sockets import KernelConfig
+
+        apk, behavior = simple_app
+        device = Device(
+            network=enterprise_network,
+            kernel_config=KernelConfig(allow_unprivileged_ip_options=True),
+        )
+        manager = ContextManager(device, mode=ContextManagerMode.STATIC_INJECT)
+        manager.install()
+        device.install(apk, behavior)
+        process = device.launch("com.test.app")
+        process.invoke("login")
+        assert manager.stats.sockets_tagged == 1
+        assert manager.stats.frames_seen == 0
+
+
+class TestPolicyEnforcer:
+    def _enforcer(self, policy=None, **kwargs):
+        return PolicyEnforcer(database=SignatureDatabase(), policy=policy, **kwargs)
+
+    def test_untagged_packets_dropped_by_default(self):
+        enforcer = self._enforcer()
+        verdict, _ = enforcer.process(make_packet())
+        assert verdict is Verdict.DROP
+        assert enforcer.stats.untagged_packets == 1
+
+    def test_untagged_packets_can_be_allowed(self):
+        enforcer = self._enforcer(drop_untagged=False)
+        assert enforcer.process(make_packet())[0] is Verdict.ACCEPT
+
+    def test_unknown_app_hash_dropped_by_default(self):
+        enforcer = self._enforcer()
+        options = StackTraceEncoder().encode_option(APP_ID, [0, 1])
+        assert enforcer.process(make_packet(options))[0] is Verdict.DROP
+        assert enforcer.stats.unknown_apps == 1
+
+    def test_out_of_range_index_is_a_decode_error(self, simple_app):
+        apk, _ = simple_app
+        database = SignatureDatabase()
+        entry = OfflineAnalyzer(database).analyze(apk)
+        enforcer = PolicyEnforcer(database=database)
+        options = StackTraceEncoder().encode_option(entry.app_id, [60_000])
+        verdict, _ = enforcer.process(make_packet(options))
+        assert verdict is Verdict.DROP
+        assert enforcer.stats.decode_errors == 1
+
+    def test_known_app_with_allow_all_policy_accepted(self, simple_app):
+        apk, _ = simple_app
+        database = SignatureDatabase()
+        entry = OfflineAnalyzer(database).analyze(apk)
+        enforcer = PolicyEnforcer(database=database)
+        options = StackTraceEncoder().encode_option(entry.app_id, [0, 1])
+        verdict, _ = enforcer.process(make_packet(options))
+        assert verdict is Verdict.ACCEPT
+        record = enforcer.records[-1]
+        assert record.package_name == "com.test.app"
+        assert len(record.signatures) == 2
+
+    def test_policy_swap_takes_effect_immediately(self, simple_app):
+        apk, _ = simple_app
+        database = SignatureDatabase()
+        entry = OfflineAnalyzer(database).analyze(apk)
+        enforcer = PolicyEnforcer(database=database)
+        flurry_index = entry.index_of("Lcom/flurry/sdk/FlurryAgent;->logEvent(Ljava/lang/String;)V")
+        options = StackTraceEncoder().encode_option(entry.app_id, [flurry_index])
+        assert enforcer.process(make_packet(options))[0] is Verdict.ACCEPT
+        enforcer.set_policy(Policy.deny_libraries(["com/flurry"]))
+        assert enforcer.process(make_packet(options))[0] is Verdict.DROP
+        assert len(enforcer.dropped_records()) == 1
+        assert len(enforcer.allowed_records()) == 1
+
+    def test_decoded_stacks_to_destination(self, simple_app):
+        apk, _ = simple_app
+        database = SignatureDatabase()
+        entry = OfflineAnalyzer(database).analyze(apk)
+        enforcer = PolicyEnforcer(database=database)
+        options = StackTraceEncoder().encode_option(entry.app_id, [0])
+        enforcer.process(make_packet(options, dst_ip="203.0.113.1"))
+        enforcer.process(make_packet(options, dst_ip="203.0.113.2"))
+        assert len(enforcer.decoded_stacks_to("203.0.113.1")) == 1
+        enforcer.reset()
+        assert not enforcer.records and enforcer.stats.packets_seen == 0
+
+
+class TestPacketSanitizer:
+    def test_strips_borderpatrol_option(self):
+        sanitizer = PacketSanitizer()
+        tagged = make_packet(IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01\x02"))
+        verdict, sanitized = sanitizer.process(tagged)
+        assert verdict is Verdict.ACCEPT
+        assert not sanitized.has_options
+        assert sanitizer.stats.packets_sanitized == 1
+
+    def test_untagged_packets_untouched(self):
+        sanitizer = PacketSanitizer()
+        packet = make_packet()
+        verdict, out = sanitizer.process(packet)
+        assert out is packet
+        assert sanitizer.stats.packets_untouched == 1
+
+    def test_selective_strip_keeps_other_options(self):
+        sanitizer = PacketSanitizer(strip_all_options=False)
+        options = IPOptions(
+            options=(
+                IPOptions.single(OPTION_TIMESTAMP, b"\x00\x00").options[0],
+                IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01").options[0],
+            )
+        )
+        _, sanitized = sanitizer.process(make_packet(options))
+        assert sanitized.options.find(OPTION_TIMESTAMP) is not None
+        assert sanitized.options.find(BORDERPATROL_OPTION_TYPE) is None
+
+
+class TestPolicyExtractor:
+    def _runs(self):
+        baseline = ProfileRun(label="baseline")
+        baseline.add_stack(["Lcom/app/Auth;->login()Z", "Lcom/app/Main;->onClick()V"])
+        baseline.add_stack(["Lcom/app/Files;->list()V"])
+        undesired = ProfileRun(label="undesired")
+        undesired.add_stack(["Lcom/app/Upload;->send([B)Z", "Lcom/app/Main;->onClick()V"])
+        return baseline, undesired
+
+    def test_unique_signatures_diff(self):
+        baseline, undesired = self._runs()
+        extractor = PolicyExtractor()
+        unique = extractor.unique_signatures(baseline, undesired)
+        assert unique == ["Lcom/app/Upload;->send([B)Z"]
+
+    def test_extract_method_level_policy(self):
+        baseline, undesired = self._runs()
+        result = PolicyExtractor(PolicyLevel.METHOD).extract(baseline, undesired)
+        assert result.rule_count == 1
+        rule = result.policy.rules[0]
+        assert rule.action is PolicyAction.DENY
+        assert rule.level is PolicyLevel.METHOD
+        assert rule.target == "Lcom/app/Upload;->send([B)Z"
+
+    def test_extract_library_level_policy_deduplicates_targets(self):
+        baseline = ProfileRun(label="baseline")
+        undesired = ProfileRun(label="undesired")
+        undesired.add_stack(["Lcom/flurry/sdk/A;->a()V", "Lcom/flurry/sdk/B;->b()V"])
+        result = PolicyExtractor(PolicyLevel.LIBRARY).extract(baseline, undesired)
+        assert result.rule_count == 1
+        assert result.policy.rules[0].target == "com/flurry/sdk"
+
+    def test_hash_level_not_supported(self):
+        with pytest.raises(ValueError):
+            PolicyExtractor(PolicyLevel.HASH)
+
+    def test_profile_run_counters(self):
+        baseline, undesired = self._runs()
+        assert baseline.stack_count == 2
+        assert len(undesired.signature_set()) == 2

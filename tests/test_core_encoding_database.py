@@ -1,0 +1,215 @@
+"""Tests for the context-tag encoding, the signature database and the Offline Analyzer."""
+
+import pytest
+
+from repro.apk.manifest import AndroidManifest
+from repro.apk.package import build_apk
+from repro.core.database import DatabaseEntry, SignatureDatabase, canonical_signature_order
+from repro.core.encoding import (
+    APP_ID_BYTES,
+    ContextTag,
+    EncodingError,
+    IndexWidth,
+    MAX_OPTION_DATA_BYTES,
+    StackTraceEncoder,
+)
+from repro.core.offline_analyzer import OfflineAnalyzer
+from repro.dex.builder import DexBuilder
+from repro.netstack.ip import BORDERPATROL_OPTION_TYPE, MAX_IP_OPTIONS_BYTES
+
+APP_ID = "0011223344556677"
+
+
+class TestStackTraceEncoder:
+    def test_round_trip_fixed_width(self):
+        encoder = StackTraceEncoder()
+        payload = encoder.encode(APP_ID, [0, 1, 65535, 42])
+        tag = encoder.decode(payload)
+        assert tag.app_id == APP_ID
+        assert tag.indexes == (0, 1, 65535, 42)
+
+    def test_round_trip_variable_width(self):
+        encoder = StackTraceEncoder(IndexWidth.VARIABLE)
+        indexes = (5, 32767, 32768, 4_000_000 // 2)
+        assert encoder.decode(encoder.encode(APP_ID, indexes)).indexes == indexes
+
+    def test_empty_stack_is_valid(self):
+        encoder = StackTraceEncoder()
+        tag = encoder.decode(encoder.encode(APP_ID, []))
+        assert tag.indexes == ()
+        assert tag.frame_count == 0
+
+    def test_option_never_exceeds_rfc791_limit(self):
+        encoder = StackTraceEncoder()
+        options = encoder.encode_option(APP_ID, list(range(200)))
+        assert options.wire_length <= MAX_IP_OPTIONS_BYTES
+        assert options.find(BORDERPATROL_OPTION_TYPE) is not None
+
+    def test_max_frames_fixed(self):
+        encoder = StackTraceEncoder()
+        assert encoder.max_frames() == (MAX_OPTION_DATA_BYTES - APP_ID_BYTES) // 2 == 15
+
+    def test_truncation_keeps_innermost_frames(self):
+        encoder = StackTraceEncoder()
+        indexes = list(range(100, 100 + 30))
+        fitted = encoder.fit_indexes(indexes)
+        assert len(fitted) == encoder.max_frames()
+        assert fitted == tuple(indexes[: encoder.max_frames()])
+
+    def test_fixed_width_rejects_multidex_indexes(self):
+        with pytest.raises(EncodingError):
+            StackTraceEncoder().encode(APP_ID, [0x1_0000])
+
+    def test_variable_width_upper_bound(self):
+        with pytest.raises(EncodingError):
+            StackTraceEncoder(IndexWidth.VARIABLE).encode(APP_ID, [0x40_0000])
+
+    def test_bad_app_id_rejected(self):
+        with pytest.raises(EncodingError):
+            StackTraceEncoder().encode("abcd", [1])
+        with pytest.raises(EncodingError):
+            ContextTag(app_id="abcd", indexes=(1,))
+
+    def test_decode_rejects_truncated_payloads(self):
+        encoder = StackTraceEncoder()
+        with pytest.raises(EncodingError):
+            encoder.decode(b"\x00" * 4)
+        with pytest.raises(EncodingError):
+            encoder.decode(bytes.fromhex(APP_ID) + b"\x01")
+
+    def test_decode_options_returns_none_without_tag(self):
+        from repro.netstack.ip import IPOptions
+
+        assert StackTraceEncoder().decode_options(IPOptions()) is None
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(EncodingError):
+            ContextTag(app_id=APP_ID, indexes=(-1,))
+
+
+class TestCanonicalOrder:
+    def _build(self):
+        builder = DexBuilder()
+        base = builder.add_class("com.app.Base")
+        base.add_method("zeta")
+        base.add_method("alpha")
+        child = builder.add_class("com.app.Child", superclass="com.app.Base")
+        child.add_method("beta")
+        return builder.build()
+
+    def test_order_is_deterministic_across_parses(self):
+        dex = self._build()
+        apk = build_apk(AndroidManifest(package_name="com.app"), dex)
+        first = canonical_signature_order(apk.parse_dex_files())
+        second = canonical_signature_order(apk.parse_dex_files())
+        assert [str(s) for s in first] == [str(s) for s in second]
+
+    def test_parent_methods_come_before_child_methods(self):
+        order = [str(s) for s in canonical_signature_order([self._build()])]
+        base_positions = [i for i, s in enumerate(order) if "/Base;" in s]
+        child_positions = [i for i, s in enumerate(order) if "/Child;" in s]
+        assert max(base_positions) < min(child_positions)
+
+    def test_methods_sorted_within_class(self):
+        order = [s.method_name for s in canonical_signature_order([self._build()])]
+        assert order.index("alpha") < order.index("zeta")
+
+
+class TestSignatureDatabase:
+    def _entry(self, md5="a" * 32, app_id="b" * 16, package="com.x"):
+        return DatabaseEntry(
+            md5=md5,
+            app_id=app_id,
+            package_name=package,
+            signatures=["Lcom/x/A;->m()V", "Lcom/x/A;->n()V"],
+        )
+
+    def test_add_and_lookup(self):
+        database = SignatureDatabase()
+        entry = self._entry()
+        database.add(entry)
+        assert database.lookup_md5("a" * 32) is entry
+        assert database.lookup_app_id("b" * 16) is entry
+        assert database.lookup_md5("missing") is None
+        assert "a" * 32 in database and "b" * 16 in database
+        assert len(database) == 1
+
+    def test_entry_index_mapping(self):
+        entry = self._entry()
+        assert entry.signature_at(1) == "Lcom/x/A;->n()V"
+        assert entry.index_of("Lcom/x/A;->m()V") == 0
+        assert entry.contains("Lcom/x/A;->n()V")
+        assert entry.decode_indexes([1, 0]) == ["Lcom/x/A;->n()V", "Lcom/x/A;->m()V"]
+        with pytest.raises(IndexError):
+            entry.signature_at(5)
+        with pytest.raises(KeyError):
+            entry.index_of("Lcom/x/A;->missing()V")
+
+    def test_json_round_trip(self, tmp_path):
+        database = SignatureDatabase()
+        database.add(self._entry())
+        database.add(self._entry(md5="c" * 32, app_id="d" * 16, package="com.y"))
+        restored = SignatureDatabase.from_json(database.to_json())
+        assert len(restored) == 2
+        assert restored.lookup_app_id("d" * 16).package_name == "com.y"
+        path = tmp_path / "db.json"
+        database.save(path)
+        assert len(SignatureDatabase.load(path)) == 2
+
+    def test_remove(self):
+        database = SignatureDatabase()
+        database.add(self._entry())
+        database.remove("a" * 32)
+        assert len(database) == 0
+        assert database.lookup_app_id("b" * 16) is None
+
+    def test_packages(self):
+        database = SignatureDatabase()
+        database.add(self._entry(package="com.b"))
+        database.add(self._entry(md5="c" * 32, app_id="d" * 16, package="com.a"))
+        assert database.packages() == ["com.a", "com.b"]
+
+
+class TestOfflineAnalyzer:
+    def _apk(self, package="com.analyzed.app", extra=False):
+        builder = DexBuilder()
+        handle = builder.add_class(f"{package}.Main")
+        handle.add_method("run")
+        if extra:
+            handle.add_method("more")
+        return build_apk(AndroidManifest(package_name=package), builder.build())
+
+    def test_analyze_produces_complete_entry(self):
+        analyzer = OfflineAnalyzer()
+        apk = self._apk()
+        entry = analyzer.analyze(apk)
+        assert entry.md5 == apk.md5
+        assert entry.app_id == apk.app_id
+        assert entry.method_count == apk.method_count()
+        assert analyzer.database.lookup_app_id(apk.app_id) is entry
+
+    def test_analyze_is_idempotent(self):
+        analyzer = OfflineAnalyzer()
+        apk = self._apk()
+        assert analyzer.analyze(apk) is analyzer.analyze(apk)
+        assert len(analyzer.database) == 1
+
+    def test_two_versions_of_an_app_coexist(self):
+        analyzer = OfflineAnalyzer()
+        analyzer.analyze(self._apk())
+        analyzer.analyze(self._apk(extra=True))
+        assert len(analyzer.database) == 2
+
+    def test_batch_report(self):
+        analyzer = OfflineAnalyzer()
+        apks = [self._apk(), self._apk(extra=True), self._apk()]
+        report = analyzer.analyze_batch(apks)
+        assert report.apps_processed == 2
+        assert report.apps_skipped == 1
+        assert report.total_methods == 3
+
+    def test_shares_database_with_caller(self):
+        database = SignatureDatabase()
+        analyzer = OfflineAnalyzer(database)
+        analyzer.analyze(self._apk())
+        assert len(database) == 1

@@ -1,0 +1,156 @@
+"""Tests for the dex builder, serializer/parser and class hierarchy."""
+
+import pytest
+
+from repro.dex.builder import ClassSpec, DexBuilder, LibraryTemplate, MethodSpec
+from repro.dex.hierarchy import ClassHierarchy
+from repro.dex.parser import DexFormatError, DexParser, DexSerializer
+
+
+class TestDexBuilder:
+    def test_build_simple_class(self):
+        builder = DexBuilder()
+        handle = builder.add_class("com.a.Main")
+        handle.add_method("run")
+        handle.add_constructor()
+        dex = builder.build()
+        assert dex.class_count == 1
+        assert dex.method_count == 2
+
+    def test_line_numbers_do_not_overlap_within_a_source_file(self):
+        builder = DexBuilder()
+        handle = builder.add_class("com.a.Main")
+        first = handle.add_method("one")
+        second = handle.add_method("two")
+        assert first.debug.line_end < second.debug.line_start
+
+    def test_strip_debug_info(self):
+        builder = DexBuilder(strip_debug_info=True)
+        handle = builder.add_class("com.a.Main")
+        method = handle.add_method("run")
+        assert method.debug.stripped
+
+    def test_add_library_template(self):
+        template = LibraryTemplate(
+            name="Tracker",
+            package="com.tracker.sdk",
+            category="analytics",
+            endpoints=("collect.tracker.io",),
+            classes=(
+                ClassSpec(
+                    class_name="com.tracker.sdk.Collector",
+                    methods=(MethodSpec(name="submit", parameter_types=("java.lang.String",)),),
+                ),
+            ),
+        )
+        builder = DexBuilder()
+        added = builder.add_library(template)
+        dex = builder.build()
+        assert len(added) == 1
+        assert dex.get_class("Lcom/tracker/sdk/Collector;") is not None
+        assert template.method_count() == 1
+        assert template.class_names() == ["com.tracker.sdk.Collector"]
+
+    def test_multidex_split_keeps_classes_whole(self):
+        builder = DexBuilder()
+        # Three classes of 30,000 methods each exceed the 65,536 limit.
+        for i in range(3):
+            handle = builder.add_class(f"com.big.C{i}")
+            for j in range(30_000):
+                handle.add_method(f"m{j}")
+        dex_files = builder.build_multidex()
+        assert len(dex_files) == 2
+        assert sum(d.method_count for d in dex_files) == 90_000
+        for dex in dex_files:
+            assert dex.method_count <= 65_536
+
+    def test_build_raises_when_single_dex_overflows(self):
+        builder = DexBuilder()
+        for i in range(3):
+            handle = builder.add_class(f"com.big.C{i}")
+            for j in range(30_000):
+                handle.add_method(f"m{j}")
+        with pytest.raises(Exception):
+            builder.build()
+
+
+class TestSerializerParser:
+    def _round_trip(self, dex):
+        blob = DexSerializer().serialize(dex)
+        return DexParser().parse(blob)
+
+    def test_round_trip_preserves_everything(self, simple_dex_builder):
+        original = simple_dex_builder.build()
+        parsed = self._round_trip(original)
+        assert parsed.class_count == original.class_count
+        assert parsed.method_count == original.method_count
+        assert [str(s) for s in parsed.sorted_signatures()] == [
+            str(s) for s in original.sorted_signatures()
+        ]
+        # Debug info survives the round trip (needed for overload resolution).
+        for descriptor, class_def in original.classes.items():
+            parsed_class = parsed.get_class(descriptor)
+            for method, parsed_method in zip(class_def.methods, parsed_class.methods):
+                assert method.debug == parsed_method.debug
+
+    def test_parser_rejects_bad_magic(self):
+        with pytest.raises(DexFormatError):
+            DexParser().parse(b"NOTADEX")
+
+    def test_parser_rejects_truncated_blob(self, simple_dex_builder):
+        blob = DexSerializer().serialize(simple_dex_builder.build())
+        with pytest.raises(DexFormatError):
+            DexParser().parse(blob[: len(blob) // 2])
+
+    def test_parse_many(self, simple_dex_builder):
+        blob = DexSerializer().serialize(simple_dex_builder.build())
+        parsed = DexParser().parse_many([blob, blob])
+        assert len(parsed) == 2
+
+
+class TestClassHierarchy:
+    def _hierarchy(self):
+        builder = DexBuilder()
+        builder.add_class("com.a.Base")
+        builder.add_class("com.a.Middle", superclass="com.a.Base")
+        builder.add_class("com.a.Leaf", superclass="com.a.Middle")
+        builder.add_class("com.b.Other")
+        return ClassHierarchy.from_dex_files([builder.build()])
+
+    def test_superclass_chain(self):
+        hierarchy = self._hierarchy()
+        chain = hierarchy.superclass_chain("Lcom/a/Leaf;")
+        assert chain == ["Lcom/a/Middle;", "Lcom/a/Base;", "Ljava/lang/Object;"]
+
+    def test_subclasses_transitive(self):
+        hierarchy = self._hierarchy()
+        assert hierarchy.subclasses("Lcom/a/Base;") == {"Lcom/a/Middle;", "Lcom/a/Leaf;"}
+        assert hierarchy.subclasses("Lcom/a/Base;", transitive=False) == {"Lcom/a/Middle;"}
+
+    def test_is_subclass_of(self):
+        hierarchy = self._hierarchy()
+        assert hierarchy.is_subclass_of("Lcom/a/Leaf;", "Lcom/a/Base;")
+        assert not hierarchy.is_subclass_of("Lcom/b/Other;", "Lcom/a/Base;")
+
+    def test_topological_order_parents_first(self):
+        hierarchy = self._hierarchy()
+        order = [c.descriptor for c in hierarchy.topological_classes()]
+        assert order.index("Lcom/a/Base;") < order.index("Lcom/a/Middle;")
+        assert order.index("Lcom/a/Middle;") < order.index("Lcom/a/Leaf;")
+        assert len(order) == len(hierarchy)
+
+    def test_topological_order_is_deterministic(self):
+        assert [c.descriptor for c in self._hierarchy().topological_classes()] == [
+            c.descriptor for c in self._hierarchy().topological_classes()
+        ]
+
+    def test_packages_and_package_queries(self):
+        hierarchy = self._hierarchy()
+        assert hierarchy.packages() == {"com.a", "com.b"}
+        assert len(hierarchy.classes_in_package("com.a")) == 3
+        assert "Lcom/a/Base;" in hierarchy
+
+    def test_package_tree(self):
+        hierarchy = self._hierarchy()
+        tree = hierarchy.package_tree()
+        assert "com.a" in tree.get("com", set())

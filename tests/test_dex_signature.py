@@ -1,0 +1,136 @@
+"""Tests for Dalvik method signatures and type descriptors."""
+
+import pytest
+
+from repro.dex.signature import (
+    MethodSignature,
+    format_descriptor,
+    parse_descriptor,
+    split_parameter_descriptors,
+)
+
+DROPBOX_SIG = (
+    "Lcom/dropbox/android/taskqueue/UploadTask;->c()Lcom/dropbox/hairball/taskqueue/TaskResult;"
+)
+
+
+class TestDescriptors:
+    def test_primitive_round_trip(self):
+        for name, code in [("int", "I"), ("boolean", "Z"), ("void", "V"), ("long", "J")]:
+            assert format_descriptor(name) == code
+            assert parse_descriptor(code) == name
+
+    def test_class_descriptor(self):
+        assert format_descriptor("com.flurry.sdk.Agent") == "Lcom/flurry/sdk/Agent;"
+        assert parse_descriptor("Lcom/flurry/sdk/Agent;") == "com.flurry.sdk.Agent"
+
+    def test_array_descriptor(self):
+        assert format_descriptor("byte[]") == "[B"
+        assert format_descriptor("java.lang.String[][]") == "[[Ljava/lang/String;"
+        assert parse_descriptor("[[Ljava/lang/String;") == "java.lang.String[][]"
+
+    def test_already_formatted_descriptor_passthrough(self):
+        assert format_descriptor("Lcom/x/Y;") == "Lcom/x/Y;"
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(ValueError):
+            format_descriptor("")
+        with pytest.raises(ValueError):
+            parse_descriptor("")
+
+    def test_malformed_descriptor_rejected(self):
+        with pytest.raises(ValueError):
+            parse_descriptor("Qcom/x/Y;")
+
+    def test_split_parameter_descriptors(self):
+        assert split_parameter_descriptors("ILjava/lang/String;[B") == [
+            "I",
+            "Ljava/lang/String;",
+            "[B",
+        ]
+
+    def test_split_rejects_unterminated_class(self):
+        with pytest.raises(ValueError):
+            split_parameter_descriptors("Ljava/lang/String")
+
+    def test_split_rejects_dangling_array(self):
+        with pytest.raises(ValueError):
+            split_parameter_descriptors("I[")
+
+
+class TestMethodSignature:
+    def test_create_from_java_names(self):
+        signature = MethodSignature.create(
+            "com.example.Foo", "bar", ("int", "java.lang.String"), "boolean"
+        )
+        assert str(signature) == "Lcom/example/Foo;->bar(ILjava/lang/String;)Z"
+
+    def test_parse_round_trip(self):
+        signature = MethodSignature.parse(DROPBOX_SIG)
+        assert signature.class_name == "com.dropbox.android.taskqueue.UploadTask"
+        assert signature.method_name == "c"
+        assert signature.return_descriptor == "Lcom/dropbox/hairball/taskqueue/TaskResult;"
+        assert str(signature) == DROPBOX_SIG
+
+    def test_parse_constructor(self):
+        signature = MethodSignature.parse("Lcom/x/Y;-><init>(I)V")
+        assert signature.method_name == "<init>"
+        assert signature.arity == 1
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            MethodSignature.parse("not a signature")
+
+    def test_component_accessors(self):
+        signature = MethodSignature.parse(DROPBOX_SIG)
+        assert signature.package == "com.dropbox.android.taskqueue"
+        assert signature.library == "com/dropbox/android/taskqueue"
+        assert signature.slash_class == "com/dropbox/android/taskqueue/UploadTask"
+
+    def test_overloads_have_distinct_signatures(self):
+        one = MethodSignature.create("com.x.Y", "m", ("int",))
+        two = MethodSignature.create("com.x.Y", "m", ("java.lang.String",))
+        assert one != two
+        assert one.method_name == two.method_name
+
+    def test_sort_key_is_deterministic_and_total(self):
+        signatures = [
+            MethodSignature.create("com.b.C", "z"),
+            MethodSignature.create("com.a.C", "a"),
+            MethodSignature.create("com.a.C", "a", ("int",)),
+        ]
+        ordered = sorted(signatures)
+        assert ordered == sorted(reversed(signatures))
+        assert ordered[0].class_name == "com.a.C"
+
+    def test_matches_library_prefix(self):
+        signature = MethodSignature.create("com.flurry.sdk.Agent", "onEvent")
+        assert signature.matches_library("com/flurry")
+        assert signature.matches_library("com.flurry.sdk")
+        assert not signature.matches_library("com/flurr")
+        assert not signature.matches_library("com/facebook")
+
+    def test_matches_class_in_all_forms(self):
+        signature = MethodSignature.create("com.flurry.sdk.Agent", "onEvent")
+        assert signature.matches_class("com/flurry/sdk/Agent")
+        assert signature.matches_class("com.flurry.sdk.Agent")
+        assert signature.matches_class("Lcom/flurry/sdk/Agent;")
+        assert not signature.matches_class("com/flurry/sdk")
+
+    def test_invalid_class_descriptor_rejected(self):
+        with pytest.raises(ValueError):
+            MethodSignature(class_descriptor="com.x.Y", method_name="m")
+
+    def test_empty_method_name_rejected(self):
+        with pytest.raises(ValueError):
+            MethodSignature(class_descriptor="Lcom/x/Y;", method_name="")
+
+    def test_default_package_is_empty(self):
+        signature = MethodSignature(class_descriptor="LStandalone;", method_name="run")
+        assert signature.package == ""
+        assert signature.library == ""
+
+    def test_hashable_and_usable_in_sets(self):
+        a = MethodSignature.parse(DROPBOX_SIG)
+        b = MethodSignature.parse(DROPBOX_SIG)
+        assert len({a, b}) == 1

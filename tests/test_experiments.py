@@ -1,0 +1,81 @@
+"""Smoke tests for the experiment drivers at miniature scale.
+
+The benchmarks exercise the drivers at reproduction scale; here we only
+verify that each driver runs, returns a well-formed result object and
+renders its comparison table.
+"""
+
+import pytest
+
+from repro.experiments.common import format_table, run_corpus
+from repro.experiments.case_studies import run_flow_size_study
+from repro.experiments.fig3_ioi import run_fig3
+from repro.experiments.fig4_latency import CONFIGURATIONS, run_fig4
+from repro.experiments.table_validation import run_validation, select_validation_apps
+from repro.core.policy import Policy
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+from repro.workloads.libraries import li_library_list
+
+
+class TestCommon:
+    def test_format_table(self):
+        text = format_table(("a", "b"), [(1, "xx"), (222, "y")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty_rows(self):
+        assert "a" in format_table(("a",), [])
+
+    def test_run_corpus_produces_reports_and_capture(self):
+        apps = CorpusGenerator(CorpusConfig(n_apps=5, seed=3)).generate()
+        result = run_corpus(apps, policy=Policy.allow_all(), events_per_app=60)
+        assert set(result.monkey_reports) == {a.package_name for a in apps}
+        assert result.total_packets() > 0
+        assert result.enforcement_records()
+        assert result.delivered_packet_ids()
+        assert set(result.outcomes_by_app()) == set(result.monkey_reports)
+
+
+class TestFig3Driver:
+    def test_small_run(self):
+        result = run_fig3(n_apps=40, events_per_app=80)
+        assert result.total_apps == 40
+        assert 0 <= result.apps_with_ioi <= 40
+        table = result.table()
+        assert "apps with >=1 IoI" in table
+        scaled = result.scaled_paper_histogram()
+        assert scaled[1] == pytest.approx(152 * 40 / 2000)
+
+
+class TestFig4Driver:
+    def test_all_configurations_present(self):
+        result = run_fig4(iterations=20)
+        assert set(result.results) == set(CONFIGURATIONS)
+        assert "configuration" in result.table()
+        assert result.mean_ms("dynamic-tap-nfqueue") > result.mean_ms("default-tap")
+
+
+class TestValidationDriver:
+    def test_small_run_is_perfect(self):
+        result = run_validation(corpus_size=40, apps_to_test=10, events_per_app=80)
+        assert result.apps_tested == 10
+        assert result.score.block_rate == 1.0
+        assert result.score.preserve_rate == 1.0
+        assert "block rate" in result.table()
+
+    def test_select_validation_apps_prefers_flagged_libraries(self):
+        apps = CorpusGenerator(CorpusConfig(n_apps=50, seed=17)).generate()
+        flagged = {p.replace("/", ".") for p in li_library_list()}
+        selected = select_validation_apps(apps, target_count=15, flagged_prefixes=flagged)
+        assert 0 < len(selected) <= 15
+        assert all(any(lib in flagged for lib in app.libraries) for app in selected)
+        assert len({a.package_name for a in selected}) == len(selected)
+
+
+class TestFlowSizeDriver:
+    def test_result_shape(self):
+        result = run_flow_size_study(n_legitimate_flows=100, seed=2)
+        assert len(result.legitimate_flows) == 100
+        assert len(result.threshold_rows) == 5
+        assert "threshold" in result.table()

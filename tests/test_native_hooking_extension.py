@@ -1,0 +1,102 @@
+"""Tests for the native-hooking extension (paper §VII "Native functions").
+
+The prototype's Xposed module cannot observe sockets opened from native
+code; the paper suggests a hooking system with native support (Frida) or
+a native re-implementation as the fix.  The reproduction implements that
+extension behind the ``native_hooking`` provisioning flag: when enabled,
+native socket connections also dispatch a post-hook (without a managed
+``JavaSocket``) and the Context Manager writes the tag through the raw
+descriptor instead.
+"""
+
+import pytest
+
+from repro.android.app_model import AppBehavior, Functionality, NetworkRequest
+from repro.apk.manifest import AndroidManifest
+from repro.apk.package import build_apk
+from repro.core.deployment import BorderPatrolDeployment
+from repro.core.policy import Policy
+from repro.dex.builder import DexBuilder
+from repro.network.topology import EnterpriseNetwork
+
+
+@pytest.fixture()
+def native_app():
+    builder = DexBuilder()
+    handle = builder.add_class("com.nativeapp.Main")
+    sync = handle.add_method("sync")
+    exfil = handle.add_method("exfiltrate")
+    flurry = builder.add_class("com.flurry.sdk.FlurryAgent")
+    report = flurry.add_method("report", ("java.lang.String",))
+    apk = build_apk(AndroidManifest(package_name="com.nativeapp"), builder.build())
+    behavior = AppBehavior(
+        package_name="com.nativeapp",
+        functionalities=(
+            Functionality(
+                name="native_sync",
+                call_chain=(sync.signature,),
+                requests=(NetworkRequest("api.nativeapp.com", via_native=True),),
+            ),
+            Functionality(
+                name="native_analytics",
+                call_chain=(exfil.signature, report.signature),
+                requests=(NetworkRequest("data.flurry.com", via_native=True, upload_bytes=900),),
+                desirable=False,
+                library="com.flurry",
+            ),
+        ),
+    )
+    return apk, behavior
+
+
+@pytest.fixture()
+def network(native_app):
+    _, behavior = native_app
+    net = EnterpriseNetwork()
+    for endpoint in behavior.endpoints():
+        net.add_server(endpoint)
+    return net
+
+
+def _deploy(network, native_app, native_hooking: bool):
+    apk, behavior = native_app
+    deployment = BorderPatrolDeployment(network=network)
+    provisioned = deployment.provision_device(native_hooking=native_hooking)
+    process = deployment.install_and_launch(provisioned, apk, behavior)
+    return deployment, provisioned, process
+
+
+class TestWithoutNativeHooking:
+    def test_native_traffic_is_untagged_and_dropped(self, network, native_app):
+        deployment, provisioned, process = _deploy(network, native_app, native_hooking=False)
+        outcome = process.invoke("native_sync")
+        assert outcome.blocked
+        assert provisioned.context_manager.stats.sockets_tagged == 0
+        assert deployment.enforcer.stats.untagged_packets > 0
+
+
+class TestWithNativeHooking:
+    def test_native_traffic_is_tagged_and_mediated(self, network, native_app):
+        deployment, provisioned, process = _deploy(network, native_app, native_hooking=True)
+        outcome = process.invoke("native_sync")
+        assert outcome.completed
+        assert provisioned.context_manager.stats.sockets_tagged == 1
+        record = deployment.enforcer.records[-1]
+        assert record.package_name == "com.nativeapp"
+        assert any("Main;->sync" in s for s in record.signatures)
+
+    def test_policies_apply_to_native_library_traffic(self, network, native_app):
+        deployment, _, process = _deploy(network, native_app, native_hooking=True)
+        deployment.set_policy(Policy.deny_libraries(["com/flurry"]))
+        assert process.invoke("native_sync").completed
+        analytics = process.invoke("native_analytics")
+        assert analytics.blocked
+        flurry = deployment.network.server_for("data.flurry.com")
+        assert flurry.packets_received == 0
+
+    def test_delivered_native_packets_are_sanitized(self, network, native_app):
+        deployment, _, process = _deploy(network, native_app, native_hooking=True)
+        process.invoke("native_sync")
+        server = deployment.network.server_for("api.nativeapp.com")
+        assert server.packets_received == 1
+        assert server.received_options() == []

@@ -1,0 +1,240 @@
+"""Tests for DNS, flow tracking, netfilter/NFQUEUE and routing."""
+
+import pytest
+
+from repro.netstack.dns import DnsError, DnsRegistry
+from repro.netstack.ip import BORDERPATROL_OPTION_TYPE, IPOptions, IPPacket
+from repro.netstack.netfilter import (
+    Iptables,
+    IptablesRule,
+    NetfilterQueue,
+    RuleTarget,
+    Verdict,
+)
+from repro.netstack.routing import Link, Router, RouterPolicy, traverse
+from repro.netstack.tcp import FlowKey, FlowTable
+
+
+def make_packet(dst_ip="203.0.113.9", payload=100, options=None, src_ip="10.10.0.2",
+                dst_port=443, direction="outbound"):
+    return IPPacket(
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=40001,
+        dst_port=dst_port,
+        payload_size=payload,
+        options=options or IPOptions(),
+        direction=direction,
+    )
+
+
+class TestDns:
+    def test_register_and_resolve(self):
+        dns = DnsRegistry()
+        ip = dns.register("api.example.com")
+        assert dns.resolve("api.example.com") == ip
+        assert dns.resolve("API.EXAMPLE.COM.") == ip
+        assert dns.reverse(ip) == {"api.example.com"}
+
+    def test_register_is_idempotent(self):
+        dns = DnsRegistry()
+        assert dns.register("a.com") == dns.register("a.com")
+        assert len(dns) == 1
+
+    def test_conflicting_registration_rejected(self):
+        dns = DnsRegistry()
+        dns.register("a.com", "1.2.3.4")
+        with pytest.raises(ValueError):
+            dns.register("a.com", "5.6.7.8")
+
+    def test_multiple_names_one_ip(self):
+        dns = DnsRegistry()
+        dns.register("a.com", "1.2.3.4")
+        dns.register("b.com", "1.2.3.4")
+        assert dns.reverse("1.2.3.4") == {"a.com", "b.com"}
+
+    def test_unknown_lookups_raise(self):
+        dns = DnsRegistry()
+        with pytest.raises(DnsError):
+            dns.resolve("missing.com")
+        with pytest.raises(DnsError):
+            dns.reverse("9.9.9.9")
+
+    def test_allocated_addresses_are_unique(self):
+        dns = DnsRegistry()
+        addresses = {dns.register(f"host{i}.com") for i in range(300)}
+        assert len(addresses) == 300
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            DnsRegistry().register("")
+
+
+class TestFlowTable:
+    def test_flows_aggregate_by_five_tuple(self):
+        table = FlowTable()
+        table.observe(make_packet(payload=100))
+        table.observe(make_packet(payload=200))
+        table.observe(make_packet(dst_ip="203.0.113.10", payload=50))
+        assert len(table) == 2
+        assert table.total_bytes() == 350
+        assert table.flow_sizes() == [50, 300]
+
+    def test_flow_key_from_packet(self):
+        packet = make_packet()
+        key = FlowKey.from_packet(packet)
+        assert key.dst_ip == packet.dst_ip
+        table = FlowTable()
+        table.observe(packet)
+        assert table.get(key).packets == 1
+        assert table.get(FlowKey.from_packet(make_packet(dst_ip="203.0.113.99"))) is None
+
+    def test_tagged_packet_counting(self):
+        table = FlowTable()
+        table.observe(make_packet(options=IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01")))
+        table.observe(make_packet())
+        flow = table.flows()[0]
+        assert flow.tagged_packets == 1
+        assert flow.packets == 2
+
+    def test_flows_to_destination(self):
+        table = FlowTable()
+        table.observe_all([make_packet(), make_packet(dst_ip="203.0.113.10")])
+        assert len(table.flows_to("203.0.113.10")) == 1
+
+
+class TestNetfilterQueue:
+    def test_unbound_queue_fails_open(self):
+        queue = NetfilterQueue(queue_num=1)
+        packet = make_packet()
+        verdict, out = queue.handle(packet)
+        assert verdict is Verdict.ACCEPT and out is packet
+        assert queue.stats.accepted == 1
+
+    def test_consumer_verdicts_and_mangling_tracked(self):
+        class Dropper:
+            def process(self, packet):
+                return Verdict.DROP, packet
+
+        class Mangler:
+            def process(self, packet):
+                return Verdict.ACCEPT, packet.stripped()
+
+        dropper_queue = NetfilterQueue(queue_num=1)
+        dropper_queue.bind(Dropper())
+        verdict, _ = dropper_queue.handle(make_packet())
+        assert verdict is Verdict.DROP
+        assert dropper_queue.stats.dropped == 1
+
+        mangler_queue = NetfilterQueue(queue_num=2)
+        mangler_queue.bind(Mangler())
+        tagged = make_packet(options=IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01"))
+        _, out = mangler_queue.handle(tagged)
+        assert not out.has_options
+        assert mangler_queue.stats.mangled == 1
+
+    def test_double_bind_rejected(self):
+        queue = NetfilterQueue(queue_num=1)
+        queue.bind(lambda: None)  # type: ignore[arg-type]
+        with pytest.raises(RuntimeError):
+            queue.bind(lambda: None)  # type: ignore[arg-type]
+
+
+class TestIptables:
+    def test_first_matching_rule_wins(self):
+        table = Iptables()
+        table.append_rule(IptablesRule(target=RuleTarget.DROP, dst_prefix="203.0.113."))
+        table.append_rule(IptablesRule(target=RuleTarget.ACCEPT))
+        verdict, _, _ = table.process(make_packet())
+        assert verdict is Verdict.DROP
+
+    def test_rule_matching_fields(self):
+        rule = IptablesRule(target=RuleTarget.DROP, dst_port=443, direction="outbound")
+        assert rule.matches(make_packet())
+        assert not rule.matches(make_packet(dst_port=80))
+        assert not rule.matches(make_packet(direction="inbound"))
+
+    def test_queue_chaining_continues_after_accept(self):
+        class Recorder:
+            def __init__(self):
+                self.seen = 0
+
+            def process(self, packet):
+                self.seen += 1
+                return Verdict.ACCEPT, packet
+
+        table = Iptables()
+        table.append_rule(IptablesRule(target=RuleTarget.QUEUE, queue_num=1))
+        table.append_rule(IptablesRule(target=RuleTarget.QUEUE, queue_num=2))
+        first, second = Recorder(), Recorder()
+        table.bind_queue(1, first, latency_ms=0.5)
+        table.bind_queue(2, second, latency_ms=0.5)
+        verdict, _, latency = table.process(make_packet())
+        assert verdict is Verdict.ACCEPT
+        assert first.seen == 1 and second.seen == 1
+        assert latency == pytest.approx(1.0)
+
+    def test_queue_drop_short_circuits(self):
+        class Dropper:
+            def process(self, packet):
+                return Verdict.DROP, packet
+
+        class NeverCalled:
+            def process(self, packet):  # pragma: no cover - must not run
+                raise AssertionError("second queue should not see dropped packets")
+
+        table = Iptables()
+        table.append_rule(IptablesRule(target=RuleTarget.QUEUE, queue_num=1))
+        table.append_rule(IptablesRule(target=RuleTarget.QUEUE, queue_num=2))
+        table.bind_queue(1, Dropper())
+        table.bind_queue(2, NeverCalled())
+        verdict, _, _ = table.process(make_packet())
+        assert verdict is Verdict.DROP
+
+    def test_default_policy(self):
+        assert Iptables(default_target=RuleTarget.DROP).process(make_packet())[0] is Verdict.DROP
+        assert Iptables().process(make_packet())[0] is Verdict.ACCEPT
+        with pytest.raises(ValueError):
+            Iptables(default_target=RuleTarget.QUEUE)
+
+    def test_queue_rule_requires_queue_number(self):
+        with pytest.raises(ValueError):
+            Iptables().append_rule(IptablesRule(target=RuleTarget.QUEUE))
+
+
+class TestRouting:
+    def test_rfc7126_router_drops_packets_with_options(self):
+        router = Router(name="internet", policy=RouterPolicy(drop_packets_with_options=True))
+        tagged = make_packet(options=IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01"))
+        assert router.forward(tagged) is None
+        assert router.stats.dropped_options == 1
+        assert router.forward(make_packet()) is not None
+
+    def test_ttl_expiry(self):
+        from dataclasses import replace
+
+        router = Router(name="r")
+        packet = replace(make_packet(), ttl=1)
+        assert router.forward(packet) is None
+        assert router.stats.dropped_ttl == 1
+
+    def test_traverse_accumulates_latency(self):
+        hops = [Router(name=f"r{i}", latency_ms=0.1) for i in range(3)]
+        survivor, latency = traverse(make_packet(), hops)
+        assert survivor is not None
+        assert latency == pytest.approx(0.3)
+
+    def test_traverse_stops_at_drop(self):
+        hops = [
+            Router(name="ok", latency_ms=0.1),
+            Router(name="strict", policy=RouterPolicy(drop_packets_with_options=True), latency_ms=0.1),
+            Router(name="after", latency_ms=5.0),
+        ]
+        tagged = make_packet(options=IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01"))
+        survivor, latency = traverse(tagged, hops)
+        assert survivor is None
+        assert latency == pytest.approx(0.2)
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            Link(name="bad", latency_ms=-1)

@@ -1,0 +1,128 @@
+"""Tests for IP packets and the RFC 791 options field."""
+
+import pytest
+
+from repro.netstack.ip import (
+    BORDERPATROL_OPTION_TYPE,
+    IPOption,
+    IPOptionError,
+    IPOptions,
+    IPPacket,
+    MAX_IP_OPTIONS_BYTES,
+    OPTION_NOP,
+    OPTION_TIMESTAMP,
+)
+
+
+class TestIPOption:
+    def test_wire_length_includes_type_and_length_bytes(self):
+        option = IPOption(option_type=BORDERPATROL_OPTION_TYPE, data=b"\x01\x02\x03")
+        assert option.wire_length == 5
+
+    def test_single_byte_options(self):
+        nop = IPOption(option_type=OPTION_NOP)
+        assert nop.wire_length == 1
+        assert nop.to_bytes() == bytes([OPTION_NOP])
+
+    def test_size_limit_enforced(self):
+        with pytest.raises(IPOptionError):
+            IPOption(option_type=BORDERPATROL_OPTION_TYPE, data=b"x" * 39)
+
+    def test_option_type_range(self):
+        with pytest.raises(IPOptionError):
+            IPOption(option_type=300)
+
+    def test_parse_round_trip(self):
+        original = IPOption(option_type=OPTION_TIMESTAMP, data=b"\xaa\xbb")
+        parsed, rest = IPOption.parse(original.to_bytes() + b"tail")
+        assert parsed == original
+        assert rest == b"tail"
+
+    def test_parse_rejects_bad_length(self):
+        with pytest.raises(IPOptionError):
+            IPOption.parse(bytes([OPTION_TIMESTAMP, 1]))
+        with pytest.raises(IPOptionError):
+            IPOption.parse(b"")
+
+
+class TestIPOptions:
+    def test_total_limit_enforced(self):
+        big = IPOption(option_type=BORDERPATROL_OPTION_TYPE, data=b"x" * 30)
+        with pytest.raises(IPOptionError):
+            IPOptions(options=(big, big))
+
+    def test_forty_bytes_exactly_is_allowed(self):
+        option = IPOption(option_type=BORDERPATROL_OPTION_TYPE, data=b"x" * (MAX_IP_OPTIONS_BYTES - 2))
+        options = IPOptions(options=(option,))
+        assert options.wire_length == MAX_IP_OPTIONS_BYTES
+
+    def test_from_bytes_round_trip(self):
+        options = IPOptions(
+            options=(
+                IPOption(option_type=OPTION_NOP),
+                IPOption(option_type=BORDERPATROL_OPTION_TYPE, data=b"\x01\x02"),
+            )
+        )
+        assert IPOptions.from_bytes(options.to_bytes()) == options
+
+    def test_find_and_without(self):
+        options = IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01")
+        assert options.find(BORDERPATROL_OPTION_TYPE) is not None
+        assert options.find(OPTION_TIMESTAMP) is None
+        cleaned = options.without(BORDERPATROL_OPTION_TYPE)
+        assert cleaned.is_empty
+
+    def test_iteration_and_len(self):
+        options = IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01")
+        assert len(options) == 1
+        assert list(options)[0].option_type == BORDERPATROL_OPTION_TYPE
+
+
+class TestIPPacket:
+    def _packet(self, **overrides):
+        defaults = dict(
+            src_ip="10.10.0.2",
+            dst_ip="203.0.113.5",
+            src_port=40001,
+            dst_port=443,
+            payload_size=1000,
+        )
+        defaults.update(overrides)
+        return IPPacket(**defaults)
+
+    def test_header_length_padding(self):
+        packet = self._packet(options=IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01\x02\x03"))
+        # 20 bytes base + 5 option bytes padded to 8.
+        assert packet.header_length == 28
+        assert packet.total_length == 1028
+
+    def test_header_length_without_options(self):
+        assert self._packet().header_length == 20
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            self._packet(dst_port=70_000)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            self._packet(payload_size=-1)
+
+    def test_stripped_removes_options_but_keeps_identity(self):
+        packet = self._packet(options=IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01"))
+        stripped = packet.stripped()
+        assert packet.has_options and not stripped.has_options
+        assert stripped.packet_id == packet.packet_id
+        assert stripped.flow_tuple == packet.flow_tuple
+
+    def test_reply_swaps_direction(self):
+        packet = self._packet()
+        reply = packet.reply(payload_size=500)
+        assert reply.src_ip == packet.dst_ip and reply.dst_ip == packet.src_ip
+        assert reply.direction == "inbound"
+
+    def test_packet_ids_are_unique(self):
+        assert self._packet().packet_id != self._packet().packet_id
+
+    def test_decremented_ttl(self):
+        packet = self._packet(ttl=5)
+        assert packet.decremented_ttl().ttl == 4

@@ -1,0 +1,182 @@
+"""Tests for the kernel socket layer: system calls, capabilities, packetisation."""
+
+import pytest
+
+from repro.netstack.clock import SimulatedClock
+from repro.netstack.ip import IPOptions, BORDERPATROL_OPTION_TYPE
+from repro.netstack.sockets import (
+    Capability,
+    IP_OPTIONS,
+    IPPROTO_IP,
+    Kernel,
+    KernelConfig,
+    PermissionDenied,
+    SocketError,
+    SocketState,
+)
+
+
+@pytest.fixture()
+def kernel():
+    return Kernel(host_ip="10.10.0.2", clock=SimulatedClock())
+
+
+@pytest.fixture()
+def patched_kernel():
+    return Kernel(
+        host_ip="10.10.0.2",
+        clock=SimulatedClock(),
+        config=KernelConfig(allow_unprivileged_ip_options=True),
+    )
+
+
+def _options():
+    return IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01\x02\x03\x04")
+
+
+class TestSocketLifecycle:
+    def test_socket_returns_increasing_fds(self, kernel):
+        assert kernel.socket(owner_pid=1) == 3
+        assert kernel.socket(owner_pid=1) == 4
+
+    def test_connect_allocates_ephemeral_port(self, kernel):
+        fd = kernel.socket(owner_pid=1)
+        sock = kernel.connect(fd, "203.0.113.1", 443)
+        assert sock.state is SocketState.CONNECTED
+        assert sock.src_port >= 40_000
+        assert sock.dst_ip == "203.0.113.1"
+        assert sock.connection_id is not None
+
+    def test_connect_on_closed_socket_fails(self, kernel):
+        fd = kernel.socket(owner_pid=1)
+        kernel.close(fd)
+        with pytest.raises(SocketError):
+            kernel.connect(fd, "203.0.113.1", 443)
+
+    def test_bad_fd_raises(self, kernel):
+        with pytest.raises(SocketError):
+            kernel.send(99, 10)
+
+    def test_listeners_fire(self, kernel):
+        created, connected = [], []
+        kernel.socket_created_listeners.append(created.append)
+        kernel.socket_connected_listeners.append(connected.append)
+        fd = kernel.socket(owner_pid=1)
+        kernel.connect(fd, "203.0.113.1", 443)
+        assert len(created) == 1 and len(connected) == 1
+        assert created[0].fd == fd
+
+    def test_open_sockets_excludes_closed(self, kernel):
+        fd = kernel.socket(owner_pid=1)
+        kernel.socket(owner_pid=1)
+        kernel.close(fd)
+        assert len(kernel.open_sockets()) == 1
+        assert len(kernel.all_sockets()) == 2
+
+
+class TestSetsockopt:
+    def test_unprivileged_caller_denied_by_default(self, kernel):
+        fd = kernel.socket(owner_pid=1)
+        with pytest.raises(PermissionDenied):
+            kernel.setsockopt(fd, IPPROTO_IP, IP_OPTIONS, _options())
+
+    def test_cap_net_raw_allows_ip_options(self, kernel):
+        fd = kernel.socket(owner_pid=1)
+        kernel.setsockopt(fd, IPPROTO_IP, IP_OPTIONS, _options(), capabilities=Capability.NET_RAW)
+        assert not kernel.get_socket(fd).ip_options.is_empty
+
+    def test_kernel_patch_allows_unprivileged_ip_options(self, patched_kernel):
+        fd = patched_kernel.socket(owner_pid=1)
+        patched_kernel.setsockopt(fd, IPPROTO_IP, IP_OPTIONS, _options())
+        assert not patched_kernel.get_socket(fd).ip_options.is_empty
+
+    def test_setsockopt_accepts_raw_bytes(self, patched_kernel):
+        fd = patched_kernel.socket(owner_pid=1)
+        patched_kernel.setsockopt(fd, IPPROTO_IP, IP_OPTIONS, _options().to_bytes())
+        assert patched_kernel.get_socket(fd).ip_options.find(BORDERPATROL_OPTION_TYPE)
+
+    def test_unsupported_option_rejected(self, patched_kernel):
+        fd = patched_kernel.socket(owner_pid=1)
+        with pytest.raises(SocketError):
+            patched_kernel.setsockopt(fd, 6, 1, _options())
+
+    def test_setsockopt_once_hardening(self):
+        kernel = Kernel(
+            host_ip="10.10.0.2",
+            config=KernelConfig(allow_unprivileged_ip_options=True, enforce_setsockopt_once=True),
+        )
+        fd = kernel.socket(owner_pid=1)
+        kernel.setsockopt(fd, IPPROTO_IP, IP_OPTIONS, _options())
+        with pytest.raises(PermissionDenied):
+            kernel.setsockopt(fd, IPPROTO_IP, IP_OPTIONS, _options())
+
+
+class TestSend:
+    def test_send_requires_connection(self, kernel):
+        fd = kernel.socket(owner_pid=1)
+        with pytest.raises(SocketError):
+            kernel.send(fd, 100)
+
+    def test_send_fragments_at_mss(self, kernel):
+        fd = kernel.socket(owner_pid=1)
+        kernel.connect(fd, "203.0.113.1", 443)
+        packets = kernel.send(fd, 4000)
+        assert len(packets) == 3
+        assert sum(p.payload_size for p in packets) == 4000
+        assert all(p.payload_size <= kernel.config.mss for p in packets)
+
+    def test_zero_byte_send_emits_one_packet(self, kernel):
+        fd = kernel.socket(owner_pid=1)
+        kernel.connect(fd, "203.0.113.1", 443)
+        assert len(kernel.send(fd, 0)) == 1
+
+    def test_every_packet_carries_socket_options(self, patched_kernel):
+        fd = patched_kernel.socket(owner_pid=1)
+        patched_kernel.connect(fd, "203.0.113.1", 443)
+        patched_kernel.setsockopt(fd, IPPROTO_IP, IP_OPTIONS, _options())
+        packets = patched_kernel.send(fd, 5000)
+        assert len(packets) > 1
+        assert all(p.options.find(BORDERPATROL_OPTION_TYPE) for p in packets)
+
+    def test_provenance_merged_into_packets(self, kernel):
+        fd = kernel.socket(owner_pid=1)
+        kernel.connect(fd, "203.0.113.1", 443)
+        kernel.get_socket(fd).provenance["package"] = "com.x"
+        packets = kernel.send(fd, 10, provenance={"functionality": "upload"})
+        assert packets[0].provenance == {"package": "com.x", "functionality": "upload"}
+
+    def test_accounting(self, kernel):
+        fd = kernel.socket(owner_pid=1)
+        kernel.connect(fd, "203.0.113.1", 443)
+        kernel.send(fd, 3000)
+        kernel.receive(fd, 500)
+        sock = kernel.get_socket(fd)
+        assert sock.bytes_sent == 3000
+        assert sock.bytes_received == 500
+        assert sock.packets_sent == 3
+
+    def test_negative_send_rejected(self, kernel):
+        fd = kernel.socket(owner_pid=1)
+        kernel.connect(fd, "203.0.113.1", 443)
+        with pytest.raises(ValueError):
+            kernel.send(fd, -1)
+
+
+class TestClock:
+    def test_clock_advances_monotonically(self):
+        clock = SimulatedClock()
+        assert clock.now() == 0.0
+        clock.advance(5.0)
+        assert clock.now() == 5.0
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            SimulatedClock(start_ms=-1)
+
+    def test_stopwatch(self):
+        clock = SimulatedClock()
+        watch = clock.measure()
+        clock.advance(3.0)
+        assert watch.elapsed_ms() == 3.0
+        watch.restart()
+        assert watch.elapsed_ms() == 0.0

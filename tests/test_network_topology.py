@@ -1,0 +1,189 @@
+"""Tests for the enterprise network topology, capture, servers and VPN."""
+
+import pytest
+
+from repro.netstack.ip import BORDERPATROL_OPTION_TYPE, IPOptions, IPPacket
+from repro.netstack.netfilter import Verdict
+from repro.network.capture import CapturePoint, DeliveryReport, TrafficCapture, summarize
+from repro.network.server import Server, stress_test_server, STRESS_PAGE_BYTES
+from repro.network.topology import EnterpriseNetwork, NetworkConfig
+from repro.network.vpn import VpnTunnel
+
+
+def make_packet(dst_ip, src_ip="10.10.0.2", payload=100, options=None):
+    return IPPacket(
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=40001,
+        dst_port=443,
+        payload_size=payload,
+        options=options or IPOptions(),
+    )
+
+
+class TestTrafficCapture:
+    def test_record_and_query(self):
+        capture = TrafficCapture()
+        packet = make_packet("203.0.113.1")
+        capture.record(CapturePoint.DEVICE_EGRESS, packet)
+        capture.record(CapturePoint.DELIVERED, packet)
+        assert capture.count(CapturePoint.DEVICE_EGRESS) == 1
+        assert capture.at(CapturePoint.DELIVERED) == [packet]
+        assert len(capture) == 2
+        capture.clear()
+        assert len(capture) == 0
+
+    def test_tagged_filter(self):
+        capture = TrafficCapture()
+        tagged = make_packet("203.0.113.1", options=IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01"))
+        capture.record(CapturePoint.DEVICE_EGRESS, tagged)
+        capture.record(CapturePoint.DEVICE_EGRESS, make_packet("203.0.113.1"))
+        assert capture.tagged(CapturePoint.DEVICE_EGRESS) == [tagged]
+
+    def test_to_destination(self):
+        capture = TrafficCapture()
+        capture.record(CapturePoint.DELIVERED, make_packet("203.0.113.1"))
+        capture.record(CapturePoint.DELIVERED, make_packet("203.0.113.2"))
+        assert len(capture.to_destination("203.0.113.1", CapturePoint.DELIVERED)) == 1
+
+
+class TestDeliveryReport:
+    def test_merge_and_summarize(self):
+        a = DeliveryReport(delivered=[make_packet("203.0.113.1")], latency_ms=1.0)
+        dropped_packet = make_packet("203.0.113.2")
+        b = DeliveryReport(dropped=[dropped_packet], latency_ms=0.5,
+                           dropped_by={dropped_packet.packet_id: "policy"})
+        merged = summarize([a, b])
+        assert merged.total == 2
+        assert not merged.all_delivered
+        assert merged.drop_reasons() == {"policy"}
+        assert merged.latency_ms == pytest.approx(1.5)
+
+
+class TestServer:
+    def test_handle_accounts_traffic(self):
+        server = Server(ip="203.0.113.1", names=("api.x.com",), response_size=1234)
+        packet = make_packet("203.0.113.1", payload=500)
+        assert server.handle(packet) == 1234
+        assert server.bytes_received == 500
+        assert server.packets_received == 1
+        assert server.received_from("10.10.0.2") == [packet]
+        server.reset()
+        assert server.packets_received == 0
+
+    def test_callable_response_size(self):
+        server = Server(ip="203.0.113.1", response_size=lambda p: p.payload_size * 2)
+        assert server.handle(make_packet("203.0.113.1", payload=100)) == 200
+
+    def test_received_options_detects_leaks(self):
+        server = Server(ip="203.0.113.1")
+        server.handle(make_packet("203.0.113.1",
+                                  options=IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01")))
+        assert len(server.received_options()) == 1
+
+    def test_stress_server(self):
+        server = stress_test_server("203.0.113.50")
+        assert server.handle(make_packet("203.0.113.50")) == STRESS_PAGE_BYTES
+
+
+class TestEnterpriseNetwork:
+    def test_add_server_registers_dns(self):
+        network = EnterpriseNetwork()
+        server = network.add_server("api.x.com")
+        assert network.dns.resolve("api.x.com") == server.ip
+        assert network.server_for("api.x.com") is network.server_for(server.ip)
+
+    def test_add_server_same_ip_multiple_names(self):
+        network = EnterpriseNetwork()
+        first = network.add_server("a.x.com", ip="203.0.113.7")
+        second = network.add_server("b.x.com", ip="203.0.113.7")
+        assert second.ip == first.ip
+        assert set(second.names) == {"a.x.com", "b.x.com"}
+
+    def test_transmit_delivers_untagged_packet(self):
+        network = EnterpriseNetwork()
+        server = network.add_server("api.x.com")
+        report = network.transmit([make_packet(server.ip)])
+        assert report.all_delivered
+        assert report.latency_ms > 0
+        assert server.packets_received == 1
+        assert network.capture.count(CapturePoint.DELIVERED) == 1
+
+    def test_transmit_to_unknown_destination_drops(self):
+        network = EnterpriseNetwork()
+        report = network.transmit([make_packet("198.51.100.99")])
+        assert not report.all_delivered
+        assert report.dropped_by[report.dropped[0].packet_id] == "no-route"
+
+    def test_tagged_packet_without_sanitizer_is_dropped_on_the_internet(self):
+        # RFC 7126: Internet routers drop packets that still carry IP options.
+        network = EnterpriseNetwork()
+        server = network.add_server("api.x.com")
+        tagged = make_packet(server.ip, options=IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01"))
+        report = network.transmit([tagged])
+        assert not report.all_delivered
+        assert report.dropped_by[tagged.packet_id] == "rfc7126"
+        assert network.capture.count(CapturePoint.DROPPED_WAN) == 1
+
+    def test_tagged_packet_survives_when_internet_filtering_disabled(self):
+        network = EnterpriseNetwork(config=NetworkConfig(internet_drops_ip_options=False))
+        server = network.add_server("api.x.com")
+        tagged = make_packet(server.ip, options=IPOptions.single(BORDERPATROL_OPTION_TYPE, b"\x01"))
+        assert network.transmit([tagged]).all_delivered
+
+    def test_queue_chain_drop_is_recorded_as_policy_drop(self):
+        class DropAll:
+            def process(self, packet):
+                return Verdict.DROP, packet
+
+        network = EnterpriseNetwork()
+        server = network.add_server("api.x.com")
+        network.install_queue_chain(enforcer=DropAll(), sanitizer=None, queue_latency_ms=0.5)
+        report = network.transmit([make_packet(server.ip)])
+        assert not report.all_delivered
+        assert network.dropped_by_policy()
+        assert server.packets_received == 0
+
+    def test_reset_observations(self):
+        network = EnterpriseNetwork()
+        server = network.add_server("api.x.com")
+        network.transmit([make_packet(server.ip)])
+        network.reset_observations()
+        assert len(network.capture) == 0
+        assert server.packets_received == 0
+
+    def test_device_ip_allocation_is_unique(self):
+        network = EnterpriseNetwork()
+        assert network.allocate_device_ip() != network.allocate_device_ip()
+
+
+class TestVpn:
+    def test_work_traffic_goes_through_enterprise(self):
+        network = EnterpriseNetwork()
+        server = network.add_server("api.x.com")
+        tunnel = VpnTunnel(network=network)
+        report = tunnel.send_work_traffic([make_packet(server.ip, src_ip="192.168.1.23")])
+        assert report.all_delivered
+        # The packet was re-sourced from the tunnel address inside the
+        # corporate subnet, so gateway rules keep applying.
+        assert server.received_packets[0].src_ip == tunnel.tunnel_ip
+        assert tunnel.packets_tunnelled == 1
+
+    def test_disconnected_tunnel_drops_work_traffic(self):
+        network = EnterpriseNetwork()
+        server = network.add_server("api.x.com")
+        tunnel = VpnTunnel(network=network)
+        tunnel.disconnect()
+        report = tunnel.send_work_traffic([make_packet(server.ip)])
+        assert not report.all_delivered
+        tunnel.reconnect()
+        assert tunnel.send_work_traffic([make_packet(server.ip)]).all_delivered
+
+    def test_personal_traffic_bypasses_enterprise(self):
+        network = EnterpriseNetwork()
+        network.add_server("api.x.com")
+        tunnel = VpnTunnel(network=network)
+        report = tunnel.send_personal_traffic([make_packet("8.8.8.8")])
+        assert report.all_delivered
+        assert len(network.capture) == 0
+        assert tunnel.packets_bypassed == 1

@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+Four invariant families:
+
+* the context-tag encoder: round-trip identity, RFC 791 size bound,
+  truncation keeps a prefix of the innermost frames;
+* method signatures and descriptors: round-trip identity, ordering is a
+  total deterministic order;
+* the Offline Analyzer / canonical ordering: the index mapping derived
+  on the enterprise side always agrees with the one derived on the
+  device from the same apk bytes;
+* the policy engine: deny-∃ / allow-∀ semantics hold for arbitrary stack
+  compositions, and the sanitizer always yields option-free packets.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.database import canonical_signature_order
+from repro.core.encoding import IndexWidth, StackTraceEncoder
+from repro.core.packet_sanitizer import PacketSanitizer
+from repro.core.policy import DecodedContext, Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.dex.builder import DexBuilder
+from repro.dex.signature import MethodSignature, format_descriptor, parse_descriptor
+from repro.netstack.ip import (
+    BORDERPATROL_OPTION_TYPE,
+    IPOptions,
+    IPPacket,
+    MAX_IP_OPTIONS_BYTES,
+)
+from repro.netstack.netfilter import Verdict
+
+
+# -- strategies ---------------------------------------------------------------
+
+identifiers = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+class_names = st.builds(
+    lambda parts, cls: ".".join(parts + [cls.capitalize()]),
+    st.lists(identifiers, min_size=1, max_size=3),
+    identifiers,
+)
+primitive_types = st.sampled_from(["int", "boolean", "long", "void", "byte[]", "java.lang.String"])
+app_ids = st.binary(min_size=8, max_size=8).map(bytes.hex)
+fixed_indexes = st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=40)
+variable_indexes = st.lists(st.integers(min_value=0, max_value=0x3F_FFFF), max_size=40)
+
+signatures = st.builds(
+    MethodSignature.create,
+    class_names,
+    identifiers,
+    st.lists(primitive_types.filter(lambda t: t != "void"), max_size=3).map(tuple),
+    primitive_types,
+)
+
+
+# -- encoder properties ----------------------------------------------------------
+
+
+@given(app_id=app_ids, indexes=fixed_indexes)
+def test_fixed_encoding_roundtrip_is_prefix_preserving(app_id, indexes):
+    encoder = StackTraceEncoder(IndexWidth.FIXED_2)
+    decoded = encoder.decode(encoder.encode(app_id, indexes))
+    assert decoded.app_id == app_id
+    # Truncation may shorten the stack but never reorders or alters indexes.
+    assert list(decoded.indexes) == indexes[: len(decoded.indexes)]
+    assert len(decoded.indexes) <= encoder.max_frames()
+
+
+@given(app_id=app_ids, indexes=variable_indexes)
+def test_variable_encoding_roundtrip_is_prefix_preserving(app_id, indexes):
+    encoder = StackTraceEncoder(IndexWidth.VARIABLE)
+    decoded = encoder.decode(encoder.encode(app_id, indexes))
+    assert decoded.app_id == app_id
+    assert list(decoded.indexes) == indexes[: len(decoded.indexes)]
+
+
+@given(app_id=app_ids, indexes=fixed_indexes)
+def test_encoded_option_always_respects_rfc791_limit(app_id, indexes):
+    options = StackTraceEncoder().encode_option(app_id, indexes)
+    assert options.wire_length <= MAX_IP_OPTIONS_BYTES
+    assert options.find(BORDERPATROL_OPTION_TYPE) is not None
+
+
+# -- signature / descriptor properties -----------------------------------------------
+
+
+@given(signature=signatures)
+def test_signature_string_parse_roundtrip(signature):
+    assert MethodSignature.parse(str(signature)) == signature
+
+
+@given(type_name=st.one_of(primitive_types, class_names))
+def test_descriptor_roundtrip(type_name):
+    assert parse_descriptor(format_descriptor(type_name)) == type_name.replace("/", ".")
+
+
+@given(sigs=st.lists(signatures, max_size=15))
+def test_signature_ordering_is_deterministic_total_order(sigs):
+    first = sorted(sigs)
+    second = sorted(list(reversed(sigs)))
+    assert first == second
+
+
+# -- canonical ordering property --------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    class_specs=st.lists(
+        st.tuples(class_names, st.lists(identifiers, min_size=1, max_size=4, unique=True)),
+        min_size=1,
+        max_size=5,
+        unique_by=lambda spec: spec[0],
+    )
+)
+def test_canonical_order_is_stable_across_independent_parses(class_specs):
+    builder = DexBuilder()
+    for class_name, methods in class_specs:
+        handle = builder.add_class(class_name)
+        for method in methods:
+            handle.add_method(method)
+    from repro.apk.manifest import AndroidManifest
+    from repro.apk.package import build_apk
+
+    apk = build_apk(AndroidManifest(package_name="com.prop.app"), builder.build())
+    enterprise_view = [str(s) for s in canonical_signature_order(apk.parse_dex_files())]
+    device_view = [str(s) for s in canonical_signature_order(apk.parse_dex_files())]
+    assert enterprise_view == device_view
+    assert len(enterprise_view) == len(set(enterprise_view)) == apk.method_count()
+
+
+# -- policy engine properties ---------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    flagged=st.lists(signatures, min_size=1, max_size=4),
+    clean=st.lists(signatures, max_size=4),
+)
+def test_deny_rule_exists_semantics_hold(flagged, clean):
+    target_library = flagged[0].library or flagged[0].slash_class
+    rule = PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, target_library)
+    policy = Policy(rules=[rule])
+    stack_with_flagged = tuple(str(s) for s in clean + flagged)
+    context = DecodedContext(app_id="00" * 8, signatures=stack_with_flagged)
+    assert policy.evaluate(context).verdict is Verdict.DROP
+
+    clean_only = tuple(
+        str(s) for s in clean if not rule.signature_matches(str(s))
+    )
+    clean_context = DecodedContext(app_id="00" * 8, signatures=clean_only)
+    assert policy.evaluate(clean_context).verdict is Verdict.ACCEPT
+
+
+@settings(max_examples=60, deadline=None)
+@given(stack=st.lists(signatures, min_size=1, max_size=6))
+def test_allow_rule_forall_semantics_hold(stack):
+    # Whitelist the library of the first frame only.
+    target = stack[0].library or stack[0].slash_class
+    rule = PolicyRule(PolicyAction.ALLOW, PolicyLevel.LIBRARY, target)
+    policy = Policy(rules=[rule])
+    context = DecodedContext(app_id="00" * 8, signatures=tuple(str(s) for s in stack))
+    decision = policy.evaluate(context)
+    every_frame_matches = all(rule.signature_matches(str(s)) for s in stack)
+    assert decision.allowed == every_frame_matches
+
+
+@settings(max_examples=40, deadline=None)
+@given(app_id=app_ids, indexes=fixed_indexes, payload=st.integers(min_value=0, max_value=5000))
+def test_sanitizer_output_never_carries_options(app_id, indexes, payload):
+    encoder = StackTraceEncoder()
+    packet = IPPacket(
+        src_ip="10.10.0.2",
+        dst_ip="203.0.113.1",
+        src_port=40001,
+        dst_port=443,
+        payload_size=payload,
+        options=encoder.encode_option(app_id, indexes),
+    )
+    verdict, sanitized = PacketSanitizer().process(packet)
+    assert verdict is Verdict.ACCEPT
+    assert not sanitized.has_options
+    assert sanitized.payload_size == packet.payload_size
+    assert sanitized.flow_tuple == packet.flow_tuple
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stack=st.lists(signatures, min_size=1, max_size=5),
+    deny_targets=st.lists(identifiers, max_size=3),
+)
+def test_policy_evaluation_is_deterministic(stack, deny_targets):
+    policy = Policy.deny_libraries([f"com/{t}" for t in deny_targets])
+    context = DecodedContext(app_id="11" * 8, signatures=tuple(str(s) for s in stack))
+    assert policy.evaluate(context).verdict is policy.evaluate(context).verdict

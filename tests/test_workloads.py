@@ -1,0 +1,186 @@
+"""Tests for the workload generators: library catalogue, corpus, case-study apps, stress app."""
+
+import random
+
+import pytest
+
+from repro.android.device import Device
+from repro.core.database import canonical_signature_order
+from repro.network.topology import EnterpriseNetwork
+from repro.workloads.apps import build_box_like_app, build_calendar_app, build_cloud_storage_app
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+from repro.workloads.libraries import (
+    LI_LIST_SIZE,
+    builtin_catalog,
+    li_library_list,
+)
+from repro.workloads.stress import STRESS_SERVER_NAME, build_stress_app, run_stress_test
+
+
+class TestLibraryCatalog:
+    def test_builtin_catalog_contents(self):
+        catalog = builtin_catalog()
+        assert catalog.get("com.flurry.sdk") is not None
+        assert catalog.get("com.facebook") is not None
+        assert catalog.http_clients()
+        assert catalog.by_category("advertisement")
+        assert len(catalog.exfiltrating()) > 10
+        assert len(catalog) > 40
+
+    def test_facebook_profile_has_login_and_analytics(self):
+        facebook = builtin_catalog().get("com.facebook")
+        names = {b.name for b in facebook.behaviors}
+        assert "facebook_login" in names and "facebook_app_events" in names
+        endpoints = {b.endpoint for b in facebook.behaviors}
+        assert endpoints == {"graph.facebook.com"}
+        desirability = {b.name: b.desirable for b in facebook.behaviors}
+        assert desirability["facebook_login"] and not desirability["facebook_app_events"]
+
+    def test_http_clients_have_no_behaviors(self):
+        catalog = builtin_catalog()
+        for profile in catalog.http_clients():
+            assert profile.behaviors == ()
+
+    def test_popularity_weighted_sampling(self):
+        catalog = builtin_catalog()
+        rng = random.Random(1)
+        sampled = catalog.sample(rng, 5)
+        assert len(sampled) == 5
+        assert len({p.package for p in sampled}) == 5
+
+    def test_li_list_size_and_content(self):
+        catalog = builtin_catalog()
+        li_list = li_library_list(catalog)
+        assert len(li_list) == LI_LIST_SIZE
+        assert "com/flurry/sdk" in li_list
+        assert len(set(li_list)) == LI_LIST_SIZE
+        # Identity / HTTP libraries must not be flagged.
+        assert "com/facebook" not in li_list
+        assert "org/apache/http" not in li_list
+
+
+class TestCorpusGenerator:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return CorpusGenerator(CorpusConfig(n_apps=60, seed=13)).generate()
+
+    def test_corpus_size_and_unique_packages(self, corpus):
+        assert len(corpus) == 60
+        assert len({app.package_name for app in corpus}) == 60
+
+    def test_generation_is_deterministic(self):
+        config = CorpusConfig(n_apps=10, seed=42)
+        first = CorpusGenerator(config).generate()
+        second = CorpusGenerator(config).generate()
+        assert [a.apk.md5 for a in first] == [a.apk.md5 for a in second]
+        assert [a.designed_ioi_endpoints for a in first] == [a.designed_ioi_endpoints for a in second]
+
+    def test_every_app_has_core_functionality_and_libraries(self, corpus):
+        for app in corpus:
+            assert "login" in app.behavior.names()
+            assert app.libraries
+            assert app.apk.manifest.can_use_network
+
+    def test_call_chains_reference_real_dex_methods(self, corpus):
+        for app in corpus[:10]:
+            known = {str(s) for s in canonical_signature_order(app.apk.parse_dex_files())}
+            for functionality in app.behavior:
+                for signature in functionality.call_chain:
+                    assert str(signature) in known
+
+    def test_ioi_apps_have_shared_endpoints(self, corpus):
+        ioi_apps = [a for a in corpus if a.designed_ioi_count > 0]
+        assert ioi_apps, "a 60-app corpus should contain at least one IoI app"
+        for app in ioi_apps:
+            for endpoint in app.designed_ioi_endpoints:
+                users = [f for f in app.behavior if endpoint in f.endpoints()]
+                assert len(users) >= 2
+                chains = {f.call_chain for f in users}
+                assert len(chains) >= 2
+
+    def test_ioi_fraction_tracks_configuration(self):
+        generous = CorpusGenerator(CorpusConfig(n_apps=120, seed=5, ioi_probability=0.5)).generate()
+        fraction = sum(1 for a in generous if a.designed_ioi_count) / len(generous)
+        assert 0.3 <= fraction <= 0.7
+
+    def test_cross_package_apps_include_http_client(self, corpus):
+        cross = [a for a in corpus if a.ioi_style == "cross_package"]
+        catalog = builtin_catalog()
+        for app in cross:
+            assert any(
+                catalog.get(lib) is not None and catalog.get(lib).category == "http"
+                for lib in app.libraries
+            )
+
+    def test_register_endpoints(self, corpus):
+        network = EnterpriseNetwork()
+        count = CorpusGenerator.register_endpoints(network, list(corpus[:10]))
+        assert count == len({e for a in corpus[:10] for e in a.endpoints()})
+        for app in corpus[:10]:
+            for endpoint in app.endpoints():
+                assert network.dns.knows_name(endpoint)
+
+
+class TestCaseStudyApps:
+    def test_cloud_storage_app_single_endpoint(self):
+        app = build_cloud_storage_app()
+        endpoints = app.behavior.endpoints()
+        assert endpoints == {app.endpoints["api"]}
+        assert not app.behavior.get("upload").desirable
+        assert app.behavior.get("download").desirable
+        assert "UploadTask" in str(app.signature("upload"))
+
+    def test_box_like_app_shares_upload_and_browse_endpoint(self):
+        app = build_box_like_app()
+        upload_endpoint = app.behavior.get("upload").requests[0].endpoint
+        browse_endpoint = app.behavior.get("browse").requests[0].endpoint
+        download_endpoint = app.behavior.get("download").requests[0].endpoint
+        assert upload_endpoint == browse_endpoint
+        assert download_endpoint != upload_endpoint
+
+    def test_calendar_app_facebook_endpoints(self):
+        app = build_calendar_app()
+        login = app.behavior.get("login_with_facebook")
+        analytics = app.behavior.get("facebook_analytics")
+        assert login.requests[0].endpoint == analytics.requests[0].endpoint == "graph.facebook.com"
+        assert login.desirable and not analytics.desirable
+        assert login.call_chain != analytics.call_chain
+
+    def test_case_study_apks_are_analyzable(self):
+        for app in (build_cloud_storage_app(), build_box_like_app(), build_calendar_app()):
+            signatures = canonical_signature_order(app.apk.parse_dex_files())
+            known = {str(s) for s in signatures}
+            for functionality in app.behavior:
+                for signature in functionality.call_chain:
+                    assert str(signature) in known
+
+
+class TestStressApp:
+    def test_stress_app_shape(self):
+        app = build_stress_app()
+        assert app.behavior.names() == ["http_get"]
+        request = app.behavior.get("http_get").requests[0]
+        assert request.endpoint == STRESS_SERVER_NAME
+        assert request.download_bytes == 297
+
+    def test_run_stress_test_measures_latency(self):
+        app = build_stress_app()
+        network = EnterpriseNetwork()
+        network.add_server(STRESS_SERVER_NAME, response_size=297)
+        device = Device(network=network, xposed_installed=False)
+        device.install(app.apk, app.behavior)
+        process = device.launch(app.package_name)
+        result = run_stress_test(process, iterations=50, configuration="unit-test")
+        assert result.iterations == 50
+        assert len(result.per_request_ms) == 50
+        assert result.mean_ms > 0
+        assert result.median_ms > 0
+        assert result.total_ms == pytest.approx(sum(result.per_request_ms))
+
+    def test_run_stress_test_rejects_zero_iterations(self):
+        app = build_stress_app()
+        device = Device(xposed_installed=False)
+        device.install(app.apk, app.behavior)
+        process = device.launch(app.package_name)
+        with pytest.raises(ValueError):
+            run_stress_test(process, iterations=0)
