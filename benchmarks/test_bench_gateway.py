@@ -1,0 +1,98 @@
+"""Benchmark: gateway enforcement fast paths on a multi-flow packet replay.
+
+Replays the same heavy-tailed 10,000-packet stream through four gateway
+configurations — the paper's naive per-packet decode-and-evaluate
+pipeline, the compiled-policy integer path, compiled + conntrack-style
+flow cache, and the ``--queue-balance`` sharded deployment — and checks
+the properties the fast path must preserve:
+
+* every path produces the identical verdict sequence;
+* the flow-cached path performs strictly fewer full index→string
+  decodes than it processes packets (decoding amortises per flow);
+* sharded (modelled parallel) throughput scales with the shard count.
+
+Run with:  pytest benchmarks/test_bench_gateway.py --benchmark-only
+Smoke mode (CI): set GATEWAY_BENCH_PACKETS to a smaller replay size.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.gateway_throughput import run_gateway_bench
+
+PACKETS = int(os.environ.get("GATEWAY_BENCH_PACKETS", "10000"))
+FLOWS = max(16, min(256, PACKETS // 8))
+SHARDS = 4
+
+#: Wall-clock ratio assertions need a replay long enough to drown out
+#: scheduler noise (smoke mode on shared CI runners times windows of a
+#: few ms, where one stall flips a ratio with no code defect).
+timing_sensitive = pytest.mark.skipif(
+    PACKETS < 5000,
+    reason="relative-throughput assertions are unreliable on short smoke replays",
+)
+
+
+@pytest.fixture(scope="module")
+def gateway_result():
+    return run_gateway_bench(packets=PACKETS, flows=FLOWS, shards=SHARDS, seed=7)
+
+
+def test_bench_gateway_throughput_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_gateway_bench(packets=PACKETS, flows=FLOWS, shards=SHARDS, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.table())
+    assert result.packets == PACKETS
+
+
+def test_all_fast_paths_verdict_identical(gateway_result):
+    naive = gateway_result.results["naive"].verdicts
+    for name, config in gateway_result.results.items():
+        assert config.verdicts == naive, f"{name} diverged from naive enforcement"
+
+
+def test_cached_path_amortises_decoding(gateway_result):
+    cached = gateway_result.results["cached"]
+    assert cached.cache_hits > 0
+    assert cached.full_decodes < cached.packets
+    # Decoding happens once per flow (for the audit record), not per packet.
+    assert cached.full_decodes <= FLOWS
+    assert cached.cache_hits + cached.cache_misses == cached.packets
+
+
+def test_naive_path_decodes_every_packet(gateway_result):
+    naive = gateway_result.results["naive"]
+    assert naive.full_decodes == naive.packets
+    assert naive.cache_hits == 0
+    assert naive.compiled_evals == 0
+
+
+def test_compiled_path_avoids_string_evaluation(gateway_result):
+    compiled = gateway_result.results["compiled"]
+    assert compiled.compiled_evals == compiled.packets
+    assert compiled.fallback_evals == 0
+
+
+@timing_sensitive
+def test_fast_paths_beat_naive_throughput(gateway_result):
+    assert gateway_result.speedup("compiled") > 1.0
+    assert gateway_result.speedup("cached") > gateway_result.speedup("compiled")
+
+
+def test_sharding_balances_flows_across_shards(gateway_result):
+    many = gateway_result.results[f"sharded-{SHARDS}"]
+    assert sum(many.shard_packet_counts) == many.packets
+    assert len([count for count in many.shard_packet_counts if count > 0]) > 1
+
+
+@timing_sensitive
+def test_sharded_throughput_scales_with_shard_count(gateway_result):
+    one = gateway_result.results["sharded-1"]
+    many = gateway_result.results[f"sharded-{SHARDS}"]
+    # Modelled parallel wall-clock is the slowest shard; with a
+    # heavy-tailed flow mix the speedup is sub-linear but must be real.
+    assert many.pps > 1.3 * one.pps

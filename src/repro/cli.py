@@ -8,7 +8,9 @@ the same operator workflows over the reproduction:
                      built-in case-study apps and write the json signature database;
 * ``check-policy`` — parse a policy file and report its rules (grammar validation);
 * ``case-study``   — run one of the §VI-C case studies and print the comparison table;
-* ``experiments``  — run the figure/table drivers at a chosen scale.
+* ``experiments``  — run the figure/table drivers at a chosen scale;
+* ``gateway-bench``— measure gateway packets/sec across the enforcement
+                     fast paths (naive vs compiled vs flow-cached vs sharded).
 
 Usage::
 
@@ -16,6 +18,7 @@ Usage::
     python -m repro.cli check-policy policy.txt
     python -m repro.cli case-study cloud-storage
     python -m repro.cli experiments --fig3-apps 200 --fig4-iterations 300
+    python -m repro.cli gateway-bench --packets 10000 --shards 4
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.core.policy import PolicyParseError, parse_policy
 from repro.experiments.case_studies import run_cloud_storage_case_study, run_facebook_case_study
 from repro.experiments.fig3_ioi import run_fig3
 from repro.experiments.fig4_latency import run_fig4
+from repro.experiments.gateway_throughput import run_gateway_bench
 from repro.experiments.table_validation import run_validation
 from repro.workloads.apps import build_box_like_app, build_calendar_app, build_cloud_storage_app
 from repro.workloads.corpus import CorpusConfig, CorpusGenerator
@@ -96,6 +100,25 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gateway_bench(args: argparse.Namespace) -> int:
+    try:
+        result = run_gateway_bench(
+            packets=args.packets,
+            flows=args.flows,
+            shards=args.shards,
+            corpus_apps=args.corpus_apps,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"gateway-bench rejected: {error}", file=sys.stderr)
+        return 2
+    print(result.table())
+    if not result.verdicts_match:
+        print("FAST PATH DIVERGED FROM NAIVE ENFORCEMENT", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -122,6 +145,17 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--validation-apps", type=int, default=30)
     experiments.add_argument("--fig4-iterations", type=int, default=500)
     experiments.set_defaults(func=_cmd_experiments)
+
+    gateway = subparsers.add_parser(
+        "gateway-bench",
+        help="measure gateway pps: naive vs compiled vs flow-cached vs sharded",
+    )
+    gateway.add_argument("--packets", type=int, default=10_000)
+    gateway.add_argument("--flows", type=int, default=256)
+    gateway.add_argument("--shards", type=int, default=4)
+    gateway.add_argument("--corpus-apps", type=int, default=6, metavar="N")
+    gateway.add_argument("--seed", type=int, default=7)
+    gateway.set_defaults(func=_cmd_gateway_bench)
     return parser
 
 

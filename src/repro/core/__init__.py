@@ -39,9 +39,12 @@ from repro.core.policy import (
     DecodedContext,
     PolicyParseError,
     parse_policy,
+    CompiledPolicy,
+    CompiledAppPolicy,
+    CompiledRule,
 )
 from repro.core.context_manager import ContextManager, ContextManagerMode
-from repro.core.policy_enforcer import PolicyEnforcer, EnforcementRecord
+from repro.core.policy_enforcer import PolicyEnforcer, EnforcementRecord, FlowCache
 from repro.core.packet_sanitizer import PacketSanitizer
 from repro.core.policy_extractor import PolicyExtractor, ProfileRun
 from repro.core.deployment import BorderPatrolDeployment
@@ -63,10 +66,14 @@ __all__ = [
     "DecodedContext",
     "PolicyParseError",
     "parse_policy",
+    "CompiledPolicy",
+    "CompiledAppPolicy",
+    "CompiledRule",
     "ContextManager",
     "ContextManagerMode",
     "PolicyEnforcer",
     "EnforcementRecord",
+    "FlowCache",
     "PacketSanitizer",
     "PolicyExtractor",
     "ProfileRun",

@@ -81,6 +81,16 @@ class DatabaseEntry:
         """Map a sequence of on-wire indexes back to signature strings."""
         return [self.signature_at(i) for i in indexes]
 
+    def matching_indexes(self, predicate) -> frozenset[int]:
+        """Indexes of every signature satisfying ``predicate``.
+
+        This is the primitive :meth:`repro.core.policy.Policy.compile`
+        builds on: a policy rule's string matcher is evaluated once per
+        signature here, so the enforcement hot path can test raw on-wire
+        indexes against the resulting set without decoding strings.
+        """
+        return frozenset(i for i, sig in enumerate(self.signatures) if predicate(sig))
+
 
 class SignatureDatabase:
     """All per-app signature mappings known to the enterprise."""
@@ -88,17 +98,23 @@ class SignatureDatabase:
     def __init__(self) -> None:
         self._by_md5: dict[str, DatabaseEntry] = {}
         self._by_app_id: dict[str, DatabaseEntry] = {}
+        #: Monotonic change counter.  Compiled policies and flow caches
+        #: snapshot it so they can detect (and lazily invalidate on) any
+        #: enrolment or removal that happened after they were built.
+        self.generation = 0
 
     # -- population -------------------------------------------------------------
 
     def add(self, entry: DatabaseEntry) -> None:
         self._by_md5[entry.md5] = entry
         self._by_app_id[entry.app_id] = entry
+        self.generation += 1
 
     def remove(self, md5: str) -> None:
         entry = self._by_md5.pop(md5, None)
         if entry is not None:
             self._by_app_id.pop(entry.app_id, None)
+            self.generation += 1
 
     # -- lookup ------------------------------------------------------------------
 

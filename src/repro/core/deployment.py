@@ -48,22 +48,35 @@ class BorderPatrolDeployment:
         cost_model: CostModel | None = None,
         context_manager_mode: ContextManagerMode = ContextManagerMode.DYNAMIC,
         tag_replay_hardening: bool = False,
+        enforcer_shards: int = 1,
     ) -> None:
         self.network = network or EnterpriseNetwork()
         self.cost_model = cost_model or CostModel()
         self.index_width = index_width
         self.context_manager_mode = context_manager_mode
         self.tag_replay_hardening = tag_replay_hardening
+        self.enforcer_shards = enforcer_shards
 
         self.database = SignatureDatabase()
         self.offline_analyzer = OfflineAnalyzer(self.database)
-        self.enforcer = PolicyEnforcer(
+        enforcer_kwargs = dict(
             database=self.database,
-            policy=policy or Policy.allow_all(),
+            # Not `policy or ...`: an *empty* Policy is falsy (__len__)
+            # and must still be kept by reference.
+            policy=policy if policy is not None else Policy.allow_all(),
             drop_untagged=drop_untagged,
             drop_unknown_apps=drop_unknown_apps,
             index_width=index_width,
         )
+        if enforcer_shards > 1:
+            # Imported lazily: sharding builds on the enforcer, which in
+            # turn sits on the netstack package, so a module-level import
+            # here would be circular.
+            from repro.netstack.sharding import ShardedEnforcer
+
+            self.enforcer = ShardedEnforcer(num_shards=enforcer_shards, **enforcer_kwargs)
+        else:
+            self.enforcer = PolicyEnforcer(**enforcer_kwargs)
         self.sanitizer = PacketSanitizer()
         self.network.install_queue_chain(
             enforcer=self.enforcer,

@@ -162,9 +162,22 @@ class StackTraceEncoder:
                 position += 2
         return ContextTag(app_id=app_id, indexes=tuple(indexes))
 
-    def decode_options(self, options: IPOptions) -> ContextTag | None:
-        """Extract and decode the BorderPatrol option from a packet's options."""
+    @staticmethod
+    def extract_tag_bytes(options: IPOptions) -> bytes | None:
+        """The raw BorderPatrol option payload, without decoding it.
+
+        The enforcement fast path keys its conntrack-style flow cache on
+        these bytes: a cache hit skips index decoding and policy
+        evaluation entirely, so extraction must not pay for either.
+        """
         option = options.find(BORDERPATROL_OPTION_TYPE)
         if option is None:
             return None
-        return self.decode(option.data)
+        return option.data
+
+    def decode_options(self, options: IPOptions) -> ContextTag | None:
+        """Extract and decode the BorderPatrol option from a packet's options."""
+        data = self.extract_tag_bytes(options)
+        if data is None:
+            return None
+        return self.decode(data)

@@ -185,9 +185,13 @@ class Policy:
     rules: list[PolicyRule] = field(default_factory=list)
     default_action: PolicyAction = PolicyAction.ALLOW
     name: str = "policy"
+    #: Bumped by :meth:`add_rule`; fast paths (compiled policies, flow
+    #: caches) compare it to detect in-place rule additions.
+    revision: int = field(default=0, compare=False, repr=False)
 
     def add_rule(self, rule: PolicyRule) -> None:
         self.rules.append(rule)
+        self.revision += 1
 
     def deny_rules(self) -> list[PolicyRule]:
         return [r for r in self.rules if r.action is PolicyAction.DENY]
@@ -245,6 +249,150 @@ class Policy:
     @classmethod
     def allow_all(cls, name: str = "allow-all") -> "Policy":
         return cls(name=name, default_action=PolicyAction.ALLOW)
+
+    # -- compilation -----------------------------------------------------------------
+
+    def compile(self, database) -> "CompiledPolicy":
+        """Lower this policy against a signature database for fast enforcement.
+
+        The returned :class:`CompiledPolicy` specialises every rule, per
+        app, into raw method-index sets so the Policy Enforcer's hot path
+        can match the integer tag indexes straight off the wire instead of
+        decoding them back to signature strings first.  Compilation is
+        lazy (per app, on first packet) and self-invalidating when the
+        database generation changes; rules that cannot be lowered fall
+        back to the string-based :meth:`evaluate` path.
+        """
+        return CompiledPolicy(self, database)
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """One policy rule lowered to one app's method-index space.
+
+    ``hash_match`` precomputes the HASH-level comparison against the
+    app's identifiers; ``index_set`` holds every signature index of the
+    app that the rule's target matches at the rule's level or higher.
+    """
+
+    rule: PolicyRule
+    hash_match: bool
+    index_set: frozenset[int]
+
+
+class CompiledAppPolicy:
+    """A policy specialised to a single app's signature index space.
+
+    :meth:`evaluate_indexes` reproduces :meth:`Policy.evaluate` —
+    identical verdicts, matched rules and reason strings — using only
+    integer set membership on the raw tag indexes.
+    """
+
+    __slots__ = ("app_id", "method_count", "deny", "allow", "default_action")
+
+    def __init__(
+        self,
+        app_id: str,
+        method_count: int,
+        deny: tuple[CompiledRule, ...],
+        allow: tuple[CompiledRule, ...],
+        default_action: PolicyAction,
+    ) -> None:
+        self.app_id = app_id
+        self.method_count = method_count
+        self.deny = deny
+        self.allow = allow
+        self.default_action = default_action
+
+    def evaluate_indexes(self, indexes: tuple[int, ...]) -> PolicyDecision:
+        """Deny-∃ / allow-∀ semantics over raw method indexes."""
+        for compiled in self.deny:
+            if compiled.hash_match or any(i in compiled.index_set for i in indexes):
+                return PolicyDecision(
+                    verdict=Verdict.DROP,
+                    matched_rule=compiled.rule,
+                    reason=f"deny rule matched: {compiled.rule.render()}",
+                )
+        if self.allow:
+            for compiled in self.allow:
+                if compiled.hash_match or (
+                    indexes and all(i in compiled.index_set for i in indexes)
+                ):
+                    return PolicyDecision(
+                        verdict=Verdict.ACCEPT,
+                        matched_rule=compiled.rule,
+                        reason=f"allow rule satisfied: {compiled.rule.render()}",
+                    )
+            return PolicyDecision(
+                verdict=Verdict.DROP,
+                reason="whitelist mode: no allow rule satisfied",
+            )
+        if self.default_action is PolicyAction.ALLOW:
+            return PolicyDecision(verdict=Verdict.ACCEPT, reason="default allow")
+        return PolicyDecision(verdict=Verdict.DROP, reason="default deny")
+
+
+class CompiledPolicy:
+    """Per-app lowering of a :class:`Policy` against a signature database.
+
+    Apps are compiled lazily on first lookup and cached; the cache is
+    dropped whenever the database generation moves (new enrolments,
+    removals), so late-enrolled apps compile on their first packet.
+    """
+
+    def __init__(self, policy: Policy, database) -> None:
+        self.policy = policy
+        self.database = database
+        self._rules = tuple(policy.rules)
+        self._default_action = policy.default_action
+        self._apps: dict[str, CompiledAppPolicy | None] = {}
+        self._generation = database.generation
+
+    def for_app(self, app_id: str) -> CompiledAppPolicy | None:
+        """The compiled policy for ``app_id``, or None to use the slow path."""
+        if self._generation != self.database.generation:
+            self._apps.clear()
+            self._generation = self.database.generation
+        if app_id in self._apps:
+            return self._apps[app_id]
+        entry = self.database.lookup_app_id(app_id)
+        compiled = None if entry is None else self._compile_entry(entry)
+        self._apps[app_id] = compiled
+        return compiled
+
+    def compiled_app_count(self) -> int:
+        return sum(1 for compiled in self._apps.values() if compiled is not None)
+
+    def _compile_entry(self, entry) -> CompiledAppPolicy | None:
+        identifiers = (entry.app_id.lower(), entry.md5.lower())
+        deny: list[CompiledRule] = []
+        allow: list[CompiledRule] = []
+        for rule in self._rules:
+            try:
+                if rule.level is PolicyLevel.HASH:
+                    compiled = CompiledRule(
+                        rule=rule,
+                        hash_match=rule.target.lower() in identifiers,
+                        index_set=frozenset(),
+                    )
+                else:
+                    compiled = CompiledRule(
+                        rule=rule,
+                        hash_match=False,
+                        index_set=entry.matching_indexes(rule.signature_matches),
+                    )
+            except Exception:
+                # Uncompilable rule: let the whole app use the string path
+                # so compiled and naive evaluation can never diverge.
+                return None
+            (deny if rule.action is PolicyAction.DENY else allow).append(compiled)
+        return CompiledAppPolicy(
+            app_id=entry.app_id,
+            method_count=entry.method_count,
+            deny=tuple(deny),
+            allow=tuple(allow),
+            default_action=self._default_action,
+        )
 
 
 _RULE_RE = re.compile(

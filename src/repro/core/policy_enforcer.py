@@ -17,15 +17,36 @@ must originate from a socket BorderPatrol controls, so an untagged
 packet inside the perimeter is either personal-profile traffic that
 should not exit through the corporate uplink or an app evading the
 Context Manager.
+
+Fast path
+---------
+The naive pipeline above decodes every tag index back to a full
+signature string and re-evaluates the policy for every packet — the
+per-packet cost Figure 4 attributes to the Python NFQUEUE consumer.
+Production gateways avoid this with two standard techniques this module
+implements:
+
+* **policy compilation** (:meth:`repro.core.policy.Policy.compile`):
+  rules are lowered, per app, into raw method-index sets, so stage 3
+  matches the integer tag indexes directly; signature strings are only
+  decoded for audit records (or when a rule cannot be compiled);
+* **flow caching** (:class:`FlowCache`): a conntrack-style LRU keyed on
+  (flow 5-tuple, raw tag bytes) lets repeated packets of a flow skip
+  decoding and evaluation entirely.  The cache is invalidated by
+  :meth:`PolicyEnforcer.set_policy` and :meth:`PolicyEnforcer.reset`.
+
+Both layers are verdict-preserving: for any replay, the fast path and
+the naive path produce identical verdicts, matched rules and reasons.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.database import SignatureDatabase
 from repro.core.encoding import EncodingError, IndexWidth, StackTraceEncoder
-from repro.core.policy import DecodedContext, Policy, PolicyDecision
+from repro.core.policy import CompiledPolicy, DecodedContext, Policy, PolicyDecision
 from repro.netstack.ip import IPPacket
 from repro.netstack.netfilter import Verdict
 
@@ -55,10 +76,90 @@ class EnforcerStats:
     untagged_packets: int = 0
     unknown_apps: int = 0
     decode_errors: int = 0
+    #: Flow-cache behaviour (conntrack-style fast path).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    #: How many packets required a full index→string decode.
+    full_decodes: int = 0
+    #: Policy evaluations through the compiled (integer) path.
+    compiled_evals: int = 0
+    #: Policy evaluations that fell back to string matching.
+    fallback_evals: int = 0
+
+
+@dataclass(frozen=True)
+class _CachedDecision:
+    """What the flow cache remembers about one (flow, tag) combination."""
+
+    verdict: Verdict
+    reason: str
+    app_id: str
+    package_name: str
+    signatures: tuple[str, ...]
+
+
+def distinct_stacks(
+    records: list[EnforcementRecord], dst_ip: str
+) -> list[tuple[str, ...]]:
+    """Distinct decoded stacks towards ``dst_ip``, in first-seen order."""
+    seen: set[tuple[str, ...]] = set()
+    stacks: list[tuple[str, ...]] = []
+    for record in records:
+        if record.dst_ip != dst_ip or not record.signatures:
+            continue
+        if record.signatures in seen:
+            continue
+        seen.add(record.signatures)
+        stacks.append(record.signatures)
+    return stacks
+
+
+class FlowCache:
+    """Conntrack-style LRU of enforcement outcomes.
+
+    Keys are ``(flow 5-tuple, raw tag bytes)``: every field that can
+    change the verdict for a given policy.  Values are
+    :class:`_CachedDecision` templates from which per-packet audit
+    records are stamped out on a hit.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("flow cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, _CachedDecision]" = OrderedDict()
+
+    def get(self, key: tuple) -> _CachedDecision | None:
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+        return cached
+
+    def put(self, key: tuple, value: _CachedDecision) -> bool:
+        """Store ``value``; returns True when an older flow was evicted."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class PolicyEnforcer:
-    """NFQUEUE consumer applying the company policy to tagged packets."""
+    """NFQUEUE consumer applying the company policy to tagged packets.
+
+    ``compile_policy`` and ``flow_cache_size`` control the fast path;
+    ``compile_policy=False`` together with ``flow_cache_size=0`` yields
+    the paper's naive per-packet decode-and-evaluate pipeline.
+    """
 
     def __init__(
         self,
@@ -68,21 +169,58 @@ class PolicyEnforcer:
         drop_unknown_apps: bool = True,
         index_width: IndexWidth = IndexWidth.FIXED_2,
         keep_records: bool = True,
+        compile_policy: bool = True,
+        flow_cache_size: int = 4096,
     ) -> None:
         self.database = database
-        self.policy = policy or Policy.allow_all()
+        # `policy or ...` would discard an *empty* Policy (its __len__
+        # makes it falsy) and silently sever the caller's reference —
+        # rules added to it later would never be enforced.
+        self.policy = policy if policy is not None else Policy.allow_all()
         self.drop_untagged = drop_untagged
         self.drop_unknown_apps = drop_unknown_apps
         self.encoder = StackTraceEncoder(index_width=index_width)
         self.keep_records = keep_records
+        self.compile_policy = compile_policy
         self.stats = EnforcerStats()
         self.records: list[EnforcementRecord] = []
+        self.flow_cache: FlowCache | None = (
+            FlowCache(flow_cache_size) if flow_cache_size > 0 else None
+        )
+        self._cache_generation = database.generation
+        self._active_policy = self.policy
+        self._active_revision = self.policy.revision
+        self._active_rule_count = len(self.policy.rules)
+        self._compiled: CompiledPolicy | None = (
+            self.policy.compile(database) if compile_policy else None
+        )
 
     # -- policy management ------------------------------------------------------------
 
     def set_policy(self, policy: Policy) -> None:
-        """Swap the active policy; takes effect for the next packet."""
+        """Swap the active policy; takes effect for the next packet.
+
+        Recompiles the fast path and flushes the flow cache — cached
+        verdicts were computed under the old policy.
+        """
         self.policy = policy
+        self.invalidate_caches()
+
+    def invalidate_caches(self) -> None:
+        """Recompile the policy and drop every cached flow verdict.
+
+        Runs automatically on :meth:`set_policy` and whenever the
+        enforcer notices the active policy gained rules in place
+        (``policy.add_rule``) or was swapped by attribute assignment.
+        """
+        self._compiled = self.policy.compile(self.database) if self.compile_policy else None
+        self._cache_generation = self.database.generation
+        self._active_policy = self.policy
+        self._active_revision = self.policy.revision
+        self._active_rule_count = len(self.policy.rules)
+        if self.flow_cache is not None:
+            self.flow_cache.clear()
+            self.stats.cache_invalidations += 1
 
     # -- QueueConsumer interface ---------------------------------------------------------
 
@@ -97,12 +235,29 @@ class PolicyEnforcer:
             self.records.append(record)
         return verdict, packet
 
+    def process_batch(self, packets: list[IPPacket]) -> list[tuple[Verdict, IPPacket]]:
+        """Process a burst of packets, preserving input order."""
+        return [self.process(packet) for packet in packets]
+
     # -- the three stages -----------------------------------------------------------------
 
     def _decide(self, packet: IPPacket) -> tuple[Verdict, EnforcementRecord]:
+        # The naive path read the live rule list every packet, so rules
+        # added in place (policy.add_rule) — or removed by mutating the
+        # public ``rules`` list directly — took effect immediately; three
+        # integer/identity compares keep that contract on the fast path.
+        # (Same-length in-place rule *replacement* is the one mutation
+        # this cannot see; call invalidate_caches() after doing that.)
+        if (
+            self.policy is not self._active_policy
+            or self.policy.revision != self._active_revision
+            or len(self.policy.rules) != self._active_rule_count
+        ):
+            self.invalidate_caches()
+
         # Stage 1: extraction.
-        tag_option = self.encoder.decode_options(packet.options)
-        if tag_option is None:
+        tag_bytes = self.encoder.extract_tag_bytes(packet.options)
+        if tag_bytes is None:
             self.stats.untagged_packets += 1
             verdict = Verdict.DROP if self.drop_untagged else Verdict.ACCEPT
             return verdict, EnforcementRecord(
@@ -112,8 +267,33 @@ class PolicyEnforcer:
                 reason="untagged packet",
             )
 
+        # Flow-cache lookup: repeated packets of a flow skip stages 2 and 3.
+        cache_key: tuple | None = None
+        if self.flow_cache is not None:
+            if self._cache_generation != self.database.generation:
+                # The database changed (enrolment/removal): cached verdicts
+                # may be stale, e.g. an ACCEPT for a since-revoked app.
+                self.flow_cache.clear()
+                self._cache_generation = self.database.generation
+                self.stats.cache_invalidations += 1
+            cache_key = (packet.flow_tuple, tag_bytes)
+            cached = self.flow_cache.get(cache_key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached.verdict, EnforcementRecord(
+                    packet_id=packet.packet_id,
+                    dst_ip=packet.dst_ip,
+                    verdict=cached.verdict,
+                    reason=cached.reason,
+                    app_id=cached.app_id,
+                    package_name=cached.package_name,
+                    signatures=cached.signatures,
+                )
+            self.stats.cache_misses += 1
+
         # Stage 2: decoding.
-        entry = self.database.lookup_app_id(tag_option.app_id)
+        tag = self.encoder.decode(tag_bytes)
+        entry = self.database.lookup_app_id(tag.app_id)
         if entry is None:
             self.stats.unknown_apps += 1
             verdict = Verdict.DROP if self.drop_unknown_apps else Verdict.ACCEPT
@@ -122,35 +302,61 @@ class PolicyEnforcer:
                 dst_ip=packet.dst_ip,
                 verdict=verdict,
                 reason="unknown app hash",
-                app_id=tag_option.app_id,
+                app_id=tag.app_id,
             )
-        try:
-            signatures = tuple(entry.decode_indexes(tag_option.indexes))
-        except IndexError:
+        if any(not 0 <= index < entry.method_count for index in tag.indexes):
             self.stats.decode_errors += 1
             return Verdict.DROP, EnforcementRecord(
                 packet_id=packet.packet_id,
                 dst_ip=packet.dst_ip,
                 verdict=Verdict.DROP,
                 reason="index out of range for app mapping",
-                app_id=tag_option.app_id,
+                app_id=tag.app_id,
                 package_name=entry.package_name,
             )
-        context = DecodedContext(
-            app_id=tag_option.app_id,
-            signatures=signatures,
-            app_md5=entry.md5,
-            package_name=entry.package_name,
-        )
 
-        # Stage 3: enforcement.
-        decision: PolicyDecision = self.policy.evaluate(context)
+        # Stage 3: enforcement — compiled integer matching when possible,
+        # string decoding only for audit records or uncompilable rules.
+        compiled = self._compiled.for_app(tag.app_id) if self._compiled is not None else None
+        signatures: tuple[str, ...] = ()
+        if compiled is not None:
+            decision = compiled.evaluate_indexes(tag.indexes)
+            self.stats.compiled_evals += 1
+            if self.keep_records:
+                signatures = tuple(entry.decode_indexes(tag.indexes))
+                self.stats.full_decodes += 1
+        else:
+            signatures = tuple(entry.decode_indexes(tag.indexes))
+            self.stats.full_decodes += 1
+            context = DecodedContext(
+                app_id=tag.app_id,
+                signatures=signatures,
+                app_md5=entry.md5,
+                package_name=entry.package_name,
+            )
+            decision = self.policy.evaluate(context)
+            self.stats.fallback_evals += 1
+
+        if cache_key is not None:
+            evicted = self.flow_cache.put(
+                cache_key,
+                _CachedDecision(
+                    verdict=decision.verdict,
+                    reason=decision.reason,
+                    app_id=tag.app_id,
+                    package_name=entry.package_name,
+                    signatures=signatures,
+                ),
+            )
+            if evicted:
+                self.stats.cache_evictions += 1
+
         return decision.verdict, EnforcementRecord(
             packet_id=packet.packet_id,
             dst_ip=packet.dst_ip,
             verdict=decision.verdict,
             reason=decision.reason,
-            app_id=tag_option.app_id,
+            app_id=tag.app_id,
             package_name=entry.package_name,
             signatures=signatures,
         )
@@ -164,9 +370,19 @@ class PolicyEnforcer:
         return [r for r in self.records if not r.dropped]
 
     def decoded_stacks_to(self, dst_ip: str) -> list[tuple[str, ...]]:
-        """Distinct decoded stack traces observed towards ``dst_ip``."""
-        return [r.signatures for r in self.records if r.dst_ip == dst_ip and r.signatures]
+        """Distinct decoded stack traces observed towards ``dst_ip``.
+
+        Each stack appears once, in first-seen order, no matter how many
+        packets carried it.
+        """
+        return distinct_stacks(self.records, dst_ip)
+
+    def clear_records(self) -> None:
+        """Drop the audit records while keeping stats and caches intact."""
+        self.records.clear()
 
     def reset(self) -> None:
         self.stats = EnforcerStats()
         self.records.clear()
+        if self.flow_cache is not None:
+            self.flow_cache.clear()

@@ -19,6 +19,11 @@ from repro.experiments.case_studies import (
     run_facebook_case_study,
     run_flow_size_study,
 )
+from repro.experiments.gateway_throughput import (
+    GatewayBenchResult,
+    GatewayConfigResult,
+    run_gateway_bench,
+)
 
 __all__ = [
     "CorpusRunResult",
@@ -35,4 +40,7 @@ __all__ = [
     "run_cloud_storage_case_study",
     "run_facebook_case_study",
     "run_flow_size_study",
+    "GatewayBenchResult",
+    "GatewayConfigResult",
+    "run_gateway_bench",
 ]

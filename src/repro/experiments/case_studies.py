@@ -243,7 +243,7 @@ def extract_facebook_policy(app: CaseStudyApp) -> Policy:
         if record.signatures:
             baseline.add_stack(record.signatures)
 
-    deployment.enforcer.records.clear()
+    deployment.enforcer.clear_records()
     undesired = ProfileRun(label="undesired-functionality")
     process.invoke("facebook_analytics")
     for record in deployment.enforcer.records:

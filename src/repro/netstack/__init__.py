@@ -40,7 +40,15 @@ from repro.netstack.netfilter import (
     IptablesRule,
     Iptables,
     QueueConsumer,
+    flow_hash,
+    ip_prefix_matches,
 )
+
+# NOTE: repro.netstack.sharding (ShardedEnforcer) is intentionally NOT
+# imported here — it builds on repro.core.policy_enforcer, which imports
+# this package's submodules, so a re-export would create an import
+# cycle.  Import it as ``from repro.netstack.sharding import
+# ShardedEnforcer``.
 from repro.netstack.routing import Router, RouterPolicy, Link, RoutingError
 
 __all__ = [
@@ -72,6 +80,8 @@ __all__ = [
     "IptablesRule",
     "Iptables",
     "QueueConsumer",
+    "flow_hash",
+    "ip_prefix_matches",
     "Router",
     "RouterPolicy",
     "Link",

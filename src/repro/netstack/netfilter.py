@@ -6,15 +6,76 @@ user-space Python programs — the Policy Enforcer and the Packet
 Sanitizer — built on the ``netfilterqueue`` bindings (§V-C, §V-D).
 This module provides the rule table, the queue abstraction, and the
 consumer protocol those components plug into.
+
+Beyond the paper's single-queue prototype, rules support the kernel's
+``--queue-balance lo:hi`` mechanism (:attr:`IptablesRule.queue_balance`):
+packets are spread across the queue range by a deterministic flow hash
+(:func:`flow_hash`), which is how production gateways run one
+enforcement consumer per core — see
+:class:`repro.netstack.sharding.ShardedEnforcer`.
 """
 
 from __future__ import annotations
 
 import enum
+import ipaddress
+import zlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Protocol
 
 from repro.netstack.ip import IPPacket
+
+
+def flow_hash(packet: IPPacket) -> int:
+    """Deterministic hash of a packet's flow 5-tuple.
+
+    Mirrors the kernel's flow distribution for ``NFQUEUE
+    --queue-balance``: every packet of a flow lands on the same queue.
+    CRC32 (rather than Python's randomised ``hash``) keeps the shard
+    assignment stable across processes and runs.
+    """
+    src_ip, src_port, dst_ip, dst_port, protocol = packet.flow_tuple
+    key = f"{src_ip}|{src_port}|{dst_ip}|{dst_port}|{protocol}"
+    return zlib.crc32(key.encode("ascii"))
+
+
+@lru_cache(maxsize=512)
+def _parse_network(prefix: str) -> ipaddress.IPv4Network | ipaddress.IPv6Network:
+    """Parse (and memoise) a CIDR prefix so the per-packet path never re-parses."""
+    return ipaddress.ip_network(prefix, strict=False)
+
+
+def compile_prefix_matcher(prefix: str | None) -> Callable[[str], bool] | None:
+    """Lower ``prefix`` into a per-packet matcher, doing the parsing once.
+
+    Normalisation (trimming, CIDR parsing) happens here, at rule-creation
+    time, so :meth:`IptablesRule.matches` pays only a closure call per
+    packet.  Returns None for a None prefix (no constraint); raises
+    ValueError for malformed CIDR notation.
+    """
+    if prefix is None:
+        return None
+    if "/" in prefix:
+        network = _parse_network(prefix)
+        return lambda ip: ipaddress.ip_address(ip) in network
+    trimmed = prefix.rstrip(".")
+    if not trimmed:
+        return lambda ip: True
+    dotted = trimmed + "."
+    return lambda ip: ip == trimmed or ip.startswith(dotted)
+
+
+def ip_prefix_matches(prefix: str, ip: str) -> bool:
+    """True when ``ip`` falls under ``prefix``, on octet or CIDR boundaries.
+
+    ``prefix`` is either CIDR notation (``10.1.0.0/16``) or a dotted
+    octet prefix (``10.1`` / ``10.1.``).  Octet prefixes only match at
+    dot boundaries, so ``10.1`` matches ``10.1.0.5`` but *not*
+    ``10.100.0.1`` — the naive ``startswith`` trap.
+    """
+    matcher = compile_prefix_matcher(prefix)
+    return True if matcher is None else matcher(ip)
 
 
 class Verdict(enum.Enum):
@@ -105,11 +166,21 @@ class IptablesRule:
     protocol: int | None = None
     direction: str | None = None
     comment: str = ""
+    #: ``NFQUEUE --queue-balance lo:hi`` — packets are spread across the
+    #: inclusive queue range by flow hash instead of one ``queue_num``.
+    queue_balance: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        # Compile prefixes once per rule (this also rejects malformed
+        # CIDR notation at creation instead of on the first packet);
+        # matches() then runs no normalisation or parsing per packet.
+        object.__setattr__(self, "_src_matcher", compile_prefix_matcher(self.src_prefix))
+        object.__setattr__(self, "_dst_matcher", compile_prefix_matcher(self.dst_prefix))
 
     def matches(self, packet: IPPacket) -> bool:
-        if self.src_prefix is not None and not packet.src_ip.startswith(self.src_prefix):
+        if self._src_matcher is not None and not self._src_matcher(packet.src_ip):
             return False
-        if self.dst_prefix is not None and not packet.dst_ip.startswith(self.dst_prefix):
+        if self._dst_matcher is not None and not self._dst_matcher(packet.dst_ip):
             return False
         if self.dst_port is not None and packet.dst_port != self.dst_port:
             return False
@@ -142,9 +213,16 @@ class Iptables:
 
     def append_rule(self, rule: IptablesRule) -> None:
         if rule.target is RuleTarget.QUEUE:
-            if rule.queue_num is None:
+            if rule.queue_balance is not None:
+                lo, hi = rule.queue_balance
+                if lo > hi:
+                    raise ValueError(f"invalid queue-balance range {lo}:{hi}")
+                for queue_num in range(lo, hi + 1):
+                    self._queues.setdefault(queue_num, NetfilterQueue(queue_num))
+            elif rule.queue_num is None:
                 raise ValueError("NFQUEUE rules need a queue number")
-            self._queues.setdefault(rule.queue_num, NetfilterQueue(rule.queue_num))
+            else:
+                self._queues.setdefault(rule.queue_num, NetfilterQueue(rule.queue_num))
         self._rules.append(rule)
 
     def queue(self, queue_num: int) -> NetfilterQueue:
@@ -157,6 +235,15 @@ class Iptables:
         nfqueue.latency_ms = latency_ms
         nfqueue.bind(consumer)
         return nfqueue
+
+    def bind_queue_balance(
+        self, base_queue: int, consumers: list[QueueConsumer], latency_ms: float = 0.0
+    ) -> list[NetfilterQueue]:
+        """Bind one consumer per queue of a ``--queue-balance`` range."""
+        return [
+            self.bind_queue(base_queue + offset, consumer, latency_ms=latency_ms)
+            for offset, consumer in enumerate(consumers)
+        ]
 
     def rules(self) -> list[IptablesRule]:
         return list(self._rules)
@@ -178,7 +265,12 @@ class Iptables:
                 return Verdict.ACCEPT, current, latency_ms
             if rule.target is RuleTarget.DROP:
                 return Verdict.DROP, current, latency_ms
-            nfqueue = self._queues[rule.queue_num]  # type: ignore[index]
+            if rule.queue_balance is not None:
+                lo, hi = rule.queue_balance
+                queue_num = lo + flow_hash(current) % (hi - lo + 1)
+            else:
+                queue_num = rule.queue_num  # type: ignore[assignment]
+            nfqueue = self._queues[queue_num]  # type: ignore[index]
             latency_ms += nfqueue.latency_ms
             verdict, current = nfqueue.handle(current)
             if verdict is Verdict.DROP:

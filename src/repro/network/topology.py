@@ -28,6 +28,9 @@ from repro.network.server import Server
 #: Queue numbers used by the standard deployment.
 POLICY_ENFORCER_QUEUE = 1
 PACKET_SANITIZER_QUEUE = 2
+#: Base of the queue range used when the Policy Enforcer is sharded
+#: (``NFQUEUE --queue-balance``); shard *i* binds queue ``BASE + i``.
+POLICY_ENFORCER_BALANCE_BASE = 100
 
 
 @dataclass
@@ -131,16 +134,44 @@ class EnterpriseNetwork:
         Either consumer may be None (queue stays unbound and fails open),
         which lets the Figure 4 study measure the cost of the queue
         plumbing separately from the cost of the enforcement logic.
+
+        A sharded enforcer (anything exposing a ``shards`` list, e.g.
+        :class:`repro.netstack.sharding.ShardedEnforcer`) is installed as
+        an ``NFQUEUE --queue-balance`` range instead of a single queue:
+        flows are hash-spread across one queue per shard.
         """
-        self.gateway.append_rule(
-            IptablesRule(
-                target=RuleTarget.QUEUE,
-                queue_num=POLICY_ENFORCER_QUEUE,
-                src_prefix=self.config.internal_subnet,
-                direction="outbound",
-                comment="BorderPatrol policy enforcer",
+        shards = getattr(enforcer, "shards", None)
+        if shards:
+            balance_range = (
+                POLICY_ENFORCER_BALANCE_BASE,
+                POLICY_ENFORCER_BALANCE_BASE + len(shards) - 1,
             )
-        )
+            self.gateway.append_rule(
+                IptablesRule(
+                    target=RuleTarget.QUEUE,
+                    queue_balance=balance_range,
+                    src_prefix=self.config.internal_subnet,
+                    direction="outbound",
+                    comment=f"BorderPatrol policy enforcer (queue-balance {balance_range[0]}:{balance_range[1]})",
+                )
+            )
+            self.gateway.bind_queue_balance(
+                POLICY_ENFORCER_BALANCE_BASE, shards, latency_ms=queue_latency_ms
+            )
+        else:
+            self.gateway.append_rule(
+                IptablesRule(
+                    target=RuleTarget.QUEUE,
+                    queue_num=POLICY_ENFORCER_QUEUE,
+                    src_prefix=self.config.internal_subnet,
+                    direction="outbound",
+                    comment="BorderPatrol policy enforcer",
+                )
+            )
+            enforcer_queue = self.gateway.queue(POLICY_ENFORCER_QUEUE)
+            enforcer_queue.latency_ms = queue_latency_ms
+            if enforcer is not None:
+                enforcer_queue.bind(enforcer)
         self.gateway.append_rule(
             IptablesRule(
                 target=RuleTarget.QUEUE,
@@ -150,10 +181,6 @@ class EnterpriseNetwork:
                 comment="BorderPatrol packet sanitizer",
             )
         )
-        enforcer_queue = self.gateway.queue(POLICY_ENFORCER_QUEUE)
-        enforcer_queue.latency_ms = queue_latency_ms
-        if enforcer is not None:
-            enforcer_queue.bind(enforcer)
         sanitizer_queue = self.gateway.queue(PACKET_SANITIZER_QUEUE)
         sanitizer_queue.latency_ms = queue_latency_ms
         if sanitizer is not None:

@@ -49,6 +49,18 @@ class TestCaseStudyCommand:
         assert "selective enforcement achieved with BorderPatrol: True" in out
 
 
+class TestGatewayBenchCommand:
+    def test_gateway_bench_reports_fast_path_table(self, capsys):
+        assert main(
+            ["gateway-bench", "--packets", "600", "--flows", "32", "--shards", "2",
+             "--corpus-apps", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        for configuration in ("naive", "compiled", "cached", "sharded-1", "sharded-2"):
+            assert configuration in out
+        assert "all paths verdict-identical: True" in out
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

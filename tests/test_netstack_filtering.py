@@ -10,6 +10,7 @@ from repro.netstack.netfilter import (
     NetfilterQueue,
     RuleTarget,
     Verdict,
+    ip_prefix_matches,
 )
 from repro.netstack.routing import Link, Router, RouterPolicy, traverse
 from repro.netstack.tcp import FlowKey, FlowTable
@@ -153,6 +154,36 @@ class TestIptables:
         assert rule.matches(make_packet())
         assert not rule.matches(make_packet(dst_port=80))
         assert not rule.matches(make_packet(direction="inbound"))
+
+    def test_prefix_match_respects_octet_boundaries(self):
+        # Regression: "10.1" used to startswith-match "10.100.0.1".
+        rule = IptablesRule(target=RuleTarget.DROP, src_prefix="10.1")
+        assert rule.matches(make_packet(src_ip="10.1.0.5"))
+        assert rule.matches(make_packet(src_ip="10.1.200.9"))
+        assert not rule.matches(make_packet(src_ip="10.100.0.1"))
+        assert not rule.matches(make_packet(src_ip="10.10.0.2"))
+        assert not rule.matches(make_packet(src_ip="110.1.0.5"))
+
+    def test_prefix_match_exact_address_and_trailing_dot(self):
+        rule = IptablesRule(target=RuleTarget.DROP, dst_prefix="203.0.113.9")
+        assert rule.matches(make_packet(dst_ip="203.0.113.9"))
+        assert not rule.matches(make_packet(dst_ip="203.0.113.90"))
+        dotted = IptablesRule(target=RuleTarget.DROP, src_prefix="10.10.")
+        assert dotted.matches(make_packet(src_ip="10.10.0.2"))
+        assert not dotted.matches(make_packet(src_ip="10.100.0.2"))
+
+    def test_prefix_match_cidr_notation(self):
+        rule = IptablesRule(target=RuleTarget.DROP, src_prefix="10.1.0.0/16")
+        assert rule.matches(make_packet(src_ip="10.1.255.4"))
+        assert not rule.matches(make_packet(src_ip="10.2.0.1"))
+        assert ip_prefix_matches("203.0.113.8/30", "203.0.113.9")
+        assert not ip_prefix_matches("203.0.113.8/30", "203.0.113.12")
+
+    def test_malformed_cidr_prefix_rejected_at_rule_creation(self):
+        with pytest.raises(ValueError):
+            IptablesRule(target=RuleTarget.DROP, src_prefix="10.1.0.0/33")
+        with pytest.raises(ValueError):
+            IptablesRule(target=RuleTarget.DROP, dst_prefix="not-an-ip/8")
 
     def test_queue_chaining_continues_after_accept(self):
         class Recorder:

@@ -15,10 +15,17 @@ Four invariant families:
 
 import string
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.database import canonical_signature_order
-from repro.core.encoding import IndexWidth, StackTraceEncoder
+from repro.core.encoding import (
+    APP_ID_BYTES,
+    EncodingError,
+    IndexWidth,
+    MAX_OPTION_DATA_BYTES,
+    StackTraceEncoder,
+)
 from repro.core.packet_sanitizer import PacketSanitizer
 from repro.core.policy import DecodedContext, Policy, PolicyAction, PolicyLevel, PolicyRule
 from repro.dex.builder import DexBuilder
@@ -80,6 +87,81 @@ def test_encoded_option_always_respects_rfc791_limit(app_id, indexes):
     options = StackTraceEncoder().encode_option(app_id, indexes)
     assert options.wire_length <= MAX_IP_OPTIONS_BYTES
     assert options.find(BORDERPATROL_OPTION_TYPE) is not None
+
+
+# -- variable-width encoding properties ------------------------------------------------
+
+#: Bytes left for frame indexes once the 8-byte app hash is in the tag.
+INDEX_BUDGET = MAX_OPTION_DATA_BYTES - APP_ID_BYTES
+
+
+def _variable_width(index: int) -> int:
+    """The on-wire width the variable encoding must give ``index``."""
+    return 2 if index < 0x8000 else 3
+
+
+@given(app_id=app_ids, index=st.integers(min_value=0, max_value=0x3F_FFFF))
+def test_variable_encoding_width_flips_exactly_at_0x8000(app_id, index):
+    encoder = StackTraceEncoder(IndexWidth.VARIABLE)
+    body = encoder.encode(app_id, [index])[APP_ID_BYTES:]
+    assert len(body) == _variable_width(index)
+    if index >= 0x8000:
+        assert body[0] & 0x80  # 3-byte form carries the flag bit
+    else:
+        assert not body[0] & 0x80
+    assert encoder.decode(encoder.encode(app_id, [index])).indexes == (index,)
+
+
+@given(app_id=app_ids)
+def test_variable_encoding_boundary_neighbours_roundtrip(app_id):
+    encoder = StackTraceEncoder(IndexWidth.VARIABLE)
+    boundary = [0x7FFF, 0x8000, 0x8001]
+    decoded = encoder.decode(encoder.encode(app_id, boundary))
+    assert list(decoded.indexes) == boundary
+    assert encoder._width_of(0x7FFF) == 2
+    assert encoder._width_of(0x8000) == 3
+
+
+@given(
+    app_id=app_ids,
+    index=st.integers(min_value=0x40_0000, max_value=0x7F_FFFF),
+)
+def test_variable_encoding_rejects_indexes_beyond_3_byte_space(app_id, index):
+    encoder = StackTraceEncoder(IndexWidth.VARIABLE)
+    with pytest.raises(EncodingError):
+        encoder.encode(app_id, [index])
+
+
+@given(app_id=app_ids, indexes=variable_indexes)
+def test_variable_fit_indexes_fills_budget_maximally(app_id, indexes):
+    """Truncation stops exactly when the 30-byte index budget would overflow."""
+    encoder = StackTraceEncoder(IndexWidth.VARIABLE)
+    fitted = encoder.fit_indexes(indexes)
+    used = sum(_variable_width(i) for i in fitted)
+    assert used <= INDEX_BUDGET
+    assert list(fitted) == indexes[: len(fitted)]
+    if len(fitted) < len(indexes):
+        # The first dropped frame genuinely would not have fit.
+        assert used + _variable_width(indexes[len(fitted)]) > INDEX_BUDGET
+    assert len(encoder.encode(app_id, indexes)) - APP_ID_BYTES == used
+
+
+def test_fit_indexes_truncates_exactly_at_the_30_byte_budget():
+    encoder = StackTraceEncoder(IndexWidth.VARIABLE)
+    assert INDEX_BUDGET == 30
+    # Fifteen 2-byte indexes consume the budget exactly...
+    exact = [1] * 15
+    assert encoder.fit_indexes(exact + [2]) == tuple(exact)
+    # ...ten 3-byte frames do too, and an eleventh frame of either width
+    # is dropped because the budget is already fully consumed.
+    ten_wide = [0x8000] * 10  # 30 bytes
+    assert encoder.fit_indexes(ten_wide) == tuple(ten_wide)
+    assert encoder.fit_indexes(ten_wide + [0x8000]) == tuple(ten_wide)
+    assert encoder.fit_indexes(ten_wide + [7]) == tuple(ten_wide)
+    # Nine 3-byte frames (27 bytes) leave room for one more 2-byte frame
+    # but not for another 3-byte one.
+    nine_wide = [0x8000] * 9
+    assert encoder.fit_indexes(nine_wide + [7, 0x8000]) == tuple(nine_wide + [7])
 
 
 # -- signature / descriptor properties -----------------------------------------------
