@@ -1,0 +1,102 @@
+"""Benchmark: policy updates under churn — delta control plane vs whole flush.
+
+Replays one heavy-tailed packet stream in bursts while an administrator
+toggles a deny rule between bursts, and compares the versioned delta
+control plane (:mod:`repro.core.policy_store`) against the legacy
+``set_policy`` whole-replacement baseline.  The properties the control
+plane must hold:
+
+* delta and flush paths produce the identical verdict sequence (delta
+  compilation changes *when* lowering happens, never the decision);
+* the delta path never flushes the whole flow cache — every edit is a
+  surgical per-app invalidation, so unaffected apps' flows stay warm
+  (their misses are bounded by first-seen flows);
+* the sharded broadcast converges every shard to the same policy
+  version;
+* under sustained churn the delta path out-throughputs the flush
+  baseline.
+
+Run with:  pytest benchmarks/test_bench_policy_update.py --benchmark-only
+Smoke mode (CI): set CHURN_BENCH_PACKETS to a smaller replay size.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.policy_churn import run_policy_churn
+
+PACKETS = int(os.environ.get("CHURN_BENCH_PACKETS", "10000"))
+FLOWS = max(16, min(256, PACKETS // 8))
+EDITS = 24 if PACKETS >= 5000 else 8
+SHARDS = 4
+
+#: Wall-clock ratio assertions need a replay long enough to drown out
+#: scheduler noise on shared CI runners.
+timing_sensitive = pytest.mark.skipif(
+    PACKETS < 5000,
+    reason="relative-throughput assertions are unreliable on short smoke replays",
+)
+
+
+@pytest.fixture(scope="module")
+def churn_result():
+    return run_policy_churn(
+        packets=PACKETS, flows=FLOWS, edits=EDITS, shards=SHARDS, seed=7
+    )
+
+
+def test_bench_policy_churn_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_policy_churn(
+            packets=PACKETS, flows=FLOWS, edits=EDITS, shards=SHARDS, seed=7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.table())
+    assert result.packets == PACKETS
+
+
+def test_delta_and_flush_verdict_identical(churn_result):
+    flush = churn_result.results["flush"].verdicts
+    for name, config in churn_result.results.items():
+        assert config.verdicts == flush, f"{name} diverged from full recompilation"
+
+
+def test_delta_path_never_flushes_whole_cache(churn_result):
+    delta = churn_result.results["delta"]
+    flush = churn_result.results["flush"]
+    assert delta.whole_flushes == 0
+    assert delta.surgical_invalidations == churn_result.edits
+    assert flush.whole_flushes == churn_result.edits
+    assert flush.surgical_invalidations == 0
+
+
+def test_delta_preserves_cache_for_unaffected_apps(churn_result):
+    delta = churn_result.results["delta"]
+    flush = churn_result.results["flush"]
+    # Unaffected apps never re-miss: every delta-path miss is either a
+    # flow's first packet or a re-miss of a surgically invalidated
+    # (churn-app) entry.  The flush baseline re-misses across the board.
+    assert delta.cache_misses <= churn_result.flows + delta.entries_invalidated
+    assert flush.cache_misses > delta.cache_misses
+    assert delta.hit_rate > flush.hit_rate
+    # Only the one touched app ever recompiles, once per edit.
+    assert 0 < delta.apps_recompiled <= churn_result.edits
+    assert delta.entries_invalidated < delta.packets
+
+
+def test_sharded_broadcast_converges_to_same_version(churn_result):
+    delta = churn_result.results["delta"]
+    sharded = churn_result.results[f"delta-sharded-{SHARDS}"]
+    assert delta.final_policy_version == churn_result.edits
+    assert sharded.final_policy_version == churn_result.edits
+    assert sharded.whole_flushes == 0
+    # Every shard applied every delta.
+    assert sharded.surgical_invalidations == churn_result.edits * SHARDS
+
+
+@timing_sensitive
+def test_delta_churn_beats_flush_throughput(churn_result):
+    assert churn_result.speedup("delta", baseline="flush") > 1.0

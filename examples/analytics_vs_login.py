@@ -6,12 +6,45 @@ The calendar app uses the Facebook Graph API endpoint for both identity
 BorderPatrol derives a method-level policy with the Policy Extractor
 (two guided runs) and blocks only the analytics work-flow.
 
+The extracted policy is then loaded into the versioned control plane
+(``PolicyStore``): serialized to json (each rule stored in the paper's
+Snippet 1 grammar, with a stable rule id), and an administrator's later
+edit is expressed as a ``diff_update`` — the minimal delta transaction
+rather than a whole-policy swap.
+
 Run with:  python examples/analytics_vs_login.py
 """
 
+from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.core.policy_store import PolicyStore
 from repro.experiments import run_facebook_case_study
 from repro.experiments.case_studies import extract_facebook_policy
 from repro.workloads import build_calendar_app
+
+
+def control_plane_demo(policy: Policy) -> None:
+    """Load the extracted policy into a store and evolve it by delta."""
+    store = PolicyStore.from_policy(policy, name="calendar-policy")
+    print("extracted policy as a versioned store (Snippet 1 grammar per rule):")
+    print(store.to_json())
+
+    # The administrator later also blacklists the Mixpanel SDK; the edit
+    # is the diff between the running store and the revised policy.
+    revised = Policy(
+        rules=list(policy.rules)
+        + [PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, "com/mixpanel/android")],
+        default_action=policy.default_action,
+        name="calendar-policy-revised",
+    )
+    update = store.diff_update(revised)
+    print("administrator's revision as a delta transaction:")
+    print(update.describe())
+    delta = store.apply(update)
+    print(
+        f"applied: version {delta.version}, "
+        f"{len(delta.changed_rules)} changed rule(s), "
+        f"{'whole-cache' if delta.full else 'surgical'} invalidation at gateways"
+    )
 
 
 def main() -> None:
@@ -33,6 +66,8 @@ def main() -> None:
         "\nTakeaway (paper §VI-C): the address-based policy cannot separate the two "
         "work-flows because they share the Graph API endpoint; the stack-trace tag can."
     )
+    print("\n--- policy control plane ---")
+    control_plane_demo(policy)
 
 
 if __name__ == "__main__":

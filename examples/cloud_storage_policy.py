@@ -5,10 +5,66 @@ Reproduces the Dropbox/Box comparison: an address-based filter either
 blocks nothing, blocks everything, or collaterally breaks browsing,
 while BorderPatrol's method-level rule removes only the upload path.
 
+The second half replays the same administrative action through the
+versioned policy control plane (``PolicyStore``): instead of swapping
+the policy blob wholesale, the upload-deny rule is pushed as one
+``PolicyUpdate`` transaction (``deployment.apply_update``), applied
+live at the gateway with surgical cache invalidation, and rolled back
+the same way.
+
 Run with:  python examples/cloud_storage_policy.py
 """
 
+from repro.core.deployment import BorderPatrolDeployment
+from repro.core.policy import PolicyAction, PolicyLevel, PolicyRule
+from repro.core.policy_store import PolicyUpdate
 from repro.experiments import run_cloud_storage_case_study
+from repro.network.topology import EnterpriseNetwork
+from repro.workloads.apps import build_cloud_storage_app
+
+
+def control_plane_demo() -> None:
+    """Push and roll back the upload-deny rule as delta transactions."""
+    app = build_cloud_storage_app()
+    network = EnterpriseNetwork()
+    for endpoint in sorted(app.behavior.endpoints()):
+        network.add_server(endpoint)
+    deployment = BorderPatrolDeployment(network=network)
+    device = deployment.provision_device(name="byod-phone")
+    process = deployment.install_and_launch(device, app.apk, app.behavior)
+
+    print(f"policy version {deployment.policy_version}: "
+          f"upload completes: {process.invoke('upload').completed}")
+
+    upload_deny = PolicyRule(
+        action=PolicyAction.DENY,
+        level=PolicyLevel.METHOD,
+        target=str(app.signature("upload")),
+    )
+    flushes_before = deployment.enforcer.stats.cache_invalidations
+    delta = deployment.apply_update(
+        PolicyUpdate(reason="block cloud-storage uploads").add_rule(
+            upload_deny, rule_id="upload-deny"
+        )
+    )
+    stats = deployment.enforcer.stats
+    print(
+        f"policy version {delta.version}: pushed {delta.changed_rules[0].render()}\n"
+        f"  surgical invalidation: {'no' if delta.full else 'yes'} "
+        f"(whole-cache flushes caused: {stats.cache_invalidations - flushes_before}, "
+        f"flow entries dropped: {stats.cache_entries_invalidated}, "
+        f"apps recompiled: {stats.apps_recompiled})"
+    )
+    print(f"  upload completes: {process.invoke('upload').completed}, "
+          f"download completes: {process.invoke('download').completed}")
+
+    rollback = deployment.apply_update(
+        PolicyUpdate(reason="roll back").remove_rule("upload-deny")
+    )
+    print(f"policy version {rollback.version}: rolled back; "
+          f"upload completes: {process.invoke('upload').completed}")
+    print("\nserialized store (survives gateway restarts):")
+    print(deployment.policy_store.to_json())
 
 
 def main() -> None:
@@ -29,6 +85,8 @@ def main() -> None:
         "\nTakeaway (paper §VI-C): only the context-aware policy blocks the upload "
         "path while leaving login, browsing and downloads untouched."
     )
+    print("\n--- live policy control plane ---")
+    control_plane_demo()
 
 
 if __name__ == "__main__":

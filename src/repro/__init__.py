@@ -42,6 +42,7 @@ from repro.core.policy import (
     PolicyRule,
     parse_policy,
 )
+from repro.core.policy_store import PolicyDelta, PolicyStore, PolicyUpdate
 from repro.core.database import SignatureDatabase
 from repro.core.encoding import StackTraceEncoder, ContextTag, IndexWidth
 from repro.network.topology import EnterpriseNetwork
@@ -64,6 +65,9 @@ __all__ = [
     "PolicyLevel",
     "PolicyRule",
     "parse_policy",
+    "PolicyStore",
+    "PolicyUpdate",
+    "PolicyDelta",
     "SignatureDatabase",
     "StackTraceEncoder",
     "ContextTag",

@@ -6,33 +6,49 @@ the same operator workflows over the reproduction:
 
 * ``analyze``      — run the Offline Analyzer over generated corpus apps or the
                      built-in case-study apps and write the json signature database;
-* ``check-policy`` — parse a policy file and report its rules (grammar validation);
+* ``check-policy`` — parse a policy file (grammar text or serialized
+                     store json) and report its rules; with ``--database``
+                     also report per-rule compileability;
+* ``policy``       — control-plane operations: ``policy diff`` shows the
+                     delta between two policy files, ``policy push``
+                     applies a policy file to a versioned store as one
+                     delta transaction;
 * ``case-study``   — run one of the §VI-C case studies and print the comparison table;
 * ``experiments``  — run the figure/table drivers at a chosen scale;
 * ``gateway-bench``— measure gateway packets/sec across the enforcement
-                     fast paths (naive vs compiled vs flow-cached vs sharded).
+                     fast paths (naive vs compiled vs flow-cached vs
+                     sharded), plus the Figure-4 workload's latency and
+                     throughput through the sharded gateway;
+* ``policy-churn`` — measure sustained gateway kpps under continuous
+                     rule churn: delta control plane vs whole-flush.
 
 Usage::
 
     python -m repro.cli analyze --output db.json --case-study-apps
-    python -m repro.cli check-policy policy.txt
+    python -m repro.cli check-policy policy.txt --database db.json
+    python -m repro.cli policy diff old.json new.txt
+    python -m repro.cli policy push corp.txt --store store.json
     python -m repro.cli case-study cloud-storage
     python -m repro.cli experiments --fig3-apps 200 --fig4-iterations 300
     python -m repro.cli gateway-bench --packets 10000 --shards 4
+    python -m repro.cli policy-churn --packets 10000 --edits 24
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.core.offline_analyzer import OfflineAnalyzer
-from repro.core.policy import PolicyParseError, parse_policy
+from repro.core.policy import PolicyLevel, PolicyParseError, parse_policy
+from repro.core.policy_store import PolicyStore, PolicyUpdateError
 from repro.experiments.case_studies import run_cloud_storage_case_study, run_facebook_case_study
 from repro.experiments.fig3_ioi import run_fig3
-from repro.experiments.fig4_latency import run_fig4
+from repro.experiments.fig4_latency import run_fig4, run_fig4_gateway_throughput
 from repro.experiments.gateway_throughput import run_gateway_bench
+from repro.experiments.policy_churn import run_policy_churn
 from repro.experiments.table_validation import run_validation
 from repro.workloads.apps import build_box_like_app, build_calendar_app, build_cloud_storage_app
 from repro.workloads.corpus import CorpusConfig, CorpusGenerator
@@ -61,16 +77,97 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_policy_store(path: str, fmt: str = "auto") -> PolicyStore:
+    """Load a policy file as a store: serialized json or Snippet 1 grammar text."""
+    text = Path(path).read_text(encoding="utf-8")
+    if fmt == "auto":
+        try:
+            json.loads(text)
+            fmt = "json"
+        except json.JSONDecodeError:
+            fmt = "text"
+    if fmt == "json":
+        return PolicyStore.from_json(text)
+    return PolicyStore.from_policy(parse_policy(text, name=Path(path).stem))
+
+
+def _rule_compile_report(rule, entries) -> str:
+    """How a rule lowers against every app of a signature database."""
+    if rule.level is PolicyLevel.HASH:
+        touched = sum(1 for entry in entries if rule.hash_matches_entry(entry))
+        return f"hash rule: matches {touched}/{len(entries)} enrolled apps"
+    touched = methods = fallbacks = 0
+    for entry in entries:
+        try:
+            indexes = entry.matching_indexes(rule.signature_matches)
+        except Exception:
+            fallbacks += 1
+            continue
+        if indexes:
+            touched += 1
+            methods += len(indexes)
+    report = f"compiles for {touched}/{len(entries)} apps, {methods} methods matched"
+    if fallbacks:
+        report += f" ({fallbacks} apps fall back to the string path)"
+    return report
+
+
 def _cmd_check_policy(args: argparse.Namespace) -> int:
-    text = Path(args.policy_file).read_text(encoding="utf-8")
     try:
-        policy = parse_policy(text, name=Path(args.policy_file).stem)
-    except PolicyParseError as error:
+        store = _load_policy_store(args.policy_file, fmt=args.format)
+    except (PolicyParseError, KeyError, TypeError) as error:
         print(f"policy rejected: {error}", file=sys.stderr)
         return 1
-    print(f"policy {policy.name!r}: {len(policy)} rule(s)")
-    for rule in policy:
-        print(f"  {rule.render()}")
+    print(f"policy {store.name!r} (version {store.version}): {len(store)} rule(s)")
+    entries = None
+    if args.database:
+        from repro.core.database import SignatureDatabase
+
+        entries = SignatureDatabase.load(args.database).entries()
+    for rule_id, rule in store.items():
+        line = f"  {rule_id:6s} {rule.render()}"
+        if entries is not None:
+            line += f"  -> {_rule_compile_report(rule, entries)}"
+        print(line)
+    return 0
+
+
+def _cmd_policy_diff(args: argparse.Namespace) -> int:
+    try:
+        old = _load_policy_store(args.old)
+        new = _load_policy_store(args.new)
+    except (PolicyParseError, KeyError, TypeError) as error:
+        print(f"policy rejected: {error}", file=sys.stderr)
+        return 1
+    update = old.diff_update(new.snapshot())
+    print(update.describe())
+    print(f"{len(update)} op(s) turn {args.old} (version {old.version}) into {args.new}")
+    return 0
+
+
+def _cmd_policy_push(args: argparse.Namespace) -> int:
+    store_path = Path(args.store)
+    try:
+        store = PolicyStore.load(store_path) if store_path.exists() else PolicyStore()
+        target = _load_policy_store(args.policy_file).snapshot()
+        update = store.diff_update(target)
+        if args.dry_run:
+            print(update.describe())
+            print(f"dry run: {len(update)} op(s), store stays at version {store.version}")
+            return 0
+        before = store.version
+        delta = store.apply(update)
+        store.save(store_path)
+    except (PolicyParseError, PolicyUpdateError, KeyError, TypeError, OSError) as error:
+        print(f"policy push rejected: {error}", file=sys.stderr)
+        return 1
+    invalidation = "whole-cache" if delta.full else "surgical"
+    print(update.describe())
+    print(
+        f"pushed {args.policy_file} -> {args.store}: version {before} -> {delta.version} "
+        f"({len(update)} op(s), {len(delta.changed_rules)} changed rule(s), "
+        f"{invalidation} invalidation at subscribed gateways)"
+    )
     return 0
 
 
@@ -113,8 +210,35 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
         print(f"gateway-bench rejected: {error}", file=sys.stderr)
         return 2
     print(result.table())
+    if args.fig4_iterations > 0:
+        print()
+        print(
+            run_fig4_gateway_throughput(
+                iterations=args.fig4_iterations, shards=args.shards
+            ).summary()
+        )
     if not result.verdicts_match:
         print("FAST PATH DIVERGED FROM NAIVE ENFORCEMENT", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_policy_churn(args: argparse.Namespace) -> int:
+    try:
+        result = run_policy_churn(
+            packets=args.packets,
+            flows=args.flows,
+            edits=args.edits,
+            corpus_apps=args.corpus_apps,
+            seed=args.seed,
+            shards=args.shards,
+        )
+    except ValueError as error:
+        print(f"policy-churn rejected: {error}", file=sys.stderr)
+        return 2
+    print(result.table())
+    if not result.verdicts_match:
+        print("DELTA PATH DIVERGED FROM FULL RECOMPILATION", file=sys.stderr)
         return 1
     return 0
 
@@ -130,9 +254,38 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--seed", type=int, default=7)
     analyze.set_defaults(func=_cmd_analyze)
 
-    check = subparsers.add_parser("check-policy", help="validate a policy file against the grammar")
+    check = subparsers.add_parser(
+        "check-policy",
+        help="validate a policy file (grammar text or store json) and report its rules",
+    )
     check.add_argument("policy_file")
+    check.add_argument(
+        "--format",
+        choices=("auto", "text", "json"),
+        default="auto",
+        help="input format: Snippet 1 grammar text or serialized PolicyStore json",
+    )
+    check.add_argument(
+        "--database",
+        default=None,
+        metavar="DB.json",
+        help="signature database to report per-rule compileability against",
+    )
     check.set_defaults(func=_cmd_check_policy)
+
+    policy = subparsers.add_parser("policy", help="versioned policy control-plane operations")
+    policy_sub = policy.add_subparsers(dest="policy_command", required=True)
+    diff = policy_sub.add_parser("diff", help="show the delta update between two policy files")
+    diff.add_argument("old")
+    diff.add_argument("new")
+    diff.set_defaults(func=_cmd_policy_diff)
+    push = policy_sub.add_parser(
+        "push", help="apply a policy file to a versioned store as one delta transaction"
+    )
+    push.add_argument("policy_file")
+    push.add_argument("--store", required=True, metavar="STORE.json")
+    push.add_argument("--dry-run", action="store_true")
+    push.set_defaults(func=_cmd_policy_push)
 
     case = subparsers.add_parser("case-study", help="run a §VI-C case study")
     case.add_argument("name", choices=("cloud-storage", "facebook"))
@@ -155,7 +308,27 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--shards", type=int, default=4)
     gateway.add_argument("--corpus-apps", type=int, default=6, metavar="N")
     gateway.add_argument("--seed", type=int, default=7)
+    gateway.add_argument(
+        "--fig4-iterations",
+        type=int,
+        default=200,
+        help="also drive the Figure-4 stress workload through the sharded "
+        "gateway and report latency + kpps (0 disables)",
+    )
     gateway.set_defaults(func=_cmd_gateway_bench)
+
+    churn = subparsers.add_parser(
+        "policy-churn",
+        help="measure sustained gateway kpps under continuous rule churn: "
+        "delta control plane vs whole-flush baseline",
+    )
+    churn.add_argument("--packets", type=int, default=10_000)
+    churn.add_argument("--flows", type=int, default=256)
+    churn.add_argument("--edits", type=int, default=24)
+    churn.add_argument("--shards", type=int, default=4)
+    churn.add_argument("--corpus-apps", type=int, default=6, metavar="N")
+    churn.add_argument("--seed", type=int, default=7)
+    churn.set_defaults(func=_cmd_policy_churn)
     return parser
 
 

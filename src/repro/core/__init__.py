@@ -43,6 +43,16 @@ from repro.core.policy import (
     CompiledAppPolicy,
     CompiledRule,
 )
+from repro.core.policy_store import (
+    AddRule,
+    PolicyDelta,
+    PolicyStore,
+    PolicyUpdate,
+    PolicyUpdateError,
+    RemoveRule,
+    ReplaceRule,
+    SetDefault,
+)
 from repro.core.context_manager import ContextManager, ContextManagerMode
 from repro.core.policy_enforcer import PolicyEnforcer, EnforcementRecord, FlowCache
 from repro.core.packet_sanitizer import PacketSanitizer
@@ -69,6 +79,14 @@ __all__ = [
     "CompiledPolicy",
     "CompiledAppPolicy",
     "CompiledRule",
+    "PolicyStore",
+    "PolicyUpdate",
+    "PolicyUpdateError",
+    "PolicyDelta",
+    "AddRule",
+    "RemoveRule",
+    "ReplaceRule",
+    "SetDefault",
     "ContextManager",
     "ContextManagerMode",
     "PolicyEnforcer",

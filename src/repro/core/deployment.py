@@ -22,6 +22,7 @@ from repro.core.offline_analyzer import OfflineAnalyzer
 from repro.core.packet_sanitizer import PacketSanitizer
 from repro.core.policy import Policy
 from repro.core.policy_enforcer import PolicyEnforcer
+from repro.core.policy_store import PolicyDelta, PolicyStore, PolicyUpdate
 from repro.core.encoding import IndexWidth
 from repro.netstack.sockets import KernelConfig
 from repro.network.topology import EnterpriseNetwork
@@ -77,6 +78,12 @@ class BorderPatrolDeployment:
             self.enforcer = ShardedEnforcer(num_shards=enforcer_shards, **enforcer_kwargs)
         else:
             self.enforcer = PolicyEnforcer(**enforcer_kwargs)
+        #: The versioned control plane for the gateway's policy.  Seeded
+        #: from the enforcer's initial rules (push=False: the enforcer
+        #: already holds them), it fans versioned deltas out to every
+        #: enforcer shard on :meth:`apply_update`.
+        self.policy_store = PolicyStore.from_policy(enforcer_kwargs["policy"])
+        self.policy_store.subscribe(self.enforcer, push=False)
         self.sanitizer = PacketSanitizer()
         self.network.install_queue_chain(
             enforcer=self.enforcer,
@@ -91,9 +98,31 @@ class BorderPatrolDeployment:
     def policy(self) -> Policy:
         return self.enforcer.policy
 
+    @property
+    def policy_version(self) -> int:
+        """The control plane's monotonic policy version."""
+        return self.policy_store.version
+
     def set_policy(self, policy: Policy) -> None:
-        """Update the centrally managed policy (one spot for all devices)."""
-        self.enforcer.set_policy(policy)
+        """Update the centrally managed policy (one spot for all devices).
+
+        Compatibility shim over the control plane: records a full
+        replacement in the :attr:`policy_store` (one version bump) and
+        hands the caller's Policy *object* to the enforcer by reference,
+        so legacy in-place ``add_rule`` edits keep taking effect.  For
+        incremental edits that keep unaffected flow caches warm, use
+        :meth:`apply_update`.
+        """
+        self.policy_store.reset_to(policy)
+
+    def apply_update(self, update: PolicyUpdate) -> PolicyDelta:
+        """Apply a batched policy delta live at the gateway.
+
+        The store commits the transaction, bumps the version, and every
+        enforcer shard recompiles only the apps the changed rules can
+        touch — unaffected hot flows keep their cached verdicts.
+        """
+        return self.policy_store.apply(update)
 
     # -- app enrolment -------------------------------------------------------------------
 

@@ -41,6 +41,16 @@ class PolicyParseError(ValueError):
     """Raised when policy text does not follow the Snippet 1 grammar."""
 
 
+class FrozenPolicyError(TypeError):
+    """Raised on in-place mutation of an immutable policy snapshot.
+
+    Snapshots handed out by :class:`repro.core.policy_store.PolicyStore`
+    are derived state; mutating one in place would silently desynchronise
+    it from the store's rule table and version counter.  Route edits
+    through :meth:`~repro.core.policy_store.PolicyStore.apply` instead.
+    """
+
+
 class PolicyAction(str, enum.Enum):
     ALLOW = "allow"
     DENY = "deny"
@@ -134,6 +144,15 @@ class PolicyRule:
         target = self.target.lower()
         return target in (context.app_id.lower(), context.app_md5.lower())
 
+    def hash_matches_entry(self, entry) -> bool:
+        """HASH-level comparison against a database entry's identifiers.
+
+        The single definition shared by compilation, delta reachability
+        and the CLI compileability report, so hash-matching semantics
+        can never diverge between them.
+        """
+        return self.target.lower() in (entry.app_id.lower(), entry.md5.lower())
+
     def signature_matches(self, signature: str) -> bool:
         """True if the target matches ``signature`` at this rule's level or higher."""
         if self.level is PolicyLevel.HASH:
@@ -148,6 +167,25 @@ class PolicyRule:
         if self.level is PolicyLevel.HASH:
             return self._hash_matches(context)
         return any(self.signature_matches(s) for s in context.signatures)
+
+    def touches_app(self, entry) -> bool:
+        """Whether this rule can influence verdicts for ``entry``'s app.
+
+        This is the reachability primitive behind delta compilation: a
+        rule that matches none of an app's identifiers or signatures can
+        never change that app's verdicts (an empty deny index set never
+        triggers; an unsatisfiable allow rule is skipped — whitelist-mode
+        *transitions* are handled separately by the control plane), so
+        adding, removing or replacing it leaves the app's compiled policy
+        and cached flow verdicts valid.  Matchers that raise are assumed
+        to touch everything, matching the compile-time fallback.
+        """
+        if self.level is PolicyLevel.HASH:
+            return self.hash_matches_entry(entry)
+        try:
+            return bool(entry.matching_indexes(self.signature_matches))
+        except Exception:
+            return True
 
     def satisfies_allow(self, context: DecodedContext) -> bool:
         """Allow semantics: ∀ s matching at level ≥ L (or the hash matches)."""
@@ -188,8 +226,17 @@ class Policy:
     #: Bumped by :meth:`add_rule`; fast paths (compiled policies, flow
     #: caches) compare it to detect in-place rule additions.
     revision: int = field(default=0, compare=False, repr=False)
+    #: True for immutable snapshots derived by the policy control plane
+    #: (:class:`repro.core.policy_store.PolicyStore`); ``add_rule`` on a
+    #: frozen snapshot raises instead of desynchronising the store.
+    frozen: bool = field(default=False, compare=False, repr=False)
 
     def add_rule(self, rule: PolicyRule) -> None:
+        if self.frozen:
+            raise FrozenPolicyError(
+                f"policy {self.name!r} is an immutable control-plane snapshot; "
+                "apply a PolicyUpdate through the PolicyStore instead"
+            )
         self.rules.append(rule)
         self.revision += 1
 
@@ -363,8 +410,44 @@ class CompiledPolicy:
     def compiled_app_count(self) -> int:
         return sum(1 for compiled in self._apps.values() if compiled is not None)
 
+    def apply_delta(
+        self, policy: Policy, changed_rules: tuple[PolicyRule, ...]
+    ) -> set[str] | None:
+        """Incrementally re-lower after a control-plane delta.
+
+        ``policy`` is the new snapshot (same rule list minus the delta's
+        edits); only the apps a changed rule can :meth:`~PolicyRule.touches_app`
+        are recompiled — everything else keeps its compiled object, which
+        is what lets the enforcer keep those apps' flow-cache entries
+        warm.  Returns the set of recompiled (affected) app ids, or None
+        when the delta cannot be applied incrementally (the database
+        generation moved underneath us) and the caller must fall back to
+        a full invalidation.
+
+        Apps that previously failed to lower (``None`` entries backed by
+        a database app) are retried and always reported as affected: we
+        cannot reason about which rules touch an app we never compiled.
+        """
+        if self._generation != self.database.generation:
+            return None
+        self.policy = policy
+        self._rules = tuple(policy.rules)
+        self._default_action = policy.default_action
+        affected: set[str] = set()
+        for app_id, compiled in list(self._apps.items()):
+            entry = self.database.lookup_app_id(app_id)
+            if entry is None:
+                # Unknown app: its None entry stays None — packets from
+                # it are dropped before policy evaluation either way.
+                continue
+            if compiled is None or any(
+                rule.touches_app(entry) for rule in changed_rules
+            ):
+                self._apps[app_id] = self._compile_entry(entry)
+                affected.add(app_id)
+        return affected
+
     def _compile_entry(self, entry) -> CompiledAppPolicy | None:
-        identifiers = (entry.app_id.lower(), entry.md5.lower())
         deny: list[CompiledRule] = []
         allow: list[CompiledRule] = []
         for rule in self._rules:
@@ -372,7 +455,7 @@ class CompiledPolicy:
                 if rule.level is PolicyLevel.HASH:
                     compiled = CompiledRule(
                         rule=rule,
-                        hash_match=rule.target.lower() in identifiers,
+                        hash_match=rule.hash_matches_entry(entry),
                         index_set=frozenset(),
                     )
                 else:

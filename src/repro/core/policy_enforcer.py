@@ -37,6 +37,20 @@ implements:
 
 Both layers are verdict-preserving: for any replay, the fast path and
 the naive path produce identical verdicts, matched rules and reasons.
+
+Control plane
+-------------
+:meth:`PolicyEnforcer.set_policy` is the legacy whole-replacement path:
+it recompiles every app and flushes the entire flow cache.  Under
+continuous admin edits the enforcer instead subscribes to a
+:class:`~repro.core.policy_store.PolicyStore` and receives versioned
+:class:`~repro.core.policy_store.PolicyDelta` objects
+(:meth:`PolicyEnforcer.apply_policy_delta`): only the apps a changed
+rule can touch are recompiled, and only those apps' flow-cache entries
+are dropped (:meth:`FlowCache.invalidate_apps`), keeping unrelated hot
+flows warm across rule edits.  Whole-cache invalidation remains the
+fallback for database-generation changes and whitelist-mode
+transitions.
 """
 
 from __future__ import annotations
@@ -81,6 +95,14 @@ class EnforcerStats:
     cache_misses: int = 0
     cache_evictions: int = 0
     cache_invalidations: int = 0
+    #: Control-plane deltas applied (:meth:`PolicyEnforcer.apply_policy_delta`).
+    policy_deltas_applied: int = 0
+    #: Apps recompiled incrementally by deltas (vs whole-policy recompiles).
+    apps_recompiled: int = 0
+    #: Deltas that invalidated surgically instead of flushing the cache.
+    cache_surgical_invalidations: int = 0
+    #: Flow-cache entries dropped by surgical (per-app) invalidation.
+    cache_entries_invalidated: int = 0
     #: How many packets required a full index→string decode.
     full_decodes: int = 0
     #: Policy evaluations through the compiled (integer) path.
@@ -146,6 +168,19 @@ class FlowCache:
             return True
         return False
 
+    def invalidate_apps(self, app_ids: set[str]) -> int:
+        """Drop every cached verdict belonging to one of ``app_ids``.
+
+        The surgical counterpart of :meth:`clear`: a policy delta that
+        can only affect some apps removes exactly those apps' entries,
+        so unrelated hot flows keep their cached verdicts.  Returns the
+        number of entries removed.
+        """
+        stale = [key for key, value in self._entries.items() if value.app_id in app_ids]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
     def clear(self) -> None:
         self._entries.clear()
 
@@ -187,6 +222,9 @@ class PolicyEnforcer:
         self.flow_cache: FlowCache | None = (
             FlowCache(flow_cache_size) if flow_cache_size > 0 else None
         )
+        #: Control-plane policy version this enforcer has converged to
+        #: (0 until a PolicyStore syncs or deltas it).
+        self.policy_version = 0
         self._cache_generation = database.generation
         self._active_policy = self.policy
         self._active_revision = self.policy.revision
@@ -205,6 +243,63 @@ class PolicyEnforcer:
         """
         self.policy = policy
         self.invalidate_caches()
+
+    def sync_policy(self, policy: Policy, version: int) -> None:
+        """Full resync from a control plane: swap the policy, adopt its version.
+
+        Used by :meth:`repro.core.policy_store.PolicyStore.subscribe`
+        and :meth:`~repro.core.policy_store.PolicyStore.reset_to`; the
+        delta path is :meth:`apply_policy_delta`.
+        """
+        self.set_policy(policy)
+        self.policy_version = version
+
+    def apply_policy_delta(self, delta) -> None:
+        """Apply a versioned :class:`~repro.core.policy_store.PolicyDelta`.
+
+        The surgical path: recompile only the apps the delta's changed
+        rules can touch, and invalidate only those apps' flow-cache
+        entries.  Falls back to :meth:`invalidate_caches` (whole cache,
+        full recompile) when the delta says so (``delta.full``: default
+        action change or whitelist-mode transition), when this enforcer
+        runs without compilation, when the database generation moved, or
+        when the active policy does not match the delta's base — it was
+        mutated outside the control plane (in-place ``add_rule`` on the
+        live policy object), so the compiled state is not a valid base
+        for an incremental patch.  In every fallback the store's
+        snapshot still wins: enforcement converges to the store's rules,
+        never to a mix.
+        """
+        self.stats.policy_deltas_applied += 1
+        self.policy_version = delta.version
+        previous = self.policy
+        self.policy = delta.policy
+        if (
+            delta.full
+            or not self.compile_policy
+            or self._compiled is None
+            or previous is not self._active_policy
+            or previous.revision != self._active_revision
+            or len(previous.rules) != self._active_rule_count
+            or tuple(previous.rules) != delta.base_rules
+            or previous.default_action is not delta.base_default
+        ):
+            self.invalidate_caches()
+            return
+        affected = self._compiled.apply_delta(delta.policy, delta.changed_rules)
+        if affected is None:
+            self.invalidate_caches()
+            return
+        self._active_policy = self.policy
+        self._active_revision = self.policy.revision
+        self._active_rule_count = len(self.policy.rules)
+        self.stats.apps_recompiled += len(affected)
+        if self.flow_cache is not None:
+            self.stats.cache_surgical_invalidations += 1
+            if affected:
+                self.stats.cache_entries_invalidated += self.flow_cache.invalidate_apps(
+                    affected
+                )
 
     def invalidate_caches(self) -> None:
         """Recompile the policy and drop every cached flow verdict.

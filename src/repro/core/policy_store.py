@@ -1,0 +1,523 @@
+"""The versioned policy control plane.
+
+The paper treats the company policy as a static blob an administrator
+swaps wholesale; at production scale (continuous admin edits over a
+gateway serving millions of flows) that model collapses the fast path
+exactly when it matters, because every swap recompiles every app and
+flushes every cached flow verdict.  This module is the control plane
+that replaces it:
+
+* **addressable rules** — every rule in a :class:`PolicyStore` has a
+  stable id (``r1``, ``r2``, …) that survives serialization;
+* **delta updates** — mutations are :class:`PolicyUpdate` transactions
+  built from :class:`AddRule` / :class:`RemoveRule` / :class:`ReplaceRule` /
+  :class:`SetDefault` operations, applied atomically; every committed
+  transaction bumps a monotonic :attr:`PolicyStore.version`;
+* **immutable snapshots** — the store derives frozen
+  :class:`~repro.core.policy.Policy` snapshots; data-plane components
+  never see a half-applied transaction;
+* **surgical propagation** — subscribed enforcers receive a
+  :class:`PolicyDelta` naming exactly the rules whose membership
+  changed, so they can recompile only the apps those rules can touch
+  and invalidate only those apps' flow-cache entries
+  (:meth:`repro.core.policy_enforcer.PolicyEnforcer.apply_policy_delta`);
+* **first-class serialization** — :meth:`PolicyStore.to_json` /
+  :meth:`PolicyStore.from_json` persist rules in the paper's Snippet 1
+  grammar (each serialized rule is the grammar rendering, re-parsed on
+  load), so the on-disk format round-trips through the same parser the
+  text format uses.
+
+``Policy``-level full replacement remains available —
+:meth:`PolicyStore.set_policy` records it as one replace-all
+transaction — which is what keeps the legacy ``set_policy(policy)``
+entry points working as thin compatibility shims.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import Iterator
+
+from repro.core.policy import (
+    Policy,
+    PolicyAction,
+    PolicyParseError,
+    PolicyRule,
+    parse_policy,
+)
+
+
+class PolicyUpdateError(ValueError):
+    """Raised when a transaction cannot be applied; the store is unchanged."""
+
+
+def _next_free_id(taken, next_id: int) -> tuple[str, int]:
+    """The next unused ``rN`` id given already-taken ids and a counter."""
+    while f"r{next_id}" in taken:
+        next_id += 1
+    return f"r{next_id}", next_id + 1
+
+
+def _validate_rule(rule: PolicyRule, rule_id) -> None:
+    """Reject rules/ids that :meth:`PolicyStore.from_json` could not re-read.
+
+    Commit-time validation keeps the serialization round-trip total: any
+    state :meth:`PolicyStore.apply` accepts, ``from_json(to_json(...))``
+    can restore.
+    """
+    if rule_id is not None and not isinstance(rule_id, str):
+        raise PolicyUpdateError(f"rule id must be a string, got: {rule_id!r}")
+    if '"' in rule.target:
+        raise PolicyUpdateError(
+            f"rule target {rule.target!r} cannot be rendered in the Snippet 1 "
+            "grammar (double quotes are the target delimiter)"
+        )
+
+
+# -- update operations ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AddRule:
+    """Append ``rule``; ``rule_id`` is allocated at commit time if None."""
+
+    rule: PolicyRule
+    rule_id: str | None = None
+
+    def describe(self) -> str:
+        rid = self.rule_id or "r?"
+        return f"+ {rid} {self.rule.render()}"
+
+
+@dataclass(frozen=True)
+class RemoveRule:
+    rule_id: str
+
+    def describe(self) -> str:
+        return f"- {self.rule_id}"
+
+
+@dataclass(frozen=True)
+class ReplaceRule:
+    """Swap the rule behind ``rule_id`` in place (position preserved)."""
+
+    rule_id: str
+    rule: PolicyRule
+
+    def describe(self) -> str:
+        return f"~ {self.rule_id} {self.rule.render()}"
+
+
+@dataclass(frozen=True)
+class SetDefault:
+    action: PolicyAction
+
+    def describe(self) -> str:
+        return f"! default {self.action.value}"
+
+
+@dataclass
+class PolicyUpdate:
+    """A batch of operations applied as one atomic transaction.
+
+    The builder methods return ``self`` so updates chain fluently::
+
+        store.apply(
+            PolicyUpdate(reason="block flurry")
+            .add_rule(PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, "com/flurry"))
+            .remove_rule("r3")
+        )
+    """
+
+    ops: list = field(default_factory=list)
+    reason: str = ""
+
+    def add_rule(self, rule: PolicyRule, rule_id: str | None = None) -> "PolicyUpdate":
+        self.ops.append(AddRule(rule=rule, rule_id=rule_id))
+        return self
+
+    def remove_rule(self, rule_id: str) -> "PolicyUpdate":
+        self.ops.append(RemoveRule(rule_id=rule_id))
+        return self
+
+    def replace_rule(self, rule_id: str, rule: PolicyRule) -> "PolicyUpdate":
+        self.ops.append(ReplaceRule(rule_id=rule_id, rule=rule))
+        return self
+
+    def set_default(self, action: PolicyAction) -> "PolicyUpdate":
+        self.ops.append(SetDefault(action=action))
+        return self
+
+    def describe(self) -> str:
+        return "\n".join(op.describe() for op in self.ops) or "(no-op)"
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass(frozen=True)
+class PolicyDelta:
+    """What subscribers receive after a transaction commits.
+
+    ``changed_rules`` lists every rule whose membership changed (added,
+    removed, and both sides of a replace) — the reachability inputs for
+    surgical invalidation.  ``full`` is True when the delta's effect
+    cannot be localised to the apps those rules touch: the default
+    action changed, or the policy transitioned into/out of whitelist
+    mode (the presence of *any* allow rule changes the evaluation of
+    packets no individual rule matches).
+
+    ``base_rules``/``base_default`` record the store state the delta was
+    computed *from*; a subscriber whose active policy does not match the
+    base (it was mutated out of band, or synced from elsewhere) must not
+    patch incrementally — applying this delta there falls back to a full
+    resync to ``policy``, keeping enforcement consistent with the store.
+    """
+
+    version: int
+    policy: Policy
+    changed_rules: tuple[PolicyRule, ...]
+    full: bool
+    base_rules: tuple[PolicyRule, ...] = ()
+    base_default: PolicyAction = PolicyAction.ALLOW
+    reason: str = ""
+
+
+# -- the store -------------------------------------------------------------------------
+
+
+class PolicyStore:
+    """Addressable, versioned rule storage plus subscriber fan-out.
+
+    The store is the single writer: the data plane only ever sees the
+    frozen snapshots and deltas it derives.  ``version`` starts at 0 and
+    increases by exactly 1 per committed transaction (including
+    :meth:`reset_to` full syncs), so two replicas holding the same
+    version hold the same rules.
+    """
+
+    def __init__(
+        self,
+        name: str = "policy",
+        default_action: PolicyAction = PolicyAction.ALLOW,
+    ) -> None:
+        self.name = name
+        self._rules: dict[str, PolicyRule] = {}
+        self._default_action = default_action
+        self.version = 0
+        self._next_id = 1
+        self._snapshot: Policy | None = None
+        self._subscribers: list = []
+
+    @classmethod
+    def from_policy(cls, policy: Policy, name: str | None = None) -> "PolicyStore":
+        """Seed a store (version 0) from an existing policy's rules."""
+        store = cls(name=name or policy.name, default_action=policy.default_action)
+        for rule in policy.rules:
+            store._rules[store._allocate_id(store._rules)] = rule
+        return store
+
+    # -- read side ---------------------------------------------------------------------
+
+    @property
+    def default_action(self) -> PolicyAction:
+        return self._default_action
+
+    def rule_ids(self) -> list[str]:
+        return list(self._rules)
+
+    def items(self) -> list[tuple[str, PolicyRule]]:
+        return list(self._rules.items())
+
+    def get(self, rule_id: str) -> PolicyRule | None:
+        return self._rules.get(rule_id)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __iter__(self) -> Iterator[PolicyRule]:
+        return iter(self._rules.values())
+
+    def snapshot(self) -> Policy:
+        """The current rules as an immutable Policy (cached per version)."""
+        if self._snapshot is None:
+            self._snapshot = Policy(
+                rules=list(self._rules.values()),
+                default_action=self._default_action,
+                name=f"{self.name}@v{self.version}",
+                frozen=True,
+            )
+        return self._snapshot
+
+    # -- write side --------------------------------------------------------------------
+
+    def _allocate_id(self, taken: dict[str, PolicyRule]) -> str:
+        rule_id, self._next_id = _next_free_id(taken, self._next_id)
+        return rule_id
+
+    def apply(self, update: PolicyUpdate) -> PolicyDelta:
+        """Atomically commit ``update``; bump the version; notify subscribers.
+
+        Validation runs against a working copy, so a transaction that
+        fails (unknown or duplicate rule id) raises
+        :class:`PolicyUpdateError` and leaves the store untouched.
+        """
+        base_rules = tuple(self._rules.values())
+        base_default = self._default_action
+        working = dict(self._rules)
+        default = self._default_action
+        next_id = self._next_id
+        changed: list[PolicyRule] = []
+        for op in update.ops:
+            if isinstance(op, AddRule):
+                _validate_rule(op.rule, op.rule_id)
+                rule_id = op.rule_id
+                if rule_id is None:
+                    rule_id, next_id = _next_free_id(working, next_id)
+                elif rule_id in working:
+                    raise PolicyUpdateError(f"rule id {rule_id!r} already exists")
+                working[rule_id] = op.rule
+                changed.append(op.rule)
+            elif isinstance(op, RemoveRule):
+                if op.rule_id not in working:
+                    raise PolicyUpdateError(f"cannot remove unknown rule id {op.rule_id!r}")
+                changed.append(working.pop(op.rule_id))
+            elif isinstance(op, ReplaceRule):
+                _validate_rule(op.rule, op.rule_id)
+                old = working.get(op.rule_id)
+                if old is None:
+                    raise PolicyUpdateError(f"cannot replace unknown rule id {op.rule_id!r}")
+                if old != op.rule:
+                    changed.extend((old, op.rule))
+                working[op.rule_id] = op.rule
+            elif isinstance(op, SetDefault):
+                default = op.action
+            else:
+                raise PolicyUpdateError(f"unknown policy operation: {op!r}")
+
+        def has_allow(rules: dict[str, PolicyRule]) -> bool:
+            return any(rule.action is PolicyAction.ALLOW for rule in rules.values())
+
+        full = default is not self._default_action
+        if has_allow(self._rules) != has_allow(working):
+            full = True
+
+        self._rules = working
+        self._default_action = default
+        self._next_id = next_id
+        self.version += 1
+        self._snapshot = None
+        delta = PolicyDelta(
+            version=self.version,
+            policy=self.snapshot(),
+            changed_rules=tuple(dict.fromkeys(changed)),
+            full=full,
+            base_rules=base_rules,
+            base_default=base_default,
+            reason=update.reason,
+        )
+        self._notify(delta)
+        return delta
+
+    def set_policy(self, policy: Policy) -> PolicyDelta:
+        """Full replacement, recorded as one replace-all transaction.
+
+        Every old rule is removed and every new rule added, so the delta
+        is still surgical per app: apps no rule of either policy touches
+        keep their compiled state and cached flows.
+        """
+        update = PolicyUpdate(reason=f"replace all from {policy.name!r}")
+        for rule_id in self._rules:
+            update.remove_rule(rule_id)
+        for rule in policy.rules:
+            update.add_rule(rule)
+        if policy.default_action is not self._default_action:
+            update.set_default(policy.default_action)
+        return self.apply(update)
+
+    def reset_to(self, policy: Policy) -> int:
+        """Legacy full sync: adopt ``policy``'s rules and push the caller's
+        *object* (not a snapshot) to every subscriber by reference.
+
+        This is the compatibility path behind
+        :meth:`repro.core.deployment.BorderPatrolDeployment.set_policy`:
+        existing callers rely on the enforcer holding their Policy
+        instance so later in-place ``add_rule`` edits keep taking effect.
+        Mixing such in-place edits with subsequent :meth:`apply` calls is
+        unsupported — the next transaction rebuilds from the store's own
+        rule table.
+        """
+        self._rules = {}
+        self._next_id = 1
+        for rule in policy.rules:
+            self._rules[self._allocate_id(self._rules)] = rule
+        self._default_action = policy.default_action
+        self.version += 1
+        self._snapshot = None
+        for subscriber in self._subscribers:
+            subscriber.sync_policy(policy, self.version)
+        return self.version
+
+    # -- diffing ---------------------------------------------------------------------
+
+    def diff_update(self, target: Policy) -> PolicyUpdate:
+        """The smallest transaction turning this store's rules into ``target``'s.
+
+        Rules are matched by value; surviving rules keep their ids.  If
+        the edit cannot be expressed as removals plus appended additions
+        without reordering the surviving rules (rule order is
+        significant: the first matching rule wins ties), the update falls
+        back to a full replace-all so snapshot evaluation order is
+        preserved exactly.
+        """
+        update = PolicyUpdate(reason=f"diff to {target.name!r}")
+        target_rules = list(target.rules)
+
+        # Multiset of rules present on both sides.
+        kept: dict[PolicyRule, int] = {}
+        remaining = list(target_rules)
+        for rule in self._rules.values():
+            if rule in remaining:
+                remaining.remove(rule)
+                kept[rule] = kept.get(rule, 0) + 1
+
+        def kept_sequence(rules) -> list[PolicyRule]:
+            budget = dict(kept)
+            sequence = []
+            for rule in rules:
+                if budget.get(rule, 0) > 0:
+                    budget[rule] -= 1
+                    sequence.append(rule)
+            return sequence
+
+        kept_in_current = kept_sequence(self._rules.values())
+        added = remaining  # target rules with no current counterpart, in order
+        # After removals the store keeps kept_in_current's order; adds append.
+        if kept_in_current + added != target_rules:
+            update.reason = f"replace all (reordered) from {target.name!r}"
+            for rule_id in self._rules:
+                update.remove_rule(rule_id)
+            for rule in target_rules:
+                update.add_rule(rule)
+        else:
+            budget = dict(kept)
+            for rule_id, rule in self._rules.items():
+                if budget.get(rule, 0) > 0:
+                    budget[rule] -= 1
+                else:
+                    update.remove_rule(rule_id)
+            for rule in added:
+                update.add_rule(rule)
+        if target.default_action is not self._default_action:
+            update.set_default(target.default_action)
+        return update
+
+    # -- subscribers -------------------------------------------------------------------
+
+    def subscribe(self, enforcer, push: bool = True) -> None:
+        """Register a data-plane consumer of this store's deltas.
+
+        ``enforcer`` must expose ``apply_policy_delta(delta)`` and
+        ``sync_policy(policy, version)`` — both
+        :class:`~repro.core.policy_enforcer.PolicyEnforcer` and
+        :class:`~repro.netstack.sharding.ShardedEnforcer` do.  With
+        ``push`` (the default) the subscriber is immediately fully
+        synced to the current snapshot and version; pass ``push=False``
+        when the subscriber was constructed from this store's state
+        already.
+        """
+        self._subscribers.append(enforcer)
+        if push:
+            enforcer.sync_policy(self.snapshot(), self.version)
+
+    def unsubscribe(self, enforcer) -> None:
+        if enforcer in self._subscribers:
+            self._subscribers.remove(enforcer)
+
+    def _notify(self, delta: PolicyDelta) -> None:
+        for subscriber in self._subscribers:
+            subscriber.apply_policy_delta(delta)
+
+    # -- persistence -------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize: rules are stored as their Snippet 1 grammar rendering.
+
+        Rules that entered through :meth:`apply` are round-trip-safe by
+        construction; seeding paths (:meth:`from_policy`, :meth:`reset_to`)
+        stay permissive for legacy enforcement, so unserializable targets
+        are rejected here rather than written as unreadable grammar.
+        """
+        for rule_id, rule in self._rules.items():
+            if '"' in rule.target:
+                raise PolicyParseError(
+                    f"rule {rule_id!r} target {rule.target!r} cannot be rendered "
+                    "in the Snippet 1 grammar"
+                )
+        payload = {
+            "name": self.name,
+            "version": self.version,
+            "default_action": self._default_action.value,
+            "rules": [
+                {
+                    "id": rule_id,
+                    "rule": rule.render(),
+                    **({"comment": rule.comment} if rule.comment else {}),
+                }
+                for rule_id, rule in self._rules.items()
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PolicyStore":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PolicyParseError(f"policy store json is unreadable: {exc}") from exc
+        if not isinstance(payload, dict) or "rules" not in payload:
+            raise PolicyParseError("policy store json needs a top-level 'rules' list")
+        try:
+            default_action = PolicyAction(payload.get("default_action", "allow"))
+        except ValueError as exc:
+            raise PolicyParseError(f"unknown default action: {payload['default_action']!r}") from exc
+        store = cls(name=payload.get("name", "policy"), default_action=default_action)
+        for body in payload["rules"]:
+            if not isinstance(body, dict) or "rule" not in body:
+                raise PolicyParseError(f"malformed rule entry in store json: {body!r}")
+            parsed = parse_policy(body["rule"])
+            if len(parsed.rules) != 1:
+                raise PolicyParseError(
+                    f"expected exactly one rule per entry, got: {body['rule']!r}"
+                )
+            rule = parsed.rules[0]
+            if body.get("comment"):
+                rule = dataclass_replace(rule, comment=body["comment"])
+            rule_id = body.get("id") or store._allocate_id(store._rules)
+            if not isinstance(rule_id, str):
+                raise PolicyParseError(f"rule id must be a string, got: {rule_id!r}")
+            if rule_id in store._rules:
+                raise PolicyParseError(f"duplicate rule id in store json: {rule_id!r}")
+            store._rules[rule_id] = rule
+        # Future ids must not collide with loaded numeric ids.
+        for rule_id in store._rules:
+            if rule_id.startswith("r") and rule_id[1:].isdigit():
+                store._next_id = max(store._next_id, int(rule_id[1:]) + 1)
+        version = payload.get("version", 0)
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise PolicyParseError(f"store version must be an integer, got: {version!r}")
+        store.version = version
+        return store
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "PolicyStore":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -11,7 +11,18 @@ paper-vs-measured numbers.
 
 from repro.experiments.common import CorpusRunResult, run_corpus, format_table
 from repro.experiments.fig3_ioi import Fig3Result, run_fig3
-from repro.experiments.fig4_latency import Fig4Result, run_fig4, CONFIGURATIONS
+from repro.experiments.fig4_latency import (
+    Fig4Result,
+    Fig4ThroughputResult,
+    run_fig4,
+    run_fig4_gateway_throughput,
+    CONFIGURATIONS,
+)
+from repro.experiments.policy_churn import (
+    ChurnPathResult,
+    PolicyChurnResult,
+    run_policy_churn,
+)
 from repro.experiments.table_validation import ValidationResult, run_validation
 from repro.experiments.case_studies import (
     CaseStudyResult,
@@ -32,8 +43,13 @@ __all__ = [
     "Fig3Result",
     "run_fig3",
     "Fig4Result",
+    "Fig4ThroughputResult",
     "run_fig4",
+    "run_fig4_gateway_throughput",
     "CONFIGURATIONS",
+    "ChurnPathResult",
+    "PolicyChurnResult",
+    "run_policy_churn",
     "ValidationResult",
     "run_validation",
     "CaseStudyResult",

@@ -36,6 +36,7 @@ from repro.core.policy import Policy
 from repro.core.policy_enforcer import PolicyEnforcer
 from repro.experiments.common import format_table
 from repro.netstack.sockets import KernelConfig
+from repro.network.capture import CapturePoint
 from repro.network.server import STRESS_PAGE_BYTES
 from repro.network.topology import EnterpriseNetwork
 from repro.workloads.stress import STRESS_SERVER_NAME, build_stress_app, run_stress_test, StressResult
@@ -118,7 +119,21 @@ def _make_network() -> EnterpriseNetwork:
     return network
 
 
-def _run_configuration(configuration: str, iterations: int, cost_model: CostModel) -> StressResult:
+@dataclass
+class _ConfigurationRun:
+    """One configuration's stress result plus the stack it ran on."""
+
+    stress: StressResult
+    network: EnterpriseNetwork
+    database: SignatureDatabase
+
+
+def _run_configuration(
+    configuration: str,
+    iterations: int,
+    cost_model: CostModel,
+    enforcer_shards: int = 1,
+) -> _ConfigurationRun:
     """Stand up one configuration and run the stress loop on it."""
     network = _make_network()
     stress_app = build_stress_app()
@@ -132,12 +147,18 @@ def _run_configuration(configuration: str, iterations: int, cost_model: CostMode
 
     database = SignatureDatabase()
     if with_nfqueue:
-        enforcer = PolicyEnforcer(
+        enforcer_kwargs = dict(
             database=database,
             policy=Policy.allow_all(),
             drop_untagged=False,
             drop_unknown_apps=False,
         )
+        if enforcer_shards > 1:
+            from repro.netstack.sharding import ShardedEnforcer
+
+            enforcer = ShardedEnforcer(num_shards=enforcer_shards, **enforcer_kwargs)
+        else:
+            enforcer = PolicyEnforcer(**enforcer_kwargs)
         network.install_queue_chain(
             enforcer=enforcer,
             sanitizer=PacketSanitizer(),
@@ -159,7 +180,8 @@ def _run_configuration(configuration: str, iterations: int, cost_model: CostMode
 
     device.install(stress_app.apk, stress_app.behavior)
     process = device.launch(stress_app.package_name)
-    return run_stress_test(process, iterations=iterations, configuration=configuration)
+    stress = run_stress_test(process, iterations=iterations, configuration=configuration)
+    return _ConfigurationRun(stress=stress, network=network, database=database)
 
 
 def run_fig4(iterations: int = 500, cost_model: CostModel | None = None) -> Fig4Result:
@@ -172,5 +194,90 @@ def run_fig4(iterations: int = 500, cost_model: CostModel | None = None) -> Fig4
     cost_model = cost_model or CostModel()
     result = Fig4Result()
     for configuration in CONFIGURATIONS:
-        result.results[configuration] = _run_configuration(configuration, iterations, cost_model)
+        result.results[configuration] = _run_configuration(
+            configuration, iterations, cost_model
+        ).stress
     return result
+
+
+@dataclass
+class Fig4ThroughputResult:
+    """The Figure-4 workload driven through the sharded gateway.
+
+    Latency is the stress app's simulated per-request mean (the paper's
+    Figure 4 metric); throughput is measured by replaying the tagged
+    packets the stress run actually presented to the gateway through the
+    ``--queue-balance`` sharded enforcer — ``parallel_wall_s`` models
+    the parallel deployment (slowest shard), ``serial_wall_s`` what a
+    single-queue gateway would pay for the same burst.
+    """
+
+    iterations: int
+    shards: int
+    mean_latency_ms: float
+    packets: int
+    parallel_wall_s: float
+    serial_wall_s: float
+    shard_packet_counts: tuple[int, ...]
+
+    @property
+    def kpps(self) -> float:
+        return self.packets / self.parallel_wall_s / 1e3 if self.parallel_wall_s > 0 else float("inf")
+
+    @property
+    def single_queue_kpps(self) -> float:
+        return self.packets / self.serial_wall_s / 1e3 if self.serial_wall_s > 0 else float("inf")
+
+    def summary(self) -> str:
+        return (
+            f"fig4 stress workload through the sharded gateway "
+            f"({self.iterations} iterations, {self.shards} shards):\n"
+            f"  mean per-request latency: {self.mean_latency_ms:.2f} ms (simulated)\n"
+            f"  gateway throughput on the replayed tagged packets: "
+            f"{self.kpps:.1f} kpps modelled parallel "
+            f"({self.single_queue_kpps:.1f} kpps single queue, "
+            f"{self.packets} packets over shards {list(self.shard_packet_counts)})"
+        )
+
+
+def run_fig4_gateway_throughput(
+    iterations: int = 300,
+    shards: int = 4,
+    cost_model: CostModel | None = None,
+) -> Fig4ThroughputResult:
+    """Drive the Figure-4 experiment through the sharded gateway.
+
+    Runs the full ``dynamic-tap-nfqueue`` configuration with the Policy
+    Enforcer sharded behind an ``NFQUEUE --queue-balance`` range, then
+    replays the tagged packets captured in front of the enforcer through
+    a fresh sharded enforcer to measure gateway packets-per-second on
+    exactly the traffic the latency experiment generated — the
+    throughput figure the ROADMAP asked for alongside Figure 4's
+    latency.
+    """
+    from repro.netstack.sharding import ShardedEnforcer
+
+    if shards < 1:
+        raise ValueError("need at least one enforcer shard")
+    run = _run_configuration(
+        "dynamic-tap-nfqueue", iterations, cost_model or CostModel(), enforcer_shards=shards
+    )
+    tagged = run.network.capture.tagged(CapturePoint.PRE_ENFORCER)
+    replay_enforcer = ShardedEnforcer(
+        database=run.database,
+        policy=Policy.allow_all(),
+        num_shards=shards,
+        drop_untagged=False,
+        drop_unknown_apps=False,
+        keep_records=False,
+    )
+    batch = replay_enforcer.process_batch_timed(tagged)
+    return Fig4ThroughputResult(
+        iterations=iterations,
+        shards=shards,
+        mean_latency_ms=run.stress.mean_ms,
+        packets=batch.packets,
+        parallel_wall_s=batch.parallel_wall_s,
+        serial_wall_s=batch.serial_wall_s,
+        shard_packet_counts=tuple(batch.shard_packet_counts),
+    )

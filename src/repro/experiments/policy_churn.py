@@ -1,0 +1,307 @@
+"""Sustained gateway throughput under continuous policy churn.
+
+The ROADMAP north-star (millions of users, continuous admin edits)
+stresses the one weakness of the PR-1 fast path: the legacy
+``set_policy`` whole-replacement flushes every cached flow verdict and
+recompiles every app on *every* rule edit, collapsing the flow cache
+exactly when the gateway is busiest.  The versioned control plane
+(:mod:`repro.core.policy_store`) replaces that with delta transactions
+and surgical invalidation; this driver measures what that buys.
+
+One heavy-tailed replay is processed in bursts; between bursts an
+administrator toggles a deny rule targeting a library present in only
+**one** app (the app's own package prefix), so every other app's flows
+are provably unaffected.  The identical burst + edit schedule runs
+through:
+
+* ``delta``     — a :class:`~repro.core.policy_store.PolicyStore`
+  subscriber: each edit recompiles only the one touched app and drops
+  only its flow-cache entries;
+* ``flush``     — the legacy baseline: each edit is a full
+  ``set_policy`` replacement (whole-cache flush, lazy full recompile);
+* ``delta-sharded-N`` — the delta path broadcast over N enforcer
+  shards (modelled parallel wall-clock), verifying the versioned
+  broadcast converges.
+
+All paths must produce the identical verdict sequence: the delta path
+is an optimisation of *when* compilation happens, never of *what* the
+policy decides.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.encoding import StackTraceEncoder
+from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.core.policy_enforcer import PolicyEnforcer
+from repro.core.policy_store import PolicyStore, PolicyUpdate
+from repro.experiments.common import format_table
+from repro.experiments.gateway_throughput import (
+    DEFAULT_DENY_LIBRARIES,
+    build_replay,
+    build_signature_database,
+)
+from repro.netstack.netfilter import Verdict
+from repro.netstack.sharding import ShardedEnforcer
+
+#: Stable rule id the churn schedule toggles in the policy store.
+CHURN_RULE_ID = "churn"
+
+
+@dataclass
+class ChurnPathResult:
+    """Counters and wall-clock for one enforcement path over the schedule."""
+
+    name: str
+    packets: int
+    wall_s: float
+    verdicts: tuple[Verdict, ...]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    whole_flushes: int = 0
+    surgical_invalidations: int = 0
+    entries_invalidated: int = 0
+    apps_recompiled: int = 0
+    final_policy_version: int = 0
+
+    @property
+    def pps(self) -> float:
+        return self.packets / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+@dataclass
+class PolicyChurnResult:
+    """All paths measured over one identical replay + edit schedule."""
+
+    packets: int
+    flows: int
+    edits: int
+    churn_library: str
+    churn_app: str
+    churn_app_packets: int
+    results: dict[str, ChurnPathResult] = field(default_factory=dict)
+
+    @property
+    def unaffected_packets(self) -> int:
+        return self.packets - self.churn_app_packets
+
+    @property
+    def verdicts_match(self) -> bool:
+        sequences = [result.verdicts for result in self.results.values()]
+        return all(sequence == sequences[0] for sequence in sequences[1:])
+
+    def pps(self, name: str) -> float:
+        return self.results[name].pps
+
+    def speedup(self, name: str, baseline: str = "flush") -> float:
+        return self.pps(name) / self.pps(baseline)
+
+    def table(self) -> str:
+        rows = []
+        for name, result in self.results.items():
+            rows.append(
+                (
+                    name,
+                    result.packets,
+                    f"{result.wall_s * 1e3:.1f}",
+                    f"{result.pps / 1e3:.1f}",
+                    f"{result.hit_rate * 100:.1f}%",
+                    result.whole_flushes,
+                    result.surgical_invalidations,
+                    result.entries_invalidated,
+                    result.apps_recompiled,
+                )
+            )
+        table = format_table(
+            (
+                "configuration",
+                "packets",
+                "wall (ms)",
+                "kpps",
+                "hit rate",
+                "whole flushes",
+                "surgical",
+                "entries inval",
+                "apps recompiled",
+            ),
+            rows,
+        )
+        return table + (
+            f"\n{self.edits} edits toggling deny [library][\"{self.churn_library}\"] "
+            f"(touches only {self.churn_app}: {self.churn_app_packets} of "
+            f"{self.packets} packets)"
+            f"\nall paths verdict-identical: {self.verdicts_match}"
+        )
+
+
+def _count_churn_packets(replay, churn_app_id: str) -> int:
+    encoder = StackTraceEncoder()
+    count = 0
+    for packet in replay:
+        tag_bytes = encoder.extract_tag_bytes(packet.options)
+        if tag_bytes is not None and encoder.decode(tag_bytes).app_id == churn_app_id:
+            count += 1
+    return count
+
+
+def _split_bursts(replay, edits: int) -> list[list]:
+    burst_count = edits + 1
+    size = max(1, len(replay) // burst_count)
+    bursts = [replay[i * size : (i + 1) * size] for i in range(burst_count - 1)]
+    bursts.append(replay[(burst_count - 1) * size :])
+    return [burst for burst in bursts if burst]
+
+
+def _run_schedule(name, enforcer, apply_edit, bursts, sharded: bool) -> ChurnPathResult:
+    """Process every burst, applying one edit between consecutive bursts.
+
+    Edit-application time is charged to the path's wall-clock: the
+    control-plane cost of an update is part of what the schedule
+    compares.
+    """
+    verdicts: list[Verdict] = []
+    wall = 0.0
+    for index, burst in enumerate(bursts):
+        if sharded:
+            batch = enforcer.process_batch_timed(burst)
+            wall += batch.parallel_wall_s
+            verdicts.extend(verdict for verdict, _ in batch.results)
+        else:
+            started = time.perf_counter()
+            processed = enforcer.process_batch(burst)
+            wall += time.perf_counter() - started
+            verdicts.extend(verdict for verdict, _ in processed)
+        if index < len(bursts) - 1:
+            started = time.perf_counter()
+            apply_edit(index)
+            wall += time.perf_counter() - started
+    stats = enforcer.stats
+    return ChurnPathResult(
+        name=name,
+        packets=len(verdicts),
+        wall_s=wall,
+        verdicts=tuple(verdicts),
+        cache_hits=stats.cache_hits,
+        cache_misses=stats.cache_misses,
+        whole_flushes=stats.cache_invalidations,
+        surgical_invalidations=stats.cache_surgical_invalidations,
+        entries_invalidated=stats.cache_entries_invalidated,
+        apps_recompiled=stats.apps_recompiled,
+        final_policy_version=enforcer.policy_version,
+    )
+
+
+def _delta_editor(store: PolicyStore, churn_rule: PolicyRule):
+    def apply_edit(_index: int) -> None:
+        if CHURN_RULE_ID in store:
+            store.apply(PolicyUpdate(reason="unblock churn library").remove_rule(CHURN_RULE_ID))
+        else:
+            store.apply(
+                PolicyUpdate(reason="block churn library").add_rule(
+                    churn_rule, rule_id=CHURN_RULE_ID
+                )
+            )
+
+    return apply_edit
+
+
+def run_policy_churn(
+    packets: int = 10_000,
+    flows: int = 256,
+    edits: int = 24,
+    corpus_apps: int = 6,
+    seed: int = 7,
+    shards: int = 4,
+    flow_cache_size: int = 4096,
+) -> PolicyChurnResult:
+    """Measure delta vs whole-flush policy updates over one identical replay."""
+    if packets < 1:
+        raise ValueError("the replay needs at least one packet")
+    if edits < 1:
+        raise ValueError("a churn run needs at least one policy edit")
+    if corpus_apps < 2:
+        raise ValueError("churn needs >= 2 corpus apps so unaffected apps exist")
+    if packets <= edits:
+        raise ValueError("need more packets than edits so every burst is non-empty")
+
+    database = build_signature_database(corpus_apps=corpus_apps, seed=seed)
+    entries = database.entries()
+    replay = build_replay(entries, packets=packets, flows=flows, seed=seed)
+    bursts = _split_bursts(replay, edits)
+
+    churn_entry = entries[0]
+    churn_library = churn_entry.package_name.replace(".", "/")
+    churn_rule = PolicyRule(
+        action=PolicyAction.DENY, level=PolicyLevel.LIBRARY, target=churn_library
+    )
+    base = Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="churn-base")
+
+    result = PolicyChurnResult(
+        packets=len(replay),
+        flows=flows,
+        edits=len(bursts) - 1,
+        churn_library=churn_library,
+        churn_app=churn_entry.package_name,
+        churn_app_packets=_count_churn_packets(replay, churn_entry.app_id),
+    )
+
+    # Delta path: a store subscriber receiving surgical invalidations.
+    store = PolicyStore.from_policy(base)
+    delta_enforcer = PolicyEnforcer(
+        database=database,
+        policy=store.snapshot(),
+        keep_records=False,
+        flow_cache_size=flow_cache_size,
+    )
+    store.subscribe(delta_enforcer, push=False)
+    result.results["delta"] = _run_schedule(
+        "delta", delta_enforcer, _delta_editor(store, churn_rule), bursts, sharded=False
+    )
+
+    # Flush baseline: every edit is a legacy whole-replacement set_policy.
+    flush_enforcer = PolicyEnforcer(
+        database=database,
+        policy=Policy(rules=list(base.rules), default_action=base.default_action, name="flush-v0"),
+        keep_records=False,
+        flow_cache_size=flow_cache_size,
+    )
+    churn_active = {"on": False}
+
+    def flush_edit(index: int) -> None:
+        churn_active["on"] = not churn_active["on"]
+        rules = list(base.rules) + ([churn_rule] if churn_active["on"] else [])
+        flush_enforcer.set_policy(
+            Policy(rules=rules, default_action=base.default_action, name=f"flush-v{index + 1}")
+        )
+
+    result.results["flush"] = _run_schedule(
+        "flush", flush_enforcer, flush_edit, bursts, sharded=False
+    )
+
+    # Delta path over the sharded gateway: versioned broadcast to N shards.
+    if shards >= 2:
+        sharded_store = PolicyStore.from_policy(base)
+        sharded_enforcer = ShardedEnforcer(
+            database=database,
+            policy=sharded_store.snapshot(),
+            num_shards=shards,
+            keep_records=False,
+            flow_cache_size=flow_cache_size,
+        )
+        sharded_store.subscribe(sharded_enforcer, push=False)
+        result.results[f"delta-sharded-{shards}"] = _run_schedule(
+            f"delta-sharded-{shards}",
+            sharded_enforcer,
+            _delta_editor(sharded_store, churn_rule),
+            bursts,
+            sharded=True,
+        )
+
+    return result

@@ -96,6 +96,38 @@ class ShardedEnforcer:
         for shard in self.shards:
             shard.set_policy(policy)
 
+    def sync_policy(self, policy, version: int) -> None:
+        """Full control-plane resync, broadcast to every shard."""
+        for shard in self.shards:
+            shard.sync_policy(policy, version)
+
+    def apply_policy_delta(self, delta) -> None:
+        """Versioned broadcast of a control-plane delta.
+
+        Every shard applies the same
+        :class:`~repro.core.policy_store.PolicyDelta` (each patches its
+        own compiled policy and surgically invalidates its own flow
+        cache), so after the loop all shards have converged to
+        ``delta.version`` — see :attr:`policy_version`.
+        """
+        for shard in self.shards:
+            shard.apply_policy_delta(delta)
+
+    @property
+    def policy_version(self) -> int:
+        """The policy version every shard has converged to.
+
+        Raises if the shards have somehow diverged — with the
+        synchronous broadcast of :meth:`apply_policy_delta` that would
+        mean a shard was policy-edited behind the sharder's back.
+        """
+        versions = {shard.policy_version for shard in self.shards}
+        if len(versions) > 1:
+            raise RuntimeError(
+                f"enforcer shards diverged across policy versions: {sorted(versions)}"
+            )
+        return next(iter(versions))
+
     def invalidate_caches(self) -> None:
         for shard in self.shards:
             shard.invalidate_caches()

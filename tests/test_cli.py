@@ -40,6 +40,82 @@ class TestCheckPolicyCommand:
         assert main(["check-policy", str(policy_file)]) == 1
         assert "rejected" in capsys.readouterr().err
 
+    def test_json_store_format(self, tmp_path, capsys):
+        from repro.core.policy import Policy
+        from repro.core.policy_store import PolicyStore
+
+        store_file = tmp_path / "store.json"
+        PolicyStore.from_policy(
+            Policy.deny_libraries(["com/flurry"]), name="corp"
+        ).save(store_file)
+        assert main(["check-policy", str(store_file), "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        assert "'corp'" in out and "r1" in out and "com/flurry" in out
+
+    def test_compileability_report_against_database(self, tmp_path, capsys):
+        database_file = tmp_path / "db.json"
+        assert main(["analyze", "--output", str(database_file), "--corpus-apps", "3"]) == 0
+        policy_file = tmp_path / "policy.txt"
+        policy_file.write_text(
+            '{[deny][library]["com/flurry"]}\n{[allow][hash]["da6880ab1f9919747d39e2bd895b95a5"]}\n'
+        )
+        assert main(["check-policy", str(policy_file), "--database", str(database_file)]) == 0
+        out = capsys.readouterr().out
+        assert "compiles for" in out and "methods matched" in out
+        assert "hash rule: matches 0/3 enrolled apps" in out
+
+
+class TestPolicyControlPlaneCommands:
+    def test_push_creates_store_and_diff_reports_delta(self, tmp_path, capsys):
+        policy_file = tmp_path / "corp.txt"
+        policy_file.write_text('{[deny][library]["com/flurry"]}\n')
+        store_file = tmp_path / "store.json"
+        assert main(["policy", "push", str(policy_file), "--store", str(store_file)]) == 0
+        out = capsys.readouterr().out
+        assert "version 0 -> 1" in out and store_file.exists()
+
+        updated = tmp_path / "corp2.txt"
+        updated.write_text(
+            '{[deny][library]["com/flurry"]}\n{[deny][library]["com/mixpanel"]}\n'
+        )
+        assert main(["policy", "diff", str(store_file), str(updated)]) == 0
+        out = capsys.readouterr().out
+        assert "com/mixpanel" in out and "1 op(s)" in out
+
+        assert main(["policy", "push", str(updated), "--store", str(store_file)]) == 0
+        out = capsys.readouterr().out
+        assert "version 1 -> 2" in out and "surgical" in out
+
+    def test_push_dry_run_leaves_store_untouched(self, tmp_path, capsys):
+        policy_file = tmp_path / "corp.txt"
+        policy_file.write_text('{[deny][library]["com/flurry"]}\n')
+        store_file = tmp_path / "store.json"
+        assert main(
+            ["policy", "push", str(policy_file), "--store", str(store_file), "--dry-run"]
+        ) == 0
+        assert "dry run" in capsys.readouterr().out
+        assert not store_file.exists()
+
+    def test_push_rejects_bad_policy(self, tmp_path, capsys):
+        policy_file = tmp_path / "bad.txt"
+        policy_file.write_text("{[deny][library][unquoted]}")
+        assert main(
+            ["policy", "push", str(policy_file), "--store", str(tmp_path / "s.json")]
+        ) == 1
+        assert "rejected" in capsys.readouterr().err
+
+
+class TestPolicyChurnCommand:
+    def test_policy_churn_reports_delta_vs_flush(self, capsys):
+        assert main(
+            ["policy-churn", "--packets", "800", "--flows", "32", "--edits", "4",
+             "--shards", "2", "--corpus-apps", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        for configuration in ("delta", "flush", "delta-sharded-2"):
+            assert configuration in out
+        assert "all paths verdict-identical: True" in out
+
 
 class TestCaseStudyCommand:
     def test_facebook_case_study(self, capsys):
@@ -53,12 +129,22 @@ class TestGatewayBenchCommand:
     def test_gateway_bench_reports_fast_path_table(self, capsys):
         assert main(
             ["gateway-bench", "--packets", "600", "--flows", "32", "--shards", "2",
-             "--corpus-apps", "2"]
+             "--corpus-apps", "2", "--fig4-iterations", "0"]
         ) == 0
         out = capsys.readouterr().out
         for configuration in ("naive", "compiled", "cached", "sharded-1", "sharded-2"):
             assert configuration in out
         assert "all paths verdict-identical: True" in out
+
+    def test_gateway_bench_surfaces_fig4_throughput(self, capsys):
+        assert main(
+            ["gateway-bench", "--packets", "400", "--flows", "16", "--shards", "2",
+             "--corpus-apps", "2", "--fig4-iterations", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig4 stress workload through the sharded gateway" in out
+        assert "mean per-request latency" in out
+        assert "kpps modelled parallel" in out
 
 
 class TestParser:

@@ -10,7 +10,12 @@ import pytest
 from repro.experiments.common import format_table, run_corpus
 from repro.experiments.case_studies import run_flow_size_study
 from repro.experiments.fig3_ioi import run_fig3
-from repro.experiments.fig4_latency import CONFIGURATIONS, run_fig4
+from repro.experiments.fig4_latency import (
+    CONFIGURATIONS,
+    run_fig4,
+    run_fig4_gateway_throughput,
+)
+from repro.experiments.policy_churn import run_policy_churn
 from repro.experiments.table_validation import run_validation, select_validation_apps
 from repro.core.policy import Policy
 from repro.workloads.corpus import CorpusConfig, CorpusGenerator
@@ -54,6 +59,40 @@ class TestFig4Driver:
         assert set(result.results) == set(CONFIGURATIONS)
         assert "configuration" in result.table()
         assert result.mean_ms("dynamic-tap-nfqueue") > result.mean_ms("default-tap")
+
+    def test_sharded_gateway_throughput_alongside_latency(self):
+        result = run_fig4_gateway_throughput(iterations=30, shards=2)
+        assert result.mean_latency_ms > 0
+        # Every tagged stress packet is replayed through the shards.
+        assert result.packets > 0
+        assert sum(result.shard_packet_counts) == result.packets
+        assert result.parallel_wall_s <= result.serial_wall_s
+        assert "kpps" in result.summary() and "latency" in result.summary()
+
+    def test_sharded_gateway_throughput_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            run_fig4_gateway_throughput(iterations=10, shards=0)
+
+
+class TestPolicyChurnDriver:
+    def test_small_run_shapes_and_invariants(self):
+        result = run_policy_churn(packets=600, flows=24, edits=3, corpus_apps=3, shards=2)
+        assert set(result.results) == {"delta", "flush", "delta-sharded-2"}
+        assert result.verdicts_match
+        delta = result.results["delta"]
+        assert delta.whole_flushes == 0
+        assert delta.surgical_invalidations == result.edits
+        assert result.results["flush"].whole_flushes == result.edits
+        assert 0 < result.churn_app_packets < result.packets
+        assert "verdict-identical: True" in result.table()
+
+    def test_rejects_degenerate_configurations(self):
+        with pytest.raises(ValueError):
+            run_policy_churn(packets=10, edits=0)
+        with pytest.raises(ValueError):
+            run_policy_churn(packets=5, edits=10)
+        with pytest.raises(ValueError):
+            run_policy_churn(corpus_apps=1)
 
 
 class TestValidationDriver:

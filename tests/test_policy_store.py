@@ -1,0 +1,477 @@
+"""Tests for the versioned policy control plane.
+
+Covers the store itself (addressable rules, atomic transactions,
+versioning, serialization, diffing), the surgical data-plane path
+(delta compilation, per-app flow-cache invalidation, the fallbacks that
+must stay whole-cache), the sharded versioned broadcast, and the
+deployment-level ``apply_update`` / ``set_policy``-shim contract.
+"""
+
+import pytest
+
+from repro.core.database import DatabaseEntry, SignatureDatabase
+from repro.core.encoding import StackTraceEncoder
+from repro.core.policy import (
+    FrozenPolicyError,
+    Policy,
+    PolicyAction,
+    PolicyLevel,
+    PolicyParseError,
+    PolicyRule,
+)
+from repro.core.policy_enforcer import PolicyEnforcer
+from repro.core.policy_store import (
+    PolicyStore,
+    PolicyUpdate,
+    PolicyUpdateError,
+)
+from repro.netstack.ip import IPPacket
+from repro.netstack.netfilter import Verdict
+from repro.netstack.sharding import ShardedEnforcer
+
+APP_A_MD5 = "aa" * 16
+APP_A_ID = APP_A_MD5[:16]
+APP_B_MD5 = "bb" * 16
+APP_B_ID = APP_B_MD5[:16]
+
+SIGNATURES_A = [
+    "Lcom/alpha/app/MainActivity;->onClick(Landroid/view/View;)V",
+    "Lcom/alpha/app/net/ApiClient;->upload([B)Z",
+    "Lcom/flurry/sdk/FlurryAgent;->logEvent(Ljava/lang/String;)V",
+]
+SIGNATURES_B = [
+    "Lcom/beta/app/MainActivity;->onClick(Landroid/view/View;)V",
+    "Lcom/beta/app/net/Sync;->push([B)Z",
+    "Lcom/mixpanel/android/Tracker;->track(Ljava/lang/String;)V",
+]
+
+DENY_FLURRY = PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, "com/flurry")
+DENY_MIXPANEL = PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, "com/mixpanel")
+
+
+@pytest.fixture()
+def database():
+    db = SignatureDatabase()
+    db.add(DatabaseEntry(md5=APP_A_MD5, app_id=APP_A_ID, package_name="com.alpha.app",
+                         signatures=list(SIGNATURES_A)))
+    db.add(DatabaseEntry(md5=APP_B_MD5, app_id=APP_B_ID, package_name="com.beta.app",
+                         signatures=list(SIGNATURES_B)))
+    return db
+
+
+def make_packet(app_id, indexes, src_port=40001):
+    return IPPacket(
+        src_ip="10.10.0.2",
+        dst_ip="203.0.113.9",
+        src_port=src_port,
+        dst_port=443,
+        payload_size=256,
+        options=StackTraceEncoder().encode_option(app_id, indexes),
+    )
+
+
+def subscribed_enforcer(database, store, **kwargs):
+    enforcer = PolicyEnforcer(database=database, policy=store.snapshot(), **kwargs)
+    store.subscribe(enforcer, push=False)
+    return enforcer
+
+
+class TestPolicyStoreBasics:
+    def test_rules_get_stable_sequential_ids(self):
+        store = PolicyStore()
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY).add_rule(DENY_MIXPANEL))
+        assert store.rule_ids() == ["r1", "r2"]
+        assert store.get("r1") == DENY_FLURRY
+        assert store.version == 1
+
+    def test_every_transaction_bumps_the_version_once(self):
+        store = PolicyStore()
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY).add_rule(DENY_MIXPANEL))
+        store.apply(PolicyUpdate().remove_rule("r1"))
+        assert store.version == 2
+        assert store.rule_ids() == ["r2"]
+
+    def test_replace_preserves_rule_position(self):
+        store = PolicyStore()
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY).add_rule(DENY_MIXPANEL))
+        replacement = PolicyRule(PolicyAction.DENY, PolicyLevel.CLASS, "com/flurry/sdk/FlurryAgent")
+        store.apply(PolicyUpdate().replace_rule("r1", replacement))
+        assert store.snapshot().rules == [replacement, DENY_MIXPANEL]
+
+    def test_failed_transaction_leaves_store_untouched(self):
+        store = PolicyStore()
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY))
+        with pytest.raises(PolicyUpdateError):
+            store.apply(PolicyUpdate().add_rule(DENY_MIXPANEL).remove_rule("r99"))
+        assert store.version == 1
+        assert store.rule_ids() == ["r1"]
+
+    def test_duplicate_explicit_id_rejected(self):
+        store = PolicyStore()
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY, rule_id="block"))
+        with pytest.raises(PolicyUpdateError):
+            store.apply(PolicyUpdate().add_rule(DENY_MIXPANEL, rule_id="block"))
+
+    def test_snapshot_is_frozen(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        with pytest.raises(FrozenPolicyError):
+            store.snapshot().add_rule(DENY_MIXPANEL)
+
+    def test_snapshot_cached_per_version(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        assert store.snapshot() is store.snapshot()
+        first = store.snapshot()
+        store.apply(PolicyUpdate().add_rule(DENY_MIXPANEL))
+        assert store.snapshot() is not first
+
+    def test_set_policy_is_one_replace_all_transaction(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry", "com/old"]))
+        delta = store.set_policy(Policy.deny_libraries(["com/mixpanel"]))
+        assert store.version == 1
+        assert [rule.target for rule in store] == ["com/mixpanel"]
+        assert len(delta.changed_rules) == 3  # two removed + one added
+
+
+class TestDeltaClassification:
+    def test_deny_rule_edit_is_surgical(self):
+        store = PolicyStore()
+        delta = store.apply(PolicyUpdate().add_rule(DENY_FLURRY))
+        assert not delta.full
+        assert delta.changed_rules == (DENY_FLURRY,)
+
+    def test_default_action_change_is_full(self):
+        store = PolicyStore()
+        delta = store.apply(PolicyUpdate().set_default(PolicyAction.DENY))
+        assert delta.full
+
+    def test_whitelist_transition_is_full_both_ways(self):
+        store = PolicyStore()
+        allow = PolicyRule(PolicyAction.ALLOW, PolicyLevel.LIBRARY, "com/alpha")
+        entering = store.apply(PolicyUpdate().add_rule(allow, rule_id="wl"))
+        assert entering.full
+        leaving = store.apply(PolicyUpdate().remove_rule("wl"))
+        assert leaving.full
+
+    def test_additional_allow_rule_is_surgical(self):
+        store = PolicyStore()
+        store.apply(PolicyUpdate().add_rule(
+            PolicyRule(PolicyAction.ALLOW, PolicyLevel.LIBRARY, "com/alpha")))
+        delta = store.apply(PolicyUpdate().add_rule(
+            PolicyRule(PolicyAction.ALLOW, PolicyLevel.LIBRARY, "com/beta")))
+        assert not delta.full
+
+
+class TestSerialization:
+    def test_json_round_trip_preserves_ids_rules_version(self):
+        store = PolicyStore(name="corp")
+        store.apply(
+            PolicyUpdate()
+            .add_rule(DENY_FLURRY)
+            .add_rule(PolicyRule(PolicyAction.ALLOW, PolicyLevel.HASH, APP_A_MD5,
+                                 comment="pilot app"))
+            .set_default(PolicyAction.DENY)
+        )
+        loaded = PolicyStore.from_json(store.to_json())
+        assert loaded.name == "corp"
+        assert loaded.version == store.version
+        assert loaded.items() == store.items()
+        assert loaded.default_action is PolicyAction.DENY
+
+    def test_rules_serialize_as_snippet1_grammar(self):
+        import json as json_module
+
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        payload = json_module.loads(store.to_json())
+        assert payload["rules"][0]["rule"] == '{[deny][library]["com/flurry"]}'
+
+    def test_loaded_store_allocates_fresh_ids_past_loaded_ones(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry", "com/mixpanel"]))
+        loaded = PolicyStore.from_json(store.to_json())
+        loaded.apply(PolicyUpdate().add_rule(PolicyRule(
+            PolicyAction.DENY, PolicyLevel.LIBRARY, "com/crashlytics")))
+        assert loaded.rule_ids() == ["r1", "r2", "r3"]
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(PolicyParseError):
+            PolicyStore.from_json("not json at all {")
+        with pytest.raises(PolicyParseError):
+            PolicyStore.from_json('{"no_rules": true}')
+
+    def test_apply_rejects_state_from_json_could_not_restore(self):
+        """Round-trip totality: anything apply() commits, from_json can load."""
+        store = PolicyStore()
+        with pytest.raises(PolicyUpdateError):  # non-string explicit id
+            store.apply(PolicyUpdate().add_rule(DENY_FLURRY, rule_id=5))
+        with pytest.raises(PolicyUpdateError):  # quote breaks the grammar
+            store.apply(PolicyUpdate().add_rule(
+                PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, 'com/"x')))
+        assert store.version == 0 and len(store) == 0
+
+    def test_to_json_rejects_unserializable_seeded_target(self):
+        store = PolicyStore.from_policy(
+            Policy(rules=[PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, 'com/"x')])
+        )
+        with pytest.raises(PolicyParseError):
+            store.to_json()
+
+    def test_malformed_fields_raise_parse_errors_not_tracebacks(self):
+        with pytest.raises(PolicyParseError):  # non-integer version
+            PolicyStore.from_json(
+                '{"version": "abc", "rules": [{"id": "r1", "rule": "{[deny][library][\\"x\\"]}"}]}'
+            )
+        with pytest.raises(PolicyParseError):  # non-string rule id
+            PolicyStore.from_json(
+                '{"rules": [{"id": 5, "rule": "{[deny][library][\\"x\\"]}"}]}'
+            )
+        with pytest.raises(PolicyParseError):  # entry without a rule
+            PolicyStore.from_json('{"rules": [{"id": "r1"}]}')
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]), name="disk")
+        path = tmp_path / "store.json"
+        store.save(path)
+        assert PolicyStore.load(path).items() == store.items()
+
+
+class TestDiffUpdate:
+    def test_minimal_diff_keeps_surviving_ids(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry", "com/old"]))
+        target = Policy.deny_libraries(["com/flurry", "com/new"])
+        update = store.diff_update(target)
+        store.apply(update)
+        assert store.get("r1") == DENY_FLURRY  # survived with its id
+        assert [rule.target for rule in store] == ["com/flurry", "com/new"]
+
+    def test_reordering_falls_back_to_replace_all(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/a", "com/b"]))
+        target = Policy.deny_libraries(["com/b", "com/a"])
+        update = store.diff_update(target)
+        store.apply(update)
+        assert [rule.target for rule in store] == ["com/b", "com/a"]
+
+    def test_identical_policies_diff_to_no_ops(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/a"]))
+        assert len(store.diff_update(Policy.deny_libraries(["com/a"]))) == 0
+
+
+class TestSurgicalEnforcement:
+    def test_delta_keeps_unaffected_apps_cached(self, database):
+        store = PolicyStore.from_policy(Policy.allow_all())
+        enforcer = subscribed_enforcer(database, store)
+        packet_a = make_packet(APP_A_ID, (0, 2), src_port=40001)
+        packet_b = make_packet(APP_B_ID, (0, 1), src_port=40002)
+        assert enforcer.process(packet_a)[0] is Verdict.ACCEPT
+        assert enforcer.process(packet_b)[0] is Verdict.ACCEPT
+        assert len(enforcer.flow_cache) == 2
+
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY))
+        # Only app A's entry dropped; app B's flow stays warm.
+        assert len(enforcer.flow_cache) == 1
+        assert enforcer.stats.cache_invalidations == 0
+        assert enforcer.stats.cache_surgical_invalidations == 1
+        assert enforcer.stats.cache_entries_invalidated == 1
+        assert enforcer.stats.apps_recompiled == 1
+        hits = enforcer.stats.cache_hits
+        assert enforcer.process(packet_b)[0] is Verdict.ACCEPT
+        assert enforcer.stats.cache_hits == hits + 1
+        # The new rule is enforced on app A immediately.
+        assert enforcer.process(packet_a)[0] is Verdict.DROP
+
+    def test_delta_to_rule_touching_no_cached_app_invalidates_nothing(self, database):
+        store = PolicyStore.from_policy(Policy.allow_all())
+        enforcer = subscribed_enforcer(database, store)
+        enforcer.process(make_packet(APP_A_ID, (0,)))
+        store.apply(PolicyUpdate().add_rule(
+            PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, "com/unrelated")))
+        assert len(enforcer.flow_cache) == 1
+        assert enforcer.stats.cache_entries_invalidated == 0
+        assert enforcer.stats.apps_recompiled == 0
+
+    def test_hash_rule_delta_touches_only_named_app(self, database):
+        store = PolicyStore.from_policy(Policy.allow_all())
+        enforcer = subscribed_enforcer(database, store)
+        packet_a = make_packet(APP_A_ID, (0,), src_port=41001)
+        packet_b = make_packet(APP_B_ID, (0,), src_port=41002)
+        enforcer.process(packet_a)
+        enforcer.process(packet_b)
+        store.apply(PolicyUpdate().add_rule(
+            PolicyRule(PolicyAction.DENY, PolicyLevel.HASH, APP_B_MD5)))
+        assert enforcer.stats.cache_entries_invalidated == 1
+        assert enforcer.process(packet_b)[0] is Verdict.DROP
+        assert enforcer.process(packet_a)[0] is Verdict.ACCEPT
+
+    def test_full_delta_flushes_whole_cache(self, database):
+        store = PolicyStore.from_policy(Policy.allow_all())
+        enforcer = subscribed_enforcer(database, store)
+        enforcer.process(make_packet(APP_A_ID, (0,)))
+        store.apply(PolicyUpdate().set_default(PolicyAction.DENY))
+        assert len(enforcer.flow_cache) == 0
+        assert enforcer.stats.cache_invalidations == 1
+
+    def test_delta_verdicts_match_full_recompilation(self, database):
+        """After every delta, the subscriber equals a fresh full compile."""
+        store = PolicyStore.from_policy(Policy.allow_all())
+        enforcer = subscribed_enforcer(database, store)
+        packets = [
+            make_packet(APP_A_ID, (0, 2), src_port=42001),
+            make_packet(APP_A_ID, (0, 1), src_port=42002),
+            make_packet(APP_B_ID, (0, 2), src_port=42003),
+            make_packet(APP_B_ID, (1,), src_port=42004),
+        ]
+        edits = [
+            PolicyUpdate().add_rule(DENY_FLURRY, rule_id="f"),
+            PolicyUpdate().add_rule(DENY_MIXPANEL, rule_id="m"),
+            PolicyUpdate().replace_rule(
+                "f", PolicyRule(PolicyAction.DENY, PolicyLevel.METHOD, SIGNATURES_A[1])),
+            PolicyUpdate().remove_rule("m"),
+        ]
+        for update in edits:
+            store.apply(update)
+            fresh = PolicyEnforcer(database=database, policy=store.snapshot(),
+                                   flow_cache_size=0)
+            expected = [fresh.process(packet)[0] for packet in packets]
+            actual = [enforcer.process(packet)[0] for packet in packets]
+            assert actual == expected
+
+    def test_database_generation_change_falls_back_to_full(self, database):
+        store = PolicyStore.from_policy(Policy.allow_all())
+        enforcer = subscribed_enforcer(database, store)
+        enforcer.process(make_packet(APP_A_ID, (0,)))
+        database.add(DatabaseEntry(md5="cc" * 16, app_id="cc" * 8,
+                                   package_name="com.gamma.app",
+                                   signatures=list(SIGNATURES_A)))
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY))
+        # The compiled state predates the enrolment: whole-cache fallback.
+        assert enforcer.stats.cache_invalidations == 1
+        assert enforcer.stats.cache_surgical_invalidations == 0
+
+    def test_absorbed_out_of_band_mutation_still_falls_back_to_full(self, database):
+        """In-place edits absorbed by the packet path must not poison deltas.
+
+        Once a packet is processed after an in-place ``add_rule``, the
+        enforcer's revision bookkeeping matches the mutated policy again
+        — only the delta's base_rules comparison can tell that the
+        compiled state was not built from the store's rule table.  The
+        delta must then fully resync to the store snapshot: no stale
+        compiled entry may keep enforcing the out-of-band rule.
+        """
+        store = PolicyStore.from_policy(Policy.allow_all())
+        mutable = Policy.allow_all()
+        enforcer = PolicyEnforcer(database=database, policy=mutable)
+        store.subscribe(enforcer, push=False)
+        packet = make_packet(APP_A_ID, (0, 2))
+        mutable.add_rule(DENY_FLURRY)  # behind the control plane's back
+        # Processing absorbs the revision bump into _active_* bookkeeping
+        # (and whole-flushes once for the in-place mutation itself).
+        assert enforcer.process(packet)[0] is Verdict.DROP
+        flushes = enforcer.stats.cache_invalidations
+        store.apply(PolicyUpdate().add_rule(
+            PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, "com/unrelated")))
+        # Store is authoritative: its snapshot (no flurry rule) wins and
+        # enforcement is consistent with the reported policy.
+        assert enforcer.stats.cache_invalidations == flushes + 1
+        assert enforcer.stats.cache_surgical_invalidations == 0
+        assert enforcer.policy is store.snapshot()
+        assert enforcer.process(packet)[0] is Verdict.ACCEPT
+
+    def test_out_of_band_mutation_falls_back_to_full(self, database):
+        store = PolicyStore.from_policy(Policy.allow_all())
+        mutable = Policy.allow_all()
+        enforcer = PolicyEnforcer(database=database, policy=mutable)
+        store.subscribe(enforcer, push=False)
+        enforcer.process(make_packet(APP_A_ID, (0,)))
+        mutable.add_rule(DENY_MIXPANEL)  # behind the control plane's back
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY))
+        assert enforcer.stats.cache_invalidations == 1
+        # And the store's snapshot won: the delta's policy is active.
+        assert enforcer.policy is store.snapshot()
+
+    def test_uncompiled_enforcer_still_tracks_versions(self, database):
+        store = PolicyStore.from_policy(Policy.allow_all())
+        enforcer = subscribed_enforcer(database, store, compile_policy=False)
+        packet = make_packet(APP_A_ID, (0, 2))
+        assert enforcer.process(packet)[0] is Verdict.ACCEPT
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY))
+        assert enforcer.policy_version == 1
+        assert enforcer.process(packet)[0] is Verdict.DROP
+
+    def test_subscribe_with_push_fully_syncs(self, database):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        store.apply(PolicyUpdate().add_rule(DENY_MIXPANEL))
+        enforcer = PolicyEnforcer(database=database, policy=Policy.allow_all())
+        store.subscribe(enforcer)
+        assert enforcer.policy_version == store.version
+        assert enforcer.process(make_packet(APP_B_ID, (2,)))[0] is Verdict.DROP
+
+    def test_unsubscribed_enforcer_stops_receiving_deltas(self, database):
+        store = PolicyStore.from_policy(Policy.allow_all())
+        enforcer = subscribed_enforcer(database, store)
+        store.unsubscribe(enforcer)
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY))
+        assert enforcer.policy_version == 0
+
+
+class TestShardedBroadcast:
+    def test_delta_broadcast_converges_all_shards(self, database):
+        store = PolicyStore.from_policy(Policy.allow_all())
+        sharded = ShardedEnforcer(database=database, policy=store.snapshot(), num_shards=3)
+        store.subscribe(sharded, push=False)
+        packets = [make_packet(APP_A_ID, (2,), src_port=43000 + i) for i in range(24)]
+        for packet in packets:
+            assert sharded.process(packet)[0] is Verdict.ACCEPT
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY))
+        assert sharded.policy_version == 1
+        for packet in packets:
+            assert sharded.process(packet)[0] is Verdict.DROP
+        total = sharded.aggregate_stats()
+        assert total.cache_invalidations == 0
+        assert total.cache_surgical_invalidations == 3  # one per shard
+
+    def test_diverged_shards_detected(self, database):
+        sharded = ShardedEnforcer(database=database, num_shards=2)
+        sharded.shards[0].policy_version = 7
+        with pytest.raises(RuntimeError):
+            sharded.policy_version
+
+
+class TestDeploymentControlPlane:
+    def test_apply_update_live_at_the_gateway(self, deployment, simple_app):
+        apk, behavior = simple_app
+        device = deployment.provision_device()
+        process = deployment.install_and_launch(device, apk, behavior)
+        assert process.invoke("analytics").completed
+        deployment.apply_update(PolicyUpdate(reason="block flurry").add_rule(DENY_FLURRY))
+        assert deployment.policy_version == 1
+        assert not process.invoke("analytics").completed
+        assert process.invoke("login").completed
+
+    def test_set_policy_shim_keeps_reference_and_bumps_version(self, deployment):
+        policy = Policy.deny_libraries(["com/flurry"])
+        deployment.set_policy(policy)
+        assert deployment.policy is policy
+        assert deployment.policy_version == 1
+        # Legacy in-place mutation after the shim still takes effect.
+        policy.add_rule(DENY_MIXPANEL)
+        assert len(deployment.enforcer.policy.rules) == 2
+
+    def test_store_seeded_from_initial_policy(self, enterprise_network):
+        from repro.core.deployment import BorderPatrolDeployment
+
+        initial = Policy.deny_libraries(["com/flurry"])
+        deployment = BorderPatrolDeployment(network=enterprise_network, policy=initial)
+        assert deployment.policy_version == 0
+        assert [rule.target for rule in deployment.policy_store] == ["com/flurry"]
+
+    def test_sharded_deployment_applies_updates_to_every_shard(
+        self, simple_app, enterprise_network
+    ):
+        from repro.core.deployment import BorderPatrolDeployment
+
+        apk, behavior = simple_app
+        deployment = BorderPatrolDeployment(network=enterprise_network, enforcer_shards=3)
+        device = deployment.provision_device()
+        process = deployment.install_and_launch(device, apk, behavior)
+        assert process.invoke("analytics").completed
+        deployment.apply_update(PolicyUpdate().add_rule(DENY_FLURRY))
+        assert deployment.enforcer.policy_version == 1
+        assert not process.invoke("analytics").completed

@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) for the policy control plane.
+
+Three invariant families:
+
+* **serialization round-trip** — ``PolicyStore.from_json(to_json(s))``
+  preserves rule ids, and the reloaded snapshot evaluates every context
+  identically (verdict, matched rule, reason) to the original;
+* **diff reachability** — applying ``diff_update(target)`` always lands
+  the store exactly on ``target``'s rules and default action;
+* **delta-vs-full equivalence** — after an arbitrary sequence of
+  control-plane edits, a store subscriber that only ever received
+  incremental deltas (patched compiled policies, surgically invalidated
+  flow cache) produces the same verdicts and reasons as a freshly
+  built enforcer that full-compiles the final policy.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.database import DatabaseEntry, SignatureDatabase
+from repro.core.encoding import StackTraceEncoder
+from repro.core.policy import (
+    DecodedContext,
+    Policy,
+    PolicyAction,
+    PolicyLevel,
+    PolicyRule,
+)
+from repro.core.policy_enforcer import PolicyEnforcer
+from repro.core.policy_store import PolicyStore, PolicyUpdate
+from repro.netstack.ip import IPPacket
+
+APPS = (
+    ("aa" * 16, "com.alpha.app", [
+        "Lcom/alpha/app/MainActivity;->onClick(Landroid/view/View;)V",
+        "Lcom/alpha/app/net/ApiClient;->upload([B)Z",
+        "Lcom/flurry/sdk/FlurryAgent;->logEvent(Ljava/lang/String;)V",
+        "Lcom/squareup/okhttp3/HttpClient;->execute(Ljava/lang/String;)V",
+    ]),
+    ("bb" * 16, "com.beta.app", [
+        "Lcom/beta/app/MainActivity;->onClick(Landroid/view/View;)V",
+        "Lcom/beta/app/sync/Engine;->push([B)Z",
+        "Lcom/mixpanel/android/Tracker;->track(Ljava/lang/String;)V",
+    ]),
+    ("cc" * 16, "com.gamma.app", [
+        "Lcom/gamma/app/Main;->run()V",
+        "Lcom/flurry/sdk/FlurryAgent;->onEvent(Ljava/lang/String;)V",
+    ]),
+)
+
+#: Interesting rule targets: real library/class/method fragments of the
+#: apps above, app hashes, and strings that match nothing.
+TARGETS = tuple(
+    {
+        "com/alpha/app", "com/beta/app", "com/flurry", "com/mixpanel/android",
+        "com/squareup", "com/flurry/sdk/FlurryAgent", "com/alpha/app/net/ApiClient",
+        APPS[0][2][1], APPS[1][2][1], APPS[2][2][1],
+        "aa" * 16, "bb" * 16, ("aa" * 16)[:16],
+        "com/present/nowhere", "org/unknown",
+    }
+)
+
+rule_strategy = st.builds(
+    PolicyRule,
+    action=st.sampled_from(PolicyAction),
+    level=st.sampled_from(PolicyLevel),
+    target=st.sampled_from(sorted(TARGETS)),
+)
+
+
+def build_database() -> SignatureDatabase:
+    database = SignatureDatabase()
+    for md5, package, signatures in APPS:
+        database.add(
+            DatabaseEntry(
+                md5=md5, app_id=md5[:16], package_name=package,
+                signatures=list(signatures),
+            )
+        )
+    return database
+
+
+def evaluation_contexts():
+    """Deterministic contexts across every app and stack shape."""
+    contexts = []
+    for md5, package, signatures in APPS:
+        subsets = [(), (0,), tuple(range(len(signatures))), (len(signatures) - 1,)]
+        for subset in subsets:
+            contexts.append(
+                DecodedContext(
+                    app_id=md5[:16],
+                    signatures=tuple(signatures[i] for i in subset),
+                    app_md5=md5,
+                    package_name=package,
+                )
+            )
+    return contexts
+
+
+CONTEXTS = evaluation_contexts()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rules=st.lists(rule_strategy, max_size=6),
+    default=st.sampled_from(PolicyAction),
+)
+def test_json_round_trip_evaluates_identically(rules, default):
+    store = PolicyStore.from_policy(Policy(rules=list(rules), default_action=default))
+    loaded = PolicyStore.from_json(store.to_json())
+    assert loaded.items() == store.items()
+    assert loaded.default_action is store.default_action
+    original, reloaded = store.snapshot(), loaded.snapshot()
+    for context in CONTEXTS:
+        left = original.evaluate(context)
+        right = reloaded.evaluate(context)
+        assert left.verdict is right.verdict
+        assert left.reason == right.reason
+        assert left.matched_rule == right.matched_rule
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    initial=st.lists(rule_strategy, max_size=5),
+    target=st.lists(rule_strategy, max_size=5),
+    target_default=st.sampled_from(PolicyAction),
+)
+def test_diff_update_always_reaches_target(initial, target, target_default):
+    store = PolicyStore.from_policy(Policy(rules=list(initial)))
+    store.apply(store.diff_update(Policy(rules=list(target), default_action=target_default)))
+    assert store.snapshot().rules == list(target)
+    assert store.default_action is target_default
+
+
+edit_strategy = st.one_of(
+    st.tuples(st.just("add"), rule_strategy),
+    st.tuples(st.just("remove"), st.integers(min_value=0, max_value=9)),
+    st.tuples(st.just("replace"), st.integers(min_value=0, max_value=9), rule_strategy),
+    st.tuples(st.just("default"), st.sampled_from(PolicyAction)),
+)
+
+
+def build_packets():
+    encoder = StackTraceEncoder()
+    packets = []
+    port = 40000
+    for md5, _package, signatures in APPS:
+        for indexes in [(0,), tuple(range(len(signatures))), (len(signatures) - 1,)]:
+            port += 1
+            packets.append(
+                IPPacket(
+                    src_ip="10.10.0.2",
+                    dst_ip="203.0.113.9",
+                    src_port=port,
+                    dst_port=443,
+                    payload_size=128,
+                    options=encoder.encode_option(md5[:16], indexes),
+                )
+            )
+    return packets
+
+
+@settings(max_examples=50, deadline=None)
+@given(edits=st.lists(edit_strategy, min_size=1, max_size=8))
+def test_delta_path_equals_full_recompilation_on_random_edits(edits):
+    database = build_database()
+    store = PolicyStore.from_policy(Policy.allow_all())
+    enforcer = PolicyEnforcer(database=database, policy=store.snapshot())
+    store.subscribe(enforcer, push=False)
+    packets = build_packets()
+
+    for edit in edits:
+        kind = edit[0]
+        update = PolicyUpdate()
+        if kind == "add":
+            update.add_rule(edit[1])
+        elif kind == "remove":
+            ids = store.rule_ids()
+            if not ids:
+                continue
+            update.remove_rule(ids[edit[1] % len(ids)])
+        elif kind == "replace":
+            ids = store.rule_ids()
+            if not ids:
+                continue
+            update.replace_rule(ids[edit[1] % len(ids)], edit[2])
+        else:
+            update.set_default(edit[1])
+        store.apply(update)
+
+        reference = PolicyEnforcer(
+            database=database, policy=store.snapshot(), flow_cache_size=0
+        )
+        for packet in packets:
+            expected_verdict, _ = reference.process(packet)
+            actual_verdict, _ = enforcer.process(packet)
+            assert actual_verdict is expected_verdict
+            assert enforcer.records[-1].reason == reference.records[-1].reason
