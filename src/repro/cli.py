@@ -20,7 +20,12 @@ the same operator workflows over the reproduction:
                      sharded), plus the Figure-4 workload's latency and
                      throughput through the sharded gateway;
 * ``policy-churn`` — measure sustained gateway kpps under continuous
-                     rule churn: delta control plane vs whole-flush.
+                     rule churn: delta control plane vs whole-flush;
+* ``fleet``        — replay a provisioned device fleet across replicated
+                     gateways under live policy churn: convergence lag,
+                     verdict identity vs a single gateway, and the real
+                     multiprocessing shard backend vs the sequential
+                     model.
 
 Usage::
 
@@ -32,6 +37,7 @@ Usage::
     python -m repro.cli experiments --fig3-apps 200 --fig4-iterations 300
     python -m repro.cli gateway-bench --packets 10000 --shards 4
     python -m repro.cli policy-churn --packets 10000 --edits 24
+    python -m repro.cli fleet --packets 10000 --devices 120 --gateways 3
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ from repro.core.policy_store import PolicyStore, PolicyUpdateError
 from repro.experiments.case_studies import run_cloud_storage_case_study, run_facebook_case_study
 from repro.experiments.fig3_ioi import run_fig3
 from repro.experiments.fig4_latency import run_fig4, run_fig4_gateway_throughput
+from repro.experiments.fleet import run_fleet_bench
 from repro.experiments.gateway_throughput import run_gateway_bench
 from repro.experiments.policy_churn import run_policy_churn
 from repro.experiments.table_validation import run_validation
@@ -139,8 +146,13 @@ def _cmd_policy_diff(args: argparse.Namespace) -> int:
     except (PolicyParseError, KeyError, TypeError) as error:
         print(f"policy rejected: {error}", file=sys.stderr)
         return 1
-    update = old.diff_update(new.snapshot())
-    print(update.describe())
+    target = new.snapshot()
+    update = old.diff_update(target)
+    print(
+        old.unified_diff(
+            target, update=update, from_label=args.old, to_label=args.new
+        )
+    )
     print(f"{len(update)} op(s) turn {args.old} (version {old.version}) into {args.new}")
     return 0
 
@@ -219,6 +231,31 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
         )
     if not result.verdicts_match:
         print("FAST PATH DIVERGED FROM NAIVE ENFORCEMENT", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    try:
+        result = run_fleet_bench(
+            packets=args.packets,
+            devices=args.devices,
+            gateways=args.gateways,
+            shards_per_gateway=args.shards,
+            edits=args.edits,
+            corpus_apps=args.corpus_apps,
+            seed=args.seed,
+            backend_packets=0 if args.skip_backend else args.backend_packets,
+        )
+    except ValueError as error:
+        print(f"fleet rejected: {error}", file=sys.stderr)
+        return 2
+    print(result.table())
+    if not result.converged:
+        print("GATEWAY REPLICAS FAILED TO CONVERGE", file=sys.stderr)
+        return 1
+    if not result.verdicts_match:
+        print("FLEET DIVERGED FROM SINGLE-GATEWAY ENFORCEMENT", file=sys.stderr)
         return 1
     return 0
 
@@ -329,6 +366,34 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--corpus-apps", type=int, default=6, metavar="N")
     churn.add_argument("--seed", type=int, default=7)
     churn.set_defaults(func=_cmd_policy_churn)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="replay a device-fleet workload across replicated gateways "
+        "under live policy churn",
+    )
+    fleet.add_argument("--packets", type=int, default=10_000)
+    fleet.add_argument("--devices", type=int, default=120)
+    fleet.add_argument("--gateways", type=int, default=3)
+    fleet.add_argument("--shards", type=int, default=2,
+                       help="enforcer shards per gateway")
+    fleet.add_argument("--edits", type=int, default=12,
+                       help="policy-churn bursts committed during the replay")
+    fleet.add_argument("--corpus-apps", type=int, default=8, metavar="N")
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument(
+        "--backend-packets",
+        type=int,
+        default=10_000,
+        help="replay size for the sequential-vs-multiprocessing shard "
+        "backend comparison",
+    )
+    fleet.add_argument(
+        "--skip-backend",
+        action="store_true",
+        help="skip the multiprocessing backend comparison",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 

@@ -45,12 +45,16 @@ from repro.core.policy import (
 )
 from repro.core.policy_store import (
     AddRule,
+    DeltaLog,
+    DeltaLogRecord,
+    GatewayReplica,
     PolicyDelta,
     PolicyStore,
     PolicyUpdate,
     PolicyUpdateError,
     RemoveRule,
     ReplaceRule,
+    ReplicationError,
     SetDefault,
 )
 from repro.core.context_manager import ContextManager, ContextManagerMode
@@ -58,6 +62,7 @@ from repro.core.policy_enforcer import PolicyEnforcer, EnforcementRecord, FlowCa
 from repro.core.packet_sanitizer import PacketSanitizer
 from repro.core.policy_extractor import PolicyExtractor, ProfileRun
 from repro.core.deployment import BorderPatrolDeployment
+from repro.core.fleet import FleetBatchResult, GatewayFleet
 
 __all__ = [
     "ContextTag",
@@ -83,6 +88,10 @@ __all__ = [
     "PolicyUpdate",
     "PolicyUpdateError",
     "PolicyDelta",
+    "DeltaLog",
+    "DeltaLogRecord",
+    "GatewayReplica",
+    "ReplicationError",
     "AddRule",
     "RemoveRule",
     "ReplaceRule",
@@ -96,4 +105,6 @@ __all__ = [
     "PolicyExtractor",
     "ProfileRun",
     "BorderPatrolDeployment",
+    "GatewayFleet",
+    "FleetBatchResult",
 ]

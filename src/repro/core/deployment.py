@@ -25,7 +25,7 @@ from repro.core.policy_enforcer import PolicyEnforcer
 from repro.core.policy_store import PolicyDelta, PolicyStore, PolicyUpdate
 from repro.core.encoding import IndexWidth
 from repro.netstack.sockets import KernelConfig
-from repro.network.topology import EnterpriseNetwork
+from repro.network.topology import EnterpriseNetwork, NetworkConfig
 
 
 @dataclass
@@ -50,13 +50,31 @@ class BorderPatrolDeployment:
         context_manager_mode: ContextManagerMode = ContextManagerMode.DYNAMIC,
         tag_replay_hardening: bool = False,
         enforcer_shards: int = 1,
+        num_gateways: int = 1,
+        shard_backend: str = "sequential",
+        keep_records: bool = True,
     ) -> None:
-        self.network = network or EnterpriseNetwork()
+        if num_gateways < 1:
+            raise ValueError("a deployment needs at least one gateway")
+        if network is None:
+            network = (
+                EnterpriseNetwork(config=NetworkConfig(num_gateways=num_gateways))
+                if num_gateways > 1
+                else EnterpriseNetwork()
+            )
+        elif len(network.gateways) != num_gateways:
+            raise ValueError(
+                f"deployment wants {num_gateways} gateway(s) but the network "
+                f"has {len(network.gateways)}; build the EnterpriseNetwork with "
+                f"NetworkConfig(num_gateways={num_gateways})"
+            )
+        self.network = network
         self.cost_model = cost_model or CostModel()
         self.index_width = index_width
         self.context_manager_mode = context_manager_mode
         self.tag_replay_hardening = tag_replay_hardening
         self.enforcer_shards = enforcer_shards
+        self.num_gateways = num_gateways
 
         self.database = SignatureDatabase()
         self.offline_analyzer = OfflineAnalyzer(self.database)
@@ -68,28 +86,59 @@ class BorderPatrolDeployment:
             drop_untagged=drop_untagged,
             drop_unknown_apps=drop_unknown_apps,
             index_width=index_width,
+            # Per-packet audit records are the default; fleet-scale
+            # replays turn them off to keep the hot path lean.
+            keep_records=keep_records,
         )
-        if enforcer_shards > 1:
-            # Imported lazily: sharding builds on the enforcer, which in
-            # turn sits on the netstack package, so a module-level import
-            # here would be circular.
-            from repro.netstack.sharding import ShardedEnforcer
-
-            self.enforcer = ShardedEnforcer(num_shards=enforcer_shards, **enforcer_kwargs)
-        else:
-            self.enforcer = PolicyEnforcer(**enforcer_kwargs)
-        #: The versioned control plane for the gateway's policy.  Seeded
-        #: from the enforcer's initial rules (push=False: the enforcer
-        #: already holds them), it fans versioned deltas out to every
-        #: enforcer shard on :meth:`apply_update`.
-        self.policy_store = PolicyStore.from_policy(enforcer_kwargs["policy"])
-        self.policy_store.subscribe(self.enforcer, push=False)
         self.sanitizer = PacketSanitizer()
-        self.network.install_queue_chain(
-            enforcer=self.enforcer,
-            sanitizer=self.sanitizer,
-            queue_latency_ms=self.cost_model.nfqueue_ms,
-        )
+        #: The replicated-gateway runtime; None for the classic
+        #: single-gateway deployment.
+        self.fleet = None
+        if num_gateways > 1:
+            # Imported lazily: the fleet builds on sharding, which sits on
+            # the netstack package — a module-level import would be circular.
+            from repro.core.fleet import GatewayFleet
+
+            initial_policy = enforcer_kwargs.pop("policy")
+            self.fleet = GatewayFleet(
+                policy=initial_policy,
+                num_gateways=num_gateways,
+                shards_per_gateway=enforcer_shards,
+                live=True,
+                shard_backend=shard_backend,
+                **enforcer_kwargs,
+            )
+            #: Head-gateway enforcer, for single-gateway call sites.
+            self.enforcer = self.fleet.replicas[0].enforcer
+            self.policy_store = self.fleet.store
+            self.network.install_fleet_queue_chains(
+                self.fleet,
+                sanitizer=self.sanitizer,
+                queue_latency_ms=self.cost_model.nfqueue_ms,
+            )
+        else:
+            if enforcer_shards > 1:
+                # Imported lazily: sharding builds on the enforcer, which in
+                # turn sits on the netstack package, so a module-level import
+                # here would be circular.
+                from repro.netstack.sharding import ShardedEnforcer
+
+                self.enforcer = ShardedEnforcer(
+                    num_shards=enforcer_shards, backend=shard_backend, **enforcer_kwargs
+                )
+            else:
+                self.enforcer = PolicyEnforcer(**enforcer_kwargs)
+            #: The versioned control plane for the gateway's policy.  Seeded
+            #: from the enforcer's initial rules (push=False: the enforcer
+            #: already holds them), it fans versioned deltas out to every
+            #: enforcer shard on :meth:`apply_update`.
+            self.policy_store = PolicyStore.from_policy(enforcer_kwargs["policy"])
+            self.policy_store.subscribe(self.enforcer, push=False)
+            self.network.install_queue_chain(
+                enforcer=self.enforcer,
+                sanitizer=self.sanitizer,
+                queue_latency_ms=self.cost_model.nfqueue_ms,
+            )
         self.devices: list[ProvisionedDevice] = []
 
     # -- policy management -------------------------------------------------------------
@@ -112,6 +161,12 @@ class BorderPatrolDeployment:
         so legacy in-place ``add_rule`` edits keep taking effect.  For
         incremental edits that keep unaffected flow caches warm, use
         :meth:`apply_update`.
+
+        On a multi-gateway deployment the replacement replicates through
+        the delta log as a sync record; replica gateways hold their own
+        parsed copies, so the by-reference in-place-edit contract only
+        extends to the head gateway — fleet deployments should prefer
+        :meth:`apply_update` for all edits.
         """
         self.policy_store.reset_to(policy)
 
@@ -180,4 +235,7 @@ class BorderPatrolDeployment:
     def reset_observations(self) -> None:
         """Clear captures, enforcement records and server state between runs."""
         self.network.reset_observations()
-        self.enforcer.reset()
+        if self.fleet is not None:
+            self.fleet.reset()
+        else:
+            self.enforcer.reset()

@@ -56,7 +56,7 @@ transitions.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.core.database import SignatureDatabase
 from repro.core.encoding import EncodingError, IndexWidth, StackTraceEncoder
@@ -109,6 +109,53 @@ class EnforcerStats:
     compiled_evals: int = 0
     #: Policy evaluations that fell back to string matching.
     fallback_evals: int = 0
+    #: Flow-cache entries lost per app (surgical invalidations + LRU
+    #: evictions): which apps churn the cache hardest.
+    cache_churn_by_app: dict = field(default_factory=dict)
+
+    def merge(self, other: "EnforcerStats") -> None:
+        """Accumulate ``other`` into this stats object (counters add,
+        per-app churn maps merge key-wise)."""
+        for stat_field in fields(EnforcerStats):
+            mine = getattr(self, stat_field.name)
+            theirs = getattr(other, stat_field.name)
+            if isinstance(mine, dict):
+                for key, count in theirs.items():
+                    mine[key] = mine.get(key, 0) + count
+            else:
+                setattr(self, stat_field.name, mine + theirs)
+
+    def delta_since(self, baseline: "EnforcerStats") -> "EnforcerStats":
+        """The counters accrued since ``baseline`` was snapshotted.
+
+        This is what a worker process reports back to the parent shard:
+        the parent merges the delta, so counting work exactly once even
+        though the child started from a copy of the parent's stats.
+        """
+        delta = EnforcerStats()
+        for stat_field in fields(EnforcerStats):
+            mine = getattr(self, stat_field.name)
+            base = getattr(baseline, stat_field.name)
+            if isinstance(mine, dict):
+                churn = {
+                    key: count - base.get(key, 0)
+                    for key, count in mine.items()
+                    if count - base.get(key, 0)
+                }
+                setattr(delta, stat_field.name, churn)
+            else:
+                setattr(delta, stat_field.name, mine - base)
+        return delta
+
+    def top_churn_apps(self, limit: int = 3) -> list[tuple[str, int]]:
+        """The apps losing the most flow-cache entries, hottest first."""
+        ranked = sorted(self.cache_churn_by_app.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:limit]
+
+    def copy(self) -> "EnforcerStats":
+        snapshot = EnforcerStats()
+        snapshot.merge(self)
+        return snapshot
 
 
 @dataclass(frozen=True)
@@ -159,27 +206,33 @@ class FlowCache:
             self._entries.move_to_end(key)
         return cached
 
-    def put(self, key: tuple, value: _CachedDecision) -> bool:
-        """Store ``value``; returns True when an older flow was evicted."""
+    def put(self, key: tuple, value: _CachedDecision) -> str | None:
+        """Store ``value``; returns the evicted flow's app label (None if
+        no older flow was evicted)."""
         self._entries[key] = value
         self._entries.move_to_end(key)
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            return True
-        return False
+            _, evicted = self._entries.popitem(last=False)
+            return evicted.package_name or evicted.app_id
+        return None
 
-    def invalidate_apps(self, app_ids: set[str]) -> int:
+    def invalidate_apps(self, app_ids: set[str]) -> dict[str, int]:
         """Drop every cached verdict belonging to one of ``app_ids``.
 
         The surgical counterpart of :meth:`clear`: a policy delta that
         can only affect some apps removes exactly those apps' entries,
         so unrelated hot flows keep their cached verdicts.  Returns the
-        number of entries removed.
+        number of entries removed per app, keyed by package name (the
+        label administrators see in churn reports) with the on-wire app
+        id as fallback.
         """
         stale = [key for key, value in self._entries.items() if value.app_id in app_ids]
+        removed: dict[str, int] = {}
         for key in stale:
-            del self._entries[key]
-        return len(stale)
+            entry = self._entries.pop(key)
+            label = entry.package_name or entry.app_id
+            removed[label] = removed.get(label, 0) + 1
+        return removed
 
     def clear(self) -> None:
         self._entries.clear()
@@ -297,9 +350,12 @@ class PolicyEnforcer:
         if self.flow_cache is not None:
             self.stats.cache_surgical_invalidations += 1
             if affected:
-                self.stats.cache_entries_invalidated += self.flow_cache.invalidate_apps(
-                    affected
-                )
+                removed = self.flow_cache.invalidate_apps(affected)
+                self.stats.cache_entries_invalidated += sum(removed.values())
+                for label, count in removed.items():
+                    self.stats.cache_churn_by_app[label] = (
+                        self.stats.cache_churn_by_app.get(label, 0) + count
+                    )
 
     def invalidate_caches(self) -> None:
         """Recompile the policy and drop every cached flow verdict.
@@ -433,7 +489,7 @@ class PolicyEnforcer:
             self.stats.fallback_evals += 1
 
         if cache_key is not None:
-            evicted = self.flow_cache.put(
+            evicted_app = self.flow_cache.put(
                 cache_key,
                 _CachedDecision(
                     verdict=decision.verdict,
@@ -443,8 +499,11 @@ class PolicyEnforcer:
                     signatures=signatures,
                 ),
             )
-            if evicted:
+            if evicted_app is not None:
                 self.stats.cache_evictions += 1
+                self.stats.cache_churn_by_app[evicted_app] = (
+                    self.stats.cache_churn_by_app.get(evicted_app, 0) + 1
+                )
 
         return decision.verdict, EnforcementRecord(
             packet_id=packet.packet_id,

@@ -31,10 +31,26 @@ that replaces it:
 :meth:`PolicyStore.set_policy` records it as one replace-all
 transaction — which is what keeps the legacy ``set_policy(policy)``
 entry points working as thin compatibility shims.
+
+Replication
+-----------
+Every committed transaction is also appended — ids resolved, rules
+rendered in the Snippet 1 grammar — to the store's :class:`DeltaLog`, an
+append-only, JSON-serializable record of the store's whole history.
+A :class:`GatewayReplica` is one remote gateway's mirror of the store:
+it attaches at some version, consumes :class:`DeltaLogRecord` entries
+(pushed live through :meth:`PolicyStore.subscribe_replica`, or replayed
+in bulk via :meth:`GatewayReplica.catch_up`), and re-applies each
+transaction to its own shadow rule table, fanning the same surgical
+:class:`PolicyDelta` out to its local enforcer.  Chained fingerprints
+over the rule table make divergence detectable at apply time: a replica
+whose state does not hash to a record's parent fingerprint refuses the
+record instead of silently forking the fleet's policy.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Iterator
@@ -50,6 +66,36 @@ from repro.core.policy import (
 
 class PolicyUpdateError(ValueError):
     """Raised when a transaction cannot be applied; the store is unchanged."""
+
+
+class ReplicationError(RuntimeError):
+    """Raised when a replica cannot consume a delta-log record.
+
+    Either the log cannot serve the replica's version (truncated /
+    non-contiguous), the replica's rule table no longer hashes to the
+    record's parent fingerprint (it was mutated out of band and has
+    diverged), or the record is opaque (an out-of-band full sync whose
+    rules could not be serialized).  In every case the safe recovery is
+    to re-attach the replica from the store's current state.
+    """
+
+
+def _fingerprint_state(items, default_action: PolicyAction) -> str:
+    """Stable hash of an id-addressed rule table plus its default action.
+
+    Covers exactly the enforcement-relevant state (ids, order, action/
+    level/target, default) so two gateways with equal fingerprints are
+    guaranteed verdict-identical.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(default_action.value.encode("utf-8"))
+    for rule_id, rule in items:
+        hasher.update(b"\x00")
+        hasher.update(rule_id.encode("utf-8"))
+        hasher.update(
+            f"|{rule.action.value}|{rule.level.name}|{rule.target}".encode("utf-8")
+        )
+    return hasher.hexdigest()
 
 
 def _next_free_id(taken, next_id: int) -> tuple[str, int]:
@@ -184,6 +230,198 @@ class PolicyDelta:
     reason: str = ""
 
 
+# -- the replicated delta log ----------------------------------------------------------
+
+
+def _rule_payload(rule_id: str, rule: PolicyRule) -> dict:
+    """One rule as a log/store payload: grammar rendering plus id."""
+    payload = {"id": rule_id, "rule": rule.render()}
+    if rule.comment:
+        payload["comment"] = rule.comment
+    return payload
+
+
+def _rule_from_payload(payload: dict) -> tuple[str, PolicyRule]:
+    if not isinstance(payload, dict) or "rule" not in payload or "id" not in payload:
+        raise PolicyParseError(f"malformed rule payload: {payload!r}")
+    parsed = parse_policy(payload["rule"])
+    if len(parsed.rules) != 1:
+        raise PolicyParseError(f"expected exactly one rule, got: {payload['rule']!r}")
+    rule = parsed.rules[0]
+    if payload.get("comment"):
+        rule = dataclass_replace(rule, comment=payload["comment"])
+    return payload["id"], rule
+
+
+@dataclass(frozen=True)
+class DeltaLogRecord:
+    """One committed transaction, serialized for replication.
+
+    ``kind`` is ``"update"`` for ordinary :class:`PolicyUpdate`
+    transactions (``ops`` holds the normalized operations, every id
+    resolved and every rule rendered in the Snippet 1 grammar) and
+    ``"sync"`` for full replacements recorded by :meth:`PolicyStore.reset_to`
+    (``rules`` holds the complete resulting table).  A sync whose rules
+    cannot be rendered in the grammar is *opaque* (``rules is None``):
+    the version bump is logged so contiguity holds, but replicas cannot
+    replay it and must re-attach.
+
+    ``parent_fingerprint``/``fingerprint`` chain the store states before
+    and after the transaction, which is what lets a replica prove it is
+    applying the record onto exactly the base the head committed on.
+    """
+
+    version: int
+    kind: str
+    reason: str
+    full: bool
+    parent_fingerprint: str
+    fingerprint: str
+    ops: tuple[dict, ...] = ()
+    rules: tuple[dict, ...] | None = None
+    default_action: str = PolicyAction.ALLOW.value
+
+    def to_payload(self) -> dict:
+        payload = {
+            "version": self.version,
+            "kind": self.kind,
+            "reason": self.reason,
+            "full": self.full,
+            "parent_fingerprint": self.parent_fingerprint,
+            "fingerprint": self.fingerprint,
+            "default_action": self.default_action,
+        }
+        if self.kind == "update":
+            payload["ops"] = list(self.ops)
+        else:
+            payload["rules"] = None if self.rules is None else list(self.rules)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DeltaLogRecord":
+        try:
+            rules = payload.get("rules")
+            return cls(
+                version=payload["version"],
+                kind=payload["kind"],
+                reason=payload.get("reason", ""),
+                full=payload["full"],
+                parent_fingerprint=payload["parent_fingerprint"],
+                fingerprint=payload["fingerprint"],
+                ops=tuple(payload.get("ops", ())),
+                rules=None if rules is None else tuple(rules),
+                default_action=payload.get("default_action", PolicyAction.ALLOW.value),
+            )
+        except (KeyError, TypeError) as exc:
+            raise PolicyParseError(f"malformed delta log record: {payload!r}") from exc
+
+    def as_update(self) -> PolicyUpdate:
+        """Reconstruct the transaction for replay on a replica's shadow store."""
+        if self.kind != "update":
+            raise ReplicationError(f"record v{self.version} is a {self.kind}, not an update")
+        update = PolicyUpdate(reason=self.reason)
+        for op in self.ops:
+            kind = op.get("op")
+            if kind == "add":
+                rule_id, rule = _rule_from_payload(op)
+                update.add_rule(rule, rule_id=rule_id)
+            elif kind == "remove":
+                update.remove_rule(op["id"])
+            elif kind == "replace":
+                rule_id, rule = _rule_from_payload(op)
+                update.replace_rule(rule_id, rule)
+            elif kind == "set_default":
+                update.set_default(PolicyAction(op["action"]))
+            else:
+                raise ReplicationError(f"unknown logged operation: {op!r}")
+        return update
+
+
+class DeltaLog:
+    """Append-only, contiguous, serializable history of a policy store.
+
+    The log starts at ``base_version`` (the store's version when the log
+    was created — records for earlier versions do not exist, a replica
+    older than that must re-attach) and holds exactly one record per
+    subsequent version.  ``since(v)`` is the catch-up primitive: every
+    record a subscriber at version ``v`` needs to converge to the head.
+    """
+
+    def __init__(self, base_version: int = 0, records: list[DeltaLogRecord] | None = None) -> None:
+        self.base_version = base_version
+        self._records: list[DeltaLogRecord] = []
+        for record in records or []:
+            self.append(record)
+
+    @property
+    def head_version(self) -> int:
+        return self.base_version + len(self._records)
+
+    def append(self, record: DeltaLogRecord) -> None:
+        if record.version != self.head_version + 1:
+            raise ReplicationError(
+                f"delta log at head v{self.head_version} cannot append "
+                f"non-contiguous record v{record.version}"
+            )
+        self._records.append(record)
+
+    def record(self, version: int) -> DeltaLogRecord:
+        if not self.base_version < version <= self.head_version:
+            raise ReplicationError(
+                f"delta log holds versions {self.base_version + 1}..{self.head_version}; "
+                f"no record for v{version}"
+            )
+        return self._records[version - self.base_version - 1]
+
+    def since(self, version: int) -> list[DeltaLogRecord]:
+        """Every record a subscriber at ``version`` is missing, in order."""
+        if version < self.base_version:
+            raise ReplicationError(
+                f"delta log starts at v{self.base_version}; a replica at "
+                f"v{version} predates it and must re-attach from the store"
+            )
+        return self._records[max(0, version - self.base_version):]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DeltaLogRecord]:
+        return iter(self._records)
+
+    # -- persistence -------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "base_version": self.base_version,
+                "records": [record.to_payload() for record in self._records],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeltaLog":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PolicyParseError(f"delta log json is unreadable: {exc}") from exc
+        if not isinstance(payload, dict) or "records" not in payload:
+            raise PolicyParseError("delta log json needs a top-level 'records' list")
+        return cls(
+            base_version=payload.get("base_version", 0),
+            records=[DeltaLogRecord.from_payload(body) for body in payload["records"]],
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "DeltaLog":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
 # -- the store -------------------------------------------------------------------------
 
 
@@ -209,6 +447,10 @@ class PolicyStore:
         self._next_id = 1
         self._snapshot: Policy | None = None
         self._subscribers: list = []
+        #: Serialized history of every committed transaction; replicas
+        #: converge from any starting version by replaying it.
+        self.delta_log = DeltaLog(base_version=0)
+        self._replicas: list = []
 
     @classmethod
     def from_policy(cls, policy: Policy, name: str | None = None) -> "PolicyStore":
@@ -253,6 +495,15 @@ class PolicyStore:
             )
         return self._snapshot
 
+    def fingerprint(self) -> str:
+        """Stable hash of the current rule table (ids, order, default).
+
+        Two stores — or a store and a :class:`GatewayReplica` — with
+        equal fingerprints enforce identically; the delta log chains
+        these hashes so replicas can verify every step of a replay.
+        """
+        return _fingerprint_state(self._rules.items(), self._default_action)
+
     # -- write side --------------------------------------------------------------------
 
     def _allocate_id(self, taken: dict[str, PolicyRule]) -> str:
@@ -268,10 +519,14 @@ class PolicyStore:
         """
         base_rules = tuple(self._rules.values())
         base_default = self._default_action
+        parent_fingerprint = self.fingerprint()
         working = dict(self._rules)
         default = self._default_action
         next_id = self._next_id
         changed: list[PolicyRule] = []
+        #: The transaction with every id resolved and every rule rendered —
+        #: what the delta log records and replicas replay.
+        normalized: list[dict] = []
         for op in update.ops:
             if isinstance(op, AddRule):
                 _validate_rule(op.rule, op.rule_id)
@@ -282,10 +537,12 @@ class PolicyStore:
                     raise PolicyUpdateError(f"rule id {rule_id!r} already exists")
                 working[rule_id] = op.rule
                 changed.append(op.rule)
+                normalized.append({"op": "add", **_rule_payload(rule_id, op.rule)})
             elif isinstance(op, RemoveRule):
                 if op.rule_id not in working:
                     raise PolicyUpdateError(f"cannot remove unknown rule id {op.rule_id!r}")
                 changed.append(working.pop(op.rule_id))
+                normalized.append({"op": "remove", "id": op.rule_id})
             elif isinstance(op, ReplaceRule):
                 _validate_rule(op.rule, op.rule_id)
                 old = working.get(op.rule_id)
@@ -294,8 +551,10 @@ class PolicyStore:
                 if old != op.rule:
                     changed.extend((old, op.rule))
                 working[op.rule_id] = op.rule
+                normalized.append({"op": "replace", **_rule_payload(op.rule_id, op.rule)})
             elif isinstance(op, SetDefault):
                 default = op.action
+                normalized.append({"op": "set_default", "action": op.action.value})
             else:
                 raise PolicyUpdateError(f"unknown policy operation: {op!r}")
 
@@ -320,7 +579,20 @@ class PolicyStore:
             base_default=base_default,
             reason=update.reason,
         )
+        record = DeltaLogRecord(
+            version=self.version,
+            kind="update",
+            reason=update.reason,
+            full=full,
+            parent_fingerprint=parent_fingerprint,
+            fingerprint=self.fingerprint(),
+            ops=tuple(normalized),
+            default_action=self._default_action.value,
+        )
+        self.delta_log.append(record)
         self._notify(delta)
+        for replica in list(self._replicas):
+            replica.apply_delta(record)
         return delta
 
     def set_policy(self, policy: Policy) -> PolicyDelta:
@@ -351,6 +623,7 @@ class PolicyStore:
         unsupported — the next transaction rebuilds from the store's own
         rule table.
         """
+        parent_fingerprint = self.fingerprint()
         self._rules = {}
         self._next_id = 1
         for rule in policy.rules:
@@ -358,9 +631,52 @@ class PolicyStore:
         self._default_action = policy.default_action
         self.version += 1
         self._snapshot = None
+        if any('"' in rule.target for rule in self._rules.values()):
+            # Legacy policies may hold targets the Snippet 1 grammar cannot
+            # render; log the version bump as an opaque sync so contiguity
+            # holds (replicas consuming it must re-attach).
+            rules: tuple[dict, ...] | None = None
+        else:
+            rules = tuple(
+                _rule_payload(rule_id, rule) for rule_id, rule in self._rules.items()
+            )
+        self.delta_log.append(
+            DeltaLogRecord(
+                version=self.version,
+                kind="sync",
+                reason=f"full sync from {policy.name!r}",
+                full=True,
+                parent_fingerprint=parent_fingerprint,
+                fingerprint=self.fingerprint(),
+                rules=rules,
+                default_action=self._default_action.value,
+            )
+        )
         for subscriber in self._subscribers:
             subscriber.sync_policy(policy, self.version)
+        for replica in list(self._replicas):
+            replica.apply_delta(self.delta_log.record(self.version))
         return self.version
+
+    def _adopt_state(
+        self, rules: dict[str, PolicyRule], default: PolicyAction, version: int
+    ) -> None:
+        """Install a complete replicated state (sync-record replay path).
+
+        Unlike :meth:`reset_to` this preserves the replicated rule ids
+        verbatim — replicas must keep the head's addressing so later
+        ``remove r6``-style records resolve — and adopts the head's
+        version instead of bumping its own.
+        """
+        self._rules = dict(rules)
+        self._default_action = default
+        self.version = version
+        self._snapshot = None
+        for rule_id in self._rules:
+            if rule_id.startswith("r") and rule_id[1:].isdigit():
+                self._next_id = max(self._next_id, int(rule_id[1:]) + 1)
+        for subscriber in self._subscribers:
+            subscriber.sync_policy(self.snapshot(), self.version)
 
     # -- diffing ---------------------------------------------------------------------
 
@@ -416,6 +732,64 @@ class PolicyStore:
             update.set_default(target.default_action)
         return update
 
+    def unified_diff(
+        self,
+        target: Policy,
+        update: PolicyUpdate | None = None,
+        from_label: str | None = None,
+        to_label: str | None = None,
+    ) -> str:
+        """Rule-id-aware unified-diff rendering of ``diff_update(target)``.
+
+        Surviving rules print as context lines under their stable ids;
+        removals/additions as ``-rN:``/``+rN:`` hunk lines (a replace is
+        a paired ``-``/``+`` on the same id).  Ids for additions are the
+        ones :meth:`apply` would allocate, so the diff an administrator
+        reviews names exactly the rules a later ``policy push`` commits.
+        """
+        if update is None:
+            update = self.diff_update(target)
+        # Dry-run the id allocation the transaction would perform.
+        working = dict(self._rules)
+        next_id = self._next_id
+        removed: set[str] = set()
+        replaced: dict[str, PolicyRule] = {}
+        added: list[tuple[str, PolicyRule]] = []
+        new_default: PolicyAction | None = None
+        for op in update.ops:
+            if isinstance(op, AddRule):
+                rule_id = op.rule_id
+                if rule_id is None:
+                    rule_id, next_id = _next_free_id(working, next_id)
+                working[rule_id] = op.rule
+                added.append((rule_id, op.rule))
+            elif isinstance(op, RemoveRule):
+                working.pop(op.rule_id, None)
+                removed.add(op.rule_id)
+            elif isinstance(op, ReplaceRule):
+                working[op.rule_id] = op.rule
+                replaced[op.rule_id] = op.rule
+            elif isinstance(op, SetDefault):
+                new_default = op.action
+        lines = [
+            f"--- {from_label or f'{self.name}@v{self.version}'}",
+            f"+++ {to_label or target.name}",
+        ]
+        for rule_id, rule in self._rules.items():
+            if rule_id in removed:
+                lines.append(f"-{rule_id}: {rule.render()}")
+            elif rule_id in replaced:
+                lines.append(f"-{rule_id}: {rule.render()}")
+                lines.append(f"+{rule_id}: {replaced[rule_id].render()}")
+            else:
+                lines.append(f" {rule_id}: {rule.render()}")
+        for rule_id, rule in added:
+            lines.append(f"+{rule_id}: {rule.render()}")
+        if new_default is not None and new_default is not self._default_action:
+            lines.append(f"-default: {self._default_action.value}")
+            lines.append(f"+default: {new_default.value}")
+        return "\n".join(lines)
+
     # -- subscribers -------------------------------------------------------------------
 
     def subscribe(self, enforcer, push: bool = True) -> None:
@@ -441,6 +815,23 @@ class PolicyStore:
     def _notify(self, delta: PolicyDelta) -> None:
         for subscriber in self._subscribers:
             subscriber.apply_policy_delta(delta)
+
+    def subscribe_replica(self, replica: "GatewayReplica", catch_up: bool = True) -> None:
+        """Push every future :class:`DeltaLogRecord` to ``replica`` live.
+
+        With ``catch_up`` (the default) the replica first replays any
+        records it is missing, so subscription leaves it converged.  A
+        replica left unsubscribed lags instead and converges on demand
+        via :meth:`GatewayReplica.catch_up` — that is how staged
+        rollouts hold back part of the fleet.
+        """
+        if catch_up:
+            replica.catch_up(self.delta_log)
+        self._replicas.append(replica)
+
+    def unsubscribe_replica(self, replica: "GatewayReplica") -> None:
+        if replica in self._replicas:
+            self._replicas.remove(replica)
 
     # -- persistence -------------------------------------------------------------------
 
@@ -511,6 +902,9 @@ class PolicyStore:
         if not isinstance(version, int) or isinstance(version, bool):
             raise PolicyParseError(f"store version must be an integer, got: {version!r}")
         store.version = version
+        # The loaded state is this log's genesis: history before it was
+        # not serialized, so replicas older than `version` must re-attach.
+        store.delta_log = DeltaLog(base_version=version)
         return store
 
     def save(self, path) -> None:
@@ -521,3 +915,124 @@ class PolicyStore:
     def load(cls, path) -> "PolicyStore":
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_json(handle.read())
+
+
+# -- gateway replication ---------------------------------------------------------------
+
+
+class GatewayReplica:
+    """One gateway's converging mirror of a :class:`PolicyStore`.
+
+    The replica owns a *shadow* store (the head's id-addressed rule
+    table at some version) plus the gateway's local enforcer, which
+    subscribes to the shadow.  Consuming a :class:`DeltaLogRecord`
+    re-applies the head's transaction to the shadow, so the enforcer
+    receives exactly the same surgical :class:`PolicyDelta` the head's
+    own data plane saw — verdict identity and warm flow caches come for
+    free, no matter how late the record arrives.
+
+    Replicas attach from a store's current state (any version) and
+    converge by :meth:`catch_up` replay over the shared
+    :class:`DeltaLog`, or live via
+    :meth:`PolicyStore.subscribe_replica`.  Every applied record is
+    fingerprint-verified against the head's chained hashes;
+    :class:`ReplicationError` means the replica diverged and must
+    re-attach rather than keep enforcing a forked policy.
+    """
+
+    def __init__(self, enforcer, store: PolicyStore, name: str = "gateway") -> None:
+        self.name = name
+        self.enforcer = enforcer
+        self._shadow = PolicyStore(name=f"{name}:{store.name}")
+        self._shadow._rules = dict(store._rules)
+        self._shadow._default_action = store._default_action
+        self._shadow._next_id = store._next_id
+        self._shadow.version = store.version
+        self._shadow.delta_log = DeltaLog(base_version=store.version)
+        self._shadow.subscribe(enforcer, push=True)
+        #: Records applied through :meth:`apply_delta` (catch-up included).
+        self.records_applied = 0
+
+    @property
+    def version(self) -> int:
+        """The policy version this replica has converged to."""
+        return self._shadow.version
+
+    def fingerprint(self) -> str:
+        return self._shadow.fingerprint()
+
+    def snapshot(self) -> Policy:
+        return self._shadow.snapshot()
+
+    # -- convergence -------------------------------------------------------------------
+
+    def apply_delta(self, record: DeltaLogRecord) -> bool:
+        """Consume one log record; returns False if already applied.
+
+        Records must arrive contiguously (the log replays gaps —
+        :meth:`catch_up`); an update record is re-applied through the
+        shadow store so the local enforcer gets the same surgical delta
+        the head fanned out, a sync record installs the full replicated
+        table.  Fingerprints are verified before (updates) and after
+        (always) the apply.
+        """
+        if record.version <= self.version:
+            return False
+        if record.version != self.version + 1:
+            raise ReplicationError(
+                f"replica {self.name!r} at v{self.version} cannot apply "
+                f"non-contiguous record v{record.version}; catch up from the log"
+            )
+        if record.kind == "sync":
+            if record.rules is None:
+                raise ReplicationError(
+                    f"record v{record.version} is an opaque sync (unserializable "
+                    f"rules); replica {self.name!r} must re-attach from the store"
+                )
+            rules = dict(_rule_from_payload(body) for body in record.rules)
+            self._shadow._adopt_state(
+                rules, PolicyAction(record.default_action), record.version
+            )
+        elif record.kind == "update":
+            if record.parent_fingerprint != self.fingerprint():
+                raise ReplicationError(
+                    f"replica {self.name!r} diverged: v{self.version} state does "
+                    f"not match record v{record.version}'s parent fingerprint"
+                )
+            try:
+                self._shadow.apply(record.as_update())
+            except PolicyUpdateError as exc:
+                raise ReplicationError(
+                    f"replica {self.name!r} failed to replay record "
+                    f"v{record.version}: {exc}"
+                ) from exc
+        else:
+            raise ReplicationError(f"unknown record kind: {record.kind!r}")
+        if self.fingerprint() != record.fingerprint:
+            raise ReplicationError(
+                f"replica {self.name!r} hash mismatch after applying record "
+                f"v{record.version}; state diverged from the head"
+            )
+        self.records_applied += 1
+        return True
+
+    def catch_up(self, log: DeltaLog, target_version: int | None = None) -> int:
+        """Replay every missing record (up to ``target_version``); returns
+        how many were applied.  Convergence from any starting version is
+        exactly this loop."""
+        applied = 0
+        for record in log.since(self.version):
+            if target_version is not None and record.version > target_version:
+                break
+            if self.apply_delta(record):
+                applied += 1
+        return applied
+
+    def lag(self, log: DeltaLog) -> int:
+        """How many committed versions this replica is behind the log head."""
+        return max(0, log.head_version - self.version)
+
+    def verify_against(self, store: PolicyStore) -> bool:
+        """True when this replica is converged with ``store`` (version and
+        rule-table fingerprint both equal)."""
+        return self.version == store.version and self.fingerprint() == store.fingerprint()

@@ -35,6 +35,12 @@ from repro.experiments.gateway_throughput import (
     GatewayConfigResult,
     run_gateway_bench,
 )
+from repro.experiments.fleet import (
+    FleetBenchResult,
+    ShardBackendComparison,
+    run_fleet_bench,
+    run_shard_backend_comparison,
+)
 
 __all__ = [
     "CorpusRunResult",
@@ -59,4 +65,8 @@ __all__ = [
     "GatewayBenchResult",
     "GatewayConfigResult",
     "run_gateway_bench",
+    "FleetBenchResult",
+    "ShardBackendComparison",
+    "run_fleet_bench",
+    "run_shard_backend_comparison",
 ]

@@ -33,6 +33,14 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def format_churn_by_app(churn: dict, limit: int = 3) -> str:
+    """Render a per-app flow-cache churn map, hottest apps first."""
+    if not churn:
+        return "(none)"
+    ranked = sorted(churn.items(), key=lambda item: (-item[1], item[0]))
+    return ", ".join(f"{app}:{count}" for app, count in ranked[:limit])
+
+
 @dataclass
 class CorpusRunResult:
     """Everything observable after exercising a corpus under a deployment."""

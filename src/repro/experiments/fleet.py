@@ -1,0 +1,410 @@
+"""Fleet-scale replay: replicated gateways under live policy churn.
+
+The ROADMAP north star (heavy traffic from millions of users) outgrows
+one gateway; this driver measures the fleet runtime end to end:
+
+* a :class:`~repro.workloads.fleet.DeviceFleet` provisions hundreds of
+  BYOD devices with per-device app mixes from the workload corpus and
+  derives a heavy-tailed packet trace;
+* a multi-gateway :class:`~repro.core.deployment.BorderPatrolDeployment`
+  routes the trace across N :class:`~repro.core.policy_store.GatewayReplica`
+  gateways by flow hash, while an administrator commits rule edits to
+  the shared :class:`~repro.core.policy_store.PolicyStore` between
+  bursts;
+* replicas are deliberately kept off the live push path, so every
+  commit opens a measurable convergence lag (versions behind the delta
+  log head) that the next catch-up replay closes — the staged-rollout
+  loop, instrumented;
+* a single head-subscribed enforcer processes the identical trace under
+  the identical edit schedule, and the fleet must match it verdict for
+  verdict: replication must never change what the policy decides.
+
+:func:`run_shard_backend_comparison` separately validates the *modelled*
+shard parallelism with wall-clock: the same replay through
+``ShardedEnforcer`` with the sequential backend vs the real
+``multiprocessing`` fork backend.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.core.deployment import BorderPatrolDeployment
+from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.core.policy_enforcer import PolicyEnforcer
+from repro.core.policy_store import PolicyUpdate
+from repro.experiments.common import format_table
+from repro.experiments.gateway_throughput import (
+    DEFAULT_DENY_LIBRARIES,
+    build_replay,
+    build_signature_database,
+)
+from repro.netstack.netfilter import Verdict
+from repro.netstack.sharding import ShardedEnforcer
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+from repro.workloads.fleet import DeviceFleet, DeviceFleetConfig
+
+
+def available_cpus() -> int:
+    """CPUs this process may schedule on (what real fork parallelism has)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@dataclass
+class ShardBackendComparison:
+    """Sequential vs multiprocessing execution of one sharded replay."""
+
+    packets: int
+    shards: int
+    cpus: int
+    sequential_wall_s: float
+    process_wall_s: float
+    verdicts_match: bool
+
+    @property
+    def speedup(self) -> float:
+        """Real wall-clock speedup of the fork backend over sequential."""
+        if self.process_wall_s <= 0:
+            return float("inf")
+        return self.sequential_wall_s / self.process_wall_s
+
+    def summary(self) -> str:
+        return (
+            f"shard backend on {self.packets} packets, {self.shards} shards, "
+            f"{self.cpus} cpu(s): sequential {self.sequential_wall_s * 1e3:.1f} ms "
+            f"vs multiprocessing {self.process_wall_s * 1e3:.1f} ms "
+            f"({self.speedup:.2f}x, verdict-identical: {self.verdicts_match})"
+        )
+
+
+def run_shard_backend_comparison(
+    packets: int = 10_000,
+    flows: int = 256,
+    shards: int = 4,
+    corpus_apps: int = 6,
+    seed: int = 7,
+    flow_cache_size: int = 0,
+) -> ShardBackendComparison:
+    """Measure the real fork backend against the sequential baseline.
+
+    Both enforcers process the identical replay with identical shard
+    configuration; ``flow_cache_size`` defaults to 0 (compiled-only
+    path) so there is real per-packet work for the fork fan-out to
+    parallelise.  A small warm-up burst triggers lazy per-app policy
+    compilation on both sides before the timed run.
+    """
+    if packets < 1:
+        raise ValueError("the replay needs at least one packet")
+    if shards < 2:
+        raise ValueError("comparing backends needs at least two shards")
+    database = build_signature_database(corpus_apps=corpus_apps, seed=seed)
+    replay = build_replay(database.entries(), packets=packets, flows=flows, seed=seed)
+    policy = Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="backend-compare")
+    kwargs = dict(
+        database=database,
+        policy=policy,
+        num_shards=shards,
+        keep_records=False,
+        flow_cache_size=flow_cache_size,
+    )
+    sequential = ShardedEnforcer(backend="sequential", **kwargs)
+    forked = ShardedEnforcer(backend="process", **kwargs)
+    warmup = replay[: min(64, len(replay))]
+    sequential.process_batch_timed(warmup)
+    forked.process_batch_timed(warmup, backend="sequential")
+
+    batch_sequential = sequential.process_batch_timed(replay)
+    batch_forked = forked.process_batch_timed(replay)
+    return ShardBackendComparison(
+        packets=len(replay),
+        shards=shards,
+        cpus=available_cpus(),
+        sequential_wall_s=batch_sequential.measured_wall_s,
+        process_wall_s=batch_forked.measured_wall_s,
+        verdicts_match=[v for v, _ in batch_sequential.results]
+        == [v for v, _ in batch_forked.results],
+    )
+
+
+@dataclass
+class FleetBenchResult:
+    """One fleet replay under churn, plus its single-gateway baseline."""
+
+    packets: int
+    devices: int
+    gateways: int
+    shards_per_gateway: int
+    edits: int
+    flows: int
+    fleet_wall_s: float = 0.0
+    baseline_wall_s: float = 0.0
+    fleet_verdicts: tuple = ()
+    baseline_verdicts: tuple = ()
+    per_gateway_packets: tuple[int, ...] = ()
+    #: Largest versions-behind-head each gateway reached before a catch-up.
+    max_lag: dict = field(default_factory=dict)
+    #: Delta-log records each gateway replayed over the whole schedule.
+    records_applied: dict = field(default_factory=dict)
+    final_versions: dict = field(default_factory=dict)
+    store_version: int = 0
+    #: Every replica verified (version + rule-table fingerprint) against
+    #: the store after the run.
+    converged: bool = False
+    #: Apps that lost the most flow-cache entries fleet-wide.
+    top_churn_apps: list = field(default_factory=list)
+    backend: ShardBackendComparison | None = None
+
+    @property
+    def verdicts_match(self) -> bool:
+        return self.fleet_verdicts == self.baseline_verdicts
+
+    @property
+    def fleet_kpps(self) -> float:
+        return self.packets / self.fleet_wall_s / 1e3 if self.fleet_wall_s > 0 else float("inf")
+
+    @property
+    def baseline_kpps(self) -> float:
+        return (
+            self.packets / self.baseline_wall_s / 1e3
+            if self.baseline_wall_s > 0
+            else float("inf")
+        )
+
+    def table(self) -> str:
+        rows = [
+            (
+                "single-gateway",
+                self.packets,
+                f"{self.baseline_wall_s * 1e3:.1f}",
+                f"{self.baseline_kpps:.1f}",
+                "-",
+                "-",
+            )
+        ]
+        lag = self.max_lag
+        applied = self.records_applied
+        for name, version in self.final_versions.items():
+            rows.append(
+                (
+                    name,
+                    self.per_gateway_packets[int(name[2:])]
+                    if name.startswith("gw")
+                    else "-",
+                    "-",
+                    "-",
+                    f"{lag.get(name, 0)} (applied {applied.get(name, 0)})",
+                    f"v{version}",
+                )
+            )
+        rows.append(
+            (
+                f"fleet-{self.gateways}x{self.shards_per_gateway}",
+                self.packets,
+                f"{self.fleet_wall_s * 1e3:.1f}",
+                f"{self.fleet_kpps:.1f}",
+                "-",
+                f"v{self.store_version} (head)",
+            )
+        )
+        table = format_table(
+            ("configuration", "packets", "wall (ms)", "kpps", "max lag", "policy version"),
+            rows,
+        )
+        churn = (
+            ", ".join(f"{app}:{count}" for app, count in self.top_churn_apps)
+            if self.top_churn_apps
+            else "(none)"
+        )
+        lines = [
+            table,
+            f"{self.devices} devices over {self.flows} flows; {self.edits} edits "
+            f"committed live ({self.store_version} store versions)",
+            f"apps churning the flow cache hardest: {churn}",
+            f"replicas converged (fingerprint-verified): {self.converged}",
+            f"fleet verdict-identical to single gateway: {self.verdicts_match}",
+        ]
+        if self.backend is not None:
+            lines.append(self.backend.summary())
+        return "\n".join(lines)
+
+
+def _split_bursts(trace: list, edits: int) -> list[list]:
+    burst_count = edits + 1
+    size = max(1, len(trace) // burst_count)
+    bursts = [trace[index * size : (index + 1) * size] for index in range(burst_count - 1)]
+    bursts.append(trace[(burst_count - 1) * size :])
+    return [burst for burst in bursts if burst]
+
+
+def run_fleet_bench(
+    packets: int = 10_000,
+    devices: int = 120,
+    gateways: int = 3,
+    shards_per_gateway: int = 2,
+    edits: int = 12,
+    corpus_apps: int = 8,
+    seed: int = 7,
+    flow_cache_size: int = 4096,
+    apps_per_device: tuple[int, int] = (1, 3),
+    backend_packets: int = 0,
+) -> FleetBenchResult:
+    """Replay one fleet workload under live churn; compare with one gateway.
+
+    Per burst: the administrator commits a rotating set of per-app deny
+    edits to the shared store (replicas off the live path lag by exactly
+    those versions — the recorded convergence lag), every gateway then
+    catches up by delta-log replay, and the burst is processed across
+    the fleet.  A single enforcer subscribed directly to the store
+    replays the identical schedule as the verdict baseline.
+
+    ``backend_packets > 0`` additionally runs
+    :func:`run_shard_backend_comparison` at that replay size.
+    """
+    if packets <= edits:
+        raise ValueError("need more packets than edits so every burst is non-empty")
+    if gateways < 2:
+        raise ValueError("a fleet bench needs at least two gateway replicas")
+    if corpus_apps < 2:
+        raise ValueError("the churn schedule needs at least two corpus apps")
+    if devices < 1:
+        raise ValueError("the device fleet needs at least one device")
+
+    apps = CorpusGenerator(CorpusConfig(n_apps=corpus_apps, seed=seed)).generate()
+    base_policy = Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="fleet-base")
+    deployment = BorderPatrolDeployment(
+        policy=base_policy,
+        num_gateways=gateways,
+        enforcer_shards=shards_per_gateway,
+        drop_untagged=True,
+        drop_unknown_apps=True,
+        keep_records=False,
+    )
+    fleet = deployment.fleet
+    device_fleet = DeviceFleet(
+        deployment,
+        apps,
+        DeviceFleetConfig(
+            devices=devices,
+            min_apps_per_device=apps_per_device[0],
+            max_apps_per_device=apps_per_device[1],
+            seed=seed,
+        ),
+    )
+    trace = device_fleet.build_trace(packets)
+    bursts = _split_bursts(trace, edits)
+    store = deployment.policy_store
+
+    # The verdict baseline: one enforcer subscribed straight to the head
+    # store, so it is always at the committed version when a burst runs.
+    baseline = PolicyEnforcer(
+        database=deployment.database,
+        policy=store.snapshot(),
+        keep_records=False,
+        flow_cache_size=flow_cache_size,
+    )
+    store.subscribe(baseline, push=False)
+
+    # Staged-rollout mode: commits accumulate in the delta log and every
+    # gateway converges by catch-up replay between bursts.
+    fleet.set_live(False)
+
+    result = FleetBenchResult(
+        packets=len(trace),
+        devices=device_fleet.device_count(),
+        gateways=gateways,
+        shards_per_gateway=shards_per_gateway,
+        edits=len(bursts) - 1,
+        flows=len(device_fleet.build_flows()),
+        max_lag={replica.name: 0 for replica in fleet.replicas},
+        records_applied={replica.name: 0 for replica in fleet.replicas},
+    )
+
+    churn_targets = [app.package_name.replace(".", "/") for app in apps]
+    toggled: dict[str, bool] = {}
+    fleet_verdicts: list[Verdict] = []
+    baseline_verdicts: list[Verdict] = []
+    fleet_wall = 0.0
+    baseline_wall = 0.0
+    per_gateway = [0] * gateways
+
+    for index, burst in enumerate(bursts):
+        # Converge the fleet (and record the lag the last edits opened).
+        # Replicas are independent gateways catching up concurrently, so
+        # the burst pays the slowest replica's replay, not the sum.
+        for name, lag in fleet.lags().items():
+            result.max_lag[name] = max(result.max_lag[name], lag)
+        catch_up_walls = []
+        for replica in fleet.replicas:
+            started = time.perf_counter()
+            applied = replica.catch_up(store.delta_log)
+            catch_up_walls.append(time.perf_counter() - started)
+            result.records_applied[replica.name] += applied
+        fleet_wall += max(catch_up_walls, default=0.0)
+
+        batch = fleet.process_batch_timed(burst)
+        fleet_wall += batch.parallel_wall_s
+        fleet_verdicts.extend(verdict for verdict, _ in batch.results)
+        per_gateway = [
+            total + count for total, count in zip(per_gateway, batch.gateway_packet_counts)
+        ]
+
+        started = time.perf_counter()
+        processed = baseline.process_batch(burst)
+        baseline_wall += time.perf_counter() - started
+        baseline_verdicts.extend(verdict for verdict, _ in processed)
+
+        if index < len(bursts) - 1:
+            # Rotate 1..3 per-app deny toggles; each is one committed
+            # version, so the pre-catch-up lag varies across bursts.
+            # Commit time (which includes the live-subscribed baseline's
+            # delta application) is charged to the baseline path, the
+            # replicas' replay of the same transactions to the fleet —
+            # each side pays for applying every edit exactly once.
+            started = time.perf_counter()
+            for offset in range(1 + index % 3):
+                target = churn_targets[(index + offset) % len(churn_targets)]
+                rule_id = f"churn-{target}"
+                if toggled.get(target):
+                    store.apply(
+                        PolicyUpdate(reason=f"unblock {target}").remove_rule(rule_id)
+                    )
+                    toggled[target] = False
+                else:
+                    store.apply(
+                        PolicyUpdate(reason=f"block {target}").add_rule(
+                            PolicyRule(
+                                action=PolicyAction.DENY,
+                                level=PolicyLevel.LIBRARY,
+                                target=target,
+                            ),
+                            rule_id=rule_id,
+                        )
+                    )
+                    toggled[target] = True
+            baseline_wall += time.perf_counter() - started
+
+    result.fleet_wall_s = fleet_wall
+    result.baseline_wall_s = baseline_wall
+    result.fleet_verdicts = tuple(fleet_verdicts)
+    result.baseline_verdicts = tuple(baseline_verdicts)
+    result.per_gateway_packets = tuple(per_gateway)
+    result.final_versions = fleet.policy_versions()
+    result.store_version = store.version
+    result.converged = fleet.converged
+    result.top_churn_apps = fleet.aggregate_stats().top_churn_apps(limit=3)
+    # The store seeds at version 0, so its version is exactly the number
+    # of churn transactions committed over the schedule.
+    result.edits = store.version
+    if backend_packets > 0:
+        result.backend = run_shard_backend_comparison(
+            packets=backend_packets,
+            shards=max(2, shards_per_gateway),
+            corpus_apps=corpus_apps,
+            seed=seed,
+        )
+    return result

@@ -30,7 +30,7 @@ from repro.core.encoding import StackTraceEncoder
 from repro.core.offline_analyzer import OfflineAnalyzer
 from repro.core.policy import Policy
 from repro.core.policy_enforcer import PolicyEnforcer
-from repro.experiments.common import format_table
+from repro.experiments.common import format_churn_by_app, format_table
 from repro.netstack.ip import IPPacket
 from repro.netstack.netfilter import Verdict
 from repro.netstack.sharding import ShardedEnforcer
@@ -72,6 +72,8 @@ class GatewayConfigResult:
     compiled_evals: int = 0
     fallback_evals: int = 0
     shard_packet_counts: tuple[int, ...] = ()
+    #: Flow-cache entries lost per app (invalidations + LRU evictions).
+    churn_by_app: dict = field(default_factory=dict)
 
     @property
     def pps(self) -> float:
@@ -125,7 +127,15 @@ class GatewayBenchResult:
             ),
             rows,
         )
-        return table + f"\nall paths verdict-identical: {self.verdicts_match}"
+        churn: dict[str, int] = {}
+        for result in self.results.values():
+            for app, count in result.churn_by_app.items():
+                churn[app] = churn.get(app, 0) + count
+        return (
+            table
+            + f"\nflow-cache churn by app: {format_churn_by_app(churn)}"
+            + f"\nall paths verdict-identical: {self.verdicts_match}"
+        )
 
 
 def build_signature_database(corpus_apps: int = 6, seed: int = 7) -> SignatureDatabase:
@@ -199,6 +209,7 @@ def _snapshot(name: str, packets: int, wall_s: float, verdicts, stats) -> Gatewa
         cache_misses=stats.cache_misses,
         compiled_evals=stats.compiled_evals,
         fallback_evals=stats.fallback_evals,
+        churn_by_app=dict(stats.cache_churn_by_app),
     )
 
 

@@ -37,7 +37,7 @@ from repro.core.encoding import StackTraceEncoder
 from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
 from repro.core.policy_enforcer import PolicyEnforcer
 from repro.core.policy_store import PolicyStore, PolicyUpdate
-from repro.experiments.common import format_table
+from repro.experiments.common import format_churn_by_app, format_table
 from repro.experiments.gateway_throughput import (
     DEFAULT_DENY_LIBRARIES,
     build_replay,
@@ -65,6 +65,8 @@ class ChurnPathResult:
     entries_invalidated: int = 0
     apps_recompiled: int = 0
     final_policy_version: int = 0
+    #: Flow-cache entries lost per app (invalidations + LRU evictions).
+    churn_by_app: dict = field(default_factory=dict)
 
     @property
     def pps(self) -> float:
@@ -133,10 +135,13 @@ class PolicyChurnResult:
             ),
             rows,
         )
+        delta_churn = self.results["delta"].churn_by_app if "delta" in self.results else {}
         return table + (
             f"\n{self.edits} edits toggling deny [library][\"{self.churn_library}\"] "
             f"(touches only {self.churn_app}: {self.churn_app_packets} of "
             f"{self.packets} packets)"
+            f"\napps churning the cache hardest (delta path): "
+            f"{format_churn_by_app(delta_churn)}"
             f"\nall paths verdict-identical: {self.verdicts_match}"
         )
 
@@ -195,6 +200,7 @@ def _run_schedule(name, enforcer, apply_edit, bursts, sharded: bool) -> ChurnPat
         entries_invalidated=stats.cache_entries_invalidated,
         apps_recompiled=stats.apps_recompiled,
         final_policy_version=enforcer.policy_version,
+        churn_by_app=dict(stats.cache_churn_by_app),
     )
 
 

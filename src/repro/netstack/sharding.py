@@ -18,12 +18,28 @@ The sharder is itself a :class:`~repro.netstack.netfilter.QueueConsumer`,
 so it can be bound to a single queue; bound through
 :meth:`~repro.netstack.netfilter.Iptables.bind_queue_balance` instead,
 each shard owns its own queue number, mirroring the real deployment.
+
+Backends
+--------
+``backend="sequential"`` (the default) executes the shard groups one
+after another and *models* the parallel wall-clock as the slowest group
+— cheap, deterministic, and how every verdict-identity check runs.
+``backend="process"`` is the real thing: each non-empty shard group is
+handed to a forked worker process (one per shard, mirroring one NFQUEUE
+consumer per core), verdicts and counter deltas are piped back and
+stitched into input order, and :attr:`BatchResult.measured_wall_s` is
+the *actual* elapsed wall-clock — the number that validates the model.
+Workers are forked per batch, so they always see the parent's current
+policy state (no staleness under live policy churn); the price is that
+flow-cache warm-up inside a batch stays in the child and is not carried
+to the next batch.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 
 from repro.core.policy_enforcer import (
     EnforcementRecord,
@@ -33,6 +49,47 @@ from repro.core.policy_enforcer import (
 )
 from repro.netstack.ip import IPPacket
 from repro.netstack.netfilter import Verdict, flow_hash
+
+#: Supported :meth:`ShardedEnforcer.process_batch_timed` execution backends.
+BACKENDS = ("sequential", "process")
+
+
+def _require_fork_context():
+    """The fork start method keeps workers cheap (no re-import, no enforcer
+    pickling) and inheriting the parent's current policy state; platforms
+    without it (Windows, some macOS configs) must use the sequential
+    backend."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError(
+            "the 'process' shard backend needs the fork start method; "
+            "use backend='sequential' on this platform"
+        )
+    return multiprocessing.get_context("fork")
+
+
+def _shard_worker(conn, shard: PolicyEnforcer, packets: list[IPPacket]) -> None:
+    """Process one shard's packet group in a forked worker.
+
+    Reports back (elapsed seconds, verdict values in group order, the
+    stats accrued, any new audit records) — everything the parent needs
+    to fold the work into its own shard state.
+    """
+    try:
+        stats_before = shard.stats.copy()
+        records_before = len(shard.records)
+        started = time.perf_counter()
+        results = [shard.process(packet) for packet in packets]
+        elapsed = time.perf_counter() - started
+        conn.send(
+            (
+                elapsed,
+                [verdict.value for verdict, _ in results],
+                shard.stats.delta_since(stats_before),
+                shard.records[records_before:] if shard.keep_records else [],
+            )
+        )
+    finally:
+        conn.close()
 
 
 @dataclass
@@ -44,11 +101,20 @@ class BatchResult:
     since shards are independent consumers, the modelled parallel
     wall-clock of the burst is the slowest shard, while a single-queue
     gateway would pay the sum.
+
+    ``measured_wall_s`` is the wall-clock the burst *actually* took:
+    for the sequential backend that is the sum of the shard times (the
+    simulation really ran them back to back); for the process backend
+    it is the end-to-end elapsed time of the forked fan-out — fork,
+    parallel processing, and result harvesting included — which is what
+    validates the modelled :attr:`parallel_wall_s` on real hardware.
     """
 
     results: list[tuple[Verdict, IPPacket]]
     shard_elapsed_s: list[float]
     shard_packet_counts: list[int]
+    backend: str = "sequential"
+    measured_wall_s: float = 0.0
 
     @property
     def parallel_wall_s(self) -> float:
@@ -71,11 +137,17 @@ class ShardedEnforcer:
         database,
         policy=None,
         num_shards: int = 4,
+        backend: str = "sequential",
         **enforcer_kwargs,
     ) -> None:
         if num_shards < 1:
             raise ValueError("need at least one enforcer shard")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown shard backend {backend!r}; choose from {BACKENDS}")
+        if backend == "process":
+            _require_fork_context()
         self.num_shards = num_shards
+        self.backend = backend
         self.shards: list[PolicyEnforcer] = [
             PolicyEnforcer(database=database, policy=policy, **enforcer_kwargs)
             for _ in range(num_shards)
@@ -157,21 +229,32 @@ class ShardedEnforcer:
         """
         return self.process_batch_timed(packets).results
 
-    def process_batch_timed(self, packets: list[IPPacket]) -> BatchResult:
+    def process_batch_timed(
+        self, packets: list[IPPacket], backend: str | None = None
+    ) -> BatchResult:
         """Process a burst shard-by-shard, modelling per-shard wall-clock.
 
-        Packets are grouped by flow shard, each group is processed on its
-        shard in one timed run (the simulation executes shards
-        sequentially, but the groups are independent, so the slowest
-        group is the parallel-deployment bottleneck), and the verdicts
-        are stitched back into input order.
+        Packets are grouped by flow shard and the verdicts are stitched
+        back into input order.  With the default ``sequential`` backend
+        each group is processed on its shard in one timed run (the
+        simulation executes shards sequentially, but the groups are
+        independent, so the slowest group is the parallel-deployment
+        bottleneck); the ``process`` backend forks one worker per
+        non-empty group and runs them genuinely in parallel.
         """
+        backend = self.backend if backend is None else backend
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown shard backend {backend!r}; choose from {BACKENDS}")
         groups: list[list[int]] = [[] for _ in range(self.num_shards)]
         for position, packet in enumerate(packets):
             groups[self.shard_index(packet)].append(position)
 
+        if backend == "process" and packets:
+            return self._process_batch_forked(packets, groups)
+
         results: list[tuple[Verdict, IPPacket] | None] = [None] * len(packets)
         elapsed: list[float] = []
+        started_batch = time.perf_counter()
         for shard, positions in zip(self.shards, groups):
             started = time.perf_counter()
             for position in positions:
@@ -181,6 +264,63 @@ class ShardedEnforcer:
             results=[result for result in results if result is not None],
             shard_elapsed_s=elapsed,
             shard_packet_counts=[len(positions) for positions in groups],
+            backend="sequential",
+            measured_wall_s=time.perf_counter() - started_batch,
+        )
+
+    def _process_batch_forked(
+        self, packets: list[IPPacket], groups: list[list[int]]
+    ) -> BatchResult:
+        """One forked worker per non-empty shard group, results stitched back.
+
+        Forking at batch time means every worker inherits the shards'
+        *current* compiled policy and flow-cache state — live policy
+        churn between batches needs no worker resynchronisation.  Each
+        worker's verdicts, counter deltas and audit records are folded
+        back into the parent shard, so stats and records read exactly as
+        if the batch had run sequentially; only in-batch cache warm-up
+        stays behind in the child.
+        """
+        ctx = _require_fork_context()
+        started_batch = time.perf_counter()
+        workers = []
+        for shard_index, positions in enumerate(groups):
+            if not positions:
+                continue
+            receiver, sender = ctx.Pipe(duplex=False)
+            worker = ctx.Process(
+                target=_shard_worker,
+                args=(
+                    sender,
+                    self.shards[shard_index],
+                    [packets[position] for position in positions],
+                ),
+            )
+            worker.start()
+            sender.close()
+            workers.append((shard_index, positions, receiver, worker))
+
+        results: list[tuple[Verdict, IPPacket] | None] = [None] * len(packets)
+        elapsed = [0.0] * self.num_shards
+        try:
+            for shard_index, positions, receiver, worker in workers:
+                shard_elapsed, verdict_values, stats_delta, new_records = receiver.recv()
+                elapsed[shard_index] = shard_elapsed
+                for position, value in zip(positions, verdict_values):
+                    results[position] = (Verdict(value), packets[position])
+                shard = self.shards[shard_index]
+                shard.stats.merge(stats_delta)
+                shard.records.extend(new_records)
+        finally:
+            for _, _, receiver, worker in workers:
+                receiver.close()
+                worker.join()
+        return BatchResult(
+            results=[result for result in results if result is not None],
+            shard_elapsed_s=elapsed,
+            shard_packet_counts=[len(positions) for positions in groups],
+            backend="process",
+            measured_wall_s=time.perf_counter() - started_batch,
         )
 
     # -- aggregated inspection ----------------------------------------------------------
@@ -189,12 +329,7 @@ class ShardedEnforcer:
         """Sum of every shard's counters (equals the per-shard totals)."""
         total = EnforcerStats()
         for shard in self.shards:
-            for stat_field in fields(EnforcerStats):
-                setattr(
-                    total,
-                    stat_field.name,
-                    getattr(total, stat_field.name) + getattr(shard.stats, stat_field.name),
-                )
+            total.merge(shard.stats)
         return total
 
     @property

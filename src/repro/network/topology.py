@@ -19,7 +19,14 @@ from dataclasses import dataclass, field
 from repro.netstack.clock import SimulatedClock
 from repro.netstack.dns import DnsRegistry
 from repro.netstack.ip import IPPacket
-from repro.netstack.netfilter import Iptables, IptablesRule, QueueConsumer, RuleTarget, Verdict
+from repro.netstack.netfilter import (
+    Iptables,
+    IptablesRule,
+    QueueConsumer,
+    RuleTarget,
+    Verdict,
+    flow_hash,
+)
 from repro.netstack.routing import Router, RouterPolicy
 from repro.netstack.tcp import FlowTable
 from repro.network.capture import CapturePoint, DeliveryReport, TrafficCapture
@@ -45,6 +52,11 @@ class NetworkConfig:
     #: Internet routers filter packets with IP options (RFC 7126 §4.x) —
     #: the reason the Packet Sanitizer exists.
     internet_drops_ip_options: bool = True
+    #: Enforcement gateways at the border.  With more than one, the
+    #: internal router spreads device flows across them by flow hash
+    #: (ECMP-style), the same way each gateway spreads flows across its
+    #: NFQUEUE shards; every gateway runs its own enforcement chain.
+    num_gateways: int = 1
 
 
 class EnterpriseNetwork:
@@ -61,7 +73,9 @@ class EnterpriseNetwork:
         self.dns = dns or DnsRegistry()
         self.capture = TrafficCapture()
         self.flow_table = FlowTable()
-        self.gateway = Iptables()
+        if self.config.num_gateways < 1:
+            raise ValueError("the enterprise network needs at least one gateway")
+        self.gateways = [Iptables() for _ in range(self.config.num_gateways)]
         self.servers: dict[str, Server] = {}
         self._next_device_host = 2
 
@@ -85,6 +99,16 @@ class EnterpriseNetwork:
             )
             for i in range(self.config.internet_hop_count)
         ]
+
+    @property
+    def gateway(self) -> Iptables:
+        """The first (or only) enforcement gateway — the single-gateway
+        topology every pre-fleet call site keeps using unchanged."""
+        return self.gateways[0]
+
+    def gateway_for(self, packet: IPPacket) -> Iptables:
+        """The gateway this packet's flow is routed to (stable per flow)."""
+        return self.gateways[flow_hash(packet) % len(self.gateways)]
 
     # -- address / server management ----------------------------------------------
 
@@ -128,8 +152,9 @@ class EnterpriseNetwork:
         enforcer: QueueConsumer | None = None,
         sanitizer: QueueConsumer | None = None,
         queue_latency_ms: float = 0.0,
+        gateway_index: int = 0,
     ) -> None:
-        """Install the standard two-queue chain at the gateway.
+        """Install the standard two-queue chain at one gateway.
 
         Either consumer may be None (queue stays unbound and fails open),
         which lets the Figure 4 study measure the cost of the queue
@@ -139,14 +164,19 @@ class EnterpriseNetwork:
         :class:`repro.netstack.sharding.ShardedEnforcer`) is installed as
         an ``NFQUEUE --queue-balance`` range instead of a single queue:
         flows are hash-spread across one queue per shard.
+
+        ``gateway_index`` selects which gateway of a multi-gateway
+        topology gets the chain; :meth:`install_fleet_queue_chains`
+        installs one replica per gateway in one call.
         """
+        gateway = self.gateways[gateway_index]
         shards = getattr(enforcer, "shards", None)
         if shards:
             balance_range = (
                 POLICY_ENFORCER_BALANCE_BASE,
                 POLICY_ENFORCER_BALANCE_BASE + len(shards) - 1,
             )
-            self.gateway.append_rule(
+            gateway.append_rule(
                 IptablesRule(
                     target=RuleTarget.QUEUE,
                     queue_balance=balance_range,
@@ -155,11 +185,11 @@ class EnterpriseNetwork:
                     comment=f"BorderPatrol policy enforcer (queue-balance {balance_range[0]}:{balance_range[1]})",
                 )
             )
-            self.gateway.bind_queue_balance(
+            gateway.bind_queue_balance(
                 POLICY_ENFORCER_BALANCE_BASE, shards, latency_ms=queue_latency_ms
             )
         else:
-            self.gateway.append_rule(
+            gateway.append_rule(
                 IptablesRule(
                     target=RuleTarget.QUEUE,
                     queue_num=POLICY_ENFORCER_QUEUE,
@@ -168,11 +198,11 @@ class EnterpriseNetwork:
                     comment="BorderPatrol policy enforcer",
                 )
             )
-            enforcer_queue = self.gateway.queue(POLICY_ENFORCER_QUEUE)
+            enforcer_queue = gateway.queue(POLICY_ENFORCER_QUEUE)
             enforcer_queue.latency_ms = queue_latency_ms
             if enforcer is not None:
                 enforcer_queue.bind(enforcer)
-        self.gateway.append_rule(
+        gateway.append_rule(
             IptablesRule(
                 target=RuleTarget.QUEUE,
                 queue_num=PACKET_SANITIZER_QUEUE,
@@ -181,10 +211,37 @@ class EnterpriseNetwork:
                 comment="BorderPatrol packet sanitizer",
             )
         )
-        sanitizer_queue = self.gateway.queue(PACKET_SANITIZER_QUEUE)
+        sanitizer_queue = gateway.queue(PACKET_SANITIZER_QUEUE)
         sanitizer_queue.latency_ms = queue_latency_ms
         if sanitizer is not None:
             sanitizer_queue.bind(sanitizer)
+
+    def install_fleet_queue_chains(
+        self,
+        fleet,
+        sanitizer: QueueConsumer | None = None,
+        queue_latency_ms: float = 0.0,
+    ) -> None:
+        """Install one gateway replica's enforcement chain per gateway.
+
+        ``fleet`` is a :class:`repro.core.fleet.GatewayFleet`; its
+        replica count must match this topology's gateway count, since
+        both route flows with the same hash — replica *i* enforces
+        exactly the flows the internal router sends to gateway *i*.
+        """
+        replicas = fleet.replicas
+        if len(replicas) != len(self.gateways):
+            raise ValueError(
+                f"fleet has {len(replicas)} gateway replicas but the network "
+                f"has {len(self.gateways)} gateways"
+            )
+        for index, replica in enumerate(replicas):
+            self.install_queue_chain(
+                enforcer=replica.enforcer,
+                sanitizer=sanitizer,
+                queue_latency_ms=queue_latency_ms,
+                gateway_index=index,
+            )
 
     # -- packet transmission ---------------------------------------------------------
 
@@ -216,9 +273,11 @@ class EnterpriseNetwork:
             self.capture.record(CapturePoint.DROPPED_POLICY, packet, now)
             return latency, False, "internal-router"
 
-        # Gateway: iptables chain with the enforcement queues.
+        # Gateway: iptables chain with the enforcement queues.  Multi-
+        # gateway topologies spread flows across gateways by flow hash,
+        # so every packet of a flow traverses the same enforcement chain.
         self.capture.record(CapturePoint.PRE_ENFORCER, routed, now)
-        verdict, processed, queue_latency = self.gateway.process(routed)
+        verdict, processed, queue_latency = self.gateway_for(routed).process(routed)
         latency += queue_latency
         if verdict is Verdict.DROP:
             self.capture.record(CapturePoint.DROPPED_POLICY, routed, now)

@@ -23,6 +23,7 @@ from repro.workloads.apps import (
     build_calendar_app,
 )
 from repro.workloads.stress import build_stress_app, run_stress_test, StressResult
+from repro.workloads.fleet import DeviceFleet, DeviceFleetConfig, FleetFlow
 
 __all__ = [
     "LibraryBehavior",
@@ -39,4 +40,7 @@ __all__ = [
     "build_stress_app",
     "run_stress_test",
     "StressResult",
+    "DeviceFleet",
+    "DeviceFleetConfig",
+    "FleetFlow",
 ]

@@ -1,0 +1,235 @@
+"""Device fleets: hundreds of provisioned BYOD devices and their traffic.
+
+The paper provisions exactly one emulator behind the gateway; the fleet
+experiments need what an enterprise actually has — hundreds of enrolled
+devices, each with its own mix of managed apps, all funnelling traffic
+through the replicated gateways.  :class:`DeviceFleet` provisions that
+population on a :class:`~repro.core.deployment.BorderPatrolDeployment`
+(real :class:`~repro.core.deployment.ProvisionedDevice` objects: patched
+kernel, Xposed, Context Manager) and derives a deterministic, heavy-
+tailed packet trace from the installed apps' behaviour graphs:
+
+* every device samples an app mix from the workload corpus and installs
+  the actual apk + behaviour pair (the same objects the monkey
+  exerciser drives);
+* every (device, app, functionality) triple becomes a
+  :class:`FleetFlow` — a 5-tuple from the device's enterprise IP to the
+  functionality's registered endpoint, carrying the context tag the
+  Context Manager would write for that functionality's call chain
+  (indexes resolved through the deployment's signature database);
+* :meth:`DeviceFleet.build_trace` interleaves the flows into one replay
+  with skewed flow popularity, which is what the fleet benchmark pushes
+  through the gateway replicas.
+
+Keeping the tags faithful to the database means the trace exercises the
+full extraction → decoding → enforcement pipeline, so fleet-level
+verdicts are comparable packet-for-packet with any other gateway
+configuration processing the same trace.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.encoding import EncodingError, StackTraceEncoder
+from repro.netstack.ip import IPOptions, IPPacket
+
+
+@dataclass
+class DeviceFleetConfig:
+    """Knobs for fleet provisioning and trace generation."""
+
+    devices: int = 200
+    min_apps_per_device: int = 1
+    max_apps_per_device: int = 3
+    seed: int = 7
+    name_prefix: str = "fleet"
+    #: Largest on-wire payload per trace packet (bytes).
+    max_payload_bytes: int = 1400
+
+
+@dataclass(frozen=True)
+class FleetFlow:
+    """One device flow: a 5-tuple plus the context tag its packets carry."""
+
+    device: str
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    package_name: str
+    functionality: str
+    options: IPOptions
+    payload_size: int
+    weight: float
+
+
+@dataclass
+class DeviceFleet:
+    """Provision a device population and derive its traffic schedule.
+
+    ``apps`` is any sequence of corpus/case-study app objects exposing
+    ``.apk`` and ``.behavior`` (e.g.
+    :class:`~repro.workloads.corpus.CorpusApp`); each is enrolled with
+    the deployment's Offline Analyzer once, its endpoints registered as
+    enterprise servers, and then installed on every device whose
+    sampled mix includes it.
+    """
+
+    deployment: object
+    apps: list
+    config: DeviceFleetConfig = field(default_factory=DeviceFleetConfig)
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ValueError("a device fleet needs at least one app to install")
+        if self.config.devices < 1:
+            raise ValueError("a device fleet needs at least one device")
+        if not 1 <= self.config.min_apps_per_device <= self.config.max_apps_per_device:
+            raise ValueError("need 1 <= min_apps_per_device <= max_apps_per_device")
+        self.provisioned = []
+        self.installed: dict[str, list] = {}
+        self._flows: list[FleetFlow] | None = None
+
+    # -- provisioning ------------------------------------------------------------------
+
+    def provision(self) -> list:
+        """Enroll the corpus, register endpoints, provision every device.
+
+        Each device gets a deterministic app mix sampled from ``apps``;
+        the same seed always yields the same fleet.  Returns the
+        :class:`~repro.core.deployment.ProvisionedDevice` list.
+        """
+        if self.provisioned:
+            return self.provisioned
+        seen_md5s: set[str] = set()
+        endpoints: set[str] = set()
+        for app in self.apps:
+            if app.apk.md5 not in seen_md5s:
+                seen_md5s.add(app.apk.md5)
+                self.deployment.enroll_app(app.apk)
+            endpoints |= app.behavior.endpoints()
+        for endpoint in sorted(endpoints):
+            self.deployment.network.add_server(endpoint)
+
+        rng = random.Random(self.config.seed)
+        for index in range(self.config.devices):
+            provisioned = self.deployment.provision_device(
+                name=f"{self.config.name_prefix}-{index:04d}"
+            )
+            count = rng.randint(
+                self.config.min_apps_per_device,
+                min(self.config.max_apps_per_device, len(self.apps)),
+            )
+            mix = rng.sample(self.apps, count)
+            for app in mix:
+                provisioned.device.install(app.apk, app.behavior)
+            self.installed[provisioned.device.name] = mix
+            self.provisioned.append(provisioned)
+        return self.provisioned
+
+    # -- traffic schedule --------------------------------------------------------------
+
+    def _encode_tag(self, encoder: StackTraceEncoder, entry, call_chain) -> IPOptions:
+        """The context tag for one call chain, innermost frames kept.
+
+        Mirrors the Context Manager's behaviour under the 38-byte
+        IP-option budget: when the full chain does not fit, outer frames
+        are dropped first (the leaf — the method issuing the request —
+        is what policies most often target).
+        """
+        frames = [str(signature) for signature in call_chain]
+        while frames:
+            try:
+                indexes = [entry.index_of(frame) for frame in frames]
+                return encoder.encode_option(entry.app_id, indexes)
+            except EncodingError:
+                frames = frames[1:]
+        raise EncodingError(
+            f"no frame of {entry.package_name}'s call chain fits the option budget"
+        )
+
+    def build_flows(self) -> list[FleetFlow]:
+        """One flow per (device, installed app, functionality) triple.
+
+        Flow weights combine the functionality's behavioural weight with
+        a heavy-tailed per-flow popularity (like real gateway traffic,
+        a few flows dominate), so the trace has both hot flows and a
+        long tail across the whole fleet.
+        """
+        if self._flows is not None:
+            return self._flows
+        self.provision()
+        database = self.deployment.database
+        network = self.deployment.network
+        encoder = StackTraceEncoder(index_width=self.deployment.index_width)
+        flows: list[FleetFlow] = []
+        next_port = 20000
+        for provisioned in self.provisioned:
+            device = provisioned.device
+            for app in self.installed[device.name]:
+                entry = database.lookup_md5(app.apk.md5)
+                if entry is None:
+                    continue
+                for functionality in app.behavior:
+                    options = self._encode_tag(encoder, entry, functionality.call_chain)
+                    for request in functionality.requests:
+                        rank = len(flows)
+                        flows.append(
+                            FleetFlow(
+                                device=device.name,
+                                src_ip=device.ip,
+                                src_port=next_port,
+                                dst_ip=network.dns.resolve(request.endpoint),
+                                dst_port=request.port,
+                                package_name=app.apk.package_name,
+                                functionality=functionality.name,
+                                options=options,
+                                payload_size=min(
+                                    max(1, request.upload_bytes),
+                                    self.config.max_payload_bytes,
+                                ),
+                                weight=functionality.weight / (1.0 + 0.05 * rank),
+                            )
+                        )
+                        next_port += 1
+        if not flows:
+            raise ValueError("the fleet produced no flows; is the corpus enrolled?")
+        self._flows = flows
+        return flows
+
+    def build_trace(self, packets: int) -> list[IPPacket]:
+        """A deterministic replay of ``packets`` across the fleet's flows.
+
+        Every packet of a flow carries the same tag bytes (the Context
+        Manager tags per socket), so flow caches behave exactly as they
+        would at a real gateway.
+        """
+        if packets < 1:
+            raise ValueError("the trace needs at least one packet")
+        flows = self.build_flows()
+        rng = random.Random(self.config.seed + 1)
+        chosen = rng.choices(flows, weights=[flow.weight for flow in flows], k=packets)
+        return [
+            IPPacket(
+                src_ip=flow.src_ip,
+                dst_ip=flow.dst_ip,
+                src_port=flow.src_port,
+                dst_port=flow.dst_port,
+                payload_size=flow.payload_size,
+                options=flow.options,
+            )
+            for flow in chosen
+        ]
+
+    # -- inspection --------------------------------------------------------------------
+
+    def device_count(self) -> int:
+        return len(self.provisioned)
+
+    def packages(self) -> set[str]:
+        """Every package installed somewhere in the fleet."""
+        return {
+            app.apk.package_name for mix in self.installed.values() for app in mix
+        }

@@ -86,6 +86,23 @@ class TestPolicyControlPlaneCommands:
         out = capsys.readouterr().out
         assert "version 1 -> 2" in out and "surgical" in out
 
+    def test_diff_prints_rule_id_aware_unified_hunks(self, tmp_path, capsys):
+        old = tmp_path / "old.txt"
+        old.write_text(
+            '{[deny][library]["com/flurry"]}\n{[deny][library]["com/old"]}\n'
+        )
+        new = tmp_path / "new.txt"
+        new.write_text(
+            '{[deny][library]["com/flurry"]}\n{[deny][library]["com/mixpanel"]}\n'
+        )
+        assert main(["policy", "diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert f"--- {old}" in out and f"+++ {new}" in out
+        # Kept rule as context, removal/addition as id-tagged hunk lines.
+        assert ' r1: {[deny][library]["com/flurry"]}' in out
+        assert '-r2: {[deny][library]["com/old"]}' in out
+        assert '+r3: {[deny][library]["com/mixpanel"]}' in out
+
     def test_push_dry_run_leaves_store_untouched(self, tmp_path, capsys):
         policy_file = tmp_path / "corp.txt"
         policy_file.write_text('{[deny][library]["com/flurry"]}\n')
@@ -116,6 +133,16 @@ class TestPolicyChurnCommand:
             assert configuration in out
         assert "all paths verdict-identical: True" in out
 
+    def test_policy_churn_surfaces_hottest_apps(self, capsys):
+        assert main(
+            ["policy-churn", "--packets", "800", "--flows", "32", "--edits", "4",
+             "--shards", "2", "--corpus-apps", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        # The churn rule only touches one app; it must top the ranking
+        # with a human-readable package name, not an opaque hash.
+        assert "apps churning the cache hardest (delta path): com." in out
+
 
 class TestCaseStudyCommand:
     def test_facebook_case_study(self, capsys):
@@ -134,6 +161,7 @@ class TestGatewayBenchCommand:
         out = capsys.readouterr().out
         for configuration in ("naive", "compiled", "cached", "sharded-1", "sharded-2"):
             assert configuration in out
+        assert "flow-cache churn by app:" in out
         assert "all paths verdict-identical: True" in out
 
     def test_gateway_bench_surfaces_fig4_throughput(self, capsys):
