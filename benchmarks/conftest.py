@@ -1,0 +1,28 @@
+"""Smoke-mode defaults for explicitly-invoked benchmark runs.
+
+The tier-1 suite never collects this directory (``testpaths = tests`` in
+``pytest.ini``); anyone running ``pytest benchmarks/...`` by hand gets
+the smoke replay sizes below unless they set the env vars themselves.
+Full-size runs stay one env var away::
+
+    FLEET_BENCH_PACKETS=10000 pytest benchmarks/test_bench_fleet.py --benchmark-only
+
+CI's benchmarks job always passes explicit sizes, so these defaults
+only ever shape interactive runs.
+"""
+
+import os
+
+_SMOKE_DEFAULTS = {
+    "GATEWAY_BENCH_PACKETS": "2000",
+    "CHURN_BENCH_PACKETS": "2000",
+    "FLEET_BENCH_PACKETS": "2000",
+    "AUDIT_BENCH_PACKETS": "2000",
+}
+
+
+def pytest_configure(config):
+    # setdefault before the bench modules import: each reads its replay
+    # size from the environment at module load.
+    for name, value in _SMOKE_DEFAULTS.items():
+        os.environ.setdefault(name, value)

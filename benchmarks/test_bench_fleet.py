@@ -114,6 +114,18 @@ def test_traffic_spreads_across_all_gateways(fleet_result):
     assert all(count > 0 for count in fleet_result.per_gateway_packets)
 
 
+def test_catch_up_reuses_interned_rule_parses(fleet_result):
+    # Convergence cost must drop replica-over-replica: the delta log's
+    # rule strings are parsed once and interned, so with 3 gateways
+    # replaying the identical records (plus churn toggles re-committing
+    # the same rule texts) catch-up reuses far more parses than it does
+    # cold ones.
+    hits = fleet_result.catch_up_parse_hits
+    misses = fleet_result.catch_up_parse_misses
+    assert hits + misses > 0  # the churn schedule replayed add/replace ops
+    assert hits > misses
+
+
 def test_policy_churn_surfaces_hottest_apps(fleet_result):
     # The rotating per-app deny edits must register as per-app cache churn.
     assert fleet_result.top_churn_apps

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Telemetry alerts firing during a canary policy rollout.
+
+The fleet example (``fleet_rollout.py``) shows *how* a rule reaches
+every gateway; this one shows what the new telemetry subsystem makes of
+the traffic while that happens.  A :class:`FleetAuditor` attaches one
+pipeline per gateway, folds every enforcement record into sliding
+windows, and runs the detector stack:
+
+1. two gateways serve two devices' benign traffic — no alerts;
+2. the administrator commits an upload-deny rule and only the canary
+   gateway catches up; the file-sync app on the canary's device keeps
+   trying to upload, so its denials arrive in a burst and the
+   ``policy-burst`` detector pages — exactly the signal an operator
+   watches during a canary before converging the rest of the fleet;
+3. meanwhile a personal device borrows the whitelisted sync app's tag
+   (mimicry): valid tag, wrong device — ``spoofed-tag``;
+4. and a compromised process sends with the tag stripped —
+   ``unknown-tag``.
+
+Run with:  python examples/audit_pipeline.py
+"""
+
+from repro.core.database import DatabaseEntry, SignatureDatabase
+from repro.core.encoding import StackTraceEncoder
+from repro.core.fleet import GatewayFleet
+from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.core.policy_store import PolicyUpdate
+from repro.netstack.ip import IPOptions, IPPacket
+from repro.telemetry.pipeline import FleetAuditor
+
+UPLOAD_SIGNATURE = "Lcom/cloudbox/android/net/ApiClient;->upload([B)Z"
+BROWSE_SIGNATURE = "Lcom/cloudbox/android/ui/Browser;->open(Ljava/lang/String;)V"
+SYNC_MD5 = "5f" * 16
+SYNC_ID = SYNC_MD5[:16]
+
+#: The managed device that enrolled the sync app, and a second device
+#: that never did.
+SYNC_DEVICE = "10.10.0.2"
+OTHER_DEVICE = "10.10.0.3"
+FILE_SERVER = "203.0.113.9"
+
+
+def build_database() -> SignatureDatabase:
+    database = SignatureDatabase()
+    database.add(
+        DatabaseEntry(
+            md5=SYNC_MD5,
+            app_id=SYNC_ID,
+            package_name="com.cloudbox.android",
+            signatures=[BROWSE_SIGNATURE, UPLOAD_SIGNATURE],
+        )
+    )
+    return database
+
+
+def make_packet(src_ip: str, indexes, src_port: int, options=None) -> IPPacket:
+    return IPPacket(
+        src_ip=src_ip,
+        dst_ip=FILE_SERVER,
+        src_port=src_port,
+        dst_port=443,
+        payload_size=512,
+        options=(
+            options
+            if options is not None
+            else StackTraceEncoder().encode_option(SYNC_ID, indexes)
+        ),
+    )
+
+
+def main() -> None:
+    fleet = GatewayFleet(
+        database=build_database(),
+        policy=Policy.allow_all(name="audit-baseline"),
+        num_gateways=2,
+        live=False,  # staged rollout: operations decides who converges
+    )
+    auditor = FleetAuditor(
+        window_packets=256,
+        provisioned={
+            SYNC_DEVICE: frozenset({SYNC_ID}),
+            OTHER_DEVICE: frozenset(),
+        },
+        burst=4,        # four denials from one (device, app) pair page
+        buffered=False,  # synchronous pipelines keep the example linear
+    )
+    fleet.attach_telemetry(auditor)
+
+    # -- 1. benign traffic: uploads and browsing are both allowed.
+    for port in range(40000, 40008):
+        fleet.process(make_packet(SYNC_DEVICE, [0, 1], src_port=port))
+    print(f"benign phase: {len(auditor.alerts)} alert(s), "
+          f"{auditor.records_seen} records through telemetry")
+
+    # -- 2. canary rollout: deny uploads, converge one gateway only.
+    fleet.apply_update(
+        PolicyUpdate(reason="block cloud-storage uploads").add_rule(
+            PolicyRule(
+                action=PolicyAction.DENY,
+                level=PolicyLevel.METHOD,
+                target=UPLOAD_SIGNATURE,
+            ),
+            rule_id="upload-deny",
+        )
+    )
+    canary = fleet.replicas[0]
+    canary.catch_up(fleet.delta_log)
+    print(f"\ncanary {canary.name} converged to v{canary.version}; "
+          f"lags now {fleet.lags()}")
+
+    # The sync app keeps uploading through the canary; each attempt is
+    # denied, and the fourth denial in the window trips the burst
+    # detector — the canary's telemetry pages before the rollout widens.
+    for attempt in range(4):
+        verdict, _ = canary.enforcer.process(
+            make_packet(SYNC_DEVICE, [0, 1], src_port=41000 + attempt)
+        )
+        print(f"  upload attempt {attempt + 1}: {verdict.value}")
+    for alert in auditor.alerts:
+        print(f"  ALERT {alert.summary()}")
+
+    # -- 3. mimicry: the other device borrows the sync app's valid tag.
+    spoofed = make_packet(OTHER_DEVICE, [0], src_port=42000)
+    fleet.replicas[1].enforcer.process(spoofed)
+
+    # -- 4. tag stripping: no BorderPatrol option at all.
+    stripped = make_packet(SYNC_DEVICE, [], src_port=43000, options=IPOptions())
+    fleet.replicas[1].enforcer.process(stripped)
+
+    print("\nafter the attack traffic:")
+    for alert in auditor.alerts:
+        print(f"  ALERT {alert.summary()}")
+    print(f"\nalert totals: {auditor.alert_counts()}")
+
+    window = auditor.pipelines[canary.name].aggregator.device(SYNC_DEVICE)
+    print(
+        f"canary window for {SYNC_DEVICE}: {window.packets} packets, "
+        f"drop rate {window.drop_rate:.2f}, {window.bytes_out} bytes out"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -25,7 +25,12 @@ the same operator workflows over the reproduction:
                      gateways under live policy churn: convergence lag,
                      verdict identity vs a single gateway, and the real
                      multiprocessing shard backend vs the sequential
-                     model.
+                     model;
+* ``audit``        — replay mixed benign/adversarial fleet traffic with
+                     the telemetry pipeline attached: per-scenario
+                     detection precision/recall for BorderPatrol vs the
+                     IP/DNS and size-threshold baselines, audit-log
+                     rotation round-trip, and telemetry overhead.
 
 Usage::
 
@@ -38,6 +43,7 @@ Usage::
     python -m repro.cli gateway-bench --packets 10000 --shards 4
     python -m repro.cli policy-churn --packets 10000 --edits 24
     python -m repro.cli fleet --packets 10000 --devices 120 --gateways 3
+    python -m repro.cli audit --packets 8000 --devices 60 --gateways 2
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ from pathlib import Path
 from repro.core.offline_analyzer import OfflineAnalyzer
 from repro.core.policy import PolicyLevel, PolicyParseError, parse_policy
 from repro.core.policy_store import PolicyStore, PolicyUpdateError
+from repro.experiments.audit import run_audit_bench
 from repro.experiments.case_studies import run_cloud_storage_case_study, run_facebook_case_study
 from repro.experiments.fig3_ioi import run_fig3
 from repro.experiments.fig4_latency import run_fig4, run_fig4_gateway_throughput
@@ -260,6 +267,35 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    try:
+        result = run_audit_bench(
+            packets=args.packets,
+            devices=args.devices,
+            gateways=args.gateways,
+            shards_per_gateway=args.shards,
+            corpus_apps=args.corpus_apps,
+            seed=args.seed,
+            bursts=args.bursts,
+            attack_packets_per_scenario=args.attack_packets,
+            measure_overhead=not args.skip_overhead,
+        )
+    except ValueError as error:
+        print(f"audit rejected: {error}", file=sys.stderr)
+        return 2
+    print(result.table())
+    if not result.audit_roundtrip_ok:
+        print("AUDIT LOG ROTATION LOST RECORDS", file=sys.stderr)
+        return 1
+    if not result.borderpatrol_dominates_spoof_replay:
+        print(
+            "BORDERPATROL DID NOT DOMINATE THE BASELINES ON SPOOF/REPLAY",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_policy_churn(args: argparse.Namespace) -> int:
     try:
         result = run_policy_churn(
@@ -394,6 +430,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the multiprocessing backend comparison",
     )
     fleet.set_defaults(func=_cmd_fleet)
+
+    audit = subparsers.add_parser(
+        "audit",
+        help="replay mixed benign/adversarial fleet traffic; report detection "
+        "precision/recall for BorderPatrol vs the IP/DNS and size-threshold "
+        "baselines, plus telemetry overhead",
+    )
+    audit.add_argument("--packets", type=int, default=8000,
+                       help="benign fleet packets in the mixed replay")
+    audit.add_argument("--devices", type=int, default=60)
+    audit.add_argument("--gateways", type=int, default=2)
+    audit.add_argument("--shards", type=int, default=2,
+                       help="enforcer shards per gateway")
+    audit.add_argument("--corpus-apps", type=int, default=6, metavar="N")
+    audit.add_argument("--seed", type=int, default=7)
+    audit.add_argument("--bursts", type=int, default=8,
+                       help="replay bursts (collectors drain per burst)")
+    audit.add_argument("--attack-packets", type=int, default=160,
+                       help="packets per stripping/spoofing/replay scenario")
+    audit.add_argument(
+        "--skip-overhead",
+        action="store_true",
+        help="skip the telemetry-on vs telemetry-off throughput comparison",
+    )
+    audit.set_defaults(func=_cmd_audit)
     return parser
 
 

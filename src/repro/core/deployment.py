@@ -179,6 +179,21 @@ class BorderPatrolDeployment:
         """
         return self.policy_store.apply(update)
 
+    # -- telemetry ---------------------------------------------------------------------
+
+    def attach_telemetry(self, auditor) -> None:
+        """Publish every gateway's enforcement records into ``auditor``.
+
+        ``auditor`` exposes ``pipeline_for(gateway_name)`` (canonically
+        a :class:`~repro.telemetry.pipeline.FleetAuditor`); fleet
+        deployments get one pipeline per gateway, single-gateway
+        deployments one pipeline named ``gw0``.
+        """
+        if self.fleet is not None:
+            self.fleet.attach_telemetry(auditor)
+        else:
+            self.enforcer.attach_audit_sink(auditor.pipeline_for("gw0"), "gw0")
+
     # -- app enrolment -------------------------------------------------------------------
 
     def enroll_app(self, apk: ApkFile) -> None:

@@ -172,6 +172,24 @@ class GatewayFleet:
     def fingerprints(self) -> dict[str, str]:
         return {replica.name: replica.fingerprint() for replica in self.replicas}
 
+    # -- telemetry ---------------------------------------------------------------------
+
+    def attach_telemetry(self, auditor) -> None:
+        """Wire one telemetry pipeline per gateway out of ``auditor``.
+
+        ``auditor`` is anything exposing ``pipeline_for(gateway_name)``
+        — canonically a :class:`~repro.telemetry.pipeline.FleetAuditor`
+        (duck-typed so the core package does not depend on telemetry).
+        Each replica's enforcer publishes every decision into its own
+        gateway pipeline, labelled with the replica name; the publish
+        cost lands inside that gateway's wall-clock, exactly like every
+        other per-gateway cost in the parallel model.
+        """
+        for replica in self.replicas:
+            replica.enforcer.attach_audit_sink(
+                auditor.pipeline_for(replica.name), replica.name
+            )
+
     # -- flow routing ------------------------------------------------------------------
 
     def gateway_index(self, packet: IPPacket) -> int:

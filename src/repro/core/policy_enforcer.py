@@ -64,6 +64,14 @@ from repro.core.policy import CompiledPolicy, DecodedContext, Policy, PolicyDeci
 from repro.netstack.ip import IPPacket
 from repro.netstack.netfilter import Verdict
 
+#: Canonical integrity-failure reasons.  These are enforcement outcomes
+#: that indicate tag tampering/evasion rather than an ordinary policy
+#: denial; the telemetry detectors match on them, so they are constants
+#: instead of repeated string literals.
+REASON_UNTAGGED = "untagged packet"
+REASON_UNKNOWN_APP = "unknown app hash"
+REASON_DECODE_RANGE = "index out of range for app mapping"
+
 
 @dataclass(frozen=True)
 class EnforcementRecord:
@@ -76,6 +84,10 @@ class EnforcementRecord:
     app_id: str = ""
     package_name: str = ""
     signatures: tuple[str, ...] = ()
+    #: Telemetry attribution: the sending device's enterprise IP and the
+    #: outbound payload size (bytes-out aggregation needs both).
+    src_ip: str = ""
+    payload_bytes: int = 0
 
     @property
     def dropped(self) -> bool:
@@ -259,6 +271,10 @@ class PolicyEnforcer:
         keep_records: bool = True,
         compile_policy: bool = True,
         flow_cache_size: int = 4096,
+        record_capacity: int = 65536,
+        audit_log=None,
+        audit_sink=None,
+        audit_source: str = "gateway",
     ) -> None:
         self.database = database
         # `policy or ...` would discard an *empty* Policy (its __len__
@@ -271,7 +287,23 @@ class PolicyEnforcer:
         self.keep_records = keep_records
         self.compile_policy = compile_policy
         self.stats = EnforcerStats()
-        self.records: list[EnforcementRecord] = []
+        # Imported lazily: the telemetry package sits on top of this
+        # module, so a top-level import would be circular.
+        from repro.telemetry.audit import AuditLog
+
+        #: Audit trail of recent decisions: a bounded ring (optionally
+        #: spooling JSON segments) instead of the unbounded list it used
+        #: to be, so ``keep_records=True`` cannot grow without limit.
+        self.records: AuditLog = (
+            audit_log if audit_log is not None else AuditLog(capacity=record_capacity)
+        )
+        #: Streaming telemetry: every decided record is published here
+        #: (even with ``keep_records=False``) when a sink is attached.
+        self.audit_sink = audit_sink
+        self.audit_source = audit_source
+        # Bound-method cache: one attribute lookup per packet matters on
+        # the hot path.
+        self._sink_publish = audit_sink.publish if audit_sink is not None else None
         self.flow_cache: FlowCache | None = (
             FlowCache(flow_cache_size) if flow_cache_size > 0 else None
         )
@@ -375,6 +407,15 @@ class PolicyEnforcer:
 
     # -- QueueConsumer interface ---------------------------------------------------------
 
+    def attach_audit_sink(self, sink, source: str | None = None) -> None:
+        """Publish every future decision into ``sink`` (an
+        :class:`~repro.telemetry.pipeline.AuditSink`), labelled with
+        ``source`` — typically the gateway name telemetry aggregates by."""
+        self.audit_sink = sink
+        self._sink_publish = sink.publish if sink is not None else None
+        if source is not None:
+            self.audit_source = source
+
     def process(self, packet: IPPacket) -> tuple[Verdict, IPPacket]:
         self.stats.packets_seen += 1
         verdict, record = self._decide(packet)
@@ -384,6 +425,8 @@ class PolicyEnforcer:
             self.stats.packets_dropped += 1
         if self.keep_records:
             self.records.append(record)
+        if self._sink_publish is not None:
+            self._sink_publish(record, self.audit_source)
         return verdict, packet
 
     def process_batch(self, packets: list[IPPacket]) -> list[tuple[Verdict, IPPacket]]:
@@ -415,7 +458,9 @@ class PolicyEnforcer:
                 packet_id=packet.packet_id,
                 dst_ip=packet.dst_ip,
                 verdict=verdict,
-                reason="untagged packet",
+                reason=REASON_UNTAGGED,
+                src_ip=packet.src_ip,
+                payload_bytes=packet.payload_size,
             )
 
         # Flow-cache lookup: repeated packets of a flow skip stages 2 and 3.
@@ -439,6 +484,8 @@ class PolicyEnforcer:
                     app_id=cached.app_id,
                     package_name=cached.package_name,
                     signatures=cached.signatures,
+                    src_ip=packet.src_ip,
+                    payload_bytes=packet.payload_size,
                 )
             self.stats.cache_misses += 1
 
@@ -452,8 +499,10 @@ class PolicyEnforcer:
                 packet_id=packet.packet_id,
                 dst_ip=packet.dst_ip,
                 verdict=verdict,
-                reason="unknown app hash",
+                reason=REASON_UNKNOWN_APP,
                 app_id=tag.app_id,
+                src_ip=packet.src_ip,
+                payload_bytes=packet.payload_size,
             )
         if any(not 0 <= index < entry.method_count for index in tag.indexes):
             self.stats.decode_errors += 1
@@ -461,9 +510,11 @@ class PolicyEnforcer:
                 packet_id=packet.packet_id,
                 dst_ip=packet.dst_ip,
                 verdict=Verdict.DROP,
-                reason="index out of range for app mapping",
+                reason=REASON_DECODE_RANGE,
                 app_id=tag.app_id,
                 package_name=entry.package_name,
+                src_ip=packet.src_ip,
+                payload_bytes=packet.payload_size,
             )
 
         # Stage 3: enforcement — compiled integer matching when possible,
@@ -513,6 +564,8 @@ class PolicyEnforcer:
             app_id=tag.app_id,
             package_name=entry.package_name,
             signatures=signatures,
+            src_ip=packet.src_ip,
+            payload_bytes=packet.payload_size,
         )
 
     # -- inspection -----------------------------------------------------------------------

@@ -241,15 +241,69 @@ def _rule_payload(rule_id: str, rule: PolicyRule) -> dict:
     return payload
 
 
+class RuleInternCache:
+    """Process-wide intern table for parsed Snippet 1 rule strings.
+
+    Catch-up replay re-parses every logged rule rendering on every
+    replica: N gateways replaying the same :class:`DeltaLogRecord`
+    stream perform N identical ``parse_policy`` calls per rule, and churn
+    schedules that toggle the same rule repeatedly re-parse the same
+    string on every toggle.  :class:`~repro.core.policy.PolicyRule` is a
+    frozen dataclass, so the parse result can be shared safely; this
+    cache interns rules by their exact ``(rendering, comment)`` payload
+    and hands every later consumer the already-parsed object.
+
+    ``hits``/``misses`` are observability counters — the fleet bench
+    asserts catch-up convergence reuses parses instead of re-doing them.
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise ValueError("the rule intern cache needs capacity for at least one rule")
+        self.capacity = capacity
+        self._rules: dict[tuple[str, str], PolicyRule] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, text: str, comment: str = "") -> PolicyRule:
+        """The parsed rule behind ``text`` (one rule in the Snippet 1
+        grammar), parsing only on first sight of the payload."""
+        key = (text, comment)
+        cached = self._rules.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        parsed = parse_policy(text)
+        if len(parsed.rules) != 1:
+            raise PolicyParseError(f"expected exactly one rule, got: {text!r}")
+        rule = parsed.rules[0]
+        if comment:
+            rule = dataclass_replace(rule, comment=comment)
+        if len(self._rules) >= self.capacity:
+            # FIFO eviction: policy vocabularies are tiny next to the
+            # capacity, so anything evicted here is long-stale churn.
+            self._rules.pop(next(iter(self._rules)))
+        self._rules[key] = rule
+        return rule
+
+    def clear(self) -> None:
+        self._rules.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+#: The shared intern table every replication consumer parses through.
+RULE_INTERN_CACHE = RuleInternCache()
+
+
 def _rule_from_payload(payload: dict) -> tuple[str, PolicyRule]:
     if not isinstance(payload, dict) or "rule" not in payload or "id" not in payload:
         raise PolicyParseError(f"malformed rule payload: {payload!r}")
-    parsed = parse_policy(payload["rule"])
-    if len(parsed.rules) != 1:
-        raise PolicyParseError(f"expected exactly one rule, got: {payload['rule']!r}")
-    rule = parsed.rules[0]
-    if payload.get("comment"):
-        rule = dataclass_replace(rule, comment=payload["comment"])
+    rule = RULE_INTERN_CACHE.intern(payload["rule"], payload.get("comment") or "")
     return payload["id"], rule
 
 

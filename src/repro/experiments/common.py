@@ -33,6 +33,22 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def split_into_bursts(trace: list, parts: int) -> list[list]:
+    """Split ``trace`` into exactly ``parts`` contiguous bursts.
+
+    The first ``parts - 1`` bursts hold ``len(trace) // parts`` items
+    each (at least one); the last takes the remainder, so nothing is
+    dropped.  Bursts may be empty when the trace is shorter than
+    ``parts`` — callers that cannot use empty bursts filter them.
+    """
+    if parts < 1:
+        raise ValueError("a replay needs at least one burst")
+    size = max(1, len(trace) // parts)
+    bursts = [trace[index * size : (index + 1) * size] for index in range(parts - 1)]
+    bursts.append(trace[(parts - 1) * size :])
+    return bursts
+
+
 def format_churn_by_app(churn: dict, limit: int = 3) -> str:
     """Render a per-app flow-cache churn map, hottest apps first."""
     if not churn:

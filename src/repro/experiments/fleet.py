@@ -34,8 +34,8 @@ from dataclasses import dataclass, field
 from repro.core.deployment import BorderPatrolDeployment
 from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
 from repro.core.policy_enforcer import PolicyEnforcer
-from repro.core.policy_store import PolicyUpdate
-from repro.experiments.common import format_table
+from repro.core.policy_store import RULE_INTERN_CACHE, PolicyUpdate
+from repro.experiments.common import format_table, split_into_bursts
 from repro.experiments.gateway_throughput import (
     DEFAULT_DENY_LIBRARIES,
     build_replay,
@@ -157,6 +157,17 @@ class FleetBenchResult:
     converged: bool = False
     #: Apps that lost the most flow-cache entries fleet-wide.
     top_churn_apps: list = field(default_factory=list)
+    #: Interned-rule cache traffic during catch-up replay: replicas
+    #: re-consuming identical logged rule strings should *hit* (reuse a
+    #: parse) far more often than they *miss* (parse from scratch).
+    catch_up_parse_hits: int = 0
+    catch_up_parse_misses: int = 0
+    #: Fleet-wide integrity failures (tag-less, unknown-app, and
+    #: undecodable packets) — surfaced from the aggregated enforcer
+    #: stats instead of requiring a walk over raw records.
+    untagged_packets: int = 0
+    unknown_apps: int = 0
+    decode_errors: int = 0
     backend: ShardBackendComparison | None = None
 
     @property
@@ -225,20 +236,16 @@ class FleetBenchResult:
             f"{self.devices} devices over {self.flows} flows; {self.edits} edits "
             f"committed live ({self.store_version} store versions)",
             f"apps churning the flow cache hardest: {churn}",
+            f"catch-up rule parses: {self.catch_up_parse_misses} cold, "
+            f"{self.catch_up_parse_hits} reused from the intern cache",
+            f"integrity outcomes: {self.untagged_packets} untagged, "
+            f"{self.unknown_apps} unknown-app, {self.decode_errors} decode-failure",
             f"replicas converged (fingerprint-verified): {self.converged}",
             f"fleet verdict-identical to single gateway: {self.verdicts_match}",
         ]
         if self.backend is not None:
             lines.append(self.backend.summary())
         return "\n".join(lines)
-
-
-def _split_bursts(trace: list, edits: int) -> list[list]:
-    burst_count = edits + 1
-    size = max(1, len(trace) // burst_count)
-    bursts = [trace[index * size : (index + 1) * size] for index in range(burst_count - 1)]
-    bursts.append(trace[(burst_count - 1) * size :])
-    return [burst for burst in bursts if burst]
 
 
 def run_fleet_bench(
@@ -296,7 +303,7 @@ def run_fleet_bench(
         ),
     )
     trace = device_fleet.build_trace(packets)
-    bursts = _split_bursts(trace, edits)
+    bursts = [burst for burst in split_into_bursts(trace, edits + 1) if burst]
     store = deployment.policy_store
 
     # The verdict baseline: one enforcer subscribed straight to the head
@@ -339,11 +346,15 @@ def run_fleet_bench(
         for name, lag in fleet.lags().items():
             result.max_lag[name] = max(result.max_lag[name], lag)
         catch_up_walls = []
+        hits_before = RULE_INTERN_CACHE.hits
+        misses_before = RULE_INTERN_CACHE.misses
         for replica in fleet.replicas:
             started = time.perf_counter()
             applied = replica.catch_up(store.delta_log)
             catch_up_walls.append(time.perf_counter() - started)
             result.records_applied[replica.name] += applied
+        result.catch_up_parse_hits += RULE_INTERN_CACHE.hits - hits_before
+        result.catch_up_parse_misses += RULE_INTERN_CACHE.misses - misses_before
         fleet_wall += max(catch_up_walls, default=0.0)
 
         batch = fleet.process_batch_timed(burst)
@@ -396,7 +407,11 @@ def run_fleet_bench(
     result.final_versions = fleet.policy_versions()
     result.store_version = store.version
     result.converged = fleet.converged
-    result.top_churn_apps = fleet.aggregate_stats().top_churn_apps(limit=3)
+    aggregated = fleet.aggregate_stats()
+    result.top_churn_apps = aggregated.top_churn_apps(limit=3)
+    result.untagged_packets = aggregated.untagged_packets
+    result.unknown_apps = aggregated.unknown_apps
+    result.decode_errors = aggregated.decode_errors
     # The store seeds at version 0, so its version is exactly the number
     # of churn transactions committed over the schedule.
     result.edits = store.version

@@ -71,6 +71,12 @@ class GatewayConfigResult:
     cache_misses: int = 0
     compiled_evals: int = 0
     fallback_evals: int = 0
+    #: Integrity failures: tag-less packets, tags naming no enrolled app,
+    #: and tags whose indexes fail to decode (previously only visible by
+    #: walking raw enforcement records).
+    untagged_packets: int = 0
+    unknown_apps: int = 0
+    decode_errors: int = 0
     shard_packet_counts: tuple[int, ...] = ()
     #: Flow-cache entries lost per app (invalidations + LRU evictions).
     churn_by_app: dict = field(default_factory=dict)
@@ -131,9 +137,18 @@ class GatewayBenchResult:
         for result in self.results.values():
             for app, count in result.churn_by_app.items():
                 churn[app] = churn.get(app, 0) + count
+        # Every configuration processes the identical replay, so the
+        # integrity counters agree across rows; report them once.
+        integrity = (
+            max((r.untagged_packets for r in self.results.values()), default=0),
+            max((r.unknown_apps for r in self.results.values()), default=0),
+            max((r.decode_errors for r in self.results.values()), default=0),
+        )
         return (
             table
             + f"\nflow-cache churn by app: {format_churn_by_app(churn)}"
+            + "\nintegrity outcomes: %d untagged, %d unknown-app, %d decode-failure"
+            % integrity
             + f"\nall paths verdict-identical: {self.verdicts_match}"
         )
 
@@ -209,6 +224,9 @@ def _snapshot(name: str, packets: int, wall_s: float, verdicts, stats) -> Gatewa
         cache_misses=stats.cache_misses,
         compiled_evals=stats.compiled_evals,
         fallback_evals=stats.fallback_evals,
+        untagged_packets=stats.untagged_packets,
+        unknown_apps=stats.unknown_apps,
+        decode_errors=stats.decode_errors,
         churn_by_app=dict(stats.cache_churn_by_app),
     )
 

@@ -76,7 +76,30 @@ def _shard_worker(conn, shard: PolicyEnforcer, packets: list[IPPacket]) -> None:
     """
     try:
         stats_before = shard.stats.copy()
-        records_before = len(shard.records)
+        # Capture the batch's records in a plain list instead of slicing
+        # the shard's store: the store is a bounded AuditLog ring (a
+        # full ring keeps a constant length, so a length-based slice
+        # reads as "no new records" forever), and with
+        # ``keep_records=False`` it stores nothing at all — yet the
+        # parent still needs every record of the batch to republish
+        # into its audit sink.  The fork's shard state dies with the
+        # worker, so swapping the hooks out is safe.  ``keep_records``
+        # itself must NOT be flipped: it steers the decision path (a
+        # kept record decodes signatures and counts a full decode), so
+        # forcing it on would make the forked backend publish different
+        # records — and different stats — than the sequential backend
+        # under the identical configuration.
+        captured: list = []
+        if shard.keep_records:
+            shard.records = captured
+            # The parent republishes the piped-back records, so the
+            # child must not also run its inherited copy of the sink:
+            # a sink backed by a spooling AuditLog would write segment
+            # files from inside the fork that collide with the
+            # parent's.
+            shard._sink_publish = None
+        elif shard.audit_sink is not None:
+            shard._sink_publish = lambda record, _source="": captured.append(record)
         started = time.perf_counter()
         results = [shard.process(packet) for packet in packets]
         elapsed = time.perf_counter() - started
@@ -85,7 +108,7 @@ def _shard_worker(conn, shard: PolicyEnforcer, packets: list[IPPacket]) -> None:
                 elapsed,
                 [verdict.value for verdict, _ in results],
                 shard.stats.delta_since(stats_before),
-                shard.records[records_before:] if shard.keep_records else [],
+                captured,
             )
         )
     finally:
@@ -204,6 +227,22 @@ class ShardedEnforcer:
         for shard in self.shards:
             shard.invalidate_caches()
 
+    # -- telemetry ---------------------------------------------------------------------
+
+    def attach_audit_sink(self, sink, source: str | None = None) -> None:
+        """Publish every shard's decisions into one gateway-level sink.
+
+        All shards share the gateway's source label: telemetry
+        aggregates per gateway, and inside a gateway the shards are one
+        logical enforcement point.  With the ``process`` backend the
+        workers' sink copies die with the fork, so each worker captures
+        its batch's records and the parent republishes them (see
+        :meth:`_process_batch_forked`) — ``keep_records`` does not need
+        to be on for that.
+        """
+        for shard in self.shards:
+            shard.attach_audit_sink(sink, source)
+
     # -- flow routing ------------------------------------------------------------------
 
     def shard_index(self, packet: IPPacket) -> int:
@@ -310,7 +349,14 @@ class ShardedEnforcer:
                     results[position] = (Verdict(value), packets[position])
                 shard = self.shards[shard_index]
                 shard.stats.merge(stats_delta)
-                shard.records.extend(new_records)
+                if shard.keep_records:
+                    shard.records.extend(new_records)
+                if shard.audit_sink is not None:
+                    # The worker's in-fork sink state is gone; replay the
+                    # piped-back records into the parent's pipeline so
+                    # telemetry sees the batch exactly once.
+                    for record in new_records:
+                        shard.audit_sink.publish(record, shard.audit_source)
         finally:
             for _, _, receiver, worker in workers:
                 receiver.close()

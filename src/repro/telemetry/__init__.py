@@ -1,0 +1,55 @@
+"""Gateway telemetry and audit: the consumer side of enforcement.
+
+Every component below the gateway produces
+:class:`~repro.core.policy_enforcer.EnforcementRecord` objects; until
+this package existed they piled up in an unbounded list that nothing
+read.  The telemetry subsystem turns that dormant stream into
+fleet-wide observability:
+
+* :mod:`repro.telemetry.audit` — bounded audit storage: an in-memory
+  ring of the most recent records plus JSON-serialized segment rotation
+  for the full stream, with lossless round-trip loading;
+* :mod:`repro.telemetry.aggregate` — sliding-window aggregation of the
+  record stream per device, per app and per gateway (drop rates, decode
+  failures, bytes out);
+* :mod:`repro.telemetry.detectors` — pluggable detectors over the
+  windows emitting structured :class:`~repro.telemetry.detectors.Alert`
+  objects (unknown/spoofed tags, exfiltration volume anomalies,
+  policy-violation bursts);
+* :mod:`repro.telemetry.pipeline` — the wiring:
+  :class:`~repro.telemetry.pipeline.TelemetryPipeline` is the
+  :class:`~repro.telemetry.pipeline.AuditSink` one gateway publishes
+  into, :class:`~repro.telemetry.pipeline.FleetAuditor` federates one
+  pipeline per gateway and runs the fleet-level analyses no single
+  gateway can see (e.g. exfiltration split across gateways by flow
+  hashing).
+"""
+
+from repro.telemetry.audit import AuditLog, record_from_payload, record_to_payload
+from repro.telemetry.aggregate import SlidingWindowAggregator, WindowStats
+from repro.telemetry.detectors import (
+    Alert,
+    Detector,
+    ExfiltrationVolumeDetector,
+    PolicyViolationBurstDetector,
+    SpoofedTagDetector,
+    UnknownTagDetector,
+)
+from repro.telemetry.pipeline import AuditSink, FleetAuditor, TelemetryPipeline
+
+__all__ = [
+    "Alert",
+    "AuditLog",
+    "AuditSink",
+    "Detector",
+    "ExfiltrationVolumeDetector",
+    "FleetAuditor",
+    "PolicyViolationBurstDetector",
+    "SlidingWindowAggregator",
+    "SpoofedTagDetector",
+    "TelemetryPipeline",
+    "UnknownTagDetector",
+    "WindowStats",
+    "record_from_payload",
+    "record_to_payload",
+]

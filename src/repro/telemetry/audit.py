@@ -1,0 +1,190 @@
+"""Bounded audit storage for the enforcement record stream.
+
+The enforcer used to append every
+:class:`~repro.core.policy_enforcer.EnforcementRecord` to a plain
+Python list: convenient for experiments, unbounded for a gateway that
+enforces millions of packets.  :class:`AuditLog` replaces that list
+with production semantics while keeping its API:
+
+* an **in-memory ring** holds the most recent ``capacity`` records and
+  supports the whole list surface the rest of the codebase uses
+  (``append``/``extend``/``clear``/``len``/iteration/indexing/slicing/
+  equality against lists), so it can sit directly behind
+  ``PolicyEnforcer.records``;
+* with a ``spool_dir``, the *full* stream survives rotation: every
+  ``segment_records`` appended records are serialized to one JSON
+  segment file, and :meth:`AuditLog.load_segments` /
+  :meth:`AuditLog.replay` read them back losslessly (the round-trip
+  property tests lean on this);
+* counters (``total_appended``, ``evicted``, ``segments_written``)
+  make the memory bound observable instead of silent.
+
+Records serialize through :func:`record_to_payload` /
+:func:`record_from_payload`; the verdict is stored by value so a loaded
+record compares equal to the one that was written.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.netstack.netfilter import Verdict
+
+#: File name pattern for rotated segments; the sequence number keeps
+#: lexicographic order equal to rotation order.
+SEGMENT_PATTERN = "audit-{sequence:06d}.json"
+
+
+def record_to_payload(record) -> dict:
+    """One enforcement record as a JSON-serializable mapping."""
+    payload = {
+        "packet_id": record.packet_id,
+        "src_ip": record.src_ip,
+        "dst_ip": record.dst_ip,
+        "verdict": record.verdict.value,
+        "reason": record.reason,
+        "app_id": record.app_id,
+        "package_name": record.package_name,
+        "payload_bytes": record.payload_bytes,
+    }
+    if record.signatures:
+        payload["signatures"] = list(record.signatures)
+    return payload
+
+
+def record_from_payload(payload: dict):
+    """Rebuild an :class:`EnforcementRecord` written by :func:`record_to_payload`."""
+    # Imported here: the enforcer module imports this one for its record
+    # storage, so a top-level import would be circular.
+    from repro.core.policy_enforcer import EnforcementRecord
+
+    return EnforcementRecord(
+        packet_id=payload["packet_id"],
+        src_ip=payload.get("src_ip", ""),
+        dst_ip=payload["dst_ip"],
+        verdict=Verdict(payload["verdict"]),
+        reason=payload["reason"],
+        app_id=payload.get("app_id", ""),
+        package_name=payload.get("package_name", ""),
+        signatures=tuple(payload.get("signatures", ())),
+        payload_bytes=payload.get("payload_bytes", 0),
+    )
+
+
+class AuditLog:
+    """A bounded, optionally spooling store of enforcement records.
+
+    ``capacity`` bounds the in-memory ring; the oldest record is
+    evicted once the ring is full.  ``spool_dir`` (optional) enables
+    segment rotation: appended records also accumulate in a segment
+    buffer that is serialized to disk every ``segment_records`` records
+    (call :meth:`flush` to persist a final partial segment), so the
+    complete stream is recoverable even after ring eviction.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        spool_dir=None,
+        segment_records: int = 1024,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("audit log capacity must be positive")
+        if segment_records < 1:
+            raise ValueError("segment size must be positive")
+        self.capacity = capacity
+        self.segment_records = segment_records
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        self._ring: deque = deque(maxlen=capacity)
+        self._segment_buffer: list = []
+        #: Lifetime counters — the memory bound is observable, not silent.
+        self.total_appended = 0
+        self.evicted = 0
+        self.segments_written = 0
+
+    # -- the list surface the enforcer relies on ---------------------------------------
+
+    def append(self, record) -> None:
+        if len(self._ring) == self.capacity:
+            self.evicted += 1
+        self._ring.append(record)
+        self.total_appended += 1
+        if self.spool_dir is not None:
+            self._segment_buffer.append(record)
+            if len(self._segment_buffer) >= self.segment_records:
+                self._write_segment()
+
+    def extend(self, records: Iterable) -> None:
+        for record in records:
+            self.append(record)
+
+    def clear(self) -> None:
+        """Drop the in-memory ring (spooled segments stay on disk)."""
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __bool__(self) -> bool:
+        return bool(self._ring)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._ring)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._ring)[index]
+        return self._ring[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, AuditLog):
+            return list(self._ring) == list(other._ring)
+        if isinstance(other, (list, tuple)):
+            return list(self._ring) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AuditLog({len(self._ring)}/{self.capacity} in memory, "
+            f"{self.total_appended} appended, {self.segments_written} segment(s))"
+        )
+
+    # -- segment rotation --------------------------------------------------------------
+
+    def _write_segment(self) -> None:
+        assert self.spool_dir is not None
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        path = self.spool_dir / SEGMENT_PATTERN.format(sequence=self.segments_written)
+        first = self.total_appended - len(self._segment_buffer)
+        payload = {
+            "sequence": self.segments_written,
+            "first_record": first,
+            "records": [record_to_payload(record) for record in self._segment_buffer],
+        }
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        self.segments_written += 1
+        self._segment_buffer = []
+
+    def flush(self) -> None:
+        """Persist any partial segment so the spool holds the full stream."""
+        if self.spool_dir is not None and self._segment_buffer:
+            self._write_segment()
+
+    @staticmethod
+    def load_segments(spool_dir) -> list:
+        """Every spooled record, in append order, across all segments."""
+        records: list = []
+        for path in sorted(Path(spool_dir).glob("audit-*.json")):
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            records.extend(record_from_payload(body) for body in payload["records"])
+        return records
+
+    @classmethod
+    def replay(cls, spool_dir, capacity: int = 65536) -> "AuditLog":
+        """Rebuild a log (memory ring only) from a rotation spool."""
+        log = cls(capacity=capacity)
+        log.extend(cls.load_segments(spool_dir))
+        return log

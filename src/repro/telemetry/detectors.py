@@ -1,0 +1,270 @@
+"""Pluggable detectors over the telemetry windows.
+
+A detector sees every published record together with the publishing
+gateway's :class:`~repro.telemetry.aggregate.SlidingWindowAggregator`
+and may emit a structured :class:`Alert`.  Detectors are deterministic
+functions of the record stream (no clocks, no randomness), so a fixed
+trace always produces the same alerts — the property tests replay
+traces twice and assert exactly that.
+
+The four built-ins cover the attack surface the paper's contextual
+tags make visible and the conventional baselines cannot attribute:
+
+* :class:`UnknownTagDetector` — packets whose tag fails integrity
+  checks (missing, unknown app hash — which is also what a replayed
+  tag of a *revoked* app looks like — or out-of-range indexes);
+* :class:`SpoofedTagDetector` — structurally valid tags of an app the
+  sending device never enrolled: mimicry of a whitelisted app.  Needs
+  the provisioning map (device IP → enrolled app ids) only the
+  enterprise back office has;
+* :class:`ExfiltrationVolumeDetector` — outbound volume from one
+  device to one destination exceeding a window budget, no matter how
+  many flows the sender fragments it across;
+* :class:`PolicyViolationBurstDetector` — one (device, app) pair
+  hitting policy denials in bursts.
+
+Alert dedup is cooldown-based: a detector re-arms a key after
+``rearm_packets`` further records, so a sustained condition produces a
+bounded alert stream instead of one alert per packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policy_enforcer import (
+    REASON_DECODE_RANGE,
+    REASON_UNKNOWN_APP,
+    REASON_UNTAGGED,
+)
+from repro.netstack.netfilter import Verdict
+from repro.telemetry.aggregate import SlidingWindowAggregator
+
+#: Integrity-failure reasons: enforcement outcomes that indicate tag
+#: tampering rather than an ordinary policy denial.
+INTEGRITY_REASONS = frozenset({REASON_UNTAGGED, REASON_UNKNOWN_APP, REASON_DECODE_RANGE})
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured detection event."""
+
+    kind: str
+    device: str
+    detail: str
+    app: str = ""
+    dst_ip: str = ""
+    source: str = ""
+    #: Aggregator sequence number at which the alert fired.
+    seq: int = 0
+    packet_id: int = 0
+
+    def summary(self) -> str:
+        parts = [f"[{self.kind}] device {self.device}"]
+        if self.app:
+            parts.append(f"app {self.app}")
+        if self.dst_ip:
+            parts.append(f"-> {self.dst_ip}")
+        if self.source:
+            parts.append(f"@ {self.source}")
+        return " ".join(parts) + f": {self.detail}"
+
+
+class Detector:
+    """Base class: observe records, emit alerts, stay deterministic."""
+
+    #: Records after which a fired (detector, key) pair may fire again.
+    rearm_packets: int = 2048
+
+    def __init__(self, rearm_packets: int | None = None) -> None:
+        if rearm_packets is not None:
+            self.rearm_packets = rearm_packets
+        self._armed_at: dict = {}
+
+    def _ready(self, key, seq: int) -> bool:
+        """True when ``key`` is armed; firing disarms it for the cooldown."""
+        fired = self._armed_at.get(key)
+        if fired is not None and seq - fired < self.rearm_packets:
+            return False
+        self._armed_at[key] = seq
+        return True
+
+    def observe(self, record, source: str, window: SlidingWindowAggregator) -> Alert | None:
+        raise NotImplementedError
+
+
+class UnknownTagDetector(Detector):
+    """Tag integrity failures: stripped, unknown-hash or undecodable tags.
+
+    ``threshold`` failures from one device inside the window raise the
+    alert; 1 (the default) means every first offence per cooldown is
+    reported — at a real gateway even a single forged hash is worth a
+    ticket.
+    """
+
+    def __init__(self, threshold: int = 1, rearm_packets: int | None = None) -> None:
+        super().__init__(rearm_packets)
+        if threshold < 1:
+            raise ValueError("the integrity-failure threshold must be positive")
+        self.threshold = threshold
+
+    def observe(self, record, source, window) -> Alert | None:
+        reason = record.reason
+        if reason not in INTEGRITY_REASONS:
+            return None
+        failures = sum(window.device_integrity(record.src_ip))
+        if failures < self.threshold:
+            return None
+        if not self._ready((record.src_ip, reason), window.seq):
+            return None
+        return Alert(
+            kind="unknown-tag",
+            device=record.src_ip,
+            app=record.package_name or record.app_id,
+            dst_ip=record.dst_ip,
+            source=source,
+            seq=window.seq,
+            packet_id=record.packet_id,
+            detail=f"{failures} tag integrity failure(s) in window ({reason})",
+        )
+
+
+class SpoofedTagDetector(Detector):
+    """Valid tags from devices that never enrolled the tagged app.
+
+    ``provisioned`` maps a device's enterprise IP to the set of app ids
+    (truncated apk hashes) installed on it — the attribution ground the
+    enterprise holds and the network layer lacks.  A record whose tag
+    decodes to a known app the sending device does not have is mimicry:
+    some process is borrowing a whitelisted app's identity.
+    """
+
+    def __init__(
+        self,
+        provisioned: dict[str, frozenset[str]],
+        rearm_packets: int | None = None,
+    ) -> None:
+        super().__init__(rearm_packets)
+        self.provisioned = {
+            device: frozenset(app_ids) for device, app_ids in provisioned.items()
+        }
+
+    def observe(self, record, source, window) -> Alert | None:
+        app_id = record.app_id
+        if not app_id or not record.package_name:
+            # No tag, or a hash the database does not know: integrity
+            # territory, handled by UnknownTagDetector.
+            return None
+        allowed = self.provisioned.get(record.src_ip)
+        if allowed is None or app_id in allowed:
+            return None
+        if not self._ready((record.src_ip, app_id), window.seq):
+            return None
+        return Alert(
+            kind="spoofed-tag",
+            device=record.src_ip,
+            app=record.package_name,
+            dst_ip=record.dst_ip,
+            source=source,
+            seq=window.seq,
+            packet_id=record.packet_id,
+            detail=(
+                f"tag of {record.package_name} seen from a device that never "
+                "enrolled it"
+            ),
+        )
+
+
+class ExfiltrationVolumeDetector(Detector):
+    """Per-(device, destination) outbound volume over a window budget.
+
+    Fragmenting an upload across many small flows defeats per-flow size
+    thresholds (paper §VII); the window volume is summed per (device,
+    destination) pair regardless of flow, so the fragments re-aggregate
+    here.
+    """
+
+    def __init__(
+        self, window_bytes: int = 262144, rearm_packets: int | None = None
+    ) -> None:
+        super().__init__(rearm_packets)
+        if window_bytes < 1:
+            raise ValueError("the volume budget must be positive")
+        self.window_bytes = window_bytes
+
+    def observe(self, record, source, window) -> Alert | None:
+        if record.verdict is Verdict.DROP or not record.src_ip:
+            return None
+        volume = window.window_volume(record.src_ip, record.dst_ip)
+        if volume <= self.window_bytes:
+            return None
+        if not self._ready((record.src_ip, record.dst_ip), window.seq):
+            return None
+        return Alert(
+            kind="exfil-volume",
+            device=record.src_ip,
+            app=record.package_name or record.app_id,
+            dst_ip=record.dst_ip,
+            source=source,
+            seq=window.seq,
+            packet_id=record.packet_id,
+            detail=(
+                f"{volume} bytes to one destination inside the window "
+                f"(budget {self.window_bytes})"
+            ),
+        )
+
+
+class PolicyViolationBurstDetector(Detector):
+    """Bursts of policy denials from one (device, app) pair.
+
+    Integrity failures are excluded (they have their own detector);
+    this one watches an *enrolled* app repeatedly steering into denied
+    functionality — misbehaving update, misconfigured policy, or an
+    app probing what it can get out.
+    """
+
+    def __init__(self, burst: int = 8, rearm_packets: int | None = None) -> None:
+        super().__init__(rearm_packets)
+        if burst < 1:
+            raise ValueError("the burst threshold must be positive")
+        self.burst = burst
+        self._drops: dict = {}
+
+    def observe(self, record, source, window) -> Alert | None:
+        if record.verdict is not Verdict.DROP or record.reason in INTEGRITY_REASONS:
+            return None
+        key = (record.src_ip, record.package_name or record.app_id)
+        count = self._drops.get(key, 0) + 1
+        self._drops[key] = count
+        if count < self.burst:
+            return None
+        self._drops[key] = 0
+        if not self._ready(key, window.seq):
+            return None
+        return Alert(
+            kind="policy-burst",
+            device=record.src_ip,
+            app=record.package_name or record.app_id,
+            dst_ip=record.dst_ip,
+            source=source,
+            seq=window.seq,
+            packet_id=record.packet_id,
+            detail=f"{self.burst} policy denials in a burst",
+        )
+
+
+def default_detectors(
+    provisioned: dict[str, frozenset[str]] | None = None,
+    exfil_window_bytes: int = 262144,
+    burst: int = 8,
+) -> list[Detector]:
+    """The standard detector stack; spoof detection needs a provisioning map."""
+    detectors: list[Detector] = [
+        UnknownTagDetector(),
+        ExfiltrationVolumeDetector(window_bytes=exfil_window_bytes),
+        PolicyViolationBurstDetector(burst=burst),
+    ]
+    if provisioned is not None:
+        detectors.insert(1, SpoofedTagDetector(provisioned))
+    return detectors

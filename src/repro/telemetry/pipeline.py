@@ -1,0 +1,381 @@
+"""The telemetry pipeline: enforcement publishes, the auditor consumes.
+
+:class:`AuditSink` is the one-method contract the data plane sees: the
+enforcer calls ``publish(record, source)`` for every packet it decides
+(regardless of ``keep_records``, which only controls the enforcer's own
+audit trail).  :class:`TelemetryPipeline` is the standard sink for one
+gateway: it optionally appends to a durable
+:class:`~repro.telemetry.audit.AuditLog`, folds the record into the
+gateway's :class:`~repro.telemetry.aggregate.SlidingWindowAggregator`
+and runs the detector stack.
+
+A fleet runs one pipeline *per gateway*, federated by a
+:class:`FleetAuditor`.  In the default buffered mode the enforcement
+hot loop only pays a queue append (:class:`TelemetryBuffer`); each
+gateway's collector consumes its stream off the fast path and its
+wall-clock is charged explicitly via :meth:`FleetAuditor.drain` —
+pipelined with enforcement, the fleet pays ``max(enforcement,
+collection)`` per burst, the same style of parallel accounting the
+fleet uses for replica catch-up.
+
+The auditor also runs the analyses no single gateway can perform: flow
+hashing spreads one device's flows across gateways, so a fragmented
+exfiltration may stay under every per-gateway window budget while the
+*fleet-wide* (device, destination) volume is flagrant.
+:meth:`FleetAuditor.scan_exfiltration` merges the per-gateway windows
+and alerts on exactly that case.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.netstack.netfilter import Verdict
+from repro.telemetry.aggregate import SlidingWindowAggregator
+from repro.telemetry.audit import AuditLog
+from repro.telemetry.detectors import (
+    INTEGRITY_REASONS,
+    Alert,
+    Detector,
+    ExfiltrationVolumeDetector,
+    PolicyViolationBurstDetector,
+    SpoofedTagDetector,
+    UnknownTagDetector,
+    default_detectors,
+)
+
+#: Detector types the pipeline knows cheap firing preconditions for; a
+#: stack made only of these gets the guarded fast path in
+#: :meth:`TelemetryPipeline.publish`.
+_GUARDED_DETECTORS = (
+    UnknownTagDetector,
+    SpoofedTagDetector,
+    ExfiltrationVolumeDetector,
+    PolicyViolationBurstDetector,
+)
+
+
+class AuditSink:
+    """What the data plane publishes enforcement records into."""
+
+    def publish(self, record, source: str = "") -> None:
+        raise NotImplementedError
+
+
+class TelemetryPipeline(AuditSink):
+    """One gateway's sink: durable log + sliding windows + detectors."""
+
+    def __init__(
+        self,
+        window_packets: int = 4096,
+        detectors: list[Detector] | None = None,
+        audit_log: AuditLog | None = None,
+        source: str = "",
+    ) -> None:
+        self.source = source
+        self.aggregator = SlidingWindowAggregator(window_packets=window_packets)
+        self.detectors = detectors if detectors is not None else default_detectors()
+        self.audit_log = audit_log
+        self.alerts: list[Alert] = []
+        #: Records published through this pipeline.
+        self.records_seen = 0
+
+    @property
+    def detectors(self) -> tuple[Detector, ...]:
+        """The detector stack, as an immutable tuple.
+
+        Assign a new sequence to change it — assignment recomputes the
+        publish fast-path guards.  The tuple makes in-place mutation
+        (``pipeline.detectors.append(...)``) fail loudly instead of
+        leaving a stale guard that silently skips the new detector on
+        benign traffic.
+        """
+        return self._detectors
+
+    @detectors.setter
+    def detectors(self, detectors) -> None:
+        self._detectors = tuple(detectors)
+        # Precompute the cheap firing guards.  The built-in detectors
+        # can only fire on drops, integrity failures, unprovisioned tags
+        # or over-budget volumes; when the stack consists solely of
+        # them, benign-accept records skip the detector loop entirely —
+        # this is what keeps publish affordable inside the gateway's
+        # timed hot loop.  Any custom detector disables the fast path.
+        self._guarded = all(
+            isinstance(detector, _GUARDED_DETECTORS) for detector in self._detectors
+        )
+        self._spoof_map = next(
+            (
+                detector.provisioned
+                for detector in self._detectors
+                if isinstance(detector, SpoofedTagDetector)
+            ),
+            None,
+        )
+        self._exfil_budget = next(
+            (
+                detector.window_bytes
+                for detector in self._detectors
+                if isinstance(detector, ExfiltrationVolumeDetector)
+            ),
+            None,
+        )
+
+    def publish(self, record, source: str = "") -> None:
+        self.records_seen += 1
+        label = source or self.source
+        if self.audit_log is not None:
+            self.audit_log.append(record)
+        aggregator = self.aggregator
+        aggregator.observe(record, label)
+        if self._guarded:
+            interesting = (
+                record.verdict is Verdict.DROP or record.reason in INTEGRITY_REASONS
+            )
+            if not interesting and self._spoof_map is not None:
+                app_id = record.app_id
+                if app_id and record.package_name:
+                    allowed = self._spoof_map.get(record.src_ip)
+                    interesting = allowed is not None and app_id not in allowed
+            if not interesting and self._exfil_budget is not None:
+                interesting = (
+                    aggregator.volumes.get((record.src_ip, record.dst_ip), 0)
+                    > self._exfil_budget
+                )
+            if not interesting:
+                return
+        for detector in self._detectors:
+            alert = detector.observe(record, label, aggregator)
+            if alert is not None:
+                self.alerts.append(alert)
+
+    def alert_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for alert in self.alerts:
+            counts[alert.kind] = counts.get(alert.kind, 0) + 1
+        return counts
+
+    def flush(self) -> None:
+        if self.audit_log is not None:
+            self.audit_log.flush()
+
+
+class TelemetryBuffer(AuditSink):
+    """The hand-off queue between enforcement and a gateway's collector.
+
+    Real gateways never run analytics inside the NFQUEUE consumer: the
+    fast path enqueues the record and a collector process on another
+    core consumes the stream.  ``publish`` is accordingly a bare list
+    append — the only telemetry cost the enforcement hot loop pays —
+    and :meth:`drain` replays the backlog through the gateway's
+    :class:`TelemetryPipeline`, returning how long the collector spent
+    so the caller can charge collection wall-clock explicitly (the
+    fleet model charges ``max(enforcement, collection)`` per burst:
+    the two are pipelined, not serialized).
+    """
+
+    def __init__(self, pipeline: TelemetryPipeline) -> None:
+        self.pipeline = pipeline
+        self._pending: list = []
+        #: Total seconds the collector spent draining this buffer.
+        self.drain_wall_s = 0.0
+
+    def publish(self, record, source: str = "") -> None:
+        # The buffer is per gateway, so the source label is implied by
+        # the pipeline it drains into; a bare append keeps the data
+        # plane's telemetry tax to one list operation.
+        self._pending.append(record)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def drain(self) -> float:
+        """Run the collector over the backlog; returns its wall-clock."""
+        pending = self._pending
+        if not pending:
+            return 0.0
+        self._pending = []
+        publish = self.pipeline.publish
+        started = time.perf_counter()
+        for record in pending:
+            publish(record)
+        elapsed = time.perf_counter() - started
+        self.drain_wall_s += elapsed
+        return elapsed
+
+
+class FleetAuditor:
+    """Per-gateway pipelines plus the fleet-level analyses across them.
+
+    ``spool_dir`` (optional) gives each gateway pipeline a rotating
+    :class:`AuditLog` under ``spool_dir/<gateway>/`` so the full fleet
+    record stream is recoverable; without it pipelines run windows and
+    detectors only.
+
+    With ``buffered=True`` (the default) each gateway publishes into a
+    :class:`TelemetryBuffer` and the caller drives the collectors via
+    :meth:`drain` (per burst, typically); ``buffered=False`` runs the
+    full pipeline synchronously inside the enforcement loop — simpler,
+    and what single-gateway examples use.
+    """
+
+    def __init__(
+        self,
+        window_packets: int = 4096,
+        provisioned: dict[str, frozenset[str]] | None = None,
+        exfil_window_bytes: int = 262144,
+        burst: int = 8,
+        spool_dir=None,
+        audit_capacity: int = 65536,
+        segment_records: int = 1024,
+        buffered: bool = True,
+    ) -> None:
+        self.window_packets = window_packets
+        self.provisioned = provisioned
+        self.exfil_window_bytes = exfil_window_bytes
+        self.burst = burst
+        self.spool_dir = spool_dir
+        self.audit_capacity = audit_capacity
+        self.segment_records = segment_records
+        self.buffered = buffered
+        self.pipelines: dict[str, TelemetryPipeline] = {}
+        self.buffers: dict[str, TelemetryBuffer] = {}
+        #: Alerts raised by fleet-level scans (not owned by one gateway).
+        self.fleet_alerts: list[Alert] = []
+        self._exfil_fired: set[tuple[str, str]] = set()
+
+    # -- wiring ------------------------------------------------------------------------
+
+    def pipeline_for(self, gateway: str) -> AuditSink:
+        """The (lazily created) sink one gateway publishes into.
+
+        Returns the gateway's :class:`TelemetryBuffer` in buffered mode
+        and the :class:`TelemetryPipeline` itself otherwise; either way
+        the pipeline is reachable via :attr:`pipelines`.
+        """
+        pipeline = self.pipelines.get(gateway)
+        if pipeline is None:
+            audit_log = None
+            if self.spool_dir is not None:
+                from pathlib import Path
+
+                audit_log = AuditLog(
+                    capacity=self.audit_capacity,
+                    spool_dir=Path(self.spool_dir) / gateway,
+                    segment_records=self.segment_records,
+                )
+            pipeline = TelemetryPipeline(
+                window_packets=self.window_packets,
+                detectors=default_detectors(
+                    provisioned=self.provisioned,
+                    exfil_window_bytes=self.exfil_window_bytes,
+                    burst=self.burst,
+                ),
+                audit_log=audit_log,
+                source=gateway,
+            )
+            self.pipelines[gateway] = pipeline
+            if self.buffered:
+                self.buffers[gateway] = TelemetryBuffer(pipeline)
+        if self.buffered:
+            return self.buffers[gateway]
+        return pipeline
+
+    # -- collection --------------------------------------------------------------------
+
+    def drain(self) -> float:
+        """Run every gateway's collector over its backlog.
+
+        Collectors are independent processes, one per gateway, so the
+        fleet pays the slowest one — the returned value — per drive.
+        No-op (0.0) in synchronous mode.
+        """
+        walls = [buffer.drain() for buffer in self.buffers.values()]
+        return max(walls, default=0.0)
+
+    # -- fleet-level analyses ----------------------------------------------------------
+
+    def scan_exfiltration(self, window_bytes: int | None = None) -> list[Alert]:
+        """Fleet-wide volume anomalies the per-gateway windows cannot see.
+
+        Flow-hash routing splits one device's flows across gateways;
+        summing the per-gateway windows reassembles the device's true
+        outbound volume per destination.  A pair over the fleet budget
+        must show at least ``budget / num_gateways`` on *some* gateway,
+        so the scan first collects those candidates with plain integer
+        compares and only sums across gateways for them — the scan runs
+        per burst, so it must not re-aggregate the whole window.  Each
+        offending pair alerts once per auditor lifetime.
+        """
+        budget = self.exfil_window_bytes if window_bytes is None else window_bytes
+        pipelines = list(self.pipelines.values())
+        if not pipelines:
+            return []
+        local_floor = budget // max(1, len(pipelines))
+        fired = self._exfil_fired
+        candidates: set[tuple[str, str]] = set()
+        for pipeline in pipelines:
+            for key, volume in pipeline.aggregator.volumes.items():
+                if volume > local_floor and key not in fired:
+                    candidates.add(key)
+        fresh: list[Alert] = []
+        for device, dst in sorted(candidates):
+            volume = sum(
+                pipeline.aggregator.volumes.get((device, dst), 0)
+                for pipeline in pipelines
+            )
+            if volume <= budget:
+                continue
+            fired.add((device, dst))
+            fresh.append(
+                Alert(
+                    kind="exfil-volume",
+                    device=device,
+                    dst_ip=dst,
+                    source="fleet",
+                    detail=(
+                        f"{volume} bytes fleet-wide to one destination inside "
+                        f"the window (budget {budget})"
+                    ),
+                )
+            )
+        self.fleet_alerts.extend(fresh)
+        return fresh
+
+    # -- aggregated inspection ---------------------------------------------------------
+
+    @property
+    def alerts(self) -> list[Alert]:
+        """Every alert, gateway and fleet level, in deterministic order."""
+        merged = [
+            alert for pipeline in self.pipelines.values() for alert in pipeline.alerts
+        ]
+        merged.extend(self.fleet_alerts)
+        merged.sort(key=lambda alert: (alert.packet_id, alert.kind, alert.device))
+        return merged
+
+    def alert_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for alert in self.alerts:
+            counts[alert.kind] = counts.get(alert.kind, 0) + 1
+        return counts
+
+    @property
+    def records_seen(self) -> int:
+        return sum(pipeline.records_seen for pipeline in self.pipelines.values())
+
+    def flush(self) -> None:
+        """Drain every collector backlog, then persist partial segments,
+        so the spool really does hold the full published stream."""
+        self.drain()
+        for pipeline in self.pipelines.values():
+            pipeline.flush()
+
+    def spooled_records(self) -> list:
+        """Every spooled record across gateways, merged into packet order."""
+        records: list = []
+        for pipeline in self.pipelines.values():
+            if pipeline.audit_log is not None and pipeline.audit_log.spool_dir:
+                records.extend(AuditLog.load_segments(pipeline.audit_log.spool_dir))
+        records.sort(key=lambda record: record.packet_id)
+        return records

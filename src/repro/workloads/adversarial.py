@@ -1,0 +1,299 @@
+"""Adversarial device-fleet workloads: evasion traffic with ground truth.
+
+The paper's security argument is that contextual tags let the gateway
+*attribute* every flow, so evasions that defeat address- and
+volume-based appliances stay visible.  This module generates the attack
+traces that claim is tested against, layered over a provisioned
+:class:`~repro.workloads.fleet.DeviceFleet` so every attack shares the
+address space, app population and tag encoding of the benign traffic it
+hides in.
+
+Five scenarios, each labelled per packet for precision/recall scoring:
+
+* ``tag_stripping``  — a compromised work-profile process sends with the
+  BorderPatrol option removed (the classic "evade the Context Manager"
+  move §VII guards against);
+* ``tag_spoofing``   — mimicry: packets carry the *valid* tag of a
+  whitelisted app the sending device never enrolled, copied off another
+  device's traffic;
+* ``tag_replay``     — stale tags of an app the enterprise revoked are
+  replayed after revocation;
+* ``low_and_slow``   — exfiltration fragmented across many small flows,
+  each far below any per-flow size threshold;
+* ``bulk_exfil``     — the naive smash-and-grab: one fat flow to a
+  domain already on the threat-intel blocklist.  This is the scenario
+  conventional baselines *should* catch — it keeps the comparison
+  honest.
+
+The evasive scenarios exfiltrate to a **fresh** destination the
+blocklist has never seen (blocklists lag reality); only ``bulk_exfil``
+uses the known-bad domain.  All generation is deterministic in the
+config seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.encoding import StackTraceEncoder
+from repro.netstack.ip import IPOptions, IPPacket
+
+#: Scenario labels, in generation order.  ``benign`` marks everything else.
+SCENARIOS = (
+    "tag_stripping",
+    "tag_spoofing",
+    "tag_replay",
+    "low_and_slow",
+    "bulk_exfil",
+)
+
+#: Scenarios on which address/size baselines have no signal at all.
+EVASIVE_SCENARIOS = ("tag_stripping", "tag_spoofing", "tag_replay", "low_and_slow")
+
+
+@dataclass
+class AdversarialConfig:
+    """Knobs for attack-trace generation."""
+
+    seed: int = 23
+    #: Packets for each of the stripping/spoofing/replay scenarios.
+    packets_per_scenario: int = 160
+    #: Destination the evasive scenarios use — *not* on any blocklist.
+    fresh_endpoint: str = "cdn.syncmirror.net"
+    #: Destination on the (stale) threat-intel blocklist; bulk only.
+    known_bad_endpoint: str = "drop.exfil-cdn.net"
+    #: Payload per low-and-slow packet (small on purpose).
+    low_and_slow_payload: int = 480
+    #: Flows the low-and-slow upload is fragmented across.
+    low_and_slow_flows: int = 32
+    #: Payload per bulk-exfiltration packet (one fat flow).
+    bulk_payload: int = 1400
+
+
+@dataclass
+class AdversarialTrace:
+    """Attack packets plus everything needed to score detections."""
+
+    packets_by_scenario: dict[str, list[IPPacket]] = field(default_factory=dict)
+    #: packet_id -> scenario label for every attack packet.
+    labels: dict[int, str] = field(default_factory=dict)
+    #: The contractor app whose tags are replayed after revocation.
+    revoked_md5: str = ""
+    revoked_app_id: str = ""
+    revoked_package: str = ""
+    #: The whitelisted app whose identity the mimicry scenario borrows.
+    spoofed_package: str = ""
+    spoofed_app_id: str = ""
+    spoof_attacker_ip: str = ""
+    #: Exfiltration endpoint name -> resolved IP.
+    exfil_ips: dict[str, str] = field(default_factory=dict)
+
+    def packets(self, scenario: str) -> list[IPPacket]:
+        return self.packets_by_scenario.get(scenario, [])
+
+    def attack_packet_count(self) -> int:
+        return sum(len(packets) for packets in self.packets_by_scenario.values())
+
+    def revoke(self, database) -> None:
+        """Revoke the contractor app (call before replaying ``tag_replay``)."""
+        database.remove(self.revoked_md5)
+
+
+class AdversarialWorkload:
+    """Generate the attack scenarios over one provisioned device fleet."""
+
+    def __init__(self, device_fleet, config: AdversarialConfig | None = None) -> None:
+        self.fleet = device_fleet
+        self.config = config or AdversarialConfig()
+
+    # -- scenario building -------------------------------------------------------------
+
+    def build(
+        self, exfil_budget_bytes: int, size_threshold_bytes: int
+    ) -> AdversarialTrace:
+        """Build every scenario's packets.
+
+        ``exfil_budget_bytes`` is the telemetry volume budget the
+        volume-based scenarios must exceed (the attacker does need to
+        move real data); ``size_threshold_bytes`` is the per-flow
+        threshold of the size baseline, which low-and-slow must stay
+        *under* per flow and bulk must blow through.
+        """
+        config = self.config
+        fleet = self.fleet
+        flows = fleet.build_flows()
+        deployment = fleet.deployment
+        network = deployment.network
+        trace = AdversarialTrace()
+        for endpoint in (config.fresh_endpoint, config.known_bad_endpoint):
+            if not network.dns.knows_name(endpoint):
+                network.add_server(endpoint, role="external")
+            trace.exfil_ips[endpoint] = network.dns.resolve(endpoint)
+        fresh_ip = trace.exfil_ips[config.fresh_endpoint]
+        known_bad_ip = trace.exfil_ips[config.known_bad_endpoint]
+        rng = random.Random(config.seed)
+        device_ips = sorted({flow.src_ip for flow in flows})
+
+        # -- tag stripping: untagged packets from a compromised device.
+        stripper_ip = device_ips[rng.randrange(len(device_ips))]
+        trace.packets_by_scenario["tag_stripping"] = [
+            IPPacket(
+                src_ip=stripper_ip,
+                dst_ip=fresh_ip,
+                src_port=51000 + index % 8,
+                dst_port=443,
+                payload_size=600,
+                options=IPOptions(),
+                provenance={"adversarial": "tag_stripping"},
+            )
+            for index in range(config.packets_per_scenario)
+        ]
+
+        # -- tag spoofing: a valid tag from a device that lacks the app.
+        # Candidates are login flows: developer-authored functionality the
+        # company policy whitelists, i.e. an identity worth borrowing.
+        login_flows = [flow for flow in flows if flow.functionality == "login"]
+        if not login_flows:
+            login_flows = flows
+        provisioning = fleet.provisioning_map()
+        spoof_flow, attacker_ip = self._pick_spoof(login_flows, provisioning)
+        trace.spoofed_package = spoof_flow.package_name
+        trace.spoofed_app_id = self._app_id_of(spoof_flow)
+        trace.spoof_attacker_ip = attacker_ip
+        trace.packets_by_scenario["tag_spoofing"] = [
+            IPPacket(
+                src_ip=attacker_ip,
+                dst_ip=fresh_ip,
+                src_port=52000 + index % 8,
+                dst_port=443,
+                payload_size=700,
+                options=spoof_flow.options,
+                provenance={"adversarial": "tag_spoofing"},
+            )
+            for index in range(config.packets_per_scenario)
+        ]
+
+        # -- tag replay: stale tags of a revoked contractor app.
+        replayer_ip = device_ips[rng.randrange(len(device_ips))]
+        stale_options, md5, app_id, package = self._enroll_contractor_app()
+        trace.revoked_md5 = md5
+        trace.revoked_app_id = app_id
+        trace.revoked_package = package
+        trace.packets_by_scenario["tag_replay"] = [
+            IPPacket(
+                src_ip=replayer_ip,
+                dst_ip=fresh_ip,
+                src_port=53000 + index % 8,
+                dst_port=443,
+                payload_size=650,
+                options=stale_options,
+                provenance={"adversarial": "tag_replay"},
+            )
+            for index in range(config.packets_per_scenario)
+        ]
+
+        # -- low and slow: fragment an upload across many small flows,
+        # every flow far below the size threshold, using the attacker
+        # device's *own* enrolled app tag (nothing to spoof: the insider
+        # app itself leaks).
+        insider_flow = min(login_flows, key=lambda flow: (flow.src_ip, flow.src_port))
+        total_bytes = 2 * exfil_budget_bytes
+        payload = config.low_and_slow_payload
+        packet_count = max(1, -(-total_bytes // payload))
+        per_flow = payload * -(-packet_count // config.low_and_slow_flows)
+        if per_flow >= size_threshold_bytes:
+            raise ValueError(
+                "low-and-slow fragments would individually trip the size "
+                f"threshold ({per_flow} >= {size_threshold_bytes}); raise "
+                "low_and_slow_flows or the threshold"
+            )
+        trace.packets_by_scenario["low_and_slow"] = [
+            IPPacket(
+                src_ip=insider_flow.src_ip,
+                dst_ip=fresh_ip,
+                src_port=54000 + index % config.low_and_slow_flows,
+                dst_port=443,
+                payload_size=payload,
+                options=insider_flow.options,
+                provenance={"adversarial": "low_and_slow"},
+            )
+            for index in range(packet_count)
+        ]
+
+        # -- bulk exfiltration: one fat flow to the known-bad endpoint.
+        bulk_total = max(2 * exfil_budget_bytes, 2 * size_threshold_bytes)
+        bulk_count = max(1, -(-bulk_total // config.bulk_payload))
+        trace.packets_by_scenario["bulk_exfil"] = [
+            IPPacket(
+                src_ip=insider_flow.src_ip,
+                dst_ip=known_bad_ip,
+                src_port=55000,
+                dst_port=443,
+                payload_size=config.bulk_payload,
+                options=insider_flow.options,
+                provenance={"adversarial": "bulk_exfil"},
+            )
+            for _ in range(bulk_count)
+        ]
+
+        for scenario, packets in trace.packets_by_scenario.items():
+            for packet in packets:
+                trace.labels[packet.packet_id] = scenario
+        return trace
+
+    # -- pieces ------------------------------------------------------------------------
+
+    def _app_id_of(self, flow) -> str:
+        data = StackTraceEncoder.extract_tag_bytes(flow.options)
+        return data[:8].hex() if data is not None else ""
+
+    def _pick_spoof(self, flows, provisioning) -> tuple:
+        """A (flow, attacker_ip) pair: the flow's app is not enrolled on
+        the attacker's device.  Deterministic: first match in sorted order."""
+        for flow in sorted(flows, key=lambda f: (f.package_name, f.src_ip, f.src_port)):
+            app_id = self._app_id_of(flow)
+            if not app_id:
+                continue
+            for device_ip in sorted(provisioning):
+                if device_ip != flow.src_ip and app_id not in provisioning[device_ip]:
+                    return flow, device_ip
+        raise ValueError(
+            "every device enrolled every app; the mimicry scenario needs a "
+            "device lacking at least one fleet app (use more apps or devices)"
+        )
+
+    def _enroll_contractor_app(self) -> tuple[IPOptions, str, str, str]:
+        """Enroll an app no fleet device installed; return a valid tag for it.
+
+        The driver revokes it mid-trace
+        (:meth:`AdversarialTrace.revoke`), after which the returned tag
+        is exactly what a replay attack looks like at the gateway.
+        """
+        # Imported here: workloads.corpus already imports the network
+        # package; keeping this local avoids widening module import time
+        # for fleets that never build adversarial traffic.
+        from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+
+        deployment = self.fleet.deployment
+        existing = {
+            entry.md5 for entry in deployment.database.entries()
+        }
+        # Generate candidate apps until one's hash is not already enrolled
+        # (different seed space from the fleet corpus, so in practice the
+        # first candidate wins).
+        for offset in range(8):
+            generator = CorpusGenerator(
+                CorpusConfig(n_apps=1, seed=self.config.seed + 9000 + offset)
+            )
+            app = generator.generate()[0]
+            if app.apk.md5 not in existing:
+                break
+        else:  # pragma: no cover - eight md5 collisions in a row
+            raise RuntimeError("could not generate a fresh contractor app")
+        deployment.enroll_app(app.apk)
+        entry = deployment.database.lookup_md5(app.apk.md5)
+        encoder = StackTraceEncoder(index_width=deployment.index_width)
+        indexes = list(range(min(3, entry.method_count)))
+        options = encoder.encode_option(entry.app_id, indexes)
+        return options, entry.md5, entry.app_id, entry.package_name

@@ -233,3 +233,24 @@ class DeviceFleet:
         return {
             app.apk.package_name for mix in self.installed.values() for app in mix
         }
+
+    def provisioning_map(self) -> dict[str, frozenset[str]]:
+        """Device enterprise IP → on-wire app ids enrolled on that device.
+
+        This is the attribution ground truth the enterprise back office
+        holds (which device enrolled which apps) and the network layer
+        lacks; the telemetry spoofed-tag detector compares every valid
+        tag against it.
+        """
+        self.provision()
+        database = self.deployment.database
+        mapping: dict[str, frozenset[str]] = {}
+        for provisioned in self.provisioned:
+            device = provisioned.device
+            app_ids = set()
+            for app in self.installed[device.name]:
+                entry = database.lookup_md5(app.apk.md5)
+                if entry is not None:
+                    app_ids.add(entry.app_id)
+            mapping[device.ip] = frozenset(app_ids)
+        return mapping

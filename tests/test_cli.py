@@ -162,6 +162,9 @@ class TestGatewayBenchCommand:
         for configuration in ("naive", "compiled", "cached", "sharded-1", "sharded-2"):
             assert configuration in out
         assert "flow-cache churn by app:" in out
+        # The all-valid replay surfaces zeroed integrity counters —
+        # previously these outcomes were only visible in raw records.
+        assert "integrity outcomes: 0 untagged, 0 unknown-app, 0 decode-failure" in out
         assert "all paths verdict-identical: True" in out
 
     def test_gateway_bench_surfaces_fig4_throughput(self, capsys):
@@ -173,6 +176,24 @@ class TestGatewayBenchCommand:
         assert "fig4 stress workload through the sharded gateway" in out
         assert "mean per-request latency" in out
         assert "kpps modelled parallel" in out
+
+
+class TestAuditCommand:
+    def test_audit_reports_detection_and_roundtrip(self, capsys):
+        assert main(
+            ["audit", "--packets", "400", "--devices", "10", "--gateways", "2",
+             "--shards", "1", "--corpus-apps", "4", "--bursts", "4",
+             "--attack-packets", "24", "--skip-overhead"]
+        ) == 0
+        out = capsys.readouterr().out
+        for system in ("borderpatrol", "ip-dns", "size-threshold"):
+            assert system in out
+        assert "lossless round-trip: True" in out
+        assert "BorderPatrol strictly dominates on spoof/replay: True" in out
+
+    def test_audit_rejects_degenerate_replay(self, capsys):
+        assert main(["audit", "--packets", "2", "--bursts", "4"]) == 2
+        assert "audit rejected" in capsys.readouterr().err
 
 
 class TestParser:

@@ -7,6 +7,7 @@ renders its comparison table.
 
 import pytest
 
+from repro.experiments.audit import run_audit_bench
 from repro.experiments.common import format_table, run_corpus
 from repro.experiments.case_studies import run_flow_size_study
 from repro.experiments.fig3_ioi import run_fig3
@@ -118,3 +119,40 @@ class TestFlowSizeDriver:
         assert len(result.legitimate_flows) == 100
         assert len(result.threshold_rows) == 5
         assert "threshold" in result.table()
+
+
+class TestAuditDriver:
+    def test_small_run_scores_all_three_systems(self):
+        result = run_audit_bench(
+            packets=400,
+            devices=10,
+            gateways=2,
+            shards_per_gateway=1,
+            corpus_apps=4,
+            bursts=4,
+            attack_packets_per_scenario=24,
+            measure_overhead=False,
+        )
+        assert set(result.scores) == {"borderpatrol", "ip-dns", "size-threshold"}
+        for score in result.scores.values():
+            assert 0.0 <= score.precision <= 1.0
+            for scenario in result.scenario_counts:
+                assert 0.0 <= score.recall(scenario) <= 1.0
+        # The attribution scenarios are invisible to both baselines even
+        # at miniature scale, and BorderPatrol sees them all.
+        assert result.borderpatrol_dominates_spoof_replay
+        assert result.audit_roundtrip_ok
+        assert result.records_published == result.packets
+        assert "precision" in result.table()
+
+    def test_rejects_degenerate_configurations(self):
+        with pytest.raises(ValueError):
+            run_audit_bench(packets=2, bursts=4)
+        with pytest.raises(ValueError):
+            run_audit_bench(packets=100, gateways=0)
+        with pytest.raises(ValueError):
+            run_audit_bench(packets=100, bursts=0)
+        with pytest.raises(ValueError):
+            run_audit_bench(packets=100, bursts=-1)
+        with pytest.raises(ValueError):
+            run_audit_bench(packets=100, attack_packets_per_scenario=0)

@@ -174,6 +174,26 @@ class TestGatewayReplica:
         verdict, _ = replica.enforcer.process(make_packet(APP_B_ID, [0, 2]))
         assert verdict is Verdict.DROP
 
+    def test_catch_up_interns_identical_rule_strings(self, database):
+        from repro.core.policy_store import RULE_INTERN_CACHE
+
+        store = PolicyStore.from_policy(Policy.allow_all())
+        replicas = [
+            GatewayReplica(PolicyEnforcer(database=database), store, name=f"gw{i}")
+            for i in range(3)
+        ]
+        store.apply(PolicyUpdate().add_rule(DENY_MIXPANEL))
+        RULE_INTERN_CACHE.clear()
+        for replica in replicas:
+            replica.catch_up(store.delta_log)
+        # One cold parse for the logged rule string; the other two
+        # replicas reuse the shared frozen PolicyRule.
+        assert RULE_INTERN_CACHE.misses == 1
+        assert RULE_INTERN_CACHE.hits == 2
+        rules = {replica.snapshot().rules[-1] for replica in replicas}
+        assert len(rules) == 1  # value-equal (and in fact the same object)
+        assert all(replica.verify_against(store) for replica in replicas)
+
     def test_replica_uses_surgical_invalidation_not_whole_flush(self, database):
         store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
         replica = GatewayReplica(PolicyEnforcer(database=database), store, name="gw")
@@ -269,6 +289,94 @@ class TestProcessBackend:
         assert [r.packet_id for r in forked.records] == sorted(
             r.packet_id for r in forked.records
         )
+
+    def test_forked_batches_publish_to_audit_sink_without_keep_records(self, database):
+        from repro.telemetry.pipeline import TelemetryPipeline
+
+        forked = ShardedEnforcer(
+            database=database,
+            policy=Policy.deny_libraries(["com/flurry"]),
+            num_shards=2,
+            backend="process",
+            keep_records=False,
+        )
+        pipeline = TelemetryPipeline(window_packets=256)
+        forked.attach_audit_sink(pipeline, "gw0")
+        packets = replay_packets(30)
+        forked.process_batch_timed(packets)
+        # The data plane's publish contract holds across the fork even
+        # though nothing is stored: the workers capture their batches
+        # and the parent republishes them.
+        assert pipeline.records_seen == len(packets)
+        assert len(forked.records) == 0
+        # ...and capturing must not flip keep_records in the worker:
+        # that would steer the decision path into decoding signatures,
+        # publishing different records (and stats) than the sequential
+        # backend does under the identical configuration.
+        sequential = ShardedEnforcer(
+            database=database,
+            policy=Policy.deny_libraries(["com/flurry"]),
+            num_shards=2,
+            keep_records=False,
+        )
+        twin = TelemetryPipeline(window_packets=256)
+        sequential.attach_audit_sink(twin, "gw0")
+        sequential.process_batch_timed(packets)
+        assert forked.aggregate_stats().full_decodes == (
+            sequential.aggregate_stats().full_decodes
+        )
+        assert pipeline.aggregator.snapshot() == twin.aggregator.snapshot()
+
+    def test_forked_workers_never_publish_into_their_sink_copies(self, database, tmp_path):
+        from repro.telemetry.audit import AuditLog
+        from repro.telemetry.pipeline import TelemetryPipeline
+
+        # Regression: with keep_records=True the fork used to run its
+        # inherited sink copy too — a spooling AuditLog behind the sink
+        # then wrote segment files from inside the workers that collided
+        # with the parent's, corrupting the round-trip.
+        forked = ShardedEnforcer(
+            database=database,
+            policy=Policy.deny_libraries(["com/flurry"]),
+            num_shards=2,
+            backend="process",
+            keep_records=True,
+        )
+        pipeline = TelemetryPipeline(
+            window_packets=256,
+            audit_log=AuditLog(spool_dir=tmp_path, segment_records=4),
+        )
+        forked.attach_audit_sink(pipeline, "gw0")
+        packets = replay_packets(30)
+        forked.process_batch_timed(packets)
+        pipeline.flush()
+        assert pipeline.records_seen == len(packets)
+        spooled = AuditLog.load_segments(tmp_path)
+        assert sorted(r.packet_id for r in spooled) == sorted(
+            p.packet_id for p in packets
+        )
+
+    def test_forked_batches_publish_past_a_full_record_ring(self, database):
+        from repro.telemetry.pipeline import TelemetryPipeline
+
+        forked = ShardedEnforcer(
+            database=database,
+            policy=Policy.deny_libraries(["com/flurry"]),
+            num_shards=2,
+            backend="process",
+            record_capacity=8,  # far smaller than the replay
+        )
+        pipeline = TelemetryPipeline(window_packets=256)
+        forked.attach_audit_sink(pipeline, "gw0")
+        packets = replay_packets(30)
+        forked.process_batch_timed(packets)
+        forked.process_batch_timed(packets)
+        # Regression: a full bounded ring keeps a constant length, so a
+        # length-based slice in the worker read as "no new records" and
+        # telemetry silently went blind after the ring wrapped.
+        assert pipeline.records_seen == 2 * len(packets)
+        # The parent ring still holds (only) the most recent records.
+        assert len(forked.records) == 8 * forked.num_shards
 
     def test_policy_churn_between_forked_batches_takes_effect(self, database):
         # Fork-per-batch workers must always see the parent's current

@@ -1,0 +1,381 @@
+"""Unit tests for the telemetry subsystem (audit log, windows,
+detectors, pipeline, fleet auditor, enforcer wiring)."""
+
+import pytest
+
+from repro.core.database import DatabaseEntry, SignatureDatabase
+from repro.core.encoding import StackTraceEncoder
+from repro.core.policy import Policy
+from repro.core.policy_enforcer import (
+    REASON_UNKNOWN_APP,
+    REASON_UNTAGGED,
+    EnforcementRecord,
+    PolicyEnforcer,
+)
+from repro.netstack.ip import IPOptions, IPPacket
+from repro.netstack.netfilter import Verdict
+from repro.telemetry.audit import AuditLog, record_from_payload, record_to_payload
+from repro.telemetry.aggregate import SlidingWindowAggregator
+from repro.telemetry.detectors import (
+    Detector,
+    ExfiltrationVolumeDetector,
+    PolicyViolationBurstDetector,
+    SpoofedTagDetector,
+    UnknownTagDetector,
+    default_detectors,
+)
+from repro.telemetry.pipeline import FleetAuditor, TelemetryBuffer, TelemetryPipeline
+
+
+def make_record(
+    packet_id=1,
+    verdict=Verdict.ACCEPT,
+    reason="",
+    src_ip="10.10.0.2",
+    dst_ip="203.0.113.9",
+    app_id="aaaaaaaa",
+    package_name="com.alpha.app",
+    payload_bytes=512,
+):
+    return EnforcementRecord(
+        packet_id=packet_id,
+        dst_ip=dst_ip,
+        verdict=verdict,
+        reason=reason,
+        app_id=app_id,
+        package_name=package_name,
+        src_ip=src_ip,
+        payload_bytes=payload_bytes,
+    )
+
+
+class TestAuditLog:
+    def test_ring_bounds_memory_and_counts_evictions(self):
+        log = AuditLog(capacity=3)
+        records = [make_record(packet_id=i) for i in range(5)]
+        log.extend(records)
+        assert list(log) == records[2:]
+        assert len(log) == 3
+        assert log.total_appended == 5
+        assert log.evicted == 2
+
+    def test_list_surface(self):
+        log = AuditLog(capacity=8)
+        records = [make_record(packet_id=i) for i in range(4)]
+        log.extend(records)
+        assert log == records
+        assert log[0] is records[0]
+        assert log[-1] is records[-1]
+        assert log[1:3] == records[1:3]
+        assert bool(log)
+        log.clear()
+        assert not log and len(log) == 0
+
+    def test_rejects_degenerate_configuration(self):
+        with pytest.raises(ValueError):
+            AuditLog(capacity=0)
+        with pytest.raises(ValueError):
+            AuditLog(segment_records=0)
+
+    def test_payload_roundtrip_preserves_every_field(self):
+        record = make_record(verdict=Verdict.DROP, reason=REASON_UNTAGGED)
+        assert record_from_payload(record_to_payload(record)) == record
+
+    def test_rotation_spools_segments_and_flush_persists_tail(self, tmp_path):
+        log = AuditLog(capacity=4, spool_dir=tmp_path, segment_records=4)
+        records = [make_record(packet_id=i) for i in range(10)]
+        log.extend(records)
+        assert log.segments_written == 2  # 8 records rotated, 2 buffered
+        log.flush()
+        assert log.segments_written == 3
+        assert AuditLog.load_segments(tmp_path) == records
+        # The ring only remembers the most recent four.
+        assert list(log) == records[6:]
+
+
+class TestSlidingWindowAggregator:
+    def test_volumes_slide_out_of_the_window(self):
+        aggregator = SlidingWindowAggregator(window_packets=2)
+        aggregator.observe(make_record(payload_bytes=100))
+        aggregator.observe(make_record(payload_bytes=200))
+        assert aggregator.window_volume("10.10.0.2", "203.0.113.9") == 300
+        aggregator.observe(make_record(payload_bytes=400))
+        # The first record slid out with its 100 bytes.
+        assert aggregator.window_volume("10.10.0.2", "203.0.113.9") == 600
+
+    def test_window_stats_split_by_device_app_and_gateway(self):
+        aggregator = SlidingWindowAggregator(window_packets=16)
+        aggregator.observe(make_record(), "gw0")
+        aggregator.observe(make_record(src_ip="10.10.0.3", verdict=Verdict.DROP), "gw1")
+        tables = aggregator.window_stats()
+        assert tables["devices"]["10.10.0.2"].packets == 1
+        assert tables["devices"]["10.10.0.3"].dropped == 1
+        assert tables["devices"]["10.10.0.3"].drop_rate == 1.0
+        assert tables["apps"]["com.alpha.app"].packets == 2
+        assert set(tables["sources"]) == {"gw0", "gw1"}
+
+    def test_dropped_payloads_never_count_as_bytes_out(self):
+        # Regression: blocked traffic must not accumulate exfiltration
+        # volume — those bytes never left the network, and counting them
+        # let already-blocked uploads raise false exfil-volume alerts.
+        aggregator = SlidingWindowAggregator(window_packets=16)
+        aggregator.observe(
+            make_record(verdict=Verdict.DROP, reason="matched deny rule",
+                        payload_bytes=100000)
+        )
+        aggregator.observe(make_record(packet_id=2, payload_bytes=300))
+        assert aggregator.window_volume("10.10.0.2", "203.0.113.9") == 300
+        assert aggregator.device("10.10.0.2").bytes_out == 300
+
+    def test_zero_payload_events_evict_cleanly(self):
+        # Regression: a zero-byte record stays in the event window after
+        # its pair's volume entry hit zero and was dropped by an earlier
+        # eviction; evicting it later must not KeyError.
+        aggregator = SlidingWindowAggregator(window_packets=2)
+        aggregator.observe(make_record(payload_bytes=5))
+        aggregator.observe(make_record(payload_bytes=0))
+        aggregator.observe(make_record(src_ip="10.10.9.9", payload_bytes=1))
+        aggregator.observe(make_record(src_ip="10.10.9.9", payload_bytes=1))
+        assert aggregator.window_volume("10.10.0.2", "203.0.113.9") == 0
+
+    def test_integrity_state_stays_bounded_without_queries(self):
+        # Regression: expiry used to run only inside device_integrity(),
+        # which only UnknownTagDetector calls — a pipeline configured
+        # without it leaked one deque entry per integrity event forever.
+        aggregator = SlidingWindowAggregator(window_packets=4)
+        for index in range(100):
+            aggregator.observe(
+                make_record(packet_id=index, verdict=Verdict.DROP,
+                            reason=REASON_UNTAGGED, app_id="")
+            )
+        assert len(aggregator._integrity) <= aggregator.window_packets
+
+    def test_device_integrity_counts_expire(self):
+        aggregator = SlidingWindowAggregator(window_packets=2)
+        aggregator.observe(
+            make_record(verdict=Verdict.DROP, reason=REASON_UNTAGGED, app_id="")
+        )
+        assert aggregator.device_integrity("10.10.0.2") == (1, 0, 0)
+        aggregator.observe(make_record(packet_id=2))
+        aggregator.observe(make_record(packet_id=3))
+        assert aggregator.device_integrity("10.10.0.2") == (0, 0, 0)
+
+
+class TestDetectors:
+    def test_unknown_tag_fires_and_cools_down(self):
+        window = SlidingWindowAggregator(window_packets=64)
+        detector = UnknownTagDetector(rearm_packets=4)
+        bad = make_record(verdict=Verdict.DROP, reason=REASON_UNKNOWN_APP)
+        window.observe(bad)
+        assert detector.observe(bad, "gw0", window).kind == "unknown-tag"
+        window.observe(bad)
+        assert detector.observe(bad, "gw0", window) is None  # cooling down
+        for _ in range(4):
+            window.observe(make_record())
+        window.observe(bad)
+        assert detector.observe(bad, "gw0", window) is not None  # re-armed
+
+    def test_spoofed_tag_needs_the_provisioning_map(self):
+        window = SlidingWindowAggregator(window_packets=64)
+        detector = SpoofedTagDetector({"10.10.0.2": frozenset({"aaaaaaaa"})})
+        own = make_record()
+        window.observe(own)
+        assert detector.observe(own, "gw0", window) is None  # enrolled app
+        borrowed = make_record(app_id="bbbbbbbb", package_name="com.beta.app")
+        window.observe(borrowed)
+        alert = detector.observe(borrowed, "gw0", window)
+        assert alert.kind == "spoofed-tag" and alert.app == "com.beta.app"
+        # Unknown devices cannot be judged: no ground truth for them.
+        roamer = make_record(src_ip="10.10.9.9", app_id="bbbbbbbb")
+        window.observe(roamer)
+        assert detector.observe(roamer, "gw0", window) is None
+
+    def test_exfiltration_volume_reassembles_fragments(self):
+        window = SlidingWindowAggregator(window_packets=64)
+        detector = ExfiltrationVolumeDetector(window_bytes=1000)
+        alerts = []
+        for index in range(4):
+            # Different flows (source ports would differ); same pair.
+            record = make_record(packet_id=index, payload_bytes=400)
+            window.observe(record)
+            alert = detector.observe(record, "gw0", window)
+            if alert is not None:
+                alerts.append(alert)
+        assert [alert.kind for alert in alerts] == ["exfil-volume"]
+        assert alerts[0].dst_ip == "203.0.113.9"
+
+    def test_policy_burst_counts_only_real_denials(self):
+        window = SlidingWindowAggregator(window_packets=64)
+        detector = PolicyViolationBurstDetector(burst=3)
+        denial = make_record(verdict=Verdict.DROP, reason="matched deny rule")
+        integrity = make_record(verdict=Verdict.DROP, reason=REASON_UNTAGGED)
+        assert detector.observe(integrity, "gw0", window) is None
+        fired = [
+            detector.observe(denial, "gw0", window) for _ in range(3)
+        ]
+        assert fired[0] is None and fired[1] is None
+        assert fired[2].kind == "policy-burst"
+
+
+class TestPipelineAndBuffer:
+    def test_pipeline_appends_log_runs_detectors_and_counts(self):
+        log = AuditLog(capacity=16)
+        pipeline = TelemetryPipeline(
+            window_packets=32,
+            detectors=default_detectors(burst=2),
+            audit_log=log,
+        )
+        denial = make_record(verdict=Verdict.DROP, reason="matched deny rule")
+        for _ in range(2):
+            pipeline.publish(denial, "gw0")
+        assert pipeline.records_seen == 2
+        assert len(log) == 2
+        assert pipeline.alert_counts() == {"policy-burst": 1}
+        assert pipeline.alerts[0].source == "gw0"
+
+    def test_detector_stack_is_immutable_and_reassignment_refreshes_guards(self):
+        class RecordingDetector(Detector):
+            def __init__(self):
+                super().__init__()
+                self.seen = 0
+
+            def observe(self, record, source, window):
+                self.seen += 1
+                return None
+
+        pipeline = TelemetryPipeline(window_packets=32)
+        # In-place mutation must fail loudly: appending to a list would
+        # leave the fast-path guard stale and silently skip the new
+        # detector on benign traffic.
+        with pytest.raises(AttributeError):
+            pipeline.detectors.append(RecordingDetector())
+        custom = RecordingDetector()
+        pipeline.detectors = list(pipeline.detectors) + [custom]
+        pipeline.publish(make_record(), "gw0")  # benign accept
+        assert custom.seen == 1  # the guard was recomputed
+
+    def test_buffer_defers_pipeline_work_until_drain(self):
+        pipeline = TelemetryPipeline(window_packets=32)
+        buffer = TelemetryBuffer(pipeline)
+        buffer.publish(make_record())
+        buffer.publish(make_record())
+        assert len(buffer) == 2
+        assert pipeline.records_seen == 0
+        elapsed = buffer.drain()
+        assert elapsed >= 0.0
+        assert len(buffer) == 0
+        assert pipeline.records_seen == 2
+
+
+class TestFleetAuditor:
+    def test_pipeline_per_gateway_and_merged_alerts(self):
+        auditor = FleetAuditor(window_packets=32, buffered=False)
+        auditor.pipeline_for("gw0").publish(
+            make_record(verdict=Verdict.DROP, reason=REASON_UNTAGGED, app_id="")
+        )
+        auditor.pipeline_for("gw1").publish(make_record(packet_id=2))
+        assert set(auditor.pipelines) == {"gw0", "gw1"}
+        assert auditor.records_seen == 2
+        assert auditor.alert_counts() == {"unknown-tag": 1}
+
+    def test_exfiltration_scan_sees_across_gateways(self):
+        # Each gateway stays under the fleet budget; the sum does not.
+        auditor = FleetAuditor(
+            window_packets=64, exfil_window_bytes=1000, buffered=False
+        )
+        for gateway, start in (("gw0", 0), ("gw1", 10)):
+            sink = auditor.pipeline_for(gateway)
+            for index in range(2):
+                sink.publish(make_record(packet_id=start + index, payload_bytes=300))
+        assert not auditor.alert_counts()  # no single gateway over budget
+        alerts = auditor.scan_exfiltration()
+        assert [alert.kind for alert in alerts] == ["exfil-volume"]
+        assert alerts[0].source == "fleet"
+        # The scan alerts once per (device, destination) pair.
+        assert auditor.scan_exfiltration() == []
+
+    def test_spool_round_trip_across_gateways(self, tmp_path):
+        auditor = FleetAuditor(
+            window_packets=32,
+            spool_dir=tmp_path,
+            segment_records=2,
+            buffered=False,
+        )
+        records = [make_record(packet_id=index) for index in range(6)]
+        for index, record in enumerate(records):
+            auditor.pipeline_for(f"gw{index % 2}").publish(record)
+        auditor.flush()
+        assert auditor.spooled_records() == records
+
+    def test_flush_drains_pending_buffers_first(self, tmp_path):
+        # Regression: in buffered mode, flush() without a prior drain()
+        # used to persist a short spool — the backlog never reached the
+        # pipelines, contradicting "the spool holds the full stream".
+        auditor = FleetAuditor(
+            window_packets=32, spool_dir=tmp_path, segment_records=2
+        )
+        records = [make_record(packet_id=index) for index in range(5)]
+        sink = auditor.pipeline_for("gw0")
+        for record in records:
+            sink.publish(record)
+        assert auditor.records_seen == 0  # still buffered
+        auditor.flush()
+        assert auditor.records_seen == len(records)
+        assert auditor.spooled_records() == records
+
+
+def build_enforcer(**kwargs) -> PolicyEnforcer:
+    database = SignatureDatabase()
+    database.add(
+        DatabaseEntry(
+            md5="aa" * 16,
+            app_id=("aa" * 16)[:16],
+            package_name="com.alpha.app",
+            signatures=["Lcom/alpha/app/Main;->run()V"],
+        )
+    )
+    return PolicyEnforcer(database=database, policy=Policy.allow_all(), **kwargs)
+
+
+def tagged_packet(src_port=40000, payload_size=256) -> IPPacket:
+    return IPPacket(
+        src_ip="10.10.0.2",
+        dst_ip="203.0.113.9",
+        src_port=src_port,
+        dst_port=443,
+        payload_size=payload_size,
+        options=StackTraceEncoder().encode_option(("aa" * 16)[:16], [0]),
+    )
+
+
+class TestEnforcerWiring:
+    def test_keep_records_is_bounded_now(self):
+        enforcer = build_enforcer(record_capacity=4)
+        for port in range(40000, 40010):
+            enforcer.process(tagged_packet(src_port=port))
+        assert isinstance(enforcer.records, AuditLog)
+        assert len(enforcer.records) == 4
+        assert enforcer.records.total_appended == 10
+        assert enforcer.records.evicted == 6
+
+    def test_attach_audit_sink_publishes_every_decision(self):
+        enforcer = build_enforcer(keep_records=False)
+        pipeline = TelemetryPipeline(window_packets=32)
+        enforcer.attach_audit_sink(pipeline, "gw7")
+        enforcer.process(tagged_packet())
+        untagged = IPPacket(
+            src_ip="10.10.0.2",
+            dst_ip="203.0.113.9",
+            src_port=41000,
+            dst_port=443,
+            payload_size=64,
+            options=IPOptions(),
+        )
+        enforcer.process(untagged)
+        assert pipeline.records_seen == 2
+        assert pipeline.aggregator.source("gw7").packets == 2
+        # Attribution fields flow through the records; the dropped
+        # untagged packet's 64 bytes never egressed, so they do not
+        # count as bytes out.
+        assert pipeline.aggregator.device("10.10.0.2").bytes_out == 256
+        assert pipeline.aggregator.device("10.10.0.2").untagged == 1

@@ -1,0 +1,111 @@
+"""Tests for the adversarial fleet workloads (evasion trace generation)."""
+
+import pytest
+
+from repro.core.deployment import BorderPatrolDeployment
+from repro.core.policy import Policy
+from repro.core.policy_enforcer import REASON_UNKNOWN_APP, REASON_UNTAGGED
+from repro.experiments.gateway_throughput import DEFAULT_DENY_LIBRARIES
+from repro.netstack.netfilter import Verdict
+from repro.workloads.adversarial import (
+    EVASIVE_SCENARIOS,
+    SCENARIOS,
+    AdversarialConfig,
+    AdversarialWorkload,
+)
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+from repro.workloads.fleet import DeviceFleet, DeviceFleetConfig
+
+EXFIL_BUDGET = 65536
+SIZE_THRESHOLD = 131072
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    apps = CorpusGenerator(CorpusConfig(n_apps=4, seed=5)).generate()
+    deployment = BorderPatrolDeployment(
+        policy=Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="adv-base"),
+        keep_records=True,
+    )
+    return DeviceFleet(
+        deployment, apps, DeviceFleetConfig(devices=8, seed=5)
+    )
+
+
+@pytest.fixture(scope="module")
+def trace(fleet):
+    workload = AdversarialWorkload(fleet, AdversarialConfig(seed=11, packets_per_scenario=20))
+    return workload.build(EXFIL_BUDGET, SIZE_THRESHOLD)
+
+
+class TestTraceShape:
+    def test_every_scenario_generated_and_labelled(self, trace):
+        assert set(trace.packets_by_scenario) == set(SCENARIOS)
+        for scenario, packets in trace.packets_by_scenario.items():
+            assert packets, scenario
+            assert all(trace.labels[p.packet_id] == scenario for p in packets)
+        assert trace.attack_packet_count() == len(trace.labels)
+
+    def test_evasive_scenarios_avoid_the_blocklisted_destination(self, trace):
+        known_bad = trace.exfil_ips["drop.exfil-cdn.net"]
+        for scenario in EVASIVE_SCENARIOS:
+            assert all(p.dst_ip != known_bad for p in trace.packets(scenario))
+        assert all(p.dst_ip == known_bad for p in trace.packets("bulk_exfil"))
+
+    def test_stripping_packets_carry_no_tag(self, trace):
+        assert all(not p.options.options for p in trace.packets("tag_stripping"))
+
+    def test_spoofed_app_not_enrolled_on_attacker_device(self, fleet, trace):
+        provisioning = fleet.provisioning_map()
+        assert trace.spoofed_app_id
+        assert trace.spoofed_app_id not in provisioning[trace.spoof_attacker_ip]
+        assert all(
+            p.src_ip == trace.spoof_attacker_ip for p in trace.packets("tag_spoofing")
+        )
+
+    def test_low_and_slow_stays_under_the_per_flow_threshold(self, trace):
+        per_flow: dict[tuple, int] = {}
+        for packet in trace.packets("low_and_slow"):
+            key = (packet.src_ip, packet.src_port)
+            per_flow[key] = per_flow.get(key, 0) + packet.payload_size
+        assert len(per_flow) > 1  # genuinely fragmented
+        assert all(total < SIZE_THRESHOLD for total in per_flow.values())
+        # ...while the campaign total still blows the telemetry budget.
+        assert sum(per_flow.values()) > EXFIL_BUDGET
+
+    def test_bulk_exfil_blows_the_per_flow_threshold(self, trace):
+        total = sum(p.payload_size for p in trace.packets("bulk_exfil"))
+        assert total >= SIZE_THRESHOLD
+
+    def test_fragments_tripping_the_threshold_are_rejected(self, fleet):
+        workload = AdversarialWorkload(
+            fleet, AdversarialConfig(seed=11, low_and_slow_flows=1)
+        )
+        with pytest.raises(ValueError):
+            workload.build(EXFIL_BUDGET, size_threshold_bytes=1024)
+
+
+class TestGatewayView:
+    def test_stripping_and_replay_drop_with_integrity_reasons(self, fleet, trace):
+        enforcer = fleet.deployment.enforcer
+        verdict, _ = enforcer.process(trace.packets("tag_stripping")[0])
+        assert verdict is Verdict.DROP
+        assert enforcer.records[-1].reason == REASON_UNTAGGED
+
+        # Before revocation the contractor tag is perfectly valid...
+        verdict, _ = enforcer.process(trace.packets("tag_replay")[0])
+        assert enforcer.records[-1].reason != REASON_UNKNOWN_APP
+        # ...after revocation the same bytes read as an unknown hash.
+        trace.revoke(fleet.deployment.database)
+        verdict, _ = enforcer.process(trace.packets("tag_replay")[1])
+        assert verdict is Verdict.DROP
+        assert enforcer.records[-1].reason == REASON_UNKNOWN_APP
+
+    def test_spoofed_tag_decodes_as_the_borrowed_app(self, fleet, trace):
+        enforcer = fleet.deployment.enforcer
+        enforcer.process(trace.packets("tag_spoofing")[0])
+        record = enforcer.records[-1]
+        # The gateway alone cannot tell mimicry from the real app — that
+        # is exactly why the spoof detector needs the provisioning map.
+        assert record.package_name == trace.spoofed_package
+        assert record.src_ip == trace.spoof_attacker_ip
