@@ -15,10 +15,17 @@ and checks the properties the fleet runtime must hold:
 * flow-hash routing spreads the fleet's traffic across every gateway;
 * the real ``multiprocessing`` shard backend produces verdicts
   identical to the sequential model, and on multi-core hosts beats it
-  in measured wall-clock on the 10k-packet replay.
+  in measured wall-clock on the 10k-packet replay;
+* a gateway attaching after heavy policy churn bootstraps from the
+  compacted log's snapshot in O(suffix) records — never more than
+  suffix + 1 — instead of replaying the full history, and still lands
+  on the head fingerprint with verdict-identical enforcement.
 
 Run with:  pytest benchmarks/test_bench_fleet.py --benchmark-only
 Smoke mode (CI): set FLEET_BENCH_PACKETS to a smaller replay size.
+The late-joiner churn depth stays at LATE_JOINER_VERSIONS (default 240,
+acceptance floor 200) even in smoke mode — it is control-plane work,
+not packet replay.
 """
 
 import os
@@ -28,6 +35,7 @@ import pytest
 from repro.experiments.fleet import (
     available_cpus,
     run_fleet_bench,
+    run_late_joiner_bench,
     run_shard_backend_comparison,
 )
 
@@ -36,6 +44,8 @@ DEVICES = max(20, min(120, PACKETS // 80))
 GATEWAYS = 3
 SHARDS = 2
 EDITS = 12 if PACKETS >= 5000 else 4
+LATE_JOINER_VERSIONS = int(os.environ.get("LATE_JOINER_VERSIONS", "240"))
+COMPACT_EVERY = 50
 
 #: Wall-clock ratio assertions need a replay long enough to drown out
 #: scheduler noise on shared CI runners.
@@ -68,6 +78,17 @@ def fleet_result():
 @pytest.fixture(scope="module")
 def backend_result():
     return run_shard_backend_comparison(packets=PACKETS, shards=4, corpus_apps=6, seed=7)
+
+
+@pytest.fixture(scope="module")
+def late_joiner_result():
+    return run_late_joiner_bench(
+        versions=LATE_JOINER_VERSIONS,
+        compact_every=COMPACT_EVERY,
+        packets=min(PACKETS, 2_000),
+        corpus_apps=6,
+        seed=7,
+    )
 
 
 def test_bench_fleet_sweep(benchmark):
@@ -130,6 +151,55 @@ def test_policy_churn_surfaces_hottest_apps(fleet_result):
     # The rotating per-app deny edits must register as per-app cache churn.
     assert fleet_result.top_churn_apps
     assert all(count > 0 for _, count in fleet_result.top_churn_apps)
+
+
+def test_bench_late_joiner_bootstrap(benchmark, late_joiner_result):
+    # The timed body is the attach itself (snapshot bootstrap + suffix
+    # replay); the module fixture's full run provides the numbers the
+    # BENCH_fleet.json artifact carries across PRs.
+    result = benchmark.pedantic(
+        lambda: run_late_joiner_bench(
+            versions=LATE_JOINER_VERSIONS,
+            compact_every=COMPACT_EVERY,
+            packets=min(PACKETS, 2_000),
+            corpus_apps=6,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["late_joiner"] = {
+        "versions": result.versions,
+        "compact_every": result.compact_every,
+        "suffix_records": result.suffix_records,
+        "bootstrap_records": result.bootstrap_records,
+        "full_history_records": result.full_history_records,
+        "compacted_log_bytes": result.compacted_log_bytes,
+        "full_log_bytes": result.full_log_bytes,
+        "bootstrap_wall_s": result.bootstrap_wall_s,
+        "full_replay_wall_s": result.full_replay_wall_s,
+    }
+    print("\n" + result.summary())
+    assert result.bootstrap_bound_held
+
+
+def test_late_joiner_replays_suffix_not_history(late_joiner_result):
+    # The acceptance bound: after >= 200 committed versions with
+    # compact_every=50, attach cost is at most suffix + 1 records...
+    assert late_joiner_result.versions >= 200
+    assert late_joiner_result.bootstrap_records <= late_joiner_result.suffix_records + 1
+    assert late_joiner_result.suffix_records < COMPACT_EVERY
+    # ...while the uncompacted control replays every committed version
+    # (plus its genesis bootstrap).
+    assert late_joiner_result.full_history_records == late_joiner_result.versions + 1
+    assert late_joiner_result.bootstrap_records < late_joiner_result.full_history_records
+    # Compaction also bounds what goes over the wire.
+    assert late_joiner_result.compacted_log_bytes < late_joiner_result.full_log_bytes
+
+
+def test_late_joiner_converges_and_matches_head_verdicts(late_joiner_result):
+    assert late_joiner_result.converged  # head fingerprint, verified
+    assert late_joiner_result.verdicts_match
 
 
 def test_process_backend_verdict_identical(backend_result):

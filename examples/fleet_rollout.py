@@ -16,7 +16,9 @@ This example walks the canonical canary rollout:
    old version; their lag is visible and bounded);
 4. after the canary's fingerprint verifies against the store, the rest
    of the fleet converges the same way;
-5. a rollback is just another logged transaction.
+5. a rollback is just another logged transaction;
+6. the log is compacted (snapshot + suffix) and a late-joining gateway
+   bootstraps from the snapshot instead of replaying the history.
 
 Run with:  python examples/fleet_rollout.py
 """
@@ -121,7 +123,29 @@ def main() -> None:
     rollback = fleet.apply_update(PolicyUpdate(reason="roll back").remove_rule("upload-deny"))
     fleet.catch_up()
     print(f"\nrolled back at v{rollback.version}; fleet converged: {fleet.converged}")
-    print("\nserialized delta log (what a late-joining gateway replays):")
+
+    # A gateway provisioned months later must not replay the whole
+    # history.  Compact the log — the prefix folds into one snapshot
+    # carrying the chain's fingerprint — and the late joiner attaches
+    # from the serialized log alone: one fingerprint-verified bootstrap
+    # plus the surviving suffix, O(suffix) however old the fleet is.
+    # (`PolicyStore(compact_every=N)` does this fold automatically.)
+    history = fleet.store.version
+    snapshot = fleet.store.compact()
+    print(
+        f"\nlog compacted: snapshot @v{snapshot.version} folds "
+        f"{snapshot.compacted_records} record(s); suffix holds {len(fleet.delta_log)}"
+    )
+    late = fleet.add_gateway()
+    print(
+        f"late joiner {late.name} attached from the log: applied "
+        f"{late.records_applied} record(s) instead of replaying {history} version(s)"
+    )
+    print(f"late joiner converged (fingerprint verified): {late.verify_against(fleet.store)}")
+    print(f"  {late.name} allows uploads post-rollback: "
+          f"{late.enforcer.process(upload_packet)[0].value}")
+
+    print("\nserialized delta log (what the next late joiner bootstraps from):")
     print(fleet.delta_log.to_json())
 
 

@@ -12,7 +12,9 @@ the same operator workflows over the reproduction:
 * ``policy``       — control-plane operations: ``policy diff`` shows the
                      delta between two policy files, ``policy push``
                      applies a policy file to a versioned store as one
-                     delta transaction;
+                     delta transaction, ``policy compact`` folds a
+                     store's delta-log prefix into a snapshot so
+                     late-joining gateways bootstrap in O(suffix);
 * ``case-study``   — run one of the §VI-C case studies and print the comparison table;
 * ``experiments``  — run the figure/table drivers at a chosen scale;
 * ``gateway-bench``— measure gateway packets/sec across the enforcement
@@ -38,6 +40,7 @@ Usage::
     python -m repro.cli check-policy policy.txt --database db.json
     python -m repro.cli policy diff old.json new.txt
     python -m repro.cli policy push corp.txt --store store.json
+    python -m repro.cli policy compact store.json
     python -m repro.cli case-study cloud-storage
     python -m repro.cli experiments --fig3-apps 200 --fig4-iterations 300
     python -m repro.cli gateway-bench --packets 10000 --shards 4
@@ -60,7 +63,7 @@ from repro.experiments.audit import run_audit_bench
 from repro.experiments.case_studies import run_cloud_storage_case_study, run_facebook_case_study
 from repro.experiments.fig3_ioi import run_fig3
 from repro.experiments.fig4_latency import run_fig4, run_fig4_gateway_throughput
-from repro.experiments.fleet import run_fleet_bench
+from repro.experiments.fleet import run_fleet_bench, run_late_joiner_bench
 from repro.experiments.gateway_throughput import run_gateway_bench
 from repro.experiments.policy_churn import run_policy_churn
 from repro.experiments.table_validation import run_validation
@@ -166,8 +169,13 @@ def _cmd_policy_diff(args: argparse.Namespace) -> int:
 
 def _cmd_policy_push(args: argparse.Namespace) -> int:
     store_path = Path(args.store)
+    if args.compact_every is not None and args.compact_every < 1:
+        print("policy push rejected: --compact-every must be >= 1", file=sys.stderr)
+        return 2
     try:
         store = PolicyStore.load(store_path) if store_path.exists() else PolicyStore()
+        if args.compact_every is not None:
+            store.compact_every = args.compact_every
         target = _load_policy_store(args.policy_file).snapshot()
         update = store.diff_update(target)
         if args.dry_run:
@@ -186,6 +194,37 @@ def _cmd_policy_push(args: argparse.Namespace) -> int:
         f"pushed {args.policy_file} -> {args.store}: version {before} -> {delta.version} "
         f"({len(update)} op(s), {len(delta.changed_rules)} changed rule(s), "
         f"{invalidation} invalidation at subscribed gateways)"
+    )
+    return 0
+
+
+def _cmd_policy_compact(args: argparse.Namespace) -> int:
+    from repro.core.policy_store import ReplicationError
+
+    try:
+        store = PolicyStore.load(args.store)
+        log = store.delta_log
+        before_records, before_bytes = len(log), len(log.to_json())
+        snapshot = store.compact(args.up_to)
+        store.save(args.store)
+    except (PolicyParseError, ReplicationError, KeyError, TypeError, OSError) as error:
+        print(f"policy compact rejected: {error}", file=sys.stderr)
+        return 1
+    if snapshot is None or before_records == len(log):
+        print(
+            f"{args.store}: nothing to compact "
+            f"(log already based at v{log.base_version}, {len(log)} record(s))"
+        )
+        return 0
+    print(
+        f"compacted {args.store}: {before_records} record(s) ({before_bytes} bytes) "
+        f"-> snapshot @v{snapshot.version} ({len(snapshot.rules)} rule(s)) "
+        f"+ {len(log)}-record suffix ({len(log.to_json())} bytes); "
+        f"{snapshot.compacted_records} record(s) folded over the log's lifetime"
+    )
+    print(
+        f"late joiners now bootstrap in {len(log) + 1} record(s) instead of "
+        f"replaying {before_records} version(s) of history"
     )
     return 0
 
@@ -264,6 +303,26 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if not result.verdicts_match:
         print("FLEET DIVERGED FROM SINGLE-GATEWAY ENFORCEMENT", file=sys.stderr)
         return 1
+    if not args.skip_late_joiner:
+        try:
+            late = run_late_joiner_bench(
+                versions=args.late_joiner_versions,
+                compact_every=args.compact_every,
+                packets=min(args.packets, 2_000),
+                corpus_apps=args.corpus_apps,
+                seed=args.seed,
+            )
+        except ValueError as error:
+            print(f"late-joiner bench rejected: {error}", file=sys.stderr)
+            return 2
+        print()
+        print(late.summary())
+        if not late.bootstrap_bound_held:
+            print("LATE JOINER REPLAYED MORE THAN SNAPSHOT + SUFFIX", file=sys.stderr)
+            return 1
+        if not late.converged or not late.verdicts_match:
+            print("LATE JOINER DIVERGED FROM THE HEAD GATEWAY", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -358,7 +417,29 @@ def build_parser() -> argparse.ArgumentParser:
     push.add_argument("policy_file")
     push.add_argument("--store", required=True, metavar="STORE.json")
     push.add_argument("--dry-run", action="store_true")
+    push.add_argument(
+        "--compact-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retention policy persisted with the store: auto-compact its "
+        "delta log every N committed versions",
+    )
     push.set_defaults(func=_cmd_policy_push)
+    compact = policy_sub.add_parser(
+        "compact",
+        help="fold a store's delta-log prefix into a base snapshot + suffix "
+        "so late-joining gateways bootstrap in O(suffix)",
+    )
+    compact.add_argument("store", metavar="STORE.json")
+    compact.add_argument(
+        "--up-to",
+        type=int,
+        default=None,
+        metavar="VERSION",
+        help="compact through this version only (default: the log head)",
+    )
+    compact.set_defaults(func=_cmd_policy_compact)
 
     case = subparsers.add_parser("case-study", help="run a §VI-C case study")
     case.add_argument("name", choices=("cloud-storage", "facebook"))
@@ -428,6 +509,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-backend",
         action="store_true",
         help="skip the multiprocessing backend comparison",
+    )
+    fleet.add_argument(
+        "--late-joiner-versions",
+        type=int,
+        default=240,
+        metavar="N",
+        help="policy versions committed before the late-joiner gateway "
+        "attaches (bootstrap-cost / log-size report)",
+    )
+    fleet.add_argument(
+        "--compact-every",
+        type=int,
+        default=50,
+        metavar="N",
+        help="delta-log retention for the late-joiner scenario",
+    )
+    fleet.add_argument(
+        "--skip-late-joiner",
+        action="store_true",
+        help="skip the late-joiner bootstrap-cost scenario",
     )
     fleet.set_defaults(func=_cmd_fleet)
 

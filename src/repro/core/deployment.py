@@ -53,6 +53,7 @@ class BorderPatrolDeployment:
         num_gateways: int = 1,
         shard_backend: str = "sequential",
         keep_records: bool = True,
+        compact_every: int | None = None,
     ) -> None:
         if num_gateways < 1:
             raise ValueError("a deployment needs at least one gateway")
@@ -106,6 +107,7 @@ class BorderPatrolDeployment:
                 shards_per_gateway=enforcer_shards,
                 live=True,
                 shard_backend=shard_backend,
+                compact_every=compact_every,
                 **enforcer_kwargs,
             )
             #: Head-gateway enforcer, for single-gateway call sites.
@@ -133,6 +135,7 @@ class BorderPatrolDeployment:
             #: already holds them), it fans versioned deltas out to every
             #: enforcer shard on :meth:`apply_update`.
             self.policy_store = PolicyStore.from_policy(enforcer_kwargs["policy"])
+            self.policy_store.compact_every = compact_every
             self.policy_store.subscribe(self.enforcer, push=False)
             self.network.install_queue_chain(
                 enforcer=self.enforcer,
@@ -178,6 +181,33 @@ class BorderPatrolDeployment:
         touch — unaffected hot flows keep their cached verdicts.
         """
         return self.policy_store.apply(update)
+
+    # -- fleet scale-out ---------------------------------------------------------------
+
+    def add_gateway(self):
+        """Bring one more gateway into a fleet deployment, live.
+
+        The new gateway replica bootstraps from the policy store's delta
+        log (base snapshot + suffix — O(suffix) with retention enabled,
+        not O(history)), the network grows a border gateway, and its
+        enforcement chain is installed so flow-hash routing immediately
+        spreads traffic across the enlarged fleet.
+        """
+        if self.fleet is None:
+            raise ValueError(
+                "add_gateway needs a fleet deployment; build with num_gateways > 1"
+            )
+        replica = self.fleet.add_gateway()
+        gateway_index = len(self.network.gateways)
+        self.network.add_gateway()
+        self.network.install_queue_chain(
+            enforcer=replica.enforcer,
+            sanitizer=self.sanitizer,
+            queue_latency_ms=self.cost_model.nfqueue_ms,
+            gateway_index=gateway_index,
+        )
+        self.num_gateways += 1
+        return replica
 
     # -- telemetry ---------------------------------------------------------------------
 

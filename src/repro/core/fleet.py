@@ -93,6 +93,7 @@ class GatewayFleet:
         shards_per_gateway: int = 1,
         live: bool = True,
         shard_backend: str = "sequential",
+        compact_every: int | None = None,
         **enforcer_kwargs,
     ) -> None:
         if num_gateways < 1:
@@ -103,26 +104,36 @@ class GatewayFleet:
             store = PolicyStore.from_policy(
                 policy if policy is not None else Policy.allow_all(), name="fleet-policy"
             )
+        if compact_every is not None:
+            store.compact_every = compact_every
         self.store = store
         self.database = database
         self.num_gateways = num_gateways
         self.shards_per_gateway = shards_per_gateway
+        self.live = live
+        self._shard_backend = shard_backend
+        self._enforcer_kwargs = dict(enforcer_kwargs)
+        self._auditor = None
         self.replicas: list[GatewayReplica] = []
         for index in range(num_gateways):
-            if shards_per_gateway > 1:
-                enforcer = ShardedEnforcer(
-                    database=database,
-                    policy=None,
-                    num_shards=shards_per_gateway,
-                    backend=shard_backend,
-                    **enforcer_kwargs,
-                )
-            else:
-                enforcer = PolicyEnforcer(database=database, policy=None, **enforcer_kwargs)
-            replica = GatewayReplica(enforcer=enforcer, store=store, name=f"gw{index}")
+            replica = GatewayReplica(
+                enforcer=self._build_enforcer(), store=store, name=f"gw{index}"
+            )
             if live:
                 store.subscribe_replica(replica)
             self.replicas.append(replica)
+
+    def _build_enforcer(self):
+        """One gateway's enforcer, per the fleet-wide shard configuration."""
+        if self.shards_per_gateway > 1:
+            return ShardedEnforcer(
+                database=self.database,
+                policy=None,
+                num_shards=self.shards_per_gateway,
+                backend=self._shard_backend,
+                **self._enforcer_kwargs,
+            )
+        return PolicyEnforcer(database=self.database, policy=None, **self._enforcer_kwargs)
 
     # -- policy management -----------------------------------------------------------
 
@@ -151,11 +162,41 @@ class GatewayFleet:
         :meth:`catch_up`); ``live=True`` re-subscribes them, catching
         each up first so subscription leaves the fleet converged.
         """
+        self.live = live
         for replica in self.replicas:
             self.store.unsubscribe_replica(replica)
         if live:
             for replica in self.replicas:
                 self.store.subscribe_replica(replica)
+
+    def add_gateway(self, name: str | None = None) -> GatewayReplica:
+        """Attach a late-joining gateway, bootstrapping from the delta log.
+
+        The new replica converges from the serialized log alone — the
+        base snapshot (one full sync) plus the surviving delta suffix —
+        so with a compacted log (``compact_every``) attach cost is
+        O(suffix) records no matter how many versions the fleet has
+        committed.  It then joins flow-hash routing, and the live push
+        path if the fleet is live.
+        """
+        replica = GatewayReplica.from_log(
+            self._build_enforcer(),
+            self.store.delta_log,
+            name=name or f"gw{len(self.replicas)}",
+            compact_every=self.store.compact_every,
+        )
+        if self._auditor is not None:
+            # The fleet's telemetry contract extends to late joiners:
+            # flow hashing reassigns traffic to the new gateway at once,
+            # so its decisions must publish from the first packet.
+            replica.enforcer.attach_audit_sink(
+                self._auditor.pipeline_for(replica.name), replica.name
+            )
+        if self.live:
+            self.store.subscribe_replica(replica)
+        self.replicas.append(replica)
+        self.num_gateways += 1
+        return replica
 
     def lags(self) -> dict[str, int]:
         """Versions-behind-head for every gateway (0 when converged)."""
@@ -183,8 +224,10 @@ class GatewayFleet:
         Each replica's enforcer publishes every decision into its own
         gateway pipeline, labelled with the replica name; the publish
         cost lands inside that gateway's wall-clock, exactly like every
-        other per-gateway cost in the parallel model.
+        other per-gateway cost in the parallel model.  The auditor is
+        kept so gateways added later (:meth:`add_gateway`) publish too.
         """
+        self._auditor = auditor
         for replica in self.replicas:
             replica.enforcer.attach_audit_sink(
                 auditor.pipeline_for(replica.name), replica.name

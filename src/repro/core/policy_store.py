@@ -46,6 +46,18 @@ transaction to its own shadow rule table, fanning the same surgical
 over the rule table make divergence detectable at apply time: a replica
 whose state does not hash to a record's parent fingerprint refuses the
 record instead of silently forking the fleet's policy.
+
+Compaction
+----------
+The log is not append-only forever: :meth:`DeltaLog.compact` folds the
+record prefix into a :class:`SnapshotRecord` (the full rule table at
+that version, carrying the same chained fingerprint the folded prefix
+ended on) followed by the surviving delta suffix.  A late-joining
+replica bootstraps from the snapshot — one fingerprint-verified full
+sync through its shadow store — and replays only the suffix, converging
+in O(suffix) instead of O(history); ``PolicyStore(compact_every=N)``
+folds automatically every N committed versions so long-lived stores
+stay bounded.
 """
 
 from __future__ import annotations
@@ -308,6 +320,92 @@ def _rule_from_payload(payload: dict) -> tuple[str, PolicyRule]:
 
 
 @dataclass(frozen=True)
+class SnapshotRecord:
+    """A full store state the delta-log prefix before it folded into.
+
+    Compaction (:meth:`DeltaLog.compact`) replaces the log's record
+    prefix with one of these: the complete id-addressed rule table
+    (every rule rendered in the Snippet 1 grammar), the default action,
+    the version the snapshot represents, and the chained SHA-256
+    fingerprint of that state — the same hash the folded prefix's last
+    record carried, so the surviving suffix keeps chaining off it
+    unbroken.  A replica bootstrapping from the snapshot re-hashes the
+    parsed table and refuses a snapshot whose rules do not hash to
+    ``fingerprint`` (a tampered or corrupted snapshot raises
+    :class:`ReplicationError` instead of silently seeding a fork).
+
+    ``compacted_records`` counts every record ever folded into this
+    snapshot (cumulative across repeated compactions) — the history a
+    late joiner no longer replays.
+    """
+
+    version: int
+    rules: tuple[dict, ...]
+    default_action: str
+    fingerprint: str
+    compacted_records: int = 0
+    reason: str = ""
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "snapshot",
+            "version": self.version,
+            "rules": list(self.rules),
+            "default_action": self.default_action,
+            "fingerprint": self.fingerprint,
+            "compacted_records": self.compacted_records,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SnapshotRecord":
+        try:
+            return cls(
+                version=payload["version"],
+                rules=tuple(payload["rules"]),
+                default_action=payload["default_action"],
+                fingerprint=payload["fingerprint"],
+                compacted_records=payload.get("compacted_records", 0),
+                reason=payload.get("reason", ""),
+            )
+        except (KeyError, TypeError) as exc:
+            raise PolicyParseError(f"malformed snapshot record: {payload!r}") from exc
+
+    def state(self) -> tuple[dict, PolicyAction]:
+        """The parsed, fingerprint-verified rule table behind this snapshot."""
+        rules = dict(_rule_from_payload(body) for body in self.rules)
+        default = PolicyAction(self.default_action)
+        if _fingerprint_state(rules.items(), default) != self.fingerprint:
+            raise ReplicationError(
+                f"snapshot @v{self.version} is tampered or corrupted: its rule "
+                "table does not hash to its fingerprint"
+            )
+        return rules, default
+
+
+def _state_snapshot(
+    rules: dict, default: PolicyAction, version: int,
+    compacted_records: int = 0, reason: str = "",
+) -> SnapshotRecord | None:
+    """Render a store state as a :class:`SnapshotRecord`.
+
+    Returns None when the state cannot be rendered in the Snippet 1
+    grammar (legacy seeded targets containing double quotes) — such a
+    log stays replayable but cannot serve snapshot bootstraps.
+    """
+    if any('"' in rule.target for rule in rules.values()):
+        return None
+    return SnapshotRecord(
+        version=version,
+        rules=tuple(_rule_payload(rule_id, rule) for rule_id, rule in rules.items()),
+        default_action=default.value,
+        fingerprint=_fingerprint_state(rules.items(), default),
+        compacted_records=compacted_records,
+        reason=reason,
+    )
+
+
+@dataclass(frozen=True)
 class DeltaLogRecord:
     """One committed transaction, serialized for replication.
 
@@ -392,17 +490,32 @@ class DeltaLogRecord:
 
 
 class DeltaLog:
-    """Append-only, contiguous, serializable history of a policy store.
+    """Contiguous, serializable history of a policy store: snapshot + suffix.
 
-    The log starts at ``base_version`` (the store's version when the log
-    was created — records for earlier versions do not exist, a replica
-    older than that must re-attach) and holds exactly one record per
-    subsequent version.  ``since(v)`` is the catch-up primitive: every
-    record a subscriber at version ``v`` needs to converge to the head.
+    The log starts at ``base_version`` and holds exactly one record per
+    subsequent version.  ``snapshot``, when present, is the full store
+    state *at* ``base_version`` — initially the genesis state the log
+    was created from, and after :meth:`compact` the folded prefix.  A
+    replica older than ``base_version`` bootstraps from the snapshot
+    (one full sync) instead of replaying history; without a snapshot it
+    cannot be served and must re-attach out of band.  ``since(v)`` is
+    the catch-up primitive: every record a subscriber at version ``v``
+    needs to converge to the head.
     """
 
-    def __init__(self, base_version: int = 0, records: list[DeltaLogRecord] | None = None) -> None:
+    def __init__(
+        self,
+        base_version: int = 0,
+        records: list[DeltaLogRecord] | None = None,
+        snapshot: SnapshotRecord | None = None,
+    ) -> None:
+        if snapshot is not None and snapshot.version != base_version:
+            raise ValueError(
+                f"log base snapshot must sit at the base version "
+                f"({snapshot.version} != {base_version})"
+            )
         self.base_version = base_version
+        self.snapshot = snapshot
         self._records: list[DeltaLogRecord] = []
         for record in records or []:
             self.append(record)
@@ -428,11 +541,19 @@ class DeltaLog:
         return self._records[version - self.base_version - 1]
 
     def since(self, version: int) -> list[DeltaLogRecord]:
-        """Every record a subscriber at ``version`` is missing, in order."""
+        """Every record a subscriber at ``version`` is missing, in order.
+
+        A subscriber older than ``base_version`` predates the suffix: it
+        must bootstrap from :attr:`snapshot` first (what
+        :meth:`GatewayReplica.catch_up` does) — asking for its records
+        is a clear error, because the prefix was compacted away.
+        """
         if version < self.base_version:
             raise ReplicationError(
-                f"delta log starts at v{self.base_version}; a replica at "
-                f"v{version} predates it and must re-attach from the store"
+                f"delta log starts at v{self.base_version} (history before it "
+                f"{'is folded into the base snapshot' if self.snapshot is not None else 'was not serialized'}); "
+                f"a replica at v{version} predates the suffix and must "
+                f"{'bootstrap from the snapshot' if self.snapshot is not None else 're-attach from the store'}"
             )
         return self._records[max(0, version - self.base_version):]
 
@@ -442,16 +563,118 @@ class DeltaLog:
     def __iter__(self) -> Iterator[DeltaLogRecord]:
         return iter(self._records)
 
+    # -- compaction --------------------------------------------------------------------
+
+    def _materialize(self, version: int) -> "PolicyStore":
+        """Fold snapshot + records up to ``version`` into a scratch store.
+
+        Every replayed record is fingerprint-verified, so a log whose
+        chain does not hold cannot be compacted into a wrong snapshot.
+        """
+        if self.snapshot is None:
+            raise ReplicationError(
+                f"delta log at base v{self.base_version} has no base snapshot "
+                "to fold records into; compact through the owning store"
+            )
+        rules, default = self.snapshot.state()
+        scratch = PolicyStore(name="compaction")
+        scratch._rules = rules
+        scratch._default_action = default
+        scratch.version = self.snapshot.version
+        scratch.delta_log = DeltaLog(base_version=self.snapshot.version)
+        # An opaque sync makes the state unknowable until a later clean
+        # sync re-establishes it in full.  Records inside the unknown
+        # region are skipped — they can neither be applied nor verified,
+        # and the next clean sync supersedes whatever they did — so only
+        # a fold *ending* inside the region is unfoldable.
+        state_known = True
+        for record in self._records[: version - self.base_version]:
+            if record.kind == "sync":
+                if record.rules is None:
+                    state_known = False
+                    continue
+                scratch._adopt_state(
+                    dict(_rule_from_payload(body) for body in record.rules),
+                    PolicyAction(record.default_action),
+                    record.version,
+                )
+                state_known = True
+            elif state_known:
+                scratch.apply(record.as_update())
+            else:
+                continue
+            if scratch.fingerprint() != record.fingerprint:
+                raise ReplicationError(
+                    f"compaction replay diverged from the fingerprint chain "
+                    f"at v{record.version}; refusing to fold a wrong snapshot"
+                )
+        if not state_known:
+            raise ReplicationError(
+                f"cannot compact through v{version}: it sits inside an opaque "
+                "sync's unknown-state region"
+            )
+        return scratch
+
+    def compact(self, up_to_version: int | None = None, reason: str = "") -> SnapshotRecord | None:
+        """Fold every record up to ``up_to_version`` (default: the head)
+        into a new base :class:`SnapshotRecord`; the suffix survives.
+
+        The new snapshot's fingerprint equals the last folded record's,
+        so the suffix keeps chaining off it: a record appended after
+        compaction carries the snapshot's fingerprint as its parent.
+        Compacting to the current base is a no-op.
+        """
+        up_to = self.head_version if up_to_version is None else up_to_version
+        if up_to == self.base_version:
+            return self.snapshot
+        if not self.base_version < up_to <= self.head_version:
+            raise ReplicationError(
+                f"delta log holds versions {self.base_version + 1}..{self.head_version}; "
+                f"cannot compact up to v{up_to}"
+            )
+        scratch = self._materialize(up_to)
+        snapshot = _state_snapshot(
+            scratch._rules,
+            scratch._default_action,
+            up_to,
+            compacted_records=self.snapshot.compacted_records + (up_to - self.base_version),
+            reason=reason or f"compacted through v{up_to}",
+        )
+        if snapshot is None:
+            raise ReplicationError(
+                f"state at v{up_to} cannot be rendered in the Snippet 1 "
+                "grammar; compaction would strand replicas"
+            )
+        self._records = self._records[up_to - self.base_version:]
+        self.base_version = up_to
+        self.snapshot = snapshot
+        return snapshot
+
     # -- persistence -------------------------------------------------------------------
 
+    def to_payload(self) -> dict:
+        return {
+            "base_version": self.base_version,
+            "snapshot": None if self.snapshot is None else self.snapshot.to_payload(),
+            "records": [record.to_payload() for record in self._records],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DeltaLog":
+        if not isinstance(payload, dict) or "records" not in payload:
+            raise PolicyParseError("delta log payload needs a 'records' list")
+        snapshot = payload.get("snapshot")
+        try:
+            return cls(
+                base_version=payload.get("base_version", 0),
+                records=[DeltaLogRecord.from_payload(body) for body in payload["records"]],
+                snapshot=None if snapshot is None else SnapshotRecord.from_payload(snapshot),
+            )
+        except ValueError as exc:  # snapshot/base mismatch: a corrupt file, not a bug
+            raise PolicyParseError(f"malformed delta log payload: {exc}") from exc
+
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "base_version": self.base_version,
-                "records": [record.to_payload() for record in self._records],
-            },
-            indent=2,
-        )
+        return json.dumps(self.to_payload(), indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "DeltaLog":
@@ -459,12 +682,7 @@ class DeltaLog:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
             raise PolicyParseError(f"delta log json is unreadable: {exc}") from exc
-        if not isinstance(payload, dict) or "records" not in payload:
-            raise PolicyParseError("delta log json needs a top-level 'records' list")
-        return cls(
-            base_version=payload.get("base_version", 0),
-            records=[DeltaLogRecord.from_payload(body) for body in payload["records"]],
-        )
+        return cls.from_payload(payload)
 
     def save(self, path) -> None:
         with open(path, "w", encoding="utf-8") as handle:
@@ -493,6 +711,7 @@ class PolicyStore:
         self,
         name: str = "policy",
         default_action: PolicyAction = PolicyAction.ALLOW,
+        compact_every: int | None = None,
     ) -> None:
         self.name = name
         self._rules: dict[str, PolicyRule] = {}
@@ -501,9 +720,13 @@ class PolicyStore:
         self._next_id = 1
         self._snapshot: Policy | None = None
         self._subscribers: list = []
+        #: Retention policy: once the delta log holds this many records,
+        #: a commit folds them into the base snapshot (None = keep all).
+        self.compact_every = compact_every
         #: Serialized history of every committed transaction; replicas
-        #: converge from any starting version by replaying it.
-        self.delta_log = DeltaLog(base_version=0)
+        #: converge from any starting version by replaying it (or, once
+        #: the log is compacted, by bootstrapping from its snapshot).
+        self.delta_log = self._fresh_log()
         self._replicas: list = []
 
     @classmethod
@@ -512,7 +735,40 @@ class PolicyStore:
         store = cls(name=name or policy.name, default_action=policy.default_action)
         for rule in policy.rules:
             store._rules[store._allocate_id(store._rules)] = rule
+        # The seeded rules are this log's genesis state; re-base the log
+        # so its snapshot lets late joiners bootstrap without the store.
+        store.delta_log = store._fresh_log()
         return store
+
+    def _fresh_log(self) -> DeltaLog:
+        """A new delta log based at the store's current state.
+
+        The genesis snapshot (None when the state cannot be rendered in
+        the grammar) is what makes a log self-contained: a replica can
+        attach from the serialized log alone, with no access to the
+        head store's memory.
+        """
+        return DeltaLog(
+            base_version=self.version,
+            snapshot=_state_snapshot(self._rules, self._default_action, self.version),
+        )
+
+    @property
+    def compact_every(self) -> int | None:
+        return self._compact_every
+
+    @compact_every.setter
+    def compact_every(self, value: int | None) -> None:
+        # Validated on every assignment path (constructor, fleet /
+        # deployment threading, CLI, from_json): 0 would otherwise read
+        # as "never compact" while looking like "compact constantly".
+        if value is not None and (
+            not isinstance(value, int) or isinstance(value, bool) or value < 1
+        ):
+            raise ValueError(
+                f"compact_every must be a positive integer or None, got: {value!r}"
+            )
+        self._compact_every = value
 
     # -- read side ---------------------------------------------------------------------
 
@@ -647,6 +903,7 @@ class PolicyStore:
         self._notify(delta)
         for replica in list(self._replicas):
             replica.apply_delta(record)
+        self._maybe_autocompact()
         return delta
 
     def set_policy(self, policy: Policy) -> PolicyDelta:
@@ -710,7 +967,43 @@ class PolicyStore:
             subscriber.sync_policy(policy, self.version)
         for replica in list(self._replicas):
             replica.apply_delta(self.delta_log.record(self.version))
+        self._maybe_autocompact()
         return self.version
+
+    def _maybe_autocompact(self) -> None:
+        """Fold the log when the retention budget is reached.
+
+        Legacy state the grammar cannot render (opaque syncs with no
+        later clean sync, quoted targets) is not compactable; such a log
+        silently keeps growing rather than failing the commit that
+        tripped the budget.  Foldability is pre-checked with an O(suffix)
+        scan so an uncompactable log does not pay a doomed full-prefix
+        replay on every commit.
+        """
+        if not self.compact_every or len(self.delta_log) < self.compact_every:
+            return
+        if self.delta_log.snapshot is None:
+            return
+        state_known = True
+        for record in self.delta_log:
+            if record.kind == "sync":
+                state_known = record.rules is not None
+        if not state_known:
+            return
+        if any('"' in rule.target for rule in self._rules.values()):
+            return  # the head state itself cannot be rendered
+        try:
+            self.delta_log.compact(self.version)
+        except (ReplicationError, PolicyParseError):
+            pass
+
+    def compact(self, up_to_version: int | None = None) -> SnapshotRecord | None:
+        """Fold the delta log's prefix into a snapshot + surviving suffix.
+
+        Late-joining replicas then converge in O(suffix) records — one
+        snapshot bootstrap plus the suffix replay — instead of O(history).
+        """
+        return self.delta_log.compact(up_to_version)
 
     def _adopt_state(
         self, rules: dict[str, PolicyRule], default: PolicyAction, version: int
@@ -726,6 +1019,12 @@ class PolicyStore:
         self._default_action = default
         self.version = version
         self._snapshot = None
+        # Re-base this store's own log at the adopted state: the local
+        # history did not produce it, so appending the *next* replayed
+        # update must chain from here, not from the stale head.  (A
+        # replica replaying an update record after a sync record used to
+        # trip the log's contiguity check exactly because of this.)
+        self.delta_log = self._fresh_log()
         for rule_id in self._rules:
             if rule_id.startswith("r") and rule_id[1:].isdigit():
                 self._next_id = max(self._next_id, int(rule_id[1:]) + 1)
@@ -915,7 +1214,14 @@ class PolicyStore:
                 }
                 for rule_id, rule in self._rules.items()
             ],
+            # The replication history rides along (snapshot + suffix, so
+            # retention bounds it): replicas can bootstrap from a saved
+            # store file, and `policy push`/`policy compact` round-trip
+            # the log instead of discarding it on every load.
+            "delta_log": self.delta_log.to_payload(),
         }
+        if self.compact_every is not None:
+            payload["compact_every"] = self.compact_every
         return json.dumps(payload, indent=2)
 
     @classmethod
@@ -956,9 +1262,42 @@ class PolicyStore:
         if not isinstance(version, int) or isinstance(version, bool):
             raise PolicyParseError(f"store version must be an integer, got: {version!r}")
         store.version = version
-        # The loaded state is this log's genesis: history before it was
-        # not serialized, so replicas older than `version` must re-attach.
-        store.delta_log = DeltaLog(base_version=version)
+        compact_every = payload.get("compact_every")
+        if compact_every is not None:
+            if not isinstance(compact_every, int) or isinstance(compact_every, bool) or compact_every < 1:
+                raise PolicyParseError(
+                    f"compact_every must be a positive integer, got: {compact_every!r}"
+                )
+            store.compact_every = compact_every
+        if "delta_log" in payload:
+            log = DeltaLog.from_payload(payload["delta_log"])
+            if log.head_version != version:
+                raise PolicyParseError(
+                    f"store json is inconsistent: delta log head v{log.head_version} "
+                    f"does not match store version v{version}"
+                )
+            # The rule table must hash to the log head's chained
+            # fingerprint, or the head and a replica bootstrapping from
+            # this same file would enforce different tables at the same
+            # version — catch the fork at load time, not at the next
+            # commit's parent-fingerprint check.
+            records = list(log)
+            head_fingerprint = (
+                records[-1].fingerprint
+                if records
+                else (log.snapshot.fingerprint if log.snapshot is not None else None)
+            )
+            if head_fingerprint is not None and head_fingerprint != store.fingerprint():
+                raise PolicyParseError(
+                    "store json is inconsistent: the rule table does not hash "
+                    "to the delta log head's fingerprint"
+                )
+            store.delta_log = log
+        else:
+            # Legacy store json without a serialized log: the loaded
+            # state becomes the log's genesis snapshot, so replicas can
+            # still bootstrap from it even though older history is gone.
+            store.delta_log = store._fresh_log()
         return store
 
     def save(self, path) -> None:
@@ -1002,10 +1341,63 @@ class GatewayReplica:
         self._shadow._default_action = store._default_action
         self._shadow._next_id = store._next_id
         self._shadow.version = store.version
-        self._shadow.delta_log = DeltaLog(base_version=store.version)
+        # The shadow keeps the head's retention policy: its own log is
+        # never replayed by anyone, so folding it aggressively just
+        # bounds replica memory over a long-lived deployment.
+        self._shadow.compact_every = store.compact_every
+        self._shadow.delta_log = self._shadow._fresh_log()
         self._shadow.subscribe(enforcer, push=True)
-        #: Records applied through :meth:`apply_delta` (catch-up included).
+        #: Records applied through :meth:`apply_delta` or
+        #: :meth:`bootstrap` (catch-up included) — the convergence cost.
         self.records_applied = 0
+
+    @classmethod
+    def from_log(
+        cls, enforcer, log: DeltaLog, name: str = "gateway",
+        compact_every: int | None = None,
+    ) -> "GatewayReplica":
+        """Attach a brand-new gateway from a serialized log alone.
+
+        This is the late-joiner path: the gateway has no access to the
+        head store's memory, only the replicated log.  It bootstraps
+        from the log's base snapshot (one ``reset_to``-style full sync
+        through the shadow store) and replays the suffix as ordinary
+        surgical deltas — O(suffix) records, however long the fleet has
+        been alive.
+        """
+        if log.snapshot is None:
+            raise ReplicationError(
+                f"gateway {name!r} cannot attach from a log without a base "
+                f"snapshot (base v{log.base_version}); re-attach from the store"
+            )
+        # Verify the snapshot *before* constructing the replica: building
+        # it would subscribe the enforcer to the blank shadow store, and
+        # a tampered snapshot must not leave a previously-configured
+        # enforcer reset to allow-all as a side effect of the failure.
+        log.snapshot.state()
+        replica = cls(
+            enforcer, PolicyStore(name="unattached", compact_every=compact_every), name=name
+        )
+        replica.bootstrap(log.snapshot)
+        replica.catch_up(log)
+        return replica
+
+    def bootstrap(self, snapshot: SnapshotRecord) -> None:
+        """Adopt a log's base snapshot as this replica's state.
+
+        The parsed rule table is re-hashed against the snapshot's
+        chained fingerprint *before* anything reaches the enforcer — a
+        tampered snapshot raises :class:`ReplicationError` instead of
+        seeding a forked policy.  Counts as one applied record.
+        """
+        if snapshot.version < self.version:
+            raise ReplicationError(
+                f"replica {self.name!r} at v{self.version} refuses to regress "
+                f"to snapshot @v{snapshot.version}"
+            )
+        rules, default = snapshot.state()  # fingerprint-verified
+        self._shadow._adopt_state(rules, default, snapshot.version)
+        self.records_applied += 1
 
     @property
     def version(self) -> int:
@@ -1071,10 +1463,30 @@ class GatewayReplica:
         return True
 
     def catch_up(self, log: DeltaLog, target_version: int | None = None) -> int:
-        """Replay every missing record (up to ``target_version``); returns
-        how many were applied.  Convergence from any starting version is
-        exactly this loop."""
+        """Converge on ``log`` (up to ``target_version``); returns how
+        many records were applied, the snapshot bootstrap included.
+
+        A replica still within the log's record range replays the
+        missing suffix.  One that fell behind a compaction (its version
+        predates ``log.base_version``) cannot replay the folded prefix;
+        it re-bootstraps from the base snapshot instead, then replays
+        the suffix — or gets a clear :class:`ReplicationError` when the
+        log carries no snapshot to bootstrap from.
+        """
         applied = 0
+        if self.version < log.base_version:
+            if target_version is not None and target_version < log.base_version:
+                raise ReplicationError(
+                    f"replica {self.name!r} at v{self.version} cannot stop at "
+                    f"v{target_version}: the log compacted history through "
+                    f"v{log.base_version}"
+                )
+            if log.snapshot is None:
+                # Same clear refusal `since` gives: the prefix is gone
+                # and there is no snapshot to stand in for it.
+                log.since(self.version)
+            self.bootstrap(log.snapshot)
+            applied += 1
         for record in log.since(self.version):
             if target_version is not None and record.version > target_version:
                 break

@@ -23,6 +23,14 @@ one gateway; this driver measures the fleet runtime end to end:
 shard parallelism with wall-clock: the same replay through
 ``ShardedEnforcer`` with the sequential backend vs the real
 ``multiprocessing`` fork backend.
+
+:func:`run_late_joiner_bench` measures the other scale axis — control-
+plane history.  A gateway provisioned after hundreds of committed
+policy versions must not replay the whole history: with log compaction
+(``compact_every``) it bootstraps from the base snapshot and replays
+only the delta suffix, and the bench holds it to that bound while
+asserting fingerprint convergence and verdict identity against a
+head-subscribed gateway.
 """
 
 from __future__ import annotations
@@ -32,9 +40,15 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.deployment import BorderPatrolDeployment
+from repro.core.fleet import GatewayFleet
 from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
 from repro.core.policy_enforcer import PolicyEnforcer
-from repro.core.policy_store import RULE_INTERN_CACHE, PolicyUpdate
+from repro.core.policy_store import (
+    RULE_INTERN_CACHE,
+    GatewayReplica,
+    PolicyStore,
+    PolicyUpdate,
+)
 from repro.experiments.common import format_table, split_into_bursts
 from repro.experiments.gateway_throughput import (
     DEFAULT_DENY_LIBRARIES,
@@ -128,6 +142,168 @@ def run_shard_backend_comparison(
         process_wall_s=batch_forked.measured_wall_s,
         verdicts_match=[v for v, _ in batch_sequential.results]
         == [v for v, _ in batch_forked.results],
+    )
+
+
+@dataclass
+class LateJoinerResult:
+    """Attach cost of a gateway that joins after heavy policy churn.
+
+    The compacted side attaches from a snapshot + suffix log; the
+    control side replays the identical full history from an uncompacted
+    log.  Both must land on the head's fingerprint and enforce
+    verdict-identically to a head-subscribed gateway.
+    """
+
+    versions: int
+    compact_every: int
+    packets: int
+    #: Delta records surviving compaction (the log's tail window).
+    suffix_records: int
+    snapshot_version: int
+    snapshot_rules: int
+    #: Records the late joiner applied: snapshot bootstrap + suffix.
+    bootstrap_records: int
+    #: Records the control replica replayed: the entire history.
+    full_history_records: int
+    compacted_log_bytes: int
+    full_log_bytes: int
+    bootstrap_wall_s: float
+    full_replay_wall_s: float
+    converged: bool
+    verdicts_match: bool
+
+    @property
+    def bootstrap_bound_held(self) -> bool:
+        """The acceptance bound: attach cost is O(suffix), not O(history)."""
+        return self.bootstrap_records <= self.suffix_records + 1
+
+    @property
+    def replay_savings(self) -> float:
+        """Fraction of the history the snapshot bootstrap skipped."""
+        if self.full_history_records <= 0:
+            return 0.0
+        return 1.0 - self.bootstrap_records / self.full_history_records
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"late joiner after {self.versions} committed versions "
+                f"(compact_every={self.compact_every}):",
+                f"  bootstrap cost: {self.bootstrap_records} record(s) "
+                f"(snapshot @v{self.snapshot_version} with {self.snapshot_rules} rule(s) "
+                f"+ {self.suffix_records}-record suffix) in {self.bootstrap_wall_s * 1e3:.1f} ms",
+                f"  uncompacted control: {self.full_history_records} record(s) "
+                f"in {self.full_replay_wall_s * 1e3:.1f} ms "
+                f"({self.replay_savings:.0%} of the history skipped)",
+                f"  log size on the wire: {self.compacted_log_bytes} bytes compacted "
+                f"vs {self.full_log_bytes} bytes full history",
+                f"  O(suffix) bound held: {self.bootstrap_bound_held}; "
+                f"converged to head fingerprint: {self.converged}; "
+                f"verdict-identical on {self.packets} packets: {self.verdicts_match}",
+            ]
+        )
+
+
+def run_late_joiner_bench(
+    versions: int = 240,
+    compact_every: int = 50,
+    packets: int = 2_000,
+    flows: int = 128,
+    gateways: int = 2,
+    corpus_apps: int = 6,
+    seed: int = 7,
+) -> LateJoinerResult:
+    """Measure snapshot bootstrap vs full-history replay for a late joiner.
+
+    Two stores commit the identical ``versions``-transaction churn
+    schedule: one with ``compact_every`` retention (its log is snapshot
+    + suffix), one append-only (the control).  A fresh gateway then
+    attaches to each from the serialized log alone, and both are
+    replayed against a head-subscribed enforcer for verdict identity.
+    """
+    if versions < 1:
+        raise ValueError("the late joiner needs at least one committed version")
+    if compact_every < 1:
+        raise ValueError("compact_every must be at least 1")
+    database = build_signature_database(corpus_apps=corpus_apps, seed=seed)
+    replay = build_replay(database.entries(), packets=packets, flows=flows, seed=seed)
+    base_policy = Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="late-joiner-base")
+
+    fleet = GatewayFleet(
+        database=database,
+        policy=base_policy,
+        num_gateways=gateways,
+        live=True,
+        compact_every=compact_every,
+        keep_records=False,
+    )
+    control_store = PolicyStore.from_policy(base_policy, name="late-joiner-control")
+
+    # The identical churn schedule commits to both stores: rotating
+    # per-app deny toggles, every commit one version (ids are explicit,
+    # so both histories produce identical fingerprint chains).
+    churn_targets = [
+        entry.package_name.replace(".", "/") for entry in database.entries()
+    ]
+    toggled: dict[str, bool] = {}
+    for index in range(versions):
+        target = churn_targets[index % len(churn_targets)]
+        rule_id = f"churn-{target}"
+        if toggled.get(target):
+            update = PolicyUpdate(reason=f"unblock {target}").remove_rule(rule_id)
+            toggled[target] = False
+        else:
+            update = PolicyUpdate(reason=f"block {target}").add_rule(
+                PolicyRule(
+                    action=PolicyAction.DENY,
+                    level=PolicyLevel.LIBRARY,
+                    target=target,
+                ),
+                rule_id=rule_id,
+            )
+            toggled[target] = True
+        fleet.apply_update(update)
+        control_store.apply(update)
+
+    compacted_log = fleet.delta_log
+    full_log = control_store.delta_log
+    assert compacted_log.snapshot is not None
+
+    started = time.perf_counter()
+    late = fleet.add_gateway(name="late-joiner")
+    bootstrap_wall = time.perf_counter() - started
+
+    control = PolicyEnforcer(database=database, policy=None, keep_records=False)
+    started = time.perf_counter()
+    control_replica = GatewayReplica.from_log(control, full_log, name="full-history")
+    full_replay_wall = time.perf_counter() - started
+
+    head = PolicyEnforcer(
+        database=database, policy=fleet.store.snapshot(), keep_records=False
+    )
+    head_verdicts = [head.process(packet)[0] for packet in replay]
+    late_verdicts = [late.enforcer.process(packet)[0] for packet in replay]
+    control_verdicts = [control_replica.enforcer.process(packet)[0] for packet in replay]
+
+    return LateJoinerResult(
+        versions=versions,
+        compact_every=compact_every,
+        packets=len(replay),
+        suffix_records=len(compacted_log),
+        snapshot_version=compacted_log.snapshot.version,
+        snapshot_rules=len(compacted_log.snapshot.rules),
+        bootstrap_records=late.records_applied,
+        full_history_records=control_replica.records_applied,
+        compacted_log_bytes=len(compacted_log.to_json()),
+        full_log_bytes=len(full_log.to_json()),
+        bootstrap_wall_s=bootstrap_wall,
+        full_replay_wall_s=full_replay_wall,
+        converged=(
+            late.verify_against(fleet.store)
+            and control_replica.fingerprint() == fleet.store.fingerprint()
+        ),
+        verdicts_match=late_verdicts == head_verdicts == control_verdicts,
     )
 
 

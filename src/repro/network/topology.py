@@ -110,6 +110,17 @@ class EnterpriseNetwork:
         """The gateway this packet's flow is routed to (stable per flow)."""
         return self.gateways[flow_hash(packet) % len(self.gateways)]
 
+    def add_gateway(self) -> Iptables:
+        """Grow the border by one gateway (late-joining fleet member).
+
+        The internal router starts hashing flows across the enlarged
+        set immediately; the caller installs the enforcement chain
+        (:meth:`install_queue_chain`) with the returned gateway's index.
+        """
+        gateway = Iptables()
+        self.gateways.append(gateway)
+        return gateway
+
     # -- address / server management ----------------------------------------------
 
     def allocate_device_ip(self) -> str:

@@ -122,6 +122,84 @@ class TestPolicyControlPlaneCommands:
         assert "rejected" in capsys.readouterr().err
 
 
+class TestPolicyCompactCommand:
+    def push(self, tmp_path, store_file, *rules):
+        policy_file = tmp_path / "next.txt"
+        policy_file.write_text(
+            "".join(f'{{[deny][library]["{target}"]}}\n' for target in rules)
+        )
+        assert main(["policy", "push", str(policy_file), "--store", str(store_file)]) == 0
+
+    def test_compact_leaves_suffix_only_log_on_disk(self, tmp_path, capsys):
+        store_file = tmp_path / "store.json"
+        self.push(tmp_path, store_file, "com/flurry")
+        self.push(tmp_path, store_file, "com/flurry", "com/mixpanel")
+        self.push(tmp_path, store_file, "com/mixpanel")
+        payload = json.loads(store_file.read_text())
+        assert len(payload["delta_log"]["records"]) == 3  # full history so far
+
+        assert main(["policy", "compact", str(store_file)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot @v3" in out and "bootstrap in 1 record(s)" in out
+
+        payload = json.loads(store_file.read_text())
+        log = payload["delta_log"]
+        # Suffix-only on disk: the prefix folded into the base snapshot.
+        assert log["records"] == [] and log["base_version"] == 3
+        assert log["snapshot"]["version"] == 3
+        assert len(log["snapshot"]["rules"]) == 1
+
+        # The compacted store keeps working: a later push appends to the
+        # suffix and the file still loads as version 4.
+        self.push(tmp_path, store_file, "com/flurry")
+        payload = json.loads(store_file.read_text())
+        assert payload["version"] == 4
+        assert len(payload["delta_log"]["records"]) == 1
+
+    def test_compact_to_intermediate_version(self, tmp_path, capsys):
+        store_file = tmp_path / "store.json"
+        self.push(tmp_path, store_file, "com/flurry")
+        self.push(tmp_path, store_file, "com/mixpanel")
+        self.push(tmp_path, store_file, "com/crashlytics")
+        assert main(["policy", "compact", str(store_file), "--up-to", "2"]) == 0
+        payload = json.loads(store_file.read_text())
+        assert payload["delta_log"]["base_version"] == 2
+        assert len(payload["delta_log"]["records"]) == 1
+
+    def test_compact_on_fresh_store_is_a_noop(self, tmp_path, capsys):
+        store_file = tmp_path / "store.json"
+        self.push(tmp_path, store_file, "com/flurry")
+        assert main(["policy", "compact", str(store_file)]) == 0
+        capsys.readouterr()
+        assert main(["policy", "compact", str(store_file)]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+
+    def test_compact_rejects_bad_version(self, tmp_path, capsys):
+        store_file = tmp_path / "store.json"
+        self.push(tmp_path, store_file, "com/flurry")
+        assert main(["policy", "compact", str(store_file), "--up-to", "9"]) == 1
+        assert "rejected" in capsys.readouterr().err
+
+    def test_push_persists_retention_policy(self, tmp_path):
+        store_file = tmp_path / "store.json"
+        policy_file = tmp_path / "corp.txt"
+        policy_file.write_text('{[deny][library]["com/flurry"]}\n')
+        assert main(
+            ["policy", "push", str(policy_file), "--store", str(store_file),
+             "--compact-every", "2"]
+        ) == 0
+        assert json.loads(store_file.read_text())["compact_every"] == 2
+        # Two more pushes trip the retention budget: the store compacts
+        # itself on commit, no operator involvement.
+        for target in ("com/mixpanel", "com/crashlytics"):
+            update = tmp_path / "update.txt"
+            update.write_text(f'{{[deny][library]["{target}"]}}\n')
+            assert main(["policy", "push", str(update), "--store", str(store_file)]) == 0
+        payload = json.loads(store_file.read_text())
+        assert payload["version"] == 3
+        assert payload["delta_log"]["base_version"] >= 2
+
+
 class TestPolicyChurnCommand:
     def test_policy_churn_reports_delta_vs_flush(self, capsys):
         assert main(

@@ -1,0 +1,399 @@
+"""Cross-layer convergence conformance suite.
+
+Log compaction is exactly the kind of change that silently forks a
+fleet's policy when it is wrong: a replica that bootstraps from a
+snapshot instead of replaying history must end up *bit-for-bit* where
+every other attach path ends up.  This suite is the proof obligation:
+one shared control-plane history (incremental updates, removals,
+replacements, a default-action flip and a legacy ``reset_to`` full
+sync), one shared packet replay trace, and a matrix of every way a
+gateway can attach to it —
+
+* **cold replay from v0** — a blank gateway replays the full
+  uncompacted log from its genesis snapshot;
+* **snapshot bootstrap** — the log is compacted through the head; the
+  gateway attaches from the snapshot alone;
+* **snapshot + partial suffix** — the log is compacted mid-history; the
+  gateway bootstraps then replays the surviving suffix;
+* **live subscription** — a replica subscribed during the whole history
+  receives every record as it commits;
+* **legacy attach-at-head** — the pre-compaction ``reset_to``-style
+  full sync straight from the head store's memory.
+
+Every path must converge to the identical version, the identical
+chained rule-table fingerprint, and packet-for-packet identical
+verdicts (and reasons) on the shared replay trace.
+"""
+
+import json
+
+import pytest
+
+from repro.core.database import DatabaseEntry, SignatureDatabase
+from repro.core.encoding import StackTraceEncoder
+from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.core.policy_enforcer import PolicyEnforcer
+from repro.core.policy_store import (
+    DeltaLog,
+    GatewayReplica,
+    PolicyStore,
+    PolicyUpdate,
+    ReplicationError,
+)
+from repro.netstack.ip import IPPacket
+
+APPS = (
+    ("aa" * 16, "com.alpha.app", [
+        "Lcom/alpha/app/MainActivity;->onClick(Landroid/view/View;)V",
+        "Lcom/alpha/app/net/ApiClient;->upload([B)Z",
+        "Lcom/flurry/sdk/FlurryAgent;->logEvent(Ljava/lang/String;)V",
+    ]),
+    ("bb" * 16, "com.beta.app", [
+        "Lcom/beta/app/MainActivity;->onClick(Landroid/view/View;)V",
+        "Lcom/beta/app/sync/Engine;->push([B)Z",
+        "Lcom/mixpanel/android/Tracker;->track(Ljava/lang/String;)V",
+    ]),
+)
+
+ATTACH_PATHS = (
+    "cold-replay-from-v0",
+    "snapshot-bootstrap",
+    "snapshot-plus-suffix",
+    "live-subscribe",
+    "legacy-attach-at-head",
+)
+
+
+def build_database() -> SignatureDatabase:
+    database = SignatureDatabase()
+    for md5, package, signatures in APPS:
+        database.add(
+            DatabaseEntry(
+                md5=md5, app_id=md5[:16], package_name=package,
+                signatures=list(signatures),
+            )
+        )
+    return database
+
+
+def build_trace() -> list[IPPacket]:
+    """The shared replay: every app, several stack shapes, many flows."""
+    encoder = StackTraceEncoder()
+    packets = []
+    port = 40000
+    for md5, _package, signatures in APPS:
+        for indexes in [(0,), (0, 1), tuple(range(len(signatures))), (len(signatures) - 1,)]:
+            for repeat in range(3):
+                port += 1
+                packets.append(
+                    IPPacket(
+                        src_ip="10.10.0.2",
+                        dst_ip="203.0.113.9",
+                        src_port=port - (repeat % 2),  # some flows repeat
+                        dst_port=443,
+                        payload_size=128,
+                        options=encoder.encode_option(md5[:16], indexes),
+                    )
+                )
+    return packets
+
+
+def rule(target: str, action: PolicyAction = PolicyAction.DENY) -> PolicyRule:
+    return PolicyRule(action=action, level=PolicyLevel.LIBRARY, target=target)
+
+
+def drive_history(store: PolicyStore) -> None:
+    """The shared edit schedule: every operation kind the log can carry.
+
+    Includes a mid-history ``reset_to`` (a sync record), so every attach
+    path proves it replays *through* a full sync and keeps applying
+    incremental updates afterwards — the exact sequence that used to
+    trip the shadow store's log-contiguity check.
+    """
+    store.apply(PolicyUpdate(reason="block flurry").add_rule(rule("com/flurry"), rule_id="flurry"))
+    store.apply(PolicyUpdate(reason="block mixpanel").add_rule(rule("com/mixpanel"), rule_id="mixpanel"))
+    store.apply(PolicyUpdate(reason="tighten").set_default(PolicyAction.DENY))
+    store.apply(
+        PolicyUpdate(reason="allow alpha").add_rule(
+            rule("com/alpha/app", PolicyAction.ALLOW), rule_id="alpha"
+        )
+    )
+    store.apply(PolicyUpdate(reason="relax").set_default(PolicyAction.ALLOW))
+    store.apply(PolicyUpdate(reason="unblock mixpanel").remove_rule("mixpanel"))
+    store.apply(
+        PolicyUpdate(reason="narrow flurry").replace_rule(
+            "flurry", PolicyRule(PolicyAction.DENY, PolicyLevel.CLASS, "com/flurry/sdk/FlurryAgent")
+        )
+    )
+    # Legacy full sync mid-history: replicated as one sync record.
+    store.reset_to(
+        Policy(
+            rules=[rule("com/flurry"), rule("com/beta/app")],
+            default_action=PolicyAction.ALLOW,
+            name="resync",
+        )
+    )
+    store.apply(PolicyUpdate(reason="block mixpanel again").add_rule(rule("com/mixpanel"), rule_id="mp2"))
+    store.apply(PolicyUpdate(reason="unblock beta").remove_rule("r2"))
+    store.apply(PolicyUpdate(reason="block tail").add_rule(rule("com/tail"), rule_id="tail"))
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """One shared history + trace; every attach path converges onto it."""
+    database = build_database()
+    store = PolicyStore.from_policy(
+        Policy.deny_libraries(["com/seeded"], name="conformance-base"), name="head"
+    )
+    head = PolicyEnforcer(database=database, policy=store.snapshot())
+    store.subscribe(head, push=False)
+
+    live = GatewayReplica(PolicyEnforcer(database=database), store, name="live")
+    store.subscribe_replica(live)
+
+    drive_history(store)
+    return {
+        "database": database,
+        "store": store,
+        "head": head,
+        "live": live,
+        "log_json": store.delta_log.to_json(),
+        "trace": build_trace(),
+    }
+
+
+def attach(path: str, scenario) -> GatewayReplica:
+    database = scenario["database"]
+    store = scenario["store"]
+    if path == "cold-replay-from-v0":
+        log = DeltaLog.from_json(scenario["log_json"])
+        replica = GatewayReplica.from_log(PolicyEnforcer(database=database), log, name=path)
+        # Genesis bootstrap + one record per committed version.
+        assert replica.records_applied == store.version + 1
+        return replica
+    if path == "snapshot-bootstrap":
+        log = DeltaLog.from_json(scenario["log_json"])
+        log.compact()
+        replica = GatewayReplica.from_log(PolicyEnforcer(database=database), log, name=path)
+        assert replica.records_applied == 1  # the snapshot alone
+        return replica
+    if path == "snapshot-plus-suffix":
+        log = DeltaLog.from_json(scenario["log_json"])
+        compact_at = store.version - 3
+        log.compact(compact_at)
+        replica = GatewayReplica.from_log(PolicyEnforcer(database=database), log, name=path)
+        assert replica.records_applied == 1 + (store.version - compact_at)
+        return replica
+    if path == "live-subscribe":
+        return scenario["live"]
+    if path == "legacy-attach-at-head":
+        return GatewayReplica(PolicyEnforcer(database=database), store, name=path)
+    raise AssertionError(f"unknown attach path: {path}")
+
+
+@pytest.mark.parametrize("path", ATTACH_PATHS)
+def test_attach_path_converges_to_head_state(path, scenario):
+    store = scenario["store"]
+    replica = attach(path, scenario)
+    assert replica.version == store.version
+    assert replica.fingerprint() == store.fingerprint()
+    assert replica.verify_against(store)
+    assert replica.snapshot().rules == store.snapshot().rules
+    assert replica.snapshot().default_action is store.default_action
+
+
+@pytest.mark.parametrize("path", ATTACH_PATHS)
+def test_attach_path_is_verdict_identical_on_shared_trace(path, scenario):
+    head = scenario["head"]
+    replica = attach(path, scenario)
+    for packet in scenario["trace"]:
+        head_verdict, _ = head.process(packet)
+        replica_verdict, _ = replica.enforcer.process(packet)
+        assert replica_verdict is head_verdict
+        assert replica.enforcer.records[-1].reason == head.records[-1].reason
+
+
+def test_all_attach_paths_agree_with_each_other(scenario):
+    """The matrix closes: every path lands on one fingerprint."""
+    fingerprints = {path: attach(path, scenario).fingerprint() for path in ATTACH_PATHS}
+    assert len(set(fingerprints.values())) == 1, fingerprints
+    versions = {path: attach(path, scenario).version for path in ATTACH_PATHS}
+    assert set(versions.values()) == {scenario["store"].version}
+
+
+class TestCompactionBoundary:
+    """The fingerprint chain must hold *across* the compaction seam."""
+
+    def build_store(self) -> PolicyStore:
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        for index in range(6):
+            store.apply(
+                PolicyUpdate().add_rule(rule(f"com/lib{index}"), rule_id=f"l{index}")
+            )
+        return store
+
+    def test_record_after_compaction_chains_off_the_snapshot(self):
+        store = self.build_store()
+        snapshot = store.compact()
+        store.apply(PolicyUpdate().add_rule(rule("com/after"), rule_id="after"))
+        record = store.delta_log.record(store.version)
+        assert record.parent_fingerprint == snapshot.fingerprint
+        assert store.delta_log.snapshot.fingerprint == snapshot.fingerprint
+
+    def test_snapshot_keeps_the_folded_chains_tail_fingerprint(self):
+        store = self.build_store()
+        tail_fingerprint = store.delta_log.record(store.version).fingerprint
+        snapshot = store.compact()
+        assert snapshot.fingerprint == tail_fingerprint == store.fingerprint()
+
+    def attach_mid_chain(self, database) -> tuple[PolicyStore, GatewayReplica]:
+        """A replica attached mid-history, then left behind a compaction."""
+        store = self.build_store()
+        replica = GatewayReplica(PolicyEnforcer(database=database), store, name="gw")
+        mid_version = replica.version
+        for index in range(3):
+            store.apply(PolicyUpdate().add_rule(rule(f"com/late{index}")))
+        store.compact()  # the records the replica is missing fold away
+        assert mid_version < store.delta_log.base_version
+        return store, replica
+
+    def test_replica_behind_compaction_rebootstraps_cleanly(self):
+        store, replica = self.attach_mid_chain(build_database())
+        applied = replica.catch_up(store.delta_log)
+        assert applied == 1  # one snapshot bootstrap, no replayable suffix
+        assert replica.verify_against(store)
+
+    def test_pre_compaction_reader_gets_a_clear_error_without_snapshot(self):
+        store, replica = self.attach_mid_chain(build_database())
+        # Strip the snapshot (a legacy/pruned log serialization): the
+        # replica's history is gone and nothing can stand in for it.
+        payload = json.loads(store.delta_log.to_json())
+        payload["snapshot"] = None
+        pruned = DeltaLog.from_json(json.dumps(payload))
+        with pytest.raises(ReplicationError, match="re-attach"):
+            replica.catch_up(pruned)
+
+    def test_catch_up_cannot_stage_to_a_compacted_version(self):
+        store, replica = self.attach_mid_chain(build_database())
+        with pytest.raises(ReplicationError, match="compacted"):
+            replica.catch_up(store.delta_log, target_version=store.version - 2)
+
+    def test_tampered_snapshot_is_refused_before_reaching_the_enforcer(self):
+        database = build_database()
+        store = self.build_store()
+        store.compact()
+        payload = json.loads(store.delta_log.to_json())
+        # Flip one folded rule from deny to allow, leaving the recorded
+        # fingerprint untouched — the classic tampered-state shape.
+        payload["snapshot"]["rules"][0]["rule"] = (
+            payload["snapshot"]["rules"][0]["rule"].replace("[deny]", "[allow]")
+        )
+        tampered = DeltaLog.from_json(json.dumps(payload))
+        # An enforcer that currently holds a deny policy: a failed attach
+        # must not reset it to allow-all on the way to the error.
+        enforcer = PolicyEnforcer(
+            database=database, policy=Policy.deny_libraries(["com/flurry"])
+        )
+        flurry_packet = IPPacket(
+            src_ip="10.10.0.2", dst_ip="203.0.113.9", src_port=40001, dst_port=443,
+            payload_size=128,
+            options=StackTraceEncoder().encode_option(APPS[0][0][:16], (2,)),
+        )
+        assert enforcer.process(flurry_packet)[0].value == "drop"
+        before = enforcer.policy_version
+        with pytest.raises(ReplicationError, match="tampered"):
+            GatewayReplica.from_log(enforcer, tampered, name="gw")
+        assert enforcer.policy_version == before  # nothing was installed
+        # ...and the pre-existing policy still enforces (not fail-open).
+        assert enforcer.process(flurry_packet)[0].value == "drop"
+
+    def test_compacting_the_record_for_a_served_version_is_refused(self):
+        store = self.build_store()
+        store.compact(store.version - 2)
+        with pytest.raises(ReplicationError):
+            store.delta_log.record(store.version - 3)  # folded away
+        with pytest.raises(ReplicationError):
+            store.compact(store.version - 4)  # behind the base
+
+
+class TestRetentionRobustness:
+    """Auto-compaction around state the grammar cannot render."""
+
+    def opaque_policy(self) -> Policy:
+        return Policy(
+            rules=[PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, 'com/"quoted')],
+            name="opaque",
+        )
+
+    def test_compact_every_rejects_non_positive_values_everywhere(self):
+        with pytest.raises(ValueError):
+            PolicyStore(compact_every=0)
+        with pytest.raises(ValueError):
+            PolicyStore(compact_every=-3)
+        store = PolicyStore()
+        with pytest.raises(ValueError):
+            store.compact_every = 0  # attribute path validates too
+        from repro.core.fleet import GatewayFleet
+
+        with pytest.raises(ValueError):
+            GatewayFleet(database=build_database(), policy=Policy.allow_all(),
+                         num_gateways=2, compact_every=0)
+
+    def test_unfoldable_log_keeps_committing_without_replaying_prefix(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        store.compact_every = 3
+        store.reset_to(self.opaque_policy())  # opaque sync record
+        for index in range(6):
+            # Retention is tripped every commit, but the cheap pre-scan
+            # sees the opaque sync (and the quoted head state) and skips
+            # the doomed full-prefix replay; commits keep working.
+            store.apply(PolicyUpdate().add_rule(rule(f"com/x{index}")))
+        assert store.delta_log.base_version == 0  # nothing folded
+        assert len(store.delta_log) == store.version
+
+    def test_clean_full_sync_rescues_compaction_after_an_opaque_one(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        store.reset_to(self.opaque_policy())
+        # An update *inside* the unknown region: it cannot be verified,
+        # but the clean sync below supersedes it, so the fold skips it.
+        store.apply(PolicyUpdate().add_rule(rule("com/inside")))
+        store.reset_to(Policy.deny_libraries(["com/mixpanel"], name="clean"))
+        store.apply(PolicyUpdate().add_rule(rule("com/tail")))
+        # The opaque record's unknown-state region ends at the clean
+        # sync, so folding the whole prefix is well-defined again.
+        snapshot = store.compact()
+        assert snapshot.version == store.version
+        assert snapshot.fingerprint == store.fingerprint()
+        replica = GatewayReplica.from_log(
+            PolicyEnforcer(database=build_database()), store.delta_log, name="gw"
+        )
+        assert replica.verify_against(store)
+
+    def test_autocompaction_resumes_once_a_clean_sync_ends_the_region(self):
+        # Regression for the pre-scan/_materialize mismatch: an update
+        # committed inside an opaque region used to make every later
+        # commit attempt (and abort) a full-prefix replay while the log
+        # grew forever, even after a clean sync restored the state.
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        store.compact_every = 3
+        store.reset_to(self.opaque_policy())
+        store.apply(PolicyUpdate().add_rule(rule("com/inside")))
+        store.reset_to(Policy.deny_libraries(["com/mixpanel"], name="clean"))
+        for index in range(3):
+            store.apply(PolicyUpdate().add_rule(rule(f"com/x{index}")))
+        # Retention tripped after the clean sync and actually folded.
+        assert store.delta_log.base_version > 0
+        assert len(store.delta_log) < store.version
+        assert store.delta_log.snapshot.fingerprint == (
+            store.fingerprint() if len(store.delta_log) == 0
+            else store.delta_log.record(store.delta_log.base_version + 1).parent_fingerprint
+        )
+
+    def test_compacting_into_an_unknown_state_region_is_refused(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        store.reset_to(self.opaque_policy())  # v1: unknown region starts
+        store.apply(PolicyUpdate().add_rule(rule("com/x")))  # v2: inside it
+        with pytest.raises(ReplicationError, match="opaque"):
+            store.compact(1)
+        with pytest.raises(ReplicationError, match="opaque"):
+            store.compact(2)

@@ -234,6 +234,18 @@ class TestGatewayReplica:
         with pytest.raises(ReplicationError):
             replica.apply_delta(store.delta_log.record(1))
 
+    def test_update_record_after_sync_record_replays(self, database):
+        # Regression: replaying an update that was committed *after* a
+        # reset_to used to trip the shadow store's own log-contiguity
+        # check (the shadow's log was never re-based at the adopted
+        # sync state), killing any catch-up that crossed a full sync.
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        replica = GatewayReplica(PolicyEnforcer(database=database), store, name="gw")
+        store.reset_to(Policy.deny_libraries(["com/mixpanel"], name="resync"))
+        store.apply(PolicyUpdate().add_rule(DENY_FLURRY, rule_id="again"))
+        assert replica.catch_up(store.delta_log) == 2
+        assert replica.verify_against(store)
+
     def test_reset_to_replicates_as_sync_record(self, database):
         store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
         replica = GatewayReplica(PolicyEnforcer(database=database), store, name="gw")
@@ -504,6 +516,86 @@ class TestGatewayFleet:
             )
 
 
+class TestLateJoiningGateway:
+    def churn(self, fleet, edits):
+        for index in range(edits):
+            fleet.apply_update(
+                PolicyUpdate().add_rule(
+                    PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, f"com/churn{index}"),
+                    rule_id=f"c{index}",
+                )
+            )
+
+    def test_add_gateway_bootstraps_in_suffix_records(self, database):
+        fleet = GatewayFleet(
+            database=database,
+            policy=Policy.deny_libraries(["com/flurry"]),
+            num_gateways=2,
+            compact_every=5,
+        )
+        self.churn(fleet, 23)
+        suffix = len(fleet.delta_log)
+        late = fleet.add_gateway()
+        assert late.name == "gw2"
+        # One snapshot bootstrap + the surviving suffix, not 23 records.
+        assert late.records_applied == suffix + 1 <= 6
+        assert late.verify_against(fleet.store)
+        assert fleet.num_gateways == 3 and fleet.converged
+
+    def test_late_joiner_participates_in_routing_and_live_push(self, database):
+        fleet = GatewayFleet(
+            database=database, policy=Policy.allow_all(), num_gateways=2,
+            compact_every=4,
+        )
+        self.churn(fleet, 9)
+        late = fleet.add_gateway()
+        # Live fleet: the next commit converges the late joiner too.
+        fleet.apply_update(PolicyUpdate().add_rule(DENY_MIXPANEL, rule_id="post-join"))
+        assert fleet.converged
+        verdict, _ = late.enforcer.process(make_packet(APP_B_ID, [0, 2]))
+        assert verdict is Verdict.DROP
+        # Flow hashing now spreads across three gateways.
+        indices = {
+            fleet.gateway_index(make_packet(APP_A_ID, [0], src_port=42000 + i))
+            for i in range(128)
+        }
+        assert indices == {0, 1, 2}
+
+    def test_late_joiner_publishes_into_attached_telemetry(self, database):
+        from repro.telemetry.pipeline import FleetAuditor
+
+        fleet = GatewayFleet(
+            database=database, policy=Policy.allow_all(), num_gateways=2
+        )
+        auditor = FleetAuditor(window_packets=256, buffered=False)
+        fleet.attach_telemetry(auditor)
+        self.churn(fleet, 3)
+        late = fleet.add_gateway()
+        # Flows hashed to the new gateway must show up in its pipeline —
+        # a late joiner outside the audit stream would blind the
+        # fleet-level detectors to a third of the traffic.
+        packets = [
+            make_packet(APP_A_ID, [0], src_port=42000 + i) for i in range(96)
+        ]
+        fleet.process_batch(packets)
+        assert late.enforcer.stats.packets_seen > 0
+        assert auditor.pipelines[late.name].records_seen == (
+            late.enforcer.stats.packets_seen
+        )
+
+    def test_staged_fleet_leaves_late_joiner_unsubscribed(self, database):
+        fleet = GatewayFleet(
+            database=database, policy=Policy.allow_all(), num_gateways=2, live=False
+        )
+        self.churn(fleet, 3)
+        late = fleet.add_gateway()
+        assert late.verify_against(fleet.store)  # converged at attach...
+        fleet.apply_update(PolicyUpdate().add_rule(DENY_MIXPANEL))
+        assert late.lag(fleet.delta_log) == 1  # ...but staged afterwards
+        fleet.catch_up()
+        assert fleet.converged
+
+
 class TestDeviceFleet:
     @pytest.fixture()
     def corpus_apps(self):
@@ -585,6 +677,37 @@ class TestMultiGatewayDeployment:
         assert deployment.policy_version == 1
         assert deployment.fleet.converged
 
+    def test_add_gateway_grows_network_fleet_and_chains(self):
+        deployment = BorderPatrolDeployment(
+            policy=Policy.deny_libraries(["com/flurry"]),
+            num_gateways=2,
+            compact_every=4,
+        )
+        for index in range(10):
+            deployment.apply_update(
+                PolicyUpdate().add_rule(
+                    PolicyRule(PolicyAction.DENY, PolicyLevel.LIBRARY, f"com/g{index}"),
+                    rule_id=f"g{index}",
+                )
+            )
+        suffix = len(deployment.policy_store.delta_log)
+        replica = deployment.add_gateway()
+        assert replica.records_applied == suffix + 1  # snapshot + suffix
+        assert replica.verify_against(deployment.policy_store)
+        assert deployment.num_gateways == 3
+        assert len(deployment.network.gateways) == 3
+        # The new border gateway got its own enforcement chain.
+        assert len(deployment.network.gateways[2].rules()) == 2
+        # And traffic actually reaches it end to end.
+        apps = CorpusGenerator(CorpusConfig(n_apps=3, seed=7)).generate()
+        fleet = DeviceFleet(deployment, apps, DeviceFleetConfig(devices=10, seed=7))
+        deployment.network.transmit(fleet.build_trace(300))
+        assert replica.enforcer.stats.packets_seen > 0
+
+    def test_add_gateway_requires_a_fleet_deployment(self):
+        with pytest.raises(ValueError):
+            BorderPatrolDeployment().add_gateway()
+
     def test_end_to_end_transmit_enforces_at_every_gateway(self):
         apps = CorpusGenerator(CorpusConfig(n_apps=3, seed=7)).generate()
         deployment = BorderPatrolDeployment(
@@ -614,7 +737,8 @@ class TestFleetCli:
 
         assert main(
             ["fleet", "--packets", "400", "--devices", "8", "--gateways", "2",
-             "--shards", "1", "--edits", "3", "--corpus-apps", "3", "--skip-backend"]
+             "--shards", "1", "--edits", "3", "--corpus-apps", "3", "--skip-backend",
+             "--skip-late-joiner"]
         ) == 0
         out = capsys.readouterr().out
         assert "single-gateway" in out
@@ -622,3 +746,19 @@ class TestFleetCli:
         assert "replicas converged (fingerprint-verified): True" in out
         assert "fleet verdict-identical to single gateway: True" in out
         assert "apps churning the flow cache hardest" in out
+
+    def test_fleet_command_reports_late_joiner_bootstrap_cost(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["fleet", "--packets", "400", "--devices", "8", "--gateways", "2",
+             "--shards", "1", "--edits", "3", "--corpus-apps", "3", "--skip-backend",
+             "--late-joiner-versions", "60", "--compact-every", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "late joiner after 60 committed versions (compact_every=20):" in out
+        assert "bootstrap cost:" in out and "snapshot @v" in out
+        assert "uncompacted control: 61 record(s)" in out
+        assert "log size on the wire:" in out
+        assert "O(suffix) bound held: True" in out
+        assert "converged to head fingerprint: True" in out

@@ -232,6 +232,89 @@ class TestSerialization:
         store.save(path)
         assert PolicyStore.load(path).items() == store.items()
 
+    def test_round_trip_preserves_delta_log_and_retention(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        store.compact_every = 50
+        store.apply(PolicyUpdate().add_rule(DENY_MIXPANEL))
+        store.apply(PolicyUpdate().remove_rule("r1"))
+        loaded = PolicyStore.from_json(store.to_json())
+        assert loaded.compact_every == 50
+        assert loaded.delta_log.head_version == store.version
+        assert [r.fingerprint for r in loaded.delta_log] == [
+            r.fingerprint for r in store.delta_log
+        ]
+        # The restored history still serves replication: a replica can
+        # attach from the loaded store's log alone.
+        from repro.core.policy_store import GatewayReplica
+
+        class _Sink:
+            def sync_policy(self, policy, version): ...
+            def apply_policy_delta(self, delta): ...
+
+        replica = GatewayReplica.from_log(_Sink(), loaded.delta_log, name="gw")
+        assert replica.fingerprint() == store.fingerprint()
+
+    def test_round_trip_preserves_compacted_log(self):
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        for _ in range(4):
+            store.apply(PolicyUpdate().add_rule(DENY_MIXPANEL))
+        store.compact(store.version - 1)
+        loaded = PolicyStore.from_json(store.to_json())
+        assert loaded.delta_log.base_version == store.version - 1
+        assert loaded.delta_log.snapshot.fingerprint == store.delta_log.snapshot.fingerprint
+        assert len(loaded.delta_log) == 1
+
+    def test_inconsistent_embedded_log_rejected(self):
+        import json as json_module
+
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        store.apply(PolicyUpdate().add_rule(DENY_MIXPANEL))
+        payload = json_module.loads(store.to_json())
+        payload["version"] = 7  # does not match the log head
+        with pytest.raises(PolicyParseError):
+            PolicyStore.from_json(json_module.dumps(payload))
+
+    def test_corrupt_snapshot_base_mismatch_is_a_parse_error(self):
+        import json as json_module
+
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        store.apply(PolicyUpdate().add_rule(DENY_MIXPANEL))
+        store.compact()
+        payload = json_module.loads(store.to_json())
+        payload["delta_log"]["snapshot"]["version"] = 9  # != base_version
+        payload["version"] = 9
+        # A corrupted file is a parse error callers already handle, not
+        # a bare ValueError traceback.
+        with pytest.raises(PolicyParseError):
+            PolicyStore.from_json(json_module.dumps(payload))
+
+    def test_edited_rule_table_no_longer_hashing_to_log_head_rejected(self):
+        import json as json_module
+
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        store.apply(PolicyUpdate().add_rule(DENY_MIXPANEL))
+        payload = json_module.loads(store.to_json())
+        # Hand-edit the rule table while version and log stay intact:
+        # the head would enforce this table while a replica bootstrapping
+        # from the same file's log installs the original one.
+        payload["rules"][0]["rule"] = '{[allow][library]["com/flurry"]}'
+        with pytest.raises(PolicyParseError, match="fingerprint"):
+            PolicyStore.from_json(json_module.dumps(payload))
+
+    def test_legacy_json_without_log_still_loads_and_serves_bootstraps(self):
+        import json as json_module
+
+        store = PolicyStore.from_policy(Policy.deny_libraries(["com/flurry"]))
+        store.apply(PolicyUpdate().add_rule(DENY_MIXPANEL))
+        payload = json_module.loads(store.to_json())
+        del payload["delta_log"]
+        loaded = PolicyStore.from_json(json_module.dumps(payload))
+        # Older history is gone, but the loaded state is the log's
+        # genesis snapshot, so late joiners can still bootstrap.
+        assert loaded.delta_log.base_version == loaded.version
+        assert loaded.delta_log.snapshot is not None
+        assert loaded.delta_log.snapshot.fingerprint == loaded.fingerprint()
+
 
 class TestDiffUpdate:
     def test_minimal_diff_keeps_surviving_ids(self):

@@ -6,15 +6,31 @@ state** — same version, same rule-table fingerprint — **and its gateway
 enforces packet-for-packet identically to a head-subscribed enforcer**,
 no matter what sequence of control-plane edits happened, when the
 replica attached, or how its catch-up was staged.
+
+Compaction extends the invariant: folding an arbitrary prefix of an
+arbitrary history into a snapshot and converging via
+``compact``-then-``catch_up`` must be indistinguishable from replaying
+the full history — same fingerprint chain tail, same verdicts — and a
+tampered snapshot must raise :class:`ReplicationError` instead of
+seeding a forked policy.
 """
 
-from hypothesis import given, settings, strategies as st
+import json
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.database import DatabaseEntry, SignatureDatabase
 from repro.core.encoding import StackTraceEncoder
 from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
 from repro.core.policy_enforcer import PolicyEnforcer
-from repro.core.policy_store import GatewayReplica, PolicyStore, PolicyUpdate
+from repro.core.policy_store import (
+    DeltaLog,
+    GatewayReplica,
+    PolicyStore,
+    PolicyUpdate,
+    ReplicationError,
+)
 from repro.netstack.ip import IPPacket
 
 APPS = (
@@ -155,4 +171,71 @@ def test_replay_from_any_version_converges_and_enforces_identically(
         assert replica_verdict is head_verdict
         assert (
             replica.enforcer.records[-1].reason == head.records[-1].reason
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    initial=st.lists(rule_strategy, max_size=4),
+    edits=st.lists(edit_strategy, min_size=1, max_size=10),
+    compact_at=st.integers(min_value=1, max_value=10),
+)
+def test_compact_then_catch_up_equals_full_history_replay(
+    initial, edits, compact_at
+):
+    """For any history and any compaction point, snapshot + suffix is
+    equivalent to the full log: same fingerprint chain tail, same
+    converged state, same verdicts — and tampering is detected."""
+    database = build_database()
+    store = PolicyStore.from_policy(Policy(rules=list(initial), name="head"))
+    head = PolicyEnforcer(database=database, policy=store.snapshot())
+    store.subscribe(head, push=False)
+    for edit in edits:
+        apply_edit(store, edit)
+    # remove/replace edits against an empty table commit nothing; the
+    # compaction point needs at least one record to fold.
+    assume(store.version >= 1)
+    full_json = store.delta_log.to_json()
+    target = 1 + (compact_at % store.version) if store.version > 1 else 1
+
+    full_log = DeltaLog.from_json(full_json)
+    via_history = GatewayReplica.from_log(
+        PolicyEnforcer(database=database), full_log, name="full"
+    )
+    compacted_log = DeltaLog.from_json(full_json)
+    snapshot = compacted_log.compact(target)
+    via_snapshot = GatewayReplica.from_log(
+        PolicyEnforcer(database=database), compacted_log, name="compacted"
+    )
+
+    # Same converged state as the store, by both routes.
+    for replica in (via_history, via_snapshot):
+        assert replica.version == store.version
+        assert replica.fingerprint() == store.fingerprint()
+        assert replica.snapshot().rules == store.snapshot().rules
+    # The surviving suffix is the full log's tail, fingerprint chain
+    # intact, and the snapshot carries the chain value at the fold.
+    assert [record.fingerprint for record in compacted_log] == [
+        record.fingerprint for record in full_log.since(target)
+    ]
+    assert snapshot.fingerprint == full_log.record(target).fingerprint
+    assert via_snapshot.records_applied == 1 + (store.version - target)
+    assert via_history.records_applied == store.version + 1
+
+    # Verdict identity across head / full-replay / snapshot-bootstrap.
+    for packet in build_packets():
+        head_verdict, _ = head.process(packet)
+        assert via_history.enforcer.process(packet)[0] is head_verdict
+        assert via_snapshot.enforcer.process(packet)[0] is head_verdict
+
+    # A tampered snapshot (content changed, recorded fingerprint kept)
+    # must never seed a replica.
+    payload = json.loads(compacted_log.to_json())
+    payload["snapshot"]["default_action"] = (
+        "deny" if payload["snapshot"]["default_action"] == "allow" else "allow"
+    )
+    tampered = DeltaLog.from_json(json.dumps(payload))
+    with pytest.raises(ReplicationError):
+        GatewayReplica.from_log(
+            PolicyEnforcer(database=database), tampered, name="tampered"
         )
