@@ -18,6 +18,7 @@ _SMOKE_DEFAULTS = {
     "CHURN_BENCH_PACKETS": "2000",
     "FLEET_BENCH_PACKETS": "2000",
     "AUDIT_BENCH_PACKETS": "2000",
+    "OPS_BENCH_PACKETS": "3000",
 }
 
 

@@ -32,7 +32,12 @@ the same operator workflows over the reproduction:
                      the telemetry pipeline attached: per-scenario
                      detection precision/recall for BorderPatrol vs the
                      IP/DNS and size-threshold baselines, audit-log
-                     rotation round-trip, and telemetry overhead.
+                     rotation round-trip, and telemetry overhead;
+* ``ops``          — replay cross-gateway evasion campaigns under the
+                     operator control plane: per-gateway vs federated
+                     recall, streaming (no-calibration) exfil budgets,
+                     durable alert-spool round-trip, and alert-bus
+                     overhead.
 
 Usage::
 
@@ -47,6 +52,7 @@ Usage::
     python -m repro.cli policy-churn --packets 10000 --edits 24
     python -m repro.cli fleet --packets 10000 --devices 120 --gateways 3
     python -m repro.cli audit --packets 8000 --devices 60 --gateways 2
+    python -m repro.cli ops --packets 12000 --devices 60 --gateways 4
 """
 
 from __future__ import annotations
@@ -65,6 +71,7 @@ from repro.experiments.fig3_ioi import run_fig3
 from repro.experiments.fig4_latency import run_fig4, run_fig4_gateway_throughput
 from repro.experiments.fleet import run_fleet_bench, run_late_joiner_bench
 from repro.experiments.gateway_throughput import run_gateway_bench
+from repro.experiments.ops import run_ops_bench
 from repro.experiments.policy_churn import run_policy_churn
 from repro.experiments.table_validation import run_validation
 from repro.workloads.apps import build_box_like_app, build_calendar_app, build_cloud_storage_app
@@ -355,6 +362,38 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ops(args: argparse.Namespace) -> int:
+    try:
+        result = run_ops_bench(
+            packets=args.packets,
+            devices=args.devices,
+            gateways=args.gateways,
+            shards_per_gateway=args.shards,
+            corpus_apps=args.corpus_apps,
+            seed=args.seed,
+            bursts=args.bursts,
+            measure_overhead=not args.skip_overhead,
+        )
+    except ValueError as error:
+        print(f"ops rejected: {error}", file=sys.stderr)
+        return 2
+    print(result.table())
+    if not result.spool_replay_ok:
+        print("DURABLE ALERT SPOOL LOST OR REORDERED ALERTS", file=sys.stderr)
+        return 1
+    if not result.per_gateway_misses_split:
+        print(
+            "SPLIT CAMPAIGNS WERE NOT SPLIT: per-gateway detectors caught "
+            "what the federation exists to catch",
+            file=sys.stderr,
+        )
+        return 1
+    if not result.federated_catches_all:
+        print("FEDERATION MISSED A CROSS-GATEWAY CAMPAIGN", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_policy_churn(args: argparse.Namespace) -> int:
     try:
         result = run_policy_churn(
@@ -556,6 +595,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the telemetry-on vs telemetry-off throughput comparison",
     )
     audit.set_defaults(func=_cmd_audit)
+
+    ops = subparsers.add_parser(
+        "ops",
+        help="replay cross-gateway evasion campaigns under the operator "
+        "control plane; report per-gateway vs federated recall, streaming "
+        "budgets, alert-spool durability, and alert-bus overhead",
+    )
+    ops.add_argument("--packets", type=int, default=12_000,
+                     help="benign fleet packets in the mixed replay")
+    ops.add_argument("--devices", type=int, default=60)
+    ops.add_argument("--gateways", type=int, default=4)
+    ops.add_argument("--shards", type=int, default=2,
+                     help="enforcer shards per gateway")
+    ops.add_argument("--corpus-apps", type=int, default=6, metavar="N")
+    ops.add_argument("--seed", type=int, default=7)
+    ops.add_argument("--bursts", type=int, default=24,
+                     help="replay bursts (the first two thirds are warm-up)")
+    ops.add_argument(
+        "--skip-overhead",
+        action="store_true",
+        help="skip the bus-on vs bus-off throughput comparison",
+    )
+    ops.set_defaults(func=_cmd_ops)
     return parser
 
 

@@ -224,6 +224,18 @@ class BorderPatrolDeployment:
         else:
             self.enforcer.attach_audit_sink(auditor.pipeline_for("gw0"), "gw0")
 
+    def attach_ops(self, control_plane) -> None:
+        """Wire an operator control plane into this deployment.
+
+        ``control_plane`` exposes an ``auditor`` (canonically a
+        :class:`repro.ops.console.OperatorControlPlane`, duck-typed so
+        core never imports ops).  The control plane owns the
+        consumer-side wiring — alert bus, routing, federation — and
+        this call attaches its auditor to the data plane, fleet or
+        single-gateway alike.
+        """
+        self.attach_telemetry(control_plane.auditor)
+
     # -- app enrolment -------------------------------------------------------------------
 
     def enroll_app(self, apk: ApkFile) -> None:

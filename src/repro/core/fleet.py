@@ -233,6 +233,17 @@ class GatewayFleet:
                 auditor.pipeline_for(replica.name), replica.name
             )
 
+    def attach_ops(self, control_plane) -> None:
+        """Wire the operator control plane's telemetry onto every gateway.
+
+        ``control_plane`` is anything exposing an ``auditor`` attribute
+        (canonically a :class:`repro.ops.console.OperatorControlPlane`,
+        duck-typed so core never depends on ops); the control plane has
+        already attached its alert bus and federation to that auditor —
+        this call is the data-plane half of the wiring.
+        """
+        self.attach_telemetry(control_plane.auditor)
+
     # -- flow routing ------------------------------------------------------------------
 
     def gateway_index(self, packet: IPPacket) -> int:

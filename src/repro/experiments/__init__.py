@@ -41,6 +41,7 @@ from repro.experiments.fleet import (
     run_fleet_bench,
     run_shard_backend_comparison,
 )
+from repro.experiments.ops import OpsBenchResult, run_ops_bench
 
 __all__ = [
     "CorpusRunResult",
@@ -69,4 +70,6 @@ __all__ = [
     "ShardBackendComparison",
     "run_fleet_bench",
     "run_shard_backend_comparison",
+    "OpsBenchResult",
+    "run_ops_bench",
 ]

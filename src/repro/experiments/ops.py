@@ -1,0 +1,648 @@
+"""Operator control-plane evaluation: federated detection and bus overhead.
+
+The audit experiment (:mod:`repro.experiments.audit`) scores attacks
+that one gateway can see.  This driver scores the ones it *cannot*: the
+cross-gateway campaigns of
+:meth:`~repro.workloads.adversarial.AdversarialWorkload
+.build_cross_gateway`, which rotate source ports so flow-hash routing
+splits each campaign across the whole fleet and every per-gateway
+window holds an under-threshold fraction.  The replay runs under the
+full operator control plane (:mod:`repro.ops`): online streaming
+baselines instead of an offline calibration pass, the durable alert
+bus, severity routing, and the fleet federation.
+
+The run has three phases:
+
+1. **Warm-up** — pure benign fleet traffic replays with the control
+   plane attached.  Per-gateway and fleet-level baselines calibrate
+   from the live stream; nothing is replayed twice and no offline pass
+   happens anywhere.
+2. **Campaign sizing** — the learned thresholds are read back (the
+   attacker models the defender), and the cross-gateway trace is built
+   so each campaign stays under every per-gateway bar while crossing
+   the fleet-wide one.  Infeasible geometry raises instead of silently
+   mislabelling.
+3. **Attack replay** — the campaigns land inside two contiguous bursts
+   of the remaining benign traffic (concentrated, so one window span
+   holds each campaign whole), and the same record stream is scored
+   twice: flagged-by-any-single-gateway vs flagged-with-federation.
+
+The headline claim is the recall gap: ``split_exfil`` and
+``split_burst`` must be invisible per-gateway (recall < 1) and fully
+caught federated (recall 1.0) without giving up the audit benchmark's
+precision.  Alert-bus overhead is measured separately over identical
+mixed replays (campaigns included, so alerts actually flow): the same
+online + federated detection stack runs on both sides, and only one
+side publishes through the durable bus (spool, router, feed) — the
+kpps gap is therefore the bus itself, not a change of detector
+algorithm.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.core.deployment import BorderPatrolDeployment
+from repro.core.policy import Policy
+from repro.experiments.audit import SystemScore
+from repro.experiments.common import format_table, split_into_bursts
+from repro.netstack.netfilter import Verdict
+from repro.ops import (
+    AlertBus,
+    AlertRouter,
+    FleetFederation,
+    OnlineExfilBaselines,
+    OnlineExfiltrationDetector,
+    OperatorControlPlane,
+    online_detector_factory,
+    replay_spool,
+)
+from repro.telemetry.detectors import INTEGRITY_REASONS
+from repro.telemetry.pipeline import FleetAuditor
+from repro.workloads.adversarial import (
+    CROSS_GATEWAY_SCENARIOS,
+    AdversarialConfig,
+    AdversarialWorkload,
+)
+from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+from repro.workloads.fleet import DeviceFleet, DeviceFleetConfig
+
+
+@dataclass
+class OpsBenchResult:
+    """Everything the operator control-plane experiment measured."""
+
+    packets: int = 0
+    benign_packets: int = 0
+    attack_packets: int = 0
+    devices: int = 0
+    gateways: int = 0
+    window_packets: int = 0
+    scenario_counts: dict[str, int] = field(default_factory=dict)
+    #: "per-gateway" and "federated" scores over the identical stream.
+    scores: dict[str, SystemScore] = field(default_factory=dict)
+    #: Per-gateway and fleet-level alert counts by kind.
+    alert_counts: dict[str, int] = field(default_factory=dict)
+    fleet_alert_counts: dict[str, int] = field(default_factory=dict)
+    #: The library the scoped experiment policy denies (only the
+    #: sideloaded probe app bundles it, so benign traffic draws zero
+    #: policy denials and burst counts are pure attack signal).
+    deny_library: str = ""
+    probe_package: str = ""
+    campaign_package: str = ""
+    attacker_ip: str = ""
+    #: Streaming thresholds read back at the end of warm-up.
+    per_gateway_budget_bytes: int = 0
+    fleet_budget_bytes: int = 0
+    baseline_snapshot: dict = field(default_factory=dict)
+    #: Control-plane accounting after the full replay.
+    bus_counts: dict = field(default_factory=dict)
+    routing_counts: dict = field(default_factory=dict)
+    federation_counts: dict = field(default_factory=dict)
+    #: Durable spool round-trip: alerts replayed == alerts delivered.
+    spool_alerts: int = 0
+    spool_replay_ok: bool = False
+    #: Mixed-replay throughput with the identical detection stack:
+    #: alerts dropped on the floor vs published through the durable bus.
+    bus_off_kpps: float = 0.0
+    bus_on_kpps: float = 0.0
+
+    @property
+    def bus_overhead_pct(self) -> float:
+        if self.bus_off_kpps <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.bus_on_kpps / self.bus_off_kpps)
+
+    @property
+    def federated_catches_all(self) -> bool:
+        federated = self.scores.get("federated")
+        if federated is None:
+            return False
+        return all(
+            federated.recall(scenario) == 1.0 for scenario in CROSS_GATEWAY_SCENARIOS
+        )
+
+    @property
+    def per_gateway_misses_split(self) -> bool:
+        """The routing-split campaigns are invisible to every single
+        gateway — the gap the federation exists to close."""
+        per_gateway = self.scores.get("per-gateway")
+        if per_gateway is None:
+            return False
+        return all(
+            per_gateway.recall(scenario) < 1.0
+            for scenario in ("split_exfil", "split_burst")
+        )
+
+    def table(self) -> str:
+        headers = ["system"] + list(CROSS_GATEWAY_SCENARIOS) + ["precision"]
+        rows = []
+        for score in self.scores.values():
+            rows.append(
+                [score.name]
+                + [f"{score.recall(scenario):.2f}" for scenario in CROSS_GATEWAY_SCENARIOS]
+                + [f"{score.precision:.2f}"]
+            )
+        table = format_table(headers, rows)
+        fleet_alerts = (
+            ", ".join(
+                f"{kind}:{count}" for kind, count in sorted(self.fleet_alert_counts.items())
+            )
+            or "(none)"
+        )
+        lines = [
+            f"mixed replay: {self.packets} packets ({self.attack_packets} adversarial "
+            f"across {len(self.scenario_counts)} cross-gateway campaigns), "
+            f"{self.devices} devices, {self.gateways} gateways, "
+            f"window {self.window_packets}",
+            f"scoped policy denies {self.deny_library} "
+            f"(probed by sideloaded {self.probe_package})",
+            "per-scenario recall (fraction of campaign packets flagged):",
+            table,
+            f"fleet alerts: {fleet_alerts}",
+            f"streaming budgets at warm-up: per-gateway "
+            f"{self.per_gateway_budget_bytes} B, fleet {self.fleet_budget_bytes} B "
+            "(no offline calibration pass)",
+            f"routing: {self.routing_counts}",
+            f"bus: {self.bus_counts}",
+            f"alert spool: {self.spool_alerts} alert(s) replayed, lossless: "
+            f"{self.spool_replay_ok}",
+            f"per-gateway misses the split campaigns: {self.per_gateway_misses_split}; "
+            f"federation catches everything: {self.federated_catches_all}",
+        ]
+        if self.bus_off_kpps > 0:
+            lines.insert(
+                -1,
+                f"alert-bus overhead: {self.bus_off_kpps:.1f} kpps bus-off vs "
+                f"{self.bus_on_kpps:.1f} kpps bus-on, identical detectors "
+                f"({self.bus_overhead_pct:+.1f}%)",
+            )
+        return "\n".join(lines)
+
+
+def pick_deny_library(apps, workload_seed: int, candidates: int = 16) -> str:
+    """A library the experiment policy can deny without touching benign
+    traffic.
+
+    Walks the same candidate-app space
+    :meth:`~repro.workloads.adversarial.AdversarialWorkload
+    .prepare_probe_app` walks and returns the first bundled library no
+    benign corpus app bundles: denying it cannot match any benign call
+    chain, and the first candidate carrying it is exactly the app the
+    probe search will pick (earlier candidates bundle only benign
+    libraries, so none of their methods draw a denial).
+    """
+    benign_libraries = {library for app in apps for library in app.libraries}
+    for offset in range(candidates):
+        candidate = CorpusGenerator(
+            CorpusConfig(n_apps=1, seed=workload_seed + 11000 + offset)
+        ).generate()[0]
+        fresh = sorted(set(candidate.libraries) - benign_libraries)
+        if fresh:
+            return fresh[0]
+    raise ValueError(
+        "every probe candidate bundles only benign libraries; widen the "
+        "candidate range or shrink the benign corpus"
+    )
+
+
+def _build_ops_fleet(
+    gateways: int,
+    shards_per_gateway: int,
+    devices: int,
+    corpus_apps: int,
+    seed: int,
+    deny_library: str,
+) -> tuple[BorderPatrolDeployment, DeviceFleet]:
+    apps = CorpusGenerator(CorpusConfig(n_apps=corpus_apps, seed=seed)).generate()
+    deployment = BorderPatrolDeployment(
+        policy=Policy.deny_libraries([deny_library], name="ops-scoped-deny"),
+        num_gateways=gateways,
+        enforcer_shards=shards_per_gateway,
+        keep_records=False,
+    )
+    device_fleet = DeviceFleet(
+        deployment, apps, DeviceFleetConfig(devices=devices, seed=seed)
+    )
+    return deployment, device_fleet
+
+
+def _online_detector(pipeline) -> OnlineExfiltrationDetector:
+    for detector in pipeline.detectors:
+        if isinstance(detector, OnlineExfiltrationDetector):
+            return detector
+    raise ValueError("pipeline has no online exfiltration detector")
+
+
+def _learned_budgets(
+    console: OperatorControlPlane, attacker_ip: str, dst_ip: str
+) -> tuple[int, int]:
+    """(min per-gateway, fleet) streaming thresholds for the attacker.
+
+    The attacker reads the defender's model — fair game, since the
+    thresholds derive from traffic the insider device can observe.  A
+    non-finite threshold means warm-up was too short to calibrate.
+    """
+    per_gateway = min(
+        _online_detector(pipeline).baselines.threshold(attacker_ip, dst_ip)
+        for pipeline in console.auditor.pipelines.values()
+    )
+    fleet = console.federation.baselines.threshold(attacker_ip, dst_ip)
+    if per_gateway == float("inf") or fleet == float("inf"):
+        raise ValueError(
+            "streaming baselines are uncalibrated after warm-up; use more "
+            "packets, fewer gateways, or a smaller window"
+        )
+    return int(per_gateway), int(fleet)
+
+
+def _mix_campaigns(
+    benign_bursts: list[list], trace, attack_start: int, seed: int
+) -> list[list]:
+    """Place every campaign inside two contiguous post-warm-up bursts.
+
+    Concentration is the point: a campaign smeared across the replay
+    would never sit whole inside one window span, and the merged
+    windowed view is what the federation judges.
+    """
+    slots = [attack_start, min(attack_start + 1, len(benign_bursts) - 1)]
+    mixed = [list(burst) for burst in benign_bursts]
+    for scenario in CROSS_GATEWAY_SCENARIOS:
+        for index, packet in enumerate(trace.packets(scenario)):
+            mixed[slots[index % len(slots)]].append(packet)
+    rng = random.Random(seed)
+    for index in slots:
+        rng.shuffle(mixed[index])
+    return mixed
+
+
+def _score(name: str, flagged: set[int], trace) -> SystemScore:
+    score = SystemScore(name=name, flagged=len(flagged))
+    labels = trace.labels
+    score.true_positives = sum(1 for packet_id in flagged if packet_id in labels)
+    for scenario, packets in trace.packets_by_scenario.items():
+        hits = sum(1 for packet in packets if packet.packet_id in flagged)
+        score.recall_by_scenario[scenario] = hits / len(packets) if packets else 0.0
+    return score
+
+
+def _prepared_fleet(
+    gateways: int,
+    shards_per_gateway: int,
+    devices: int,
+    corpus_apps: int,
+    seed: int,
+    deny_library: str,
+    workload_seed: int,
+    split_endpoint: str,
+) -> tuple[BorderPatrolDeployment, DeviceFleet, AdversarialWorkload]:
+    """A deployment ready to replay the cross-gateway trace.
+
+    Everything is seeded, so two calls build interchangeable fleets:
+    the probe app is sideloaded (its packets must read as policy
+    denials, not tag mimicry) and the split-campaign endpoint resolves.
+    """
+    deployment, device_fleet = _build_ops_fleet(
+        gateways, shards_per_gateway, devices, corpus_apps, seed, deny_library
+    )
+    workload = AdversarialWorkload(device_fleet, AdversarialConfig(seed=workload_seed))
+    workload.prepare_probe_app()
+    network = deployment.network
+    if not network.dns.knows_name(workload.config.split_endpoint):
+        network.add_server(workload.config.split_endpoint, role="external")
+    return deployment, device_fleet, workload
+
+
+def _burst_wall_ops(deployment, burst: list, auditor: FleetAuditor, pump=None) -> float:
+    """One burst's wall-clock under the online + federated stack.
+
+    The gateway-side model matches :func:`repro.experiments.audit
+    ._burst_wall`: per-gateway collectors run pipelined with
+    enforcement (the slower stage is charged), then the fleet-level
+    work — the federated scan plus, when a bus is attached, one pump —
+    runs serially on the operator core.
+    """
+    fleet = deployment.fleet
+    if fleet is not None:
+        enforce_wall = fleet.process_batch_timed(burst).parallel_wall_s
+    else:
+        enforce_wall = deployment.enforcer.process_batch_timed(burst).parallel_wall_s
+    collect_wall = auditor.drain()
+    started = time.perf_counter()
+    auditor.scan_federated()
+    if pump is not None:
+        pump()
+    return max(enforce_wall, collect_wall) + (time.perf_counter() - started)
+
+
+def _measure_bus_overhead(
+    gateways: int,
+    shards_per_gateway: int,
+    devices: int,
+    corpus_apps: int,
+    seed: int,
+    deny_library: str,
+    workload_seed: int,
+    split_endpoint: str,
+    mixed_bursts: list[list],
+    window_packets: int,
+    fold_every: int,
+    burst_threshold: int,
+    campaign_devices: int,
+    rounds: int = 7,
+) -> tuple[float, float]:
+    """(bus-off kpps, bus-on kpps) over identical mixed replays.
+
+    This isolates the *alert bus* — the acceptance bar — rather than
+    comparing two different detection algorithms.  Both configurations
+    run the same online detector stack and the same federation over the
+    same campaign-carrying trace; the only difference is that one
+    publishes every alert through the durable bus (JSON-lines spool,
+    router, feed) and pumps it once per burst, while the other leaves
+    alerts in the pipeline lists where the scorer reads them anyway.
+
+    Same discipline as the audit overhead harness: burst-granularity
+    interleaving so scheduler noise lands on both configurations, GC
+    kept out of the timed walls, and the round with the *median* on/off
+    ratio reported.
+    """
+
+    def online_auditor(device_fleet: DeviceFleet) -> FleetAuditor:
+        return FleetAuditor(
+            window_packets=window_packets,
+            detector_factory=online_detector_factory(
+                provisioned=device_fleet.provisioning_map(),
+                burst=burst_threshold,
+                fold_every=fold_every,
+            ),
+        )
+
+    deployment_off, fleet_off, _ = _prepared_fleet(
+        gateways, shards_per_gateway, devices, corpus_apps, seed,
+        deny_library, workload_seed, split_endpoint,
+    )
+    auditor_off = online_auditor(fleet_off)
+    auditor_off.attach_federation(
+        FleetFederation(burst=burst_threshold, campaign_devices=campaign_devices)
+    )
+    deployment_off.attach_telemetry(auditor_off)
+
+    deployment_on, fleet_on, _ = _prepared_fleet(
+        gateways, shards_per_gateway, devices, corpus_apps, seed,
+        deny_library, workload_seed, split_endpoint,
+    )
+    with tempfile.TemporaryDirectory(prefix="bp-ops-bus-") as tmp_dir:
+        console = OperatorControlPlane(
+            online_auditor(fleet_on),
+            bus=AlertBus(clock=None),
+            router=AlertRouter(),
+            federation=FleetFederation(
+                burst=burst_threshold, campaign_devices=campaign_devices
+            ),
+            spool_dir=f"{tmp_dir}/alerts",
+        )
+        deployment_on.attach_ops(console)
+
+        packets = sum(len(burst) for burst in mixed_bursts)
+        pairs: list[tuple[float, float]] = []
+        gc_was_enabled = gc.isenabled()
+        try:
+            for _ in range(max(1, rounds)):
+                gc.collect()
+                gc.disable()
+                try:
+                    wall_off = wall_on = 0.0
+                    for burst in mixed_bursts:
+                        wall_off += _burst_wall_ops(
+                            deployment_off, burst, auditor_off
+                        )
+                        wall_on += _burst_wall_ops(
+                            deployment_on, burst, console.auditor,
+                            pump=console.bus.pump,
+                        )
+                    pairs.append((wall_off, wall_on))
+                finally:
+                    if gc_was_enabled:
+                        gc.enable()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    pairs.sort(key=lambda pair: pair[1] / pair[0])
+    wall_off, wall_on = pairs[len(pairs) // 2]
+    return (
+        packets / wall_off / 1e3 if wall_off > 0 else float("inf"),
+        packets / wall_on / 1e3 if wall_on > 0 else float("inf"),
+    )
+
+
+def run_ops_bench(
+    packets: int = 12000,
+    devices: int = 60,
+    gateways: int = 4,
+    shards_per_gateway: int = 2,
+    corpus_apps: int = 6,
+    seed: int = 7,
+    bursts: int = 24,
+    window_packets: int | None = None,
+    fold_every: int | None = None,
+    burst_threshold: int = 8,
+    campaign_devices: int = 3,
+    measure_overhead: bool = True,
+) -> OpsBenchResult:
+    """Replay cross-gateway campaigns under the operator control plane."""
+    if gateways < 2:
+        raise ValueError("the ops bench needs a fleet (gateways >= 2)")
+    if bursts < 6:
+        raise ValueError("the replay needs at least six bursts (warm-up + attack)")
+    if packets < bursts:
+        raise ValueError("need at least one benign packet per burst")
+    if window_packets is None:
+        # Small enough that per-gateway windows turn over during warm-up
+        # (the streaming baselines only fold primed windows), large
+        # enough that one window span holds a whole campaign burst pair.
+        window_packets = max(128, packets // (gateways * 3))
+    if fold_every is None:
+        fold_every = max(32, window_packets // 8)
+
+    apps = CorpusGenerator(CorpusConfig(n_apps=corpus_apps, seed=seed)).generate()
+    workload_seed = seed + 17
+    deny_library = pick_deny_library(apps, workload_seed)
+    deployment, device_fleet = _build_ops_fleet(
+        gateways, shards_per_gateway, devices, corpus_apps, seed, deny_library
+    )
+    benign = device_fleet.build_trace(packets)
+    benign_bursts = split_into_bursts(benign, bursts)
+
+    workload = AdversarialWorkload(device_fleet, AdversarialConfig(seed=workload_seed))
+    # Sideload the probe app *before* the provisioning snapshot below:
+    # its packets must read as policy denials, not tag mimicry.
+    workload.prepare_probe_app()
+    attacker_ip = workload.insider_device()
+
+    network = deployment.network
+    if not network.dns.knows_name(workload.config.split_endpoint):
+        network.add_server(workload.config.split_endpoint, role="external")
+    split_ip = network.dns.resolve(workload.config.split_endpoint)
+
+    result = OpsBenchResult(
+        devices=device_fleet.device_count(),
+        gateways=deployment.num_gateways,
+        window_packets=window_packets,
+        deny_library=deny_library,
+        attacker_ip=attacker_ip,
+        benign_packets=len(benign),
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bp-ops-") as tmp_dir:
+        auditor = FleetAuditor(
+            window_packets=window_packets,
+            detector_factory=online_detector_factory(
+                provisioned=device_fleet.provisioning_map(),
+                burst=burst_threshold,
+                fold_every=fold_every,
+            ),
+            spool_dir=f"{tmp_dir}/records",
+            audit_capacity=packets * 2,
+            segment_records=max(256, packets // 16),
+        )
+        console = OperatorControlPlane(
+            auditor,
+            federation=FleetFederation(
+                burst=burst_threshold, campaign_devices=campaign_devices
+            ),
+            spool_dir=f"{tmp_dir}/alerts",
+        )
+        deployment.attach_ops(console)
+        fleet = deployment.fleet
+
+        # Phase 1: warm-up.  Streaming calibration from live traffic only.
+        warmup_bursts = (2 * bursts) // 3
+        for burst in benign_bursts[:warmup_bursts]:
+            fleet.process_batch_timed(burst)
+            console.drive()
+
+        # Phase 2: read the learned thresholds back and size the campaigns.
+        per_gateway_budget, fleet_budget = _learned_budgets(
+            console, attacker_ip, split_ip
+        )
+        result.per_gateway_budget_bytes = per_gateway_budget
+        result.fleet_budget_bytes = fleet_budget
+        trace = workload.build_cross_gateway(
+            gateways=deployment.num_gateways,
+            per_gateway_budget_bytes=per_gateway_budget,
+            fleet_budget_bytes=fleet_budget,
+            burst_threshold=burst_threshold,
+            campaign_devices=campaign_devices,
+        )
+        result.probe_package = trace.probe_package
+        result.campaign_package = trace.campaign_package
+        result.attack_packets = trace.attack_packet_count()
+        result.scenario_counts = {
+            scenario: len(trace.packets(scenario))
+            for scenario in CROSS_GATEWAY_SCENARIOS
+        }
+
+        # Phase 3: the campaigns land in two contiguous bursts of the
+        # remaining benign traffic.
+        mixed_bursts = _mix_campaigns(
+            benign_bursts, trace, attack_start=warmup_bursts + 1, seed=seed + 29
+        )
+        for burst in mixed_bursts[warmup_bursts:]:
+            fleet.process_batch_timed(burst)
+            console.drive()
+        console.flush()
+        result.packets = sum(len(burst) for burst in mixed_bursts)
+
+        # -- scoring: the identical record stream, with and without the
+        # federation's alerts.
+        records = sorted(
+            (
+                record
+                for pipeline in auditor.pipelines.values()
+                if pipeline.audit_log is not None
+                for record in pipeline.audit_log
+            ),
+            key=lambda record: record.packet_id,
+        )
+        gateway_alerts = [
+            alert for pipeline in auditor.pipelines.values() for alert in pipeline.alerts
+        ]
+        spoof_keys = {
+            (alert.device, alert.app)
+            for alert in gateway_alerts
+            if alert.kind == "spoofed-tag"
+        }
+        exfil_keys = {
+            (alert.device, alert.dst_ip)
+            for alert in gateway_alerts
+            if alert.kind == "exfil-volume"
+        }
+        burst_keys = {
+            (alert.device, alert.app)
+            for alert in gateway_alerts
+            if alert.kind == "policy-burst"
+        }
+        fleet_spoof, fleet_exfil, fleet_burst = set(), set(), set()
+        for alert in auditor.fleet_alerts:
+            if alert.kind == "exfil-volume":
+                fleet_exfil.add((alert.device, alert.dst_ip))
+            elif alert.kind == "policy-burst":
+                fleet_burst.add((alert.device, alert.app))
+            elif alert.kind == "spoof-campaign":
+                for device in alert.device.split(","):
+                    fleet_spoof.add((device, alert.app))
+
+        flagged_gateway: set[int] = set()
+        flagged_federated: set[int] = set()
+        for record in records:
+            key_app = (record.src_ip, record.package_name)
+            key_dst = (record.src_ip, record.dst_ip)
+            local = (
+                (record.verdict is Verdict.DROP and record.reason in INTEGRITY_REASONS)
+                or key_app in spoof_keys
+                or key_app in burst_keys
+                or key_dst in exfil_keys
+            )
+            if local:
+                flagged_gateway.add(record.packet_id)
+            if local or (
+                key_app in fleet_spoof
+                or key_app in fleet_burst
+                or key_dst in fleet_exfil
+            ):
+                flagged_federated.add(record.packet_id)
+
+        result.scores["per-gateway"] = _score("per-gateway", flagged_gateway, trace)
+        result.scores["federated"] = _score("federated", flagged_federated, trace)
+        result.alert_counts = auditor.alert_counts()
+        fleet_counts: dict[str, int] = {}
+        for alert in auditor.fleet_alerts:
+            fleet_counts[alert.kind] = fleet_counts.get(alert.kind, 0) + 1
+        result.fleet_alert_counts = fleet_counts
+        result.baseline_snapshot = console.federation.baselines.snapshot()
+
+        summary = console.summary()
+        result.bus_counts = summary["bus"]
+        result.routing_counts = summary["routing"]
+        result.federation_counts = summary["federation"]
+
+        # -- durable alert spool round-trip.
+        replayed = replay_spool(f"{tmp_dir}/alerts")
+        delivered = console.feed.alerts
+        result.spool_alerts = len(replayed)
+        result.spool_replay_ok = [alert.to_dict() for alert in replayed] == [
+            alert.to_dict() for alert in delivered
+        ]
+
+    if measure_overhead:
+        result.bus_off_kpps, result.bus_on_kpps = _measure_bus_overhead(
+            gateways, shards_per_gateway, devices, corpus_apps, seed,
+            deny_library, workload_seed, workload.config.split_endpoint,
+            mixed_bursts, window_packets, fold_every, burst_threshold,
+            campaign_devices,
+        )
+    return result

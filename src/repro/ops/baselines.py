@@ -1,0 +1,393 @@
+"""Online exfiltration baselines: streaming calibration, no replay pass.
+
+The PR 4 audit experiment calibrated
+:class:`~repro.telemetry.detectors.ExfiltrationVolumeDetector` offline:
+replay the benign trace once, read the peak per-pair window volume,
+multiply by a margin, replay again armed.  A real fleet cannot replay
+its own traffic; thresholds must come from the live stream.  This
+module learns them incrementally:
+
+* :class:`EwmaStat` — exponentially weighted mean and variance of a
+  sample stream (one multiply-add per sample, no history);
+* :class:`P2Quantile` — the Jain & Chlamtac P² algorithm: a streaming
+  quantile estimate from five markers, no stored samples;
+* :class:`OnlineExfilBaselines` — one (EWMA, P²) pair of estimators per
+  (device, destination), per device, and globally, folded from
+  completed :class:`~repro.telemetry.aggregate.SlidingWindowAggregator`
+  windows.  The threshold for a pair is the most specific estimator
+  with enough folds — pair, then device, then global — and ``inf``
+  until anything has been learned (warm-up never alerts);
+* :class:`OnlineExfiltrationDetector` — the drop-in detector: same
+  alert shape as the offline one, but its budget is
+  ``baselines.threshold(device, dst)`` and it folds windows itself via
+  the pipeline's ``fold_every``/``on_window`` hooks.
+
+Two disciplines keep this sound:
+
+**Determinism.**  Folds iterate the window's volume table in sorted key
+order and every estimator is a pure function of its own sample
+sequence, so a fixed record stream — regardless of dict insertion
+order upstream — always produces identical baselines, thresholds and
+alerts.  The property tests shuffle ingestion order and assert exactly
+this.
+
+**Pollution resistance.**  A sample over the pair's current threshold
+is *winsorized* — folded as the threshold value, not its own (counted
+in ``clamped``).  Outright rejection would deadlock the estimator below
+any legitimately growing signal; clamping lets a calibrated baseline
+keep tracking, while an attacker ramping volume can only drag the
+threshold up by the margin factor per fold — far slower than any
+useful exfiltration, and the detector judges *before* the fold, so the
+first over-threshold window alerts regardless.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.netstack.netfilter import Verdict
+from repro.telemetry.detectors import Alert, Detector
+
+
+class EwmaStat:
+    """Exponentially weighted running mean and variance.
+
+    ``alpha`` is the weight of the newest sample.  The variance update
+    is the standard EWMA companion form
+    ``var = (1 - alpha) * (var + alpha * delta**2)`` — exact for the
+    first sample (variance 0) and O(1) per update.
+    """
+
+    __slots__ = ("alpha", "mean", "var", "count")
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.mean = 0.0
+        self.var = 0.0
+        self.count = 0
+
+    def update(self, sample: float) -> None:
+        self.count += 1
+        if self.count == 1:
+            self.mean = float(sample)
+            self.var = 0.0
+            return
+        delta = sample - self.mean
+        increment = self.alpha * delta
+        self.mean += increment
+        self.var = (1.0 - self.alpha) * (self.var + delta * increment)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.var) if self.var > 0.0 else 0.0
+
+
+class P2Quantile:
+    """Streaming quantile estimation (Jain & Chlamtac's P² algorithm).
+
+    Tracks the ``p``-quantile of a stream with five markers — minimum,
+    two intermediates, the quantile estimate, maximum — adjusted per
+    sample by parabolic (falling back to linear) interpolation.  Exact
+    for the first five samples, O(1) memory and time after.
+    """
+
+    __slots__ = ("p", "_q", "_n", "_desired", "_dn", "count")
+
+    def __init__(self, p: float = 0.99) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError("the quantile must be in (0, 1)")
+        self.p = p
+        self._q: list[float] = []
+        self._n = [1, 2, 3, 4, 5]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self.count = 0
+
+    def update(self, sample: float) -> None:
+        self.count += 1
+        q = self._q
+        if self.count <= 5:
+            q.append(float(sample))
+            q.sort()
+            return
+        n = self._n
+        # Locate the cell, extending the extremes when needed.
+        if sample < q[0]:
+            q[0] = float(sample)
+            cell = 0
+        elif sample >= q[4]:
+            q[4] = float(sample)
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and sample >= q[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            n[index] += 1
+        desired = self._desired
+        for index in range(5):
+            desired[index] += self._dn[index]
+        # Nudge interior markers toward their desired positions.
+        for index in (1, 2, 3):
+            drift = desired[index] - n[index]
+            if (drift >= 1.0 and n[index + 1] - n[index] > 1) or (
+                drift <= -1.0 and n[index - 1] - n[index] < -1
+            ):
+                step = 1 if drift > 0 else -1
+                candidate = self._parabolic(index, step)
+                if not q[index - 1] < candidate < q[index + 1]:
+                    candidate = self._linear(index, step)
+                q[index] = candidate
+                n[index] += step
+
+    def _parabolic(self, index: int, step: int) -> float:
+        q, n = self._q, self._n
+        return q[index] + step / (n[index + 1] - n[index - 1]) * (
+            (n[index] - n[index - 1] + step)
+            * (q[index + 1] - q[index])
+            / (n[index + 1] - n[index])
+            + (n[index + 1] - n[index] - step)
+            * (q[index] - q[index - 1])
+            / (n[index] - n[index - 1])
+        )
+
+    def _linear(self, index: int, step: int) -> float:
+        q, n = self._q, self._n
+        return q[index] + step * (q[index + step] - q[index]) / (n[index + step] - n[index])
+
+    def value(self) -> float:
+        """The current quantile estimate (exact below six samples)."""
+        q = self._q
+        if not q:
+            return 0.0
+        if self.count <= 5:
+            rank = max(0, min(len(q) - 1, math.ceil(self.p * len(q)) - 1))
+            return q[rank]
+        return q[2]
+
+
+class _Baseline:
+    """One estimation unit: EWMA moments plus a P² tail quantile."""
+
+    __slots__ = ("stat", "quantile")
+
+    def __init__(self, alpha: float, p: float) -> None:
+        self.stat = EwmaStat(alpha=alpha)
+        self.quantile = P2Quantile(p=p)
+
+    def update(self, sample: float) -> None:
+        self.stat.update(sample)
+        self.quantile.update(sample)
+
+    @property
+    def count(self) -> int:
+        return self.stat.count
+
+
+class OnlineExfilBaselines:
+    """Hierarchical streaming thresholds per (device, destination).
+
+    :meth:`fold` consumes one completed aggregator window: every
+    in-window (device, destination) volume becomes one sample for the
+    pair's baseline, the device's, and the global one.  The threshold
+    for a pair is taken from the most specific estimator with at least
+    ``min_samples`` folds::
+
+        max(floor, mean + k_sigma * std, margin * P2(p))
+
+    and ``inf`` when nothing qualifies yet — the detector stays silent
+    through warm-up instead of alerting on an empty model.
+
+    Thresholds change only at fold boundaries, so they are cached as
+    plain floats; :meth:`threshold` is two dict probes worst-case and
+    safe inside the publish fast-path guard.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        p: float = 0.99,
+        k_sigma: float = 6.0,
+        margin: float = 2.5,
+        # A handful of MTU-sized packets: pairs that rarely appear in a
+        # window have Poisson-level variability the EWMA variance (and a
+        # five-marker quantile) cannot see, so volumes this small are
+        # never anomalous on their own.
+        floor: float = 12288.0,
+        min_samples: int = 6,
+    ) -> None:
+        if min_samples < 1:
+            raise ValueError("min_samples must be positive")
+        self.alpha = alpha
+        self.p = p
+        self.k_sigma = k_sigma
+        self.margin = margin
+        self.floor = floor
+        self.min_samples = min_samples
+        self._pairs: dict[tuple[str, str], _Baseline] = {}
+        self._devices: dict[str, _Baseline] = {}
+        self._global = _Baseline(alpha, p)
+        #: Cached thresholds, refreshed per fold.
+        self._pair_cache: dict[tuple[str, str], float] = {}
+        self._device_cache: dict[str, float] = {}
+        self._global_cache = math.inf
+        #: Lifetime counters.
+        self.folds = 0
+        self.samples = 0
+        #: Samples winsorized by the pollution guard (over-threshold).
+        self.clamped = 0
+
+    # -- learning ----------------------------------------------------------------------
+
+    def fold(self, aggregator) -> None:
+        """Fold one aggregator window's per-pair volumes in."""
+        self.fold_volumes(aggregator.volumes)
+
+    def fold_volumes(self, volumes: dict) -> None:
+        """Fold one {(device, dst): bytes} view into the baselines.
+
+        Iterates in sorted key order so the result is independent of
+        the mapping's dict insertion order (the determinism the
+        property tests assert).  Samples over the pair's current
+        threshold are winsorized to it — an attack cannot calibrate
+        itself in faster than the margin factor per fold.  The
+        federation folds *merged* fleet-wide views through this same
+        entry point.
+        """
+        self.folds += 1
+        for key, volume in sorted(volumes.items()):
+            if volume <= 0:
+                continue
+            ceiling = self.threshold(key[0], key[1])
+            if volume > ceiling:
+                volume = ceiling
+                self.clamped += 1
+            self.samples += 1
+            pair = self._pairs.get(key)
+            if pair is None:
+                pair = self._pairs[key] = _Baseline(self.alpha, self.p)
+            pair.update(volume)
+            device = self._devices.get(key[0])
+            if device is None:
+                device = self._devices[key[0]] = _Baseline(self.alpha, self.p)
+            device.update(volume)
+            self._global.update(volume)
+        self._refresh_caches()
+
+    def _threshold_of(self, baseline: _Baseline) -> float:
+        if baseline.count < self.min_samples:
+            return math.inf
+        stat = baseline.stat
+        return max(
+            self.floor,
+            stat.mean + self.k_sigma * stat.std,
+            self.margin * baseline.quantile.value(),
+        )
+
+    def _refresh_caches(self) -> None:
+        self._global_cache = self._threshold_of(self._global)
+        self._device_cache = {
+            device: self._threshold_of(baseline)
+            for device, baseline in self._devices.items()
+        }
+        self._pair_cache = {
+            key: self._threshold_of(baseline) for key, baseline in self._pairs.items()
+        }
+
+    # -- queries -----------------------------------------------------------------------
+
+    def threshold(self, device: str, dst: str) -> float:
+        """The budget for one pair: most specific calibrated estimator."""
+        value = self._pair_cache.get((device, dst), math.inf)
+        if value is not math.inf:
+            return value
+        value = self._device_cache.get(device, math.inf)
+        if value is not math.inf:
+            return value
+        return self._global_cache
+
+    def snapshot(self) -> dict:
+        """JSON-friendly calibration state (for reports and tests)."""
+        return {
+            "folds": self.folds,
+            "samples": self.samples,
+            "clamped": self.clamped,
+            "pairs": len(self._pairs),
+            "devices": len(self._devices),
+            "global_threshold": self._global_cache,
+        }
+
+
+class OnlineExfiltrationDetector(Detector):
+    """Exfiltration-volume detection against streaming baselines.
+
+    Drop-in for :class:`~repro.telemetry.detectors
+    .ExfiltrationVolumeDetector` with the static budget replaced by
+    :class:`OnlineExfilBaselines`.  The pipeline drives calibration:
+    ``fold_every``/:meth:`on_window` fold a window sample every N
+    records (on every record, fast path or not), and
+    :meth:`interesting` keeps the publish fast path alive with a
+    two-probe cached-threshold compare.
+    """
+
+    guarded = True
+    #: Records between baseline folds (the pipeline's window hook stride).
+    fold_every = 256
+
+    def __init__(
+        self,
+        baselines: OnlineExfilBaselines | None = None,
+        fold_every: int | None = None,
+        rearm_packets: int | None = None,
+    ) -> None:
+        super().__init__(rearm_packets)
+        self.baselines = baselines if baselines is not None else OnlineExfilBaselines()
+        if fold_every is not None:
+            if fold_every < 1:
+                raise ValueError("fold_every must be positive")
+            self.fold_every = fold_every
+
+    def on_window(self, aggregator) -> None:
+        # Holdoff: while the sliding window is still filling, per-pair
+        # volumes only ever grow — folding those ramp prefixes would
+        # bias every baseline low and the first full windows would all
+        # read as anomalies.  Learn (and judge) only from windows that
+        # have turned over at least once.
+        if aggregator.seq >= aggregator.window_packets:
+            self.baselines.fold(aggregator)
+
+    def interesting(self, record, window) -> bool:
+        if record.verdict is Verdict.DROP or not record.src_ip:
+            return False
+        if window.seq < window.window_packets:
+            return False
+        return window.volumes.get((record.src_ip, record.dst_ip), 0) > self.baselines.threshold(
+            record.src_ip, record.dst_ip
+        )
+
+    def observe(self, record, source, window) -> Alert | None:
+        if record.verdict is Verdict.DROP or not record.src_ip:
+            return None
+        if window.seq < window.window_packets:
+            return None
+        volume = window.window_volume(record.src_ip, record.dst_ip)
+        budget = self.baselines.threshold(record.src_ip, record.dst_ip)
+        if volume <= budget:
+            return None
+        if not self._ready((record.src_ip, record.dst_ip), window.seq, source):
+            return None
+        return Alert(
+            kind="exfil-volume",
+            device=record.src_ip,
+            app=record.package_name or record.app_id,
+            dst_ip=record.dst_ip,
+            source=source,
+            seq=window.seq,
+            packet_id=record.packet_id,
+            detail=(
+                f"{volume} bytes to one destination inside the window "
+                f"(online baseline {budget:.0f})"
+            ),
+        )

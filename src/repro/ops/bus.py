@@ -1,0 +1,287 @@
+"""The durable alert bus: detectors publish, operator sinks consume.
+
+The telemetry subsystem emits structured
+:class:`~repro.telemetry.detectors.Alert` objects that, until this
+module existed, piled up in per-pipeline lists nothing read.
+:class:`AlertBus` is the consumer side: a bounded queue with pluggable
+:class:`AlertSink` delivery and **at-least-once** semantics per sink.
+
+Delivery model:
+
+* every published alert gets a bus-global sequence number and joins a
+  bounded pending deque; publishing at capacity *drops the new alert*
+  and counts it (``dropped_backpressure``) — the bus never blocks the
+  telemetry path it sits behind;
+* each sink holds a cursor into the sequence.  :meth:`AlertBus.pump`
+  delivers every pending alert past a sink's cursor, advancing the
+  cursor only after ``deliver`` returns — a sink that raises keeps its
+  cursor, so the next pump re-delivers from the failure point
+  (at-least-once; sinks must tolerate duplicates, and the property
+  tests inject failures to prove replay covers every alert);
+* an entry leaves the deque only once *every* sink's cursor has passed
+  it, so one slow or failing sink cannot lose alerts for the others.
+
+Durability mirrors the audit log's segment rotation:
+:class:`JsonlSpoolSink` appends alerts as JSON lines and rotates to a
+new ``alerts-NNNNNN.jsonl`` segment every ``segment_alerts`` records;
+:meth:`JsonlSpoolSink.load` / :func:`replay_spool` read the full stream
+back as :class:`Alert` objects (the serialization round-trips through
+``Alert.to_dict``/``from_dict``, so attribution and timestamps
+survive).
+
+The bus stamps ``Alert.ts`` with the wall clock at publish time —
+detectors are deterministic functions of the record stream and leave
+``ts`` at 0.0; operator-facing alerts need absolute timestamps.  Tests
+inject a fake ``clock`` to keep their spools deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from dataclasses import replace
+
+from repro.telemetry.detectors import Alert
+
+#: File name pattern for rotated alert spool segments; zero-padding
+#: keeps lexicographic order equal to rotation order.
+SPOOL_PATTERN = "alerts-{sequence:06d}.jsonl"
+
+
+class AlertSink:
+    """One delivery target: a pager webhook, a spool file, a test list."""
+
+    #: Stable label used for per-sink cursor bookkeeping and counters.
+    name: str = "sink"
+
+    def deliver(self, alert: Alert) -> None:
+        """Deliver one alert.  Raising signals failure: the bus keeps the
+        sink's cursor and re-delivers from this alert on the next pump."""
+        raise NotImplementedError
+
+
+class MemorySink(AlertSink):
+    """Collect alerts in a list — the test double, and the summary feed."""
+
+    def __init__(self, name: str = "memory") -> None:
+        self.name = name
+        self.alerts: list[Alert] = []
+
+    def deliver(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+
+class WebhookSink(AlertSink):
+    """Webhook-shaped delivery: POST-like callable of one JSON payload.
+
+    ``post`` is any callable accepting the serialized alert dict — in
+    production an HTTP client bound to a paging endpoint, in this repo
+    a recording stub.  Exceptions from ``post`` propagate, so a flaky
+    endpoint gets at-least-once redelivery from the bus.
+    """
+
+    def __init__(self, post, name: str = "webhook") -> None:
+        self.post = post
+        self.name = name
+        self.delivered = 0
+
+    def deliver(self, alert: Alert) -> None:
+        self.post(alert.to_dict())
+        self.delivered += 1
+
+
+class JsonlSpoolSink(AlertSink):
+    """Durable JSON-lines spool with audit-log-style segment rotation.
+
+    Alerts append to an open segment buffer; every ``segment_alerts``
+    appended alerts the buffer is written out as one
+    ``alerts-NNNNNN.jsonl`` file (call :meth:`flush` for the final
+    partial segment).  One JSON object per line, encoded via
+    ``Alert.to_dict`` — greppable on call, replayable in code.
+    """
+
+    def __init__(self, spool_dir, segment_alerts: int = 256, name: str = "spool") -> None:
+        if segment_alerts < 1:
+            raise ValueError("spool segment size must be positive")
+        self.spool_dir = Path(spool_dir)
+        self.segment_alerts = segment_alerts
+        self.name = name
+        self.segments_written = 0
+        self.total_spooled = 0
+        self._buffer: list[Alert] = []
+
+    def deliver(self, alert: Alert) -> None:
+        self._buffer.append(alert)
+        self.total_spooled += 1
+        if len(self._buffer) >= self.segment_alerts:
+            self._write_segment()
+
+    def _write_segment(self) -> None:
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        path = self.spool_dir / SPOOL_PATTERN.format(sequence=self.segments_written)
+        lines = "".join(json.dumps(alert.to_dict()) + "\n" for alert in self._buffer)
+        path.write_text(lines, encoding="utf-8")
+        self.segments_written += 1
+        self._buffer = []
+
+    def flush(self) -> None:
+        """Persist any partial segment so the spool holds every alert."""
+        if self._buffer:
+            self._write_segment()
+
+    @staticmethod
+    def load(spool_dir) -> list[Alert]:
+        """Every spooled alert, in delivery order, across all segments."""
+        alerts: list[Alert] = []
+        for path in sorted(Path(spool_dir).glob("alerts-*.jsonl")):
+            for line in path.read_text(encoding="utf-8").splitlines():
+                if line:
+                    alerts.append(Alert.from_dict(json.loads(line)))
+        return alerts
+
+
+def replay_spool(spool_dir) -> list[Alert]:
+    """Rebuild the alert stream a :class:`JsonlSpoolSink` persisted."""
+    return JsonlSpoolSink.load(spool_dir)
+
+
+class AlertBus:
+    """Bounded at-least-once fan-out from detectors to operator sinks.
+
+    ``capacity`` bounds the pending deque; a publish at capacity drops
+    the *new* alert (counted in ``dropped_backpressure``) rather than
+    evicting an undelivered one — an alert the bus accepted is never
+    silently lost, which is the half of at-least-once the bus itself
+    owns (the other half, duplicate tolerance, is the sinks').
+
+    ``clock`` supplies the publish timestamp (defaults to
+    :func:`time.time`); pass a deterministic callable in tests, or
+    ``None`` to leave detector timestamps untouched.
+    """
+
+    def __init__(self, capacity: int = 4096, clock=time.time) -> None:
+        if capacity < 1:
+            raise ValueError("bus capacity must be positive")
+        self.capacity = capacity
+        self.clock = clock
+        #: Pending (sequence, alert) entries not yet past every cursor.
+        self._pending: deque = deque()
+        #: Next sequence number to assign.
+        self._next_seq = 0
+        self._sinks: list[AlertSink] = []
+        #: Per-sink delivery cursor: the bus sequence number each sink
+        #: has confirmed up to (exclusive).
+        self._cursors: dict[str, int] = {}
+        #: Publishes refused because the queue was full.
+        self.dropped_backpressure = 0
+        #: Alerts accepted onto the bus over its lifetime.
+        self.published = 0
+        #: Per-sink lifetime delivery failure counts.
+        self.delivery_failures: dict[str, int] = {}
+
+    # -- wiring ------------------------------------------------------------------------
+
+    def add_sink(self, sink: AlertSink) -> AlertSink:
+        """Attach a sink; it starts at the current head (no backfill)."""
+        if sink.name in self._cursors:
+            raise ValueError(f"duplicate sink name: {sink.name!r}")
+        self._sinks.append(sink)
+        self._cursors[sink.name] = self._next_seq
+        self.delivery_failures[sink.name] = 0
+        return sink
+
+    @property
+    def sinks(self) -> tuple[AlertSink, ...]:
+        return tuple(self._sinks)
+
+    # -- publishing --------------------------------------------------------------------
+
+    def publish(self, alert: Alert) -> bool:
+        """Enqueue one alert; returns False when backpressure dropped it.
+
+        The pipelines' ``alert_sink`` hook points here, so publishing
+        must stay cheap: a timestamp, a bounds check, one append.
+        """
+        if len(self._pending) >= self.capacity:
+            self.dropped_backpressure += 1
+            return False
+        if self.clock is not None and alert.ts == 0.0:
+            alert = replace(alert, ts=self.clock())
+        self._pending.append((self._next_seq, alert))
+        self._next_seq += 1
+        self.published += 1
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    # -- delivery ----------------------------------------------------------------------
+
+    def pump(self) -> dict[str, int]:
+        """Deliver pending alerts to every sink; returns per-sink counts.
+
+        Each sink receives, in order, every pending alert past its
+        cursor.  A sink that raises stops receiving for this pump and
+        keeps its cursor at the failed alert, so the next pump retries
+        it first — at-least-once, never skip-on-failure.  Entries all
+        cursors have passed are discarded.
+        """
+        delivered: dict[str, int] = {}
+        for sink in self._sinks:
+            delivered[sink.name] = self._pump_sink(sink)
+        self._discard_delivered()
+        return delivered
+
+    def _pump_sink(self, sink: AlertSink) -> int:
+        cursor = self._cursors[sink.name]
+        count = 0
+        for sequence, alert in self._pending:
+            if sequence < cursor:
+                continue
+            try:
+                sink.deliver(alert)
+            except Exception:
+                self.delivery_failures[sink.name] += 1
+                break
+            cursor = sequence + 1
+            count += 1
+        self._cursors[sink.name] = cursor
+        return count
+
+    def _discard_delivered(self) -> None:
+        if not self._sinks:
+            # No consumers: keep the queue bounded by discarding.
+            self._pending.clear()
+            return
+        floor = min(self._cursors[sink.name] for sink in self._sinks)
+        pending = self._pending
+        while pending and pending[0][0] < floor:
+            pending.popleft()
+
+    # -- inspection --------------------------------------------------------------------
+
+    def lag(self) -> dict[str, int]:
+        """Undelivered alert count per sink (0 when fully drained)."""
+        head = self._next_seq
+        return {name: head - cursor for name, cursor in self._cursors.items()}
+
+    def flush(self) -> dict[str, int]:
+        """Pump until every sink is drained or stops making progress.
+
+        A persistently failing sink leaves residual lag rather than
+        looping forever; the caller can inspect :meth:`lag`.
+        """
+        total: dict[str, int] = {name: 0 for name in self._cursors}
+        while True:
+            delivered = self.pump()
+            for name, count in delivered.items():
+                total[name] += count
+            if not any(delivered.values()):
+                break
+        for sink in self._sinks:
+            if hasattr(sink, "flush"):
+                sink.flush()
+        return total

@@ -1,0 +1,150 @@
+"""The operator console: one object wiring the whole control plane.
+
+Everything below this module is a part — the bus, the router, the
+online baselines, the federated scans.  :class:`OperatorControlPlane`
+is the assembled machine an on-call operator (or an experiment) holds:
+
+* it builds (or accepts) an :class:`~repro.ops.bus.AlertBus` with the
+  standard sink set — the :class:`~repro.ops.routing.AlertRouter`, an
+  optional durable :class:`~repro.ops.bus.JsonlSpoolSink`, and a
+  :class:`~repro.ops.bus.MemorySink` feed for summaries;
+* it attaches the bus and a :class:`~repro.ops.federation
+  .FleetFederation` to the :class:`~repro.telemetry.pipeline
+  .FleetAuditor`, so every per-gateway and fleet-level alert flows
+  onto the bus as it fires;
+* :meth:`drive` is the per-burst operator tick: drain the gateway
+  collectors, run the federated scans, pump the bus — the three steps
+  every example and experiment would otherwise hand-sequence.
+
+:func:`online_detector_factory` is the detector stack for a fleet run
+under this control plane: the builtin integrity/spoof/burst detectors
+plus an :class:`~repro.ops.baselines.OnlineExfiltrationDetector` whose
+thresholds stream in from live traffic — no offline calibration pass
+anywhere.  Pass it as ``FleetAuditor(detector_factory=...)`` (each
+gateway gets fresh detector instances and its own baselines).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.telemetry.detectors import (
+    Detector,
+    PolicyViolationBurstDetector,
+    SpoofedTagDetector,
+    UnknownTagDetector,
+)
+from repro.telemetry.pipeline import FleetAuditor
+from repro.ops.baselines import OnlineExfilBaselines, OnlineExfiltrationDetector
+from repro.ops.bus import AlertBus, JsonlSpoolSink, MemorySink
+from repro.ops.federation import FleetFederation
+from repro.ops.routing import AlertRouter
+
+
+def online_detector_factory(
+    provisioned: dict[str, frozenset[str]] | None = None,
+    burst: int = 8,
+    fold_every: int = 256,
+    **baseline_kwargs,
+):
+    """A ``FleetAuditor`` detector factory with streaming exfil baselines.
+
+    Returns a callable ``gateway -> [detectors]`` producing the builtin
+    stack with :class:`OnlineExfiltrationDetector` in place of the
+    statically-budgeted one.  Every gateway gets fresh instances and
+    its own :class:`OnlineExfilBaselines` — per-gateway windows are
+    partial views, and each gateway learns the shape of *its* share.
+    """
+
+    def factory(gateway: str) -> list[Detector]:
+        detectors: list[Detector] = [
+            UnknownTagDetector(),
+            OnlineExfiltrationDetector(
+                baselines=OnlineExfilBaselines(**baseline_kwargs),
+                fold_every=fold_every,
+            ),
+            PolicyViolationBurstDetector(burst=burst),
+        ]
+        if provisioned is not None:
+            detectors.insert(1, SpoofedTagDetector(provisioned))
+        return detectors
+
+    return factory
+
+
+class OperatorControlPlane:
+    """Bus + routing + federation assembled around one fleet auditor.
+
+    ``auditor`` is the :class:`FleetAuditor` the deployment's gateways
+    publish into.  The console attaches the alert bus and federation to
+    it; afterwards, call :meth:`drive` once per processed burst and
+    :meth:`flush` at the end of a run.
+
+    ``clock`` stamps bus timestamps (pass a deterministic callable in
+    tests); ``spool_dir`` adds a durable JSON-lines alert spool.
+    """
+
+    def __init__(
+        self,
+        auditor: FleetAuditor,
+        bus: AlertBus | None = None,
+        router: AlertRouter | None = None,
+        federation: FleetFederation | None = None,
+        spool_dir=None,
+        clock=time.time,
+    ) -> None:
+        self.auditor = auditor
+        self.bus = bus if bus is not None else AlertBus(clock=clock)
+        self.router = router if router is not None else AlertRouter()
+        self.federation = federation if federation is not None else FleetFederation()
+        #: Every alert the bus delivered, in delivery order (the feed
+        #: the summary and the on-call example read).
+        self.feed = MemorySink(name="feed")
+        self.spool = None
+        if spool_dir is not None:
+            self.spool = JsonlSpoolSink(spool_dir)
+            self.bus.add_sink(self.spool)
+        self.bus.add_sink(self.router)
+        self.bus.add_sink(self.feed)
+        auditor.attach_bus(self.bus)
+        auditor.attach_federation(self.federation)
+
+    # -- the operator tick -------------------------------------------------------------
+
+    def drive(self) -> dict:
+        """One control-plane tick: drain collectors, scan fleet, pump bus.
+
+        Returns the tick's accounting: collector wall-clock, fresh
+        fleet alerts, per-sink deliveries.
+        """
+        drain_wall_s = self.auditor.drain()
+        fleet_alerts = self.auditor.scan_federated()
+        delivered = self.bus.pump()
+        return {
+            "drain_wall_s": drain_wall_s,
+            "fleet_alerts": len(fleet_alerts),
+            "delivered": delivered,
+        }
+
+    def flush(self) -> None:
+        """End of run: drain everything, deliver everything, spool it."""
+        self.auditor.flush()
+        self.auditor.scan_federated()
+        self.bus.flush()
+
+    # -- inspection --------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """One JSON-friendly view of the whole control plane's state."""
+        return {
+            "bus": {
+                "published": self.bus.published,
+                "pending": self.bus.pending,
+                "dropped_backpressure": self.bus.dropped_backpressure,
+                "delivery_failures": dict(self.bus.delivery_failures),
+                "lag": self.bus.lag(),
+            },
+            "routing": self.router.counts(),
+            "federation": self.federation.counts(),
+            "alerts": self.auditor.alert_counts(),
+        }

@@ -1,0 +1,201 @@
+"""Fleet-federated detectors: reassembling what flow hashing split up.
+
+Device traffic reaches gateways by flow hash over the 5-tuple, so an
+attacker who *rotates source ports* spreads one campaign across the
+whole fleet: each gateway's window sees ``1/G`` of the volume (or of
+the policy-denial burst) and every per-gateway detector stays under
+threshold.  The per-gateway view is not wrong — it is just partial by
+construction.
+
+:class:`FleetFederation` runs the cross-gateway counterparts over the
+per-gateway aggregator windows that
+:class:`~repro.telemetry.pipeline.FleetAuditor` already holds:
+
+* **exfiltration** — per-(device, destination) volumes *summed across
+  gateways*, judged against fleet-level
+  :class:`~repro.ops.baselines.OnlineExfilBaselines` (streaming, no
+  calibration replay).  Scan happens before fold, and the baselines'
+  pollution guard winsorizes over-threshold samples, so a split
+  campaign cannot calibrate itself into the merged model either.
+  Alerting holds off until at least one gateway's window has turned
+  over once — before that, merged volumes only ever grow and any
+  threshold folded from their prefixes is a moving target;
+* **policy bursts** — per-(device, app) windowed denial counts summed
+  across gateways (the aggregator maintains them incrementally for
+  exactly this consumer), alerting when the fleet-wide count reaches
+  the burst bar no single gateway reached;
+* **spoof campaigns** — correlation over per-gateway ``spoofed-tag``
+  alerts (consumed incrementally via per-pipeline cursors): one
+  whitelisted app's identity borrowed by several distinct devices is a
+  coordinated mimicry campaign, not a stray misconfiguration.
+
+Every alert fires once per key per federation lifetime and carries
+``source="fleet"`` — the routing layer bumps fleet-sourced severities,
+because a campaign only visible here is cross-gateway by definition.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.detectors import Alert
+from repro.ops.baselines import OnlineExfilBaselines
+
+
+class FleetFederation:
+    """Cross-gateway exfil/burst/spoof scans over per-gateway windows.
+
+    Drive :meth:`scan` once per drained burst (the
+    :class:`~repro.telemetry.pipeline.FleetAuditor` does, via
+    ``scan_federated``).  All state is deterministic functions of the
+    scanned windows — no clocks, no randomness — so a fixed trace
+    yields a fixed federated alert stream.
+    """
+
+    def __init__(
+        self,
+        baselines: OnlineExfilBaselines | None = None,
+        burst: int = 8,
+        campaign_devices: int = 3,
+    ) -> None:
+        if burst < 1:
+            raise ValueError("the fleet burst threshold must be positive")
+        if campaign_devices < 2:
+            raise ValueError("a spoof campaign needs at least two devices")
+        #: Fleet-level streaming thresholds over *merged* volumes.
+        self.baselines = baselines if baselines is not None else OnlineExfilBaselines()
+        self.burst = burst
+        self.campaign_devices = campaign_devices
+        self.scans = 0
+        self._exfil_fired: set[tuple[str, str]] = set()
+        self._burst_fired: set[tuple[str, str]] = set()
+        self._campaign_fired: set[str] = set()
+        #: app -> devices seen spoofing it (lifetime, fed by cursors).
+        self._spoofing_devices: dict[str, set[str]] = {}
+        #: pipeline source -> index of the next unconsumed alert.
+        self._alert_cursors: dict[str, int] = {}
+
+    # -- the scan ----------------------------------------------------------------------
+
+    def scan(self, pipelines: dict) -> list[Alert]:
+        """Run every federated analysis; returns the fresh fleet alerts."""
+        self.scans += 1
+        views = [pipeline.aggregator for pipeline in pipelines.values()]
+        fresh: list[Alert] = []
+        fresh.extend(self._scan_exfiltration(views))
+        fresh.extend(self._scan_bursts(views))
+        fresh.extend(self._scan_spoof_campaigns(pipelines))
+        return fresh
+
+    # -- exfiltration ------------------------------------------------------------------
+
+    def _merged_volumes(self, views) -> dict[tuple[str, str], int]:
+        merged: dict[tuple[str, str], int] = {}
+        for view in views:
+            for key, volume in view.volumes.items():
+                merged[key] = merged.get(key, 0) + volume
+        return merged
+
+    def _scan_exfiltration(self, views) -> list[Alert]:
+        merged = self._merged_volumes(views)
+        primed = any(view.seq >= view.window_packets for view in views)
+        if not primed:
+            # Still filling: ramp prefixes would bias the merged model
+            # low, so neither judge nor fold (see the module docstring).
+            return []
+        fired = self._exfil_fired
+        fresh: list[Alert] = []
+        # Judge against the thresholds learned from *previous* windows,
+        # then fold — the current window must not vouch for itself.
+        for key in sorted(merged):
+            if key in fired:
+                continue
+            volume = merged[key]
+            budget = self.baselines.threshold(key[0], key[1])
+            if volume <= budget:
+                continue
+            fired.add(key)
+            fresh.append(
+                Alert(
+                    kind="exfil-volume",
+                    device=key[0],
+                    dst_ip=key[1],
+                    source="fleet",
+                    detail=(
+                        f"{volume} bytes fleet-wide to one destination inside "
+                        f"the window (online baseline {budget:.0f})"
+                    ),
+                )
+            )
+        self.baselines.fold_volumes(merged)
+        return fresh
+
+    # -- policy bursts -----------------------------------------------------------------
+
+    def _scan_bursts(self, views) -> list[Alert]:
+        merged: dict[tuple[str, str], int] = {}
+        for view in views:
+            for key, count in view.policy_drops.items():
+                merged[key] = merged.get(key, 0) + count
+        fired = self._burst_fired
+        fresh: list[Alert] = []
+        for key in sorted(merged):
+            count = merged[key]
+            if count < self.burst or key in fired:
+                continue
+            fired.add(key)
+            fresh.append(
+                Alert(
+                    kind="policy-burst",
+                    device=key[0],
+                    app=key[1],
+                    source="fleet",
+                    detail=(
+                        f"{count} policy denials fleet-wide inside the window "
+                        f"(burst {self.burst})"
+                    ),
+                )
+            )
+        return fresh
+
+    # -- spoof campaigns ---------------------------------------------------------------
+
+    def _scan_spoof_campaigns(self, pipelines: dict) -> list[Alert]:
+        spoofing = self._spoofing_devices
+        for source in sorted(pipelines):
+            alerts = pipelines[source].alerts
+            cursor = self._alert_cursors.get(source, 0)
+            for alert in alerts[cursor:]:
+                if alert.kind == "spoofed-tag" and alert.app:
+                    devices = spoofing.get(alert.app)
+                    if devices is None:
+                        devices = spoofing[alert.app] = set()
+                    devices.add(alert.device)
+            self._alert_cursors[source] = len(alerts)
+        fresh: list[Alert] = []
+        for app in sorted(spoofing):
+            devices = spoofing[app]
+            if len(devices) < self.campaign_devices or app in self._campaign_fired:
+                continue
+            self._campaign_fired.add(app)
+            fresh.append(
+                Alert(
+                    kind="spoof-campaign",
+                    device=",".join(sorted(devices)),
+                    app=app,
+                    source="fleet",
+                    detail=(
+                        f"{len(devices)} distinct devices spoofing the identity "
+                        f"of {app}"
+                    ),
+                )
+            )
+        return fresh
+
+    # -- inspection --------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "scans": self.scans,
+            "exfil_pairs": len(self._exfil_fired),
+            "burst_keys": len(self._burst_fired),
+            "spoof_campaigns": len(self._campaign_fired),
+        }

@@ -13,6 +13,11 @@ ask questions of:
 * per **(device, destination)** pair: outbound payload bytes inside the
   window — the input to exfiltration-volume anomaly detection
   (:attr:`SlidingWindowAggregator.volumes`, maintained incrementally);
+* per **(device, app)** pair: policy denials (integrity failures
+  excluded) inside the window
+  (:attr:`SlidingWindowAggregator.policy_drops`, maintained
+  incrementally) — the input the fleet-level burst scan sums across
+  gateways to reassemble a denial campaign flow hashing split up;
 * per device: windowed tag-integrity failure counts
   (:meth:`SlidingWindowAggregator.device_integrity`), maintained on a
   side deque that only integrity events touch.
@@ -94,6 +99,9 @@ class SlidingWindowAggregator:
         self.seq = 0
         #: Outbound bytes per (device, destination) inside the window.
         self.volumes: dict[tuple[str, str], int] = {}
+        #: Policy denials (integrity failures excluded) per (device,
+        #: app) inside the window.
+        self.policy_drops: dict[tuple[str, str], int] = {}
         #: One compact tuple per in-window record:
         #: (device, app, source, dst, size, dropped, reason_flag).
         self._events: deque = deque()
@@ -114,14 +122,19 @@ class SlidingWindowAggregator:
         # exfiltration alerts for data that was never exfiltrated.
         size = 0 if dropped else record.payload_bytes
         flag = _REASON_FLAGS.get(record.reason, -1)
+        app = record.package_name or record.app_id or "(untagged)"
         volumes = self.volumes
         key = (device, dst)
         volumes[key] = volumes.get(key, 0) + size
+        if dropped and flag < 0:
+            drops = self.policy_drops
+            drop_key = (device, app)
+            drops[drop_key] = drops.get(drop_key, 0) + 1
         events = self._events
         events.append(
             (
                 device,
-                record.package_name or record.app_id or "(untagged)",
+                app,
                 source or "(gateway)",
                 dst,
                 size,
@@ -140,6 +153,14 @@ class SlidingWindowAggregator:
                 volumes[old_key] = remaining
             else:
                 volumes.pop(old_key, None)
+            if old[5] and old[6] < 0:
+                drops = self.policy_drops
+                old_drop_key = (old[0], old[1])
+                remaining_drops = drops.get(old_drop_key, 0) - 1
+                if remaining_drops > 0:
+                    drops[old_drop_key] = remaining_drops
+                else:
+                    drops.pop(old_drop_key, None)
         if flag >= 0:
             counts = self._integrity_counts.get(device)
             if counts is None:
@@ -175,6 +196,10 @@ class SlidingWindowAggregator:
 
     def window_volume(self, src_ip: str, dst_ip: str) -> int:
         return self.volumes.get((src_ip or "(unknown-device)", dst_ip), 0)
+
+    def window_policy_drops(self, src_ip: str, app: str) -> int:
+        """Policy denials for one (device, app) pair inside the window."""
+        return self.policy_drops.get((src_ip or "(unknown-device)", app), 0)
 
     def window_stats(self) -> dict[str, dict[str, WindowStats]]:
         """The full per-device / per-app / per-gateway window tables.
@@ -228,5 +253,9 @@ class SlidingWindowAggregator:
             "volumes": {
                 f"{device}->{dst}": total
                 for (device, dst), total in sorted(self.volumes.items())
+            },
+            "policy_drops": {
+                f"{device}:{app}": count
+                for (device, app), count in sorted(self.policy_drops.items())
             },
         }

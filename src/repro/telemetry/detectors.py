@@ -25,12 +25,16 @@ tags make visible and the conventional baselines cannot attribute:
 
 Alert dedup is cooldown-based: a detector re-arms a key after
 ``rearm_packets`` further records, so a sustained condition produces a
-bounded alert stream instead of one alert per packet.
+bounded alert stream instead of one alert per packet.  Cooldown keys
+always include the publishing *gateway*: detector instances may be
+shared across several gateway pipelines, and a campaign observed on two
+gateways must not half-suppress itself by disarming the other gateway's
+key.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.core.policy_enforcer import (
     REASON_DECODE_RANGE,
@@ -58,6 +62,11 @@ class Alert:
     #: Aggregator sequence number at which the alert fired.
     seq: int = 0
     packet_id: int = 0
+    #: Absolute wall-clock timestamp (unix seconds).  Detectors leave it
+    #: at 0.0 (they are deterministic functions of the record stream);
+    #: the alert bus stamps it at publish time, so spooled and
+    #: webhook-delivered alerts carry real operator-facing timestamps.
+    ts: float = 0.0
 
     def summary(self) -> str:
         parts = [f"[{self.kind}] device {self.device}"]
@@ -69,28 +78,73 @@ class Alert:
             parts.append(f"@ {self.source}")
         return " ".join(parts) + f": {self.detail}"
 
+    def to_dict(self) -> dict:
+        """A stable JSON-serializable mapping of every field.
+
+        The bus spool and webhook sinks both encode alerts through this
+        single codepath, so a spooled alert, a webhook payload and a
+        live :class:`Alert` always agree field for field (including the
+        absolute timestamp and the gateway ``source`` attribution).
+        """
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Alert":
+        """Rebuild an alert written by :meth:`to_dict`.
+
+        Unknown keys are rejected (a spool written by a newer schema
+        should fail loudly, not silently drop attribution); missing
+        optional fields fall back to their defaults.
+        """
+        known = {field.name for field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown alert fields: {sorted(unknown)}")
+        return cls(**payload)
+
 
 class Detector:
     """Base class: observe records, emit alerts, stay deterministic."""
 
     #: Records after which a fired (detector, key) pair may fire again.
     rearm_packets: int = 2048
+    #: True when the pipeline knows a cheap firing precondition for this
+    #: detector (builtin classes hard-code theirs; custom detectors set
+    #: this and implement :meth:`interesting` to keep the publish fast
+    #: path alive).
+    guarded: bool = False
 
     def __init__(self, rearm_packets: int | None = None) -> None:
         if rearm_packets is not None:
             self.rearm_packets = rearm_packets
         self._armed_at: dict = {}
 
-    def _ready(self, key, seq: int) -> bool:
-        """True when ``key`` is armed; firing disarms it for the cooldown."""
-        fired = self._armed_at.get(key)
+    def _ready(self, key, seq: int, source: str = "") -> bool:
+        """True when ``key`` is armed; firing disarms it for the cooldown.
+
+        ``source`` (the publishing gateway) is folded into the stored
+        key: a detector instance shared by several gateway pipelines
+        must keep one independent cooldown per gateway, or the same
+        campaign seen on two gateways suppresses half of itself.
+        """
+        full_key = (source, key)
+        fired = self._armed_at.get(full_key)
         if fired is not None and seq - fired < self.rearm_packets:
             return False
-        self._armed_at[key] = seq
+        self._armed_at[full_key] = seq
         return True
 
     def observe(self, record, source: str, window: SlidingWindowAggregator) -> Alert | None:
         raise NotImplementedError
+
+    def interesting(self, record, window: SlidingWindowAggregator) -> bool:
+        """Cheap precondition: may this record make :meth:`observe` fire?
+
+        Only consulted for ``guarded`` detectors that are not one of the
+        builtin classes (whose guards the pipeline inlines).  Returning
+        ``False`` must be exact — the pipeline will skip ``observe``.
+        """
+        return True
 
 
 class UnknownTagDetector(Detector):
@@ -101,6 +155,8 @@ class UnknownTagDetector(Detector):
     reported — at a real gateway even a single forged hash is worth a
     ticket.
     """
+
+    guarded = True
 
     def __init__(self, threshold: int = 1, rearm_packets: int | None = None) -> None:
         super().__init__(rearm_packets)
@@ -115,7 +171,7 @@ class UnknownTagDetector(Detector):
         failures = sum(window.device_integrity(record.src_ip))
         if failures < self.threshold:
             return None
-        if not self._ready((record.src_ip, reason), window.seq):
+        if not self._ready((record.src_ip, reason), window.seq, source):
             return None
         return Alert(
             kind="unknown-tag",
@@ -139,6 +195,8 @@ class SpoofedTagDetector(Detector):
     some process is borrowing a whitelisted app's identity.
     """
 
+    guarded = True
+
     def __init__(
         self,
         provisioned: dict[str, frozenset[str]],
@@ -158,7 +216,7 @@ class SpoofedTagDetector(Detector):
         allowed = self.provisioned.get(record.src_ip)
         if allowed is None or app_id in allowed:
             return None
-        if not self._ready((record.src_ip, app_id), window.seq):
+        if not self._ready((record.src_ip, app_id), window.seq, source):
             return None
         return Alert(
             kind="spoofed-tag",
@@ -184,6 +242,8 @@ class ExfiltrationVolumeDetector(Detector):
     here.
     """
 
+    guarded = True
+
     def __init__(
         self, window_bytes: int = 262144, rearm_packets: int | None = None
     ) -> None:
@@ -198,7 +258,7 @@ class ExfiltrationVolumeDetector(Detector):
         volume = window.window_volume(record.src_ip, record.dst_ip)
         if volume <= self.window_bytes:
             return None
-        if not self._ready((record.src_ip, record.dst_ip), window.seq):
+        if not self._ready((record.src_ip, record.dst_ip), window.seq, source):
             return None
         return Alert(
             kind="exfil-volume",
@@ -224,6 +284,8 @@ class PolicyViolationBurstDetector(Detector):
     app probing what it can get out.
     """
 
+    guarded = True
+
     def __init__(self, burst: int = 8, rearm_packets: int | None = None) -> None:
         super().__init__(rearm_packets)
         if burst < 1:
@@ -234,13 +296,17 @@ class PolicyViolationBurstDetector(Detector):
     def observe(self, record, source, window) -> Alert | None:
         if record.verdict is not Verdict.DROP or record.reason in INTEGRITY_REASONS:
             return None
+        # The burst counter is per gateway too: a shared instance must
+        # not let two gateways' independent drop trickles sum into one
+        # phantom burst neither gateway actually saw.
         key = (record.src_ip, record.package_name or record.app_id)
-        count = self._drops.get(key, 0) + 1
-        self._drops[key] = count
+        counter_key = (source, key)
+        count = self._drops.get(counter_key, 0) + 1
+        self._drops[counter_key] = count
         if count < self.burst:
             return None
-        self._drops[key] = 0
-        if not self._ready(key, window.seq):
+        self._drops[counter_key] = 0
+        if not self._ready(key, window.seq, source):
             return None
         return Alert(
             kind="policy-burst",

@@ -44,9 +44,11 @@ from repro.telemetry.detectors import (
     default_detectors,
 )
 
-#: Detector types the pipeline knows cheap firing preconditions for; a
-#: stack made only of these gets the guarded fast path in
-#: :meth:`TelemetryPipeline.publish`.
+#: Detector types the pipeline inlines cheap firing preconditions for.
+#: Other detectors keep the fast path alive by setting ``guarded = True``
+#: and implementing :meth:`~repro.telemetry.detectors.Detector.interesting`
+#: (e.g. the operator control plane's online-baseline exfiltration
+#: detector); any unguarded detector disables the fast path entirely.
 _GUARDED_DETECTORS = (
     UnknownTagDetector,
     SpoofedTagDetector,
@@ -74,6 +76,10 @@ class TelemetryPipeline(AuditSink):
     ) -> None:
         self.source = source
         self.aggregator = SlidingWindowAggregator(window_packets=window_packets)
+        #: Optional callable every appended alert is forwarded to (the
+        #: operator alert bus attaches itself here via
+        #: :meth:`FleetAuditor.attach_bus`).
+        self.alert_sink = None
         self.detectors = detectors if detectors is not None else default_detectors()
         self.audit_log = audit_log
         self.alerts: list[Alert] = []
@@ -98,11 +104,31 @@ class TelemetryPipeline(AuditSink):
         # Precompute the cheap firing guards.  The built-in detectors
         # can only fire on drops, integrity failures, unprovisioned tags
         # or over-budget volumes; when the stack consists solely of
-        # them, benign-accept records skip the detector loop entirely —
-        # this is what keeps publish affordable inside the gateway's
-        # timed hot loop.  Any custom detector disables the fast path.
+        # them (or of detectors declaring their own guard), benign
+        # records skip the detector loop entirely — this is what keeps
+        # publish affordable inside the gateway's timed hot loop.  Any
+        # unguarded custom detector disables the fast path.
         self._guarded = all(
-            isinstance(detector, _GUARDED_DETECTORS) for detector in self._detectors
+            isinstance(detector, _GUARDED_DETECTORS)
+            or getattr(detector, "guarded", False)
+            for detector in self._detectors
+        )
+        #: Guards of guarded non-builtin detectors, consulted after the
+        #: inlined builtin checks came up uninteresting.
+        self._extra_guards = tuple(
+            detector.interesting
+            for detector in self._detectors
+            if not isinstance(detector, _GUARDED_DETECTORS)
+            and getattr(detector, "guarded", False)
+        )
+        #: (stride, hook) pairs: detectors that fold completed window
+        #: state into streaming baselines.  Driven here — not from
+        #: ``observe`` — so folding happens even when the fast path
+        #: skips the detector loop for a benign record.
+        self._window_hooks = tuple(
+            (int(detector.fold_every), detector.on_window)
+            for detector in self._detectors
+            if getattr(detector, "fold_every", 0) and hasattr(detector, "on_window")
         )
         self._spoof_map = next(
             (
@@ -128,6 +154,11 @@ class TelemetryPipeline(AuditSink):
             self.audit_log.append(record)
         aggregator = self.aggregator
         aggregator.observe(record, label)
+        if self._window_hooks:
+            seq = aggregator.seq
+            for stride, hook in self._window_hooks:
+                if seq % stride == 0:
+                    hook(aggregator)
         if self._guarded:
             interesting = (
                 record.verdict is Verdict.DROP or record.reason in INTEGRITY_REASONS
@@ -143,11 +174,18 @@ class TelemetryPipeline(AuditSink):
                     > self._exfil_budget
                 )
             if not interesting:
+                for guard in self._extra_guards:
+                    if guard(record, aggregator):
+                        interesting = True
+                        break
+            if not interesting:
                 return
         for detector in self._detectors:
             alert = detector.observe(record, label, aggregator)
             if alert is not None:
                 self.alerts.append(alert)
+                if self.alert_sink is not None:
+                    self.alert_sink(alert)
 
     def alert_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -217,6 +255,12 @@ class FleetAuditor:
     :meth:`drain` (per burst, typically); ``buffered=False`` runs the
     full pipeline synchronously inside the enforcement loop — simpler,
     and what single-gateway examples use.
+
+    ``detector_factory`` (optional) overrides the default detector
+    stack: called with the gateway name, it returns the detector list
+    for that gateway's pipeline — how the operator control plane swaps
+    the offline-calibrated exfiltration detector for its online-baseline
+    one without this module depending on :mod:`repro.ops`.
     """
 
     def __init__(
@@ -229,6 +273,7 @@ class FleetAuditor:
         audit_capacity: int = 65536,
         segment_records: int = 1024,
         buffered: bool = True,
+        detector_factory=None,
     ) -> None:
         self.window_packets = window_packets
         self.provisioned = provisioned
@@ -238,11 +283,19 @@ class FleetAuditor:
         self.audit_capacity = audit_capacity
         self.segment_records = segment_records
         self.buffered = buffered
+        self.detector_factory = detector_factory
         self.pipelines: dict[str, TelemetryPipeline] = {}
         self.buffers: dict[str, TelemetryBuffer] = {}
         #: Alerts raised by fleet-level scans (not owned by one gateway).
         self.fleet_alerts: list[Alert] = []
         self._exfil_fired: set[tuple[str, str]] = set()
+        #: The operator alert bus, when one is attached: every pipeline
+        #: and fleet-level alert is forwarded into it as it fires.
+        self.bus = None
+        #: Fleet-level federated detectors (anything exposing
+        #: ``scan(pipelines) -> list[Alert]``, canonically a
+        #: :class:`repro.ops.federation.FleetFederation`).
+        self.federation = None
 
     # -- wiring ------------------------------------------------------------------------
 
@@ -264,22 +317,49 @@ class FleetAuditor:
                     spool_dir=Path(self.spool_dir) / gateway,
                     segment_records=self.segment_records,
                 )
-            pipeline = TelemetryPipeline(
-                window_packets=self.window_packets,
-                detectors=default_detectors(
+            if self.detector_factory is not None:
+                detectors = self.detector_factory(gateway)
+            else:
+                detectors = default_detectors(
                     provisioned=self.provisioned,
                     exfil_window_bytes=self.exfil_window_bytes,
                     burst=self.burst,
-                ),
+                )
+            pipeline = TelemetryPipeline(
+                window_packets=self.window_packets,
+                detectors=detectors,
                 audit_log=audit_log,
                 source=gateway,
             )
+            if self.bus is not None:
+                pipeline.alert_sink = self.bus.publish
             self.pipelines[gateway] = pipeline
             if self.buffered:
                 self.buffers[gateway] = TelemetryBuffer(pipeline)
         if self.buffered:
             return self.buffers[gateway]
         return pipeline
+
+    def attach_bus(self, bus) -> None:
+        """Forward every alert — per-gateway and fleet-level — into ``bus``.
+
+        ``bus`` is anything exposing ``publish(alert)``, canonically a
+        :class:`repro.ops.bus.AlertBus` (duck-typed so telemetry never
+        imports :mod:`repro.ops`).  Existing pipelines are rewired and
+        lazily-created ones inherit the sink.
+        """
+        self.bus = bus
+        for pipeline in self.pipelines.values():
+            pipeline.alert_sink = bus.publish
+
+    def attach_federation(self, federation) -> None:
+        """Install the fleet-level federated detector set.
+
+        ``federation`` exposes ``scan(pipelines) -> list[Alert]``; it is
+        driven via :meth:`scan_federated`, typically once per drained
+        burst.
+        """
+        self.federation = federation
 
     # -- collection --------------------------------------------------------------------
 
@@ -339,8 +419,27 @@ class FleetAuditor:
                     ),
                 )
             )
-        self.fleet_alerts.extend(fresh)
+        self._emit_fleet_alerts(fresh)
         return fresh
+
+    def scan_federated(self) -> list[Alert]:
+        """Run the attached federated detectors across every gateway window.
+
+        Returns the fresh fleet-level alerts (also appended to
+        :attr:`fleet_alerts` and forwarded to the bus).  No-op without
+        an attached federation.
+        """
+        if self.federation is None:
+            return []
+        fresh = self.federation.scan(self.pipelines)
+        self._emit_fleet_alerts(fresh)
+        return fresh
+
+    def _emit_fleet_alerts(self, fresh: list[Alert]) -> None:
+        self.fleet_alerts.extend(fresh)
+        if self.bus is not None:
+            for alert in fresh:
+                self.bus.publish(alert)
 
     # -- aggregated inspection ---------------------------------------------------------
 

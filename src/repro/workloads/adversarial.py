@@ -37,7 +37,8 @@ import random
 from dataclasses import dataclass, field
 
 from repro.core.encoding import StackTraceEncoder
-from repro.netstack.ip import IPOptions, IPPacket
+from repro.netstack.ip import IPPROTO_TCP, IPOptions, IPPacket
+from repro.netstack.netfilter import flow_hash
 
 #: Scenario labels, in generation order.  ``benign`` marks everything else.
 SCENARIOS = (
@@ -50,6 +51,11 @@ SCENARIOS = (
 
 #: Scenarios on which address/size baselines have no signal at all.
 EVASIVE_SCENARIOS = ("tag_stripping", "tag_spoofing", "tag_replay", "low_and_slow")
+
+#: Cross-gateway campaigns built by
+#: :meth:`AdversarialWorkload.build_cross_gateway`: each one rotates
+#: source ports so flow-hash routing spreads it across the whole fleet.
+CROSS_GATEWAY_SCENARIOS = ("split_exfil", "split_burst", "spoof_campaign")
 
 
 @dataclass
@@ -69,6 +75,17 @@ class AdversarialConfig:
     low_and_slow_flows: int = 32
     #: Payload per bulk-exfiltration packet (one fat flow).
     bulk_payload: int = 1400
+    #: Destination of the port-rotated split exfiltration — its own
+    #: fresh endpoint, so split-campaign alert keys never collide with
+    #: the single-gateway scenarios' destination.
+    split_endpoint: str = "sync.meshbackup.net"
+    #: Payload per split-exfiltration packet.
+    split_payload: int = 1000
+    #: Distinct source ports the rotation uses per gateway (each port is
+    #: one flow, pinned to its gateway by the flow hash).
+    ports_per_gateway: int = 4
+    #: Spoofed packets each campaign device sends.
+    campaign_packets_per_device: int = 12
 
 
 @dataclass
@@ -100,12 +117,74 @@ class AdversarialTrace:
         database.remove(self.revoked_md5)
 
 
+@dataclass
+class CrossGatewayTrace:
+    """Port-rotated campaign packets plus their scoring ground truth.
+
+    Every campaign here is sized so that *no single gateway* crosses its
+    detection threshold while the fleet-wide merged view does — the
+    labels are the ground truth the ops experiment scores per-gateway
+    vs federated detection against.
+    """
+
+    gateways: int
+    packets_by_scenario: dict[str, list[IPPacket]] = field(default_factory=dict)
+    #: packet_id -> scenario label for every campaign packet.
+    labels: dict[int, str] = field(default_factory=dict)
+    #: The insider device running the split exfil / burst campaigns.
+    attacker_ip: str = ""
+    #: Resolved IP of the split-exfiltration destination.
+    split_dst_ip: str = ""
+    #: Outbound bytes the split campaign sends via each gateway.
+    split_bytes_per_gateway: dict[int, int] = field(default_factory=dict)
+    #: Policy denials the burst campaign provokes at each gateway.
+    burst_drops_per_gateway: dict[int, int] = field(default_factory=dict)
+    #: The sideloaded app whose denied functionality the burst probes.
+    probe_package: str = ""
+    probe_app_id: str = ""
+    #: The whitelisted app the campaign devices collectively spoof.
+    campaign_package: str = ""
+    campaign_app_id: str = ""
+    campaign_device_ips: list[str] = field(default_factory=list)
+
+    def packets(self, scenario: str) -> list[IPPacket]:
+        return self.packets_by_scenario.get(scenario, [])
+
+    def attack_packet_count(self) -> int:
+        return sum(len(packets) for packets in self.packets_by_scenario.values())
+
+
+class _FlowProbe:
+    """Just enough of a packet for :func:`flow_hash`: the 5-tuple."""
+
+    __slots__ = ("flow_tuple",)
+
+    def __init__(self, flow_tuple: tuple) -> None:
+        self.flow_tuple = flow_tuple
+
+
 class AdversarialWorkload:
     """Generate the attack scenarios over one provisioned device fleet."""
 
     def __init__(self, device_fleet, config: AdversarialConfig | None = None) -> None:
         self.fleet = device_fleet
         self.config = config or AdversarialConfig()
+        #: (options, package, app_id) of the sideloaded probe app, once
+        #: :meth:`prepare_probe_app` has found one.
+        self._probe_cache: tuple[IPOptions, str, str] | None = None
+
+    def insider_device(self) -> str:
+        """The IP of the insider device the split campaigns run from.
+
+        Deterministic and cheap, so experiments can learn this device's
+        baselines *before* building the campaign that must slip under
+        them (the attacker knows their own address).
+        """
+        flows = self.fleet.build_flows()
+        login_flows = [flow for flow in flows if flow.functionality == "login"]
+        if not login_flows:
+            login_flows = flows
+        return min(login_flows, key=lambda flow: (flow.src_ip, flow.src_port)).src_ip
 
     # -- scenario building -------------------------------------------------------------
 
@@ -241,6 +320,273 @@ class AdversarialWorkload:
             for packet in packets:
                 trace.labels[packet.packet_id] = scenario
         return trace
+
+    # -- cross-gateway campaigns -------------------------------------------------------
+
+    def build_cross_gateway(
+        self,
+        gateways: int,
+        per_gateway_budget_bytes: int,
+        fleet_budget_bytes: int,
+        burst_threshold: int,
+        campaign_devices: int = 3,
+    ) -> CrossGatewayTrace:
+        """Campaigns that rotate source ports to hide from every gateway.
+
+        Flow-hash routing pins each flow to one gateway, so an attacker
+        that rotates ports splits its campaign across the fleet; each
+        scenario is sized so every gateway's share stays under the
+        per-gateway bar while the fleet-wide total is over the fleet
+        bar — per-gateway detectors miss it by construction, federated
+        ones must not:
+
+        * ``split_exfil`` — the insider device uploads
+          > ``fleet_budget_bytes`` to one fresh destination, but under
+          ``per_gateway_budget_bytes`` through any single gateway;
+        * ``split_burst`` — a sideloaded (legitimately enrolled) probe
+          app steers into denied functionality ``burst_threshold - 2``
+          times per gateway: no gateway sees a burst, the fleet-wide
+          denial count is over the bar;
+        * ``spoof_campaign`` — ``campaign_devices`` distinct devices
+          spoof one whitelisted app.  Each gateway sees isolated
+          mimicry (caught locally); only the federation can see the
+          coordination.
+        """
+        if gateways < 2:
+            raise ValueError("cross-gateway evasion needs at least two gateways")
+        if burst_threshold < 3:
+            raise ValueError("the burst bar must be >= 3 for a per-gateway gap")
+        if gateways * (burst_threshold - 2) < burst_threshold:
+            raise ValueError(
+                "split burst cannot reach the fleet bar: "
+                f"{gateways} gateway(s) x {burst_threshold - 2} drops < "
+                f"{burst_threshold}"
+            )
+        config = self.config
+        fleet = self.fleet
+        flows = fleet.build_flows()
+        network = fleet.deployment.network
+        trace = CrossGatewayTrace(gateways=gateways)
+        if not network.dns.knows_name(config.split_endpoint):
+            network.add_server(config.split_endpoint, role="external")
+        split_ip = network.dns.resolve(config.split_endpoint)
+        trace.split_dst_ip = split_ip
+
+        login_flows = [flow for flow in flows if flow.functionality == "login"]
+        if not login_flows:
+            login_flows = flows
+        insider_flow = min(login_flows, key=lambda flow: (flow.src_ip, flow.src_port))
+        attacker_ip = insider_flow.src_ip
+        trace.attacker_ip = attacker_ip
+
+        # -- split exfil: balanced port rotation, per-gateway volume caps.
+        payload = config.split_payload
+        # Stay clearly under the per-gateway bar, land clearly over the
+        # fleet bar; infeasible geometry is an error, not a silent
+        # mislabel (the labels are scoring ground truth).
+        share_cap = int(0.75 * per_gateway_budget_bytes)
+        target_total = int(1.25 * fleet_budget_bytes) + 1
+        share = -(-target_total // gateways)
+        if share > share_cap:
+            raise ValueError(
+                "split exfil cannot evade: the needed per-gateway share "
+                f"({share} B) exceeds 75% of the per-gateway budget "
+                f"({per_gateway_budget_bytes} B); more gateways or a lower "
+                "fleet budget needed"
+            )
+        ports = self._rotation_ports(attacker_ip, split_ip, gateways, base_port=56000)
+        split_packets: list[IPPacket] = []
+        per_gateway_packets = -(-share // payload)
+        for gateway_index in range(gateways):
+            sent = 0
+            for index in range(per_gateway_packets):
+                port = ports[gateway_index][index % len(ports[gateway_index])]
+                split_packets.append(
+                    IPPacket(
+                        src_ip=attacker_ip,
+                        dst_ip=split_ip,
+                        src_port=port,
+                        dst_port=443,
+                        payload_size=payload,
+                        options=insider_flow.options,
+                        provenance={"adversarial": "split_exfil"},
+                    )
+                )
+                sent += payload
+            trace.split_bytes_per_gateway[gateway_index] = sent
+        trace.packets_by_scenario["split_exfil"] = split_packets
+
+        # -- split burst: denied probes, burst-2 per gateway.
+        probe_options, probe_package, probe_app_id = self.prepare_probe_app(attacker_ip)
+        trace.probe_package = probe_package
+        trace.probe_app_id = probe_app_id
+        burst_ports = self._rotation_ports(attacker_ip, split_ip, gateways, base_port=57000)
+        per_gateway_drops = burst_threshold - 2
+        burst_packets: list[IPPacket] = []
+        for gateway_index in range(gateways):
+            for index in range(per_gateway_drops):
+                port = burst_ports[gateway_index][index % len(burst_ports[gateway_index])]
+                burst_packets.append(
+                    IPPacket(
+                        src_ip=attacker_ip,
+                        dst_ip=split_ip,
+                        src_port=port,
+                        dst_port=443,
+                        payload_size=256,
+                        options=probe_options,
+                        provenance={"adversarial": "split_burst"},
+                    )
+                )
+            trace.burst_drops_per_gateway[gateway_index] = per_gateway_drops
+        trace.packets_by_scenario["split_burst"] = burst_packets
+
+        # -- spoof campaign: K devices borrowing one whitelisted identity.
+        spoof_flow, attacker_ips = self._pick_campaign(
+            login_flows, fleet.provisioning_map(), campaign_devices
+        )
+        trace.campaign_package = spoof_flow.package_name
+        trace.campaign_app_id = self._app_id_of(spoof_flow)
+        trace.campaign_device_ips = attacker_ips
+        campaign_packets: list[IPPacket] = []
+        for device_index, device_ip in enumerate(attacker_ips):
+            device_ports = self._rotation_ports(
+                device_ip, split_ip, gateways, base_port=58000 + 100 * device_index
+            )
+            for index in range(config.campaign_packets_per_device):
+                gateway_index = index % gateways
+                port = device_ports[gateway_index][index % len(device_ports[gateway_index])]
+                campaign_packets.append(
+                    IPPacket(
+                        src_ip=device_ip,
+                        dst_ip=split_ip,
+                        src_port=port,
+                        dst_port=443,
+                        payload_size=300,
+                        options=spoof_flow.options,
+                        provenance={"adversarial": "spoof_campaign"},
+                    )
+                )
+        trace.packets_by_scenario["spoof_campaign"] = campaign_packets
+
+        for scenario, packets in trace.packets_by_scenario.items():
+            for packet in packets:
+                trace.labels[packet.packet_id] = scenario
+        return trace
+
+    def _rotation_ports(
+        self, src_ip: str, dst_ip: str, gateways: int, base_port: int
+    ) -> list[list[int]]:
+        """Source ports bucketed by the gateway their flow hashes to.
+
+        Walks ports upward from ``base_port`` until every gateway has
+        ``ports_per_gateway`` of them — the attacker-side computation is
+        trivial because the flow hash is public and deterministic (the
+        evasion needs no luck, just arithmetic).
+        """
+        per_gateway = self.config.ports_per_gateway
+        buckets: list[list[int]] = [[] for _ in range(gateways)]
+        filled = 0
+        port = base_port
+        while filled < gateways * per_gateway:
+            if port > base_port + 65535:  # pragma: no cover - crc32 is uniform
+                raise RuntimeError("could not balance ports across gateways")
+            probe = _FlowProbe((src_ip, port, dst_ip, 443, IPPROTO_TCP))
+            bucket = flow_hash(probe) % gateways
+            if len(buckets[bucket]) < per_gateway:
+                buckets[bucket].append(port)
+                filled += 1
+            port += 1
+        return buckets
+
+    def _pick_campaign(
+        self, flows, provisioning, campaign_devices: int
+    ) -> tuple:
+        """A (flow, attacker_ips) pair: ``campaign_devices`` devices that
+        all lack the flow's app.  Deterministic: first match in sorted order."""
+        for flow in sorted(flows, key=lambda f: (f.package_name, f.src_ip, f.src_port)):
+            app_id = self._app_id_of(flow)
+            if not app_id:
+                continue
+            lacking = [
+                device_ip
+                for device_ip in sorted(provisioning)
+                if device_ip != flow.src_ip and app_id not in provisioning[device_ip]
+            ]
+            if len(lacking) >= campaign_devices:
+                return flow, lacking[:campaign_devices]
+        raise ValueError(
+            f"no app is missing from {campaign_devices} devices; the spoof "
+            "campaign needs a sparser install base (more devices or apps)"
+        )
+
+    def prepare_probe_app(self, attacker_ip: str | None = None) -> tuple[IPOptions, str, str]:
+        """Sideload a fresh app on the attacker device; return a tag for a
+        *denied* method of it.
+
+        The app is legitimately enrolled and installed (no integrity or
+        spoof signal — the probe traffic is pure policy denial), and the
+        denied method index is found the way the attacker would find it:
+        probe a throwaway enforcer with the public policy until a tag
+        draws a denial.  Candidates without a denied method are
+        un-enrolled again, so only the probe app itself ever lands in
+        the database or on the device.
+
+        Public and idempotent so experiments can call it *before*
+        snapshotting the fleet's provisioning map — a probe app
+        sideloaded after the snapshot would read as tag mimicry, which
+        is exactly the signal this traffic must not carry.
+        """
+        if self._probe_cache is not None:
+            return self._probe_cache
+        from repro.core.policy_enforcer import PolicyEnforcer
+        from repro.netstack.netfilter import Verdict
+        from repro.workloads.corpus import CorpusConfig, CorpusGenerator
+
+        if attacker_ip is None:
+            attacker_ip = self.insider_device()
+        deployment = self.fleet.deployment
+        database = deployment.database
+        encoder = StackTraceEncoder(index_width=deployment.index_width)
+        provisioned = self.fleet.provisioned_by_ip(attacker_ip)
+        existing = {entry.md5 for entry in database.entries()}
+        for offset in range(16):
+            generator = CorpusGenerator(
+                CorpusConfig(n_apps=1, seed=self.config.seed + 11000 + offset)
+            )
+            app = generator.generate()[0]
+            if app.apk.md5 in existing:
+                continue
+            deployment.enroll_app(app.apk)
+            entry = database.lookup_md5(app.apk.md5)
+            probe = PolicyEnforcer(
+                database=database,
+                policy=deployment.policy,
+                index_width=deployment.index_width,
+                keep_records=True,
+            )
+            for index in range(entry.method_count):
+                options = encoder.encode_option(entry.app_id, [index])
+                packet = IPPacket(
+                    src_ip=attacker_ip,
+                    dst_ip="203.0.113.1",
+                    src_port=57999,
+                    dst_port=443,
+                    payload_size=64,
+                    options=options,
+                )
+                verdict, _ = probe.process(packet)
+                record = probe.records[-1]
+                if verdict is Verdict.DROP and record.package_name:
+                    # A decoded, known tag that still drew DROP: a policy
+                    # denial, not an integrity failure.
+                    self.fleet.sideload_app(provisioned, app)
+                    self._probe_cache = (options, entry.package_name, entry.app_id)
+                    return self._probe_cache
+            database.remove(app.apk.md5)
+        raise ValueError(
+            "no generated app exposes a policy-denied method; widen the deny "
+            "policy or the candidate app range"
+        )
 
     # -- pieces ------------------------------------------------------------------------
 

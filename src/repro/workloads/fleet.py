@@ -223,6 +223,30 @@ class DeviceFleet:
             for flow in chosen
         ]
 
+    def sideload_app(self, provisioned, app) -> None:
+        """Install one more app on an already-provisioned device.
+
+        Enrolls the app with the Offline Analyzer if the database lacks
+        it, installs the apk on the device, and records it in the
+        install map so :meth:`provisioning_map` reflects the new
+        enrolment — packets the device then sends with this app's tag
+        are legitimate, not mimicry.  Cached flow/trace schedules are
+        deliberately left untouched: a sideloaded app adds no benign
+        flows (the cross-gateway workload hand-builds its packets).
+        """
+        if self.deployment.database.lookup_md5(app.apk.md5) is None:
+            self.deployment.enroll_app(app.apk)
+        provisioned.device.install(app.apk, app.behavior)
+        self.installed[provisioned.device.name].append(app)
+
+    def provisioned_by_ip(self, device_ip: str):
+        """The provisioned device holding one enterprise IP."""
+        self.provision()
+        for provisioned in self.provisioned:
+            if provisioned.device.ip == device_ip:
+                return provisioned
+        raise KeyError(f"no provisioned device has IP {device_ip}")
+
     # -- inspection --------------------------------------------------------------------
 
     def device_count(self) -> int:

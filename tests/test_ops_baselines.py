@@ -1,0 +1,124 @@
+"""Streaming exfil baselines: estimators, hierarchy, pollution guard."""
+
+import math
+import random
+
+from repro.ops.baselines import (
+    EwmaStat,
+    OnlineExfilBaselines,
+    P2Quantile,
+)
+
+
+def test_ewma_tracks_a_constant_stream_exactly():
+    stat = EwmaStat(alpha=0.3)
+    for _ in range(50):
+        stat.update(1000.0)
+    assert stat.mean == 1000.0
+    assert stat.std == 0.0
+
+
+def test_ewma_mean_converges_toward_a_level_shift():
+    stat = EwmaStat(alpha=0.3)
+    for _ in range(20):
+        stat.update(100.0)
+    for _ in range(40):
+        stat.update(500.0)
+    assert 480.0 < stat.mean <= 500.0
+
+
+def test_p2_quantile_approximates_the_true_quantile():
+    rng = random.Random(11)
+    samples = [rng.uniform(0.0, 1000.0) for _ in range(5000)]
+    estimator = P2Quantile(p=0.9)
+    for sample in samples:
+        estimator.update(sample)
+    exact = sorted(samples)[int(0.9 * len(samples))]
+    assert abs(estimator.value() - exact) / exact < 0.05
+
+
+def test_p2_quantile_is_exact_below_six_samples():
+    estimator = P2Quantile(p=0.5)
+    for sample in (5.0, 1.0, 3.0):
+        estimator.update(sample)
+    assert estimator.value() == 3.0
+
+
+def test_threshold_is_infinite_until_min_samples():
+    baselines = OnlineExfilBaselines(min_samples=3)
+    for _ in range(2):
+        baselines.fold_volumes({("dev", "dst"): 1000})
+    assert baselines.threshold("dev", "dst") == math.inf
+    baselines.fold_volumes({("dev", "dst"): 1000})
+    assert baselines.threshold("dev", "dst") < math.inf
+
+
+def test_threshold_falls_back_pair_to_device_to_global():
+    baselines = OnlineExfilBaselines(min_samples=2, floor=0.0)
+    # Two folds calibrate ("dev", "a") and the device; one fold of the
+    # second pair leaves it below min_samples.
+    baselines.fold_volumes({("dev", "a"): 1000})
+    baselines.fold_volumes({("dev", "a"): 1000, ("dev", "b"): 2000})
+    pair_threshold = baselines.threshold("dev", "a")
+    assert pair_threshold < math.inf
+    # ("dev", "b") has one sample: falls back to the device estimator.
+    device_threshold = baselines.threshold("dev", "b")
+    assert device_threshold < math.inf
+    assert device_threshold != math.inf
+    # An unseen device falls back to the global estimator.
+    assert baselines.threshold("ghost", "x") < math.inf
+
+
+def test_floor_dominates_small_volume_thresholds():
+    baselines = OnlineExfilBaselines(min_samples=2, floor=12288.0)
+    for _ in range(10):
+        baselines.fold_volumes({("dev", "dst"): 100})
+    assert baselines.threshold("dev", "dst") == 12288.0
+
+
+def test_winsorization_clamps_over_threshold_samples():
+    baselines = OnlineExfilBaselines(min_samples=2, floor=0.0, margin=2.0)
+    for _ in range(10):
+        baselines.fold_volumes({("dev", "dst"): 1000})
+    calibrated = baselines.threshold("dev", "dst")
+    assert baselines.clamped == 0
+    # A sudden 100x spike folds as the threshold value, not its own.
+    baselines.fold_volumes({("dev", "dst"): 100_000})
+    assert baselines.clamped == 1
+    after = baselines.threshold("dev", "dst")
+    # The guard bounds how far one polluted fold can drag the model: the
+    # clamped sample moves the mean/variance by at most the old
+    # threshold, nowhere near the raw spike.
+    assert after < 4 * calibrated
+    assert after < 100_000
+
+
+def test_attacker_cannot_ramp_the_threshold_past_the_margin_rate():
+    baselines = OnlineExfilBaselines(min_samples=2, floor=0.0)
+    for _ in range(10):
+        baselines.fold_volumes({("dev", "dst"): 1000})
+    previous = baselines.threshold("dev", "dst")
+    for _ in range(5):
+        spike = previous * 100
+        baselines.fold_volumes({("dev", "dst"): spike})
+        current = baselines.threshold("dev", "dst")
+        # Growth per fold is a small bounded factor — the threshold
+        # chases the clamped value geometrically, never jumping to the
+        # spike the attacker actually sent.
+        assert current < 4 * previous
+        assert current < spike
+        previous = current
+
+
+def test_fold_order_independence():
+    volumes = {(f"dev{i}", "dst"): 1000 + 137 * i for i in range(20)}
+    shuffled_keys = list(volumes)
+    random.Random(3).shuffle(shuffled_keys)
+    shuffled = {key: volumes[key] for key in shuffled_keys}
+    a, b = OnlineExfilBaselines(min_samples=1), OnlineExfilBaselines(min_samples=1)
+    for _ in range(4):
+        a.fold_volumes(volumes)
+        b.fold_volumes(shuffled)
+    for key in volumes:
+        assert a.threshold(*key) == b.threshold(*key)
+    assert a.snapshot() == b.snapshot()

@@ -1,0 +1,150 @@
+"""The durable alert bus: bounded publish, at-least-once sinks, spool."""
+
+import pytest
+
+from repro.ops.bus import (
+    AlertBus,
+    AlertSink,
+    JsonlSpoolSink,
+    MemorySink,
+    WebhookSink,
+    replay_spool,
+)
+from repro.telemetry.detectors import Alert
+
+
+def make_alert(n: int, kind: str = "exfil-volume") -> Alert:
+    return Alert(
+        kind=kind,
+        device=f"10.0.0.{n}",
+        dst_ip="203.0.113.9",
+        source="gw0",
+        seq=n,
+        detail=f"alert {n}",
+    )
+
+
+class FlakySink(AlertSink):
+    """Fails on a chosen delivery, then recovers — the redelivery probe."""
+
+    def __init__(self, fail_at: int) -> None:
+        self.name = "flaky"
+        self.fail_at = fail_at
+        self.attempts = 0
+        self.alerts: list[Alert] = []
+
+    def deliver(self, alert: Alert) -> None:
+        self.attempts += 1
+        if self.attempts == self.fail_at:
+            raise RuntimeError("injected delivery failure")
+        self.alerts.append(alert)
+
+
+def test_publish_and_pump_preserves_order():
+    bus = AlertBus(clock=None)
+    feed = bus.add_sink(MemorySink())
+    alerts = [make_alert(n) for n in range(5)]
+    for alert in alerts:
+        assert bus.publish(alert)
+    assert bus.pending == 5
+    delivered = bus.pump()
+    assert delivered == {"memory": 5}
+    assert feed.alerts == alerts
+    assert bus.pending == 0
+    assert bus.lag() == {"memory": 0}
+
+
+def test_backpressure_drops_the_new_alert_and_counts_it():
+    bus = AlertBus(capacity=2, clock=None)
+    bus.add_sink(MemorySink())
+    assert bus.publish(make_alert(0))
+    assert bus.publish(make_alert(1))
+    assert not bus.publish(make_alert(2))
+    assert bus.dropped_backpressure == 1
+    # The accepted alerts are intact — backpressure never evicts.
+    assert bus.published == 2
+
+
+def test_clock_stamps_publish_time_once():
+    ticks = iter([100.0, 200.0])
+    bus = AlertBus(clock=lambda: next(ticks))
+    feed = bus.add_sink(MemorySink())
+    bus.publish(make_alert(0))
+    prestamped = Alert(kind="policy-burst", device="10.0.0.2", detail="", ts=7.5)
+    bus.publish(prestamped)
+    bus.pump()
+    assert feed.alerts[0].ts == 100.0
+    # An alert that already carries a timestamp keeps it.
+    assert feed.alerts[1].ts == 7.5
+
+
+def test_failing_sink_keeps_cursor_and_replays_without_loss():
+    bus = AlertBus(clock=None)
+    flaky = FlakySink(fail_at=2)
+    bus.add_sink(flaky)
+    healthy = bus.add_sink(MemorySink())
+    alerts = [make_alert(n) for n in range(4)]
+    for alert in alerts:
+        bus.publish(alert)
+    delivered = bus.pump()
+    # The flaky sink stopped at its failure; the healthy one got it all.
+    assert delivered == {"flaky": 1, "memory": 4}
+    assert bus.delivery_failures["flaky"] == 1
+    assert bus.lag()["flaky"] == 3
+    assert healthy.alerts == alerts
+    # Next pump retries from the failed alert — nothing skipped.
+    bus.pump()
+    assert flaky.alerts == alerts
+    assert bus.lag()["flaky"] == 0
+    assert bus.pending == 0
+
+
+def test_duplicate_sink_names_are_rejected():
+    bus = AlertBus(clock=None)
+    bus.add_sink(MemorySink(name="feed"))
+    with pytest.raises(ValueError):
+        bus.add_sink(MemorySink(name="feed"))
+
+
+def test_webhook_sink_posts_serialized_alerts():
+    posts: list[dict] = []
+    bus = AlertBus(clock=None)
+    hook = bus.add_sink(WebhookSink(posts.append))
+    bus.publish(make_alert(3))
+    bus.pump()
+    assert hook.delivered == 1
+    assert posts == [make_alert(3).to_dict()]
+
+
+def test_spool_rotates_segments_and_replays_losslessly(tmp_path):
+    bus = AlertBus(clock=None)
+    spool = bus.add_sink(JsonlSpoolSink(tmp_path / "alerts", segment_alerts=3))
+    alerts = [make_alert(n, kind="spoofed-tag") for n in range(8)]
+    for alert in alerts:
+        bus.publish(alert)
+    bus.flush()
+    # 8 alerts at 3 per segment: two full segments plus a flushed tail.
+    assert spool.segments_written == 3
+    assert spool.total_spooled == 8
+    replayed = replay_spool(tmp_path / "alerts")
+    assert [alert.to_dict() for alert in replayed] == [
+        alert.to_dict() for alert in alerts
+    ]
+
+
+def test_flush_leaves_residual_lag_for_a_dead_sink():
+    class DeadSink(AlertSink):
+        name = "dead"
+
+        def deliver(self, alert):
+            raise RuntimeError("permanently down")
+
+    bus = AlertBus(clock=None)
+    bus.add_sink(DeadSink())
+    feed = bus.add_sink(MemorySink())
+    for n in range(3):
+        bus.publish(make_alert(n))
+    bus.flush()
+    # flush terminates instead of spinning, and the healthy sink drained.
+    assert bus.lag()["dead"] == 3
+    assert len(feed.alerts) == 3

@@ -1,0 +1,158 @@
+"""Fleet federation: reassembling campaigns flow hashing split apart."""
+
+import pytest
+
+from repro.experiments.ops import run_ops_bench
+from repro.ops.baselines import OnlineExfilBaselines, OnlineExfiltrationDetector
+from repro.ops.federation import FleetFederation
+from repro.telemetry.detectors import Alert
+
+
+class FakeView:
+    """One gateway's aggregator window, reduced to what the scans read."""
+
+    def __init__(self, volumes=None, policy_drops=None, seq=1000, window_packets=100):
+        self.volumes = dict(volumes or {})
+        self.policy_drops = dict(policy_drops or {})
+        self.seq = seq
+        self.window_packets = window_packets
+
+
+class FakePipeline:
+    def __init__(self, view, alerts=None):
+        self.aggregator = view
+        self.alerts = list(alerts or [])
+
+
+def calibrated_baselines(level=1000, folds=10):
+    baselines = OnlineExfilBaselines(min_samples=2, floor=0.0)
+    for _ in range(folds):
+        baselines.fold_volumes({("10.0.0.5", "203.0.113.9"): level})
+    return baselines
+
+
+def split_pipelines(per_gateway_volume, gateways=4):
+    key = ("10.0.0.5", "203.0.113.9")
+    return {
+        f"gw{i}": FakePipeline(FakeView(volumes={key: per_gateway_volume}))
+        for i in range(gateways)
+    }
+
+
+def test_split_exfil_fires_only_when_merged_volume_crosses():
+    baselines = calibrated_baselines(level=1000)
+    fleet_budget = baselines.threshold("10.0.0.5", "203.0.113.9")
+    federation = FleetFederation(baselines=baselines)
+    # Each gateway holds a quarter of the campaign: under budget alone,
+    # over it merged.
+    share = int(fleet_budget / 4) + 200
+    assert share < fleet_budget < 4 * share
+    alerts = federation.scan(split_pipelines(share))
+    exfil = [a for a in alerts if a.kind == "exfil-volume"]
+    assert len(exfil) == 1
+    assert exfil[0].source == "fleet"
+    assert exfil[0].device == "10.0.0.5"
+    # Fired-once: the same merged view does not re-alert.
+    assert federation.scan(split_pipelines(share)) == []
+
+
+def test_unprimed_windows_neither_judge_nor_fold():
+    baselines = calibrated_baselines(level=1000)
+    federation = FleetFederation(baselines=baselines)
+    folds_before = baselines.folds
+    pipelines = {
+        "gw0": FakePipeline(
+            FakeView(volumes={("10.0.0.5", "203.0.113.9"): 10**9},
+                     seq=50, window_packets=100)
+        )
+    }
+    # A still-filling window is a growing prefix: no alert, no fold.
+    assert federation.scan(pipelines) == []
+    assert baselines.folds == folds_before
+
+
+def test_split_burst_fires_at_the_fleet_wide_count():
+    federation = FleetFederation(baselines=calibrated_baselines(), burst=8)
+    key = ("10.0.0.7", "com.evil.app")
+    # 3 denials per gateway: under every per-gateway burst bar of 8,
+    # 12 fleet-wide.
+    pipelines = {
+        f"gw{i}": FakePipeline(FakeView(policy_drops={key: 3})) for i in range(4)
+    }
+    alerts = federation.scan(pipelines)
+    bursts = [a for a in alerts if a.kind == "policy-burst"]
+    assert len(bursts) == 1
+    assert bursts[0].device == "10.0.0.7"
+    assert bursts[0].source == "fleet"
+
+
+def test_spoof_campaign_needs_distinct_devices_across_gateways():
+    federation = FleetFederation(baselines=calibrated_baselines(), campaign_devices=3)
+    spoof = lambda device, gw: Alert(
+        kind="spoofed-tag", device=device, app="com.good.app", source=gw, detail=""
+    )
+    pipelines = {
+        "gw0": FakePipeline(FakeView(), alerts=[spoof("10.0.0.1", "gw0")]),
+        "gw1": FakePipeline(FakeView(), alerts=[spoof("10.0.0.2", "gw1")]),
+    }
+    assert federation.scan(pipelines) == []
+    # A third distinct device crosses the campaign bar.
+    pipelines["gw1"].alerts.append(spoof("10.0.0.3", "gw1"))
+    alerts = federation.scan(pipelines)
+    campaigns = [a for a in alerts if a.kind == "spoof-campaign"]
+    assert len(campaigns) == 1
+    assert campaigns[0].device == "10.0.0.1,10.0.0.2,10.0.0.3"
+    assert campaigns[0].source == "fleet"
+    # Cursors consumed the per-gateway alerts: no re-fire.
+    assert federation.scan(pipelines) == []
+    assert federation.counts()["spoof_campaigns"] == 1
+
+
+def test_detector_cooldowns_are_keyed_per_gateway():
+    # Regression: a detector instance shared across gateway pipelines
+    # must keep one cooldown per gateway — a campaign observed on two
+    # gateways must not half-suppress itself.
+    detector = OnlineExfiltrationDetector(baselines=OnlineExfilBaselines())
+    key = ("10.0.0.5", "203.0.113.9")
+    assert detector._ready(key, seq=100, source="gw0")
+    assert detector._ready(key, seq=100, source="gw1")
+    # Within one gateway the cooldown still holds.
+    assert not detector._ready(key, seq=101, source="gw0")
+
+
+@pytest.fixture(scope="module")
+def small_ops_result():
+    return run_ops_bench(
+        packets=3000,
+        devices=24,
+        gateways=4,
+        shards_per_gateway=2,
+        seed=7,
+        bursts=12,
+        measure_overhead=False,
+    )
+
+
+def test_split_campaigns_missed_per_gateway_caught_federated(small_ops_result):
+    # The end-to-end version of the claim, at test scale: flow-hash
+    # splitting hides the campaigns from every per-gateway detector and
+    # the federation reassembles them without losing precision.
+    per_gateway = small_ops_result.scores["per-gateway"]
+    federated = small_ops_result.scores["federated"]
+    assert per_gateway.recall("split_exfil") < 1.0
+    assert per_gateway.recall("split_burst") < 1.0
+    assert federated.recall("split_exfil") == 1.0
+    assert federated.recall("split_burst") == 1.0
+    assert federated.recall("spoof_campaign") == 1.0
+    assert federated.precision > 0.9
+
+
+def test_streaming_budgets_calibrate_during_warmup(small_ops_result):
+    assert 0 < small_ops_result.per_gateway_budget_bytes
+    assert small_ops_result.per_gateway_budget_bytes < small_ops_result.fleet_budget_bytes
+    assert small_ops_result.baseline_snapshot["folds"] > 0
+
+
+def test_alert_spool_survives_the_run(small_ops_result):
+    assert small_ops_result.spool_replay_ok
+    assert small_ops_result.spool_alerts > 0

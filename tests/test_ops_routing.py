@@ -1,0 +1,101 @@
+"""Operator routing: severities, first-match tables, dedup, escalation."""
+
+import pytest
+
+from repro.ops.routing import (
+    AlertRouter,
+    EscalationPolicy,
+    RouteRule,
+    RoutingTable,
+    severity_for,
+)
+from repro.telemetry.detectors import Alert
+
+
+def alert(kind="exfil-volume", device="10.0.0.5", dst="203.0.113.9", source="gw0"):
+    return Alert(kind=kind, device=device, dst_ip=dst, source=source, detail="")
+
+
+def test_fleet_sourced_alerts_get_a_severity_bump():
+    assert severity_for(alert(kind="policy-burst", source="gw0")) == "warning"
+    assert severity_for(alert(kind="policy-burst", source="fleet")) == "critical"
+    # Criticals have nowhere to go and stay critical.
+    assert severity_for(alert(kind="exfil-volume", source="fleet")) == "critical"
+
+
+def test_routing_table_first_match_wins_with_wildcards():
+    table = RoutingTable(
+        rules=[
+            RouteRule(kind="exfil-volume", group="vip", route="page"),
+            RouteRule(kind="exfil-volume", route="ticket"),
+            RouteRule(route="log"),
+        ],
+        device_groups={"10.0.0.5": "vip"},
+    )
+    assert table.route(alert(device="10.0.0.5")) == "page"
+    assert table.route(alert(device="10.0.0.6")) == "ticket"
+    assert table.route(alert(kind="unknown-tag")) == "log"
+
+
+def test_route_rule_rejects_unknown_routes_and_severities():
+    with pytest.raises(ValueError):
+        RouteRule(route="carrier-pigeon")
+    with pytest.raises(ValueError):
+        RouteRule(severity="apocalyptic")
+
+
+def test_default_table_pages_criticals_and_tickets_warnings():
+    router = AlertRouter()
+    router.deliver(alert(kind="spoofed-tag"))
+    router.deliver(alert(kind="policy-burst", device="10.0.0.6"))
+    counts = router.counts()
+    assert counts["pages"] == 1
+    assert counts["tickets"] == 1
+
+
+def test_dedup_suppresses_inside_the_cooldown_across_gateways():
+    router = AlertRouter(cooldown=64)
+    # Three gateways reporting the same (kind, device, dst) are one
+    # incident: the dedup key deliberately excludes the gateway.
+    for gateway in ("gw0", "gw1", "gw2"):
+        router.deliver(alert(source=gateway))
+    counts = router.counts()
+    assert counts["pages"] == 1
+    assert counts["deduped"] == 2
+
+
+def test_dedup_rearms_after_the_cooldown():
+    router = AlertRouter(cooldown=2)
+    router.deliver(alert())
+    router.deliver(alert())  # 1 after last routing: suppressed
+    router.deliver(alert())  # 2 after: re-armed
+    counts = router.counts()
+    assert counts["pages"] == 2
+    assert counts["deduped"] == 1
+
+
+def test_refiring_key_escalates_to_a_page():
+    router = AlertRouter(
+        cooldown=1,  # disable dedup so every firing routes
+        escalation=EscalationPolicy(threshold=3, window=256),
+    )
+    ticket_alert = alert(kind="policy-burst")
+    router.deliver(ticket_alert)
+    router.deliver(ticket_alert)
+    assert router.counts()["pages"] == 0
+    router.deliver(ticket_alert)
+    counts = router.counts()
+    # The third firing inside the window synthesizes a page even though
+    # the table routes warnings to tickets.
+    assert counts["pages"] == 1
+    assert counts["escalated"] == 1
+    assert router.pages[0].escalated
+
+
+def test_escalation_policy_validates_its_shape():
+    with pytest.raises(ValueError):
+        EscalationPolicy(threshold=1)
+    with pytest.raises(ValueError):
+        EscalationPolicy(window=0)
+    with pytest.raises(ValueError):
+        AlertRouter(cooldown=0)

@@ -178,3 +178,106 @@ def test_adversarial_trace_is_deterministic_in_the_seed():
         ]
     assert first.spoofed_package == second.spoofed_package
     assert first.revoked_package == second.revoked_package
+
+
+# -- operator control-plane invariants (PR 7) ----------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    volumes=st.lists(
+        st.tuples(
+            st.sampled_from(DEVICES[:3]),
+            st.sampled_from(DESTS),
+            st.integers(min_value=1, max_value=500_000),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    folds=st.integers(min_value=1, max_value=5),
+    shuffle_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_online_baselines_ignore_ingestion_order(volumes, folds, shuffle_seed):
+    """EWMA + P² calibration is a function of the volume *tables*, not of
+    dict insertion order: shuffled ingestion yields identical thresholds,
+    caches and counters."""
+    import random
+
+    from repro.ops.baselines import OnlineExfilBaselines
+
+    table = {}
+    for device, dst, volume in volumes:
+        table[(device, dst)] = table.get((device, dst), 0) + volume
+    keys = list(table)
+    random.Random(shuffle_seed).shuffle(keys)
+    shuffled = {key: table[key] for key in keys}
+
+    ordered_model = OnlineExfilBaselines(min_samples=1)
+    shuffled_model = OnlineExfilBaselines(min_samples=1)
+    for _ in range(folds):
+        ordered_model.fold_volumes(table)
+        shuffled_model.fold_volumes(shuffled)
+
+    assert ordered_model.snapshot() == shuffled_model.snapshot()
+    for device, dst in table:
+        assert ordered_model.threshold(device, dst) == shuffled_model.threshold(
+            device, dst
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_alerts=st.integers(min_value=1, max_value=40),
+    fail_on=st.sets(st.integers(min_value=1, max_value=60), max_size=20),
+    pump_every=st.integers(min_value=1, max_value=7),
+)
+def test_alert_bus_replay_covers_every_alert_after_sink_failures(
+    n_alerts, fail_on, pump_every
+):
+    """At-least-once, property-stated: whatever deliveries a sink fails,
+    the final flushed stream contains every published alert, in order,
+    with no duplicates reaching a sink that confirms deliveries."""
+    from repro.ops.bus import AlertBus, AlertSink, MemorySink
+    from repro.telemetry.detectors import Alert
+
+    class InjectedFailureSink(AlertSink):
+        name = "flaky"
+
+        def __init__(self):
+            self.attempts = 0
+            self.alerts = []
+
+        def deliver(self, alert):
+            self.attempts += 1
+            if self.attempts in fail_on:
+                raise RuntimeError("injected failure")
+            self.alerts.append(alert)
+
+    bus = AlertBus(clock=None)
+    flaky = InjectedFailureSink()
+    bus.add_sink(flaky)
+    witness = bus.add_sink(MemorySink())
+
+    published = []
+    for n in range(n_alerts):
+        alert = Alert(
+            kind="exfil-volume", device=f"10.0.0.{n % 7}", detail=f"a{n}", seq=n
+        )
+        assert bus.publish(alert)
+        published.append(alert)
+        if (n + 1) % pump_every == 0:
+            bus.pump()
+    # One flush stops on no-progress when failures land back-to-back;
+    # the injected failure set is finite, so a bounded retry loop (the
+    # operator's crontab, morally) always drains the bus completely.
+    for _ in range(len(fail_on) + 1):
+        bus.flush()
+        if not any(bus.lag().values()):
+            break
+
+    assert flaky.alerts == published
+    assert witness.alerts == published
+    assert bus.lag() == {"flaky": 0, "memory": 0}
+    assert bus.delivery_failures["flaky"] == sum(
+        1 for attempt in fail_on if attempt <= flaky.attempts
+    )
