@@ -13,9 +13,14 @@ and checks the properties the fleet runtime must hold:
 * convergence lag opens while edits are committed (replicas off the
   live push path) and closes on catch-up replay;
 * flow-hash routing spreads the fleet's traffic across every gateway;
-* the real ``multiprocessing`` shard backend produces verdicts
-  identical to the sequential model, and on multi-core hosts beats it
-  in measured wall-clock on the 10k-packet replay;
+* the real ``multiprocessing`` shard backends (fork-per-batch and the
+  persistent worker pool) produce verdicts identical to the sequential
+  model, and on multi-core hosts beat it in measured wall-clock on the
+  10k-packet replay;
+* the persistent pool amortizes worker setup across the batched replay,
+  so it beats fork-per-batch wall-clock on multi-core hosts and its
+  amortized per-batch IPC cost lands in BENCH_fleet.json next to the
+  fork backend's per-batch setup cost;
 * a gateway attaching after heavy policy churn bootstraps from the
   compacted log's snapshot in O(suffix) records — never more than
   suffix + 1 — instead of replaying the full history, and still lands
@@ -204,6 +209,8 @@ def test_late_joiner_converges_and_matches_head_verdicts(late_joiner_result):
 
 def test_process_backend_verdict_identical(backend_result):
     assert backend_result.packets == PACKETS
+    # One flag covers all three backends: sequential, fork-per-batch
+    # and the persistent pool must agree packet for packet.
     assert backend_result.verdicts_match
 
 
@@ -213,3 +220,79 @@ def test_process_backend_beats_sequential_wall_clock(backend_result):
     # The acceptance bar for the modelled parallel speedup: the real
     # fork backend must win on actual wall-clock, not just in the model.
     assert backend_result.speedup > 1.0
+
+
+def test_bench_shard_backends(benchmark, backend_result):
+    # The timed body re-runs the three-way comparison; the pool-vs-fork
+    # rows (measured walls + amortized per-batch IPC cost) ride to
+    # BENCH_fleet.json in extra_info.
+    result = benchmark.pedantic(
+        lambda: run_shard_backend_comparison(
+            packets=PACKETS, shards=4, corpus_apps=6, seed=7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["shard_backends"] = {
+        "packets": result.packets,
+        "batches": result.batches,
+        "shards": result.shards,
+        "cpus": result.cpus,
+        "sequential_wall_s": result.sequential_wall_s,
+        "process_wall_s": result.process_wall_s,
+        "pool_wall_s": result.pool_wall_s,
+        "process_ipc_ms_per_batch": result.process_ipc_ms_per_batch,
+        "pool_ipc_ms_per_batch": result.pool_ipc_ms_per_batch,
+        "pool_vs_process": result.pool_vs_process,
+        "verdicts_match": result.verdicts_match,
+    }
+    print("\n" + result.summary())
+    assert result.verdicts_match
+
+
+@timing_sensitive
+@multicore
+def test_pool_backend_beats_fork_wall_clock(backend_result):
+    # The tentpole acceptance bar: long-lived workers that skip the
+    # per-batch fork must beat fork-per-batch on measured wall-clock,
+    # and on multi-core hosts also beat the sequential baseline.
+    assert backend_result.pool_vs_process > 1.0
+    assert backend_result.pool_speedup > 1.0
+
+
+def test_bench_fleet_pool(benchmark):
+    # The gateway-pool fleet run: pipelined bursts against live worker
+    # delta pushes, with the measured pipelined wall and pool health
+    # counters carried to BENCH_fleet.json.
+    result = benchmark.pedantic(
+        lambda: run_fleet_bench(
+            packets=PACKETS,
+            devices=DEVICES,
+            gateways=GATEWAYS,
+            shards_per_gateway=SHARDS,
+            edits=EDITS,
+            seed=7,
+            backend_packets=0,
+            backend="pool",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["fleet_pool"] = {
+        "packets": result.packets,
+        "gateways": result.gateways,
+        "backend": result.fleet_backend,
+        "measured_wall_s": result.fleet_measured_wall_s,
+        "modelled_compute_s": result.fleet_wall_s,
+        "delta_pushes": result.pool_delta_pushes,
+        "worker_crashes": result.pool_worker_crashes,
+        "verdicts_match": result.verdicts_match,
+    }
+    print("\n" + result.table())
+    # Replication through long-lived workers must never change what the
+    # policy decides.
+    assert result.verdicts_match
+    assert result.converged
+    if result.fleet_backend == "pool":
+        assert result.fleet_measured_wall_s > 0.0
+        assert result.pool_delta_pushes > 0

@@ -48,9 +48,9 @@ Usage::
     python -m repro.cli policy compact store.json
     python -m repro.cli case-study cloud-storage
     python -m repro.cli experiments --fig3-apps 200 --fig4-iterations 300
-    python -m repro.cli gateway-bench --packets 10000 --shards 4
+    python -m repro.cli gateway-bench --packets 10000 --shards 4 --backend pool
     python -m repro.cli policy-churn --packets 10000 --edits 24
-    python -m repro.cli fleet --packets 10000 --devices 120 --gateways 3
+    python -m repro.cli fleet --packets 10000 --devices 120 --gateways 3 --backend pool
     python -m repro.cli audit --packets 8000 --devices 60 --gateways 2
     python -m repro.cli ops --packets 12000 --devices 60 --gateways 4
 """
@@ -262,6 +262,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+#: CLI spelling -> runtime spelling for execution backends.
+_BACKEND_CHOICES = {"serial": "sequential", "process": "process", "pool": "pool"}
+
+
 def _cmd_gateway_bench(args: argparse.Namespace) -> int:
     try:
         result = run_gateway_bench(
@@ -270,6 +274,7 @@ def _cmd_gateway_bench(args: argparse.Namespace) -> int:
             shards=args.shards,
             corpus_apps=args.corpus_apps,
             seed=args.seed,
+            backend=_BACKEND_CHOICES[args.backend],
         )
     except ValueError as error:
         print(f"gateway-bench rejected: {error}", file=sys.stderr)
@@ -299,6 +304,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             corpus_apps=args.corpus_apps,
             seed=args.seed,
             backend_packets=0 if args.skip_backend else args.backend_packets,
+            backend=_BACKEND_CHOICES[args.backend],
         )
     except ValueError as error:
         print(f"fleet rejected: {error}", file=sys.stderr)
@@ -508,6 +514,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also drive the Figure-4 stress workload through the sharded "
         "gateway and report latency + kpps (0 disables)",
     )
+    gateway.add_argument(
+        "--backend",
+        choices=tuple(_BACKEND_CHOICES),
+        default="serial",
+        help="execution engine for the sharded rows: serial (in-process "
+        "model), process (fork-per-batch), or pool (persistent worker "
+        "pool with delta push); process/pool need the POSIX fork start "
+        "method and fall back to serial with a warning where it is "
+        "unavailable",
+    )
     gateway.set_defaults(func=_cmd_gateway_bench)
 
     churn = subparsers.add_parser(
@@ -568,6 +584,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-late-joiner",
         action="store_true",
         help="skip the late-joiner bootstrap-cost scenario",
+    )
+    fleet.add_argument(
+        "--backend",
+        choices=tuple(_BACKEND_CHOICES),
+        default="serial",
+        help="fleet execution engine: serial (in-process model), process "
+        "(fork each gateway's shards per batch), or pool (long-lived "
+        "gateway workers with pipelined bursts and delta push); "
+        "process/pool need the POSIX fork start method and fall back to "
+        "serial with a warning where it is unavailable",
     )
     fleet.set_defaults(func=_cmd_fleet)
 

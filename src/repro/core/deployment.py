@@ -52,6 +52,7 @@ class BorderPatrolDeployment:
         enforcer_shards: int = 1,
         num_gateways: int = 1,
         shard_backend: str = "sequential",
+        gateway_backend: str = "sequential",
         keep_records: bool = True,
         compact_every: int | None = None,
     ) -> None:
@@ -107,6 +108,7 @@ class BorderPatrolDeployment:
                 shards_per_gateway=enforcer_shards,
                 live=True,
                 shard_backend=shard_backend,
+                backend=gateway_backend,
                 compact_every=compact_every,
                 **enforcer_kwargs,
             )
@@ -137,6 +139,11 @@ class BorderPatrolDeployment:
             self.policy_store = PolicyStore.from_policy(enforcer_kwargs["policy"])
             self.policy_store.compact_every = compact_every
             self.policy_store.subscribe(self.enforcer, push=False)
+            # A pool-backed sharded enforcer wants the id-addressed store so
+            # policy edits reach its live workers as compact delta records.
+            attach_control = getattr(self.enforcer, "attach_control", None)
+            if attach_control is not None:
+                attach_control(self.policy_store)
             self.network.install_queue_chain(
                 enforcer=self.enforcer,
                 sanitizer=self.sanitizer,

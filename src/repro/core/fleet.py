@@ -25,7 +25,9 @@ fleet experiment (:mod:`repro.experiments.fleet`) asserts exactly that.
 
 from __future__ import annotations
 
+import logging
 import time
+import weakref
 from dataclasses import dataclass, field
 
 from repro.core.policy import Policy
@@ -40,6 +42,12 @@ from repro.core.policy_store import (
 from repro.netstack.ip import IPPacket
 from repro.netstack.netfilter import Verdict, flow_hash
 from repro.netstack.sharding import ShardedEnforcer
+from repro.runtime.pool import GatewayWorkerPool, fork_available
+
+logger = logging.getLogger(__name__)
+
+#: Supported :meth:`GatewayFleet.process_batch_timed` execution backends.
+FLEET_BACKENDS = ("sequential", "pool")
 
 
 @dataclass
@@ -56,6 +64,11 @@ class FleetBatchResult:
     results: list[tuple[Verdict, IPPacket]]
     gateway_elapsed_s: list[float]
     gateway_packet_counts: list[int]
+    backend: str = "sequential"
+    #: End-to-end measured wall-clock of the burst (``pool`` backend:
+    #: submit-to-harvest including IPC; ``sequential``: 0.0, the burst
+    #: ran in-process and only the model applies).
+    measured_wall_s: float = 0.0
 
     @property
     def parallel_wall_s(self) -> float:
@@ -93,6 +106,7 @@ class GatewayFleet:
         shards_per_gateway: int = 1,
         live: bool = True,
         shard_backend: str = "sequential",
+        backend: str = "sequential",
         compact_every: int | None = None,
         **enforcer_kwargs,
     ) -> None:
@@ -100,6 +114,33 @@ class GatewayFleet:
             raise ValueError("a gateway fleet needs at least one gateway")
         if store is not None and policy is not None:
             raise ValueError("pass either a policy or an existing store, not both")
+        if backend not in FLEET_BACKENDS:
+            raise ValueError(
+                f"unknown fleet backend {backend!r}; choose from {FLEET_BACKENDS}"
+            )
+        if backend == "pool" and shard_backend != "sequential":
+            # Gateway workers fork whole replicas; an enforcer holding
+            # its own active pool (or forking per batch) inside that
+            # fork would inherit dead pipe ends — shards run serially
+            # in-process inside each gateway worker instead.
+            raise ValueError(
+                "the gateway pool backend runs each gateway's shards "
+                "in-process; use shard_backend='sequential'"
+            )
+        self.requested_backend = backend
+        self.degraded = False
+        self._local_stats = EnforcerStats()
+        if backend == "pool" and not fork_available():
+            logger.warning(
+                "fleet backend 'pool' needs the fork start method, which this "
+                "platform lacks; degrading to sequential execution"
+            )
+            self.degraded = True
+            self._local_stats.backend_fallbacks += 1
+            backend = "sequential"
+        self.backend = backend
+        self._pool = None
+        self._pool_finalizer = None
         if store is None:
             store = PolicyStore.from_policy(
                 policy if policy is not None else Policy.allow_all(), name="fleet-policy"
@@ -179,6 +220,9 @@ class GatewayFleet:
         committed.  It then joins flow-hash routing, and the live push
         path if the fleet is live.
         """
+        # Flow-hash routing and the worker set both change shape; fresh
+        # workers (including one for the joiner) fork at the next burst.
+        self._restart_pool()
         replica = GatewayReplica.from_log(
             self._build_enforcer(),
             self.store.delta_log,
@@ -232,6 +276,9 @@ class GatewayFleet:
             replica.enforcer.attach_audit_sink(
                 auditor.pipeline_for(replica.name), replica.name
             )
+        # Pool workers install their record-capture hooks at fork time;
+        # a pipeline attached afterwards would go unseen, so respawn.
+        self._restart_pool()
 
     def attach_ops(self, control_plane) -> None:
         """Wire the operator control plane's telemetry onto every gateway.
@@ -272,8 +319,14 @@ class GatewayFleet:
 
         Packets are grouped by gateway, each group runs on its gateway's
         enforcer (sharded gateways model their own internal parallelism),
-        and verdicts are stitched back into input order.
+        and verdicts are stitched back into input order.  With
+        ``backend="pool"`` the gateways genuinely run in parallel as
+        persistent workers (see :meth:`submit_burst` for the pipelined
+        form) and ``measured_wall_s`` is the real end-to-end elapsed
+        time of the burst.
         """
+        if self.backend == "pool" and packets:
+            return self.collect_burst(self.submit_burst(packets))
         groups: list[list[int]] = [[] for _ in range(self.num_gateways)]
         for position, packet in enumerate(packets):
             groups[self.gateway_index(packet)].append(position)
@@ -299,15 +352,77 @@ class GatewayFleet:
             gateway_packet_counts=[len(positions) for positions in groups],
         )
 
+    # -- persistent gateway workers ----------------------------------------------------
+
+    def _ensure_pool(self) -> GatewayWorkerPool:
+        if self._pool is None:
+            self._pool = GatewayWorkerPool(self.replicas)
+            # The finalizer holds only the pool (not self): leaked
+            # fleets still reap their daemon workers at GC.
+            self._pool_finalizer = weakref.finalize(self, self._pool.close)
+        return self._pool
+
+    def _restart_pool(self) -> None:
+        if self._pool is not None:
+            self._local_stats.merge(self._pool.stats)
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            self._pool.close()
+            self._pool = None
+
+    def close(self) -> None:
+        """Stop gateway pool workers, if any.  Safe on any backend."""
+        self._restart_pool()
+
+    def submit_burst(self, packets: list[IPPacket]) -> int:
+        """Hand a burst to the gateway workers without waiting.
+
+        Each worker is first caught up from the delta log **to its own
+        parent replica's version** — live replicas push workers to the
+        head, staged (canary) replicas hold their workers at the staged
+        version — then the burst is routed.  The parent is free to
+        commit edits, drain telemetry or catch replicas up while the
+        workers enforce; pipe FIFO order keeps the worker-side replay of
+        records and batches in exactly the serial interleaving.
+        """
+        pool = self._ensure_pool()
+        pool.push_log(
+            self.store.delta_log,
+            [replica.version for replica in self.replicas],
+        )
+        return pool.submit(packets)
+
+    def collect_burst(self, token: int | None = None) -> FleetBatchResult:
+        """Harvest a submitted burst (default: the oldest outstanding)."""
+        burst = self._ensure_pool().collect(token)
+        return FleetBatchResult(
+            results=burst.results,
+            gateway_elapsed_s=burst.worker_elapsed_s,
+            gateway_packet_counts=burst.worker_packet_counts,
+            backend="pool",
+            measured_wall_s=burst.wall_s,
+        )
+
     # -- aggregated inspection ----------------------------------------------------------
 
     def aggregate_stats(self) -> EnforcerStats:
-        """Every gateway's counters folded into one fleet-wide view."""
+        """Every gateway's counters folded into one fleet-wide view,
+        plus runtime-level counters (pool health, degradation)."""
         total = EnforcerStats()
         for replica in self.replicas:
             total.merge(replica.enforcer.stats)
+        total.merge(self._local_stats)
+        if self._pool is not None:
+            total.merge(self._pool.stats)
         return total
 
     def reset(self) -> None:
         for replica in self.replicas:
             replica.enforcer.reset()
+        # Worker-side state cannot rewind in place; fresh forks at the
+        # next pool burst start from the reset replicas.
+        self._restart_pool()
+        self._local_stats = EnforcerStats()
+        if self.degraded:
+            self._local_stats.backend_fallbacks += 1

@@ -71,7 +71,17 @@ def available_cpus() -> int:
 
 @dataclass
 class ShardBackendComparison:
-    """Sequential vs multiprocessing execution of one sharded replay."""
+    """Sequential vs fork-per-batch vs persistent pool on one batched replay.
+
+    The replay is split into ``batches`` equal bursts and every backend
+    processes the identical burst sequence.  Fork-per-batch pays worker
+    setup (fork + shard-state inheritance + teardown) on *every* burst;
+    the pool forks its workers once and amortizes that cost across the
+    whole run, so the two ``*_ipc_ms_per_batch`` figures — measured
+    wall minus the modelled in-worker compute, spread over the burst
+    count — are the head-to-head number for the runtime overhead each
+    parallel backend adds on top of the actual enforcement work.
+    """
 
     packets: int
     shards: int
@@ -79,6 +89,13 @@ class ShardBackendComparison:
     sequential_wall_s: float
     process_wall_s: float
     verdicts_match: bool
+    batches: int = 1
+    pool_wall_s: float = 0.0
+    #: Modelled in-worker compute (sum over bursts of the slowest
+    #: shard's elapsed): the wall each parallel backend would cost if
+    #: fork/IPC were free.
+    process_compute_s: float = 0.0
+    pool_compute_s: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -87,13 +104,70 @@ class ShardBackendComparison:
             return float("inf")
         return self.sequential_wall_s / self.process_wall_s
 
+    @property
+    def pool_speedup(self) -> float:
+        """Real wall-clock speedup of the pool backend over sequential."""
+        if self.pool_wall_s <= 0:
+            return float("inf")
+        return self.sequential_wall_s / self.pool_wall_s
+
+    @property
+    def pool_vs_process(self) -> float:
+        """How much faster the persistent pool is than fork-per-batch."""
+        if self.pool_wall_s <= 0:
+            return float("inf")
+        return self.process_wall_s / self.pool_wall_s
+
+    def _amortized_ipc_ms(self, wall_s: float, compute_s: float) -> float:
+        if self.batches <= 0:
+            return 0.0
+        return max(0.0, wall_s - compute_s) / self.batches * 1e3
+
+    @property
+    def process_ipc_ms_per_batch(self) -> float:
+        """Fork-per-batch overhead beyond compute, amortized per burst."""
+        return self._amortized_ipc_ms(self.process_wall_s, self.process_compute_s)
+
+    @property
+    def pool_ipc_ms_per_batch(self) -> float:
+        """Pool IPC + one-time spawn beyond compute, amortized per burst."""
+        return self._amortized_ipc_ms(self.pool_wall_s, self.pool_compute_s)
+
     def summary(self) -> str:
-        return (
-            f"shard backend on {self.packets} packets, {self.shards} shards, "
-            f"{self.cpus} cpu(s): sequential {self.sequential_wall_s * 1e3:.1f} ms "
-            f"vs multiprocessing {self.process_wall_s * 1e3:.1f} ms "
-            f"({self.speedup:.2f}x, verdict-identical: {self.verdicts_match})"
+        return "\n".join(
+            [
+                f"shard backends on {self.packets} packets in {self.batches} "
+                f"batch(es), {self.shards} shards, {self.cpus} cpu(s):",
+                f"  sequential      {self.sequential_wall_s * 1e3:8.1f} ms",
+                f"  fork-per-batch  {self.process_wall_s * 1e3:8.1f} ms "
+                f"({self.speedup:.2f}x vs sequential, "
+                f"{self.process_ipc_ms_per_batch:.2f} ms/batch setup+IPC)",
+                f"  persistent pool {self.pool_wall_s * 1e3:8.1f} ms "
+                f"({self.pool_speedup:.2f}x vs sequential, "
+                f"{self.pool_vs_process:.2f}x vs fork, "
+                f"{self.pool_ipc_ms_per_batch:.2f} ms/batch amortized IPC)",
+                f"  verdict-identical across all three: {self.verdicts_match}",
+            ]
         )
+
+
+def _run_batched_replay(enforcer, bursts, backend=None, pipelined=False):
+    """Run one burst sequence; return (verdicts, measured wall, compute)."""
+    verdicts: list[Verdict] = []
+    compute = 0.0
+    started = time.perf_counter()
+    if pipelined:
+        tokens = [enforcer.submit_batch(burst) for burst in bursts]
+        batches = [enforcer.collect_batch(token) for token in tokens]
+    else:
+        batches = [
+            enforcer.process_batch_timed(burst, backend=backend) for burst in bursts
+        ]
+    wall = time.perf_counter() - started
+    for batch in batches:
+        verdicts.extend(verdict for verdict, _ in batch.results)
+        compute += batch.parallel_wall_s
+    return verdicts, wall, compute
 
 
 def run_shard_backend_comparison(
@@ -103,21 +177,29 @@ def run_shard_backend_comparison(
     corpus_apps: int = 6,
     seed: int = 7,
     flow_cache_size: int = 0,
+    batches: int = 16,
 ) -> ShardBackendComparison:
-    """Measure the real fork backend against the sequential baseline.
+    """Measure all three shard backends on the identical batched replay.
 
-    Both enforcers process the identical replay with identical shard
-    configuration; ``flow_cache_size`` defaults to 0 (compiled-only
-    path) so there is real per-packet work for the fork fan-out to
-    parallelise.  A small warm-up burst triggers lazy per-app policy
-    compilation on both sides before the timed run.
+    Every enforcer processes the identical burst sequence with identical
+    shard configuration; ``flow_cache_size`` defaults to 0 (compiled-only
+    path) so there is real per-packet work for the parallel fan-out to
+    win on.  A small warm-up burst triggers lazy per-app policy
+    compilation on every side before the timed runs — the pool's workers
+    then fork *once* from the warmed parent, while the fork backend
+    re-forks from it on every burst.  The pool run is pipelined
+    (submit-ahead), so its measured wall also credits the overlap of
+    parent-side stitching with worker-side enforcement.
     """
     if packets < 1:
         raise ValueError("the replay needs at least one packet")
     if shards < 2:
         raise ValueError("comparing backends needs at least two shards")
+    if batches < 1:
+        raise ValueError("the replay needs at least one batch")
     database = build_signature_database(corpus_apps=corpus_apps, seed=seed)
     replay = build_replay(database.entries(), packets=packets, flows=flows, seed=seed)
+    bursts = [burst for burst in split_into_bursts(replay, batches) if burst]
     policy = Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="backend-compare")
     kwargs = dict(
         database=database,
@@ -128,20 +210,31 @@ def run_shard_backend_comparison(
     )
     sequential = ShardedEnforcer(backend="sequential", **kwargs)
     forked = ShardedEnforcer(backend="process", **kwargs)
+    pooled = ShardedEnforcer(backend="pool", **kwargs)
     warmup = replay[: min(64, len(replay))]
     sequential.process_batch_timed(warmup)
     forked.process_batch_timed(warmup, backend="sequential")
+    pooled.process_batch_timed(warmup, backend="sequential")
 
-    batch_sequential = sequential.process_batch_timed(replay)
-    batch_forked = forked.process_batch_timed(replay)
+    seq_verdicts, seq_wall, _ = _run_batched_replay(sequential, bursts)
+    fork_verdicts, fork_wall, fork_compute = _run_batched_replay(forked, bursts)
+    # The pool's effective backend may have degraded to sequential on
+    # fork-less platforms; pipelining only exists on the real pool.
+    pool_verdicts, pool_wall, pool_compute = _run_batched_replay(
+        pooled, bursts, pipelined=pooled.backend == "pool"
+    )
+    pooled.close()
     return ShardBackendComparison(
         packets=len(replay),
         shards=shards,
         cpus=available_cpus(),
-        sequential_wall_s=batch_sequential.measured_wall_s,
-        process_wall_s=batch_forked.measured_wall_s,
-        verdicts_match=[v for v, _ in batch_sequential.results]
-        == [v for v, _ in batch_forked.results],
+        sequential_wall_s=seq_wall,
+        process_wall_s=fork_wall,
+        verdicts_match=seq_verdicts == fork_verdicts == pool_verdicts,
+        batches=len(bursts),
+        pool_wall_s=pool_wall,
+        process_compute_s=fork_compute,
+        pool_compute_s=pool_compute,
     )
 
 
@@ -345,6 +438,19 @@ class FleetBenchResult:
     unknown_apps: int = 0
     decode_errors: int = 0
     backend: ShardBackendComparison | None = None
+    #: Effective gateway execution backend ("sequential", or "pool" for
+    #: the persistent gateway worker pool; may read "sequential" after
+    #: a graceful degradation on fork-less platforms).
+    fleet_backend: str = "sequential"
+    #: Pool backend only: measured submit-to-harvest wall-clock of the
+    #: pipelined burst loop.  The parent commits edits, replays the
+    #: baseline and catches replicas up *while* workers enforce, so this
+    #: includes the overlapped control-plane work — the pipelining win
+    #: is this number staying close to the workers' own compute time.
+    fleet_measured_wall_s: float = 0.0
+    #: Pool health counters surfaced from the aggregated stats.
+    pool_worker_crashes: int = 0
+    pool_delta_pushes: int = 0
 
     @property
     def verdicts_match(self) -> bool:
@@ -419,6 +525,13 @@ class FleetBenchResult:
             f"replicas converged (fingerprint-verified): {self.converged}",
             f"fleet verdict-identical to single gateway: {self.verdicts_match}",
         ]
+        if self.fleet_backend == "pool":
+            lines.append(
+                f"gateway pool: {self.fleet_measured_wall_s * 1e3:.1f} ms measured "
+                f"pipelined wall (modelled compute {self.fleet_wall_s * 1e3:.1f} ms); "
+                f"{self.pool_delta_pushes} delta pushes to live workers, "
+                f"{self.pool_worker_crashes} worker crash(es)"
+            )
         if self.backend is not None:
             lines.append(self.backend.summary())
         return "\n".join(lines)
@@ -435,6 +548,7 @@ def run_fleet_bench(
     flow_cache_size: int = 4096,
     apps_per_device: tuple[int, int] = (1, 3),
     backend_packets: int = 0,
+    backend: str = "sequential",
 ) -> FleetBenchResult:
     """Replay one fleet workload under live churn; compare with one gateway.
 
@@ -444,6 +558,18 @@ def run_fleet_bench(
     catches up by delta-log replay, and the burst is processed across
     the fleet.  A single enforcer subscribed directly to the store
     replays the identical schedule as the verdict baseline.
+
+    ``backend="pool"`` runs the fleet on the persistent gateway worker
+    pool with a *pipelined* burst loop: each burst is submitted to the
+    workers first, the parent then replays the baseline and commits the
+    next round of edits while the workers enforce, and only then is the
+    burst harvested.  Pipe FIFO ordering keeps the worker-side record
+    replay and batch enforcement in exactly the serial interleaving, so
+    verdict identity against the baseline is unchanged.
+    ``backend="process"`` keeps the gateways in-process but runs each
+    gateway's shards on the fork-per-batch backend — the pool's
+    amortization foil.  Both fork-based modes degrade gracefully to
+    sequential on platforms without the ``fork`` start method.
 
     ``backend_packets > 0`` additionally runs
     :func:`run_shard_backend_comparison` at that replay size.
@@ -459,10 +585,20 @@ def run_fleet_bench(
 
     apps = CorpusGenerator(CorpusConfig(n_apps=corpus_apps, seed=seed)).generate()
     base_policy = Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="fleet-base")
+    if backend not in ("sequential", "process", "pool"):
+        raise ValueError(
+            f"unknown fleet backend {backend!r}; "
+            "choose from ('sequential', 'process', 'pool')"
+        )
     deployment = BorderPatrolDeployment(
         policy=base_policy,
         num_gateways=gateways,
         enforcer_shards=shards_per_gateway,
+        # "pool" runs whole gateways in long-lived workers (their shards
+        # in-process); "process" keeps gateways in-process and forks
+        # their shards per batch — the pool's amortization foil.
+        shard_backend="process" if backend == "process" else "sequential",
+        gateway_backend="pool" if backend == "pool" else "sequential",
         drop_untagged=True,
         drop_unknown_apps=True,
         keep_records=False,
@@ -533,12 +669,16 @@ def run_fleet_bench(
         result.catch_up_parse_misses += RULE_INTERN_CACHE.misses - misses_before
         fleet_wall += max(catch_up_walls, default=0.0)
 
-        batch = fleet.process_batch_timed(burst)
-        fleet_wall += batch.parallel_wall_s
-        fleet_verdicts.extend(verdict for verdict, _ in batch.results)
-        per_gateway = [
-            total + count for total, count in zip(per_gateway, batch.gateway_packet_counts)
-        ]
+        # Pipelined pool mode: hand the burst to the workers *first*
+        # (they enforce at the versions the replicas hold right now),
+        # then overlap the baseline replay and the next edit round with
+        # the workers' enforcement, and harvest last.
+        pooled = fleet.backend == "pool"
+        if pooled:
+            token = fleet.submit_burst(burst)
+            batch = None
+        else:
+            batch = fleet.process_batch_timed(burst)
 
         started = time.perf_counter()
         processed = baseline.process_batch(burst)
@@ -575,6 +715,22 @@ def run_fleet_bench(
                     toggled[target] = True
             baseline_wall += time.perf_counter() - started
 
+        if pooled:
+            batch = fleet.collect_burst(token)
+            result.fleet_measured_wall_s += batch.measured_wall_s
+        fleet_wall += batch.parallel_wall_s
+        fleet_verdicts.extend(verdict for verdict, _ in batch.results)
+        per_gateway = [
+            total + count for total, count in zip(per_gateway, batch.gateway_packet_counts)
+        ]
+
+    if backend == "process":
+        # Report the effective shard backend (it may have degraded).
+        result.fleet_backend = getattr(
+            fleet.replicas[0].enforcer, "backend", "sequential"
+        )
+    else:
+        result.fleet_backend = fleet.backend
     result.fleet_wall_s = fleet_wall
     result.baseline_wall_s = baseline_wall
     result.fleet_verdicts = tuple(fleet_verdicts)
@@ -584,10 +740,13 @@ def run_fleet_bench(
     result.store_version = store.version
     result.converged = fleet.converged
     aggregated = fleet.aggregate_stats()
+    fleet.close()
     result.top_churn_apps = aggregated.top_churn_apps(limit=3)
     result.untagged_packets = aggregated.untagged_packets
     result.unknown_apps = aggregated.unknown_apps
     result.decode_errors = aggregated.decode_errors
+    result.pool_worker_crashes = aggregated.pool_worker_crashes
+    result.pool_delta_pushes = aggregated.pool_delta_pushes
     # The store seeds at version 0, so its version is exactly the number
     # of churn transactions committed over the schedule.
     result.edits = store.version

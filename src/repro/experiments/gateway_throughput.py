@@ -239,8 +239,18 @@ def run_gateway_bench(
     seed: int = 7,
     keep_records: bool = True,
     policy: Policy | None = None,
+    backend: str = "sequential",
 ) -> GatewayBenchResult:
-    """Measure every enforcement path over one identical replay."""
+    """Measure every enforcement path over one identical replay.
+
+    ``backend`` selects how the sharded rows execute: ``"sequential"``
+    (in-process model), ``"process"`` (fork-per-batch), or ``"pool"``
+    (persistent worker pool).  Reported shard throughput stays the
+    modelled parallel wall (slowest shard) in every mode so the rows
+    remain comparable; the backend choice proves verdict identity on
+    the real execution engine.  Fork-based backends need the POSIX
+    ``fork`` start method and degrade to sequential elsewhere.
+    """
     if packets < 1:
         raise ValueError("the replay needs at least one packet")
     if flows < 1:
@@ -273,8 +283,14 @@ def run_gateway_bench(
 
     for num_shards in sorted({1, shards}):
         name = f"sharded-{num_shards}"
+        if backend != "sequential":
+            name += f"-{backend}"
         sharded = ShardedEnforcer(
-            database=database, policy=policy, num_shards=num_shards, keep_records=keep_records
+            database=database,
+            policy=policy,
+            num_shards=num_shards,
+            keep_records=keep_records,
+            backend=backend,
         )
         batch = sharded.process_batch_timed(replay)
         snapshot = _snapshot(
@@ -286,5 +302,6 @@ def run_gateway_bench(
         )
         snapshot.shard_packet_counts = tuple(batch.shard_packet_counts)
         result.results[name] = snapshot
+        sharded.close()
 
     return result

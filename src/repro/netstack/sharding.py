@@ -33,12 +33,27 @@ Workers are forked per batch, so they always see the parent's current
 policy state (no staleness under live policy churn); the price is that
 flow-cache warm-up inside a batch stays in the child and is not carried
 to the next batch.
+``backend="pool"`` replaces fork-per-batch with the persistent
+:class:`~repro.runtime.pool.ShardWorkerPool`: one long-lived worker per
+shard holding its own compiled policy and flow cache *across* batches,
+fed over pipes (payloads on a shared-memory ring), with policy changes
+pushed as delta records — see :mod:`repro.runtime.pool`.  Attach the
+governing :class:`~repro.core.policy_store.PolicyStore` via
+:meth:`ShardedEnforcer.attach_control` to get the surgical record-push
+path; without it every policy change ships as a pickled full sync.
+
+On platforms without the fork start method, constructing either
+parallel backend degrades to sequential execution with a logged warning
+(``degraded`` flag, ``backend_fallbacks`` stat) instead of raising —
+a gateway must come up and enforce even where it cannot parallelise.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time
+import weakref
 from dataclasses import dataclass
 
 from repro.core.policy_enforcer import (
@@ -50,8 +65,14 @@ from repro.core.policy_enforcer import (
 from repro.netstack.ip import IPPacket
 from repro.netstack.netfilter import Verdict, flow_hash
 
+logger = logging.getLogger(__name__)
+
 #: Supported :meth:`ShardedEnforcer.process_batch_timed` execution backends.
-BACKENDS = ("sequential", "process")
+BACKENDS = ("sequential", "process", "pool")
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def _require_fork_context():
@@ -59,7 +80,7 @@ def _require_fork_context():
     pickling) and inheriting the parent's current policy state; platforms
     without it (Windows, some macOS configs) must use the sequential
     backend."""
-    if "fork" not in multiprocessing.get_all_start_methods():
+    if not _fork_available():
         raise RuntimeError(
             "the 'process' shard backend needs the fork start method; "
             "use backend='sequential' on this platform"
@@ -161,16 +182,33 @@ class ShardedEnforcer:
         policy=None,
         num_shards: int = 4,
         backend: str = "sequential",
+        ring_bytes: int | None = None,
         **enforcer_kwargs,
     ) -> None:
         if num_shards < 1:
             raise ValueError("need at least one enforcer shard")
         if backend not in BACKENDS:
             raise ValueError(f"unknown shard backend {backend!r}; choose from {BACKENDS}")
-        if backend == "process":
-            _require_fork_context()
+        #: The backend asked for at construction; ``backend`` is the one
+        #: actually in effect (they differ only after degradation).
+        self.requested_backend = backend
+        self.degraded = False
+        self._local_stats = EnforcerStats()
+        if backend in ("process", "pool") and not _fork_available():
+            logger.warning(
+                "shard backend %r needs the fork start method, which this "
+                "platform lacks; degrading to sequential execution",
+                backend,
+            )
+            self.degraded = True
+            self._local_stats.backend_fallbacks += 1
+            backend = "sequential"
         self.num_shards = num_shards
         self.backend = backend
+        self._ring_bytes = ring_bytes
+        self._control = None
+        self._pool = None
+        self._pool_finalizer = None
         self.shards: list[PolicyEnforcer] = [
             PolicyEnforcer(database=database, policy=policy, **enforcer_kwargs)
             for _ in range(num_shards)
@@ -186,15 +224,42 @@ class ShardedEnforcer:
     def database(self):
         return self.shards[0].database
 
+    def attach_control(self, store) -> None:
+        """Hand the pool backend its id-addressed control store.
+
+        Pool workers can only replay compact
+        :class:`~repro.core.policy_store.DeltaLogRecord` pushes against
+        a :class:`~repro.core.policy_store.GatewayReplica` shadow of the
+        store that commits them (remove/replace ops address stable rule
+        ids).  With a control store attached, every
+        :meth:`apply_policy_delta` ships the committed record — small,
+        JSON-able, fingerprint-verified in the worker; without one the
+        pool still works, but every change falls back to a pickled
+        full-policy sync (counted in ``pool_snapshot_syncs``).
+        :class:`~repro.core.policy_store.GatewayReplica` attaches its
+        shadow automatically, so sharded gateways inside a fleet get the
+        record-push path for free.
+        """
+        self._control = store
+        self._restart_pool()
+
     def set_policy(self, policy) -> None:
         """Swap the policy on every shard (compiles and flushes each cache)."""
         for shard in self.shards:
             shard.set_policy(policy)
+        if self._pool is not None:
+            self._pool.push_set_policy(policy)
 
     def sync_policy(self, policy, version: int) -> None:
         """Full control-plane resync, broadcast to every shard."""
         for shard in self.shards:
             shard.sync_policy(policy, version)
+        if self._pool is not None:
+            record = self._control_record(version)
+            if record is not None:
+                self._pool.push_record(record)
+            else:
+                self._pool.push_sync(policy, version)
 
     def apply_policy_delta(self, delta) -> None:
         """Versioned broadcast of a control-plane delta.
@@ -203,10 +268,35 @@ class ShardedEnforcer:
         :class:`~repro.core.policy_store.PolicyDelta` (each patches its
         own compiled policy and surgically invalidates its own flow
         cache), so after the loop all shards have converged to
-        ``delta.version`` — see :attr:`policy_version`.
+        ``delta.version`` — see :attr:`policy_version`.  Live pool
+        workers get the change pushed too: the committed delta-log
+        record when a control store is attached (surgical recompile in
+        the worker), a pickled full sync otherwise.  The command pipes
+        are FIFO, so batches already submitted still enforce at the
+        pre-delta version — the serial interleaving, preserved.
         """
         for shard in self.shards:
             shard.apply_policy_delta(delta)
+        if self._pool is not None:
+            record = self._control_record(delta.version)
+            if record is not None:
+                self._pool.push_record(record)
+            else:
+                self._pool.push_sync(delta.policy, delta.version)
+
+    def _control_record(self, version: int):
+        """The committed log record for ``version``, or None when the
+        pool must fall back to a full sync (no control store, the record
+        was compacted away, or it is an opaque sync)."""
+        if self._control is None:
+            return None
+        try:
+            record = self._control.delta_log.record(version)
+        except Exception:
+            return None
+        if record.kind == "sync" and record.rules is None:
+            return None
+        return record
 
     @property
     def policy_version(self) -> int:
@@ -226,6 +316,48 @@ class ShardedEnforcer:
     def invalidate_caches(self) -> None:
         for shard in self.shards:
             shard.invalidate_caches()
+        if self._pool is not None:
+            self._pool.push_invalidate()
+
+    # -- pool lifecycle ----------------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from repro.runtime.pool import ShardWorkerPool
+            from repro.runtime.ring import DEFAULT_RING_BYTES
+
+            ring_bytes = (
+                DEFAULT_RING_BYTES if self._ring_bytes is None else self._ring_bytes
+            )
+            self._pool = ShardWorkerPool(
+                self.shards,
+                control=self._control,
+                ring_bytes=ring_bytes,
+            )
+            # The finalizer holds only the pool (not self): leaked
+            # enforcers still reap their daemon workers at GC.
+            self._pool_finalizer = weakref.finalize(self, self._pool.close)
+        return self._pool
+
+    def _restart_pool(self) -> None:
+        """Tear the pool down; the next pool batch respawns fresh workers.
+
+        Used when worker-side state must be rebuilt (control store or
+        audit sink attached after workers forked, :meth:`reset`).  Pool
+        runtime counters fold into :attr:`aggregate_stats` first so a
+        restart never loses them.
+        """
+        if self._pool is not None:
+            self._local_stats.merge(self._pool.stats)
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            self._pool.close()
+            self._pool = None
+
+    def close(self) -> None:
+        """Stop pool workers, if any.  Safe to call on any backend."""
+        self._restart_pool()
 
     # -- telemetry ---------------------------------------------------------------------
 
@@ -242,6 +374,9 @@ class ShardedEnforcer:
         """
         for shard in self.shards:
             shard.attach_audit_sink(sink, source)
+        # Pool workers install their capture hooks at fork time; a sink
+        # attached afterwards would go unseen, so respawn them.
+        self._restart_pool()
 
     # -- flow routing ------------------------------------------------------------------
 
@@ -290,6 +425,8 @@ class ShardedEnforcer:
 
         if backend == "process" and packets:
             return self._process_batch_forked(packets, groups)
+        if backend == "pool" and packets:
+            return self._process_batch_pooled(packets)
 
         results: list[tuple[Verdict, IPPacket] | None] = [None] * len(packets)
         elapsed: list[float] = []
@@ -369,13 +506,59 @@ class ShardedEnforcer:
             measured_wall_s=time.perf_counter() - started_batch,
         )
 
+    def _process_batch_pooled(self, packets: list[IPPacket]) -> BatchResult:
+        """One synchronous burst through the persistent worker pool.
+
+        Unlike the forked backend there is no per-batch setup: workers
+        already exist, already hold the current compiled policy (kept
+        current by delta pushes), and keep their flow caches warm
+        *across* batches.  ``measured_wall_s`` is submit-to-harvest
+        wall-clock, so the amortized IPC cost per batch is directly
+        visible next to the modelled compute time.
+        """
+        burst = self._ensure_pool().process_batch_timed(packets)
+        return BatchResult(
+            results=burst.results,
+            shard_elapsed_s=burst.worker_elapsed_s,
+            shard_packet_counts=burst.worker_packet_counts,
+            backend="pool",
+            measured_wall_s=burst.wall_s,
+        )
+
+    # -- pipelined bursts --------------------------------------------------------------
+
+    def submit_batch(self, packets: list[IPPacket]) -> int:
+        """Hand a burst to the pool without waiting (pipelined mode).
+
+        The parent is free to commit policy edits, drain telemetry, or
+        prepare the next burst while workers enforce; pipe FIFO order
+        keeps verdicts identical to the synchronous path.  Returns a
+        token for :meth:`collect_batch`.
+        """
+        return self._ensure_pool().submit(packets)
+
+    def collect_batch(self, token: int | None = None) -> BatchResult:
+        """Harvest a submitted burst (default: the oldest outstanding)."""
+        burst = self._ensure_pool().collect(token)
+        return BatchResult(
+            results=burst.results,
+            shard_elapsed_s=burst.worker_elapsed_s,
+            shard_packet_counts=burst.worker_packet_counts,
+            backend="pool",
+            measured_wall_s=burst.wall_s,
+        )
+
     # -- aggregated inspection ----------------------------------------------------------
 
     def aggregate_stats(self) -> EnforcerStats:
-        """Sum of every shard's counters (equals the per-shard totals)."""
+        """Sum of every shard's counters, plus runtime-level counters
+        (pool health, backend degradation)."""
         total = EnforcerStats()
         for shard in self.shards:
             total.merge(shard.stats)
+        total.merge(self._local_stats)
+        if self._pool is not None:
+            total.merge(self._pool.stats)
         return total
 
     @property
@@ -413,3 +596,11 @@ class ShardedEnforcer:
     def reset(self) -> None:
         for shard in self.shards:
             shard.reset()
+        # Worker-side caches/stats cannot be rewound in place; fresh
+        # forks at the next pool batch start from the reset state.
+        self._restart_pool()
+        self._local_stats = EnforcerStats()
+        # Degradation is a platform property, not a counter: it survives
+        # a reset, and so does its stats flag.
+        if self.degraded:
+            self._local_stats.backend_fallbacks += 1

@@ -1,0 +1,235 @@
+"""Shared-memory packet ring for the persistent worker pools.
+
+Pool workers are long-lived forks fed packet batches over pipes.  A
+pickled :class:`~repro.netstack.ip.IPPacket` costs several hundred
+bytes and a full pickle/unpickle round trip per packet; at fleet replay
+sizes that serialization is the dominant IPC cost.  The ring removes it
+from the hot path: the parent creates one anonymous *shared* ``mmap``
+per worker **before** the first fork, so parent and child address the
+same pages.  Batches are struct-packed into a region of the ring and
+referenced over the command pipe as a tiny ``(offset, length, count)``
+tuple; the child decodes packets straight out of the mapping.
+
+Because each pool worker also survives crashes by respawning a fresh
+fork from the *parent* (which keeps the mapping open), a respawned
+worker inherits the very same pages — pending batch regions stay valid
+across a respawn and can be replayed by reference.
+
+Allocation is a bump cursor with FIFO reclamation: the parent frees a
+region exactly when it harvests the batch's result, and per-worker
+pipes deliver results in submission order, so at most
+``max_inflight`` small regions are ever live.  When a batch does not
+fit (ring full, oversized batch, or a packet the codec cannot
+round-trip), the caller falls back to pickling that batch — the ring is
+an optimization, never a correctness dependency.
+
+What the codec carries
+----------------------
+Everything enforcement and audit can observe: the 5-tuple, ttl,
+direction, payload size, socket/connection ids, creation timestamp,
+packet id, and the raw ``options`` bytes (the BorderPatrol context tag
+travels inside them).  ``provenance`` is deliberately dropped: it is
+ground-truth bookkeeping the Policy Enforcer never reads, and the
+parent keeps the original packet objects for result stitching, so the
+decoded copies only ever feed the worker's enforcer.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+from collections import deque
+
+from repro.netstack.ip import IPOptions, IPPacket, OPTION_END_OF_LIST
+
+#: Default per-worker ring capacity.  A packet encodes to ~80 bytes, so
+#: 1 MiB holds ~13k packets — several bursts of inflight headroom.
+DEFAULT_RING_BYTES = 1 << 20
+
+# Fixed-width prefix of one encoded packet:
+#   packet_id u64 | created_at_ms f64 | payload_size u32 |
+#   src_port u16 | dst_port u16 | ttl u16 | protocol u8 | flags u8
+_FIXED = struct.Struct("<QdIHHHBB")
+_ID64 = struct.Struct("<q")
+_COUNT = struct.Struct("<I")
+
+_FLAG_SOCKET = 1
+_FLAG_CONNECTION = 2
+
+
+class RingCodecError(ValueError):
+    """The packet cannot be round-tripped by the ring codec."""
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFF:
+        raise RingCodecError(f"string field of {len(raw)} bytes exceeds codec limit")
+    return bytes([len(raw)]) + raw
+
+
+def encode_packet(packet: IPPacket) -> bytes:
+    """Struct-pack one packet; raises :class:`RingCodecError` when the
+    packet cannot round-trip (the caller then pickles instead).
+
+    The one structural hazard is an END_OF_LIST option:
+    ``IPOptions.from_bytes`` stops at it (per RFC 791), so a tag behind
+    an EOL would silently vanish in the decoded copy — refuse rather
+    than risk a verdict change.
+    """
+    if not 0 <= packet.ttl <= 0xFFFF or not 0 <= packet.payload_size <= 0xFFFFFFFF:
+        raise RingCodecError("ttl/payload_size out of codec range")
+    flags = 0
+    tail = b""
+    if packet.socket_id is not None:
+        flags |= _FLAG_SOCKET
+        tail += _ID64.pack(packet.socket_id)
+    if packet.connection_id is not None:
+        flags |= _FLAG_CONNECTION
+        tail += _ID64.pack(packet.connection_id)
+    for option in packet.options:
+        if option.option_type == OPTION_END_OF_LIST:
+            raise RingCodecError("EOL option does not survive an options round trip")
+    option_bytes = packet.options.to_bytes()
+    if len(option_bytes) > 0xFF:
+        raise RingCodecError("options field exceeds codec limit")
+    fixed = _FIXED.pack(
+        packet.packet_id,
+        packet.created_at_ms,
+        packet.payload_size,
+        packet.src_port,
+        packet.dst_port,
+        packet.ttl,
+        packet.protocol,
+        flags,
+    )
+    return (
+        fixed
+        + tail
+        + _pack_str(packet.src_ip)
+        + _pack_str(packet.dst_ip)
+        + _pack_str(packet.direction)
+        + bytes([len(option_bytes)])
+        + option_bytes
+    )
+
+
+def encode_batch(packets: list[IPPacket]) -> bytes:
+    """``count`` prefix plus the packets back to back."""
+    return _COUNT.pack(len(packets)) + b"".join(encode_packet(p) for p in packets)
+
+
+def _read_str(buf: bytes, offset: int) -> tuple[str, int]:
+    length = buf[offset]
+    offset += 1
+    return buf[offset : offset + length].decode("utf-8"), offset + length
+
+
+def decode_batch(buf: bytes) -> list[IPPacket]:
+    """Inverse of :func:`encode_batch` (runs in the worker)."""
+    (count,) = _COUNT.unpack_from(buf, 0)
+    offset = _COUNT.size
+    packets: list[IPPacket] = []
+    for _ in range(count):
+        (
+            packet_id,
+            created_at_ms,
+            payload_size,
+            src_port,
+            dst_port,
+            ttl,
+            protocol,
+            flags,
+        ) = _FIXED.unpack_from(buf, offset)
+        offset += _FIXED.size
+        socket_id = connection_id = None
+        if flags & _FLAG_SOCKET:
+            (socket_id,) = _ID64.unpack_from(buf, offset)
+            offset += _ID64.size
+        if flags & _FLAG_CONNECTION:
+            (connection_id,) = _ID64.unpack_from(buf, offset)
+            offset += _ID64.size
+        src_ip, offset = _read_str(buf, offset)
+        dst_ip, offset = _read_str(buf, offset)
+        direction, offset = _read_str(buf, offset)
+        option_length = buf[offset]
+        offset += 1
+        options = IPOptions.from_bytes(buf[offset : offset + option_length])
+        offset += option_length
+        packets.append(
+            IPPacket(
+                src_ip=src_ip,
+                dst_ip=dst_ip,
+                src_port=src_port,
+                dst_port=dst_port,
+                protocol=protocol,
+                payload_size=payload_size,
+                options=options,
+                ttl=ttl,
+                direction=direction,
+                socket_id=socket_id,
+                connection_id=connection_id,
+                created_at_ms=created_at_ms,
+                packet_id=packet_id,
+            )
+        )
+    return packets
+
+
+class PacketRing:
+    """One worker's shared batch buffer: bump allocator, FIFO reclaim.
+
+    Must be constructed in the parent *before* the worker forks so both
+    sides map the same anonymous pages.  ``try_write`` returns a
+    ``(offset, length)`` region or ``None`` when the batch does not fit
+    right now; ``release`` frees the region once its result has been
+    harvested.  Single producer (the parent), single consumer (the
+    worker) — no locking needed because a region is immutable between
+    write and release.
+    """
+
+    def __init__(self, size: int = DEFAULT_RING_BYTES) -> None:
+        if size < 0:
+            raise ValueError("ring size cannot be negative")
+        self.size = size
+        self._map = mmap.mmap(-1, size) if size else None
+        self._cursor = 0
+        self._inflight: deque[tuple[int, int]] = deque()
+
+    def try_write(self, blob: bytes) -> tuple[int, int] | None:
+        if self._map is None or len(blob) > self.size or not blob:
+            return None
+        start = self._cursor
+        if start + len(blob) > self.size:
+            start = 0  # wrap: the tail is too short, start over
+        end = start + len(blob)
+        for held_start, held_end in self._inflight:
+            if start < held_end and held_start < end:
+                return None  # would overwrite an unharvested batch
+        self._map[start:end] = blob
+        self._cursor = end
+        self._inflight.append((start, end))
+        return (start, len(blob))
+
+    def read(self, region: tuple[int, int]) -> bytes:
+        if self._map is None:
+            raise RingCodecError("ring is disabled")
+        offset, length = region
+        return bytes(self._map[offset : offset + length])
+
+    def release(self, region: tuple[int, int]) -> None:
+        offset, length = region
+        try:
+            self._inflight.remove((offset, offset + length))
+        except ValueError:
+            pass  # double release is harmless
+
+    @property
+    def inflight_regions(self) -> int:
+        return len(self._inflight)
+
+    def close(self) -> None:
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+        self._inflight.clear()

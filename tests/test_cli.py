@@ -245,6 +245,16 @@ class TestGatewayBenchCommand:
         assert "integrity outcomes: 0 untagged, 0 unknown-app, 0 decode-failure" in out
         assert "all paths verdict-identical: True" in out
 
+    def test_gateway_bench_pool_backend_rows(self, capsys):
+        assert main(
+            ["gateway-bench", "--packets", "600", "--flows", "32", "--shards", "2",
+             "--corpus-apps", "2", "--fig4-iterations", "0", "--backend", "pool"]
+        ) == 0
+        out = capsys.readouterr().out
+        # The sharded rows name the execution engine they actually ran on.
+        assert "sharded-2-pool" in out
+        assert "all paths verdict-identical: True" in out
+
     def test_gateway_bench_surfaces_fig4_throughput(self, capsys):
         assert main(
             ["gateway-bench", "--packets", "400", "--flows", "16", "--shards", "2",
@@ -254,6 +264,54 @@ class TestGatewayBenchCommand:
         assert "fig4 stress workload through the sharded gateway" in out
         assert "mean per-request latency" in out
         assert "kpps modelled parallel" in out
+
+
+class TestFleetCommand:
+    def test_fleet_pool_backend_summary(self, capsys):
+        assert main(
+            ["fleet", "--packets", "900", "--devices", "16", "--gateways", "3",
+             "--shards", "1", "--edits", "3", "--corpus-apps", "4",
+             "--backend", "pool", "--skip-backend", "--skip-late-joiner"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet verdict-identical to single gateway: True" in out
+        assert "replicas converged (fingerprint-verified): True" in out
+        # The pool summary line: measured pipelined wall + live delta pushes.
+        assert "gateway pool:" in out
+        assert "delta pushes to live workers" in out
+
+    def test_fleet_serial_backend_has_no_pool_line(self, capsys):
+        assert main(
+            ["fleet", "--packets", "900", "--devices", "16", "--gateways", "3",
+             "--shards", "1", "--edits", "3", "--corpus-apps", "4",
+             "--backend", "serial", "--skip-backend", "--skip-late-joiner"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet verdict-identical to single gateway: True" in out
+        assert "gateway pool:" not in out
+
+    def test_fleet_backend_flag_parses(self):
+        args = build_parser().parse_args(["fleet", "--backend", "pool"])
+        assert args.backend == "pool"
+        args = build_parser().parse_args(["fleet"])
+        assert args.backend == "serial"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--backend", "threads"])
+
+    def test_gateway_bench_backend_flag_parses(self):
+        args = build_parser().parse_args(["gateway-bench", "--backend", "pool"])
+        assert args.backend == "pool"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gateway-bench", "--backend", "fork"])
+
+    def test_backend_help_notes_fork_requirement(self):
+        parser = build_parser()
+        for command in ("fleet", "gateway-bench"):
+            subparser_help = None
+            for action in parser._subparsers._group_actions:
+                subparser_help = action.choices[command].format_help()
+            # argparse line-wraps the help; compare whitespace-normalized.
+            assert "fork start method" in " ".join(subparser_help.split())
 
 
 class TestAuditCommand:

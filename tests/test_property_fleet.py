@@ -239,3 +239,66 @@ def test_compact_then_catch_up_equals_full_history_replay(
         GatewayReplica.from_log(
             PolicyEnforcer(database=database), tampered, name="tampered"
         )
+
+
+# -- persistent worker-pool parity ------------------------------------------------------
+#
+# The pool runtime extends the invariant to live workers: for ANY
+# interleaving of control-plane edits and packet bursts, a
+# ``backend="pool"`` sharded enforcer fed surgical delta records must
+# produce the identical verdict sequence to the sequential model, and
+# both control stores must converge to the same rule-table fingerprint.
+
+script_strategy = st.lists(
+    st.one_of(edit_strategy, st.just("burst")),
+    min_size=1,
+    max_size=12,
+)
+
+
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="the pool backend needs the fork start method",
+)
+@settings(max_examples=20, deadline=None)
+@given(initial=st.lists(rule_strategy, max_size=4), script=script_strategy)
+def test_pool_backend_enforces_identically_under_policy_churn(initial, script):
+    from repro.netstack.sharding import ShardedEnforcer
+
+    database = build_database()
+    packets = build_packets()
+
+    def run(backend):
+        store = PolicyStore.from_policy(
+            Policy(rules=list(initial), name="head"), name="prop"
+        )
+        enforcer = ShardedEnforcer(
+            database=database,
+            policy=store.snapshot(),
+            num_shards=2,
+            keep_records=False,
+            backend=backend,
+        )
+        store.subscribe(enforcer, push=False)
+        enforcer.attach_control(store)
+        verdicts = []
+        for step in script:
+            if step == "burst":
+                batch = enforcer.process_batch_timed(packets)
+                verdicts.extend(verdict for verdict, _ in batch.results)
+            else:
+                apply_edit(store, step)
+        # A closing burst proves the workers converged on the final
+        # policy no matter where the script's last edit landed.
+        batch = enforcer.process_batch_timed(packets)
+        verdicts.extend(verdict for verdict, _ in batch.results)
+        stats = enforcer.aggregate_stats()
+        enforcer.close()
+        return verdicts, store.fingerprint(), stats
+
+    serial_verdicts, serial_fingerprint, _ = run("sequential")
+    pool_verdicts, pool_fingerprint, pool_stats = run("pool")
+    assert pool_verdicts == serial_verdicts
+    assert pool_fingerprint == serial_fingerprint
+    # Every edit travelled as a delta record, never a pickled snapshot.
+    assert pool_stats.pool_snapshot_syncs == 0

@@ -1,0 +1,407 @@
+"""Persistent worker-pool runtime: parity, robustness, degradation.
+
+The pool's conformance bar is verdict identity: a ``backend="pool"``
+enforcer (or fleet) must produce the identical verdict sequence to the
+sequential model packet for packet, across policy churn, worker
+crashes, and shared-memory-ring fallbacks.  These tests are tier-1 —
+they run in the default ``pytest tests`` sweep, so the parity bar is
+enforced on every change, not only in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fleet import GatewayFleet
+from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.core.policy_store import PolicyStore, PolicyUpdate
+from repro.experiments.gateway_throughput import (
+    DEFAULT_DENY_LIBRARIES,
+    build_replay,
+    build_signature_database,
+)
+from repro.netstack.ip import (
+    BORDERPATROL_OPTION_TYPE,
+    OPTION_END_OF_LIST,
+    IPOption,
+    IPOptions,
+    IPPacket,
+)
+from repro.netstack.sharding import ShardedEnforcer
+from repro.runtime.pool import fork_available
+from repro.runtime.ring import (
+    PacketRing,
+    RingCodecError,
+    decode_batch,
+    encode_batch,
+    encode_packet,
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(),
+    reason="the pool backend needs the fork start method",
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_signature_database(corpus_apps=4, seed=7)
+
+
+@pytest.fixture(scope="module")
+def replay(database):
+    return build_replay(database.entries(), packets=400, flows=32, seed=11)
+
+
+def make_policy() -> Policy:
+    return Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="pool-test")
+
+
+@pytest.fixture()
+def policy():
+    return make_policy()
+
+
+def _deny(app_id: str) -> PolicyRule:
+    return PolicyRule(action=PolicyAction.DENY, level=PolicyLevel.HASH, target=app_id)
+
+
+def _verdicts(batch):
+    return [verdict for verdict, _ in batch.results]
+
+
+# -- shared-memory ring codec ----------------------------------------------------------
+
+
+class TestRingCodec:
+    def test_round_trip_preserves_enforcement_fields(self):
+        packet = IPPacket(
+            src_ip="10.0.0.1",
+            dst_ip="203.0.113.9",
+            src_port=40001,
+            dst_port=443,
+            protocol=17,
+            payload_size=900,
+            options=IPOptions.single(BORDERPATROL_OPTION_TYPE, b"abcd"),
+            ttl=17,
+            direction="inbound",
+            socket_id=12345,
+            connection_id=67890,
+        )
+        [decoded] = decode_batch(encode_batch([packet]))
+        for attribute in (
+            "src_ip",
+            "dst_ip",
+            "src_port",
+            "dst_port",
+            "protocol",
+            "payload_size",
+            "options",
+            "ttl",
+            "direction",
+            "socket_id",
+            "connection_id",
+            "packet_id",
+            "created_at_ms",
+        ):
+            assert getattr(decoded, attribute) == getattr(packet, attribute)
+
+    def test_none_ids_survive(self):
+        packet = IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", src_port=1, dst_port=2)
+        [decoded] = decode_batch(encode_batch([packet]))
+        assert decoded.socket_id is None and decoded.connection_id is None
+
+    def test_eol_option_byte_is_rejected(self):
+        # IPPacket.from_bytes truncates options at EOL, so shipping an
+        # EOL through the ring would change what the worker enforces —
+        # the codec refuses and the pool falls back to pickling.
+        packet = IPPacket(
+            src_ip="10.0.0.1", dst_ip="10.0.0.2", src_port=1, dst_port=2,
+            options=IPOptions(
+                options=(
+                    IPOption(option_type=OPTION_END_OF_LIST),
+                    IPOption(option_type=BORDERPATROL_OPTION_TYPE, data=b"tag"),
+                )
+            ),
+        )
+        with pytest.raises(RingCodecError):
+            encode_packet(packet)
+
+    def test_oversize_fields_are_rejected(self):
+        oversize = IPPacket(
+            src_ip="1" * 300, dst_ip="10.0.0.2", src_port=1, dst_port=2
+        )
+        with pytest.raises(RingCodecError):
+            encode_packet(oversize)
+
+    def test_ring_reclaims_released_regions(self):
+        ring = PacketRing(size=256)
+        blob = b"x" * 100
+        first = ring.try_write(blob)
+        second = ring.try_write(blob)
+        assert first is not None and second is not None
+        # Both inflight regions pin the buffer: no room for a third.
+        assert ring.try_write(blob) is None
+        assert ring.read(first) == blob
+        ring.release(first)
+        # FIFO reclaim + wraparound: the freed head region is writable
+        # again once the oldest inflight region is released.
+        assert ring.try_write(blob) is not None
+        ring.release(second)
+        ring.close()
+
+
+# -- graceful degradation --------------------------------------------------------------
+
+
+class TestDegradation:
+    @pytest.fixture()
+    def no_fork(self, monkeypatch):
+        monkeypatch.setattr("multiprocessing.get_all_start_methods", lambda: ["spawn"])
+
+    @pytest.mark.parametrize("backend", ["process", "pool"])
+    def test_sharded_enforcer_falls_back_to_sequential(
+        self, no_fork, caplog, database, replay, policy, backend
+    ):
+        with caplog.at_level("WARNING", logger="repro.netstack.sharding"):
+            enforcer = ShardedEnforcer(
+                database=database, policy=policy, num_shards=2,
+                keep_records=False, backend=backend,
+            )
+        # Construction must not raise: the gateway comes up and enforces
+        # sequentially instead.
+        assert enforcer.degraded
+        assert enforcer.requested_backend == backend
+        assert enforcer.backend == "sequential"
+        assert enforcer.stats.backend_fallbacks == 1
+        assert any("degrading to sequential" in message for message in caplog.messages)
+        batch = enforcer.process_batch_timed(replay[:50])
+        assert batch.backend == "sequential"
+        assert len(batch.results) == 50
+
+    def test_degradation_survives_reset(self, no_fork, database, policy):
+        enforcer = ShardedEnforcer(
+            database=database, policy=policy, num_shards=2,
+            keep_records=False, backend="pool",
+        )
+        enforcer.reset()
+        # Fork support is a platform property, not per-run state.
+        assert enforcer.degraded
+        assert enforcer.backend == "sequential"
+        assert enforcer.stats.backend_fallbacks == 1
+
+    def test_fleet_falls_back_to_sequential(self, no_fork, caplog, database, policy):
+        with caplog.at_level("WARNING", logger="repro.core.fleet"):
+            fleet = GatewayFleet(
+                database=database, policy=policy, num_gateways=2,
+                live=True, backend="pool", keep_records=False,
+            )
+        assert fleet.degraded
+        assert fleet.requested_backend == "pool"
+        assert fleet.backend == "sequential"
+        assert fleet.aggregate_stats().backend_fallbacks == 1
+        assert any("degrading to sequential" in message for message in caplog.messages)
+
+
+# -- pool parity across policy churn ---------------------------------------------------
+
+
+@needs_fork
+class TestShardPoolParity:
+    def test_verdict_identity_across_delta_pushes(self, database, replay, policy):
+        apps = [entry.app_id for entry in database.entries()]
+        updates = [
+            PolicyUpdate(reason="deny 0").add_rule(_deny(apps[0]), rule_id="t0"),
+            PolicyUpdate(reason="deny 1").add_rule(_deny(apps[1]), rule_id="t1"),
+            PolicyUpdate(reason="undo 0").remove_rule("t0"),
+        ]
+
+        def run(backend):
+            enforcer = ShardedEnforcer(
+                database=database, policy=make_policy(), num_shards=2,
+                keep_records=False, backend=backend,
+            )
+            store = PolicyStore.from_policy(make_policy(), name="parity")
+            store.subscribe(enforcer, push=False)
+            enforcer.attach_control(store)
+            verdicts = []
+            bursts = [replay[i : i + 100] for i in range(0, len(replay), 100)]
+            for index, burst in enumerate(bursts):
+                if index < len(updates):
+                    store.apply(updates[index])
+                verdicts.extend(_verdicts(enforcer.process_batch_timed(burst)))
+            stats = enforcer.aggregate_stats()
+            enforcer.close()
+            return verdicts, stats
+
+        sequential_verdicts, _ = run("sequential")
+        pool_verdicts, pool_stats = run("pool")
+        assert pool_verdicts == sequential_verdicts
+        # The control store gives the surgical record-push path: every
+        # version committed while the pool is live reaches each worker
+        # as one delta record, never as a pickled snapshot.  The first
+        # update lands before the lazily-spawned workers fork (they
+        # inherit it at fork), so only the later two are pushed.
+        assert pool_stats.pool_delta_pushes == 2 * 2  # live versions x workers
+        assert pool_stats.pool_snapshot_syncs == 0
+        assert pool_stats.pool_ring_batches > 0
+
+    def test_set_policy_without_control_syncs_snapshots(self, database, replay, policy):
+        enforcer = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="pool",
+        )
+        control = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="sequential",
+        )
+        first = replay[:100]
+        second = replay[100:200]
+        verdicts = _verdicts(enforcer.process_batch_timed(first))
+        assert verdicts == _verdicts(control.process_batch_timed(first))
+        replacement = Policy.allow_all(name="swap")
+        enforcer.set_policy(replacement)
+        control.set_policy(replacement)
+        assert _verdicts(enforcer.process_batch_timed(second)) == _verdicts(
+            control.process_batch_timed(second)
+        )
+        # No attached store, so the replacement shipped as a full sync.
+        assert enforcer.aggregate_stats().pool_snapshot_syncs > 0
+        enforcer.close()
+
+    def test_tiny_ring_falls_back_to_pickling(self, database, replay, policy):
+        enforcer = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="pool", ring_bytes=8,
+        )
+        control = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="sequential",
+        )
+        burst = replay[:120]
+        assert _verdicts(enforcer.process_batch_timed(burst)) == _verdicts(
+            control.process_batch_timed(burst)
+        )
+        stats = enforcer.aggregate_stats()
+        assert stats.pool_pickled_batches > 0
+        assert stats.pool_ring_batches == 0
+        enforcer.close()
+
+    def test_results_carry_original_packet_objects(self, database, replay, policy):
+        # The ring codec drops provenance (enforcement never reads it);
+        # the parent must stitch verdicts onto its own packet objects so
+        # callers keep full-fidelity packets.
+        enforcer = ShardedEnforcer(
+            database=database, policy=policy, num_shards=2,
+            keep_records=False, backend="pool",
+        )
+        burst = replay[:40]
+        batch = enforcer.process_batch_timed(burst)
+        assert [packet for _, packet in batch.results] == burst
+        assert all(
+            returned is original
+            for (_, returned), original in zip(batch.results, burst)
+        )
+        enforcer.close()
+
+    def test_pool_records_match_sequential(self, database, replay, policy):
+        def run(backend):
+            enforcer = ShardedEnforcer(
+                database=database, policy=make_policy(), num_shards=2,
+                keep_records=True, backend=backend,
+            )
+            enforcer.process_batch_timed(replay[:80])
+            records = [
+                (record.packet_id, record.verdict, record.reason, record.app_id)
+                for record in enforcer.records
+            ]
+            enforcer.close()
+            return records
+
+        assert run("pool") == run("sequential")
+
+
+# -- worker-crash robustness -----------------------------------------------------------
+
+
+@needs_fork
+class TestCrashRecovery:
+    def test_killed_worker_respawns_and_replays(self, database, policy):
+        # A batch big enough that the worker is still enforcing when the
+        # kill lands, so the pending batch must be replayed from the
+        # parent's spec on the respawned worker.
+        big_replay = build_replay(
+            database.entries(), packets=4000, flows=64, seed=13
+        )
+        enforcer = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="pool", flow_cache_size=0,
+        )
+        control = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="sequential", flow_cache_size=0,
+        )
+        warm = big_replay[:100]
+        assert _verdicts(enforcer.process_batch_timed(warm)) == _verdicts(
+            control.process_batch_timed(warm)
+        )
+        token = enforcer.submit_batch(big_replay)
+        enforcer._pool.kill_worker(0)
+        batch = enforcer.collect_batch(token)
+        assert _verdicts(batch) == _verdicts(control.process_batch_timed(big_replay))
+        stats = enforcer.aggregate_stats()
+        assert stats.pool_worker_crashes == 1
+        assert stats.pool_worker_respawns == 1
+        assert stats.pool_batches_replayed >= 1
+        # The pool keeps enforcing normally after the respawn.
+        tail = big_replay[:60]
+        assert _verdicts(enforcer.process_batch_timed(tail)) == _verdicts(
+            control.process_batch_timed(tail)
+        )
+        enforcer.close()
+
+    def test_fleet_pool_survives_worker_crash(self, database, replay, policy):
+        def build(backend):
+            return GatewayFleet(
+                database=database, policy=make_policy(), num_gateways=2,
+                live=True, backend=backend, keep_records=False,
+            )
+
+        pool_fleet = build("pool")
+        control = build("sequential")
+        bursts = [replay[i : i + 100] for i in range(0, len(replay), 100)]
+        pool_verdicts, control_verdicts = [], []
+        for index, burst in enumerate(bursts):
+            token = pool_fleet.submit_burst(burst)
+            if index == 1:
+                pool_fleet._pool.kill_worker(0)
+            result = pool_fleet.collect_burst(token)
+            pool_verdicts.extend(verdict for verdict, _ in result.results)
+            control_verdicts.extend(
+                verdict
+                for verdict, _ in control.process_batch_timed(burst).results
+            )
+        assert pool_verdicts == control_verdicts
+        stats = pool_fleet.aggregate_stats()
+        assert stats.pool_worker_crashes == 1
+        assert stats.pool_worker_respawns == 1
+        pool_fleet.close()
+
+
+# -- stats plumbing --------------------------------------------------------------------
+
+
+def test_pool_counters_are_merge_safe():
+    from repro.core.policy_enforcer import EnforcerStats
+
+    left, right = EnforcerStats(), EnforcerStats()
+    left.pool_worker_crashes = 1
+    left.pool_ring_batches = 5
+    right.pool_worker_crashes = 2
+    right.pool_delta_pushes = 3
+    right.backend_fallbacks = 1
+    left.merge(right)
+    assert left.pool_worker_crashes == 3
+    assert left.pool_ring_batches == 5
+    assert left.pool_delta_pushes == 3
+    assert left.backend_fallbacks == 1
