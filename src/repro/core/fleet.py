@@ -42,7 +42,7 @@ from repro.core.policy_store import (
 from repro.netstack.ip import IPPacket
 from repro.netstack.netfilter import Verdict, flow_hash
 from repro.netstack.sharding import ShardedEnforcer
-from repro.runtime.pool import GatewayWorkerPool, fork_available
+from repro.runtime.pool import GatewayWorkerPool, WorkerPoolError, fork_available
 
 logger = logging.getLogger(__name__)
 
@@ -141,6 +141,10 @@ class GatewayFleet:
         self.backend = backend
         self._pool = None
         self._pool_finalizer = None
+        # Degraded-pool pipelined bursts run synchronously at submit time
+        # and buffer their results here until collected by token.
+        self._sync_bursts: dict[int, FleetBatchResult] = {}
+        self._next_sync_token = 0
         if store is None:
             store = PolicyStore.from_policy(
                 policy if policy is not None else Policy.allow_all(), name="fleet-policy"
@@ -271,14 +275,16 @@ class GatewayFleet:
         other per-gateway cost in the parallel model.  The auditor is
         kept so gateways added later (:meth:`add_gateway`) publish too.
         """
+        # Pool workers install their record-capture hooks at fork time;
+        # a pipeline attached afterwards would go unseen, so respawn
+        # (fails fast, before any replica is touched, if bursts are
+        # outstanding).
+        self._restart_pool()
         self._auditor = auditor
         for replica in self.replicas:
             replica.enforcer.attach_audit_sink(
                 auditor.pipeline_for(replica.name), replica.name
             )
-        # Pool workers install their record-capture hooks at fork time;
-        # a pipeline attached afterwards would go unseen, so respawn.
-        self._restart_pool()
 
     def attach_ops(self, control_plane) -> None:
         """Wire the operator control plane's telemetry onto every gateway.
@@ -362,8 +368,17 @@ class GatewayFleet:
             self._pool_finalizer = weakref.finalize(self, self._pool.close)
         return self._pool
 
-    def _restart_pool(self) -> None:
+    def _restart_pool(self, drop_outstanding: bool = False) -> None:
+        """Tear the gateway pool down (fresh workers fork at the next
+        burst).  Refuses while pipelined bursts are outstanding — their
+        verdicts would be silently lost — except from an explicit
+        :meth:`close`."""
         if self._pool is not None:
+            if self._pool.outstanding and not drop_outstanding:
+                raise WorkerPoolError(
+                    f"{self._pool.outstanding} pipelined burst(s) still "
+                    "outstanding; collect them before reconfiguring the fleet"
+                )
             self._local_stats.merge(self._pool.stats)
             if self._pool_finalizer is not None:
                 self._pool_finalizer.detach()
@@ -372,8 +387,12 @@ class GatewayFleet:
             self._pool = None
 
     def close(self) -> None:
-        """Stop gateway pool workers, if any.  Safe on any backend."""
-        self._restart_pool()
+        """Stop gateway pool workers, if any.  Safe on any backend.
+
+        Uncollected pipelined bursts are discarded — the caller is
+        ending the fleet's life, so there is nowhere to deliver them.
+        """
+        self._restart_pool(drop_outstanding=True)
 
     def submit_burst(self, packets: list[IPPacket]) -> int:
         """Hand a burst to the gateway workers without waiting.
@@ -385,7 +404,19 @@ class GatewayFleet:
         commit edits, drain telemetry or catch replicas up while the
         workers enforce; pipe FIFO order keeps the worker-side replay of
         records and batches in exactly the serial interleaving.
+
+        Pipelining is a pool-backend feature: a fleet that asked for the
+        pool but degraded (no fork start method) runs the burst
+        synchronously right here and :meth:`collect_burst` hands back
+        the buffered result — the rollout still runs, just in-process.
+        An explicitly sequential fleet raises.
         """
+        if self.backend != "pool":
+            self._check_pipelined_backend()
+            token = self._next_sync_token
+            self._next_sync_token += 1
+            self._sync_bursts[token] = self.process_batch_timed(packets)
+            return token
         pool = self._ensure_pool()
         pool.push_log(
             self.store.delta_log,
@@ -395,6 +426,17 @@ class GatewayFleet:
 
     def collect_burst(self, token: int | None = None) -> FleetBatchResult:
         """Harvest a submitted burst (default: the oldest outstanding)."""
+        if self.backend != "pool":
+            self._check_pipelined_backend()
+            if not self._sync_bursts:
+                raise WorkerPoolError("no outstanding burst to collect")
+            if token is None:
+                token = min(self._sync_bursts)
+            if token not in self._sync_bursts:
+                raise WorkerPoolError(
+                    f"unknown or already-collected burst token {token}"
+                )
+            return self._sync_bursts.pop(token)
         burst = self._ensure_pool().collect(token)
         return FleetBatchResult(
             results=burst.results,
@@ -403,6 +445,13 @@ class GatewayFleet:
             backend="pool",
             measured_wall_s=burst.wall_s,
         )
+
+    def _check_pipelined_backend(self) -> None:
+        if not (self.degraded and self.requested_backend == "pool"):
+            raise ValueError(
+                "pipelined bursts need backend='pool'; this fleet runs "
+                f"backend={self.backend!r}"
+            )
 
     # -- aggregated inspection ----------------------------------------------------------
 
@@ -418,11 +467,12 @@ class GatewayFleet:
         return total
 
     def reset(self) -> None:
+        # Worker-side state cannot rewind in place; fresh forks at the
+        # next pool burst start from the reset replicas.  The restart
+        # fails fast (outstanding bursts) before any replica is touched.
+        self._restart_pool()
         for replica in self.replicas:
             replica.enforcer.reset()
-        # Worker-side state cannot rewind in place; fresh forks at the
-        # next pool burst start from the reset replicas.
-        self._restart_pool()
         self._local_stats = EnforcerStats()
         if self.degraded:
             self._local_stats.backend_fallbacks += 1

@@ -209,6 +209,10 @@ class ShardedEnforcer:
         self._control = None
         self._pool = None
         self._pool_finalizer = None
+        # Degraded-pool pipelined bursts run synchronously at submit time
+        # and buffer their results here until collected by token.
+        self._sync_bursts: dict[int, BatchResult] = {}
+        self._next_sync_token = 0
         self.shards: list[PolicyEnforcer] = [
             PolicyEnforcer(database=database, policy=policy, **enforcer_kwargs)
             for _ in range(num_shards)
@@ -240,8 +244,8 @@ class ShardedEnforcer:
         shadow automatically, so sharded gateways inside a fleet get the
         record-push path for free.
         """
-        self._control = store
         self._restart_pool()
+        self._control = store
 
     def set_policy(self, policy) -> None:
         """Swap the policy on every shard (compiles and flushes each cache)."""
@@ -339,15 +343,25 @@ class ShardedEnforcer:
             self._pool_finalizer = weakref.finalize(self, self._pool.close)
         return self._pool
 
-    def _restart_pool(self) -> None:
+    def _restart_pool(self, drop_outstanding: bool = False) -> None:
         """Tear the pool down; the next pool batch respawns fresh workers.
 
         Used when worker-side state must be rebuilt (control store or
         audit sink attached after workers forked, :meth:`reset`).  Pool
         runtime counters fold into :attr:`aggregate_stats` first so a
-        restart never loses them.
+        restart never loses them.  Submitted-but-uncollected pipelined
+        bursts would lose their verdicts in the teardown, so the restart
+        refuses while any are outstanding — collect them first; only an
+        explicit :meth:`close` discards them (``drop_outstanding``).
         """
         if self._pool is not None:
+            if self._pool.outstanding and not drop_outstanding:
+                from repro.runtime.pool import WorkerPoolError
+
+                raise WorkerPoolError(
+                    f"{self._pool.outstanding} pipelined burst(s) still "
+                    "outstanding; collect them before reconfiguring the pool"
+                )
             self._local_stats.merge(self._pool.stats)
             if self._pool_finalizer is not None:
                 self._pool_finalizer.detach()
@@ -356,8 +370,12 @@ class ShardedEnforcer:
             self._pool = None
 
     def close(self) -> None:
-        """Stop pool workers, if any.  Safe to call on any backend."""
-        self._restart_pool()
+        """Stop pool workers, if any.  Safe to call on any backend.
+
+        Uncollected pipelined bursts are discarded — the caller is
+        ending the enforcer's life, so there is nowhere to deliver them.
+        """
+        self._restart_pool(drop_outstanding=True)
 
     # -- telemetry ---------------------------------------------------------------------
 
@@ -372,11 +390,12 @@ class ShardedEnforcer:
         :meth:`_process_batch_forked`) — ``keep_records`` does not need
         to be on for that.
         """
+        # Pool workers install their capture hooks at fork time; a sink
+        # attached afterwards would go unseen, so respawn them (fails
+        # fast, before any shard is touched, if bursts are outstanding).
+        self._restart_pool()
         for shard in self.shards:
             shard.attach_audit_sink(sink, source)
-        # Pool workers install their capture hooks at fork time; a sink
-        # attached afterwards would go unseen, so respawn them.
-        self._restart_pool()
 
     # -- flow routing ------------------------------------------------------------------
 
@@ -534,11 +553,26 @@ class ShardedEnforcer:
         prepare the next burst while workers enforce; pipe FIFO order
         keeps verdicts identical to the synchronous path.  Returns a
         token for :meth:`collect_batch`.
+
+        Pipelining is a pool-backend feature: on an enforcer that asked
+        for the pool but degraded (no fork start method) the burst runs
+        synchronously right here and :meth:`collect_batch` hands back the
+        buffered result — degraded gateways keep enforcing, they just
+        lose the overlap.  Any other backend raises.
         """
+        if self.backend != "pool":
+            self._check_pipelined_backend()
+            token = self._next_sync_token
+            self._next_sync_token += 1
+            self._sync_bursts[token] = self.process_batch_timed(packets)
+            return token
         return self._ensure_pool().submit(packets)
 
     def collect_batch(self, token: int | None = None) -> BatchResult:
         """Harvest a submitted burst (default: the oldest outstanding)."""
+        if self.backend != "pool":
+            self._check_pipelined_backend()
+            return self._collect_sync_burst(token)
         burst = self._ensure_pool().collect(token)
         return BatchResult(
             results=burst.results,
@@ -547,6 +581,26 @@ class ShardedEnforcer:
             backend="pool",
             measured_wall_s=burst.wall_s,
         )
+
+    def _check_pipelined_backend(self) -> None:
+        if not (self.degraded and self.requested_backend == "pool"):
+            raise ValueError(
+                "pipelined bursts need backend='pool'; this enforcer runs "
+                f"backend={self.backend!r}"
+            )
+
+    def _collect_sync_burst(self, token: int | None):
+        from repro.runtime.pool import WorkerPoolError
+
+        if not self._sync_bursts:
+            raise WorkerPoolError("no outstanding burst to collect")
+        if token is None:
+            token = min(self._sync_bursts)
+        if token not in self._sync_bursts:
+            raise WorkerPoolError(
+                f"unknown or already-collected burst token {token}"
+            )
+        return self._sync_bursts.pop(token)
 
     # -- aggregated inspection ----------------------------------------------------------
 
@@ -594,11 +648,13 @@ class ShardedEnforcer:
             shard.clear_records()
 
     def reset(self) -> None:
+        # Worker-side caches/stats cannot be rewound in place; fresh
+        # forks at the next pool batch start from the reset state.  The
+        # restart fails fast (outstanding bursts) before any shard is
+        # touched.
+        self._restart_pool()
         for shard in self.shards:
             shard.reset()
-        # Worker-side caches/stats cannot be rewound in place; fresh
-        # forks at the next pool batch start from the reset state.
-        self._restart_pool()
         self._local_stats = EnforcerStats()
         # Degradation is a platform property, not a counter: it survives
         # a reset, and so does its stats flag.

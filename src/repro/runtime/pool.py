@@ -352,6 +352,7 @@ class _PoolWorker:
         "version",
         "shadow_stale",
         "flushed",
+        "incarnation",
     )
 
     def __init__(self, index: int, ring: PacketRing):
@@ -365,6 +366,9 @@ class _PoolWorker:
         self.version = 0
         self.shadow_stale = False
         self.flushed = None
+        #: Bumped at every (re)spawn; lets a caller that pumped mid-path
+        #: detect that a revive replayed the work it was about to send.
+        self.incarnation = 0
 
 
 class WorkerPool:
@@ -446,6 +450,7 @@ class WorkerPool:
         worker.version = spec.version()
         worker.shadow_stale = False
         worker.flushed = "spawned"
+        worker.incarnation += 1
 
     def close(self) -> None:
         """Stop every worker and release rings/pipes.  Idempotent."""
@@ -649,10 +654,17 @@ class WorkerPool:
         pending = _PendingBatch(token, worker.next_seq, positions, group, mode, payload, region)
         worker.next_seq += 1
         worker.pending.append(pending)
+        incarnation = worker.incarnation
         # Drain whatever results are ready before pushing more work:
         # keeps the result pipe shallow so the two directions cannot
         # fill (and deadlock) simultaneously.
         self._pump(block=False)
+        if worker.incarnation != incarnation:
+            # The pump found the worker dead and _revive already replayed
+            # every pending batch — including the one just queued, under a
+            # reassigned seq.  Sending it again would enforce it twice and
+            # trip the out-of-order check on the duplicate result.
+            return
         self._send(worker, ("batch", pending.seq, mode, payload))
 
     def _send(self, worker: _PoolWorker, message) -> None:

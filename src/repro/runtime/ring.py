@@ -79,30 +79,41 @@ def encode_packet(packet: IPPacket) -> bytes:
     """
     if not 0 <= packet.ttl <= 0xFFFF or not 0 <= packet.payload_size <= 0xFFFFFFFF:
         raise RingCodecError("ttl/payload_size out of codec range")
+    if not 0 <= packet.protocol <= 0xFF:
+        raise RingCodecError("protocol out of codec range")
+    if not 0 <= packet.src_port <= 0xFFFF or not 0 <= packet.dst_port <= 0xFFFF:
+        raise RingCodecError("port out of codec range")
+    if not 0 <= packet.packet_id <= 0xFFFFFFFFFFFFFFFF:
+        raise RingCodecError("packet_id out of codec range")
     flags = 0
     tail = b""
-    if packet.socket_id is not None:
-        flags |= _FLAG_SOCKET
-        tail += _ID64.pack(packet.socket_id)
-    if packet.connection_id is not None:
-        flags |= _FLAG_CONNECTION
-        tail += _ID64.pack(packet.connection_id)
     for option in packet.options:
         if option.option_type == OPTION_END_OF_LIST:
             raise RingCodecError("EOL option does not survive an options round trip")
     option_bytes = packet.options.to_bytes()
     if len(option_bytes) > 0xFF:
         raise RingCodecError("options field exceeds codec limit")
-    fixed = _FIXED.pack(
-        packet.packet_id,
-        packet.created_at_ms,
-        packet.payload_size,
-        packet.src_port,
-        packet.dst_port,
-        packet.ttl,
-        packet.protocol,
-        flags,
-    )
+    try:
+        if packet.socket_id is not None:
+            flags |= _FLAG_SOCKET
+            tail += _ID64.pack(packet.socket_id)
+        if packet.connection_id is not None:
+            flags |= _FLAG_CONNECTION
+            tail += _ID64.pack(packet.connection_id)
+        fixed = _FIXED.pack(
+            packet.packet_id,
+            packet.created_at_ms,
+            packet.payload_size,
+            packet.src_port,
+            packet.dst_port,
+            packet.ttl,
+            packet.protocol,
+            flags,
+        )
+    except struct.error as exc:
+        # Anything the explicit checks missed (socket/connection ids
+        # beyond i64, non-numeric fields): refuse so the caller pickles.
+        raise RingCodecError(f"packet field outside codec range: {exc}") from exc
     return (
         fixed
         + tail

@@ -28,7 +28,7 @@ from repro.netstack.ip import (
     IPPacket,
 )
 from repro.netstack.sharding import ShardedEnforcer
-from repro.runtime.pool import fork_available
+from repro.runtime.pool import WorkerPoolError, fork_available
 from repro.runtime.ring import (
     PacketRing,
     RingCodecError,
@@ -134,6 +134,21 @@ class TestRingCodec:
         with pytest.raises(RingCodecError):
             encode_packet(oversize)
 
+    def test_out_of_range_fixed_fields_are_rejected(self):
+        # IPPacket does not validate these fields, and struct.error is
+        # NOT RingCodecError — it would bypass the pool's pickle
+        # fallback and crash submit instead.
+        base = dict(src_ip="10.0.0.1", dst_ip="10.0.0.2", src_port=1, dst_port=2)
+        for overrides in (
+            {"protocol": 300},
+            {"protocol": -1},
+            {"packet_id": -5},
+            {"packet_id": 1 << 64},
+            {"socket_id": 1 << 70},
+        ):
+            with pytest.raises(RingCodecError):
+                encode_packet(IPPacket(**base, **overrides))
+
     def test_ring_reclaims_released_regions(self):
         ring = PacketRing(size=256)
         blob = b"x" * 100
@@ -201,6 +216,75 @@ class TestDegradation:
         assert fleet.backend == "sequential"
         assert fleet.aggregate_stats().backend_fallbacks == 1
         assert any("degrading to sequential" in message for message in caplog.messages)
+
+    def test_degraded_pipelined_bursts_run_synchronously(
+        self, no_fork, database, replay, policy
+    ):
+        # The pipelined API must not resurrect pool workers on a
+        # degraded enforcer: bursts run in-process at submit time and
+        # collect by token, out of order included.
+        enforcer = ShardedEnforcer(
+            database=database, policy=policy, num_shards=2,
+            keep_records=False, backend="pool",
+        )
+        control = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="sequential",
+        )
+        first, second = replay[:50], replay[50:100]
+        token_first = enforcer.submit_batch(first)
+        token_second = enforcer.submit_batch(second)
+        assert enforcer._pool is None  # no workers were spawned
+        batch_second = enforcer.collect_batch(token_second)
+        batch_first = enforcer.collect_batch(token_first)
+        assert batch_first.backend == "sequential"
+        assert _verdicts(batch_first) == _verdicts(control.process_batch_timed(first))
+        assert _verdicts(batch_second) == _verdicts(control.process_batch_timed(second))
+        with pytest.raises(WorkerPoolError):
+            enforcer.collect_batch()
+        with pytest.raises(WorkerPoolError):
+            enforcer.collect_batch(token_first)
+
+    def test_degraded_fleet_pipelined_bursts_run_synchronously(
+        self, no_fork, database, replay, policy
+    ):
+        fleet = GatewayFleet(
+            database=database, policy=policy, num_gateways=2,
+            live=True, backend="pool", keep_records=False,
+        )
+        control = GatewayFleet(
+            database=database, policy=make_policy(), num_gateways=2,
+            live=True, backend="sequential", keep_records=False,
+        )
+        burst = replay[:60]
+        token = fleet.submit_burst(burst)
+        assert fleet._pool is None
+        result = fleet.collect_burst(token)
+        control_result = control.process_batch_timed(burst)
+        assert [v for v, _ in result.results] == [v for v, _ in control_result.results]
+        with pytest.raises(WorkerPoolError):
+            fleet.collect_burst()
+
+    def test_sequential_backend_rejects_pipelined_bursts(self, database, replay, policy):
+        # An explicitly sequential enforcer/fleet never asked for
+        # pipelining; silently spawning pool workers for it would betray
+        # the backend choice.
+        enforcer = ShardedEnforcer(
+            database=database, policy=policy, num_shards=2,
+            keep_records=False, backend="sequential",
+        )
+        with pytest.raises(ValueError, match="backend='pool'"):
+            enforcer.submit_batch(replay[:10])
+        with pytest.raises(ValueError, match="backend='pool'"):
+            enforcer.collect_batch()
+        assert enforcer._pool is None
+        fleet = GatewayFleet(
+            database=database, policy=make_policy(), num_gateways=2,
+            live=True, backend="sequential", keep_records=False,
+        )
+        with pytest.raises(ValueError, match="backend='pool'"):
+            fleet.submit_burst(replay[:10])
+        assert fleet._pool is None
 
 
 # -- pool parity across policy churn ---------------------------------------------------
@@ -359,6 +443,83 @@ class TestCrashRecovery:
             control.process_batch_timed(tail)
         )
         enforcer.close()
+
+    def test_crash_detected_during_submit_replays_once(self, database, policy):
+        # The first-detection point here is the non-blocking pump inside
+        # the *second* submit's dispatch, not a collect: the revive
+        # replays the just-queued batch, and the dispatch must then skip
+        # its own trailing send — a double send would enforce the batch
+        # twice and abort the burst on the duplicate (out-of-order)
+        # result.
+        big_replay = build_replay(
+            database.entries(), packets=3000, flows=64, seed=19
+        )
+        enforcer = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="pool", flow_cache_size=0,
+        )
+        control = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="sequential", flow_cache_size=0,
+        )
+        first, second = big_replay[:2000], big_replay[2000:]
+        token_first = enforcer.submit_batch(first)
+        enforcer._pool.kill_worker(0)
+        token_second = enforcer.submit_batch(second)
+        batch_first = enforcer.collect_batch(token_first)
+        batch_second = enforcer.collect_batch(token_second)
+        assert _verdicts(batch_first) == _verdicts(control.process_batch_timed(first))
+        assert _verdicts(batch_second) == _verdicts(control.process_batch_timed(second))
+        # A tail batch pumps any stray duplicate result out of the pipe:
+        # a double-sent replay would surface here as WorkerPoolError.
+        tail = big_replay[:80]
+        assert _verdicts(enforcer.process_batch_timed(tail)) == _verdicts(
+            control.process_batch_timed(tail)
+        )
+        stats = enforcer.aggregate_stats()
+        assert stats.pool_worker_crashes == 1
+        assert stats.pool_worker_respawns == 1
+        assert stats.pool_batches_replayed >= 1
+        enforcer.close()
+
+    def test_reconfigure_refuses_while_bursts_outstanding(self, database, replay, policy):
+        # Tearing the pool down with submitted-but-uncollected bursts
+        # would silently discard their verdicts; reset/attach must
+        # refuse until they are collected.  close() is the explicit
+        # discard path and stays allowed.
+        enforcer = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="pool",
+        )
+        token = enforcer.submit_batch(replay[:40])
+        with pytest.raises(WorkerPoolError, match="outstanding"):
+            enforcer.reset()
+        with pytest.raises(WorkerPoolError, match="outstanding"):
+            enforcer.attach_control(
+                PolicyStore.from_policy(make_policy(), name="late")
+            )
+        batch = enforcer.collect_batch(token)
+        assert len(batch.results) == 40
+        enforcer.reset()  # collected: reconfiguration is fine again
+        enforcer.close()
+
+    def test_fleet_reconfigure_refuses_while_bursts_outstanding(
+        self, database, replay, policy
+    ):
+        fleet = GatewayFleet(
+            database=database, policy=make_policy(), num_gateways=2,
+            live=True, backend="pool", keep_records=False,
+        )
+        token = fleet.submit_burst(replay[:40])
+        with pytest.raises(WorkerPoolError, match="outstanding"):
+            fleet.reset()
+        with pytest.raises(WorkerPoolError, match="outstanding"):
+            fleet.add_gateway()
+        assert fleet.num_gateways == 2  # the refused join left no stub
+        result = fleet.collect_burst(token)
+        assert len(result.results) == 40
+        fleet.add_gateway()  # collected: reconfiguration is fine again
+        fleet.close()
 
     def test_fleet_pool_survives_worker_crash(self, database, replay, policy):
         def build(backend):
