@@ -19,6 +19,7 @@ _SMOKE_DEFAULTS = {
     "FLEET_BENCH_PACKETS": "2000",
     "AUDIT_BENCH_PACKETS": "2000",
     "OPS_BENCH_PACKETS": "3000",
+    "OBS_BENCH_PACKETS": "2000",
 }
 
 

@@ -22,6 +22,7 @@ import os
 import pytest
 
 from repro.experiments.audit import run_audit_bench
+from repro.experiments.benchmeta import record_bench_metadata
 from repro.workloads.adversarial import EVASIVE_SCENARIOS
 
 PACKETS = int(os.environ.get("AUDIT_BENCH_PACKETS", "8000"))
@@ -63,6 +64,7 @@ def test_bench_audit_sweep(benchmark):
     )
     print("\n" + result.table())
     assert result.benign_packets == PACKETS
+    record_bench_metadata(benchmark.extra_info, smoke=PACKETS < 5000)
 
 
 def test_borderpatrol_dominates_spoof_and_replay(audit_result):

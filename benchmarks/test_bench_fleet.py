@@ -37,6 +37,7 @@ import os
 
 import pytest
 
+from repro.experiments.benchmeta import record_bench_metadata
 from repro.experiments.fleet import (
     available_cpus,
     run_fleet_bench,
@@ -112,6 +113,7 @@ def test_bench_fleet_sweep(benchmark):
     )
     print("\n" + result.table())
     assert result.packets == PACKETS
+    record_bench_metadata(benchmark.extra_info, smoke=PACKETS < 5000)
 
 
 def test_replicas_converge_to_identical_version(fleet_result):

@@ -19,6 +19,7 @@ import os
 
 import pytest
 
+from repro.experiments.benchmeta import record_bench_metadata
 from repro.experiments.gateway_throughput import run_gateway_bench
 
 PACKETS = int(os.environ.get("GATEWAY_BENCH_PACKETS", "10000"))
@@ -47,6 +48,7 @@ def test_bench_gateway_throughput_sweep(benchmark):
     )
     print("\n" + result.table())
     assert result.packets == PACKETS
+    record_bench_metadata(benchmark.extra_info, smoke=PACKETS < 5000)
 
 
 def test_all_fast_paths_verdict_identical(gateway_result):

@@ -22,6 +22,7 @@ import os
 
 import pytest
 
+from repro.experiments.benchmeta import record_bench_metadata
 from repro.experiments.ops import run_ops_bench
 from repro.workloads.adversarial import CROSS_GATEWAY_SCENARIOS
 
@@ -69,6 +70,7 @@ def test_bench_ops_sweep(benchmark, ops_result):
     assert result.benign_packets == PACKETS
     federated = result.scores["federated"]
     per_gateway = result.scores["per-gateway"]
+    record_bench_metadata(benchmark.extra_info, smoke=PACKETS < 5000)
     benchmark.extra_info["per_gateway_budget_bytes"] = result.per_gateway_budget_bytes
     benchmark.extra_info["fleet_budget_bytes"] = result.fleet_budget_bytes
     benchmark.extra_info["precision_federated"] = federated.precision

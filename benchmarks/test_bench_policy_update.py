@@ -24,6 +24,7 @@ import os
 
 import pytest
 
+from repro.experiments.benchmeta import record_bench_metadata
 from repro.experiments.policy_churn import run_policy_churn
 
 PACKETS = int(os.environ.get("CHURN_BENCH_PACKETS", "10000"))
@@ -56,6 +57,7 @@ def test_bench_policy_churn_sweep(benchmark):
     )
     print("\n" + result.table())
     assert result.packets == PACKETS
+    record_bench_metadata(benchmark.extra_info, smoke=PACKETS < 5000)
 
 
 def test_delta_and_flush_verdict_identical(churn_result):

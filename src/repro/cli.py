@@ -37,7 +37,13 @@ the same operator workflows over the reproduction:
                      operator control plane: per-gateway vs federated
                      recall, streaming (no-calibration) exfil budgets,
                      durable alert-spool round-trip, and alert-bus
-                     overhead.
+                     overhead;
+* ``obs``          — run an instrumented pool replay and render live
+                     ``top``-style profiler frames (per-worker p50/p99
+                     batch latency, stage breakdown, respawn counts,
+                     health events), or a one-shot ``--snapshot``;
+                     ``--export prom|jsonl`` additionally emits the
+                     metrics registry in that format.
 
 Usage::
 
@@ -53,6 +59,8 @@ Usage::
     python -m repro.cli fleet --packets 10000 --devices 120 --gateways 3 --backend pool
     python -m repro.cli audit --packets 8000 --devices 60 --gateways 2
     python -m repro.cli ops --packets 12000 --devices 60 --gateways 4
+    python -m repro.cli obs --packets 4000 --shards 4 --frames 4
+    python -m repro.cli obs --snapshot --export prom --output metrics.prom
 """
 
 from __future__ import annotations
@@ -71,6 +79,7 @@ from repro.experiments.fig3_ioi import run_fig3
 from repro.experiments.fig4_latency import run_fig4, run_fig4_gateway_throughput
 from repro.experiments.fleet import run_fleet_bench, run_late_joiner_bench
 from repro.experiments.gateway_throughput import run_gateway_bench
+from repro.experiments.obs import run_obs_profile
 from repro.experiments.ops import run_ops_bench
 from repro.experiments.policy_churn import run_policy_churn
 from repro.experiments.table_validation import run_validation
@@ -400,6 +409,43 @@ def _cmd_ops(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    try:
+        profile = run_obs_profile(
+            packets=args.packets,
+            flows=args.flows,
+            shards=args.shards,
+            corpus_apps=args.corpus_apps,
+            seed=args.seed,
+            batches=args.batches,
+            sample_every=args.sample_every,
+            frames=1 if args.snapshot else args.frames,
+        )
+    except ValueError as error:
+        print(f"obs rejected: {error}", file=sys.stderr)
+        return 2
+    if args.snapshot:
+        print(profile.final_frame())
+    else:
+        for frame in profile.frames:
+            print(frame)
+            print()
+    if args.export:
+        text = profile.prometheus if args.export == "prom" else profile.jsonl
+        if args.output:
+            Path(args.output).write_text(text, encoding="utf-8")
+            print(f"wrote {args.export} export ({len(text)} bytes) to {args.output}")
+        else:
+            print(text, end="")
+    if profile.degraded:
+        print(
+            "pool degraded to sequential (no fork support): frames carry "
+            "sampled enforcer stages but no live worker rows",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_policy_churn(args: argparse.Namespace) -> int:
     try:
         result = run_policy_churn(
@@ -644,6 +690,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the bus-on vs bus-off throughput comparison",
     )
     ops.set_defaults(func=_cmd_ops)
+
+    obs = subparsers.add_parser(
+        "obs",
+        help="run an instrumented pool replay and render live profiler "
+        "frames: per-worker p50/p99 batch latency, pipeline stage "
+        "breakdown, respawns, and health events",
+    )
+    obs.add_argument("--packets", type=int, default=4_000)
+    obs.add_argument("--flows", type=int, default=128)
+    obs.add_argument("--shards", type=int, default=4)
+    obs.add_argument("--corpus-apps", type=int, default=6, metavar="N")
+    obs.add_argument("--seed", type=int, default=7)
+    obs.add_argument("--batches", type=int, default=8,
+                     help="bursts the replay is split into")
+    obs.add_argument("--frames", type=int, default=4,
+                     help="profiler frames rendered over the replay")
+    obs.add_argument("--sample-every", type=int, default=32, metavar="N",
+                     help="sample enforcer stage latency on every Nth packet")
+    obs.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="one-shot mode: render only the final frame",
+    )
+    obs.add_argument(
+        "--export",
+        choices=("prom", "jsonl"),
+        default=None,
+        help="also emit the metrics registry as Prometheus text or JSONL",
+    )
+    obs.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the --export text to FILE instead of stdout",
+    )
+    obs.set_defaults(func=_cmd_obs)
     return parser
 
 

@@ -141,6 +141,7 @@ class GatewayFleet:
         self.backend = backend
         self._pool = None
         self._pool_finalizer = None
+        self._obs = None
         # Degraded-pool pipelined bursts run synchronously at submit time
         # and buffer their results here until collected by token.
         self._sync_bursts: dict[int, FleetBatchResult] = {}
@@ -240,6 +241,10 @@ class GatewayFleet:
             replica.enforcer.attach_audit_sink(
                 self._auditor.pipeline_for(replica.name), replica.name
             )
+        if self._obs is not None:
+            # Same contract for observability: the joiner's enforcement
+            # reports from its first packet.
+            self._wire_obs(replica)
         if self.live:
             self.store.subscribe_replica(replica)
         self.replicas.append(replica)
@@ -285,6 +290,36 @@ class GatewayFleet:
             replica.enforcer.attach_audit_sink(
                 auditor.pipeline_for(replica.name), replica.name
             )
+
+    def _wire_obs(self, replica) -> None:
+        enforcer = replica.enforcer
+        if hasattr(enforcer, "attach_obs"):
+            enforcer.attach_obs(self._obs)
+        else:
+            enforcer.attach_observability(
+                None if self._obs is None else self._obs.enforcer
+            )
+
+    def attach_obs(self, obs) -> None:
+        """Attach (or detach, with ``None``) a
+        :class:`~repro.obs.instrument.RuntimeObservability` fleet-wide.
+
+        Every gateway's enforcer gets sampled per-stage latency; the
+        pool backend additionally traces each burst batch (serialize →
+        ring write → queue wait → enforce → fold) and folds worker-local
+        registry deltas back into ``obs.registry``.  Pool workers fork
+        with instrumentation in place, so the pool restarts (refusing
+        while pipelined bursts are outstanding).
+        """
+        self._restart_pool()
+        self._obs = obs
+        for replica in self.replicas:
+            self._wire_obs(replica)
+
+    def pool_health(self):
+        """Live :class:`~repro.obs.health.PoolHealthSnapshot` of the
+        gateway pool, or None when no pool is running."""
+        return self._pool.health() if self._pool is not None else None
 
     def attach_ops(self, control_plane) -> None:
         """Wire the operator control plane's telemetry onto every gateway.
@@ -362,7 +397,7 @@ class GatewayFleet:
 
     def _ensure_pool(self) -> GatewayWorkerPool:
         if self._pool is None:
-            self._pool = GatewayWorkerPool(self.replicas)
+            self._pool = GatewayWorkerPool(self.replicas, obs=self._obs)
             # The finalizer holds only the pool (not self): leaked
             # fleets still reap their daemon workers at GC.
             self._pool_finalizer = weakref.finalize(self, self._pool.close)

@@ -57,6 +57,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields
+from time import perf_counter
 
 from repro.core.database import SignatureDatabase
 from repro.core.encoding import EncodingError, IndexWidth, StackTraceEncoder
@@ -325,6 +326,10 @@ class PolicyEnforcer:
         self.flow_cache: FlowCache | None = (
             FlowCache(flow_cache_size) if flow_cache_size > 0 else None
         )
+        #: Observability hook (see ``repro.obs.instrument``).  Detached
+        #: by default: the hot path pays one attribute check per packet.
+        self._obs = None
+        self._obs_tick = 0
         #: Control-plane policy version this enforcer has converged to
         #: (0 until a PolicyStore syncs or deltas it).
         self.policy_version = 0
@@ -434,9 +439,31 @@ class PolicyEnforcer:
         if source is not None:
             self.audit_source = source
 
+    def attach_observability(self, obs) -> None:
+        """Attach (or detach, with ``None``) an
+        :class:`~repro.obs.instrument.EnforcerObservability`: every
+        ``obs.sample_every``-th packet then reports per-stage latency
+        marks.  Verdicts are untouched — instrumentation only times the
+        path the packet takes anyway."""
+        self._obs = obs
+        self._obs_tick = 0
+
     def process(self, packet: IPPacket) -> tuple[Verdict, IPPacket]:
         self.stats.packets_seen += 1
-        verdict, record = self._decide(packet)
+        obs = self._obs
+        if obs is not None:
+            tick = self._obs_tick + 1
+            if tick >= obs.sample_every:
+                self._obs_tick = 0
+                marks: list = []
+                started = perf_counter()
+                verdict, record = self._decide(packet, marks)
+                obs.record(started, marks)
+            else:
+                self._obs_tick = tick
+                verdict, record = self._decide(packet)
+        else:
+            verdict, record = self._decide(packet)
         if verdict is Verdict.ACCEPT:
             self.stats.packets_allowed += 1
         else:
@@ -453,7 +480,11 @@ class PolicyEnforcer:
 
     # -- the three stages -----------------------------------------------------------------
 
-    def _decide(self, packet: IPPacket) -> tuple[Verdict, EnforcementRecord]:
+    def _decide(
+        self, packet: IPPacket, marks: list | None = None
+    ) -> tuple[Verdict, EnforcementRecord]:
+        # ``marks`` collects (stage, perf_counter) completion stamps for
+        # sampled packets (see attach_observability); None on the fast path.
         # The naive path read the live rule list every packet, so rules
         # added in place (policy.add_rule) — or removed by mutating the
         # public ``rules`` list directly — took effect immediately; three
@@ -469,6 +500,8 @@ class PolicyEnforcer:
 
         # Stage 1: extraction.
         tag_bytes = self.encoder.extract_tag_bytes(packet.options)
+        if marks is not None:
+            marks.append(("extract", perf_counter()))
         if tag_bytes is None:
             self.stats.untagged_packets += 1
             verdict = Verdict.DROP if self.drop_untagged else Verdict.ACCEPT
@@ -492,6 +525,8 @@ class PolicyEnforcer:
                 self.stats.cache_invalidations += 1
             cache_key = (packet.flow_tuple, tag_bytes)
             cached = self.flow_cache.get(cache_key)
+            if marks is not None:
+                marks.append(("cache_lookup", perf_counter()))
             if cached is not None:
                 self.stats.cache_hits += 1
                 return cached.verdict, EnforcementRecord(
@@ -510,6 +545,8 @@ class PolicyEnforcer:
         # Stage 2: decoding.
         tag = self.encoder.decode(tag_bytes)
         entry = self.database.lookup_app_id(tag.app_id)
+        if marks is not None:
+            marks.append(("decode", perf_counter()))
         if entry is None:
             self.stats.unknown_apps += 1
             verdict = Verdict.DROP if self.drop_unknown_apps else Verdict.ACCEPT
@@ -556,6 +593,8 @@ class PolicyEnforcer:
             )
             decision = self.policy.evaluate(context)
             self.stats.fallback_evals += 1
+        if marks is not None:
+            marks.append(("eval", perf_counter()))
 
         if cache_key is not None:
             evicted_app = self.flow_cache.put(
@@ -573,6 +612,8 @@ class PolicyEnforcer:
                 self.stats.cache_churn_by_app[evicted_app] = (
                     self.stats.cache_churn_by_app.get(evicted_app, 0) + 1
                 )
+            if marks is not None:
+                marks.append(("cache_put", perf_counter()))
 
         return decision.verdict, EnforcementRecord(
             packet_id=packet.packet_id,

@@ -42,6 +42,13 @@ from repro.experiments.fleet import (
     run_shard_backend_comparison,
 )
 from repro.experiments.ops import OpsBenchResult, run_ops_bench
+from repro.experiments.obs import (
+    ObsBenchResult,
+    ObsProfile,
+    run_obs_bench,
+    run_obs_profile,
+)
+from repro.experiments.benchmeta import bench_metadata, record_bench_metadata
 
 __all__ = [
     "CorpusRunResult",
@@ -72,4 +79,10 @@ __all__ = [
     "run_shard_backend_comparison",
     "OpsBenchResult",
     "run_ops_bench",
+    "ObsBenchResult",
+    "ObsProfile",
+    "run_obs_bench",
+    "run_obs_profile",
+    "bench_metadata",
+    "record_bench_metadata",
 ]

@@ -451,6 +451,10 @@ class FleetBenchResult:
     #: Pool health counters surfaced from the aggregated stats.
     pool_worker_crashes: int = 0
     pool_delta_pushes: int = 0
+    pool_worker_respawns: int = 0
+    backend_fallbacks: int = 0
+    pool_ring_batches: int = 0
+    pool_pickled_batches: int = 0
 
     @property
     def verdicts_match(self) -> bool:
@@ -531,6 +535,12 @@ class FleetBenchResult:
                 f"pipelined wall (modelled compute {self.fleet_wall_s * 1e3:.1f} ms); "
                 f"{self.pool_delta_pushes} delta pushes to live workers, "
                 f"{self.pool_worker_crashes} worker crash(es)"
+            )
+            lines.append(
+                f"pool health: {self.pool_worker_respawns} respawn(s), "
+                f"{self.backend_fallbacks} backend fallback(s); batches "
+                f"{self.pool_ring_batches} via ring, "
+                f"{self.pool_pickled_batches} pickled"
             )
         if self.backend is not None:
             lines.append(self.backend.summary())
@@ -747,6 +757,10 @@ def run_fleet_bench(
     result.decode_errors = aggregated.decode_errors
     result.pool_worker_crashes = aggregated.pool_worker_crashes
     result.pool_delta_pushes = aggregated.pool_delta_pushes
+    result.pool_worker_respawns = aggregated.pool_worker_respawns
+    result.backend_fallbacks = aggregated.backend_fallbacks
+    result.pool_ring_batches = aggregated.pool_ring_batches
+    result.pool_pickled_batches = aggregated.pool_pickled_batches
     # The store seeds at version 0, so its version is exactly the number
     # of churn transactions committed over the schedule.
     result.edits = store.version

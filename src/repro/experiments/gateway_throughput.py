@@ -80,6 +80,14 @@ class GatewayConfigResult:
     shard_packet_counts: tuple[int, ...] = ()
     #: Flow-cache entries lost per app (invalidations + LRU evictions).
     churn_by_app: dict = field(default_factory=dict)
+    #: Persistent-pool health (non-zero only on pool-backed rows):
+    #: crash/respawn counts, construction-time degradations to
+    #: sequential, and ring vs pickled batch transport.
+    pool_worker_crashes: int = 0
+    pool_worker_respawns: int = 0
+    backend_fallbacks: int = 0
+    pool_ring_batches: int = 0
+    pool_pickled_batches: int = 0
 
     @property
     def pps(self) -> float:
@@ -144,13 +152,35 @@ class GatewayBenchResult:
             max((r.unknown_apps for r in self.results.values()), default=0),
             max((r.decode_errors for r in self.results.values()), default=0),
         )
-        return (
-            table
-            + f"\nflow-cache churn by app: {format_churn_by_app(churn)}"
-            + "\nintegrity outcomes: %d untagged, %d unknown-app, %d decode-failure"
-            % integrity
-            + f"\nall paths verdict-identical: {self.verdicts_match}"
-        )
+        lines = [
+            table,
+            f"flow-cache churn by app: {format_churn_by_app(churn)}",
+            "integrity outcomes: %d untagged, %d unknown-app, %d decode-failure"
+            % integrity,
+        ]
+        # Pool health appears once any row ran on the persistent pool
+        # (or a fork backend degraded at construction).
+        pooled = [
+            r
+            for r in self.results.values()
+            if r.pool_ring_batches
+            or r.pool_pickled_batches
+            or r.pool_worker_crashes
+            or r.backend_fallbacks
+        ]
+        if pooled:
+            crashes = sum(r.pool_worker_crashes for r in pooled)
+            respawns = sum(r.pool_worker_respawns for r in pooled)
+            fallbacks = sum(r.backend_fallbacks for r in pooled)
+            ring = sum(r.pool_ring_batches for r in pooled)
+            pickled = sum(r.pool_pickled_batches for r in pooled)
+            lines.append(
+                f"pool health: {crashes} crash(es), {respawns} respawn(s), "
+                f"{fallbacks} backend fallback(s); batches {ring} via ring, "
+                f"{pickled} pickled"
+            )
+        lines.append(f"all paths verdict-identical: {self.verdicts_match}")
+        return "\n".join(lines)
 
 
 def build_signature_database(corpus_apps: int = 6, seed: int = 7) -> SignatureDatabase:
@@ -228,6 +258,11 @@ def _snapshot(name: str, packets: int, wall_s: float, verdicts, stats) -> Gatewa
         unknown_apps=stats.unknown_apps,
         decode_errors=stats.decode_errors,
         churn_by_app=dict(stats.cache_churn_by_app),
+        pool_worker_crashes=stats.pool_worker_crashes,
+        pool_worker_respawns=stats.pool_worker_respawns,
+        backend_fallbacks=stats.backend_fallbacks,
+        pool_ring_batches=stats.pool_ring_batches,
+        pool_pickled_batches=stats.pool_pickled_batches,
     )
 
 

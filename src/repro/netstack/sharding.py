@@ -207,6 +207,7 @@ class ShardedEnforcer:
         self.backend = backend
         self._ring_bytes = ring_bytes
         self._control = None
+        self._obs = None
         self._pool = None
         self._pool_finalizer = None
         # Degraded-pool pipelined bursts run synchronously at submit time
@@ -337,6 +338,7 @@ class ShardedEnforcer:
                 self.shards,
                 control=self._control,
                 ring_bytes=ring_bytes,
+                obs=self._obs,
             )
             # The finalizer holds only the pool (not self): leaked
             # enforcers still reap their daemon workers at GC.
@@ -396,6 +398,31 @@ class ShardedEnforcer:
         self._restart_pool()
         for shard in self.shards:
             shard.attach_audit_sink(sink, source)
+
+    # -- observability -----------------------------------------------------------------
+
+    def attach_obs(self, obs) -> None:
+        """Attach (or detach, with ``None``) a
+        :class:`~repro.obs.instrument.RuntimeObservability`.
+
+        Local shards get sampled per-stage enforcement latency; the pool
+        backend additionally captures batch span traces and merges each
+        worker's local registry deltas as they ride home on batch
+        results.  Like :meth:`attach_control`, workers fork with their
+        instrumentation in place, so the pool restarts (refusing while
+        pipelined bursts are outstanding).
+        """
+        self._restart_pool()
+        self._obs = obs
+        enforcer_obs = None if obs is None else obs.enforcer
+        for shard in self.shards:
+            shard.attach_observability(enforcer_obs)
+
+    def pool_health(self):
+        """Live :class:`~repro.obs.health.PoolHealthSnapshot`, or None
+        when no pool is running (sequential backend, degraded, or no
+        batch submitted yet)."""
+        return self._pool.health() if self._pool is not None else None
 
     # -- flow routing ------------------------------------------------------------------
 

@@ -1,0 +1,203 @@
+"""Pool health model: structural snapshots and threshold alerting.
+
+:class:`PoolHealthSnapshot` captures what the cumulative
+``EnforcerStats`` counters cannot show — the *live* shape of a worker
+pool (per-worker queue depth, in-flight bursts, incarnations) next to
+its crash/respawn/fallback totals.  :class:`PoolHealthMonitor` applies
+threshold rules over successive snapshots and emits structured
+:class:`~repro.telemetry.detectors.Alert` events onto the operator
+:class:`~repro.ops.bus.AlertBus` — edge-triggered, so a persistent
+condition alerts once until it clears (or worsens, for crashes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.detectors import Alert
+
+__all__ = [
+    "PoolHealthSnapshot",
+    "HealthThresholds",
+    "PoolHealthMonitor",
+]
+
+
+@dataclass(frozen=True)
+class PoolHealthSnapshot:
+    """Point-in-time structural view of one worker pool."""
+
+    name: str
+    workers: int
+    queue_depths: tuple[int, ...]
+    outstanding_bursts: int
+    incarnations: tuple[int, ...]
+    alive: tuple[bool, ...]
+    crashes: int
+    respawns: int
+    batches_replayed: int
+    ring_batches: int
+    pickled_batches: int
+    delta_pushes: int
+    snapshot_syncs: int
+
+    @property
+    def respawn_counts(self) -> tuple[int, ...]:
+        """Respawns per worker slot (incarnation 1 = the original fork)."""
+        return tuple(max(0, incarnation - 1) for incarnation in self.incarnations)
+
+    @property
+    def pickle_fallback_ratio(self) -> float:
+        total = self.ring_batches + self.pickled_batches
+        return self.pickled_batches / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "queue_depths": list(self.queue_depths),
+            "outstanding_bursts": self.outstanding_bursts,
+            "incarnations": list(self.incarnations),
+            "alive": list(self.alive),
+            "crashes": self.crashes,
+            "respawns": self.respawns,
+            "batches_replayed": self.batches_replayed,
+            "ring_batches": self.ring_batches,
+            "pickled_batches": self.pickled_batches,
+            "delta_pushes": self.delta_pushes,
+            "snapshot_syncs": self.snapshot_syncs,
+        }
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Rule knobs for :class:`PoolHealthMonitor`."""
+
+    #: Alert when a worker's unharvested-batch queue reaches this depth.
+    max_queue_depth: int = 8
+    #: Alert when this many bursts sit submitted-but-uncollected.
+    max_outstanding_bursts: int = 32
+    #: Alert when more than this fraction of batches fell back from the
+    #: shared ring to pickle transport ...
+    max_pickle_fallback_ratio: float = 0.5
+    #: ... judged only once at least this many batches have shipped.
+    min_batches_for_fallback_rule: int = 8
+
+
+@dataclass
+class PoolHealthMonitor:
+    """Edge-triggered threshold rules over pool health snapshots.
+
+    ``check`` returns the alerts newly raised by this snapshot and, when
+    a bus is attached, publishes them (the bus stamps timestamps).  All
+    alerts ever raised accumulate in :attr:`events`.
+    """
+
+    thresholds: HealthThresholds = field(default_factory=HealthThresholds)
+    bus: object | None = None
+    source: str = "obs"
+    events: list[Alert] = field(default_factory=list)
+    _seen_crashes: dict[str, int] = field(default_factory=dict)
+    _active: set[tuple[str, str]] = field(default_factory=set)
+
+    def check(self, snapshot: PoolHealthSnapshot, degraded: bool = False) -> list[Alert]:
+        fresh: list[Alert] = []
+        rules = self.thresholds
+        name = snapshot.name
+
+        new_crashes = snapshot.crashes - self._seen_crashes.get(name, 0)
+        if new_crashes > 0:
+            self._seen_crashes[name] = snapshot.crashes
+            fresh.append(
+                Alert(
+                    kind="pool-worker-crash",
+                    device=name,
+                    detail=(
+                        f"{new_crashes} new worker crash(es); "
+                        f"{snapshot.respawns} respawn(s), "
+                        f"{snapshot.batches_replayed} batch(es) replayed lifetime"
+                    ),
+                    source=self.source,
+                )
+            )
+
+        for index, depth in enumerate(snapshot.queue_depths):
+            key = (name, f"queue-w{index}")
+            if depth >= rules.max_queue_depth:
+                if key not in self._active:
+                    self._active.add(key)
+                    fresh.append(
+                        Alert(
+                            kind="pool-queue-depth",
+                            device=f"{name}-w{index}",
+                            detail=(
+                                f"{depth} unharvested batch(es) queued "
+                                f"(threshold {rules.max_queue_depth})"
+                            ),
+                            source=self.source,
+                        )
+                    )
+            else:
+                self._active.discard(key)
+
+        key = (name, "outstanding")
+        if snapshot.outstanding_bursts >= rules.max_outstanding_bursts:
+            if key not in self._active:
+                self._active.add(key)
+                fresh.append(
+                    Alert(
+                        kind="pool-burst-backlog",
+                        device=name,
+                        detail=(
+                            f"{snapshot.outstanding_bursts} bursts in flight "
+                            f"(threshold {rules.max_outstanding_bursts})"
+                        ),
+                        source=self.source,
+                    )
+                )
+        else:
+            self._active.discard(key)
+
+        key = (name, "pickle-fallback")
+        shipped = snapshot.ring_batches + snapshot.pickled_batches
+        ratio = snapshot.pickle_fallback_ratio
+        if (
+            shipped >= rules.min_batches_for_fallback_rule
+            and ratio > rules.max_pickle_fallback_ratio
+        ):
+            if key not in self._active:
+                self._active.add(key)
+                fresh.append(
+                    Alert(
+                        kind="pool-ring-fallback",
+                        device=name,
+                        detail=(
+                            f"{snapshot.pickled_batches}/{shipped} batches "
+                            f"({ratio:.0%}) fell back to pickle transport"
+                        ),
+                        source=self.source,
+                    )
+                )
+        else:
+            self._active.discard(key)
+
+        key = (name, "degraded")
+        if degraded:
+            if key not in self._active:
+                self._active.add(key)
+                fresh.append(
+                    Alert(
+                        kind="pool-degraded",
+                        device=name,
+                        detail="pool backend degraded to sequential (no fork support)",
+                        source=self.source,
+                    )
+                )
+        else:
+            self._active.discard(key)
+
+        self.events.extend(fresh)
+        if self.bus is not None:
+            for alert in fresh:
+                self.bus.publish(alert)
+        return fresh

@@ -1,0 +1,121 @@
+"""Cross-process trace spans for the worker-pool data plane.
+
+One :class:`BatchTrace` follows a single batch of a burst from the
+parent's ``submit`` through a shard/gateway worker and back: the parent
+stamps the *serialize* (ring codec) and *ring_write* spans while
+encoding, records the send timestamp, the worker stamps its receive
+timestamp (``time.perf_counter`` is CLOCK_MONOTONIC on Linux, so
+parent- and worker-side stamps share a clock domain on one host), and
+the parent closes the trace with the *queue_wait* (send→receive,
+clamped at zero), *enforce* (the worker's measured compute) and *fold*
+(result stitching) spans when the batch result is harvested.
+
+Traces ride the existing batch envelopes — the worker's reply tuple
+grew one observability slot — so no extra pipe round-trips are spent,
+and completed traces land in a bounded :class:`TraceLog` the profiler
+and exporters read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["POOL_STAGES", "StageSpan", "BatchTrace", "TraceLog"]
+
+#: The pool pipeline stages, in wire order.
+POOL_STAGES: tuple[str, ...] = (
+    "serialize",
+    "ring_write",
+    "queue_wait",
+    "enforce",
+    "fold",
+)
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """One timed stage of one batch; ``start_s`` is a perf_counter stamp."""
+
+    batch_id: str
+    span_id: int
+    stage: str
+    start_s: float
+    duration_s: float
+    worker: int
+
+    def to_dict(self) -> dict:
+        return {
+            "batch_id": self.batch_id,
+            "span_id": self.span_id,
+            "stage": self.stage,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "worker": self.worker,
+        }
+
+
+class BatchTrace:
+    """The spans of one batch, identified by ``pool:burst.seq``."""
+
+    __slots__ = ("batch_id", "worker", "spans")
+
+    def __init__(self, batch_id: str, worker: int) -> None:
+        self.batch_id = batch_id
+        self.worker = worker
+        self.spans: list[StageSpan] = []
+
+    def add(self, stage: str, start_s: float, duration_s: float) -> None:
+        self.spans.append(
+            StageSpan(
+                batch_id=self.batch_id,
+                span_id=len(self.spans),
+                stage=stage,
+                start_s=start_s,
+                duration_s=duration_s,
+                worker=self.worker,
+            )
+        )
+
+    def stage_seconds(self) -> dict[str, float]:
+        return {span.stage: span.duration_s for span in self.spans}
+
+    @property
+    def total_s(self) -> float:
+        return sum(span.duration_s for span in self.spans)
+
+    def to_dict(self) -> dict:
+        return {
+            "batch_id": self.batch_id,
+            "worker": self.worker,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+
+class TraceLog:
+    """A bounded ring of the most recent completed batch traces."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._traces: deque[BatchTrace] = deque(maxlen=max(1, capacity))
+        self.completed = 0
+
+    def append(self, trace: BatchTrace) -> None:
+        self._traces.append(trace)
+        self.completed += 1
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self):
+        return iter(self._traces)
+
+    def last(self) -> BatchTrace | None:
+        return self._traces[-1] if self._traces else None
+
+    def stage_breakdown(self) -> dict[str, float]:
+        """Total seconds per stage across the retained traces."""
+        totals: dict[str, float] = {}
+        for trace in self._traces:
+            for span in trace.spans:
+                totals[span.stage] = totals.get(span.stage, 0.0) + span.duration_s
+        return totals

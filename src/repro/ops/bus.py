@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from collections import deque
 from pathlib import Path
 from dataclasses import replace
@@ -133,12 +134,33 @@ class JsonlSpoolSink(AlertSink):
 
     @staticmethod
     def load(spool_dir) -> list[Alert]:
-        """Every spooled alert, in delivery order, across all segments."""
+        """Every spooled alert, in delivery order, across all segments.
+
+        A crash mid-write can leave the *final* segment with a truncated
+        last line; that line is dropped with a warning and every complete
+        record is still returned.  Corruption anywhere else — a torn line
+        in a non-final segment, or a torn line followed by valid ones —
+        is not a crash signature and still raises.
+        """
         alerts: list[Alert] = []
-        for path in sorted(Path(spool_dir).glob("alerts-*.jsonl")):
-            for line in path.read_text(encoding="utf-8").splitlines():
-                if line:
-                    alerts.append(Alert.from_dict(json.loads(line)))
+        paths = sorted(Path(spool_dir).glob("alerts-*.jsonl"))
+        for index, path in enumerate(paths):
+            lines = path.read_text(encoding="utf-8").splitlines()
+            for line_no, line in enumerate(lines):
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    if index == len(paths) - 1 and line_no == len(lines) - 1:
+                        warnings.warn(
+                            f"dropping truncated final record in {path.name}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        break
+                    raise
+                alerts.append(Alert.from_dict(payload))
         return alerts
 
 
@@ -180,6 +202,35 @@ class AlertBus:
         self.published = 0
         #: Per-sink lifetime delivery failure counts.
         self.delivery_failures: dict[str, int] = {}
+        self._obs_published = None
+        self._obs_dropped = None
+        self._obs_delivered = None
+        self._obs_failures = None
+        self._obs_pending = None
+
+    def attach_observability(self, registry) -> None:
+        """Mirror bus counters into a metrics registry.
+
+        Binds ``alert_bus_*`` counters (published, dropped, per-sink
+        delivered/failures) and a ``alert_bus_pending`` gauge; the
+        publish/pump hot paths update them only once attached.
+        """
+        self._obs_published = registry.counter(
+            "alert_bus_published_total", "Alerts accepted onto the bus."
+        ).labels()
+        self._obs_dropped = registry.counter(
+            "alert_bus_dropped_total", "Publishes refused by backpressure."
+        ).labels()
+        self._obs_delivered = registry.counter(
+            "alert_bus_delivered_total", "Alerts delivered, per sink.", ("sink",)
+        )
+        self._obs_failures = registry.counter(
+            "alert_bus_delivery_failures_total", "Delivery failures, per sink.", ("sink",)
+        )
+        self._obs_pending = registry.gauge(
+            "alert_bus_pending", "Alerts queued awaiting delivery."
+        ).labels()
+        self._obs_pending.set(len(self._pending))
 
     # -- wiring ------------------------------------------------------------------------
 
@@ -206,12 +257,17 @@ class AlertBus:
         """
         if len(self._pending) >= self.capacity:
             self.dropped_backpressure += 1
+            if self._obs_dropped is not None:
+                self._obs_dropped.inc()
             return False
         if self.clock is not None and alert.ts == 0.0:
             alert = replace(alert, ts=self.clock())
         self._pending.append((self._next_seq, alert))
         self._next_seq += 1
         self.published += 1
+        if self._obs_published is not None:
+            self._obs_published.inc()
+            self._obs_pending.set(len(self._pending))
         return True
 
     @property
@@ -233,6 +289,8 @@ class AlertBus:
         for sink in self._sinks:
             delivered[sink.name] = self._pump_sink(sink)
         self._discard_delivered()
+        if self._obs_pending is not None:
+            self._obs_pending.set(len(self._pending))
         return delivered
 
     def _pump_sink(self, sink: AlertSink) -> int:
@@ -245,10 +303,14 @@ class AlertBus:
                 sink.deliver(alert)
             except Exception:
                 self.delivery_failures[sink.name] += 1
+                if self._obs_failures is not None:
+                    self._obs_failures.labels(sink=sink.name).inc()
                 break
             cursor = sequence + 1
             count += 1
         self._cursors[sink.name] = cursor
+        if count and self._obs_delivered is not None:
+            self._obs_delivered.labels(sink=sink.name).inc(count)
         return count
 
     def _discard_delivered(self) -> None:

@@ -68,6 +68,8 @@ from multiprocessing.connection import wait as _connection_wait
 from repro.core.policy_enforcer import EnforcerStats
 from repro.core.policy_store import DeltaLogRecord, GatewayReplica
 from repro.netstack.ip import IPPacket
+from repro.obs.instrument import EnforcerObservability
+from repro.obs.trace import BatchTrace
 from repro.netstack.netfilter import Verdict, flow_hash
 from repro.runtime.ring import (
     DEFAULT_RING_BYTES,
@@ -142,10 +144,11 @@ class _ShardSeedSpec:
     and the replica's construction-time full sync never touches the
     parent shard."""
 
-    def __init__(self, enforcer, store, name: str) -> None:
+    def __init__(self, enforcer, store, name: str, obs_config=None) -> None:
         self.enforcer = enforcer
         self.store = store
         self.name = name
+        self.obs_config = obs_config
 
     def version(self) -> int:
         if self.store is not None:
@@ -162,8 +165,9 @@ class _GatewaySeedSpec:
     """Parent-side recipe for one gateway worker: fork the fleet's own
     replica (enforcer + shadow store), which is current by definition."""
 
-    def __init__(self, replica: GatewayReplica) -> None:
+    def __init__(self, replica: GatewayReplica, obs_config=None) -> None:
         self.replica = replica
+        self.obs_config = obs_config
 
     def version(self) -> int:
         return self.replica.version
@@ -210,6 +214,16 @@ def _worker_main(spec, ring: PacketRing, cmd, out) -> None:
         units = _enforcement_units(seed.enforcer)
         captured: list = []
         _install_capture(units, captured)
+        # Worker-side observability: attach a worker-local registry whose
+        # drained deltas ride home on batch/flush replies, so a respawned
+        # worker is instrumented identically to the one it replaced.
+        obs_config = getattr(spec, "obs_config", None)
+        registry = None
+        if obs_config is not None:
+            registry = obs_config.build_registry()
+            enforcer_obs = EnforcerObservability(registry, obs_config.sample_every)
+            for unit in units:
+                unit.attach_observability(enforcer_obs)
         # Baseline AFTER materialization: a replica seed's construction
         # full-sync must not leak into the first batch's stats delta.
         baseline = _aggregate_stats(units)
@@ -218,6 +232,7 @@ def _worker_main(spec, ring: PacketRing, cmd, out) -> None:
                 message = cmd.recv()
             except (EOFError, OSError):
                 break
+            received = time.perf_counter()
             kind = message[0]
             try:
                 if kind == "batch":
@@ -230,6 +245,10 @@ def _worker_main(spec, ring: PacketRing, cmd, out) -> None:
                     results = [seed.enforcer.process(packet) for packet in packets]
                     elapsed = time.perf_counter() - started
                     current = _aggregate_stats(units)
+                    obs_payload = None
+                    if obs_config is not None:
+                        delta = registry.drain() if registry.enabled else None
+                        obs_payload = (received, delta)
                     out.send(
                         (
                             "batch",
@@ -238,6 +257,7 @@ def _worker_main(spec, ring: PacketRing, cmd, out) -> None:
                             [verdict.value for verdict, _ in results],
                             current.delta_since(baseline),
                             list(captured),
+                            obs_payload,
                         )
                     )
                     baseline = current
@@ -252,8 +272,18 @@ def _worker_main(spec, ring: PacketRing, cmd, out) -> None:
                     seed.enforcer.invalidate_caches()
                 elif kind == "flush":
                     current = _aggregate_stats(units)
+                    obs_payload = None
+                    if obs_config is not None:
+                        delta = registry.drain() if registry.enabled else None
+                        obs_payload = (received, delta)
                     out.send(
-                        ("flush", message[1], current.delta_since(baseline), list(captured))
+                        (
+                            "flush",
+                            message[1],
+                            current.delta_since(baseline),
+                            list(captured),
+                            obs_payload,
+                        )
                     )
                     baseline = current
                     captured.clear()
@@ -303,9 +333,19 @@ class PoolBurst:
 
 
 class _PendingBatch:
-    __slots__ = ("token", "seq", "positions", "packets", "mode", "payload", "region")
+    __slots__ = (
+        "token",
+        "seq",
+        "positions",
+        "packets",
+        "mode",
+        "payload",
+        "region",
+        "spans",
+        "send_ts",
+    )
 
-    def __init__(self, token, seq, positions, packets, mode, payload, region):
+    def __init__(self, token, seq, positions, packets, mode, payload, region, spans=None):
         self.token = token
         self.seq = seq
         self.positions = positions
@@ -313,6 +353,11 @@ class _PendingBatch:
         self.mode = mode
         self.payload = payload
         self.region = region
+        #: Parent-side encode spans {stage: (start, duration)} when
+        #: tracing is active, else None.
+        self.spans = spans
+        #: perf_counter stamp of the (latest) send; replays re-stamp.
+        self.send_ts = 0.0
 
 
 class _Burst:
@@ -389,6 +434,7 @@ class WorkerPool:
         ring_bytes: int = DEFAULT_RING_BYTES,
         name: str = "pool",
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        obs=None,
     ) -> None:
         if not seed_specs:
             raise ValueError("a worker pool needs at least one seed")
@@ -398,6 +444,13 @@ class WorkerPool:
         self._fold = fold
         self._name = name
         self._max_inflight = max(1, max_inflight)
+        #: Optional :class:`~repro.obs.instrument.RuntimeObservability`.
+        #: Span capture (perf_counter stamps around encode/send/fold) is
+        #: additionally gated on ``obs.enabled`` so a null-registry
+        #: attach exercises only the no-op instrument calls.
+        self._obs = obs
+        self._trace_active = obs is not None and obs.enabled
+        self._obs_counts = obs.bind_pool(name) if obs is not None else None
         self._has_shadows = False
         self._closed = False
         self._bursts: dict[int, _Burst] = {}
@@ -633,25 +686,39 @@ class WorkerPool:
         if self._closed:
             raise WorkerPoolError("worker pool is closed")
 
-    def _encode(self, worker: _PoolWorker, group: list[IPPacket]):
+    def _encode(self, worker: _PoolWorker, group: list[IPPacket], spans=None):
         if worker.ring.size:
+            if spans is not None:
+                t0 = time.perf_counter()
             try:
                 blob = encode_batch(group)
             except RingCodecError:
                 blob = None
+            if spans is not None:
+                t1 = time.perf_counter()
+                spans["serialize"] = (t0, t1 - t0)
             if blob is not None:
                 region = worker.ring.try_write(blob)
+                if spans is not None:
+                    spans["ring_write"] = (t1, time.perf_counter() - t1)
                 if region is not None:
                     self.stats.pool_ring_batches += 1
+                    if self._obs_counts is not None:
+                        self._obs_counts.ring.inc()
                     return "ring", region, region
         self.stats.pool_pickled_batches += 1
+        if self._obs_counts is not None:
+            self._obs_counts.pickled.inc()
         return "pickle", group, None
 
     def _dispatch(self, worker, token, positions, group) -> None:
         while len(worker.pending) >= self._max_inflight:
             self._pump(block=True)
-        mode, payload, region = self._encode(worker, group)
-        pending = _PendingBatch(token, worker.next_seq, positions, group, mode, payload, region)
+        spans = {} if self._trace_active else None
+        mode, payload, region = self._encode(worker, group, spans)
+        pending = _PendingBatch(
+            token, worker.next_seq, positions, group, mode, payload, region, spans
+        )
         worker.next_seq += 1
         worker.pending.append(pending)
         incarnation = worker.incarnation
@@ -665,6 +732,8 @@ class WorkerPool:
             # reassigned seq.  Sending it again would enforce it twice and
             # trip the out-of-order check on the duplicate result.
             return
+        if self._trace_active:
+            pending.send_ts = time.perf_counter()
         self._send(worker, ("batch", pending.seq, mode, payload))
 
     def _send(self, worker: _PoolWorker, message) -> None:
@@ -702,7 +771,7 @@ class WorkerPool:
     def _on_message(self, worker: _PoolWorker, message) -> None:
         kind = message[0]
         if kind == "batch":
-            _, seq, elapsed, verdict_values, stats_delta, records = message
+            _, seq, elapsed, verdict_values, stats_delta, records, obs_payload = message
             if not worker.pending or worker.pending[0].seq != seq:
                 raise WorkerPoolError(
                     f"{self._name} worker {worker.index} returned out-of-order "
@@ -711,7 +780,21 @@ class WorkerPool:
             pending = worker.pending.popleft()
             if pending.region is not None:
                 worker.ring.release(pending.region)
+            tracing = self._trace_active and pending.spans is not None
+            if tracing:
+                fold_start = time.perf_counter()
             self._fold(worker.index, stats_delta, records)
+            if self._obs is not None:
+                if self._obs_counts is not None:
+                    self._obs_counts.batches.inc()
+                if obs_payload is not None:
+                    recv_ts, registry_delta = obs_payload
+                    if registry_delta:
+                        self._obs.merge_worker(registry_delta)
+                    if tracing:
+                        self._close_trace(
+                            worker, pending, recv_ts, elapsed, fold_start
+                        )
             burst = self._bursts.get(pending.token)
             if burst is not None:
                 for position, value in zip(pending.positions, verdict_values):
@@ -721,8 +804,10 @@ class WorkerPool:
                 if not burst.remaining:
                     burst.wall_s = time.perf_counter() - burst.started
         elif kind == "flush":
-            _, flush_id, stats_delta, records = message
+            _, flush_id, stats_delta, records, obs_payload = message
             self._fold(worker.index, stats_delta, records)
+            if self._obs is not None and obs_payload is not None and obs_payload[1]:
+                self._obs.merge_worker(obs_payload[1])
             worker.flushed = flush_id
         elif kind == "error":
             raise WorkerPoolError(
@@ -730,6 +815,52 @@ class WorkerPool:
             )
         else:
             raise WorkerPoolError(f"unexpected pool result kind {kind!r}")
+
+    def _close_trace(
+        self, worker: _PoolWorker, pending: _PendingBatch, recv_ts, elapsed, fold_start
+    ) -> None:
+        """Assemble and record the completed batch's span trace.
+
+        Parent and worker stamps share the CLOCK_MONOTONIC perf_counter
+        domain on one host; queue_wait is clamped at zero to absorb the
+        residual cross-process jitter.
+        """
+        trace = BatchTrace(
+            batch_id=f"{self._name}:{pending.token}.{pending.seq}",
+            worker=worker.index,
+        )
+        for stage in ("serialize", "ring_write"):
+            span = pending.spans.get(stage)
+            if span is not None:
+                trace.add(stage, span[0], span[1])
+        if pending.send_ts:
+            trace.add("queue_wait", pending.send_ts, max(0.0, recv_ts - pending.send_ts))
+        trace.add("enforce", recv_ts, elapsed)
+        trace.add("fold", fold_start, time.perf_counter() - fold_start)
+        self._obs.observe_batch(self._name, worker.index, trace)
+
+    def health(self):
+        """A structural :class:`~repro.obs.health.PoolHealthSnapshot`."""
+        from repro.obs.health import PoolHealthSnapshot
+
+        return PoolHealthSnapshot(
+            name=self._name,
+            workers=len(self._workers),
+            queue_depths=tuple(len(worker.pending) for worker in self._workers),
+            outstanding_bursts=len(self._bursts),
+            incarnations=tuple(worker.incarnation for worker in self._workers),
+            alive=tuple(
+                worker.process is not None and worker.process.is_alive()
+                for worker in self._workers
+            ),
+            crashes=self.stats.pool_worker_crashes,
+            respawns=self.stats.pool_worker_respawns,
+            batches_replayed=self.stats.pool_batches_replayed,
+            ring_batches=self.stats.pool_ring_batches,
+            pickled_batches=self.stats.pool_pickled_batches,
+            delta_pushes=self.stats.pool_delta_pushes,
+            snapshot_syncs=self.stats.pool_snapshot_syncs,
+        )
 
     def _revive(self, worker: _PoolWorker) -> None:
         """Respawn a dead worker and replay its unacknowledged batches."""
@@ -756,6 +887,8 @@ class WorkerPool:
             worker.process.join(timeout=5)
             worker.process = None
         self.stats.pool_worker_crashes += 1
+        if self._obs_counts is not None:
+            self._obs_counts.crashes.inc()
         logger.warning(
             "%s worker %d died; respawning and replaying %d pending batch(es)",
             self._name,
@@ -769,6 +902,8 @@ class WorkerPool:
         worker.pending.clear()
         self._spawn(worker)
         self.stats.pool_worker_respawns += 1
+        if self._obs_counts is not None:
+            self._obs_counts.respawns.inc()
         for pending in replay:
             pending.seq = worker.next_seq
             worker.next_seq += 1
@@ -777,9 +912,14 @@ class WorkerPool:
             if burst is not None:
                 burst.replayed += 1
             self.stats.pool_batches_replayed += 1
+            if self._obs_counts is not None:
+                self._obs_counts.replays.inc()
             # Ring regions were never released (no result arrived), and
             # the respawned fork inherits the very same mapping — the
-            # reference replays as-is.
+            # reference replays as-is.  Re-stamp the send: queue_wait
+            # measures this delivery, not the one that died.
+            if self._trace_active:
+                pending.send_ts = time.perf_counter()
             self._send(worker, ("batch", pending.seq, pending.mode, pending.payload))
 
     def _reseed(self, worker: _PoolWorker) -> None:
@@ -808,6 +948,8 @@ class WorkerPool:
         worker.cmd = worker.results = None
         self._spawn(worker)
         self.stats.pool_worker_respawns += 1
+        if self._obs_counts is not None:
+            self._obs_counts.respawns.inc()
 
 
 class ShardWorkerPool(WorkerPool):
@@ -825,11 +967,13 @@ class ShardWorkerPool(WorkerPool):
         ring_bytes: int = DEFAULT_RING_BYTES,
         name: str = "shard-pool",
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        obs=None,
     ) -> None:
         self._shards = list(shards)
         num_shards = len(self._shards)
+        obs_config = obs.worker_config() if obs is not None else None
         specs = [
-            _ShardSeedSpec(shard, control, f"{name}-w{index}")
+            _ShardSeedSpec(shard, control, f"{name}-w{index}", obs_config)
             for index, shard in enumerate(self._shards)
         ]
         super().__init__(
@@ -839,6 +983,7 @@ class ShardWorkerPool(WorkerPool):
             ring_bytes=ring_bytes,
             name=name,
             max_inflight=max_inflight,
+            obs=obs,
         )
         self._has_shadows = control is not None
 
@@ -865,10 +1010,12 @@ class GatewayWorkerPool(WorkerPool):
         ring_bytes: int = DEFAULT_RING_BYTES,
         name: str = "gateway-pool",
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        obs=None,
     ) -> None:
         self._replicas = list(replicas)
         num_gateways = len(self._replicas)
-        specs = [_GatewaySeedSpec(replica) for replica in self._replicas]
+        obs_config = obs.worker_config() if obs is not None else None
+        specs = [_GatewaySeedSpec(replica, obs_config) for replica in self._replicas]
         super().__init__(
             specs,
             route=lambda packet: flow_hash(packet) % num_gateways,
@@ -876,6 +1023,7 @@ class GatewayWorkerPool(WorkerPool):
             ring_bytes=ring_bytes,
             name=name,
             max_inflight=max_inflight,
+            obs=obs,
         )
         self._has_shadows = True
 

@@ -85,6 +85,10 @@ class TelemetryPipeline(AuditSink):
         self.alerts: list[Alert] = []
         #: Records published through this pipeline.
         self.records_seen = 0
+        # Observability counters (attach_observability); None keeps the
+        # publish fast path at one attribute check.
+        self._obs_records = None
+        self._obs_alerts = None
 
     @property
     def detectors(self) -> tuple[Detector, ...]:
@@ -147,8 +151,21 @@ class TelemetryPipeline(AuditSink):
             None,
         )
 
+    def attach_observability(self, registry, source: str | None = None) -> None:
+        """Count published records and raised alerts into ``registry``
+        (gauge-free: both are monotone counters labeled by gateway)."""
+        label = source or self.source or "gateway"
+        self._obs_records = registry.counter(
+            "telemetry_records_total", "Records published per gateway", ("gateway",)
+        ).labels(gateway=label)
+        self._obs_alerts = registry.counter(
+            "telemetry_alerts_total", "Detector alerts raised per gateway", ("gateway",)
+        ).labels(gateway=label)
+
     def publish(self, record, source: str = "") -> None:
         self.records_seen += 1
+        if self._obs_records is not None:
+            self._obs_records.inc()
         label = source or self.source
         if self.audit_log is not None:
             self.audit_log.append(record)
@@ -184,6 +201,8 @@ class TelemetryPipeline(AuditSink):
             alert = detector.observe(record, label, aggregator)
             if alert is not None:
                 self.alerts.append(alert)
+                if self._obs_alerts is not None:
+                    self._obs_alerts.inc()
                 if self.alert_sink is not None:
                     self.alert_sink(alert)
 
@@ -296,6 +315,9 @@ class FleetAuditor:
         #: ``scan(pipelines) -> list[Alert]``, canonically a
         #: :class:`repro.ops.federation.FleetFederation`).
         self.federation = None
+        #: Metrics registry, when observability is attached: existing
+        #: and lazily-created pipelines all count into it.
+        self.registry = None
 
     # -- wiring ------------------------------------------------------------------------
 
@@ -333,6 +355,8 @@ class FleetAuditor:
             )
             if self.bus is not None:
                 pipeline.alert_sink = self.bus.publish
+            if self.registry is not None:
+                pipeline.attach_observability(self.registry, gateway)
             self.pipelines[gateway] = pipeline
             if self.buffered:
                 self.buffers[gateway] = TelemetryBuffer(pipeline)
@@ -351,6 +375,14 @@ class FleetAuditor:
         self.bus = bus
         for pipeline in self.pipelines.values():
             pipeline.alert_sink = bus.publish
+
+    def attach_observability(self, registry) -> None:
+        """Count record/alert volume per gateway into ``registry``.
+        Existing pipelines are instrumented now; lazily-created ones
+        (late-joining gateways) inherit the registry."""
+        self.registry = registry
+        for gateway, pipeline in self.pipelines.items():
+            pipeline.attach_observability(registry, gateway)
 
     def attach_federation(self, federation) -> None:
         """Install the fleet-level federated detector set.

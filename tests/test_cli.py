@@ -253,6 +253,10 @@ class TestGatewayBenchCommand:
         out = capsys.readouterr().out
         # The sharded rows name the execution engine they actually ran on.
         assert "sharded-2-pool" in out
+        # The health tail: crash/respawn/fallback counters plus the
+        # ring-vs-pickle transport split for the pool rows.
+        assert "pool health:" in out
+        assert "via ring" in out
         assert "all paths verdict-identical: True" in out
 
     def test_gateway_bench_surfaces_fig4_throughput(self, capsys):
@@ -279,6 +283,7 @@ class TestFleetCommand:
         # The pool summary line: measured pipelined wall + live delta pushes.
         assert "gateway pool:" in out
         assert "delta pushes to live workers" in out
+        assert "pool health:" in out
 
     def test_fleet_serial_backend_has_no_pool_line(self, capsys):
         assert main(
@@ -312,6 +317,59 @@ class TestFleetCommand:
                 subparser_help = action.choices[command].format_help()
             # argparse line-wraps the help; compare whitespace-normalized.
             assert "fork start method" in " ".join(subparser_help.split())
+
+
+class TestObsCommand:
+    def test_obs_snapshot_renders_the_worker_table(self, capsys):
+        assert main(
+            ["obs", "--packets", "400", "--flows", "16", "--shards", "2",
+             "--corpus-apps", "2", "--batches", "4", "--snapshot"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "obs profile" in out
+        assert "p50 ms" in out and "p99 ms" in out and "respawns" in out
+        assert "stages:" in out
+        assert "health events" in out
+
+    def test_obs_live_mode_prints_every_frame(self, capsys):
+        assert main(
+            ["obs", "--packets", "400", "--flows", "16", "--shards", "2",
+             "--corpus-apps", "2", "--batches", "4", "--frames", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("obs profile [") == 2
+
+    def test_obs_export_writes_prometheus_text(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        assert main(
+            ["obs", "--packets", "400", "--flows", "16", "--shards", "2",
+             "--corpus-apps", "2", "--batches", "4", "--snapshot",
+             "--export", "prom", "--output", str(metrics)]
+        ) == 0
+        assert "wrote prom export" in capsys.readouterr().out
+        text = metrics.read_text(encoding="utf-8")
+        assert "# TYPE enforcer_packets_seen gauge" in text
+        assert "pool_batches_total" in text or "enforcer_stage_seconds" in text
+
+    def test_obs_export_jsonl_round_trips(self, capsys):
+        assert main(
+            ["obs", "--packets", "400", "--flows", "16", "--shards", "2",
+             "--corpus-apps", "2", "--batches", "4", "--snapshot",
+             "--export", "jsonl"]
+        ) == 0
+        out = capsys.readouterr().out
+        families = [json.loads(line) for line in out.splitlines() if line.startswith("{")]
+        assert any(family.get("name") == "enforcer_packets_seen" for family in families)
+
+    def test_obs_rejects_degenerate_replay(self, capsys):
+        assert main(["obs", "--packets", "2", "--batches", "8"]) == 2
+        assert "obs rejected" in capsys.readouterr().err
+
+    def test_obs_flag_defaults(self):
+        args = build_parser().parse_args(["obs"])
+        assert args.packets == 4000 and args.frames == 4 and not args.snapshot
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "--export", "csv"])
 
 
 class TestAuditCommand:

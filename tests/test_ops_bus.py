@@ -132,6 +132,63 @@ def test_spool_rotates_segments_and_replays_losslessly(tmp_path):
     ]
 
 
+def test_spool_recovers_from_a_truncated_final_segment(tmp_path):
+    # Crash signature: the last record of the last segment was cut off
+    # mid-write.  Replay must return every complete record and warn,
+    # not raise.
+    bus = AlertBus(clock=None)
+    bus.add_sink(JsonlSpoolSink(tmp_path / "alerts", segment_alerts=3))
+    alerts = [make_alert(n) for n in range(7)]
+    for alert in alerts:
+        bus.publish(alert)
+    bus.flush()
+    segments = sorted((tmp_path / "alerts").glob("alerts-*.jsonl"))
+    final = segments[-1]
+    torn = final.read_text(encoding="utf-8").rstrip("\n")
+    final.write_text(torn[: len(torn) - 9], encoding="utf-8")
+    with pytest.warns(RuntimeWarning, match="truncated final record"):
+        replayed = replay_spool(tmp_path / "alerts")
+    assert [alert.to_dict() for alert in replayed] == [
+        alert.to_dict() for alert in alerts[:-1]
+    ]
+
+
+def test_spool_corruption_elsewhere_still_raises(tmp_path):
+    bus = AlertBus(clock=None)
+    bus.add_sink(JsonlSpoolSink(tmp_path / "alerts", segment_alerts=2))
+    for n in range(6):
+        bus.publish(make_alert(n))
+    bus.flush()
+    segments = sorted((tmp_path / "alerts").glob("alerts-*.jsonl"))
+    # A torn line in a non-final segment is not a crash-mid-write
+    # signature — that data was fsynced whole and is genuinely corrupt.
+    text = segments[0].read_text(encoding="utf-8")
+    segments[0].write_text(text[:-9] + "\n", encoding="utf-8")
+    with pytest.raises(ValueError):
+        replay_spool(tmp_path / "alerts")
+
+
+def test_bus_observability_mirrors_counters():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    bus = AlertBus(capacity=3, clock=None)
+    bus.attach_observability(registry)
+    flaky = FlakySink(fail_at=2)
+    bus.add_sink(flaky)
+    for n in range(4):
+        bus.publish(make_alert(n))
+    assert registry.get("alert_bus_published_total").value() == 3
+    assert registry.get("alert_bus_dropped_total").value() == 1
+    assert registry.get("alert_bus_pending").value() == 3
+    bus.pump()
+    assert registry.get("alert_bus_delivered_total").value(sink="flaky") == 1
+    assert registry.get("alert_bus_delivery_failures_total").value(sink="flaky") == 1
+    bus.pump()
+    assert registry.get("alert_bus_delivered_total").value(sink="flaky") == 3
+    assert registry.get("alert_bus_pending").value() == 0
+
+
 def test_flush_leaves_residual_lag_for_a_dead_sink():
     class DeadSink(AlertSink):
         name = "dead"
