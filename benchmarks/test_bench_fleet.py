@@ -24,7 +24,10 @@ and checks the properties the fleet runtime must hold:
 * a gateway attaching after heavy policy churn bootstraps from the
   compacted log's snapshot in O(suffix) records — never more than
   suffix + 1 — instead of replaying the full history, and still lands
-  on the head fingerprint with verdict-identical enforcement.
+  on the head fingerprint with verdict-identical enforcement;
+* the adaptive batch scheduler replaces the hand-tuned static 16-burst
+  split without giving back throughput: verdict-identical by
+  construction, and at least as fast on multi-core hosts.
 
 Run with:  pytest benchmarks/test_bench_fleet.py --benchmark-only
 Smoke mode (CI): set FLEET_BENCH_PACKETS to a smaller replay size.
@@ -42,6 +45,7 @@ from repro.experiments.fleet import (
     available_cpus,
     run_fleet_bench,
     run_late_joiner_bench,
+    run_scheduler_comparison,
     run_shard_backend_comparison,
 )
 
@@ -298,3 +302,59 @@ def test_bench_fleet_pool(benchmark):
     if result.fleet_backend == "pool":
         assert result.fleet_measured_wall_s > 0.0
         assert result.pool_delta_pushes > 0
+
+
+@pytest.fixture(scope="module")
+def scheduler_result():
+    return run_scheduler_comparison(packets=PACKETS, shards=4, corpus_apps=6, seed=7)
+
+
+def test_bench_scheduler(benchmark, scheduler_result):
+    # Adaptive-vs-static batch scheduling on the pooled replay; the row
+    # BENCH_fleet.json archives across PRs.  The timed body re-runs the
+    # comparison, the module fixture supplies the asserted numbers.
+    result = benchmark.pedantic(
+        lambda: run_scheduler_comparison(
+            packets=PACKETS, shards=4, corpus_apps=6, seed=7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["scheduler"] = {
+        "packets": result.packets,
+        "shards": result.shards,
+        "cpus": result.cpus,
+        "backend": result.backend,
+        "static_batches": result.static_batches,
+        "macro_bursts": result.macro_bursts,
+        "sequential_wall_s": result.sequential_wall_s,
+        "static_wall_s": result.static_wall_s,
+        "adaptive_wall_s": result.adaptive_wall_s,
+        "adaptive_vs_static": result.adaptive_vs_static,
+        "decisions": result.decisions,
+        "final_sizes": list(result.final_sizes),
+        "verdicts_match": result.verdicts_match,
+    }
+    print("\n" + result.summary())
+    record_bench_metadata(benchmark.extra_info, smoke=PACKETS < 5000)
+    assert result.verdicts_match
+
+
+def test_adaptive_scheduler_verdict_identical(scheduler_result):
+    # run_scheduler_comparison raises on divergence; the flag must also
+    # survive on the result the JSON row is built from.
+    assert scheduler_result.packets == PACKETS
+    assert scheduler_result.verdicts_match
+
+
+@timing_sensitive
+@multicore
+def test_adaptive_scheduler_at_least_matches_static_split(scheduler_result):
+    # The acceptance bar: scheduled batching must not give back the
+    # static split's throughput on multi-core full runs (a 5% band
+    # absorbs shared-runner noise; smoke runs only assert identity).
+    assert scheduler_result.backend == "pool"
+    assert (
+        scheduler_result.adaptive_wall_s
+        <= scheduler_result.static_wall_s * 1.05
+    )

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Watching the adaptive batch scheduler react to backpressure.
+
+The experiments tuned pool throughput by hand — a static 16-burst split
+of every replay.  PR 10's :class:`BatchScheduler` replaces the hand
+tuning: it sits between the caller and ``WorkerPool.submit``, choosing a
+per-worker batch-size cap for each burst from the signals the PR 9
+observability layer already measures.  This walkthrough drives each
+decision rule with a real pool:
+
+1. **steady state** — collect-each-burst replay, queue wait stays a
+   small multiple of enforce, the scheduler makes *zero* decisions:
+   adaptive behaves exactly like the static split until a signal says
+   otherwise;
+2. **queue-wait spike** — a deep pipelined flood (many bursts submitted
+   before any collect) backs the workers up; the next plan sees
+   ``queue_wait`` dominate the stage window and *shrinks* the caps;
+3. **backpressure alert** — a :class:`PoolHealthMonitor` watching the
+   same flood raises ``pool-burst-backlog``; the scheduler snaps every
+   cap to the safe floor — alerts outrank every other signal;
+4. **the hard bar** — whatever the caps did, the verdict sequence is
+   packet-for-packet identical to the sequential model: resizing moves
+   batch boundaries only, never routing or intra-flow order.
+
+On platforms without the fork start method the pool degrades to
+sequential and this walkthrough has nothing to show.
+
+Run with:  python examples/adaptive_batching.py
+"""
+
+from repro.experiments.gateway_throughput import (
+    DEFAULT_DENY_LIBRARIES,
+    build_replay,
+    build_signature_database,
+)
+from repro.core.policy import Policy
+from repro.experiments.fleet import split_into_bursts
+from repro.netstack.sharding import ShardedEnforcer
+from repro.obs import HealthThresholds, PoolHealthMonitor, RuntimeObservability
+from repro.runtime.pool import fork_available
+
+
+def show(title: str, scheduler) -> None:
+    print(f"\n-- {title}")
+    print(f"   per-worker caps: {scheduler.sizes()}")
+    if scheduler.decisions:
+        for decision in scheduler.decisions:
+            print(
+                f"   decision: worker {decision.worker} {decision.action} "
+                f"({decision.reason}) -> {decision.size}"
+            )
+    else:
+        print("   decisions: none — adaptive is behaving exactly like static")
+
+
+def main() -> None:
+    if not fork_available():
+        print("no fork start method on this platform; the pool (and the "
+              "scheduler riding it) degrades to sequential — nothing to show")
+        return
+
+    database = build_signature_database(corpus_apps=4, seed=7)
+    replay = build_replay(database.entries(), packets=3_000, flows=64, seed=11)
+    policy = Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="adaptive-example")
+
+    obs = RuntimeObservability()
+    enforcer = ShardedEnforcer(
+        database=database,
+        policy=policy,
+        num_shards=2,
+        keep_records=False,
+        backend="pool",
+        flow_cache_size=0,
+        scheduler="adaptive",
+    )
+    enforcer.attach_obs(obs)
+    scheduler = enforcer.scheduler
+    verdicts = []
+
+    # -- 1. steady state: collect each burst before submitting the next.
+    bursts = [burst for burst in split_into_bursts(replay, 12) if burst]
+    for burst in bursts[:6]:
+        result = enforcer.collect_batch(enforcer.submit_batch(burst))
+        verdicts.extend(verdict for verdict, _ in result.results)
+    show("steady state (collect each burst)", scheduler)
+
+    # -- 2. queue-wait spike: flood the pool, then let the next plan see
+    #       the queue-wait-dominated windows the flood left behind.
+    flood = [enforcer.submit_batch(burst) for burst in bursts[6:]]
+    for token in flood:
+        result = enforcer.collect_batch(token)
+        verdicts.extend(verdict for verdict, _ in result.results)
+    result = enforcer.collect_batch(enforcer.submit_batch(bursts[0]))
+    verdicts.extend(verdict for verdict, _ in result.results)
+    show("after a pipelined flood (queue wait dominates)", scheduler)
+    gauge = obs.registry.get("pool_batch_size")
+    print(f"   pool_batch_size gauge, worker 0: "
+          f"{gauge.value(pool='shard-pool', worker='0'):.0f}")
+
+    # -- 3. backpressure alert: a health monitor with a tight burst
+    #       budget watches another flood; its backlog alert snaps every
+    #       cap to the scheduler's safe floor.
+    monitor = PoolHealthMonitor(
+        HealthThresholds(max_outstanding_bursts=4), source="adaptive-example"
+    )
+    scheduler.attach_monitor(monitor)
+    flood = [enforcer.submit_batch(burst) for burst in bursts[:6]]
+    monitor.check(enforcer.pool_health())
+    for token in flood:
+        result = enforcer.collect_batch(token)
+        verdicts.extend(verdict for verdict, _ in result.results)
+    result = enforcer.collect_batch(enforcer.submit_batch(bursts[1]))
+    verdicts.extend(verdict for verdict, _ in result.results)
+    alert = monitor.events[-1]
+    print(f"\n   health alert: {alert.kind} ({alert.detail})")
+    show("after the backlog alert (floor snap)", scheduler)
+    enforcer.close()
+
+    # -- 4. the hard bar: none of that moved a single verdict.
+    control = ShardedEnforcer(
+        database=database,
+        policy=policy,
+        num_shards=2,
+        keep_records=False,
+        backend="sequential",
+        flow_cache_size=0,
+    )
+    expected = []
+    for burst in (
+        bursts[:6] + bursts[6:] + [bursts[0]] + bursts[:6] + [bursts[1]]
+    ):
+        expected.extend(
+            verdict for verdict, _ in control.process_batch_timed(burst).results
+        )
+    control.close()
+    assert verdicts == expected
+    print(f"\nverdict parity: {len(verdicts)} pool verdicts == sequential "
+          f"replay, through every resize and the floor snap")
+
+
+if __name__ == "__main__":
+    main()

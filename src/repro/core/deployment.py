@@ -53,6 +53,8 @@ class BorderPatrolDeployment:
         num_gateways: int = 1,
         shard_backend: str = "sequential",
         gateway_backend: str = "sequential",
+        scheduler: str = "static",
+        scheduler_config=None,
         keep_records: bool = True,
         compact_every: int | None = None,
     ) -> None:
@@ -109,6 +111,8 @@ class BorderPatrolDeployment:
                 live=True,
                 shard_backend=shard_backend,
                 backend=gateway_backend,
+                scheduler=scheduler,
+                scheduler_config=scheduler_config,
                 compact_every=compact_every,
                 **enforcer_kwargs,
             )
@@ -128,9 +132,19 @@ class BorderPatrolDeployment:
                 from repro.netstack.sharding import ShardedEnforcer
 
                 self.enforcer = ShardedEnforcer(
-                    num_shards=enforcer_shards, backend=shard_backend, **enforcer_kwargs
+                    num_shards=enforcer_shards,
+                    backend=shard_backend,
+                    scheduler=scheduler,
+                    scheduler_config=scheduler_config,
+                    **enforcer_kwargs,
                 )
             else:
+                if scheduler != "static":
+                    raise ValueError(
+                        "the adaptive batch scheduler needs a worker pool; "
+                        "build with num_gateways > 1 or enforcer_shards > 1 "
+                        "and the matching *_backend='pool'"
+                    )
                 self.enforcer = PolicyEnforcer(**enforcer_kwargs)
             #: The versioned control plane for the gateway's policy.  Seeded
             #: from the enforcer's initial rules (push=False: the enforcer

@@ -108,6 +108,8 @@ class GatewayFleet:
         shard_backend: str = "sequential",
         backend: str = "sequential",
         compact_every: int | None = None,
+        scheduler: str = "static",
+        scheduler_config=None,
         **enforcer_kwargs,
     ) -> None:
         if num_gateways < 1:
@@ -118,6 +120,25 @@ class GatewayFleet:
             raise ValueError(
                 f"unknown fleet backend {backend!r}; choose from {FLEET_BACKENDS}"
             )
+        from repro.runtime.scheduler import BatchScheduler, validate_scheduler
+
+        validate_scheduler(scheduler)
+        if scheduler == "adaptive" and backend != "pool":
+            raise ValueError("the adaptive batch scheduler needs backend='pool'")
+        #: ``"static"`` (one batch per gateway per burst) or ``"adaptive"``.
+        self.scheduler_mode = scheduler
+        #: The live :class:`~repro.runtime.scheduler.BatchScheduler`
+        #: (None in static mode); ``attach_monitor`` a health monitor on
+        #: it so backlog alerts snap batch sizes to the floor.
+        self.scheduler = (
+            BatchScheduler(
+                num_workers=num_gateways,
+                config=scheduler_config,
+                pool="gateway-pool",
+            )
+            if scheduler == "adaptive"
+            else None
+        )
         if backend == "pool" and shard_backend != "sequential":
             # Gateway workers fork whole replicas; an enforcer holding
             # its own active pool (or forking per batch) inside that
@@ -313,6 +334,8 @@ class GatewayFleet:
         """
         self._restart_pool()
         self._obs = obs
+        if self.scheduler is not None and obs is not None:
+            self.scheduler.bind_obs(obs)
         for replica in self.replicas:
             self._wire_obs(replica)
 
@@ -397,7 +420,16 @@ class GatewayFleet:
 
     def _ensure_pool(self) -> GatewayWorkerPool:
         if self._pool is None:
+            if self.scheduler is not None and self._obs is None:
+                # The adaptive scheduler is driven by the obs layer's
+                # batch traces and histograms; give it a private bundle
+                # when the caller did not attach one.
+                from repro.obs.instrument import RuntimeObservability
+
+                self.attach_obs(RuntimeObservability())
             self._pool = GatewayWorkerPool(self.replicas, obs=self._obs)
+            if self.scheduler is not None:
+                self.scheduler.bind_obs(self._obs)
             # The finalizer holds only the pool (not self): leaked
             # fleets still reap their daemon workers at GC.
             self._pool_finalizer = weakref.finalize(self, self._pool.close)
@@ -457,7 +489,8 @@ class GatewayFleet:
             self.store.delta_log,
             [replica.version for replica in self.replicas],
         )
-        return pool.submit(packets)
+        sizes = None if self.scheduler is None else self.scheduler.plan()
+        return pool.submit(packets, batch_sizes=sizes)
 
     def collect_burst(self, token: int | None = None) -> FleetBatchResult:
         """Harvest a submitted burst (default: the oldest outstanding)."""

@@ -137,6 +137,10 @@ class EnforcerStats:
     #: pipe (ring full, oversized, or codec-incompatible packets).
     pool_ring_batches: int = 0
     pool_pickled_batches: int = 0
+    #: Batches a worker failed deterministically (an enforcement error
+    #: reply, not a crash): popped and failed at collect instead of
+    #: being replayed into the respawn forever.
+    pool_poisoned_batches: int = 0
     #: Parallel backends degraded to sequential at construction because
     #: the platform has no fork start method.
     backend_fallbacks: int = 0

@@ -239,6 +239,162 @@ def run_shard_backend_comparison(
 
 
 @dataclass
+class SchedulerComparison:
+    """Static hand-tuned batching vs the adaptive scheduler on one replay.
+
+    The static side is the experiments' profiled baseline: the replay
+    split into ``static_batches`` equal bursts, one pool batch per
+    routed worker per burst, pipelined submit-ahead.  The adaptive side
+    hands the *same* replay to the pool in a few large macro-bursts and
+    lets a :class:`~repro.runtime.scheduler.BatchScheduler` chunk each
+    worker's share into its per-worker cap, re-planning between
+    submits.  A sequential enforcer provides the verdict reference;
+    the run itself asserts three-way verdict identity, so a scheduler
+    that changed routing or ordering fails loudly, not as a footnote.
+    """
+
+    packets: int
+    shards: int
+    cpus: int
+    #: Bursts in the hand-tuned static split (the profiled 16).
+    static_batches: int
+    #: Macro-bursts the adaptive side submitted (the scheduler chunks
+    #: each into per-worker batches on its own).
+    macro_bursts: int
+    sequential_wall_s: float
+    static_wall_s: float
+    adaptive_wall_s: float
+    verdicts_match: bool
+    #: Resize decisions the scheduler took over the run.
+    decisions: int = 0
+    final_sizes: tuple[int, ...] = ()
+    #: Effective execution backend ("pool", or "sequential" after a
+    #: graceful degradation on fork-less platforms).
+    backend: str = "pool"
+
+    @property
+    def adaptive_vs_static(self) -> float:
+        """Wall-clock speedup of the scheduler over the static split."""
+        if self.adaptive_wall_s <= 0:
+            return float("inf")
+        return self.static_wall_s / self.adaptive_wall_s
+
+    @property
+    def adaptive_speedup(self) -> float:
+        """Wall-clock speedup of the scheduler over sequential."""
+        if self.adaptive_wall_s <= 0:
+            return float("inf")
+        return self.sequential_wall_s / self.adaptive_wall_s
+
+    def summary(self) -> str:
+        sizes = ", ".join(str(size) for size in self.final_sizes) or "-"
+        return "\n".join(
+            [
+                f"batch scheduling on {self.packets} packets, {self.shards} "
+                f"shards, {self.cpus} cpu(s), backend={self.backend}:",
+                f"  sequential              {self.sequential_wall_s * 1e3:8.1f} ms",
+                f"  static {self.static_batches:3d}-burst split    "
+                f"{self.static_wall_s * 1e3:8.1f} ms",
+                f"  adaptive ({self.macro_bursts} macro-bursts) "
+                f"{self.adaptive_wall_s * 1e3:8.1f} ms "
+                f"({self.adaptive_vs_static:.2f}x vs static; "
+                f"{self.decisions} resize decision(s), final caps [{sizes}])",
+                f"  verdict-identical across all three: {self.verdicts_match}",
+            ]
+        )
+
+
+def run_scheduler_comparison(
+    packets: int = 10_000,
+    flows: int = 256,
+    shards: int = 4,
+    corpus_apps: int = 6,
+    seed: int = 7,
+    flow_cache_size: int = 0,
+    batches: int = 16,
+    macro_bursts: int = 4,
+    scheduler_config=None,
+) -> SchedulerComparison:
+    """Prove the adaptive scheduler against the static 16-burst split.
+
+    Both pool runs are pipelined (submit-ahead) over the identical
+    replay with identical shard configuration.  The static run is the
+    exact shape the benchmarks profile — ``batches`` equal bursts, one
+    batch per worker per burst.  The adaptive run submits only
+    ``macro_bursts`` large bursts and lets the scheduler choose the
+    batch boundaries inside each; the scheduler re-plans at every
+    submit, so its resize decisions land between macro-bursts.  Verdict
+    identity across sequential/static/adaptive is asserted here, in the
+    experiment itself — a scheduler bug cannot hide behind a throughput
+    number.
+    """
+    if packets < 1:
+        raise ValueError("the replay needs at least one packet")
+    if shards < 2:
+        raise ValueError("comparing schedulers needs at least two shards")
+    if batches < 1 or macro_bursts < 1:
+        raise ValueError("both burst splits need at least one burst")
+    database = build_signature_database(corpus_apps=corpus_apps, seed=seed)
+    replay = build_replay(database.entries(), packets=packets, flows=flows, seed=seed)
+    static_bursts = [burst for burst in split_into_bursts(replay, batches) if burst]
+    adaptive_bursts = [
+        burst for burst in split_into_bursts(replay, macro_bursts) if burst
+    ]
+    policy = Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="scheduler-compare")
+    kwargs = dict(
+        database=database,
+        policy=policy,
+        num_shards=shards,
+        keep_records=False,
+        flow_cache_size=flow_cache_size,
+    )
+    sequential = ShardedEnforcer(backend="sequential", **kwargs)
+    static = ShardedEnforcer(backend="pool", **kwargs)
+    adaptive = ShardedEnforcer(
+        backend="pool",
+        scheduler="adaptive",
+        scheduler_config=scheduler_config,
+        **kwargs,
+    )
+    warmup = replay[: min(64, len(replay))]
+    sequential.process_batch_timed(warmup)
+    static.process_batch_timed(warmup, backend="sequential")
+    adaptive.process_batch_timed(warmup, backend="sequential")
+
+    seq_verdicts, seq_wall, _ = _run_batched_replay(sequential, static_bursts)
+    static_verdicts, static_wall, _ = _run_batched_replay(
+        static, static_bursts, pipelined=static.backend == "pool"
+    )
+    adaptive_verdicts, adaptive_wall, _ = _run_batched_replay(
+        adaptive, adaptive_bursts, pipelined=adaptive.backend == "pool"
+    )
+    backend = adaptive.backend
+    scheduler = adaptive.scheduler
+    static.close()
+    adaptive.close()
+    verdicts_match = seq_verdicts == static_verdicts == adaptive_verdicts
+    if not verdicts_match:
+        raise RuntimeError(
+            "adaptive scheduler changed verdicts: batch resizing must move "
+            "batch boundaries only, never routing or intra-flow order"
+        )
+    return SchedulerComparison(
+        packets=len(replay),
+        shards=shards,
+        cpus=available_cpus(),
+        static_batches=len(static_bursts),
+        macro_bursts=len(adaptive_bursts),
+        sequential_wall_s=seq_wall,
+        static_wall_s=static_wall,
+        adaptive_wall_s=adaptive_wall,
+        verdicts_match=verdicts_match,
+        decisions=len(scheduler.decisions),
+        final_sizes=tuple(scheduler.sizes()),
+        backend=backend,
+    )
+
+
+@dataclass
 class LateJoinerResult:
     """Attach cost of a gateway that joins after heavy policy churn.
 
@@ -455,6 +611,10 @@ class FleetBenchResult:
     backend_fallbacks: int = 0
     pool_ring_batches: int = 0
     pool_pickled_batches: int = 0
+    #: Batch scheduling mode on the gateway pool ("static" or "adaptive").
+    scheduler: str = "static"
+    scheduler_decisions: int = 0
+    scheduler_sizes: tuple[int, ...] = ()
 
     @property
     def verdicts_match(self) -> bool:
@@ -542,6 +702,12 @@ class FleetBenchResult:
                 f"{self.pool_ring_batches} via ring, "
                 f"{self.pool_pickled_batches} pickled"
             )
+            if self.scheduler == "adaptive":
+                sizes = ", ".join(str(size) for size in self.scheduler_sizes) or "-"
+                lines.append(
+                    f"adaptive batch scheduler: {self.scheduler_decisions} "
+                    f"resize decision(s), final per-gateway caps [{sizes}]"
+                )
         if self.backend is not None:
             lines.append(self.backend.summary())
         return "\n".join(lines)
@@ -559,6 +725,8 @@ def run_fleet_bench(
     apps_per_device: tuple[int, int] = (1, 3),
     backend_packets: int = 0,
     backend: str = "sequential",
+    scheduler: str = "static",
+    scheduler_config=None,
 ) -> FleetBenchResult:
     """Replay one fleet workload under live churn; compare with one gateway.
 
@@ -583,6 +751,13 @@ def run_fleet_bench(
 
     ``backend_packets > 0`` additionally runs
     :func:`run_shard_backend_comparison` at that replay size.
+
+    ``scheduler="adaptive"`` (pool backend only) puts a
+    :class:`~repro.runtime.scheduler.BatchScheduler` between the fleet
+    and the gateway pool, so burst batch boundaries resize online from
+    the pool's observed stage breakdown; verdict identity against the
+    baseline is unchanged, and the taken resize decisions are reported
+    on the result.
     """
     if packets <= edits:
         raise ValueError("need more packets than edits so every burst is non-empty")
@@ -609,6 +784,8 @@ def run_fleet_bench(
         # their shards per batch — the pool's amortization foil.
         shard_backend="process" if backend == "process" else "sequential",
         gateway_backend="pool" if backend == "pool" else "sequential",
+        scheduler=scheduler,
+        scheduler_config=scheduler_config,
         drop_untagged=True,
         drop_unknown_apps=True,
         keep_records=False,
@@ -749,6 +926,10 @@ def run_fleet_bench(
     result.final_versions = fleet.policy_versions()
     result.store_version = store.version
     result.converged = fleet.converged
+    result.scheduler = scheduler
+    if fleet.scheduler is not None:
+        result.scheduler_decisions = len(fleet.scheduler.decisions)
+        result.scheduler_sizes = tuple(fleet.scheduler.sizes())
     aggregated = fleet.aggregate_stats()
     fleet.close()
     result.top_churn_apps = aggregated.top_churn_apps(limit=3)

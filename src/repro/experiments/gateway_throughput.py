@@ -275,6 +275,8 @@ def run_gateway_bench(
     keep_records: bool = True,
     policy: Policy | None = None,
     backend: str = "sequential",
+    scheduler: str = "static",
+    scheduler_config=None,
 ) -> GatewayBenchResult:
     """Measure every enforcement path over one identical replay.
 
@@ -285,6 +287,12 @@ def run_gateway_bench(
     remain comparable; the backend choice proves verdict identity on
     the real execution engine.  Fork-based backends need the POSIX
     ``fork`` start method and degrade to sequential elsewhere.
+
+    ``scheduler="adaptive"`` (pool backend only) lets a
+    :class:`~repro.runtime.scheduler.BatchScheduler` chunk each sharded
+    row's replay into per-worker batches instead of the single batch
+    per worker the static split ships; the sharded rows gain an
+    ``-adaptive`` suffix.
     """
     if packets < 1:
         raise ValueError("the replay needs at least one packet")
@@ -320,12 +328,16 @@ def run_gateway_bench(
         name = f"sharded-{num_shards}"
         if backend != "sequential":
             name += f"-{backend}"
+        if scheduler != "static":
+            name += f"-{scheduler}"
         sharded = ShardedEnforcer(
             database=database,
             policy=policy,
             num_shards=num_shards,
             keep_records=keep_records,
             backend=backend,
+            scheduler=scheduler,
+            scheduler_config=scheduler_config,
         )
         batch = sharded.process_batch_timed(replay)
         snapshot = _snapshot(

@@ -183,12 +183,34 @@ class ShardedEnforcer:
         num_shards: int = 4,
         backend: str = "sequential",
         ring_bytes: int | None = None,
+        scheduler: str = "static",
+        scheduler_config=None,
         **enforcer_kwargs,
     ) -> None:
         if num_shards < 1:
             raise ValueError("need at least one enforcer shard")
         if backend not in BACKENDS:
             raise ValueError(f"unknown shard backend {backend!r}; choose from {BACKENDS}")
+        from repro.runtime.scheduler import BatchScheduler, validate_scheduler
+
+        validate_scheduler(scheduler)
+        if scheduler == "adaptive" and backend != "pool":
+            raise ValueError("the adaptive batch scheduler needs backend='pool'")
+        #: ``"static"`` (one batch per worker per burst) or ``"adaptive"``.
+        self.scheduler_mode = scheduler
+        #: The live :class:`~repro.runtime.scheduler.BatchScheduler`
+        #: (None in static mode).  Callers may ``attach_monitor`` a
+        #: :class:`~repro.obs.health.PoolHealthMonitor` on it so backlog
+        #: alerts snap batch sizes to the floor.
+        self.scheduler = (
+            BatchScheduler(
+                num_workers=num_shards,
+                config=scheduler_config,
+                pool="shard-pool",
+            )
+            if scheduler == "adaptive"
+            else None
+        )
         #: The backend asked for at construction; ``backend`` is the one
         #: actually in effect (they differ only after degradation).
         self.requested_backend = backend
@@ -331,6 +353,13 @@ class ShardedEnforcer:
             from repro.runtime.pool import ShardWorkerPool
             from repro.runtime.ring import DEFAULT_RING_BYTES
 
+            if self.scheduler is not None and self._obs is None:
+                # The adaptive scheduler is driven by the obs layer's
+                # batch traces and histograms; give it a private bundle
+                # when the caller did not attach one.
+                from repro.obs.instrument import RuntimeObservability
+
+                self.attach_obs(RuntimeObservability())
             ring_bytes = (
                 DEFAULT_RING_BYTES if self._ring_bytes is None else self._ring_bytes
             )
@@ -340,6 +369,8 @@ class ShardedEnforcer:
                 ring_bytes=ring_bytes,
                 obs=self._obs,
             )
+            if self.scheduler is not None:
+                self.scheduler.bind_obs(self._obs)
             # The finalizer holds only the pool (not self): leaked
             # enforcers still reap their daemon workers at GC.
             self._pool_finalizer = weakref.finalize(self, self._pool.close)
@@ -414,6 +445,8 @@ class ShardedEnforcer:
         """
         self._restart_pool()
         self._obs = obs
+        if self.scheduler is not None and obs is not None:
+            self.scheduler.bind_obs(obs)
         enforcer_obs = None if obs is None else obs.enforcer
         for shard in self.shards:
             shard.attach_observability(enforcer_obs)
@@ -562,7 +595,9 @@ class ShardedEnforcer:
         wall-clock, so the amortized IPC cost per batch is directly
         visible next to the modelled compute time.
         """
-        burst = self._ensure_pool().process_batch_timed(packets)
+        pool = self._ensure_pool()
+        sizes = None if self.scheduler is None else self.scheduler.plan()
+        burst = pool.collect(pool.submit(packets, batch_sizes=sizes))
         return BatchResult(
             results=burst.results,
             shard_elapsed_s=burst.worker_elapsed_s,
@@ -593,7 +628,9 @@ class ShardedEnforcer:
             self._next_sync_token += 1
             self._sync_bursts[token] = self.process_batch_timed(packets)
             return token
-        return self._ensure_pool().submit(packets)
+        pool = self._ensure_pool()
+        sizes = None if self.scheduler is None else self.scheduler.plan()
+        return pool.submit(packets, batch_sizes=sizes)
 
     def collect_batch(self, token: int | None = None) -> BatchResult:
         """Harvest a submitted burst (default: the oldest outstanding)."""

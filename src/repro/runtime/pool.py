@@ -294,8 +294,12 @@ def _worker_main(spec, ring: PacketRing, cmd, out) -> None:
                 else:
                     raise WorkerPoolError(f"unknown pool message kind {kind!r}")
             except Exception as exc:  # surface, then die: the parent respawns
+                # A batch failure names its seq so the parent can pop the
+                # poisoned batch instead of replaying it into the respawn
+                # (and crashing the replacement forever).
+                failing_seq = message[1] if kind == "batch" else None
                 try:
-                    out.send(("error", f"{type(exc).__name__}: {exc}"))
+                    out.send(("error", f"{type(exc).__name__}: {exc}", failing_seq))
                 except Exception:
                     pass
                 break
@@ -371,18 +375,26 @@ class _Burst:
         "started",
         "wall_s",
         "replayed",
+        "failed",
     )
 
     def __init__(self, token, packets, groups, num_workers):
         self.token = token
         self.packets = packets
         self.results = [None] * len(packets)
-        self.remaining = {index for index, group in enumerate(groups) if group}
+        #: Worker index -> outstanding batch count.  ``submit`` finalizes
+        #: every count before the first dispatch (a scheduler may chunk
+        #: one worker's group into several batches, and a pump inside
+        #: dispatch can complete early chunks of this very burst).
+        self.remaining: dict[int, int] = {}
         self.elapsed = [0.0] * num_workers
         self.counts = [len(group) for group in groups]
         self.started = time.perf_counter()
         self.wall_s = 0.0
         self.replayed = 0
+        #: Set when a worker reported a deterministic enforcement error
+        #: for one of this burst's batches; raised at ``collect``.
+        self.failed: WorkerPoolError | None = None
 
 
 class _PoolWorker:
@@ -553,21 +565,49 @@ class WorkerPool:
 
     # -- data plane --------------------------------------------------------------------
 
-    def submit(self, packets: list[IPPacket]) -> int:
-        """Route a burst to the workers; returns a token for :meth:`collect`."""
+    def submit(self, packets: list[IPPacket], batch_sizes=None) -> int:
+        """Route a burst to the workers; returns a token for :meth:`collect`.
+
+        ``batch_sizes[i]``, when given, caps worker *i*'s batch size:
+        its routed group is split into consecutive chunks of at most
+        that many packets (the
+        :class:`~repro.runtime.scheduler.BatchScheduler`'s lever).
+        Chunking moves batch *boundaries* only — routing stays with the
+        flow hash and the per-worker FIFO keeps intra-flow order — so
+        verdicts are identical to an unchunked submit.
+        """
         self._check_open()
         groups: list[list[int]] = [[] for _ in self._workers]
         for position, packet in enumerate(packets):
             groups[self._route(packet)].append(position)
         token = self._next_token
         self._next_token += 1
-        self._bursts[token] = _Burst(token, packets, groups, len(self._workers))
+        burst = _Burst(token, packets, groups, len(self._workers))
+        self._bursts[token] = burst
+        plan: list[tuple[_PoolWorker, deque]] = []
         for index, positions in enumerate(groups):
             if not positions:
                 continue
-            worker = self._workers[index]
-            group = [packets[position] for position in positions]
-            self._dispatch(worker, token, positions, group)
+            size = len(positions)
+            if batch_sizes is not None and batch_sizes[index]:
+                size = max(1, min(size, int(batch_sizes[index])))
+            chunks = deque(
+                positions[start : start + size]
+                for start in range(0, len(positions), size)
+            )
+            burst.remaining[index] = len(chunks)
+            plan.append((self._workers[index], chunks))
+        # Round-robin across workers so a deep chunk queue on one worker
+        # never starves the others of their first batch.
+        while plan:
+            next_round = []
+            for worker, chunks in plan:
+                positions = chunks.popleft()
+                group = [packets[position] for position in positions]
+                self._dispatch(worker, token, positions, group)
+                if chunks:
+                    next_round.append((worker, chunks))
+            plan = next_round
         return token
 
     def collect(self, token: int | None = None) -> PoolBurst:
@@ -580,13 +620,33 @@ class WorkerPool:
         burst = self._bursts.get(token)
         if burst is None:
             raise WorkerPoolError(f"unknown or already-collected burst token {token}")
-        while burst.remaining:
+        while burst.remaining and burst.failed is None:
             self._pump(block=True)
         del self._bursts[token]
+        if burst.failed is not None:
+            # The poisoned batch was already popped and accounted; late
+            # results for this token fall into the void harmlessly.
+            raise burst.failed
         if not burst.wall_s:
             burst.wall_s = time.perf_counter() - burst.started
+        missing = [
+            position for position, result in enumerate(burst.results) if result is None
+        ]
+        if missing:
+            # Every batch acked but positions stayed unfilled: a protocol
+            # bug dropped packets.  Silently returning a shorter result
+            # list would read as "fewer packets" downstream — raise with
+            # the evidence instead.
+            preview = ", ".join(str(position) for position in missing[:8])
+            if len(missing) > 8:
+                preview += ", ..."
+            raise WorkerPoolError(
+                f"{self._name} burst {token} lost {len(missing)} of "
+                f"{len(burst.packets)} result(s) (positions {preview}); "
+                "a batch was dropped without an error reply"
+            )
         return PoolBurst(
-            results=[result for result in burst.results if result is not None],
+            results=burst.results,
             worker_elapsed_s=burst.elapsed,
             worker_packet_counts=burst.counts,
             wall_s=burst.wall_s,
@@ -800,7 +860,11 @@ class WorkerPool:
                 for position, value in zip(pending.positions, verdict_values):
                     burst.results[position] = (Verdict(value), burst.packets[position])
                 burst.elapsed[worker.index] += elapsed
-                burst.remaining.discard(worker.index)
+                left = burst.remaining.get(worker.index, 0) - 1
+                if left > 0:
+                    burst.remaining[worker.index] = left
+                else:
+                    burst.remaining.pop(worker.index, None)
                 if not burst.remaining:
                     burst.wall_s = time.perf_counter() - burst.started
         elif kind == "flush":
@@ -810,11 +874,46 @@ class WorkerPool:
                 self._obs.merge_worker(obs_payload[1])
             worker.flushed = flush_id
         elif kind == "error":
-            raise WorkerPoolError(
-                f"{self._name} worker {worker.index} failed: {message[1]}"
-            )
+            detail = message[1]
+            failing_seq = message[2] if len(message) > 2 else None
+            if (
+                failing_seq is not None
+                and worker.pending
+                and worker.pending[0].seq == failing_seq
+            ):
+                self._poison(worker, detail)
+            else:
+                # A control-plane apply failed (record/sync/flush) — the
+                # worker's state may have diverged; surface immediately.
+                raise WorkerPoolError(
+                    f"{self._name} worker {worker.index} failed: {detail}"
+                )
         else:
             raise WorkerPoolError(f"unexpected pool result kind {kind!r}")
+
+    def _poison(self, worker: _PoolWorker, detail: str) -> None:
+        """A worker reported an enforcement error for its head batch.
+
+        The batch is poisoned: the reply arrived, so this is a
+        deterministic enforcement failure, not a lost worker — replaying
+        it into the respawn would only crash every replacement, forever.
+        Pop and account it (release its ring region, fail its burst with
+        a clear error surfaced at :meth:`collect`); the respawn then
+        replays only the healthy batches queued behind it.
+        """
+        pending = worker.pending.popleft()
+        if pending.region is not None:
+            worker.ring.release(pending.region)
+        self.stats.pool_poisoned_batches += 1
+        error = WorkerPoolError(
+            f"{self._name} worker {worker.index} failed enforcing batch "
+            f"{pending.seq} of burst {pending.token} "
+            f"({len(pending.packets)} packet(s)): {detail}"
+        )
+        logger.error("%s", error)
+        burst = self._bursts.get(pending.token)
+        if burst is not None and burst.failed is None:
+            burst.failed = error
 
     def _close_trace(
         self, worker: _PoolWorker, pending: _PendingBatch, recv_ts, elapsed, fold_start

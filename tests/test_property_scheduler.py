@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis): adaptive batch resizing is inert.
+
+The scheduler's hard bar — a resize decision moves batch *boundaries*
+only — restated as a property: for ANY sequence of per-worker batch-cap
+changes (forced to arbitrary values, including degenerate 1-packet caps
+and the 4096 ceiling, resized mid-burst while batches are in flight),
+interleaved with policy churn and worker kills, a pool-backed enforcer
+under the adaptive scheduler produces the packet-for-packet identical
+verdict sequence to the sequential model, and both control stores
+converge to the same rule-table fingerprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policy import PolicyAction, PolicyLevel, PolicyRule
+from repro.core.policy_store import PolicyStore, PolicyUpdate
+from repro.experiments.gateway_throughput import (
+    DEFAULT_DENY_LIBRARIES,
+    build_replay,
+    build_signature_database,
+)
+from repro.core.policy import Policy
+from repro.netstack.sharding import ShardedEnforcer
+from repro.runtime.pool import fork_available
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(),
+    reason="the pool backend needs the fork start method",
+)
+
+DATABASE = build_signature_database(corpus_apps=3, seed=7)
+REPLAY = build_replay(DATABASE.entries(), packets=240, flows=24, seed=11)
+TARGETS = tuple(
+    entry.package_name.replace(".", "/") for entry in DATABASE.entries()
+)
+
+SHARDS = 2
+
+#: One step of a run script.  ``burst`` optionally resizes one worker
+#: *mid-flight* (between pipelined submit and collect); ``size`` forces
+#: a cap (clamping covers the degenerate ends); ``kill`` crashes a live
+#: worker; ``edit`` toggles a deny rule through the control store.
+step_strategy = st.one_of(
+    st.tuples(
+        st.just("burst"),
+        st.booleans(),
+        st.integers(min_value=0, max_value=SHARDS - 1),
+        st.integers(min_value=1, max_value=5000),
+    ),
+    st.tuples(
+        st.just("size"),
+        st.integers(min_value=0, max_value=SHARDS - 1),
+        st.integers(min_value=1, max_value=5000),
+    ),
+    st.tuples(st.just("kill"), st.integers(min_value=0, max_value=SHARDS - 1)),
+    st.tuples(st.just("edit"), st.integers(min_value=0, max_value=len(TARGETS) - 1)),
+)
+
+
+def _toggle(store: PolicyStore, toggled: dict, target: str) -> None:
+    rule_id = f"prop-{target}"
+    if toggled.get(target):
+        store.apply(PolicyUpdate(reason="untoggle").remove_rule(rule_id))
+        toggled[target] = False
+    else:
+        store.apply(
+            PolicyUpdate(reason="toggle").add_rule(
+                PolicyRule(
+                    action=PolicyAction.DENY,
+                    level=PolicyLevel.LIBRARY,
+                    target=target,
+                ),
+                rule_id=rule_id,
+            )
+        )
+        toggled[target] = True
+
+
+@needs_fork
+@settings(max_examples=20, deadline=None)
+@given(script=st.lists(step_strategy, min_size=1, max_size=10))
+def test_random_resize_schedules_never_change_verdicts(script):
+    def run(backend):
+        store = PolicyStore.from_policy(
+            Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="prop"),
+            name="prop-store",
+        )
+        enforcer = ShardedEnforcer(
+            database=DATABASE,
+            policy=store.snapshot(),
+            num_shards=SHARDS,
+            keep_records=False,
+            backend=backend,
+            scheduler="adaptive" if backend == "pool" else "static",
+        )
+        store.subscribe(enforcer, push=False)
+        enforcer.attach_control(store)
+        scheduler = enforcer.scheduler
+        toggled: dict = {}
+        verdicts = []
+        for step in script:
+            kind = step[0]
+            if kind == "burst":
+                _, mid_resize, worker, size = step
+                if scheduler is not None:
+                    token = enforcer.submit_batch(REPLAY)
+                    if mid_resize:
+                        # Mid-burst: batches of this burst are in flight.
+                        scheduler.force_size(worker, size)
+                    batch = enforcer.collect_batch(token)
+                else:
+                    batch = enforcer.process_batch_timed(REPLAY)
+                verdicts.extend(verdict for verdict, _ in batch.results)
+            elif kind == "size":
+                if scheduler is not None:
+                    scheduler.force_size(step[1], step[2])
+            elif kind == "kill":
+                if getattr(enforcer, "_pool", None) is not None:
+                    enforcer._pool.kill_worker(step[1])
+            else:
+                _toggle(store, toggled, TARGETS[step[1]])
+        # A closing burst proves convergence wherever the script ended.
+        batch = enforcer.process_batch_timed(REPLAY)
+        verdicts.extend(verdict for verdict, _ in batch.results)
+        fingerprint = store.fingerprint()
+        enforcer.close()
+        return verdicts, fingerprint
+
+    serial_verdicts, serial_fingerprint = run("sequential")
+    pool_verdicts, pool_fingerprint = run("pool")
+    assert pool_verdicts == serial_verdicts
+    assert pool_fingerprint == serial_fingerprint

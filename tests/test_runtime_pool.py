@@ -10,10 +10,14 @@ enforced on every change, not only in the benchmark suite.
 
 from __future__ import annotations
 
+import dataclasses
+import os
+
 import pytest
 
 from repro.core.fleet import GatewayFleet
 from repro.core.policy import Policy, PolicyAction, PolicyLevel, PolicyRule
+from repro.core.policy_enforcer import PolicyEnforcer
 from repro.core.policy_store import PolicyStore, PolicyUpdate
 from repro.experiments.gateway_throughput import (
     DEFAULT_DENY_LIBRARIES,
@@ -547,6 +551,108 @@ class TestCrashRecovery:
         assert stats.pool_worker_crashes == 1
         assert stats.pool_worker_respawns == 1
         pool_fleet.close()
+
+
+# -- deterministic batch failure (poison) and silent-loss guards -----------------------
+
+
+#: TEST-NET-3 source no replay generator emits; the poisoned enforcer
+#: raises on exactly this packet.
+_POISON_SRC = "203.0.113.254"
+
+
+@needs_fork
+class TestPoisonAndLossGuards:
+    def test_poison_batch_fails_fast_instead_of_replay_looping(
+        self, database, replay, policy, monkeypatch
+    ):
+        # A deterministic enforcement error (as opposed to a worker
+        # crash) must NOT leave the failing batch at the head of
+        # worker.pending: the revive would replay it into the respawned
+        # worker, which dies on it again — an unbounded crash loop.
+        # The regression: fail the burst once, keep the pool alive.
+        assert all(packet.src_ip != _POISON_SRC for packet in replay)
+        original = PolicyEnforcer.process
+
+        def poisoned_process(self, packet):
+            if packet.src_ip == _POISON_SRC:
+                raise RuntimeError("crafted poison packet")
+            return original(self, packet)
+
+        # Patched in the parent BEFORE the workers fork, so every forked
+        # enforcer inherits the poisoned method.
+        monkeypatch.setattr(PolicyEnforcer, "process", poisoned_process)
+        enforcer = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="pool", flow_cache_size=0,
+        )
+        control = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="sequential", flow_cache_size=0,
+        )
+        poison = dataclasses.replace(replay[0], src_ip=_POISON_SRC)
+        burst = replay[:120] + [poison] + replay[120:240]
+        token = enforcer.submit_batch(burst)
+        with pytest.raises(WorkerPoolError, match="failed enforcing batch"):
+            enforcer.collect_batch(token)
+        assert enforcer.aggregate_stats().pool_poisoned_batches == 1
+        # The pool keeps enforcing healthy bursts, verdict-identical
+        # (the dead worker's EOF is noticed on this pump and respawned).
+        tail = replay[240:]
+        assert _verdicts(enforcer.process_batch_timed(tail)) == _verdicts(
+            control.process_batch_timed(tail)
+        )
+        # The worker died exactly once on the poison; the respawn never
+        # saw the batch again, so the crash count stays at one.
+        stats = enforcer.aggregate_stats()
+        assert stats.pool_worker_crashes == 1
+        assert stats.pool_worker_respawns == 1
+        enforcer.close()
+
+    def test_control_plane_worker_error_still_raises_directly(
+        self, database, replay, policy, monkeypatch
+    ):
+        # Non-batch failures (a policy push the worker cannot apply)
+        # have no batch to pop; they surface as a plain WorkerPoolError.
+        parent_pid = os.getpid()
+        original = PolicyEnforcer.set_policy
+
+        def broken_set_policy(self, policy):
+            if os.getpid() != parent_pid:  # only the forked workers fail
+                raise RuntimeError("worker rejected the policy swap")
+            return original(self, policy)
+
+        monkeypatch.setattr(PolicyEnforcer, "set_policy", broken_set_policy)
+        enforcer = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="pool",
+        )
+        enforcer.process_batch_timed(replay[:40])  # fork the workers
+        with pytest.raises(WorkerPoolError, match="failed"):
+            enforcer.set_policy(make_policy())
+            enforcer.process_batch_timed(replay[:40])
+        enforcer.close()
+
+    def test_unfilled_positions_raise_instead_of_silent_loss(
+        self, database, replay, policy
+    ):
+        # collect() used to filter None positions out of the stitched
+        # results: a dropped batch shrank the output silently.  Simulate
+        # the loss by erasing the burst's outstanding-batch accounting
+        # right after submit, so collect sees "complete" with holes.
+        enforcer = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="pool",
+        )
+        token = enforcer.submit_batch(replay[:50])
+        pool_burst = enforcer._pool._bursts[token]
+        pool_burst.remaining = {}
+        with pytest.raises(WorkerPoolError, match="lost") as excinfo:
+            enforcer.collect_batch(token)
+        message = str(excinfo.value)
+        assert f"burst {token} " in message
+        assert "positions" in message
+        enforcer.close()
 
 
 # -- stats plumbing --------------------------------------------------------------------

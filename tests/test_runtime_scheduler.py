@@ -1,0 +1,270 @@
+"""BatchScheduler decisions + adaptive-scheduler verdict parity.
+
+Unit tests drive the scheduler with synthesized batch traces and health
+alerts (no workers involved), pinning each decision rule: shrink on
+queue-wait domination, grow on serialize/ring_write overhead, p99
+equalization, and the floor snap on backpressure alerts.  The
+fork-gated integration test then runs a pool-backed replay under the
+adaptive scheduler — with mid-run resizes and a worker kill — and holds
+it verdict-identical to the sequential backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.gateway_throughput import (
+    DEFAULT_DENY_LIBRARIES,
+    build_replay,
+    build_signature_database,
+)
+from repro.core.policy import Policy
+from repro.netstack.sharding import ShardedEnforcer
+from repro.obs import RuntimeObservability
+from repro.obs.trace import BatchTrace
+from repro.runtime.pool import fork_available
+from repro.runtime.scheduler import (
+    SCHEDULERS,
+    BatchScheduler,
+    SchedulerConfig,
+    validate_scheduler,
+)
+from repro.telemetry.detectors import Alert
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(),
+    reason="the pool backend needs the fork start method",
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_signature_database(corpus_apps=4, seed=7)
+
+
+@pytest.fixture(scope="module")
+def replay(database):
+    return build_replay(database.entries(), packets=600, flows=48, seed=11)
+
+
+def make_policy() -> Policy:
+    return Policy.deny_libraries(DEFAULT_DENY_LIBRARIES, name="scheduler-test")
+
+
+class _StubMonitor:
+    def __init__(self):
+        self.events = []
+
+
+def _push_traces(
+    obs,
+    worker: int,
+    count: int,
+    queue_wait: float = 0.0,
+    overhead: float = 0.0,
+    enforce: float = 0.01,
+    pool: str = "shard-pool",
+):
+    for seq in range(count):
+        trace = BatchTrace(f"{pool}:{obs.traces.completed}.{seq}", worker)
+        if queue_wait:
+            trace.add("queue_wait", 0.0, queue_wait)
+        if overhead:
+            trace.add("serialize", 0.0, overhead / 2)
+            trace.add("ring_write", 0.0, overhead / 2)
+        trace.add("enforce", 0.0, enforce)
+        obs.traces.append(trace)
+
+
+class TestSchedulerDecisions:
+    def test_mode_validation(self):
+        assert validate_scheduler("adaptive") == "adaptive"
+        assert "static" in SCHEDULERS
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            validate_scheduler("magic")
+
+    def test_without_obs_the_scheduler_is_static(self):
+        scheduler = BatchScheduler(num_workers=3)
+        assert scheduler.plan() == [256, 256, 256]
+        assert scheduler.plan() == [256, 256, 256]
+        assert scheduler.decisions == []
+
+    def test_shrink_when_queue_wait_dominates(self):
+        obs = RuntimeObservability()
+        scheduler = BatchScheduler(num_workers=2, obs=obs)
+        # Worker 0 backed up: queue wait far beyond the 4x-enforce bar.
+        _push_traces(obs, worker=0, count=4, queue_wait=0.2, enforce=0.01)
+        sizes = scheduler.plan()
+        assert sizes[0] == 128  # halved from 256
+        assert sizes[1] == 256  # untouched: no signal for worker 1
+        decision = scheduler.decisions[-1]
+        assert (decision.worker, decision.action, decision.reason) == (
+            0,
+            "shrink",
+            "queue_wait",
+        )
+
+    def test_grow_when_ipc_overhead_dominates(self):
+        obs = RuntimeObservability()
+        scheduler = BatchScheduler(num_workers=2, obs=obs)
+        _push_traces(obs, worker=1, count=4, overhead=0.02, enforce=0.01)
+        sizes = scheduler.plan()
+        assert sizes[1] == 512
+        decision = scheduler.decisions[-1]
+        assert (decision.action, decision.reason) == ("grow", "overhead")
+
+    def test_immature_window_makes_no_decision(self):
+        obs = RuntimeObservability()
+        scheduler = BatchScheduler(num_workers=2, obs=obs)
+        _push_traces(obs, worker=0, count=3, queue_wait=1.0, enforce=0.001)
+        assert scheduler.plan() == [256, 256]
+        assert scheduler.decisions == []
+        # The fourth trace matures the window; the verdict lands.
+        _push_traces(obs, worker=0, count=1, queue_wait=1.0, enforce=0.001)
+        assert scheduler.plan()[0] == 128
+
+    def test_other_pools_traces_are_ignored(self):
+        obs = RuntimeObservability()
+        scheduler = BatchScheduler(num_workers=2, obs=obs, pool="shard-pool")
+        _push_traces(
+            obs, worker=0, count=8, queue_wait=1.0, enforce=0.001, pool="gateway-pool"
+        )
+        assert scheduler.plan() == [256, 256]
+        assert scheduler.decisions == []
+
+    def test_queue_depth_alert_floors_the_named_worker(self):
+        monitor = _StubMonitor()
+        scheduler = BatchScheduler(num_workers=3, monitor=monitor)
+        monitor.events.append(
+            Alert(kind="pool-queue-depth", device="shard-pool-w1", detail="deep")
+        )
+        sizes = scheduler.plan()
+        assert sizes == [256, 16, 256]
+        decision = scheduler.decisions[-1]
+        assert (decision.worker, decision.action, decision.reason) == (
+            1,
+            "floor",
+            "pool-queue-depth",
+        )
+
+    def test_backlog_alert_floors_every_worker(self):
+        monitor = _StubMonitor()
+        scheduler = BatchScheduler(num_workers=3, monitor=monitor)
+        monitor.events.append(
+            Alert(kind="pool-burst-backlog", device="shard-pool", detail="backlog")
+        )
+        assert scheduler.plan() == [16, 16, 16]
+
+    def test_alerts_for_other_pools_or_kinds_are_ignored(self):
+        monitor = _StubMonitor()
+        scheduler = BatchScheduler(num_workers=2, monitor=monitor)
+        monitor.events.append(
+            Alert(kind="pool-burst-backlog", device="gateway-pool", detail="")
+        )
+        monitor.events.append(
+            Alert(kind="pool-worker-crash", device="shard-pool", detail="")
+        )
+        assert scheduler.plan() == [256, 256]
+        assert scheduler.decisions == []
+
+    def test_alerts_are_consumed_once(self):
+        monitor = _StubMonitor()
+        scheduler = BatchScheduler(num_workers=1, monitor=monitor)
+        monitor.events.append(
+            Alert(kind="pool-burst-backlog", device="shard-pool", detail="")
+        )
+        assert scheduler.plan() == [16]
+        scheduler.force_size(0, 256)
+        # Same (already-seen) event must not re-floor the new size.
+        assert scheduler.plan() == [256]
+
+    def test_p99_equalization_shrinks_the_outlier(self):
+        obs = RuntimeObservability()
+        scheduler = BatchScheduler(num_workers=3, obs=obs)
+        hist = obs.batch_seconds
+        for worker, p99 in ((0, 0.010), (1, 0.012), (2, 0.100)):
+            for _ in range(8):
+                hist.observe(p99, pool="shard-pool", worker=str(worker))
+        # Balanced stage mix so neither shrink nor grow preempts the
+        # equalizer for worker 2.
+        _push_traces(obs, worker=2, count=4, enforce=0.01)
+        sizes = scheduler.plan()
+        assert sizes[2] == 128
+        decision = scheduler.decisions[-1]
+        assert (decision.worker, decision.reason) == (2, "p99-above")
+
+    def test_force_size_clamps_to_config_bounds(self):
+        scheduler = BatchScheduler(
+            num_workers=1, config=SchedulerConfig(min_batch=8, max_batch=64)
+        )
+        scheduler.force_size(0, 10**6)
+        assert scheduler.sizes() == [64]
+        scheduler.force_size(0, 1)
+        assert scheduler.sizes() == [8]
+
+    def test_bound_obs_publishes_the_batch_size_gauge(self):
+        obs = RuntimeObservability()
+        scheduler = BatchScheduler(num_workers=2, obs=obs)
+        gauge = obs.registry.get("pool_batch_size")
+        assert gauge is not None
+        assert gauge.value(pool="shard-pool", worker="0") == 256
+        scheduler.force_size(0, 64)
+        assert gauge.value(pool="shard-pool", worker="0") == 64
+
+
+class TestSchedulerWiring:
+    def test_adaptive_requires_the_pool_backend(self, database):
+        with pytest.raises(ValueError, match="needs backend='pool'"):
+            ShardedEnforcer(
+                database=database,
+                policy=make_policy(),
+                num_shards=2,
+                backend="sequential",
+                scheduler="adaptive",
+            )
+
+    def test_unknown_scheduler_is_rejected(self, database):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            ShardedEnforcer(
+                database=database,
+                policy=make_policy(),
+                num_shards=2,
+                backend="pool",
+                scheduler="fancy",
+            )
+
+
+@needs_fork
+class TestAdaptiveParity:
+    def test_adaptive_replay_matches_sequential_with_chaos(self, database, replay):
+        # Resizes (including degenerate caps) and a mid-run worker kill
+        # must never change a verdict: batch boundaries move, routing
+        # and intra-flow order do not.
+        adaptive = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="pool", scheduler="adaptive",
+            flow_cache_size=0,
+        )
+        control = ShardedEnforcer(
+            database=database, policy=make_policy(), num_shards=2,
+            keep_records=False, backend="sequential", flow_cache_size=0,
+        )
+        assert adaptive.scheduler is not None
+        bursts = [replay[i : i + 150] for i in range(0, len(replay), 150)]
+        forced = [1, 7, 64, 4096]
+        pool_verdicts, control_verdicts = [], []
+        for index, burst in enumerate(bursts):
+            adaptive.scheduler.force_size(0, forced[index % len(forced)])
+            token = adaptive.submit_batch(burst)
+            if index == 2:
+                adaptive._pool.kill_worker(1)
+            result = adaptive.collect_batch(token)
+            pool_verdicts.extend(verdict for verdict, _ in result.results)
+            control_verdicts.extend(
+                verdict
+                for verdict, _ in control.process_batch_timed(burst).results
+            )
+        assert pool_verdicts == control_verdicts
+        stats = adaptive.aggregate_stats()
+        assert stats.pool_worker_crashes == 1
+        adaptive.close()
